@@ -1,0 +1,166 @@
+//! Tensor-parallel inference model (extension).
+//!
+//! The paper's Fig. 5 shows transformer TTI decode is memory-bandwidth
+//! bound at low batch: every generated token re-reads all the weights.
+//! The standard deployment answer is tensor parallelism — shard each
+//! weight matrix over `k` NVLinked GPUs so each token's weight traffic is
+//! `1/k`, at the price of two all-reduces per transformer layer. This
+//! module models that trade-off with a ring all-reduce cost on the
+//! [`DeviceSpec`] interconnect constants.
+
+use mmg_gpu::DeviceSpec;
+use mmg_models::TransformerConfig;
+
+/// Ring all-reduce time for `bytes` over `k` GPUs:
+/// `2·(k-1)/k · bytes / link_bw + 2·(k-1) · latency`.
+#[must_use]
+pub fn allreduce_time_s(bytes: u64, k: usize, spec: &DeviceSpec) -> f64 {
+    if k <= 1 {
+        return 0.0;
+    }
+    let steps = 2 * (k - 1);
+    let payload = 2.0 * (k - 1) as f64 / k as f64 * bytes as f64;
+    payload / (spec.nvlink_bw_gbs * 1e9) + steps as f64 * spec.nvlink_latency_us * 1e-6
+}
+
+/// Modelled latency of one tensor-parallel decode step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TpDecodeEstimate {
+    /// GPUs in the tensor-parallel group.
+    pub k: usize,
+    /// Per-GPU weight-read time, seconds.
+    pub weight_s: f64,
+    /// KV-cache read time (sharded across heads), seconds.
+    pub kv_s: f64,
+    /// All-reduce communication time, seconds.
+    pub comms_s: f64,
+    /// Total decode-step latency, seconds.
+    pub total_s: f64,
+}
+
+impl TpDecodeEstimate {
+    /// Fraction of the step spent communicating.
+    #[must_use]
+    pub fn comms_fraction(&self) -> f64 {
+        self.comms_s / self.total_s
+    }
+}
+
+/// Estimates one decode step of a transformer under `k`-way tensor
+/// parallelism at `batch` sequences with `kv_len`-token caches.
+///
+/// Decode is memory-bound, so the step time is weight traffic + KV traffic
+/// at HBM bandwidth (each sharded `1/k`) plus two all-reduces per layer of
+/// the `batch × d_model` activations.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+#[must_use]
+pub fn tp_decode_step(
+    cfg: &TransformerConfig,
+    kv_len: usize,
+    batch: usize,
+    k: usize,
+    spec: &DeviceSpec,
+) -> TpDecodeEstimate {
+    assert!(k > 0, "need at least one GPU");
+    let weight_bytes = 2 * cfg.approx_params();
+    let kv_bytes = (cfg.layers * 2 * kv_len * cfg.d_model * 2 * batch) as u64;
+    let eff_bw = 0.85 * spec.hbm_bytes_per_sec();
+    let weight_s = weight_bytes as f64 / k as f64 / eff_bw;
+    let kv_s = kv_bytes as f64 / k as f64 / eff_bw;
+    let allreduce_bytes = (batch * cfg.d_model * 2) as u64;
+    let comms_s = 2.0 * cfg.layers as f64 * allreduce_time_s(allreduce_bytes, k, spec);
+    TpDecodeEstimate { k, weight_s, kv_s, comms_s, total_s: weight_s + kv_s + comms_s }
+}
+
+/// Sweeps tensor-parallel widths for a decode step.
+#[must_use]
+pub fn tp_sweep(
+    cfg: &TransformerConfig,
+    kv_len: usize,
+    batch: usize,
+    widths: &[usize],
+    spec: &DeviceSpec,
+) -> Vec<TpDecodeEstimate> {
+    widths.iter().map(|&k| tp_decode_step(cfg, kv_len, batch, k, spec)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parti_decoder() -> TransformerConfig {
+        TransformerConfig {
+            layers: 40,
+            d_model: 4096,
+            heads: 32,
+            d_ff: 16384,
+            gated_ffn: false,
+            vocab: 8192,
+            cross_attention: true,
+            context_len: 128,
+            context_dim: 4096,
+        }
+    }
+
+    #[test]
+    fn allreduce_zero_for_single_gpu() {
+        let spec = DeviceSpec::a100_80gb();
+        assert_eq!(allreduce_time_s(1 << 20, 1, &spec), 0.0);
+        assert!(allreduce_time_s(1 << 20, 2, &spec) > 0.0);
+    }
+
+    #[test]
+    fn allreduce_latency_floor() {
+        // Tiny payloads are latency-bound: 2(k-1) hops.
+        let spec = DeviceSpec::a100_80gb();
+        let t = allreduce_time_s(8, 4, &spec);
+        assert!(t >= 6.0 * spec.nvlink_latency_us * 1e-6);
+    }
+
+    #[test]
+    fn two_way_tp_nearly_halves_decode() {
+        let spec = DeviceSpec::a100_80gb();
+        let cfg = parti_decoder();
+        let t1 = tp_decode_step(&cfg, 512, 1, 1, &spec);
+        let t2 = tp_decode_step(&cfg, 512, 1, 2, &spec);
+        let speedup = t1.total_s / t2.total_s;
+        assert!((1.5..2.05).contains(&speedup), "2-way speedup {speedup}");
+    }
+
+    #[test]
+    fn diminishing_returns_at_high_widths() {
+        // Comms latency grows with k while weight shards shrink.
+        let spec = DeviceSpec::a100_80gb();
+        let cfg = parti_decoder();
+        let sweep = tp_sweep(&cfg, 512, 1, &[1, 2, 4, 8, 16], &spec);
+        let marginal = |i: usize| sweep[i - 1].total_s / sweep[i].total_s;
+        assert!(marginal(1) > marginal(4), "early gains beat late gains");
+        // Comms fraction rises monotonically with width.
+        for w in sweep.windows(2) {
+            assert!(w[1].comms_fraction() >= w[0].comms_fraction() - 1e-12);
+        }
+    }
+
+    #[test]
+    fn kv_traffic_scales_with_cache_and_batch() {
+        let spec = DeviceSpec::a100_80gb();
+        let cfg = parti_decoder();
+        let small = tp_decode_step(&cfg, 128, 1, 2, &spec);
+        let long = tp_decode_step(&cfg, 1024, 1, 2, &spec);
+        let batched = tp_decode_step(&cfg, 128, 8, 2, &spec);
+        assert!(long.kv_s > 7.0 * small.kv_s);
+        assert!(batched.kv_s > 7.0 * small.kv_s);
+        assert_eq!(long.weight_s, small.weight_s, "weights independent of kv");
+    }
+
+    #[test]
+    fn faster_interconnect_cuts_comms() {
+        let cfg = parti_decoder();
+        let a100 = tp_decode_step(&cfg, 512, 1, 8, &DeviceSpec::a100_80gb());
+        let h100 = tp_decode_step(&cfg, 512, 1, 8, &DeviceSpec::h100_80gb());
+        assert!(h100.comms_s < a100.comms_s);
+    }
+}

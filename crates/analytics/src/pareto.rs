@@ -1,0 +1,98 @@
+//! Quality/size landscape and Pareto frontier (Fig. 4).
+
+use mmg_models::ModelRecord;
+
+/// A point on the Fig. 4 scatter with its frontier membership.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoPoint {
+    /// The model.
+    pub record: ModelRecord,
+    /// Whether the model is Pareto-optimal (no other model has both lower
+    /// FID and fewer parameters).
+    pub on_frontier: bool,
+}
+
+/// Whether `a` dominates `b` (better or equal on both axes, strictly
+/// better on at least one; both axes minimize).
+#[must_use]
+pub fn dominates(a: &ModelRecord, b: &ModelRecord) -> bool {
+    let le = a.fid <= b.fid && a.params_b <= b.params_b;
+    let lt = a.fid < b.fid || a.params_b < b.params_b;
+    le && lt
+}
+
+/// Classifies every record by frontier membership.
+#[must_use]
+pub fn frontier(records: &[ModelRecord]) -> Vec<ParetoPoint> {
+    records
+        .iter()
+        .map(|r| ParetoPoint {
+            record: r.clone(),
+            on_frontier: !records.iter().any(|other| dominates(other, r)),
+        })
+        .collect()
+}
+
+/// The frontier members sorted by parameter count (the curve as plotted).
+#[must_use]
+pub fn frontier_curve(records: &[ModelRecord]) -> Vec<ModelRecord> {
+    let mut on: Vec<ModelRecord> = frontier(records)
+        .into_iter()
+        .filter(|p| p.on_frontier)
+        .map(|p| p.record)
+        .collect();
+    on.sort_by(|a, b| a.params_b.total_cmp(&b.params_b));
+    on
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmg_models::{registry, ArchClass};
+
+    fn rec(name: &'static str, params_b: f64, fid: f64) -> ModelRecord {
+        ModelRecord { name, arch: ArchClass::DiffusionLatent, params_b, fid, open_source: true }
+    }
+
+    #[test]
+    fn dominance_is_strict() {
+        let a = rec("a", 1.0, 10.0);
+        let b = rec("b", 2.0, 12.0);
+        assert!(dominates(&a, &b));
+        assert!(!dominates(&b, &a));
+        assert!(!dominates(&a, &a), "no self-domination");
+    }
+
+    #[test]
+    fn frontier_on_toy_data() {
+        let records = vec![rec("good", 1.0, 10.0), rec("bad", 2.0, 12.0), rec("big", 5.0, 8.0)];
+        let f = frontier(&records);
+        assert!(f[0].on_frontier);
+        assert!(!f[1].on_frontier, "dominated by 'good'");
+        assert!(f[2].on_frontier, "best FID despite size");
+    }
+
+    #[test]
+    fn paper_pareto_models_are_on_frontier() {
+        // Fig. 4: Imagen, Stable Diffusion and Parti sit on the frontier.
+        let f = frontier(&registry());
+        for name in ["StableDiffusion", "Imagen", "Parti"] {
+            let p = f.iter().find(|p| p.record.name == name).unwrap();
+            assert!(p.on_frontier, "{name} should be Pareto-optimal");
+        }
+        // DALL-E (27.5 FID at 12B) is clearly dominated.
+        let dalle = f.iter().find(|p| p.record.name == "DALL-E").unwrap();
+        assert!(!dalle.on_frontier);
+    }
+
+    #[test]
+    fn curve_sorted_and_fid_decreasing() {
+        let c = frontier_curve(&registry());
+        assert!(c.len() >= 3);
+        for w in c.windows(2) {
+            assert!(w[0].params_b <= w[1].params_b);
+            // Along a minimizing frontier, more params must buy better FID.
+            assert!(w[0].fid >= w[1].fid, "{} -> {}", w[0].name, w[1].name);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Roofline placement of the model suite (Fig. 5).
+//!
+//! Following the paper, arithmetic intensity is the ratio of inference
+//! FLOPs to required model capacity — denoising loops re-read the same
+//! weights tens of times, which is exactly why diffusion models land in
+//! the compute-bound region while transformer TTI models at low batch are
+//! memory-bandwidth bound.
+
+use mmg_gpu::{DeviceSpec, Roofline, RooflinePoint};
+use mmg_models::{suite, ModelId};
+
+/// Places every suite model on the device's roofline.
+#[must_use]
+pub fn suite_roofline(spec: &DeviceSpec) -> Vec<RooflinePoint> {
+    ModelId::ALL.iter().map(|&id| model_roofline(id, spec)).collect()
+}
+
+/// The roofline point for one model.
+#[must_use]
+pub fn model_roofline(id: ModelId, spec: &DeviceSpec) -> RooflinePoint {
+    let roof = Roofline::new(spec.clone());
+    let p = suite::build(id);
+    roof.place(p.name.clone(), p.total_flops(), p.weight_bytes_read())
+}
+
+/// Arithmetic intensity of the *decode phase* alone for an autoregressive
+/// model: one token's FLOPs per weight fetch — the "low batch size" point
+/// the paper plots for transformer TTI models.
+#[must_use]
+pub fn decode_phase_intensity(id: ModelId) -> Option<f64> {
+    let p = suite::build(id);
+    let decode: Vec<_> =
+        p.stages.iter().filter(|s| s.name.starts_with("decode")).collect();
+    if decode.is_empty() {
+        return None;
+    }
+    let flops: u64 = decode.iter().map(|s| s.repeats as u64 * s.graph.total_flops()).sum();
+    let bytes: u64 =
+        decode.iter().map(|s| 2 * s.repeats as u64 * s.graph.param_count()).sum();
+    Some(flops as f64 / bytes.max(1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(points: &[RooflinePoint], name: &str) -> RooflinePoint {
+        points.iter().find(|p| p.label == name).cloned().unwrap()
+    }
+
+    #[test]
+    fn diffusion_models_are_compute_bound() {
+        // Fig. 5: diffusion models fall in the compute-bound region.
+        let pts = suite_roofline(&DeviceSpec::a100_80gb());
+        for name in ["StableDiffusion", "Imagen", "ProdImage"] {
+            assert!(point(&pts, name).compute_bound, "{name} should be compute-bound");
+        }
+    }
+
+    #[test]
+    fn parti_is_memory_bound() {
+        // Fig. 5: autoregressive transformer TTI at low batch sits under
+        // the ridge.
+        let pts = suite_roofline(&DeviceSpec::a100_80gb());
+        assert!(!point(&pts, "Parti").compute_bound);
+        assert!(point(&pts, "Parti").intensity_flops_per_byte < 20.0);
+    }
+
+    #[test]
+    fn decode_phase_intensity_is_near_one() {
+        let parti = decode_phase_intensity(ModelId::Parti).unwrap();
+        assert!((0.5..20.0).contains(&parti), "parti decode intensity {parti}");
+        assert!(decode_phase_intensity(ModelId::StableDiffusion).is_none());
+    }
+
+    #[test]
+    fn diffusion_intensity_up_to_100x_llm_decode() {
+        // Section I: diffusion TTI arithmetic intensity exceeds LLMs by up
+        // to ~100x — against the LLM's decode phase, its deployment-
+        // critical regime.
+        let pts = suite_roofline(&DeviceSpec::a100_80gb());
+        let sd = point(&pts, "StableDiffusion").intensity_flops_per_byte;
+        let llama_decode = decode_phase_intensity(ModelId::Llama2).unwrap();
+        let ratio = sd / llama_decode;
+        assert!((30.0..1000.0).contains(&ratio), "intensity ratio {ratio}");
+    }
+
+    #[test]
+    fn every_model_has_a_point() {
+        assert_eq!(suite_roofline(&DeviceSpec::a100_80gb()).len(), 8);
+    }
+}

@@ -1,0 +1,186 @@
+//! Denoising-pod co-scheduling (Section V's proposed optimization).
+//!
+//! The paper suggests: *"different denoising steps of the diffusion process
+//! could be staggered to allow for maximum memory bandwidth utilization at
+//! any one time… certain steps could potentially be grouped together into
+//! pods."* This module quantifies that headroom: when several independent
+//! generation requests run concurrently with complementary phases, the
+//! device can overlap one stream's memory-bound operators (norms,
+//! elementwise, attention score streaming) with another's compute-bound
+//! operators (convolution, GEMM).
+//!
+//! The estimate is resource-bound based: a serial stream pays
+//! `Σ max(cᵢ, mᵢ)` per step, while `k` perfectly staggered streams are
+//! bounded below by `max(Σc, Σm, Σoverhead)` per stream — the compute and
+//! memory pipes each only have to absorb their own totals.
+
+use mmg_gpu::multistream::{staggered_speedup, StreamKernel};
+use mmg_profiler::Timeline;
+
+/// Resource totals and co-scheduling estimate for one timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PodEstimate {
+    /// Serial duration (what one stream takes alone).
+    pub serial_s: f64,
+    /// Total compute-pipe seconds.
+    pub compute_s: f64,
+    /// Total memory-pipe seconds.
+    pub memory_s: f64,
+    /// Total fixed overhead seconds (launches + floors), which do not
+    /// overlap between streams.
+    pub overhead_s: f64,
+    /// Per-stream lower-bound duration under perfect staggering.
+    pub pod_s: f64,
+}
+
+impl PodEstimate {
+    /// Throughput speedup from pod scheduling (≥ 1).
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.serial_s / self.pod_s
+    }
+
+    /// Fraction of serial time the busier pipe is actually busy — how far
+    /// from balanced the workload is (1.0 = one pipe saturated already,
+    /// no staggering headroom).
+    #[must_use]
+    pub fn dominant_pipe_utilization(&self) -> f64 {
+        self.compute_s.max(self.memory_s) / self.serial_s
+    }
+}
+
+/// Estimates pod-scheduling headroom for a profiled timeline.
+///
+/// # Panics
+///
+/// Panics on an empty timeline.
+#[must_use]
+pub fn pod_estimate(timeline: &Timeline) -> PodEstimate {
+    assert!(!timeline.events().is_empty(), "cannot schedule an empty timeline");
+    let mut compute = 0.0f64;
+    let mut memory = 0.0f64;
+    let mut overhead = 0.0f64;
+    let mut serial = 0.0f64;
+    for ev in timeline.events() {
+        for k in &ev.kernels {
+            compute += k.compute_s;
+            memory += k.memory_s;
+            overhead += k.time_s - k.compute_s.max(k.memory_s);
+            serial += k.time_s;
+        }
+    }
+    PodEstimate {
+        serial_s: serial,
+        compute_s: compute,
+        memory_s: memory,
+        overhead_s: overhead,
+        pod_s: compute.max(memory).max(overhead),
+    }
+}
+
+/// Converts a profiled timeline to a stream of resource demands for the
+/// event-driven co-scheduling simulation.
+#[must_use]
+pub fn to_stream(timeline: &Timeline) -> Vec<StreamKernel> {
+    timeline
+        .events()
+        .iter()
+        .flat_map(|ev| ev.kernels.iter())
+        .map(|k| StreamKernel {
+            compute_s: k.compute_s,
+            memory_s: k.memory_s,
+            overhead_s: (k.time_s - k.compute_s.max(k.memory_s)).max(0.0),
+        })
+        .collect()
+}
+
+/// Simulated throughput speedup of `k` phase-staggered pods of this
+/// timeline, from the event-driven multistream model (versus the
+/// analytical bound of [`pod_estimate`]).
+///
+/// # Panics
+///
+/// Panics on an empty timeline or `k == 0`.
+#[must_use]
+pub fn simulated_pod_speedup(timeline: &Timeline, k: usize) -> f64 {
+    staggered_speedup(&to_stream(timeline), k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmg_attn::AttnImpl;
+    use mmg_gpu::DeviceSpec;
+    use mmg_graph::{Graph, Op};
+    use mmg_models::suite::stable_diffusion::{StableDiffusionConfig, pipeline};
+    use mmg_profiler::Profiler;
+
+    fn sd_unet_timeline() -> Timeline {
+        let p = pipeline(&StableDiffusionConfig::default());
+        let prof = p.profile(&Profiler::new(DeviceSpec::a100_80gb(), AttnImpl::Flash));
+        prof.stage("unet_step").unwrap().timeline.clone()
+    }
+
+    #[test]
+    fn pod_speedup_within_bounds() {
+        let e = pod_estimate(&sd_unet_timeline());
+        let s = e.speedup();
+        assert!((1.0..2.5).contains(&s), "speedup {s}");
+    }
+
+    #[test]
+    fn diffusion_has_real_headroom() {
+        // The UNet mixes compute-bound convs with memory-bound norms —
+        // the exact imbalance Section V proposes exploiting.
+        let e = pod_estimate(&sd_unet_timeline());
+        assert!(e.speedup() > 1.1, "speedup {}", e.speedup());
+        assert!(e.dominant_pipe_utilization() < 0.95);
+    }
+
+    #[test]
+    fn pure_memory_workload_has_no_headroom() {
+        let mut g = Graph::new();
+        for i in 0..8 {
+            g.push(format!("n{i}"), Op::LayerNorm { rows: 1 << 14, cols: 1024 });
+        }
+        let t = Profiler::new(DeviceSpec::a100_80gb(), AttnImpl::Flash).profile(&g);
+        let e = pod_estimate(&t);
+        assert!(e.speedup() < 1.1, "speedup {}", e.speedup());
+    }
+
+    #[test]
+    fn accounting_is_consistent() {
+        let e = pod_estimate(&sd_unet_timeline());
+        assert!(e.pod_s <= e.serial_s + 1e-12);
+        assert!(e.compute_s > 0.0 && e.memory_s > 0.0);
+        // serial = Σ max(c, m, floor) + overhead ≥ max pipe totals.
+        assert!(e.serial_s >= e.compute_s.max(e.memory_s));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty timeline")]
+    fn empty_timeline_panics() {
+        let _ = pod_estimate(&Timeline::default());
+    }
+
+    #[test]
+    fn simulated_speedup_between_one_and_bound() {
+        // The event-driven simulation must stay between "no gain" and the
+        // analytical resource bound.
+        let t = sd_unet_timeline();
+        let bound = pod_estimate(&t).speedup();
+        for k in [2usize, 4] {
+            let sim = simulated_pod_speedup(&t, k);
+            assert!(sim >= 1.0 - 1e-9, "k={k}: sim {sim}");
+            assert!(sim <= bound + 1e-6, "k={k}: sim {sim} exceeds bound {bound}");
+        }
+    }
+
+    #[test]
+    fn simulation_approaches_bound_with_more_pods() {
+        let t = sd_unet_timeline();
+        let bound = pod_estimate(&t).speedup();
+        let sim4 = simulated_pod_speedup(&t, 4);
+        assert!(sim4 > 0.6 * bound, "sim4 {sim4} vs bound {bound}");
+    }
+}

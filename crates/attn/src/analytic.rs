@@ -1,0 +1,221 @@
+//! Analytic FLOP and HBM-byte accounting for attention variants.
+
+use std::fmt;
+
+/// Which attention implementation is being modelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttnImpl {
+    /// Materializes the `Sq×Skv` score matrix in HBM (PyTorch eager math).
+    Baseline,
+    /// FlashAttention-2 style tiled kernel: scores never leave SRAM.
+    Flash,
+    /// Flash-Decoding (Dao et al., 2023): flash attention plus KV-split
+    /// parallelism for the `1×N` decode shape, where FlashAttention-2's
+    /// per-query parallelism leaves the device idle. Identical numerics;
+    /// identical HBM traffic; much better decode-kernel occupancy.
+    FlashDecoding,
+}
+
+impl fmt::Display for AttnImpl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttnImpl::Baseline => f.write_str("baseline"),
+            AttnImpl::Flash => f.write_str("flash"),
+            AttnImpl::FlashDecoding => f.write_str("flash_decoding"),
+        }
+    }
+}
+
+/// Logical shape of one attention call.
+///
+/// `batch` already includes any dimensions folded into the batch by layout
+/// rearrangement (e.g. frames for spatial attention, pixels for temporal
+/// attention — see [`crate::video`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AttentionShape {
+    /// Effective batch size.
+    pub batch: usize,
+    /// Number of attention heads.
+    pub heads: usize,
+    /// Query sequence length.
+    pub seq_q: usize,
+    /// Key/value sequence length (differs from `seq_q` in cross-attention
+    /// and in autoregressive decode).
+    pub seq_kv: usize,
+    /// Per-head channel dimension.
+    pub head_dim: usize,
+}
+
+impl AttentionShape {
+    /// Self-attention: `seq_q == seq_kv`.
+    #[must_use]
+    pub fn self_attn(batch: usize, heads: usize, seq: usize, head_dim: usize) -> Self {
+        AttentionShape { batch, heads, seq_q: seq, seq_kv: seq, head_dim }
+    }
+
+    /// Cross-attention to an encoded text prompt of length `text_len`.
+    #[must_use]
+    pub fn cross_attn(batch: usize, heads: usize, seq: usize, text_len: usize, head_dim: usize) -> Self {
+        AttentionShape { batch, heads, seq_q: seq, seq_kv: text_len, head_dim }
+    }
+
+    /// One autoregressive decode step with a KV-cache of length `kv_len`:
+    /// the query is a single token.
+    #[must_use]
+    pub fn decode_step(batch: usize, heads: usize, kv_len: usize, head_dim: usize) -> Self {
+        AttentionShape { batch, heads, seq_q: 1, seq_kv: kv_len, head_dim }
+    }
+
+    /// FLOPs of the two main matmuls (`QKᵀ` and `P·V`), following the
+    /// paper's Fig. 13 methodology of counting only these.
+    #[must_use]
+    pub fn matmul_flops(&self) -> u64 {
+        let b = (self.batch * self.heads) as u64;
+        let (sq, skv, d) = (self.seq_q as u64, self.seq_kv as u64, self.head_dim as u64);
+        // QK^T: 2·Sq·Skv·d, P·V: 2·Sq·Skv·d.
+        4 * b * sq * skv * d
+    }
+
+    /// Total FLOPs including softmax (≈5 flops/score: max-sub, exp, sum,
+    /// div folded into a small constant) and scaling.
+    #[must_use]
+    pub fn total_flops(&self) -> u64 {
+        let b = (self.batch * self.heads) as u64;
+        let scores = b * self.seq_q as u64 * self.seq_kv as u64;
+        self.matmul_flops() + 5 * scores
+    }
+
+    /// Elements in the materialized score matrix (per batch·head summed).
+    #[must_use]
+    pub fn score_elems(&self) -> u64 {
+        (self.batch * self.heads) as u64 * self.seq_q as u64 * self.seq_kv as u64
+    }
+
+    /// Cost model for the chosen implementation at `bytes_per_elem`
+    /// precision (2 for FP16).
+    #[must_use]
+    pub fn costs(&self, which: AttnImpl, bytes_per_elem: usize) -> AttentionCosts {
+        let b = (self.batch * self.heads) as u64;
+        let (sq, skv, d) = (self.seq_q as u64, self.seq_kv as u64, self.head_dim as u64);
+        let e = bytes_per_elem as u64;
+        let qkv_io = b * (sq * d + 2 * skv * d) * e; // read Q, K, V
+        let out_io = b * sq * d * e; // write O
+        let scores = self.score_elems();
+        let hbm_bytes = match which {
+            AttnImpl::Baseline => {
+                // write scores, read for softmax, write probs, read probs for PV
+                qkv_io + out_io + 4 * scores * e
+            }
+            AttnImpl::Flash => {
+                // tiles stay in SRAM; only the per-row softmax statistics
+                // (running max + denominator, fp32) spill
+                let stats = b * sq * 2 * 4;
+                qkv_io + out_io + stats
+            }
+            AttnImpl::FlashDecoding => {
+                // flash traffic plus the split-KV partial results (one
+                // extra O-sized stream, folded over splits)
+                let stats = b * sq * 2 * 4;
+                qkv_io + 2 * out_io + stats
+            }
+        };
+        AttentionCosts { flops: self.total_flops(), hbm_bytes, score_bytes: scores * e }
+    }
+
+    /// HBM bytes needed to *materialize* the similarity matrix once —
+    /// the paper's Section V memory formula
+    /// `2·(HL·WL)·(HL·WL) + 2·(HL·WL)·text_encode` when queries come from
+    /// the latent and keys from latent/text.
+    #[must_use]
+    pub fn similarity_matrix_bytes(&self, bytes_per_elem: usize) -> u64 {
+        self.score_elems() * bytes_per_elem as u64
+    }
+}
+
+/// Modelled resource usage of one attention call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttentionCosts {
+    /// Total floating-point operations.
+    pub flops: u64,
+    /// Bytes moved to/from simulated HBM.
+    pub hbm_bytes: u64,
+    /// Bytes of the score matrix at the model precision.
+    pub score_bytes: u64,
+}
+
+impl AttentionCosts {
+    /// Arithmetic intensity in FLOPs per HBM byte.
+    #[must_use]
+    pub fn arithmetic_intensity(&self) -> f64 {
+        self.flops as f64 / self.hbm_bytes.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_flops_formula() {
+        let s = AttentionShape::self_attn(1, 1, 128, 64);
+        assert_eq!(s.matmul_flops(), 4 * 128 * 128 * 64);
+    }
+
+    #[test]
+    fn flash_moves_fewer_bytes_for_large_seq() {
+        let s = AttentionShape::self_attn(1, 8, 4096, 64);
+        let base = s.costs(AttnImpl::Baseline, 2);
+        let flash = s.costs(AttnImpl::Flash, 2);
+        assert_eq!(base.flops, flash.flops, "flash is exact, same flops");
+        assert!(base.hbm_bytes > 5 * flash.hbm_bytes, "large-N baseline is score-dominated");
+    }
+
+    #[test]
+    fn decode_step_sees_little_byte_reduction() {
+        // 1×N query: score matrix is tiny relative to KV reads.
+        let s = AttentionShape::decode_step(1, 32, 2048, 128);
+        let base = s.costs(AttnImpl::Baseline, 2);
+        let flash = s.costs(AttnImpl::Flash, 2);
+        let ratio = base.hbm_bytes as f64 / flash.hbm_bytes as f64;
+        assert!(ratio < 1.1, "decode ratio was {ratio}");
+    }
+
+    #[test]
+    fn prefill_gains_exceed_decode_gains() {
+        // The Section IV-B asymmetry, stated directly on the byte model.
+        let prefill = AttentionShape::self_attn(1, 8, 4096, 64);
+        let decode = AttentionShape::decode_step(1, 8, 4096, 64);
+        let gain = |s: &AttentionShape| {
+            s.costs(AttnImpl::Baseline, 2).hbm_bytes as f64
+                / s.costs(AttnImpl::Flash, 2).hbm_bytes as f64
+        };
+        assert!(gain(&prefill) > 2.0 * gain(&decode));
+    }
+
+    #[test]
+    fn cross_attention_uses_text_length() {
+        let s = AttentionShape::cross_attn(1, 8, 1024, 77, 64);
+        assert_eq!(s.seq_q, 1024);
+        assert_eq!(s.seq_kv, 77);
+        assert_eq!(s.score_elems(), 8 * 1024 * 77);
+    }
+
+    #[test]
+    fn similarity_matrix_matches_section_v_formula() {
+        // Section V: memory = 2·(HL·WL)² + 2·(HL·WL)·text for self + cross.
+        let (hl, wl, text) = (64usize, 64usize, 77usize);
+        let latent = hl * wl;
+        let self_a = AttentionShape::self_attn(1, 1, latent, 8);
+        let cross_a = AttentionShape::cross_attn(1, 1, latent, text, 8);
+        let total =
+            self_a.similarity_matrix_bytes(2) + cross_a.similarity_matrix_bytes(2);
+        let paper = 2 * latent as u64 * latent as u64 + 2 * latent as u64 * text as u64;
+        assert_eq!(total, paper);
+    }
+
+    #[test]
+    fn arithmetic_intensity_is_positive() {
+        let s = AttentionShape::self_attn(2, 4, 256, 64);
+        assert!(s.costs(AttnImpl::Flash, 2).arithmetic_intensity() > 0.0);
+    }
+}

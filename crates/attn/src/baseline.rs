@@ -1,0 +1,112 @@
+//! Reference multi-head attention that materializes the score matrix.
+
+use mmg_tensor::{ops, Result, Tensor, TensorError};
+
+/// Baseline scaled-dot-product attention.
+///
+/// `q`: `[batch·heads, seq_q, head_dim]`,
+/// `k`, `v`: `[batch·heads, seq_kv, head_dim]` →
+/// `[batch·heads, seq_q, head_dim]`.
+///
+/// Computes `softmax(Q·Kᵀ / √d)·V` with the full score matrix held in
+/// memory — the PyTorch-eager formulation the paper calls *Baseline
+/// Attention*.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidShape`] / [`TensorError::ShapeMismatch`]
+/// for malformed operands.
+pub fn baseline_attention(q: &Tensor, k: &Tensor, v: &Tensor) -> Result<Tensor> {
+    validate(q, k, v)?;
+    let d = *q.shape().dims().last().expect("rank 3");
+    let scale = 1.0 / (d as f32).sqrt();
+    // scores = Q·Kᵀ — transpose K per batch.
+    let kt = k.permute(&[0, 2, 1])?;
+    let scores = ops::scale(&ops::bmm(q, &kt)?, scale);
+    let probs = ops::softmax_last(&scores)?;
+    ops::bmm(&probs, v)
+}
+
+pub(crate) fn validate(q: &Tensor, k: &Tensor, v: &Tensor) -> Result<()> {
+    for (name, t) in [("q", q), ("k", k), ("v", v)] {
+        if t.shape().rank() != 3 {
+            return Err(TensorError::InvalidShape {
+                op: "attention",
+                reason: format!("{name} must be rank 3, got {}", t.shape()),
+            });
+        }
+    }
+    let (bq, dq) = (q.shape().dims()[0], q.shape().dims()[2]);
+    let (bk, sk, dk) = (k.shape().dims()[0], k.shape().dims()[1], k.shape().dims()[2]);
+    if bq != bk || dq != dk || k.shape().dims() != v.shape().dims() {
+        return Err(TensorError::ShapeMismatch {
+            op: "attention",
+            lhs: q.shape().dims().to_vec(),
+            rhs: k.shape().dims().to_vec(),
+        });
+    }
+    let _ = sk;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attention_to_single_kv_returns_v() {
+        // With one key/value, softmax is 1 and output == v broadcast.
+        let q = Tensor::randn(&[1, 4, 8], 1);
+        let k = Tensor::randn(&[1, 1, 8], 2);
+        let v = Tensor::randn(&[1, 1, 8], 3);
+        let o = baseline_attention(&q, &k, &v).unwrap();
+        for s in 0..4 {
+            for c in 0..8 {
+                assert!((o.at(&[0, s, c]) - v.at(&[0, 0, c])).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn output_rows_are_convex_combinations_of_v() {
+        let q = Tensor::randn(&[2, 3, 4], 4);
+        let k = Tensor::randn(&[2, 5, 4], 5);
+        let v = Tensor::ones(&[2, 5, 4]);
+        // Convex combination of all-ones rows is all-ones.
+        let o = baseline_attention(&q, &k, &v).unwrap();
+        for x in o.data() {
+            assert!((x - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn shape_validation() {
+        let q = Tensor::zeros(&[1, 4, 8]);
+        let k = Tensor::zeros(&[2, 4, 8]);
+        let v = Tensor::zeros(&[2, 4, 8]);
+        assert!(baseline_attention(&q, &k, &v).is_err());
+        let k2 = Tensor::zeros(&[1, 4, 6]);
+        assert!(baseline_attention(&q, &k2, &v).is_err());
+        let q2 = Tensor::zeros(&[4, 8]);
+        assert!(baseline_attention(&q2, &k, &v).is_err());
+    }
+
+    #[test]
+    fn cross_attention_shapes_allowed() {
+        // seq_q != seq_kv is legal (cross-attention).
+        let q = Tensor::randn(&[1, 16, 8], 6);
+        let k = Tensor::randn(&[1, 7, 8], 7);
+        let v = Tensor::randn(&[1, 7, 8], 8);
+        let o = baseline_attention(&q, &k, &v).unwrap();
+        assert_eq!(o.shape().dims(), &[1, 16, 8]);
+    }
+
+    #[test]
+    fn output_is_finite_for_large_logits() {
+        let q = mmg_tensor::ops::scale(&Tensor::ones(&[1, 4, 16]), 100.0);
+        let k = mmg_tensor::ops::scale(&Tensor::ones(&[1, 4, 16]), 100.0);
+        let v = Tensor::randn(&[1, 4, 16], 9);
+        let o = baseline_attention(&q, &k, &v).unwrap();
+        assert!(o.all_finite());
+    }
+}

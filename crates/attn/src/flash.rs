@@ -1,0 +1,143 @@
+//! Tiled attention with the online-softmax recurrence (FlashAttention).
+
+use mmg_tensor::{Result, Tensor};
+
+use crate::baseline::validate;
+
+/// Tiled scaled-dot-product attention, numerically equivalent to
+/// [`crate::baseline_attention`].
+///
+/// Processes key/value blocks of `block_kv` rows at a time, maintaining the
+/// running row maximum `m`, running denominator `l`, and unnormalized output
+/// accumulator — the FlashAttention-2 recurrence. On a GPU this keeps every
+/// block in SRAM so the `Sq×Skv` score matrix never touches HBM; here it
+/// demonstrates (and lets tests verify) that the tiling is *exact*, not an
+/// approximation.
+///
+/// # Errors
+///
+/// Returns the same shape errors as [`crate::baseline_attention`]; a
+/// `block_kv` of 0 is clamped to 1.
+pub fn flash_attention(q: &Tensor, k: &Tensor, v: &Tensor, block_kv: usize) -> Result<Tensor> {
+    validate(q, k, v)?;
+    let block_kv = block_kv.max(1);
+    let b = q.shape().dims()[0];
+    let sq = q.shape().dims()[1];
+    let skv = k.shape().dims()[1];
+    let d = q.shape().dims()[2];
+    let scale = 1.0 / (d as f32).sqrt();
+
+    let qd = q.data();
+    let kd = k.data();
+    let vd = v.data();
+    let mut out = vec![0.0f32; b * sq * d];
+
+    for batch in 0..b {
+        let qoff = batch * sq * d;
+        let kvoff = batch * skv * d;
+        for i in 0..sq {
+            let qrow = &qd[qoff + i * d..qoff + (i + 1) * d];
+            let mut m = f32::NEG_INFINITY; // running max
+            let mut l = 0.0f32; // running denominator
+            let mut acc = vec![0.0f32; d]; // unnormalized output
+            let mut j0 = 0;
+            while j0 < skv {
+                let j1 = (j0 + block_kv).min(skv);
+                // Block score computation.
+                let mut block_max = f32::NEG_INFINITY;
+                let mut scores = Vec::with_capacity(j1 - j0);
+                for j in j0..j1 {
+                    let krow = &kd[kvoff + j * d..kvoff + (j + 1) * d];
+                    let s: f32 = qrow.iter().zip(krow.iter()).map(|(a, b)| a * b).sum::<f32>() * scale;
+                    block_max = block_max.max(s);
+                    scores.push(s);
+                }
+                let m_new = m.max(block_max);
+                let correction = if m.is_finite() { (m - m_new).exp() } else { 0.0 };
+                l *= correction;
+                for a in &mut acc {
+                    *a *= correction;
+                }
+                for (idx, j) in (j0..j1).enumerate() {
+                    let p = (scores[idx] - m_new).exp();
+                    l += p;
+                    let vrow = &vd[kvoff + j * d..kvoff + (j + 1) * d];
+                    for (a, &vv) in acc.iter_mut().zip(vrow.iter()) {
+                        *a += p * vv;
+                    }
+                }
+                m = m_new;
+                j0 = j1;
+            }
+            let inv = 1.0 / l;
+            for (o, a) in out[qoff + i * d..qoff + (i + 1) * d].iter_mut().zip(acc.iter()) {
+                *o = a * inv;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[b, sq, d])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline_attention;
+
+    fn max_diff(block: usize, dims: (usize, usize, usize, usize), seed: u64) -> f32 {
+        let (b, sq, skv, d) = dims;
+        let q = Tensor::randn(&[b, sq, d], seed);
+        let k = Tensor::randn(&[b, skv, d], seed + 1);
+        let v = Tensor::randn(&[b, skv, d], seed + 2);
+        let base = baseline_attention(&q, &k, &v).unwrap();
+        let flash = flash_attention(&q, &k, &v, block).unwrap();
+        base.max_abs_diff(&flash).unwrap()
+    }
+
+    #[test]
+    fn flash_equals_baseline_various_blocks() {
+        for block in [1, 2, 3, 7, 16, 64, 1000] {
+            let d = max_diff(block, (2, 17, 23, 8), 42);
+            assert!(d < 1e-4, "block {block} diff {d}");
+        }
+    }
+
+    #[test]
+    fn flash_equals_baseline_cross_attention() {
+        let d = max_diff(8, (1, 64, 7, 16), 7);
+        assert!(d < 1e-4);
+    }
+
+    #[test]
+    fn flash_equals_baseline_decode_shape() {
+        // 1×N decode query.
+        let d = max_diff(16, (4, 1, 128, 32), 9);
+        assert!(d < 1e-4);
+    }
+
+    #[test]
+    fn flash_handles_extreme_logits() {
+        let q = mmg_tensor::ops::scale(&Tensor::ones(&[1, 2, 8]), 50.0);
+        let k = mmg_tensor::ops::scale(&Tensor::ones(&[1, 16, 8]), 50.0);
+        let v = Tensor::randn(&[1, 16, 8], 3);
+        let o = flash_attention(&q, &k, &v, 4).unwrap();
+        assert!(o.all_finite());
+        let b = baseline_attention(&q, &k, &v).unwrap();
+        assert!(o.max_abs_diff(&b).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn zero_block_is_clamped() {
+        let q = Tensor::randn(&[1, 4, 8], 11);
+        let k = Tensor::randn(&[1, 4, 8], 12);
+        let v = Tensor::randn(&[1, 4, 8], 13);
+        assert!(flash_attention(&q, &k, &v, 0).is_ok());
+    }
+
+    #[test]
+    fn invalid_shapes_rejected() {
+        let q = Tensor::zeros(&[1, 4, 8]);
+        let k = Tensor::zeros(&[1, 4, 6]);
+        let v = Tensor::zeros(&[1, 4, 6]);
+        assert!(flash_attention(&q, &k, &v, 8).is_err());
+    }
+}

@@ -1,0 +1,30 @@
+//! # mmg-attn
+//!
+//! Attention in both of the suite's execution planes:
+//!
+//! * **Numeric**: reference (baseline) multi-head attention that materializes
+//!   the full `N×N` score matrix, and a tiled *flash* implementation using
+//!   the online-softmax recurrence. The two are numerically equivalent —
+//!   a property the test suite enforces — which is exactly the contract
+//!   FlashAttention provides on real GPUs.
+//! * **Analytic**: FLOP and HBM-byte accounting for each variant. The byte
+//!   asymmetry (baseline streams the score matrix through HBM several times,
+//!   flash keeps tiles in SRAM) is what produces the paper's Section IV-B
+//!   result that diffusion models (prefill-like, large `N`) gain far more
+//!   from Flash Attention than autoregressive transformer TTI models
+//!   (decode-like, `1×N` queries).
+//!
+//! The [`video`] module implements the Fig. 10 tensor rearrangements that
+//! turn a `[frames, channels, height, width]` activation into *spatial*
+//! attention (sequence = H·W) or *temporal* attention (sequence = frames).
+
+#![deny(missing_docs)]
+
+mod analytic;
+mod baseline;
+mod flash;
+pub mod video;
+
+pub use analytic::{AttentionCosts, AttentionShape, AttnImpl};
+pub use baseline::baseline_attention;
+pub use flash::flash_attention;

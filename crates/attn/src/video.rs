@@ -1,0 +1,254 @@
+//! Spatial vs. temporal attention layouts for video (Fig. 10).
+//!
+//! A video activation is `[frames, channels, height, width]`. The paper's
+//! Fig. 10 shows how the Q/K/V dimensions are rearranged so the axis to be
+//! attended over lands in the *sequence* position while the remaining axes
+//! are folded into *batch*:
+//!
+//! * **Spatial**: batch = frames, sequence = `H·W`, dim = channels —
+//!   sequence length is proportional to image size.
+//! * **Temporal**: batch = `H·W`, sequence = frames, dim = channels —
+//!   sequence length is the number of frames.
+//!
+//! The temporal rearrangement is also what destroys cache locality
+//! (Fig. 12): consecutive sequence elements are `C·H·W` elements apart in
+//! the underlying frame-major storage.
+
+use mmg_tensor::{Result, Tensor, TensorError};
+
+use crate::{AttentionShape, baseline_attention, flash_attention};
+
+/// Which axis a video attention layer attends over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VideoAttentionKind {
+    /// Attend over pixels within each frame.
+    Spatial,
+    /// Attend over frames at each pixel position.
+    Temporal,
+}
+
+impl VideoAttentionKind {
+    /// Logical attention shape for a `[frames, channels, h, w]` activation
+    /// split across `heads` heads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is not divisible by `heads`.
+    #[must_use]
+    pub fn attention_shape(
+        self,
+        frames: usize,
+        channels: usize,
+        h: usize,
+        w: usize,
+        heads: usize,
+    ) -> AttentionShape {
+        assert!(
+            heads > 0 && channels.is_multiple_of(heads),
+            "channels {channels} not divisible by heads {heads}"
+        );
+        let head_dim = channels / heads;
+        match self {
+            VideoAttentionKind::Spatial => AttentionShape::self_attn(frames, heads, h * w, head_dim),
+            VideoAttentionKind::Temporal => AttentionShape::self_attn(h * w, heads, frames, head_dim),
+        }
+    }
+
+    /// Element stride between consecutive *sequence* positions in the
+    /// original frame-major `[F, C, H, W]` storage. Spatial attention walks
+    /// adjacent pixels (stride 1); temporal attention jumps a whole frame
+    /// (`C·H·W`), which is why its cache hit rate collapses.
+    #[must_use]
+    pub fn sequence_stride_elems(self, channels: usize, h: usize, w: usize) -> usize {
+        match self {
+            VideoAttentionKind::Spatial => 1,
+            VideoAttentionKind::Temporal => channels * h * w,
+        }
+    }
+}
+
+fn expect_video(x: &Tensor) -> Result<(usize, usize, usize, usize)> {
+    if x.shape().rank() != 4 {
+        return Err(TensorError::InvalidShape {
+            op: "video_layout",
+            reason: format!("expected [frames, channels, h, w], got {}", x.shape()),
+        });
+    }
+    let d = x.shape().dims();
+    Ok((d[0], d[1], d[2], d[3]))
+}
+
+/// Rearranges `[F, C, H, W]` → `[F, H·W, C]` (spatial attention layout).
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidShape`] for non-rank-4 input.
+pub fn to_spatial_layout(x: &Tensor) -> Result<Tensor> {
+    let (f, c, h, w) = expect_video(x)?;
+    // [F, C, H, W] -> [F, H, W, C] -> [F, H*W, C]
+    x.permute(&[0, 2, 3, 1])?.reshape(&[f, h * w, c])
+}
+
+/// Rearranges `[F, C, H, W]` → `[H·W, F, C]` (temporal attention layout).
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidShape`] for non-rank-4 input.
+pub fn to_temporal_layout(x: &Tensor) -> Result<Tensor> {
+    let (f, c, h, w) = expect_video(x)?;
+    // [F, C, H, W] -> [H, W, F, C] -> [H*W, F, C]
+    x.permute(&[2, 3, 0, 1])?.reshape(&[h * w, f, c])
+}
+
+/// Inverse of [`to_spatial_layout`].
+///
+/// # Errors
+///
+/// Returns shape errors if `x` is not `[F, H·W, C]` with `H·W == h·w`.
+pub fn from_spatial_layout(x: &Tensor, h: usize, w: usize) -> Result<Tensor> {
+    let d = x.shape().dims();
+    if x.shape().rank() != 3 || d[1] != h * w {
+        return Err(TensorError::InvalidShape {
+            op: "from_spatial_layout",
+            reason: format!("expected [F, {}, C], got {}", h * w, x.shape()),
+        });
+    }
+    let (f, c) = (d[0], d[2]);
+    x.reshape(&[f, h, w, c])?.permute(&[0, 3, 1, 2])
+}
+
+/// Inverse of [`to_temporal_layout`].
+///
+/// # Errors
+///
+/// Returns shape errors if `x` is not `[H·W, F, C]` with `H·W == h·w`.
+pub fn from_temporal_layout(x: &Tensor, h: usize, w: usize) -> Result<Tensor> {
+    let d = x.shape().dims();
+    if x.shape().rank() != 3 || d[0] != h * w {
+        return Err(TensorError::InvalidShape {
+            op: "from_temporal_layout",
+            reason: format!("expected [{}, F, C], got {}", h * w, x.shape()),
+        });
+    }
+    let (f, c) = (d[1], d[2]);
+    x.reshape(&[h, w, f, c])?.permute(&[2, 3, 0, 1])
+}
+
+/// Runs single-head self-attention over a video activation in the chosen
+/// layout and maps the result back to `[F, C, H, W]`.
+///
+/// `use_flash` selects the tiled implementation (block 64); both give the
+/// same numbers — the point of the numeric plane.
+///
+/// # Errors
+///
+/// Propagates layout and attention shape errors.
+pub fn video_self_attention(
+    x: &Tensor,
+    kind: VideoAttentionKind,
+    use_flash: bool,
+) -> Result<Tensor> {
+    let (_, _, h, w) = expect_video(x)?;
+    let qkv = match kind {
+        VideoAttentionKind::Spatial => to_spatial_layout(x)?,
+        VideoAttentionKind::Temporal => to_temporal_layout(x)?,
+    };
+    let out = if use_flash {
+        flash_attention(&qkv, &qkv, &qkv, 64)?
+    } else {
+        baseline_attention(&qkv, &qkv, &qkv)?
+    };
+    match kind {
+        VideoAttentionKind::Spatial => from_spatial_layout(&out, h, w),
+        VideoAttentionKind::Temporal => from_temporal_layout(&out, h, w),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spatial_shape_puts_pixels_in_sequence() {
+        let s = VideoAttentionKind::Spatial.attention_shape(16, 320, 32, 32, 8);
+        assert_eq!(s.batch, 16);
+        assert_eq!(s.seq_q, 1024);
+        assert_eq!(s.head_dim, 40);
+    }
+
+    #[test]
+    fn temporal_shape_puts_frames_in_sequence() {
+        let s = VideoAttentionKind::Temporal.attention_shape(16, 320, 32, 32, 8);
+        assert_eq!(s.batch, 1024);
+        assert_eq!(s.seq_q, 16);
+    }
+
+    #[test]
+    fn layout_roundtrips() {
+        let x = Tensor::randn(&[3, 4, 2, 5], 1);
+        let s = to_spatial_layout(&x).unwrap();
+        assert_eq!(s.shape().dims(), &[3, 10, 4]);
+        assert_eq!(from_spatial_layout(&s, 2, 5).unwrap(), x);
+        let t = to_temporal_layout(&x).unwrap();
+        assert_eq!(t.shape().dims(), &[10, 3, 4]);
+        assert_eq!(from_temporal_layout(&t, 2, 5).unwrap(), x);
+    }
+
+    #[test]
+    fn layouts_preserve_values() {
+        let x = Tensor::randn(&[2, 3, 2, 2], 2);
+        let s = to_spatial_layout(&x).unwrap();
+        // frame 1, pixel (1,0), channel 2
+        assert_eq!(s.at(&[1, 2, 2]), x.at(&[1, 2, 1, 0]));
+        let t = to_temporal_layout(&x).unwrap();
+        assert_eq!(t.at(&[2, 1, 0]), x.at(&[1, 0, 1, 0]));
+    }
+
+    #[test]
+    fn temporal_stride_is_frame_sized() {
+        assert_eq!(VideoAttentionKind::Spatial.sequence_stride_elems(320, 32, 32), 1);
+        assert_eq!(
+            VideoAttentionKind::Temporal.sequence_stride_elems(320, 32, 32),
+            320 * 32 * 32
+        );
+    }
+
+    #[test]
+    fn video_attention_flash_matches_baseline() {
+        let x = Tensor::randn(&[4, 8, 4, 4], 3);
+        for kind in [VideoAttentionKind::Spatial, VideoAttentionKind::Temporal] {
+            let a = video_self_attention(&x, kind, false).unwrap();
+            let b = video_self_attention(&x, kind, true).unwrap();
+            assert_eq!(a.shape().dims(), x.shape().dims());
+            assert!(a.max_abs_diff(&b).unwrap() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn spatial_and_temporal_differ() {
+        let x = Tensor::randn(&[4, 8, 4, 4], 4);
+        let a = video_self_attention(&x, VideoAttentionKind::Spatial, false).unwrap();
+        let b = video_self_attention(&x, VideoAttentionKind::Temporal, false).unwrap();
+        assert!(a.max_abs_diff(&b).unwrap() > 1e-3);
+    }
+
+    #[test]
+    fn single_frame_temporal_is_identityish() {
+        // With one frame, temporal attention attends to itself only.
+        let x = Tensor::randn(&[1, 4, 3, 3], 5);
+        let y = video_self_attention(&x, VideoAttentionKind::Temporal, false).unwrap();
+        assert!(x.max_abs_diff(&y).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn flops_match_fig13_scaling() {
+        // Temporal FLOPs scale quadratically in frames, spatial linearly.
+        let f = |frames: usize, kind: VideoAttentionKind| {
+            kind.attention_shape(frames, 64, 16, 16, 1).matmul_flops()
+        };
+        let sp_ratio = f(32, VideoAttentionKind::Spatial) / f(8, VideoAttentionKind::Spatial);
+        let tp_ratio = f(32, VideoAttentionKind::Temporal) / f(8, VideoAttentionKind::Temporal);
+        assert_eq!(sp_ratio, 4, "spatial linear in frames");
+        assert_eq!(tp_ratio, 16, "temporal quadratic in frames");
+    }
+}

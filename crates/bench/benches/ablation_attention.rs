@@ -1,0 +1,28 @@
+//! Ablation — numeric flash attention block-size sweep, plus baseline vs
+//! flash numeric equivalence cost (DESIGN.md design-choice: tiled online
+//! softmax must be exact, so its CPU cost is worth quantifying).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmg_attn::{baseline_attention, flash_attention};
+use mmg_bench::experiment_criterion;
+use mmg_tensor::Tensor;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let q = Tensor::randn(&[4, 128, 32], 1);
+    let k = Tensor::randn(&[4, 128, 32], 2);
+    let v = Tensor::randn(&[4, 128, 32], 3);
+    c.bench_function("attn/baseline_numeric", |b| {
+        b.iter(|| baseline_attention(black_box(&q), &k, &v).unwrap())
+    });
+    let mut group = c.benchmark_group("attn/flash_numeric");
+    for block in [8usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(block), &block, |b, &blk| {
+            b.iter(|| flash_attention(black_box(&q), &k, &v, blk).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! { name = benches; config = experiment_criterion(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Ablation — how the Table II speedups shift across GPU generations
+//! (V100 → A100 → H100): bandwidth/compute ratios move the baseline
+//! attention bottleneck.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmg_bench::{experiment_criterion, print_artifact};
+use mmg_core::experiments::table2;
+use mmg_gpu::DeviceSpec;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    for spec in [DeviceSpec::v100_32gb(), DeviceSpec::a100_80gb(), DeviceSpec::h100_80gb()] {
+        print_artifact(&format!("Table II on {}", spec.name), &table2::render(&table2::run(&spec)));
+    }
+    let spec = DeviceSpec::h100_80gb();
+    c.bench_function("ablation/table2_h100", |b| b.iter(|| table2::run(black_box(&spec))));
+}
+
+criterion_group! { name = benches; config = experiment_criterion(); targets = bench }
+criterion_main!(benches);

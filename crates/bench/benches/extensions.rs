@@ -1,0 +1,29 @@
+//! Extension experiments: Flash-Decoding, denoising pods, batch sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmg_analytics::scheduling::pod_estimate;
+use mmg_attn::AttnImpl;
+use mmg_bench::{experiment_criterion, print_artifact};
+use mmg_core::experiments::{batch, flashdec, pods};
+use mmg_gpu::DeviceSpec;
+use mmg_models::suite::stable_diffusion::{pipeline, StableDiffusionConfig};
+use mmg_profiler::Profiler;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let spec = DeviceSpec::a100_80gb();
+    print_artifact("Flash-Decoding", &flashdec::render(&flashdec::run(&spec)));
+    print_artifact("Denoising pods", &pods::render(&pods::run(&spec)));
+    print_artifact("Batch sweep", &batch::render(&batch::run(&spec, &batch::default_batches())));
+
+    let p = pipeline(&StableDiffusionConfig::default());
+    let prof = p.profile(&Profiler::new(spec.clone(), AttnImpl::Flash));
+    let unet = prof.stage("unet_step").unwrap().timeline.clone();
+    c.bench_function("extensions/pod_estimate", |b| b.iter(|| pod_estimate(black_box(&unet))));
+    c.bench_function("extensions/batch_sweep", |b| {
+        b.iter(|| batch::run(black_box(&spec), &[1, 8]))
+    });
+}
+
+criterion_group! { name = benches; config = experiment_criterion(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Fig. 11 — temporal vs spatial attention in Make-A-Video.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmg_bench::{experiment_criterion, print_artifact};
+use mmg_core::experiments::fig11;
+use mmg_gpu::DeviceSpec;
+use mmg_tensor::Tensor;
+use mmg_attn::video::{video_self_attention, VideoAttentionKind};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let spec = DeviceSpec::a100_80gb();
+    print_artifact("Fig. 11", &fig11::render(&fig11::run(&spec)));
+    c.bench_function("fig11/pipeline_split", |b| b.iter(|| fig11::run(black_box(&spec))));
+    // Numeric-plane counterpart: real spatial vs temporal attention math
+    // on a reduced clip.
+    let clip = Tensor::randn(&[8, 16, 8, 8], 42);
+    let mut group = c.benchmark_group("fig11/numeric");
+    for kind in [VideoAttentionKind::Spatial, VideoAttentionKind::Temporal] {
+        group.bench_function(format!("{kind:?}"), |b| {
+            b.iter(|| video_self_attention(black_box(&clip), kind, true).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! { name = benches; config = experiment_criterion(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Fig. 12 — trace-driven cache simulation of attention kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmg_bench::{experiment_criterion, print_artifact};
+use mmg_core::experiments::fig12;
+use mmg_gpu::DeviceSpec;
+use mmg_kernels::access::{AttentionKernel, VideoAttentionAccess};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let spec = DeviceSpec::a100_80gb();
+    print_artifact("Fig. 12", &fig12::render(&fig12::run(&spec, 200_000)));
+    let v = VideoAttentionAccess::make_a_video_base();
+    let mut group = c.benchmark_group("fig12");
+    for (name, temporal) in [("spatial", false), ("temporal", true)] {
+        group.bench_function(format!("gemm_{name}"), |b| {
+            b.iter(|| v.simulate(AttentionKernel::Gemm, black_box(temporal), &spec, 100_000))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! { name = benches; config = experiment_criterion(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Fig. 13 — temporal attention FLOP scaling with frame count.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmg_analytics::temporal::frame_sweep;
+use mmg_bench::{experiment_criterion, print_artifact};
+use mmg_core::experiments::fig13;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    print_artifact("Fig. 13", &fig13::render(&fig13::run(16, &fig13::default_frames())));
+    let frames: Vec<usize> = (1..=256).collect();
+    c.bench_function("fig13/frame_sweep_256", |b| {
+        b.iter(|| frame_sweep(black_box(&frames), 16, 320, 8))
+    });
+}
+
+criterion_group! { name = benches; config = experiment_criterion(); targets = bench }
+criterion_main!(benches);

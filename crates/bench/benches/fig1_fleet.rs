@@ -1,0 +1,20 @@
+//! Fig. 1 — synthetic fleet generation and aggregation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmg_analytics::fleet::{generate_fleet, summarize, FleetConfig};
+use mmg_bench::{experiment_criterion, print_artifact};
+use mmg_core::experiments::fig1;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    print_artifact("Fig. 1", &fig1::render(&fig1::run(42)));
+    let cfg = FleetConfig::default();
+    c.bench_function("fig1/generate_fleet", |b| {
+        b.iter(|| generate_fleet(black_box(&cfg), black_box(42)))
+    });
+    let jobs = generate_fleet(&cfg, 42);
+    c.bench_function("fig1/summarize", |b| b.iter(|| summarize(black_box(&jobs))));
+}
+
+criterion_group! { name = benches; config = experiment_criterion(); targets = bench }
+criterion_main!(benches);

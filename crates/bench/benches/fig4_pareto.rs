@@ -1,0 +1,17 @@
+//! Fig. 4 — Pareto frontier over the published model landscape.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmg_analytics::pareto::frontier;
+use mmg_bench::{experiment_criterion, print_artifact};
+use mmg_core::experiments::fig4;
+use mmg_models::registry;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    print_artifact("Fig. 4", &fig4::render(&fig4::run()));
+    let records = registry();
+    c.bench_function("fig4/frontier", |b| b.iter(|| frontier(black_box(&records))));
+}
+
+criterion_group! { name = benches; config = experiment_criterion(); targets = bench }
+criterion_main!(benches);

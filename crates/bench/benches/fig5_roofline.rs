@@ -1,0 +1,17 @@
+//! Fig. 5 — roofline placement of the model suite.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmg_analytics::roofline::suite_roofline;
+use mmg_bench::{experiment_criterion, print_artifact};
+use mmg_core::experiments::fig5;
+use mmg_gpu::DeviceSpec;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let spec = DeviceSpec::a100_80gb();
+    print_artifact("Fig. 5", &fig5::render(&fig5::run(&spec)));
+    c.bench_function("fig5/suite_roofline", |b| b.iter(|| suite_roofline(black_box(&spec))));
+}
+
+criterion_group! { name = benches; config = experiment_criterion(); targets = bench }
+criterion_main!(benches);

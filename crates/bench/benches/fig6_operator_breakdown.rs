@@ -1,0 +1,30 @@
+//! Fig. 6 — operator breakdown across the suite under both attention
+//! implementations. Benchmarks the per-model profiling path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmg_attn::AttnImpl;
+use mmg_bench::{experiment_criterion, print_artifact};
+use mmg_core::experiments::fig6;
+use mmg_gpu::DeviceSpec;
+use mmg_models::{suite, ModelId};
+use mmg_profiler::Profiler;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let spec = DeviceSpec::a100_80gb();
+    print_artifact("Fig. 6", &fig6::render(&fig6::run(&spec)));
+    let mut group = c.benchmark_group("fig6");
+    for id in [ModelId::StableDiffusion, ModelId::Llama2, ModelId::MakeAVideo] {
+        let pipeline = suite::build(id);
+        for (tag, attn) in [("baseline", AttnImpl::Baseline), ("flash", AttnImpl::Flash)] {
+            let profiler = Profiler::new(spec.clone(), attn);
+            group.bench_function(format!("{id}/{tag}"), |b| {
+                b.iter(|| black_box(&pipeline).profile(&profiler).breakdown())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! { name = benches; config = experiment_criterion(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Fig. 7 — sequence-length tracing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmg_attn::AttnImpl;
+use mmg_bench::{experiment_criterion, print_artifact};
+use mmg_core::experiments::fig7;
+use mmg_gpu::DeviceSpec;
+use mmg_models::suite;
+use mmg_models::ModelId;
+use mmg_profiler::{seqlen, Profiler};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let spec = DeviceSpec::a100_80gb();
+    print_artifact("Fig. 7", &fig7::render(&fig7::run(&spec)));
+    let profiler = Profiler::new(spec, AttnImpl::Flash);
+    let sd = suite::build(ModelId::StableDiffusion);
+    let timeline = sd.profile(&profiler).fundamental_period();
+    c.bench_function("fig7/trace_extraction", |b| {
+        b.iter(|| seqlen::trace(black_box(&timeline)))
+    });
+}
+
+criterion_group! { name = benches; config = experiment_criterion(); targets = bench }
+criterion_main!(benches);

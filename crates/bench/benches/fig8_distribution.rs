@@ -1,0 +1,18 @@
+//! Fig. 8 — sequence-length distribution vs image size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmg_bench::{experiment_criterion, print_artifact};
+use mmg_core::experiments::fig8;
+use mmg_gpu::DeviceSpec;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let spec = DeviceSpec::a100_80gb();
+    print_artifact("Fig. 8", &fig8::render(&fig8::run(&spec, &fig8::default_sizes())));
+    c.bench_function("fig8/sweep", |b| {
+        b.iter(|| fig8::run(black_box(&spec), &[256, 512]))
+    });
+}
+
+criterion_group! { name = benches; config = experiment_criterion(); targets = bench }
+criterion_main!(benches);

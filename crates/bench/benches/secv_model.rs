@@ -1,0 +1,21 @@
+//! Section V — analytical memory model evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmg_analytics::seqlen_model::DiffusionSeqModel;
+use mmg_bench::{experiment_criterion, print_artifact};
+use mmg_core::experiments::secv;
+use mmg_gpu::DeviceSpec;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let spec = DeviceSpec::a100_80gb();
+    print_artifact("Section V", &secv::render(&secv::run(&spec, 512)));
+    c.bench_function("secv/cumulative_memory", |b| {
+        b.iter(|| {
+            DiffusionSeqModel::stable_diffusion(black_box(512)).cumulative_similarity_bytes()
+        })
+    });
+}
+
+criterion_group! { name = benches; config = experiment_criterion(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Table II — end-to-end Flash Attention speedups.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmg_bench::{experiment_criterion, print_artifact};
+use mmg_core::experiments::table2;
+use mmg_gpu::DeviceSpec;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let spec = DeviceSpec::a100_80gb();
+    print_artifact("Table II", &table2::render(&table2::run(&spec)));
+    c.bench_function("table2/full_suite_both_impls", |b| {
+        b.iter(|| table2::run(black_box(&spec)))
+    });
+}
+
+criterion_group! { name = benches; config = experiment_criterion(); targets = bench }
+criterion_main!(benches);

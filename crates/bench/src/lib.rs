@@ -1,0 +1,27 @@
+//! # mmg-bench
+//!
+//! Criterion benchmark harness: one bench target per paper table/figure
+//! (see `benches/`). Each target first *prints* the regenerated artifact —
+//! so `cargo bench` both re-derives the paper's rows/series and measures
+//! how long the reproduction itself takes — then benchmarks the
+//! experiment's hot path.
+
+#![deny(missing_docs)]
+
+use criterion::Criterion;
+
+/// A Criterion configured for the experiment workloads: small sample
+/// counts (each experiment iteration profiles whole model suites) and a
+/// short measurement window, so `cargo bench` completes in minutes.
+#[must_use]
+pub fn experiment_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(4))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+/// Prints a regenerated artifact with a separating banner.
+pub fn print_artifact(name: &str, body: &str) {
+    println!("\n================ {name} ================\n{body}");
+}

@@ -1,0 +1,78 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro all              # every experiment, paper order
+//! repro table2 fig6      # selected experiments
+//! repro --list           # available experiment ids
+//! repro --device v100 …  # run on a different simulated device
+//! ```
+
+use std::process::ExitCode;
+
+use mmg_core::{run_experiment, run_experiment_json, ExperimentId};
+use mmg_gpu::DeviceSpec;
+
+fn device_by_name(name: &str) -> Option<DeviceSpec> {
+    match name.to_lowercase().as_str() {
+        "a100" | "a100-80gb" => Some(DeviceSpec::a100_80gb()),
+        "a100-40gb" => Some(DeviceSpec::a100_40gb()),
+        "v100" => Some(DeviceSpec::v100_32gb()),
+        "h100" => Some(DeviceSpec::h100_80gb()),
+        _ => None,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut spec = DeviceSpec::a100_80gb();
+    let mut json = false;
+    let mut targets: Vec<ExperimentId> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--list" => {
+                for e in ExperimentId::ALL {
+                    println!("{e}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--json" => json = true,
+            "--device" => {
+                i += 1;
+                let Some(name) = args.get(i) else {
+                    eprintln!("--device requires a name (a100 | a100-40gb | v100 | h100)");
+                    return ExitCode::FAILURE;
+                };
+                let Some(d) = device_by_name(name) else {
+                    eprintln!("unknown device '{name}'");
+                    return ExitCode::FAILURE;
+                };
+                spec = d;
+            }
+            "all" => targets.extend(ExperimentId::ALL),
+            other => match other.parse::<ExperimentId>() {
+                Ok(id) => targets.push(id),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+        }
+        i += 1;
+    }
+    if targets.is_empty() {
+        eprintln!("usage: repro [--device <name>] [--json] <all | fig1 | table1 | fig4 | fig5 | fig6 | table2 | table3 | fig7 | fig8 | fig9 | fig11 | fig12 | fig13 | secv | flashdec | pods | batch | tp | ablations>…");
+        return ExitCode::FAILURE;
+    }
+    if json {
+        for id in targets {
+            println!("{}", run_experiment_json(id, &spec));
+        }
+    } else {
+        println!("device: {}\n", spec.name);
+        for id in targets {
+            println!("{}", run_experiment(id, &spec));
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,97 @@
+//! Fig. 1 — fleet-wide GPUs-per-parameter and memory utilization.
+
+use mmg_analytics::fleet::{generate_fleet, summarize, FleetConfig, FleetSummary, TrainingJob};
+use mmg_analytics::training::derived_fleet;
+use mmg_gpu::DeviceSpec;
+use mmg_profiler::report::render_table;
+use serde::{Deserialize, Serialize};
+
+/// Fig. 1 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig1Result {
+    /// Jobs in the synthetic fleet.
+    pub jobs: usize,
+    /// GPUs-per-parameter ratio (paper: 14x).
+    pub gpus_per_param_ratio: f64,
+    /// Memory-utilization ratio (paper: 1.4x).
+    pub memory_util_ratio: f64,
+    /// Mean LLM memory utilization.
+    pub llm_memory_util: f64,
+    /// Mean TTI/TTV memory utilization.
+    pub tti_memory_util: f64,
+    /// GPUs-per-parameter ratio derived from first principles (training
+    /// FLOP budgets of the suite's own graphs on the simulated device).
+    pub derived_gpus_per_param_ratio: f64,
+}
+
+/// Runs the fleet aggregation over the default synthetic fleet.
+#[must_use]
+pub fn run(seed: u64) -> Fig1Result {
+    let cfg = FleetConfig::default();
+    let jobs = generate_fleet(&cfg, seed);
+    let s: FleetSummary = summarize(&jobs);
+    let spec = DeviceSpec::a100_80gb();
+    let derived: Vec<TrainingJob> =
+        derived_fleet().iter().map(|m| m.as_fleet_job(&spec)).collect();
+    Fig1Result {
+        jobs: jobs.len(),
+        gpus_per_param_ratio: s.gpus_per_param_ratio,
+        memory_util_ratio: s.memory_util_ratio,
+        llm_memory_util: s.llm_memory_util,
+        tti_memory_util: s.tti_memory_util,
+        derived_gpus_per_param_ratio: summarize(&derived).gpus_per_param_ratio,
+    }
+}
+
+/// Renders the Fig. 1 table.
+#[must_use]
+pub fn render(r: &Fig1Result) -> String {
+    let rows = vec![
+        (
+            "GPUs per model parameter (TTI/LLM)".to_owned(),
+            vec![format!("{:.1}x", r.gpus_per_param_ratio), "14x".to_owned()],
+        ),
+        (
+            "Avg memory utilization (TTI/LLM)".to_owned(),
+            vec![format!("{:.2}x", r.memory_util_ratio), "1.4x".to_owned()],
+        ),
+        (
+            "LLM memory utilization".to_owned(),
+            vec![format!("{:.0}%", r.llm_memory_util * 100.0), "~60%".to_owned()],
+        ),
+        (
+            "TTI/TTV memory utilization".to_owned(),
+            vec![format!("{:.0}%", r.tti_memory_util * 100.0), "~70%+".to_owned()],
+        ),
+        (
+            "GPUs/param ratio (derived from training FLOP budgets)".to_owned(),
+            vec![format!("{:.1}x", r.derived_gpus_per_param_ratio), "14x".to_owned()],
+        ),
+    ];
+    format!(
+        "Fig. 1 — fleet-wide characterization ({} synthetic jobs)\n{}",
+        r.jobs,
+        render_table(&["Metric", "Measured", "Paper"], &rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_in_band() {
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a, b);
+        assert!((8.0..22.0).contains(&a.gpus_per_param_ratio));
+        assert!((1.2..1.7).contains(&a.memory_util_ratio));
+    }
+
+    #[test]
+    fn renders_both_ratios() {
+        let s = render(&run(42));
+        assert!(s.contains("GPUs per model parameter"));
+        assert!(s.contains("14x"));
+    }
+}

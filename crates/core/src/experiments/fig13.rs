@@ -1,0 +1,106 @@
+//! Fig. 13 — temporal vs. spatial attention FLOPs as frame count grows.
+
+use mmg_analytics::temporal::{crossover_frames, frame_sweep};
+use mmg_profiler::report::render_table;
+use serde::{Deserialize, Serialize};
+
+/// Fig. 13 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig13Result {
+    /// Image edge used.
+    pub res: usize,
+    /// `(frames, spatial flops, temporal flops)` series.
+    pub series: Vec<(usize, u64, u64)>,
+    /// Crossover frame count (temporal exceeds spatial), if within sweep.
+    pub crossover: Option<usize>,
+    /// Crossover at double the resolution — the paper notes higher
+    /// resolution prolongs the crossover.
+    pub crossover_high_res: Option<usize>,
+}
+
+/// Sweeps frames at a TimeSformer-like benchmark point (following the
+/// paper's benchmark built on ref \[40]): `res`×`res` grid, 320 channels,
+/// 8 heads.
+#[must_use]
+pub fn run(res: usize, frames: &[usize]) -> Fig13Result {
+    let pts = frame_sweep(frames, res, 320, 8);
+    let max = frames.iter().copied().max().unwrap_or(0).max(1_000_000);
+    Fig13Result {
+        res,
+        series: pts.iter().map(|p| (p.frames, p.spatial_flops, p.temporal_flops)).collect(),
+        crossover: crossover_frames(res, 320, 8, max),
+        crossover_high_res: crossover_frames(res * 2, 320, 8, max * 4),
+    }
+}
+
+/// Default frame sweep.
+#[must_use]
+pub fn default_frames() -> Vec<usize> {
+    vec![4, 8, 16, 32, 64, 128, 256, 512]
+}
+
+/// Renders Fig. 13.
+#[must_use]
+pub fn render(r: &Fig13Result) -> String {
+    let rows: Vec<(String, Vec<String>)> = r
+        .series
+        .iter()
+        .map(|&(f, s, t)| {
+            (
+                format!("{f} frames"),
+                vec![
+                    format!("{:.2} G", s as f64 / 1e9),
+                    format!("{:.2} G", t as f64 / 1e9),
+                    if t > s { "temporal".into() } else { "spatial".into() },
+                ],
+            )
+        })
+        .collect();
+    format!(
+        "Fig. 13 — attention FLOPs vs frames at {0}x{0} (crossover at {1:?} frames; {2}x{2}: {3:?})\n{4}",
+        r.res,
+        r.crossover,
+        r.res * 2,
+        r.crossover_high_res,
+        render_table(&["Frames", "Spatial FLOPs", "Temporal FLOPs", "Dominant"], &rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> Fig13Result {
+        run(16, &default_frames())
+    }
+
+    #[test]
+    fn temporal_overtakes_spatial() {
+        let r = result();
+        let first = r.series.first().unwrap();
+        let last = r.series.last().unwrap();
+        assert!(first.2 < first.1, "temporal cheaper at few frames");
+        assert!(last.2 > last.1, "temporal dominates at many frames");
+        assert_eq!(r.crossover, Some(16 * 16 + 1));
+    }
+
+    #[test]
+    fn higher_resolution_prolongs_crossover() {
+        let r = result();
+        assert!(r.crossover_high_res.unwrap() > r.crossover.unwrap());
+    }
+
+    #[test]
+    fn growth_rates() {
+        let r = result();
+        let f = |i: usize| r.series[i];
+        // frames 4 -> 8: spatial x2, temporal x4.
+        assert_eq!(f(1).1 / f(0).1, 2);
+        assert_eq!(f(1).2 / f(0).2, 4);
+    }
+
+    #[test]
+    fn renders_crossover() {
+        assert!(render(&result()).contains("crossover"));
+    }
+}

@@ -1,0 +1,98 @@
+//! Fig. 4 — FID vs. parameter-count Pareto landscape.
+
+use mmg_analytics::pareto::{frontier, ParetoPoint};
+use mmg_models::registry;
+use mmg_profiler::report::render_table;
+use serde::{Deserialize, Serialize};
+
+/// One scatter point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig4Row {
+    /// Model name.
+    pub model: String,
+    /// Architecture class.
+    pub arch: String,
+    /// Parameters in billions.
+    pub params_b: f64,
+    /// Published COCO FID.
+    pub fid: f64,
+    /// Frontier membership.
+    pub on_frontier: bool,
+}
+
+/// Fig. 4 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig4Result {
+    /// All points, frontier members first, then by FID.
+    pub rows: Vec<Fig4Row>,
+}
+
+/// Computes the landscape and frontier.
+#[must_use]
+pub fn run() -> Fig4Result {
+    let mut rows: Vec<Fig4Row> = frontier(&registry())
+        .into_iter()
+        .map(|p: ParetoPoint| Fig4Row {
+            model: p.record.name.to_owned(),
+            arch: p.record.arch.to_string(),
+            params_b: p.record.params_b,
+            fid: p.record.fid,
+            on_frontier: p.on_frontier,
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.on_frontier.cmp(&a.on_frontier).then(a.fid.total_cmp(&b.fid))
+    });
+    Fig4Result { rows }
+}
+
+/// Renders Fig. 4.
+#[must_use]
+pub fn render(r: &Fig4Result) -> String {
+    let rows: Vec<(String, Vec<String>)> = r
+        .rows
+        .iter()
+        .map(|row| {
+            (
+                row.model.clone(),
+                vec![
+                    row.arch.clone(),
+                    format!("{:.2}B", row.params_b),
+                    format!("{:.2}", row.fid),
+                    if row.on_frontier { "yes".into() } else { "-".into() },
+                ],
+            )
+        })
+        .collect();
+    format!(
+        "Fig. 4 — quality/size landscape (published values) and Pareto frontier\n{}",
+        render_table(&["Model", "Architecture", "Params", "FID", "Pareto"], &rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontier_members_lead() {
+        let r = run();
+        assert!(r.rows[0].on_frontier);
+        let first_off = r.rows.iter().position(|x| !x.on_frontier).unwrap();
+        assert!(r.rows[first_off..].iter().all(|x| !x.on_frontier));
+    }
+
+    #[test]
+    fn pareto_models_present() {
+        let r = run();
+        for name in ["Imagen", "StableDiffusion", "Parti"] {
+            let row = r.rows.iter().find(|x| x.model == name).unwrap();
+            assert!(row.on_frontier, "{name}");
+        }
+    }
+
+    #[test]
+    fn renders() {
+        assert!(render(&run()).contains("Pareto"));
+    }
+}

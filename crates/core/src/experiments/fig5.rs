@@ -1,0 +1,101 @@
+//! Fig. 5 — the model suite on the A100 roofline.
+
+use mmg_analytics::roofline::suite_roofline;
+use mmg_gpu::{DeviceSpec, Roofline};
+use mmg_profiler::report::render_table;
+use serde::{Deserialize, Serialize};
+
+/// One roofline placement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig5Row {
+    /// Model name.
+    pub model: String,
+    /// Arithmetic intensity (FLOPs per weight byte read).
+    pub intensity: f64,
+    /// Attainable TFLOP/s at that intensity.
+    pub attainable_tflops: f64,
+    /// Whether the point is compute-bound.
+    pub compute_bound: bool,
+}
+
+/// Fig. 5 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig5Result {
+    /// Device name.
+    pub device: String,
+    /// Ridge point (FLOPs/byte).
+    pub ridge: f64,
+    /// Suite placements.
+    pub rows: Vec<Fig5Row>,
+}
+
+/// Places the suite on the device roofline.
+#[must_use]
+pub fn run(spec: &DeviceSpec) -> Fig5Result {
+    let rows = suite_roofline(spec)
+        .into_iter()
+        .map(|p| Fig5Row {
+            model: p.label,
+            intensity: p.intensity_flops_per_byte,
+            attainable_tflops: p.tflops,
+            compute_bound: p.compute_bound,
+        })
+        .collect();
+    Fig5Result {
+        device: spec.name.clone(),
+        ridge: Roofline::new(spec.clone()).ridge_point(),
+        rows,
+    }
+}
+
+/// Renders Fig. 5.
+#[must_use]
+pub fn render(r: &Fig5Result) -> String {
+    let rows: Vec<(String, Vec<String>)> = r
+        .rows
+        .iter()
+        .map(|row| {
+            (
+                row.model.clone(),
+                vec![
+                    format!("{:.1}", row.intensity),
+                    format!("{:.0}", row.attainable_tflops),
+                    if row.compute_bound { "compute".into() } else { "memory".into() },
+                ],
+            )
+        })
+        .collect();
+    format!(
+        "Fig. 5 — roofline on {} (ridge = {:.0} FLOPs/byte)\n{}",
+        r.device,
+        r.ridge,
+        render_table(&["Model", "FLOPs/byte", "Attainable TF/s", "Bound"], &rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diffusion_above_ridge_parti_below() {
+        let r = run(&DeviceSpec::a100_80gb());
+        let get = |m: &str| r.rows.iter().find(|x| x.model == m).unwrap().clone();
+        assert!(get("StableDiffusion").compute_bound);
+        assert!(get("Imagen").compute_bound);
+        assert!(!get("Parti").compute_bound);
+    }
+
+    #[test]
+    fn attainable_capped_at_peak() {
+        let r = run(&DeviceSpec::a100_80gb());
+        for row in &r.rows {
+            assert!(row.attainable_tflops <= 312.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn renders() {
+        assert!(render(&run(&DeviceSpec::a100_80gb())).contains("ridge"));
+    }
+}

@@ -1,0 +1,21 @@
+//! One module per reproduced table/figure, plus extensions.
+
+pub mod ablations;
+pub mod batch;
+pub mod fig1;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod flashdec;
+pub mod pods;
+pub mod secv;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod tp;

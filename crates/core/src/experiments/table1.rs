@@ -1,0 +1,121 @@
+//! Table I — taxonomy of the TTI models (measured from our builders).
+
+use mmg_graph::memory::MemoryClass;
+use mmg_models::{suite, ModelId};
+use mmg_profiler::report::render_table;
+use serde::{Deserialize, Serialize};
+
+/// One taxonomy row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaxonomyRow {
+    /// Model name.
+    pub model: String,
+    /// Architecture class.
+    pub arch: String,
+    /// Measured parameter count (billions), from the built pipelines.
+    pub params_b: f64,
+    /// End-to-end FLOPs of one inference (TFLOPs).
+    pub tflops: f64,
+    /// Arithmetic intensity (FLOPs per weight byte read).
+    pub intensity: f64,
+    /// Inference memory footprint in GiB (weights + peak activations +
+    /// KV cache at FP16).
+    pub memory_gib: f64,
+    /// Table I's qualitative memory axis.
+    pub memory_class: String,
+}
+
+/// Table I result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Result {
+    /// Rows in suite order.
+    pub rows: Vec<TaxonomyRow>,
+}
+
+/// Builds the taxonomy from the model builders.
+#[must_use]
+pub fn run() -> Table1Result {
+    let rows = ModelId::ALL
+        .iter()
+        .map(|&id| {
+            let p = suite::build(id);
+            TaxonomyRow {
+                model: p.name.clone(),
+                arch: id.arch().to_string(),
+                params_b: p.param_count() as f64 / 1e9,
+                tflops: p.total_flops() as f64 / 1e12,
+                intensity: p.arithmetic_intensity(),
+                memory_gib: p.memory_footprint().total_bytes() as f64 / (1u64 << 30) as f64,
+                memory_class: MemoryClass::of(p.memory_footprint().total_bytes()).to_string(),
+            }
+        })
+        .collect();
+    Table1Result { rows }
+}
+
+/// Renders Table I.
+#[must_use]
+pub fn render(r: &Table1Result) -> String {
+    let rows: Vec<(String, Vec<String>)> = r
+        .rows
+        .iter()
+        .map(|row| {
+            (
+                row.model.clone(),
+                vec![
+                    row.arch.clone(),
+                    format!("{:.2}B", row.params_b),
+                    format!("{:.1}", row.tflops),
+                    format!("{:.0}", row.intensity),
+                    format!("{:.1} GiB ({})", row.memory_gib, row.memory_class),
+                ],
+            )
+        })
+        .collect();
+    format!(
+        "Table I — model taxonomy (measured from the built pipelines)\n{}",
+        render_table(&["Model", "Architecture", "Params", "TFLOPs", "FLOPs/B", "Memory"], &rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_whole_suite() {
+        let r = run();
+        assert_eq!(r.rows.len(), 8);
+        for row in &r.rows {
+            assert!(row.params_b > 0.1, "{}", row.model);
+            assert!(row.tflops > 0.0);
+        }
+    }
+
+    #[test]
+    fn parti_is_largest_tti() {
+        let r = run();
+        let parti = r.rows.iter().find(|x| x.model == "Parti").unwrap();
+        for row in r.rows.iter().filter(|x| x.model != "Parti") {
+            assert!(parti.params_b > row.params_b, "Parti vs {}", row.model);
+        }
+        assert!((14.0..26.0).contains(&parti.params_b));
+    }
+
+    #[test]
+    fn memory_axis_matches_table_i() {
+        // Table I: Parti High, SD Low, Imagen Medium-ish.
+        let r = run();
+        let get = |m: &str| r.rows.iter().find(|x| x.model == m).unwrap();
+        assert_eq!(get("Parti").memory_class, "High");
+        assert_eq!(get("StableDiffusion").memory_class, "Low");
+        assert!(get("Imagen").memory_gib > get("StableDiffusion").memory_gib);
+    }
+
+    #[test]
+    fn renders() {
+        let s = render(&run());
+        assert!(s.contains("StableDiffusion"));
+        assert!(s.contains("GiB"));
+    }
+}

@@ -1,0 +1,108 @@
+//! Extension — tensor-parallel decode for the memory-bound transformer
+//! TTI models (the deployment answer to Fig. 5's low-batch bandwidth
+//! wall).
+
+use mmg_analytics::parallel::{tp_sweep, TpDecodeEstimate};
+use mmg_gpu::DeviceSpec;
+use mmg_models::suite::parti::PartiConfig;
+use mmg_profiler::report::render_table;
+use serde::{Deserialize, Serialize};
+
+/// One tensor-parallel width.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TpRow {
+    /// GPUs in the group.
+    pub k: usize,
+    /// Decode-step latency, milliseconds.
+    pub step_ms: f64,
+    /// Speedup over one GPU.
+    pub speedup: f64,
+    /// Fraction of the step spent in all-reduces.
+    pub comms_fraction: f64,
+}
+
+/// TP experiment result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TpResult {
+    /// Swept widths ascending.
+    pub rows: Vec<TpRow>,
+}
+
+/// Sweeps tensor-parallel widths for a Parti-style decode step
+/// (KV cache 512 tokens, batch 1 — the interactive TTI case).
+#[must_use]
+pub fn run(spec: &DeviceSpec, widths: &[usize]) -> TpResult {
+    let cfg = PartiConfig::default();
+    let sweep: Vec<TpDecodeEstimate> = tp_sweep(&cfg.decoder, 512, 1, widths, spec);
+    let base = sweep.first().map_or(1.0, |e| e.total_s);
+    let rows = sweep
+        .iter()
+        .map(|e| TpRow {
+            k: e.k,
+            step_ms: e.total_s * 1e3,
+            speedup: base / e.total_s,
+            comms_fraction: e.comms_fraction(),
+        })
+        .collect();
+    TpResult { rows }
+}
+
+/// Default widths.
+#[must_use]
+pub fn default_widths() -> Vec<usize> {
+    vec![1, 2, 4, 8]
+}
+
+/// Renders the sweep.
+#[must_use]
+pub fn render(r: &TpResult) -> String {
+    let rows: Vec<(String, Vec<String>)> = r
+        .rows
+        .iter()
+        .map(|row| {
+            (
+                format!("{} GPU{}", row.k, if row.k == 1 { "" } else { "s" }),
+                vec![
+                    format!("{:.2} ms", row.step_ms),
+                    format!("{:.2}x", row.speedup),
+                    format!("{:.0}%", row.comms_fraction * 100.0),
+                ],
+            )
+        })
+        .collect();
+    format!(
+        "Extension — tensor-parallel Parti decode step (kv=512, batch=1)\n{}",
+        render_table(&["Group", "Step latency", "Speedup", "Comms"], &rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> TpResult {
+        run(&DeviceSpec::a100_80gb(), &default_widths())
+    }
+
+    #[test]
+    fn decode_scales_with_tp_width() {
+        let r = result();
+        assert!((1.5..2.05).contains(&r.rows[1].speedup), "k=2: {}", r.rows[1].speedup);
+        assert!(r.rows[3].speedup > 2.5, "k=8: {}", r.rows[3].speedup);
+        assert!(r.rows[3].speedup > r.rows[1].speedup, "k=8 beats k=2");
+    }
+
+    #[test]
+    fn comms_fraction_grows() {
+        let r = result();
+        for w in r.rows.windows(2) {
+            assert!(w[1].comms_fraction >= w[0].comms_fraction - 1e-12);
+        }
+        assert_eq!(r.rows[0].comms_fraction, 0.0);
+    }
+
+    #[test]
+    fn renders() {
+        assert!(render(&result()).contains("tensor-parallel"));
+    }
+}

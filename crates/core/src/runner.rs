@@ -1,0 +1,242 @@
+//! Experiment dispatch for the `repro` CLI.
+
+use std::fmt;
+use std::str::FromStr;
+
+use mmg_gpu::DeviceSpec;
+
+use crate::experiments::{
+    ablations, batch, fig1, fig11, fig12, fig13, fig4, fig5, fig6, fig7, fig8, fig9, flashdec, pods, secv, table1,
+    table2, table3, tp,
+};
+
+/// Identifier of one reproducible artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExperimentId {
+    /// Fleet study.
+    Fig1,
+    /// Model taxonomy.
+    Table1,
+    /// Pareto landscape.
+    Fig4,
+    /// Roofline.
+    Fig5,
+    /// Operator breakdown.
+    Fig6,
+    /// Flash speedups.
+    Table2,
+    /// Prefill/decode correspondence.
+    Table3,
+    /// Sequence-length traces.
+    Fig7,
+    /// Sequence-length distributions.
+    Fig8,
+    /// Attention/conv image-size scaling.
+    Fig9,
+    /// Temporal vs spatial attention.
+    Fig11,
+    /// Cache hit rates.
+    Fig12,
+    /// Frame scaling.
+    Fig13,
+    /// Section V analytics.
+    SecV,
+    /// Extension: Flash-Decoding comparison.
+    FlashDec,
+    /// Extension: denoising-pod co-scheduling headroom.
+    Pods,
+    /// Extension: batch-size sensitivity.
+    Batch,
+    /// Extension: tensor-parallel decode.
+    Tp,
+    /// Extension: conv-algorithm and precision ablations.
+    Ablations,
+}
+
+impl ExperimentId {
+    /// All experiments in paper order.
+    pub const ALL: [ExperimentId; 19] = [
+        ExperimentId::Fig1,
+        ExperimentId::Table1,
+        ExperimentId::Fig4,
+        ExperimentId::Fig5,
+        ExperimentId::Fig6,
+        ExperimentId::Table2,
+        ExperimentId::Table3,
+        ExperimentId::Fig7,
+        ExperimentId::Fig8,
+        ExperimentId::Fig9,
+        ExperimentId::Fig11,
+        ExperimentId::Fig12,
+        ExperimentId::Fig13,
+        ExperimentId::SecV,
+        ExperimentId::FlashDec,
+        ExperimentId::Pods,
+        ExperimentId::Batch,
+        ExperimentId::Tp,
+        ExperimentId::Ablations,
+    ];
+}
+
+impl fmt::Display for ExperimentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ExperimentId::Fig1 => "fig1",
+            ExperimentId::Table1 => "table1",
+            ExperimentId::Fig4 => "fig4",
+            ExperimentId::Fig5 => "fig5",
+            ExperimentId::Fig6 => "fig6",
+            ExperimentId::Table2 => "table2",
+            ExperimentId::Table3 => "table3",
+            ExperimentId::Fig7 => "fig7",
+            ExperimentId::Fig8 => "fig8",
+            ExperimentId::Fig9 => "fig9",
+            ExperimentId::Fig11 => "fig11",
+            ExperimentId::Fig12 => "fig12",
+            ExperimentId::Fig13 => "fig13",
+            ExperimentId::SecV => "secv",
+            ExperimentId::FlashDec => "flashdec",
+            ExperimentId::Pods => "pods",
+            ExperimentId::Batch => "batch",
+            ExperimentId::Tp => "tp",
+            ExperimentId::Ablations => "ablations",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Error for unknown experiment names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseExperimentError(String);
+
+impl fmt::Display for ParseExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown experiment '{}'; expected one of ", self.0)?;
+        for (i, e) in ExperimentId::ALL.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ParseExperimentError {}
+
+impl FromStr for ExperimentId {
+    type Err = ParseExperimentError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ExperimentId::ALL
+            .iter()
+            .find(|e| e.to_string() == s.to_lowercase())
+            .copied()
+            .ok_or_else(|| ParseExperimentError(s.to_owned()))
+    }
+}
+
+/// Runs one experiment with default parameters and returns its rendered
+/// report.
+#[must_use]
+pub fn run_experiment(id: ExperimentId, spec: &DeviceSpec) -> String {
+    match id {
+        ExperimentId::Fig1 => fig1::render(&fig1::run(42)),
+        ExperimentId::Table1 => table1::render(&table1::run()),
+        ExperimentId::Fig4 => fig4::render(&fig4::run()),
+        ExperimentId::Fig5 => fig5::render(&fig5::run(spec)),
+        ExperimentId::Fig6 => fig6::render(&fig6::run(spec)),
+        ExperimentId::Table2 => table2::render(&table2::run(spec)),
+        ExperimentId::Table3 => table3::render(&table3::run()),
+        ExperimentId::Fig7 => fig7::render(&fig7::run(spec)),
+        ExperimentId::Fig8 => fig8::render(&fig8::run(spec, &fig8::default_sizes())),
+        ExperimentId::Fig9 => fig9::render(&fig9::run(spec, &fig9::default_sizes())),
+        ExperimentId::Fig11 => fig11::render(&fig11::run(spec)),
+        ExperimentId::Fig12 => fig12::render(&fig12::run(spec, 200_000)),
+        ExperimentId::Fig13 => fig13::render(&fig13::run(16, &fig13::default_frames())),
+        ExperimentId::SecV => secv::render(&secv::run(spec, 512)),
+        ExperimentId::FlashDec => flashdec::render(&flashdec::run(spec)),
+        ExperimentId::Pods => pods::render(&pods::run(spec)),
+        ExperimentId::Batch => batch::render(&batch::run(spec, &batch::default_batches())),
+        ExperimentId::Tp => tp::render(&tp::run(spec, &tp::default_widths())),
+        ExperimentId::Ablations => ablations::render(&ablations::run(spec)),
+    }
+}
+
+/// Runs one experiment and returns its result as pretty JSON (for
+/// machine-readable pipelines; same defaults as [`run_experiment`]).
+///
+/// # Panics
+///
+/// Never panics: every experiment result is serializable.
+#[must_use]
+pub fn run_experiment_json(id: ExperimentId, spec: &DeviceSpec) -> String {
+    fn j<T: serde::Serialize>(v: &T) -> String {
+        serde_json::to_string_pretty(v).expect("experiment results always serialize")
+    }
+    match id {
+        ExperimentId::Fig1 => j(&fig1::run(42)),
+        ExperimentId::Table1 => j(&table1::run()),
+        ExperimentId::Fig4 => j(&fig4::run()),
+        ExperimentId::Fig5 => j(&fig5::run(spec)),
+        ExperimentId::Fig6 => j(&fig6::run(spec)),
+        ExperimentId::Table2 => j(&table2::run(spec)),
+        ExperimentId::Table3 => j(&table3::run()),
+        ExperimentId::Fig7 => j(&fig7::run(spec)),
+        ExperimentId::Fig8 => j(&fig8::run(spec, &fig8::default_sizes())),
+        ExperimentId::Fig9 => j(&fig9::run(spec, &fig9::default_sizes())),
+        ExperimentId::Fig11 => j(&fig11::run(spec)),
+        ExperimentId::Fig12 => j(&fig12::run(spec, 200_000)),
+        ExperimentId::Fig13 => j(&fig13::run(16, &fig13::default_frames())),
+        ExperimentId::SecV => j(&secv::run(spec, 512)),
+        ExperimentId::FlashDec => j(&flashdec::run(spec)),
+        ExperimentId::Pods => j(&pods::run(spec)),
+        ExperimentId::Batch => j(&batch::run(spec, &batch::default_batches())),
+        ExperimentId::Tp => j(&tp::run(spec, &tp::default_widths())),
+        ExperimentId::Ablations => j(&ablations::run(spec)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        for e in ExperimentId::ALL {
+            assert_eq!(e.to_string().parse::<ExperimentId>().unwrap(), e);
+        }
+        assert!("fig99".parse::<ExperimentId>().is_err());
+    }
+
+    #[test]
+    fn parse_is_case_insensitive() {
+        assert_eq!("FIG6".parse::<ExperimentId>().unwrap(), ExperimentId::Fig6);
+    }
+
+    #[test]
+    fn error_lists_options() {
+        let e = "nope".parse::<ExperimentId>().unwrap_err();
+        assert!(e.to_string().contains("table2"));
+    }
+
+    #[test]
+    fn cheap_experiments_render() {
+        let spec = DeviceSpec::a100_80gb();
+        for id in [ExperimentId::Fig1, ExperimentId::Fig4, ExperimentId::Fig13, ExperimentId::Table3]
+        {
+            let out = run_experiment(id, &spec);
+            assert!(!out.is_empty(), "{id}");
+        }
+    }
+
+    #[test]
+    fn cheap_experiments_emit_valid_json() {
+        let spec = DeviceSpec::a100_80gb();
+        for id in [ExperimentId::Fig4, ExperimentId::Fig13, ExperimentId::Tp] {
+            let out = run_experiment_json(id, &spec);
+            let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+            assert!(v.is_object() || v.is_array(), "{id}");
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Event-driven simulation of concurrent kernel streams.
+//!
+//! A single CUDA stream executes kernels serially, each bounded by the
+//! slower of its compute and memory demand. When several independent
+//! streams share the device (Section V's staggered denoising "pods"),
+//! their kernels contend for two resources — the compute pipe and the
+//! memory pipe — and one stream's bandwidth-idle phases can absorb
+//! another's bandwidth-hungry phases.
+//!
+//! The model is processor sharing: at any instant, each pipe serves its
+//! active demanders at an equal fractional rate; a kernel departs when it
+//! has received both its compute seconds and its memory seconds (kernels
+//! overlap the two internally). Per-kernel fixed overhead (launch +
+//! minimum-duration floor) serializes on its own stream without consuming
+//! shared pipes.
+
+/// Resource demand of one kernel in a stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamKernel {
+    /// Compute-pipe service needed, seconds at full rate.
+    pub compute_s: f64,
+    /// Memory-pipe service needed, seconds at full rate.
+    pub memory_s: f64,
+    /// Serial per-launch overhead (not pipelined, not shared).
+    pub overhead_s: f64,
+}
+
+impl StreamKernel {
+    /// Serial duration of this kernel on an idle device.
+    #[must_use]
+    pub fn serial_s(&self) -> f64 {
+        self.compute_s.max(self.memory_s) + self.overhead_s
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Active {
+    stream: usize,
+    c_rem: f64,
+    m_rem: f64,
+    /// Remaining overhead before the kernel starts demanding pipes.
+    o_rem: f64,
+}
+
+const EPS: f64 = 1e-15;
+
+/// Simulates the makespan of `streams` executing concurrently.
+///
+/// Returns the wall-clock seconds until every stream drains. Streams with
+/// no kernels finish immediately.
+#[must_use]
+pub fn simulate_concurrent(streams: &[Vec<StreamKernel>]) -> f64 {
+    let mut next_idx = vec![0usize; streams.len()];
+    let mut active: Vec<Active> = Vec::with_capacity(streams.len());
+    for (s, stream) in streams.iter().enumerate() {
+        if let Some(k) = stream.first() {
+            active.push(Active {
+                stream: s,
+                c_rem: k.compute_s,
+                m_rem: k.memory_s,
+                o_rem: k.overhead_s,
+            });
+            next_idx[s] = 1;
+        }
+    }
+    let mut t = 0.0f64;
+    while !active.is_empty() {
+        // Current sharing rates.
+        let n_c = active.iter().filter(|a| a.o_rem <= EPS && a.c_rem > EPS).count().max(1) as f64;
+        let n_m = active.iter().filter(|a| a.o_rem <= EPS && a.m_rem > EPS).count().max(1) as f64;
+        // Time to the next state change.
+        let mut dt = f64::INFINITY;
+        for a in &active {
+            if a.o_rem > EPS {
+                dt = dt.min(a.o_rem);
+            } else {
+                // The kernel departs when BOTH demands drain; the next
+                // event is when either one drains.
+                if a.c_rem > EPS {
+                    dt = dt.min(a.c_rem * n_c);
+                }
+                if a.m_rem > EPS {
+                    dt = dt.min(a.m_rem * n_m);
+                }
+            }
+        }
+        debug_assert!(dt.is_finite() && dt > 0.0, "stuck simulation at t={t}");
+        t += dt;
+        // Advance all active kernels.
+        for a in &mut active {
+            if a.o_rem > EPS {
+                a.o_rem -= dt;
+            } else {
+                if a.c_rem > EPS {
+                    a.c_rem -= dt / n_c;
+                }
+                if a.m_rem > EPS {
+                    a.m_rem -= dt / n_m;
+                }
+            }
+        }
+        // Retire finished kernels, pulling successors in.
+        let mut i = 0;
+        while i < active.len() {
+            let a = active[i];
+            if a.o_rem <= EPS && a.c_rem <= EPS && a.m_rem <= EPS {
+                let s = a.stream;
+                active.swap_remove(i);
+                if let Some(k) = streams[s].get(next_idx[s]) {
+                    active.push(Active {
+                        stream: s,
+                        c_rem: k.compute_s,
+                        m_rem: k.memory_s,
+                        o_rem: k.overhead_s,
+                    });
+                    next_idx[s] += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+    t
+}
+
+/// Serial duration of one stream on an idle device.
+#[must_use]
+pub fn serial_time(stream: &[StreamKernel]) -> f64 {
+    stream.iter().map(StreamKernel::serial_s).sum()
+}
+
+/// Throughput speedup of running `k` phase-staggered copies of `stream`
+/// concurrently versus serially: `k · serial / makespan`.
+///
+/// Copies are rotated by `i · len/k` kernels so compute-heavy phases of
+/// one copy overlap memory-heavy phases of another (the "pod" stagger).
+///
+/// # Panics
+///
+/// Panics if `k == 0` or the stream is empty.
+#[must_use]
+pub fn staggered_speedup(stream: &[StreamKernel], k: usize) -> f64 {
+    assert!(k > 0, "need at least one stream");
+    assert!(!stream.is_empty(), "empty stream");
+    let n = stream.len();
+    let streams: Vec<Vec<StreamKernel>> = (0..k)
+        .map(|i| {
+            let off = i * n / k;
+            stream[off..].iter().chain(stream[..off].iter()).copied().collect()
+        })
+        .collect();
+    let makespan = simulate_concurrent(&streams);
+    k as f64 * serial_time(stream) / makespan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compute_kernel(s: f64) -> StreamKernel {
+        StreamKernel { compute_s: s, memory_s: s * 0.1, overhead_s: 0.0 }
+    }
+
+    fn memory_kernel(s: f64) -> StreamKernel {
+        StreamKernel { compute_s: s * 0.1, memory_s: s, overhead_s: 0.0 }
+    }
+
+    #[test]
+    fn single_stream_matches_serial() {
+        let stream = vec![compute_kernel(1.0), memory_kernel(2.0)];
+        let makespan = simulate_concurrent(std::slice::from_ref(&stream));
+        assert!((makespan - serial_time(&stream)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn complementary_streams_overlap_perfectly() {
+        // One compute-only stream + one memory-only stream: the pipes are
+        // disjoint, so the makespan is the longer stream, not the sum.
+        let a = vec![StreamKernel { compute_s: 1.0, memory_s: 0.0, overhead_s: 0.0 }];
+        let b = vec![StreamKernel { compute_s: 0.0, memory_s: 1.0, overhead_s: 0.0 }];
+        let makespan = simulate_concurrent(&[a, b]);
+        assert!((makespan - 1.0).abs() < 1e-9, "makespan {makespan}");
+    }
+
+    #[test]
+    fn identical_compute_streams_do_not_speed_up() {
+        // Two compute-bound streams fight over the compute pipe.
+        let s = vec![compute_kernel(1.0); 4];
+        let speedup = staggered_speedup(&s, 2);
+        assert!(speedup < 1.15, "speedup {speedup}");
+    }
+
+    #[test]
+    fn mixed_stream_gains_from_staggering() {
+        // A compute phase followed by a memory phase: the half-stream
+        // stagger makes one copy's memory phase overlap the other's
+        // compute phase.
+        let s = vec![
+            compute_kernel(1.0),
+            compute_kernel(1.0),
+            memory_kernel(1.0),
+            memory_kernel(1.0),
+        ];
+        let speedup = staggered_speedup(&s, 2);
+        assert!(speedup > 1.3, "speedup {speedup}");
+        assert!(speedup < 2.01);
+    }
+
+    #[test]
+    fn makespan_respects_resource_lower_bound() {
+        let s = vec![
+            StreamKernel { compute_s: 0.5, memory_s: 0.3, overhead_s: 0.01 },
+            StreamKernel { compute_s: 0.1, memory_s: 0.8, overhead_s: 0.01 },
+        ];
+        let streams = vec![s.clone(); 3];
+        let makespan = simulate_concurrent(&streams);
+        let total_c: f64 = 3.0 * s.iter().map(|k| k.compute_s).sum::<f64>();
+        let total_m: f64 = 3.0 * s.iter().map(|k| k.memory_s).sum::<f64>();
+        assert!(makespan >= total_c.max(total_m) - 1e-9);
+        assert!(makespan <= 3.0 * serial_time(&s) + 1e-9);
+    }
+
+    #[test]
+    fn overhead_serializes_per_stream() {
+        let s = vec![StreamKernel { compute_s: 0.0, memory_s: 0.0, overhead_s: 1.0 }; 3];
+        // Overhead-only streams run in parallel (overhead is per-stream).
+        let makespan = simulate_concurrent(&[s.clone(), s.clone()]);
+        assert!((makespan - 3.0).abs() < 1e-9, "makespan {makespan}");
+    }
+
+    #[test]
+    fn more_streams_never_reduce_throughput() {
+        let s = vec![compute_kernel(0.4), memory_kernel(0.6), compute_kernel(0.2)];
+        let s2 = staggered_speedup(&s, 2);
+        let s4 = staggered_speedup(&s, 4);
+        assert!(s2 >= 1.0 - 1e-9);
+        // Processor sharing with imperfect offsets can cost a little, but
+        // more streams must stay in the same throughput regime.
+        assert!(s4 >= s2 - 0.15, "k=4 {s4} vs k=2 {s2}");
+    }
+}

@@ -1,0 +1,108 @@
+//! Roofline model (Fig. 5).
+
+use serde::{Deserialize, Serialize};
+
+use crate::DeviceSpec;
+
+/// A workload plotted on the roofline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RooflinePoint {
+    /// Workload label (model name).
+    pub label: String,
+    /// Arithmetic intensity in FLOPs per byte.
+    pub intensity_flops_per_byte: f64,
+    /// Achieved (or attainable) throughput in TFLOP/s.
+    pub tflops: f64,
+    /// Whether the point sits in the compute-bound region.
+    pub compute_bound: bool,
+}
+
+/// The roofline of a device: `attainable = min(peak, bw × intensity)`.
+#[derive(Debug, Clone)]
+pub struct Roofline {
+    spec: DeviceSpec,
+}
+
+impl Roofline {
+    /// Builds the roofline for a device.
+    #[must_use]
+    pub fn new(spec: DeviceSpec) -> Self {
+        Roofline { spec }
+    }
+
+    /// Attainable TFLOP/s at a given arithmetic intensity (FP16 peak).
+    #[must_use]
+    pub fn attainable_tflops(&self, intensity: f64) -> f64 {
+        let mem_roof = self.spec.hbm_bytes_per_sec() * intensity / 1e12;
+        mem_roof.min(self.spec.peak_fp16_tflops)
+    }
+
+    /// The intensity at which the two roofs meet.
+    #[must_use]
+    pub fn ridge_point(&self) -> f64 {
+        self.spec.ridge_flops_per_byte()
+    }
+
+    /// Places a workload on the roofline.
+    #[must_use]
+    pub fn place(&self, label: impl Into<String>, flops: u64, bytes: u64) -> RooflinePoint {
+        let intensity = flops as f64 / bytes.max(1) as f64;
+        RooflinePoint {
+            label: label.into(),
+            intensity_flops_per_byte: intensity,
+            tflops: self.attainable_tflops(intensity),
+            compute_bound: intensity >= self.ridge_point(),
+        }
+    }
+
+    /// Samples `(intensity, attainable_tflops)` pairs on a log grid for
+    /// plotting, spanning `[lo, hi]` FLOPs/byte.
+    #[must_use]
+    pub fn curve(&self, lo: f64, hi: f64, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2 && lo > 0.0 && hi > lo, "invalid curve range");
+        let step = (hi / lo).ln() / (points - 1) as f64;
+        (0..points)
+            .map(|i| {
+                let x = lo * (step * i as f64).exp();
+                (x, self.attainable_tflops(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attainable_saturates_at_peak() {
+        let r = Roofline::new(DeviceSpec::a100_80gb());
+        assert!(r.attainable_tflops(1e6) == 312.0);
+        assert!(r.attainable_tflops(1.0) < 3.0);
+    }
+
+    #[test]
+    fn ridge_separates_regions() {
+        let r = Roofline::new(DeviceSpec::a100_80gb());
+        let ridge = r.ridge_point();
+        assert!(!r.place("low", (ridge * 0.5) as u64 * 100, 100).compute_bound);
+        assert!(r.place("high", (ridge * 2.0) as u64 * 100, 100).compute_bound);
+    }
+
+    #[test]
+    fn curve_is_monotone_nondecreasing() {
+        let r = Roofline::new(DeviceSpec::a100_80gb());
+        let c = r.curve(0.1, 10_000.0, 64);
+        assert_eq!(c.len(), 64);
+        for w in c.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn place_computes_intensity() {
+        let r = Roofline::new(DeviceSpec::a100_80gb());
+        let p = r.place("x", 1000, 10);
+        assert!((p.intensity_flops_per_byte - 100.0).abs() < 1e-12);
+    }
+}

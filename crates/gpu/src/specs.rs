@@ -1,0 +1,200 @@
+//! Published device constants for the GPUs the paper references.
+
+use serde::{Deserialize, Serialize};
+
+/// Hardware constants of a simulated GPU.
+///
+/// Values for the provided constructors come from vendor datasheets, not
+/// from fitting the paper's results.
+///
+/// # Example
+///
+/// ```
+/// let a100 = mmg_gpu::DeviceSpec::a100_80gb();
+/// assert_eq!(a100.sm_count, 108);
+/// assert!(a100.ridge_flops_per_byte() > 100.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Marketing name, e.g. `"A100-SXM4-80GB"`.
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub sm_count: u32,
+    /// Peak FP16 tensor-core throughput in TFLOP/s (dense).
+    pub peak_fp16_tflops: f64,
+    /// Peak FP32 CUDA-core throughput in TFLOP/s.
+    pub peak_fp32_tflops: f64,
+    /// HBM bandwidth in GB/s.
+    pub hbm_bandwidth_gbs: f64,
+    /// HBM capacity in GiB.
+    pub hbm_capacity_gib: f64,
+    /// Unified L2 cache size in bytes.
+    pub l2_bytes: usize,
+    /// L1/shared-memory size per SM in bytes.
+    pub l1_bytes_per_sm: usize,
+    /// Cache line (sector granularity is finer on real hardware; we model
+    /// the 128-byte line).
+    pub cache_line_bytes: usize,
+    /// Kernel launch overhead in microseconds (driver + dispatch).
+    pub kernel_launch_overhead_us: f64,
+    /// Minimum achievable kernel duration in microseconds (a kernel that
+    /// does almost nothing still occupies the device briefly).
+    pub min_kernel_time_us: f64,
+    /// Per-GPU NVLink bandwidth in GB/s (unidirectional, all links).
+    pub nvlink_bw_gbs: f64,
+    /// NVLink/NCCL per-operation latency in microseconds.
+    pub nvlink_latency_us: f64,
+}
+
+impl DeviceSpec {
+    /// NVIDIA A100-SXM4-80GB — the paper's evaluation platform.
+    #[must_use]
+    pub fn a100_80gb() -> Self {
+        DeviceSpec {
+            name: "A100-SXM4-80GB".to_owned(),
+            sm_count: 108,
+            peak_fp16_tflops: 312.0,
+            peak_fp32_tflops: 19.5,
+            hbm_bandwidth_gbs: 2039.0,
+            hbm_capacity_gib: 80.0,
+            l2_bytes: 40 * 1024 * 1024,
+            l1_bytes_per_sm: 192 * 1024,
+            cache_line_bytes: 128,
+            kernel_launch_overhead_us: 4.0,
+            min_kernel_time_us: 2.0,
+            nvlink_bw_gbs: 300.0,
+            nvlink_latency_us: 2.0,
+        }
+    }
+
+    /// NVIDIA A100-SXM4-40GB (lower-bandwidth HBM2 variant).
+    #[must_use]
+    pub fn a100_40gb() -> Self {
+        DeviceSpec {
+            name: "A100-SXM4-40GB".to_owned(),
+            hbm_bandwidth_gbs: 1555.0,
+            hbm_capacity_gib: 40.0,
+            ..Self::a100_80gb()
+        }
+    }
+
+    /// NVIDIA V100-SXM2-32GB (previous generation, for sensitivity studies).
+    #[must_use]
+    pub fn v100_32gb() -> Self {
+        DeviceSpec {
+            name: "V100-SXM2-32GB".to_owned(),
+            sm_count: 80,
+            peak_fp16_tflops: 125.0,
+            peak_fp32_tflops: 15.7,
+            hbm_bandwidth_gbs: 900.0,
+            hbm_capacity_gib: 32.0,
+            l2_bytes: 6 * 1024 * 1024,
+            l1_bytes_per_sm: 128 * 1024,
+            cache_line_bytes: 128,
+            kernel_launch_overhead_us: 4.5,
+            min_kernel_time_us: 2.5,
+            nvlink_bw_gbs: 150.0,
+            nvlink_latency_us: 3.0,
+        }
+    }
+
+    /// NVIDIA H100-SXM5-80GB (next generation, for projection studies).
+    #[must_use]
+    pub fn h100_80gb() -> Self {
+        DeviceSpec {
+            name: "H100-SXM5-80GB".to_owned(),
+            sm_count: 132,
+            peak_fp16_tflops: 989.0,
+            peak_fp32_tflops: 67.0,
+            hbm_bandwidth_gbs: 3350.0,
+            hbm_capacity_gib: 80.0,
+            l2_bytes: 50 * 1024 * 1024,
+            l1_bytes_per_sm: 256 * 1024,
+            cache_line_bytes: 128,
+            kernel_launch_overhead_us: 3.5,
+            min_kernel_time_us: 1.5,
+            nvlink_bw_gbs: 450.0,
+            nvlink_latency_us: 1.5,
+        }
+    }
+
+    /// Peak FP16 throughput in FLOP/s.
+    #[must_use]
+    pub fn peak_fp16_flops(&self) -> f64 {
+        self.peak_fp16_tflops * 1e12
+    }
+
+    /// HBM bandwidth in bytes/s.
+    #[must_use]
+    pub fn hbm_bytes_per_sec(&self) -> f64 {
+        self.hbm_bandwidth_gbs * 1e9
+    }
+
+    /// The roofline ridge point: FLOPs/byte at which a perfectly efficient
+    /// FP16 kernel transitions from memory- to compute-bound.
+    #[must_use]
+    pub fn ridge_flops_per_byte(&self) -> f64 {
+        self.peak_fp16_flops() / self.hbm_bytes_per_sec()
+    }
+
+    /// Aggregate L1 capacity across SMs.
+    #[must_use]
+    pub fn total_l1_bytes(&self) -> usize {
+        self.l1_bytes_per_sm * self.sm_count as usize
+    }
+}
+
+impl Default for DeviceSpec {
+    /// Defaults to the paper's platform, the A100-80GB.
+    fn default() -> Self {
+        Self::a100_80gb()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_ridge_point_matches_datasheet_math() {
+        let a100 = DeviceSpec::a100_80gb();
+        // 312e12 / 2039e9 ≈ 153 flops/byte.
+        let ridge = a100.ridge_flops_per_byte();
+        assert!((ridge - 153.0).abs() < 2.0, "ridge {ridge}");
+    }
+
+    #[test]
+    fn generational_ordering_holds() {
+        let v100 = DeviceSpec::v100_32gb();
+        let a100 = DeviceSpec::a100_80gb();
+        let h100 = DeviceSpec::h100_80gb();
+        assert!(v100.peak_fp16_tflops < a100.peak_fp16_tflops);
+        assert!(a100.peak_fp16_tflops < h100.peak_fp16_tflops);
+        assert!(v100.hbm_bandwidth_gbs < a100.hbm_bandwidth_gbs);
+    }
+
+    #[test]
+    fn default_is_a100() {
+        assert_eq!(DeviceSpec::default().name, "A100-SXM4-80GB");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let spec = DeviceSpec::a100_80gb();
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: DeviceSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn interconnect_scales_with_generation() {
+        assert!(DeviceSpec::v100_32gb().nvlink_bw_gbs < DeviceSpec::a100_80gb().nvlink_bw_gbs);
+        assert!(DeviceSpec::a100_80gb().nvlink_bw_gbs < DeviceSpec::h100_80gb().nvlink_bw_gbs);
+    }
+
+    #[test]
+    fn l1_aggregate() {
+        let a100 = DeviceSpec::a100_80gb();
+        assert_eq!(a100.total_l1_bytes(), 108 * 192 * 1024);
+    }
+}

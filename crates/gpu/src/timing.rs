@@ -1,0 +1,174 @@
+//! Roofline-based kernel timing.
+
+use serde::{Deserialize, Serialize};
+
+use crate::DeviceSpec;
+
+/// Resource requirements and efficiency of one kernel launch.
+///
+/// Efficiencies are the fraction of the device's peak each resource can
+/// actually sustain for this kernel's shape; `mmg-kernels` supplies them
+/// from shape-dependent models (tile/wave quantization, small-matrix
+/// underutilization, stride penalties).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelCost {
+    /// Floating-point operations performed.
+    pub flops: u64,
+    /// Bytes moved to/from HBM (after cache filtering).
+    pub hbm_bytes: u64,
+    /// Fraction of peak FLOP/s attainable, in `(0, 1]`.
+    pub compute_eff: f64,
+    /// Fraction of peak HBM bandwidth attainable, in `(0, 1]`.
+    pub memory_eff: f64,
+}
+
+impl KernelCost {
+    /// A pure data-movement kernel (no math counted).
+    #[must_use]
+    pub fn memory_only(hbm_bytes: u64, memory_eff: f64) -> Self {
+        KernelCost { flops: 0, hbm_bytes, compute_eff: 1.0, memory_eff }
+    }
+
+    /// Arithmetic intensity in FLOPs per HBM byte.
+    #[must_use]
+    pub fn arithmetic_intensity(&self) -> f64 {
+        self.flops as f64 / self.hbm_bytes.max(1) as f64
+    }
+}
+
+/// The simulated duration of a kernel, decomposed for analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelTime {
+    /// Time attributable to computation, seconds.
+    pub compute_s: f64,
+    /// Time attributable to HBM traffic, seconds.
+    pub memory_s: f64,
+    /// Fixed launch overhead, seconds.
+    pub overhead_s: f64,
+    /// Total modelled duration, seconds (roofline max + floor + overhead).
+    pub total_s: f64,
+}
+
+impl KernelTime {
+    /// Whether the kernel is memory-bandwidth bound.
+    #[must_use]
+    pub fn is_memory_bound(&self) -> bool {
+        self.memory_s > self.compute_s
+    }
+}
+
+/// Computes kernel durations against a [`DeviceSpec`].
+#[derive(Debug, Clone)]
+pub struct TimingEngine {
+    spec: DeviceSpec,
+}
+
+impl TimingEngine {
+    /// Creates an engine for a device.
+    #[must_use]
+    pub fn new(spec: DeviceSpec) -> Self {
+        TimingEngine { spec }
+    }
+
+    /// The device being simulated.
+    #[must_use]
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Models one kernel launch.
+    ///
+    /// `time = max(flops/(peak·eff_c), bytes/(bw·eff_m), floor) + launch`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts efficiencies lie in `(0, 1]`.
+    #[must_use]
+    pub fn kernel_time(&self, cost: &KernelCost) -> KernelTime {
+        debug_assert!(cost.compute_eff > 0.0 && cost.compute_eff <= 1.0);
+        debug_assert!(cost.memory_eff > 0.0 && cost.memory_eff <= 1.0);
+        let compute_s = cost.flops as f64 / (self.spec.peak_fp16_flops() * cost.compute_eff);
+        let memory_s = cost.hbm_bytes as f64 / (self.spec.hbm_bytes_per_sec() * cost.memory_eff);
+        let floor_s = self.spec.min_kernel_time_us * 1e-6;
+        let overhead_s = self.spec.kernel_launch_overhead_us * 1e-6;
+        let body = compute_s.max(memory_s).max(floor_s);
+        KernelTime { compute_s, memory_s, overhead_s, total_s: body + overhead_s }
+    }
+
+    /// Sums a sequence of kernels (serial dependency, as in one CUDA stream).
+    #[must_use]
+    pub fn sequence_time(&self, costs: &[KernelCost]) -> f64 {
+        costs.iter().map(|c| self.kernel_time(c).total_s).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> TimingEngine {
+        TimingEngine::new(DeviceSpec::a100_80gb())
+    }
+
+    #[test]
+    fn large_gemm_is_compute_bound() {
+        // 8k^3 GEMM: ai ≈ 1365 flops/byte >> ridge 153.
+        let n = 8192u64;
+        let cost = KernelCost {
+            flops: 2 * n * n * n,
+            hbm_bytes: 3 * n * n * 2,
+            compute_eff: 0.9,
+            memory_eff: 0.9,
+        };
+        let t = engine().kernel_time(&cost);
+        assert!(!t.is_memory_bound());
+        // 2*8192^3 / (312e12*0.9) ≈ 3.9 ms.
+        assert!(t.total_s > 3e-3 && t.total_s < 6e-3, "t={}", t.total_s);
+    }
+
+    #[test]
+    fn elementwise_is_memory_bound() {
+        let cost = KernelCost {
+            flops: 1_000_000,
+            hbm_bytes: 100_000_000,
+            compute_eff: 1.0,
+            memory_eff: 0.8,
+        };
+        let t = engine().kernel_time(&cost);
+        assert!(t.is_memory_bound());
+    }
+
+    #[test]
+    fn tiny_kernel_hits_floor_plus_overhead() {
+        let cost = KernelCost { flops: 10, hbm_bytes: 10, compute_eff: 1.0, memory_eff: 1.0 };
+        let t = engine().kernel_time(&cost);
+        let spec = DeviceSpec::a100_80gb();
+        let expect = (spec.min_kernel_time_us + spec.kernel_launch_overhead_us) * 1e-6;
+        assert!((t.total_s - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sequence_sums() {
+        let c = KernelCost { flops: 10, hbm_bytes: 10, compute_eff: 1.0, memory_eff: 1.0 };
+        let e = engine();
+        let one = e.kernel_time(&c).total_s;
+        assert!((e.sequence_time(&[c, c, c]) - 3.0 * one).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_efficiency_means_longer() {
+        let hi = KernelCost { flops: 1 << 40, hbm_bytes: 1, compute_eff: 0.9, memory_eff: 1.0 };
+        let lo = KernelCost { compute_eff: 0.3, ..hi };
+        let e = engine();
+        assert!(e.kernel_time(&lo).total_s > 2.5 * e.kernel_time(&hi).total_s);
+    }
+
+    #[test]
+    fn launch_overhead_dominates_microkernels() {
+        // Many tiny kernels cost ~overhead each — the decode-phase effect.
+        let c = KernelCost { flops: 1000, hbm_bytes: 1000, compute_eff: 1.0, memory_eff: 1.0 };
+        let e = engine();
+        let t1000 = e.sequence_time(&vec![c; 1000]);
+        assert!(t1000 > 5e-3, "1000 launches cost at least 6ms of overhead+floor");
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the device model: timing, caches, and the
+//! multistream simulator.
+
+use mmg_gpu::multistream::{simulate_concurrent, serial_time, StreamKernel};
+use mmg_gpu::{CacheConfig, DeviceSpec, KernelCost, SetAssociativeCache, TimingEngine};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Kernel time is monotone in FLOPs and bytes.
+    #[test]
+    fn kernel_time_monotone(flops in 1u64..1_000_000_000_000, bytes in 1u64..1_000_000_000) {
+        let engine = TimingEngine::new(DeviceSpec::a100_80gb());
+        let base = KernelCost { flops, hbm_bytes: bytes, compute_eff: 0.5, memory_eff: 0.5 };
+        let t0 = engine.kernel_time(&base).total_s;
+        let more_flops = KernelCost { flops: flops * 2, ..base };
+        let more_bytes = KernelCost { hbm_bytes: bytes * 2, ..base };
+        prop_assert!(engine.kernel_time(&more_flops).total_s >= t0 - 1e-15);
+        prop_assert!(engine.kernel_time(&more_bytes).total_s >= t0 - 1e-15);
+    }
+
+    /// Kernel time never undercuts the physical lower bounds.
+    #[test]
+    fn kernel_time_respects_rooflines(
+        flops in 1u64..1_000_000_000_000,
+        bytes in 1u64..10_000_000_000,
+        ce in 0.01f64..1.0,
+        me in 0.01f64..1.0,
+    ) {
+        let spec = DeviceSpec::a100_80gb();
+        let engine = TimingEngine::new(spec.clone());
+        let t = engine.kernel_time(&KernelCost { flops, hbm_bytes: bytes, compute_eff: ce, memory_eff: me });
+        prop_assert!(t.total_s >= flops as f64 / spec.peak_fp16_flops() - 1e-15);
+        prop_assert!(t.total_s >= bytes as f64 / spec.hbm_bytes_per_sec() - 1e-15);
+        prop_assert!(t.total_s >= (spec.min_kernel_time_us + spec.kernel_launch_overhead_us) * 1e-6 - 1e-15);
+    }
+
+    /// Cache accesses are deterministic: the same stream gives the same
+    /// statistics.
+    #[test]
+    fn cache_is_deterministic(addrs in proptest::collection::vec(0u64..65536, 1..300)) {
+        let cfg = CacheConfig { capacity_bytes: 4096, line_bytes: 64, ways: 4 };
+        let run = || {
+            let mut c = SetAssociativeCache::new(cfg);
+            for &a in &addrs {
+                c.access(a);
+            }
+            c.stats()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// A bigger cache never has fewer hits on the same stream (LRU
+    /// inclusion property holds for same-geometry capacity scaling).
+    #[test]
+    fn larger_cache_never_worse(addrs in proptest::collection::vec(0u64..32768, 1..300)) {
+        let hits = |ways: usize| {
+            let mut c = SetAssociativeCache::new(CacheConfig {
+                capacity_bytes: 1024 * ways,
+                line_bytes: 64,
+                ways,
+            });
+            for &a in &addrs {
+                c.access(a);
+            }
+            c.stats().hits
+        };
+        // Same set count, more ways: strictly more associative.
+        prop_assert!(hits(8) >= hits(2));
+    }
+
+    /// Multistream makespan sits between the resource lower bound and the
+    /// fully serial upper bound.
+    #[test]
+    fn multistream_bounds(
+        kernels in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0, 0.0f64..0.05), 1..12),
+        streams in 1usize..4,
+    ) {
+        let stream: Vec<StreamKernel> = kernels
+            .iter()
+            .map(|&(c, m, o)| StreamKernel { compute_s: c, memory_s: m, overhead_s: o })
+            .collect();
+        // Skip degenerate all-zero streams.
+        prop_assume!(serial_time(&stream) > 1e-9);
+        let copies = vec![stream.clone(); streams];
+        let makespan = simulate_concurrent(&copies);
+        let total_c: f64 = streams as f64 * stream.iter().map(|k| k.compute_s).sum::<f64>();
+        let total_m: f64 = streams as f64 * stream.iter().map(|k| k.memory_s).sum::<f64>();
+        let serial_all = streams as f64 * serial_time(&stream);
+        prop_assert!(makespan >= total_c.max(total_m) - 1e-9, "below resource bound");
+        prop_assert!(makespan >= serial_time(&stream) - 1e-9, "below single-stream bound");
+        prop_assert!(makespan <= serial_all + 1e-9, "above serial bound");
+    }
+}

@@ -1,0 +1,81 @@
+//! Operator categories — the buckets of the paper's Fig. 6 breakdown.
+
+use std::fmt;
+
+/// The operator families the paper's execution-time breakdown
+/// distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpCategory {
+    /// Self/cross/temporal attention (score computation + softmax + PV).
+    Attention,
+    /// 2-D convolutions (including super-resolution stacks).
+    Conv,
+    /// Dense projections and feed-forward layers.
+    Linear,
+    /// GroupNorm — the paper calls this out at 4–11% of diffusion time.
+    GroupNorm,
+    /// LayerNorm / RMSNorm.
+    LayerNorm,
+    /// Pointwise arithmetic and activations.
+    Elementwise,
+    /// Layout transforms, copies, KV-cache maintenance.
+    Memory,
+    /// Token / patch embedding gathers.
+    Embedding,
+    /// Resampling and everything else.
+    Other,
+}
+
+impl OpCategory {
+    /// All categories in display order (largest-first ordering of the
+    /// paper's stacked bars).
+    pub const ALL: [OpCategory; 9] = [
+        OpCategory::Attention,
+        OpCategory::Conv,
+        OpCategory::Linear,
+        OpCategory::GroupNorm,
+        OpCategory::LayerNorm,
+        OpCategory::Elementwise,
+        OpCategory::Memory,
+        OpCategory::Embedding,
+        OpCategory::Other,
+    ];
+}
+
+impl fmt::Display for OpCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpCategory::Attention => "Attention",
+            OpCategory::Conv => "Conv",
+            OpCategory::Linear => "Linear",
+            OpCategory::GroupNorm => "GroupNorm",
+            OpCategory::LayerNorm => "LayerNorm",
+            OpCategory::Elementwise => "Elementwise",
+            OpCategory::Memory => "Memory",
+            OpCategory::Embedding => "Embedding",
+            OpCategory::Other => "Other",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_categories_unique() {
+        for (i, a) in OpCategory::ALL.iter().enumerate() {
+            for b in &OpCategory::ALL[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn display_matches_paper_vocabulary() {
+        assert_eq!(OpCategory::Attention.to_string(), "Attention");
+        assert_eq!(OpCategory::Conv.to_string(), "Conv");
+        assert_eq!(OpCategory::GroupNorm.to_string(), "GroupNorm");
+    }
+}

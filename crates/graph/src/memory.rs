@@ -1,0 +1,198 @@
+//! Inference memory accounting.
+//!
+//! Table I classifies the suite along a *Memory* axis (Parti: High,
+//! SD/Muse: Low, Imagen: Medium). This module derives those footprints
+//! from the graphs: resident weights, peak transient activations, and the
+//! KV cache autoregressive models must hold.
+
+use crate::{AttnKind, Graph, Op};
+
+/// Bytes of one operator's output activation.
+#[must_use]
+pub fn output_bytes(op: &Op, elem_bytes: usize) -> u64 {
+    op.output_elems() * elem_bytes as u64
+}
+
+/// KV-cache bytes an attention call implies: K and V of `seq_kv` tokens,
+/// held for the whole generation (causal attention only — bidirectional
+/// attention recomputes K/V each forward).
+#[must_use]
+pub fn kv_cache_bytes(op: &Op, elem_bytes: usize) -> u64 {
+    match op {
+        Op::Attention { shape, kind: AttnKind::Causal } => {
+            2 * (shape.batch * shape.heads * shape.seq_kv * shape.head_dim) as u64
+                * elem_bytes as u64
+        }
+        _ => 0,
+    }
+}
+
+/// Memory footprint of one graph execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoryFootprint {
+    /// Resident weight bytes.
+    pub weight_bytes: u64,
+    /// Peak transient activation bytes (input + output of the widest
+    /// operator — a serial executor frees everything else).
+    pub peak_activation_bytes: u64,
+    /// KV-cache bytes held across the generation.
+    pub kv_cache_bytes: u64,
+}
+
+impl MemoryFootprint {
+    /// Total resident bytes at the peak operator.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.weight_bytes + self.peak_activation_bytes + self.kv_cache_bytes
+    }
+
+    /// Merges footprints of graphs resident at the same time (weights of
+    /// all pipeline stages stay loaded; transient peaks don't overlap).
+    #[must_use]
+    pub fn merge_resident(&self, other: &MemoryFootprint) -> MemoryFootprint {
+        MemoryFootprint {
+            weight_bytes: self.weight_bytes + other.weight_bytes,
+            peak_activation_bytes: self.peak_activation_bytes.max(other.peak_activation_bytes),
+            kv_cache_bytes: self.kv_cache_bytes.max(other.kv_cache_bytes),
+        }
+    }
+}
+
+/// Computes the footprint of one graph at `elem_bytes` precision.
+///
+/// The activation peak takes consecutive operator pairs (producer output
+/// feeds consumer input) as the live set, which matches a serial executor
+/// with immediate frees.
+#[must_use]
+pub fn graph_footprint(graph: &Graph, elem_bytes: usize) -> MemoryFootprint {
+    let weight_bytes = 2 * graph.param_count();
+    let mut peak = 0u64;
+    let mut prev_out = 0u64;
+    let mut kv = 0u64;
+    for node in graph.nodes() {
+        let out = output_bytes(&node.op, elem_bytes);
+        peak = peak.max(prev_out + out);
+        if out > 0 {
+            prev_out = out;
+        }
+        kv = kv.max(kv_cache_bytes(&node.op, elem_bytes));
+    }
+    // Every causal layer holds its own cache; sum across attention nodes.
+    let kv_total: u64 =
+        graph.nodes().iter().map(|n| kv_cache_bytes(&n.op, elem_bytes)).sum();
+    MemoryFootprint { weight_bytes, peak_activation_bytes: peak, kv_cache_bytes: kv_total }
+}
+
+/// Total activation bytes a *training* step must keep for the backward
+/// pass (the sum of every operator's output, before checkpointing) — the
+/// quantity that makes spatial models memory-hungry per sample.
+#[must_use]
+pub fn stored_activation_bytes(graph: &Graph, elem_bytes: usize) -> u64 {
+    graph.nodes().iter().map(|n| output_bytes(&n.op, elem_bytes)).sum()
+}
+
+/// Coarse High/Medium/Low classification against GiB thresholds, matching
+/// Table I's qualitative axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MemoryClass {
+    /// < 8 GiB resident.
+    Low,
+    /// 8–24 GiB resident.
+    Medium,
+    /// > 24 GiB resident.
+    High,
+}
+
+impl MemoryClass {
+    /// Classifies a byte count.
+    #[must_use]
+    pub fn of(bytes: u64) -> MemoryClass {
+        const GIB: u64 = 1 << 30;
+        if bytes > 24 * GIB {
+            MemoryClass::High
+        } else if bytes > 8 * GIB {
+            MemoryClass::Medium
+        } else {
+            MemoryClass::Low
+        }
+    }
+}
+
+impl std::fmt::Display for MemoryClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            MemoryClass::Low => "Low",
+            MemoryClass::Medium => "Medium",
+            MemoryClass::High => "High",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmg_attn::AttentionShape;
+
+    #[test]
+    fn kv_cache_only_for_causal() {
+        let shape = AttentionShape::decode_step(1, 32, 4096, 128);
+        let causal = Op::Attention { shape, kind: AttnKind::Causal };
+        let cross = Op::Attention { shape, kind: AttnKind::Cross };
+        assert_eq!(kv_cache_bytes(&causal, 2), 2 * 32 * 4096 * 128 * 2);
+        assert_eq!(kv_cache_bytes(&cross, 2), 0);
+    }
+
+    #[test]
+    fn footprint_tracks_widest_pair() {
+        let mut g = Graph::new();
+        g.push("small", Op::Linear { tokens: 2, in_features: 4, out_features: 4 });
+        g.push("big", Op::Linear { tokens: 1024, in_features: 4, out_features: 1024 });
+        g.push("small2", Op::Linear { tokens: 2, in_features: 4, out_features: 4 });
+        let f = graph_footprint(&g, 2);
+        // Peak = small's output (2*4) + big's output (1024*1024), in bytes.
+        assert_eq!(f.peak_activation_bytes, (8 + 1024 * 1024) * 2);
+        assert_eq!(f.weight_bytes, 2 * g.param_count());
+    }
+
+    #[test]
+    fn merge_adds_weights_maxes_activations() {
+        let a = MemoryFootprint { weight_bytes: 10, peak_activation_bytes: 5, kv_cache_bytes: 1 };
+        let b = MemoryFootprint { weight_bytes: 20, peak_activation_bytes: 3, kv_cache_bytes: 7 };
+        let m = a.merge_resident(&b);
+        assert_eq!(m.weight_bytes, 30);
+        assert_eq!(m.peak_activation_bytes, 5);
+        assert_eq!(m.kv_cache_bytes, 7);
+        assert_eq!(m.total_bytes(), 42);
+    }
+
+    #[test]
+    fn classes_split_at_thresholds() {
+        const GIB: u64 = 1 << 30;
+        assert_eq!(MemoryClass::of(GIB), MemoryClass::Low);
+        assert_eq!(MemoryClass::of(10 * GIB), MemoryClass::Medium);
+        assert_eq!(MemoryClass::of(40 * GIB), MemoryClass::High);
+        assert!(MemoryClass::Low < MemoryClass::High);
+    }
+
+    #[test]
+    fn stored_activations_exceed_peak() {
+        let mut g = Graph::new();
+        for i in 0..4 {
+            g.push(format!("l{i}"), Op::Linear { tokens: 8, in_features: 8, out_features: 8 });
+        }
+        let f = graph_footprint(&g, 2);
+        assert!(stored_activation_bytes(&g, 2) > f.peak_activation_bytes);
+        assert_eq!(stored_activation_bytes(&g, 2), 4 * 64 * 2);
+    }
+
+    #[test]
+    fn memcpy_does_not_reset_live_set() {
+        let mut g = Graph::new();
+        g.push("big", Op::Linear { tokens: 100, in_features: 4, out_features: 100 });
+        g.push("move", Op::Memcpy { bytes: 64, amplification: 1.0 });
+        g.push("next", Op::Linear { tokens: 100, in_features: 100, out_features: 100 });
+        let f = graph_footprint(&g, 2);
+        assert_eq!(f.peak_activation_bytes, (100 * 100 + 100 * 100) * 2);
+    }
+}

@@ -1,0 +1,250 @@
+//! Numeric execution of operators at reduced sizes.
+//!
+//! Weights do not exist in the performance plane, so numeric execution
+//! synthesizes them deterministically from the operator's parameters. This
+//! is enough to validate shape agreement, operator semantics, and the
+//! baseline/flash equivalence end-to-end on small chains.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use mmg_attn::{baseline_attention, flash_attention, AttnImpl};
+use mmg_tensor::{ops, Result, Tensor, TensorError};
+
+use crate::{ActivationKind, Graph, Op};
+
+fn op_seed(tag: &str, salt: u64) -> u64 {
+    let mut h = DefaultHasher::new();
+    tag.hash(&mut h);
+    salt.hash(&mut h);
+    h.finish()
+}
+
+fn check_input(op: &Op, input: &Tensor, expected: usize) -> Result<()> {
+    if input.numel() != expected {
+        return Err(TensorError::InvalidShape {
+            op: "numeric_execute",
+            reason: format!("{op:?} expects {expected} input elements, got {}", input.numel()),
+        });
+    }
+    Ok(())
+}
+
+/// Executes one operator on `input` with synthesized weights.
+///
+/// Expected input layouts (row-major):
+///
+/// * `Linear`: `[tokens, in_features]`
+/// * `Conv2d`: `[batch, c_in, h, w]`
+/// * `Attention` (self/causal/temporal): `[batch·heads, seq_q, head_dim]`
+///   (cross-attention synthesizes its key/value context)
+/// * `GroupNorm`: `[batch, channels, h, w]`
+/// * others: any tensor with the right element count
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidShape`] when the input element count does
+/// not match, and [`TensorError::InvalidParameter`] for ops with no numeric
+/// semantics (`Memcpy`).
+pub fn execute_op(op: &Op, input: &Tensor, attn: AttnImpl) -> Result<Tensor> {
+    match op {
+        Op::Linear { tokens, in_features, out_features } => {
+            check_input(op, input, tokens * in_features)?;
+            let x = input.reshape(&[*tokens, *in_features])?;
+            let w = ops::scale(
+                &Tensor::randn(&[*in_features, *out_features], op_seed("linear", (*in_features * 31 + *out_features) as u64)),
+                1.0 / (*in_features as f32).sqrt(),
+            );
+            ops::matmul(&x, &w)
+        }
+        Op::Conv2d { batch, c_in, c_out, h, w, kernel, stride } => {
+            check_input(op, input, batch * c_in * h * w)?;
+            let x = input.reshape(&[*batch, *c_in, *h, *w])?;
+            let wt = ops::scale(
+                &Tensor::randn(
+                    &[*c_out, *c_in, *kernel, *kernel],
+                    op_seed("conv", (*c_in * 131 + *c_out) as u64),
+                ),
+                1.0 / ((*c_in * kernel * kernel) as f32).sqrt(),
+            );
+            ops::conv2d(
+                &x,
+                &wt,
+                None,
+                ops::Conv2dParams { stride: *stride, padding: kernel / 2 },
+            )
+        }
+        Op::Attention { shape, .. } => {
+            let bh = shape.batch * shape.heads;
+            check_input(op, input, bh * shape.seq_q * shape.head_dim)?;
+            let q = input.reshape(&[bh, shape.seq_q, shape.head_dim])?;
+            let (k, v) = if shape.seq_kv == shape.seq_q {
+                (q.clone(), q.clone())
+            } else {
+                let seed = op_seed("attn_ctx", shape.seq_kv as u64);
+                (
+                    Tensor::randn(&[bh, shape.seq_kv, shape.head_dim], seed),
+                    Tensor::randn(&[bh, shape.seq_kv, shape.head_dim], seed + 1),
+                )
+            };
+            match attn {
+                AttnImpl::Baseline => baseline_attention(&q, &k, &v),
+                // Flash-Decoding is numerically the same tiled recurrence.
+                AttnImpl::Flash | AttnImpl::FlashDecoding => flash_attention(&q, &k, &v, 64),
+            }
+        }
+        Op::GroupNorm { batch, channels, h, w, groups } => {
+            check_input(op, input, batch * channels * h * w)?;
+            let x = input.reshape(&[*batch, *channels, *h, *w])?;
+            ops::group_norm(&x, *groups, 1e-5)
+        }
+        Op::LayerNorm { rows, cols } => {
+            check_input(op, input, rows * cols)?;
+            let x = input.reshape(&[*rows, *cols])?;
+            ops::layer_norm(&x, 1e-5)
+        }
+        Op::Activation { elems, kind } => {
+            check_input(op, input, *elems)?;
+            Ok(match kind {
+                ActivationKind::Silu => ops::silu(input),
+                ActivationKind::Gelu => ops::gelu(input),
+                ActivationKind::Relu => ops::relu(input),
+            })
+        }
+        Op::Elementwise { elems, .. } => {
+            check_input(op, input, *elems)?;
+            // Binary ops in a linear chain act on the input and a
+            // synthesized second operand.
+            let other = Tensor::randn(input.shape().dims(), op_seed("ew", *elems as u64));
+            ops::add(input, &other)
+        }
+        Op::Upsample { batch, c, h, w, factor } => {
+            check_input(op, input, batch * c * h * w)?;
+            let x = input.reshape(&[*batch, *c, *h, *w])?;
+            ops::upsample_nearest2d(&x, *factor)
+        }
+        Op::Downsample { batch, c, h, w, factor } => {
+            check_input(op, input, batch * c * h * w)?;
+            let x = input.reshape(&[*batch, *c, *h, *w])?;
+            ops::avg_pool2d(&x, *factor)
+        }
+        Op::Embedding { tokens, dim, .. } => {
+            // Token ids are irrelevant numerically; emit a deterministic
+            // embedding block.
+            Ok(Tensor::randn(&[*tokens, *dim], op_seed("embed", (*tokens * 7 + *dim) as u64)))
+        }
+        Op::Memcpy { .. } => Err(TensorError::InvalidParameter {
+            op: "numeric_execute",
+            reason: "memcpy has no numeric semantics".into(),
+        }),
+    }
+}
+
+/// Executes a chain of operators, feeding each output to the next.
+/// `Memcpy` nodes are skipped (pure layout bookkeeping).
+///
+/// # Errors
+///
+/// Propagates the first operator error.
+pub fn execute_chain(graph: &Graph, input: Tensor, attn: AttnImpl) -> Result<Tensor> {
+    let mut x = input;
+    for node in graph.nodes() {
+        if matches!(node.op, Op::Memcpy { .. }) {
+            continue;
+        }
+        x = execute_op(&node.op, &x, attn)?;
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AttnKind;
+    use mmg_attn::AttentionShape;
+
+    #[test]
+    fn linear_output_shape() {
+        let op = Op::Linear { tokens: 4, in_features: 8, out_features: 16 };
+        let x = Tensor::randn(&[4, 8], 1);
+        let y = execute_op(&op, &x, AttnImpl::Flash).unwrap();
+        assert_eq!(y.shape().dims(), &[4, 16]);
+        assert_eq!(y.numel() as u64, op.output_elems());
+    }
+
+    #[test]
+    fn weights_are_deterministic() {
+        let op = Op::Linear { tokens: 4, in_features: 8, out_features: 16 };
+        let x = Tensor::randn(&[4, 8], 1);
+        let a = execute_op(&op, &x, AttnImpl::Flash).unwrap();
+        let b = execute_op(&op, &x, AttnImpl::Flash).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn attention_flash_matches_baseline_in_chain() {
+        let mut g = Graph::new();
+        g.push("ln", Op::LayerNorm { rows: 8, cols: 16 });
+        g.push(
+            "attn",
+            Op::Attention {
+                shape: AttentionShape::self_attn(1, 1, 8, 16),
+                kind: AttnKind::SpatialSelf,
+            },
+        );
+        g.push("act", Op::Activation { elems: 128, kind: ActivationKind::Gelu });
+        let x = Tensor::randn(&[8, 16], 5);
+        let a = execute_chain(&g, x.clone(), AttnImpl::Baseline).unwrap();
+        let b = execute_chain(&g, x, AttnImpl::Flash).unwrap();
+        assert!(a.max_abs_diff(&b).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn conv_chain_shapes_propagate() {
+        let mut g = Graph::new();
+        g.push("c1", Op::Conv2d { batch: 1, c_in: 3, c_out: 8, h: 8, w: 8, kernel: 3, stride: 1 });
+        g.push("gn", Op::GroupNorm { batch: 1, channels: 8, h: 8, w: 8, groups: 4 });
+        g.push("act", Op::Activation { elems: 512, kind: ActivationKind::Silu });
+        g.push("down", Op::Downsample { batch: 1, c: 8, h: 8, w: 8, factor: 2 });
+        let x = Tensor::randn(&[1, 3, 8, 8], 6);
+        let y = execute_chain(&g, x, AttnImpl::Flash).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 8, 4, 4]);
+    }
+
+    #[test]
+    fn output_elems_agree_with_numeric_output() {
+        // The perf plane's output_elems must match real execution.
+        let cases = vec![
+            Op::Conv2d { batch: 2, c_in: 3, c_out: 5, h: 8, w: 8, kernel: 3, stride: 2 },
+            Op::Upsample { batch: 1, c: 3, h: 4, w: 4, factor: 2 },
+            Op::Downsample { batch: 1, c: 4, h: 8, w: 8, factor: 2 },
+            Op::LayerNorm { rows: 3, cols: 7 },
+        ];
+        for op in cases {
+            let n_in = match &op {
+                Op::Conv2d { batch, c_in, h, w, .. } => batch * c_in * h * w,
+                Op::Upsample { batch, c, h, w, .. } | Op::Downsample { batch, c, h, w, .. } => {
+                    batch * c * h * w
+                }
+                Op::LayerNorm { rows, cols } => rows * cols,
+                _ => unreachable!(),
+            };
+            let x = Tensor::randn(&[n_in], 7);
+            let y = execute_op(&op, &x, AttnImpl::Flash).unwrap();
+            assert_eq!(y.numel() as u64, op.output_elems(), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn wrong_input_size_rejected() {
+        let op = Op::Linear { tokens: 4, in_features: 8, out_features: 16 };
+        let x = Tensor::randn(&[5, 8], 1);
+        assert!(execute_op(&op, &x, AttnImpl::Flash).is_err());
+    }
+
+    #[test]
+    fn memcpy_has_no_numeric_semantics() {
+        let op = Op::Memcpy { bytes: 10, amplification: 1.0 };
+        assert!(execute_op(&op, &Tensor::zeros(&[1]), AttnImpl::Flash).is_err());
+    }
+}

@@ -1,0 +1,317 @@
+//! The operator set.
+
+use std::fmt;
+
+use mmg_attn::AttentionShape;
+
+use crate::OpCategory;
+
+/// Which attention role an [`Op::Attention`] plays — needed by the
+/// sequence-length tracer (Fig. 7) and the spatial/temporal split
+/// (Fig. 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttnKind {
+    /// Self-attention across an image/latent's pixels.
+    SpatialSelf,
+    /// Cross-attention to the encoded text prompt.
+    Cross,
+    /// Temporal attention across video frames (strided-view operands).
+    Temporal,
+    /// Causal self-attention in a text/token transformer.
+    Causal,
+}
+
+impl fmt::Display for AttnKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AttnKind::SpatialSelf => "spatial_self",
+            AttnKind::Cross => "cross",
+            AttnKind::Temporal => "temporal",
+            AttnKind::Causal => "causal",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Pointwise activation flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActivationKind {
+    /// SiLU/swish (diffusion UNets).
+    Silu,
+    /// GELU (transformer FFNs).
+    Gelu,
+    /// ReLU.
+    Relu,
+}
+
+/// One operator with fully-resolved sizes.
+///
+/// Sizes are resolved when model builders construct the graph, so every
+/// cost query is O(1); there is no symbolic shape propagation to run at
+/// profile time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Dense projection: `[tokens, in] → [tokens, out]`.
+    Linear {
+        /// Number of row vectors (batch × sequence).
+        tokens: usize,
+        /// Input features.
+        in_features: usize,
+        /// Output features.
+        out_features: usize,
+    },
+    /// Square 2-D convolution with "same" padding.
+    Conv2d {
+        /// Batch size (frames for video models).
+        batch: usize,
+        /// Input channels.
+        c_in: usize,
+        /// Output channels.
+        c_out: usize,
+        /// Input height.
+        h: usize,
+        /// Input width.
+        w: usize,
+        /// Square kernel edge.
+        kernel: usize,
+        /// Stride (2 = downsampling conv).
+        stride: usize,
+    },
+    /// Scaled-dot-product attention (QKV projections are separate
+    /// `Linear` ops).
+    Attention {
+        /// Logical shape of the call.
+        shape: AttentionShape,
+        /// Role of the call.
+        kind: AttnKind,
+    },
+    /// GroupNorm over `[batch, channels, h, w]`.
+    GroupNorm {
+        /// Batch size.
+        batch: usize,
+        /// Channels.
+        channels: usize,
+        /// Height.
+        h: usize,
+        /// Width.
+        w: usize,
+        /// Group count.
+        groups: usize,
+    },
+    /// LayerNorm (or RMSNorm) over rows.
+    LayerNorm {
+        /// Row count (batch × sequence).
+        rows: usize,
+        /// Row width.
+        cols: usize,
+    },
+    /// Pointwise activation.
+    Activation {
+        /// Elements.
+        elems: usize,
+        /// Flavour.
+        kind: ActivationKind,
+    },
+    /// Pointwise binary op (residual add, scale, modulation).
+    Elementwise {
+        /// Elements.
+        elems: usize,
+        /// Input operand count.
+        inputs: usize,
+    },
+    /// Nearest-neighbour upsampling of `[batch, c, h, w]`.
+    Upsample {
+        /// Batch size.
+        batch: usize,
+        /// Channels.
+        c: usize,
+        /// Input height.
+        h: usize,
+        /// Input width.
+        w: usize,
+        /// Integer factor.
+        factor: usize,
+    },
+    /// Average-pool downsampling of `[batch, c, h, w]`.
+    Downsample {
+        /// Batch size.
+        batch: usize,
+        /// Channels.
+        c: usize,
+        /// Input height.
+        h: usize,
+        /// Input width.
+        w: usize,
+        /// Integer factor.
+        factor: usize,
+    },
+    /// Embedding gather.
+    Embedding {
+        /// Vocabulary rows in the table.
+        vocab: usize,
+        /// Tokens gathered.
+        tokens: usize,
+        /// Embedding width.
+        dim: usize,
+    },
+    /// Explicit data movement (layout transform, KV-cache append).
+    Memcpy {
+        /// Logical bytes moved.
+        bytes: u64,
+        /// Traffic amplification for strided transforms (≥ 1).
+        amplification: f64,
+    },
+}
+
+impl Op {
+    /// The Fig. 6 bucket this operator is accounted under.
+    #[must_use]
+    pub fn category(&self) -> OpCategory {
+        match self {
+            Op::Linear { .. } => OpCategory::Linear,
+            Op::Conv2d { .. } => OpCategory::Conv,
+            Op::Attention { .. } => OpCategory::Attention,
+            Op::GroupNorm { .. } => OpCategory::GroupNorm,
+            Op::LayerNorm { .. } => OpCategory::LayerNorm,
+            Op::Activation { .. } | Op::Elementwise { .. } => OpCategory::Elementwise,
+            Op::Memcpy { .. } => OpCategory::Memory,
+            Op::Embedding { .. } => OpCategory::Embedding,
+            Op::Upsample { .. } | Op::Downsample { .. } => OpCategory::Other,
+        }
+    }
+
+    /// Trainable parameters this operator owns.
+    #[must_use]
+    pub fn param_count(&self) -> u64 {
+        match self {
+            Op::Linear { in_features, out_features, .. } => (in_features * out_features) as u64,
+            Op::Conv2d { c_in, c_out, kernel, .. } => (c_out * c_in * kernel * kernel) as u64,
+            Op::GroupNorm { channels, .. } => 2 * *channels as u64,
+            Op::LayerNorm { cols, .. } => 2 * *cols as u64,
+            Op::Embedding { vocab, dim, .. } => (vocab * dim) as u64,
+            _ => 0,
+        }
+    }
+
+    /// Floating-point operations for one execution.
+    #[must_use]
+    pub fn flops(&self) -> u64 {
+        match self {
+            Op::Linear { tokens, in_features, out_features } => {
+                2 * *tokens as u64 * *in_features as u64 * *out_features as u64
+            }
+            Op::Conv2d { batch, c_in, c_out, h, w, kernel, stride } => {
+                let (oh, ow) = (h.div_ceil(*stride), w.div_ceil(*stride));
+                2 * (*batch * oh * ow) as u64
+                    * *c_out as u64
+                    * (*c_in * kernel * kernel) as u64
+            }
+            Op::Attention { shape, .. } => shape.total_flops(),
+            Op::GroupNorm { batch, channels, h, w, .. } => {
+                8 * (*batch * channels * h * w) as u64
+            }
+            Op::LayerNorm { rows, cols } => 8 * (*rows * cols) as u64,
+            Op::Activation { elems, .. } => 4 * *elems as u64,
+            Op::Elementwise { elems, .. } => *elems as u64,
+            Op::Upsample { .. } | Op::Downsample { .. } | Op::Memcpy { .. } => 0,
+            Op::Embedding { .. } => 0,
+        }
+    }
+
+    /// Elements produced by one execution (0 for pure-movement ops where
+    /// it is not meaningful).
+    #[must_use]
+    pub fn output_elems(&self) -> u64 {
+        match self {
+            Op::Linear { tokens, out_features, .. } => (*tokens * *out_features) as u64,
+            Op::Conv2d { batch, c_out, h, w, stride, .. } => {
+                (*batch * *c_out * h.div_ceil(*stride) * w.div_ceil(*stride)) as u64
+            }
+            Op::Attention { shape, .. } => {
+                (shape.batch * shape.heads * shape.seq_q * shape.head_dim) as u64
+            }
+            Op::GroupNorm { batch, channels, h, w, .. } => (*batch * channels * h * w) as u64,
+            Op::LayerNorm { rows, cols } => (*rows * cols) as u64,
+            Op::Activation { elems, .. } | Op::Elementwise { elems, .. } => *elems as u64,
+            Op::Upsample { batch, c, h, w, factor } => {
+                (*batch * c * h * factor * w * factor) as u64
+            }
+            Op::Downsample { batch, c, h, w, factor } => ((*batch * c * h * w) / (factor * factor)) as u64,
+            Op::Embedding { tokens, dim, .. } => (*tokens * *dim) as u64,
+            Op::Memcpy { .. } => 0,
+        }
+    }
+
+    /// For attention ops, the logical shape; `None` otherwise.
+    #[must_use]
+    pub fn attention_shape(&self) -> Option<(AttentionShape, AttnKind)> {
+        match self {
+            Op::Attention { shape, kind } => Some((*shape, *kind)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories_match() {
+        assert_eq!(
+            Op::Linear { tokens: 1, in_features: 2, out_features: 3 }.category(),
+            OpCategory::Linear
+        );
+        assert_eq!(
+            Op::Conv2d { batch: 1, c_in: 1, c_out: 1, h: 2, w: 2, kernel: 3, stride: 1 }
+                .category(),
+            OpCategory::Conv
+        );
+        assert_eq!(
+            Op::Attention {
+                shape: AttentionShape::self_attn(1, 1, 4, 4),
+                kind: AttnKind::SpatialSelf
+            }
+            .category(),
+            OpCategory::Attention
+        );
+    }
+
+    #[test]
+    fn linear_flops_and_params() {
+        let op = Op::Linear { tokens: 10, in_features: 4, out_features: 8 };
+        assert_eq!(op.flops(), 2 * 10 * 4 * 8);
+        assert_eq!(op.param_count(), 32);
+        assert_eq!(op.output_elems(), 80);
+    }
+
+    #[test]
+    fn conv_flops_account_stride() {
+        let op = Op::Conv2d { batch: 1, c_in: 4, c_out: 8, h: 8, w: 8, kernel: 3, stride: 2 };
+        assert_eq!(op.flops(), 2 * 16 * 8 * 36);
+        assert_eq!(op.output_elems(), 8 * 16);
+    }
+
+    #[test]
+    fn attention_exposes_shape() {
+        let s = AttentionShape::cross_attn(2, 8, 1024, 77, 64);
+        let op = Op::Attention { shape: s, kind: AttnKind::Cross };
+        let (shape, kind) = op.attention_shape().unwrap();
+        assert_eq!(shape.seq_kv, 77);
+        assert_eq!(kind, AttnKind::Cross);
+        assert!(Op::Elementwise { elems: 1, inputs: 2 }.attention_shape().is_none());
+    }
+
+    #[test]
+    fn memcpy_has_no_flops_or_params() {
+        let op = Op::Memcpy { bytes: 100, amplification: 1.0 };
+        assert_eq!(op.flops(), 0);
+        assert_eq!(op.param_count(), 0);
+    }
+
+    #[test]
+    fn upsample_output_grows_quadratically() {
+        let op = Op::Upsample { batch: 1, c: 2, h: 4, w: 4, factor: 2 };
+        assert_eq!(op.output_elems(), 2 * 64);
+    }
+}

@@ -1,0 +1,210 @@
+//! Convolution cost model (implicit GEMM).
+
+use mmg_gpu::KernelCost;
+
+use crate::gemm::{gemm_compute_eff, GemmShape, DEFAULT_SMS};
+use crate::{KernelDesc, KernelKind};
+
+/// Implicit-GEMM convolutions pay a gather/transform tax relative to a
+/// dense GEMM of the same shape (cuDNN heuristics, filter transforms,
+/// unaligned spatial reads).
+pub const CONV_OVERHEAD_FACTOR: f64 = 0.85;
+
+/// Shape of a 2-D convolution at the kernel level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvShape {
+    /// Batch size.
+    pub batch: usize,
+    /// Input channels.
+    pub c_in: usize,
+    /// Output channels.
+    pub c_out: usize,
+    /// Input spatial extent (square images; extent after padding rules).
+    pub h: usize,
+    /// Input width.
+    pub w: usize,
+    /// Square kernel edge.
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+}
+
+impl ConvShape {
+    /// Output height under "same" padding then striding.
+    #[must_use]
+    pub fn out_h(&self) -> usize {
+        self.h.div_ceil(self.stride)
+    }
+
+    /// Output width under "same" padding then striding.
+    #[must_use]
+    pub fn out_w(&self) -> usize {
+        self.w.div_ceil(self.stride)
+    }
+
+    /// The implicit-GEMM view: `m = N·OH·OW`, `n = C_out`,
+    /// `k = C_in·KH·KW`.
+    #[must_use]
+    pub fn as_gemm(&self) -> GemmShape {
+        GemmShape::new(
+            self.batch * self.out_h() * self.out_w(),
+            self.c_out,
+            self.c_in * self.kernel * self.kernel,
+        )
+    }
+
+    /// Multiply-accumulate FLOPs.
+    #[must_use]
+    pub fn flops(&self) -> u64 {
+        self.as_gemm().flops()
+    }
+
+    /// Compulsory HBM traffic: input + weights + output, streamed once.
+    /// (The implicit-GEMM "A matrix" is never materialized; the input is
+    /// read roughly once thanks to tile-level reuse of overlapping
+    /// windows.)
+    #[must_use]
+    pub fn min_bytes(&self, elem_bytes: usize) -> u64 {
+        let input = self.batch * self.c_in * self.h * self.w;
+        let weights = self.c_out * self.c_in * self.kernel * self.kernel;
+        let output = self.batch * self.c_out * self.out_h() * self.out_w();
+        ((input + weights + output) * elem_bytes) as u64
+    }
+}
+
+/// Convolution kernel algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ConvAlgorithm {
+    /// Lower to an implicit GEMM (cuDNN's general path).
+    #[default]
+    ImplicitGemm,
+    /// Winograd F(4×4, 3×3): ~2.25x fewer multiplies for 3×3 stride-1
+    /// convolutions, at the price of tile transforms (extra traffic and a
+    /// lower sustained efficiency). Falls back to implicit GEMM for other
+    /// shapes, exactly like cuDNN's heuristics.
+    Winograd,
+}
+
+/// Multiply reduction of Winograd F(4×4, 3×3).
+pub const WINOGRAD_FLOP_REDUCTION: f64 = 2.25;
+
+/// Builds the kernel descriptor for a convolution at `elem_bytes`
+/// precision with the default (implicit GEMM) algorithm.
+#[must_use]
+pub fn conv_kernel(shape: ConvShape, elem_bytes: usize) -> KernelDesc {
+    conv_kernel_with(shape, elem_bytes, ConvAlgorithm::ImplicitGemm)
+}
+
+/// Builds the kernel descriptor for a convolution with an explicit
+/// algorithm choice.
+#[must_use]
+pub fn conv_kernel_with(shape: ConvShape, elem_bytes: usize, algo: ConvAlgorithm) -> KernelDesc {
+    let gemm = shape.as_gemm();
+    let winograd_applicable =
+        algo == ConvAlgorithm::Winograd && shape.kernel == 3 && shape.stride == 1;
+    let (flops, eff, bytes, tag) = if winograd_applicable {
+        (
+            (shape.flops() as f64 / WINOGRAD_FLOP_REDUCTION) as u64,
+            // Transform stages keep Winograd below dense-GEMM efficiency.
+            gemm_compute_eff(gemm, DEFAULT_SMS) * CONV_OVERHEAD_FACTOR * 0.85,
+            // Transformed input/output tiles inflate traffic ~30%.
+            (shape.min_bytes(elem_bytes) as f64 * 1.3) as u64,
+            "winograd",
+        )
+    } else {
+        (
+            shape.flops(),
+            gemm_compute_eff(gemm, DEFAULT_SMS) * CONV_OVERHEAD_FACTOR,
+            shape.min_bytes(elem_bytes),
+            "implicit_gemm",
+        )
+    };
+    KernelDesc::new(
+        KernelKind::ConvImplicitGemm,
+        format!(
+            "conv_{tag}_b{}_c{}x{}_hw{}x{}_k{}_s{}",
+            shape.batch, shape.c_in, shape.c_out, shape.h, shape.w, shape.kernel, shape.stride
+        ),
+        KernelCost {
+            flops,
+            hbm_bytes: bytes,
+            compute_eff: eff.clamp(0.01, 1.0),
+            memory_eff: 0.8,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sd_conv() -> ConvShape {
+        // A mid-UNet Stable Diffusion conv: 640ch, 32x32 latent, 3x3.
+        ConvShape { batch: 1, c_in: 640, c_out: 640, h: 32, w: 32, kernel: 3, stride: 1 }
+    }
+
+    #[test]
+    fn implicit_gemm_dimensions() {
+        let g = sd_conv().as_gemm();
+        assert_eq!(g.m, 1024);
+        assert_eq!(g.n, 640);
+        assert_eq!(g.k, 640 * 9);
+    }
+
+    #[test]
+    fn flops_formula() {
+        let s = sd_conv();
+        assert_eq!(s.flops(), 2 * 1024 * 640 * (640 * 9));
+    }
+
+    #[test]
+    fn stride_halves_output() {
+        let s = ConvShape { stride: 2, ..sd_conv() };
+        assert_eq!(s.out_h(), 16);
+        assert_eq!(s.as_gemm().m, 256);
+    }
+
+    #[test]
+    fn deep_conv_is_compute_efficient() {
+        let d = conv_kernel(sd_conv(), 2);
+        assert!(d.cost.compute_eff > 0.4, "eff={}", d.cost.compute_eff);
+        // High arithmetic intensity: compute-bound on A100.
+        assert!(d.cost.arithmetic_intensity() > 153.0);
+    }
+
+    #[test]
+    fn shallow_1x1_conv_is_less_efficient() {
+        let s = ConvShape { kernel: 1, c_in: 4, c_out: 320, ..sd_conv() };
+        let d = conv_kernel(s, 2);
+        assert!(d.cost.compute_eff < 0.2);
+    }
+
+    #[test]
+    fn winograd_cuts_flops_for_3x3_stride1() {
+        let d_gemm = conv_kernel_with(sd_conv(), 2, ConvAlgorithm::ImplicitGemm);
+        let d_wino = conv_kernel_with(sd_conv(), 2, ConvAlgorithm::Winograd);
+        let ratio = d_gemm.cost.flops as f64 / d_wino.cost.flops as f64;
+        assert!((ratio - WINOGRAD_FLOP_REDUCTION).abs() < 0.02);
+        assert!(d_wino.cost.hbm_bytes > d_gemm.cost.hbm_bytes);
+        assert!(d_wino.label.contains("winograd"));
+    }
+
+    #[test]
+    fn winograd_falls_back_for_other_shapes() {
+        for s in [
+            ConvShape { kernel: 1, ..sd_conv() },
+            ConvShape { stride: 2, ..sd_conv() },
+        ] {
+            let d = conv_kernel_with(s, 2, ConvAlgorithm::Winograd);
+            assert_eq!(d.cost.flops, s.flops(), "{s:?} must fall back");
+            assert!(d.label.contains("implicit_gemm"));
+        }
+    }
+
+    #[test]
+    fn bytes_count_io_once() {
+        let s = ConvShape { batch: 1, c_in: 2, c_out: 3, h: 4, w: 4, kernel: 3, stride: 1 };
+        let expect = (2 * 16 + 3 * 2 * 9 + 3 * 16) * 2;
+        assert_eq!(s.min_bytes(2), expect as u64);
+    }
+}

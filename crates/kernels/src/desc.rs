@@ -1,0 +1,86 @@
+//! Kernel descriptors.
+
+use std::fmt;
+
+use mmg_gpu::KernelCost;
+
+/// The kernel families the profiler distinguishes, mirroring the kernel
+/// names the paper reads out of Nsight Compute (`gemm`, `softmax`,
+/// `elementwise`, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    /// Dense (possibly batched) matrix multiply.
+    Gemm,
+    /// Convolution lowered to implicit GEMM.
+    ConvImplicitGemm,
+    /// Row-wise softmax.
+    Softmax,
+    /// Pointwise arithmetic (activations, residual adds, scaling).
+    Elementwise,
+    /// Normalization reductions (GroupNorm / LayerNorm / RMSNorm).
+    Norm,
+    /// Data movement only (layout transforms, KV-cache appends).
+    MemCopy,
+    /// Embedding table gather.
+    Gather,
+    /// Fused tiled attention (FlashAttention-style single kernel).
+    FusedAttention,
+}
+
+impl fmt::Display for KernelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            KernelKind::Gemm => "gemm",
+            KernelKind::ConvImplicitGemm => "conv_implicit_gemm",
+            KernelKind::Softmax => "softmax",
+            KernelKind::Elementwise => "elementwise",
+            KernelKind::Norm => "norm",
+            KernelKind::MemCopy => "memcpy",
+            KernelKind::Gather => "gather",
+            KernelKind::FusedAttention => "fused_attention",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One simulated kernel launch: a kind, a label, and its modelled cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelDesc {
+    /// Kernel family.
+    pub kind: KernelKind,
+    /// Human-readable label, e.g. `"gemm_b16_m4096_n64_k64"`.
+    pub label: String,
+    /// Cost fed to [`mmg_gpu::TimingEngine`].
+    pub cost: KernelCost,
+}
+
+impl KernelDesc {
+    /// Creates a descriptor.
+    #[must_use]
+    pub fn new(kind: KernelKind, label: impl Into<String>, cost: KernelCost) -> Self {
+        KernelDesc { kind, label: label.into(), cost }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_match_nsight_vocabulary() {
+        assert_eq!(KernelKind::Gemm.to_string(), "gemm");
+        assert_eq!(KernelKind::Softmax.to_string(), "softmax");
+        assert_eq!(KernelKind::Elementwise.to_string(), "elementwise");
+    }
+
+    #[test]
+    fn desc_construction() {
+        let d = KernelDesc::new(
+            KernelKind::Gemm,
+            "gemm_test",
+            KernelCost { flops: 1, hbm_bytes: 2, compute_eff: 0.5, memory_eff: 0.5 },
+        );
+        assert_eq!(d.kind, KernelKind::Gemm);
+        assert_eq!(d.label, "gemm_test");
+    }
+}

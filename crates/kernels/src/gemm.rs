@@ -1,0 +1,191 @@
+//! GEMM cost model.
+
+use mmg_gpu::KernelCost;
+
+use crate::{KernelDesc, KernelKind};
+
+/// Output tile edge used by tensor-core GEMM kernels (CUTLASS default-ish).
+pub const TILE_M: usize = 128;
+/// Output tile edge in the `n` dimension.
+pub const TILE_N: usize = 128;
+/// Peak fraction a well-shaped FP16 tensor-core GEMM sustains in practice.
+pub const BASE_GEMM_EFF: f64 = 0.85;
+/// Floor on compute efficiency — even pathological shapes make *some*
+/// progress per cycle.
+pub const MIN_GEMM_EFF: f64 = 0.015;
+/// Number of SMs used for wave-quantization (A100).
+pub const DEFAULT_SMS: usize = 108;
+
+/// Shape of a (batched) GEMM: `batch × [m, k] · [k, n]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GemmShape {
+    /// Batch count (1 for plain GEMM).
+    pub batch: usize,
+    /// Output rows.
+    pub m: usize,
+    /// Output columns.
+    pub n: usize,
+    /// Reduction depth.
+    pub k: usize,
+}
+
+impl GemmShape {
+    /// Plain (non-batched) GEMM.
+    #[must_use]
+    pub fn new(m: usize, n: usize, k: usize) -> Self {
+        GemmShape { batch: 1, m, n, k }
+    }
+
+    /// Batched GEMM.
+    #[must_use]
+    pub fn batched(batch: usize, m: usize, n: usize, k: usize) -> Self {
+        GemmShape { batch, m, n, k }
+    }
+
+    /// Multiply-accumulate FLOPs (2 per MAC).
+    #[must_use]
+    pub fn flops(&self) -> u64 {
+        2 * self.batch as u64 * self.m as u64 * self.n as u64 * self.k as u64
+    }
+
+    /// Compulsory HBM bytes: read A and B, write C, assuming operands are
+    /// streamed once (cache keeps tiles resident).
+    #[must_use]
+    pub fn min_bytes(&self, elem_bytes: usize) -> u64 {
+        let b = self.batch as u64;
+        let (m, n, k) = (self.m as u64, self.n as u64, self.k as u64);
+        b * (m * k + k * n + m * n) * elem_bytes as u64
+    }
+}
+
+/// Fraction of peak FLOP/s a GEMM of this shape sustains.
+///
+/// Three multiplicative terms:
+///
+/// * **tile quantization** — a `m×n` output smaller than the 128×128 tile
+///   wastes the tile's idle lanes;
+/// * **wave quantization** — the grid of output tiles (× batch) is executed
+///   in waves of `sms` thread blocks; a ragged final wave idles SMs;
+/// * **reduction depth** — short `k` cannot fill the MMA pipeline
+///   (`k / (k + 32)`).
+///
+/// When the output grid alone cannot fill the device, kernels split the
+/// reduction across blocks (split-k, up to 8 ways for deep reductions),
+/// which restores occupancy for shapes like single-image convolutions.
+#[must_use]
+pub fn gemm_compute_eff(shape: GemmShape, sms: usize) -> f64 {
+    let tiles_m = shape.m.div_ceil(TILE_M);
+    let tiles_n = shape.n.div_ceil(TILE_N);
+    let tile_eff =
+        (shape.m * shape.n) as f64 / ((tiles_m * TILE_M) * (tiles_n * TILE_N)) as f64;
+    let mut total_tiles = shape.batch * tiles_m * tiles_n;
+    if total_tiles < sms {
+        let split_k = (shape.k / 256).clamp(1, 8);
+        total_tiles *= split_k;
+    }
+    let waves = total_tiles.div_ceil(sms.max(1));
+    let wave_eff = total_tiles as f64 / (waves * sms.max(1)) as f64;
+    let k_eff = shape.k as f64 / (shape.k as f64 + 32.0);
+    (BASE_GEMM_EFF * tile_eff * wave_eff * k_eff).clamp(MIN_GEMM_EFF, 1.0)
+}
+
+/// Builds the kernel descriptor for a batched GEMM over contiguous
+/// operands at `elem_bytes` precision.
+#[must_use]
+pub fn gemm_kernel(shape: GemmShape, elem_bytes: usize) -> KernelDesc {
+    gemm_kernel_amplified(shape, elem_bytes, 1.0)
+}
+
+/// Like [`gemm_kernel`], but with the HBM traffic multiplied by an
+/// `amplification` factor (≥ 1) modelling strided/permuted operand views
+/// where each cache line yields only a fraction of useful bytes — the
+/// temporal-attention situation of Fig. 12.
+///
+/// Amplified traffic also caps memory efficiency at 0.5: scattered sector
+/// traffic cannot saturate HBM channels.
+#[must_use]
+pub fn gemm_kernel_amplified(shape: GemmShape, elem_bytes: usize, amplification: f64) -> KernelDesc {
+    assert!(amplification >= 1.0, "amplification must be >= 1");
+    let bytes = (shape.min_bytes(elem_bytes) as f64 * amplification) as u64;
+    let mem_eff = if amplification > 1.0 { 0.5 } else { 0.85 };
+    KernelDesc::new(
+        KernelKind::Gemm,
+        format!("gemm_b{}_m{}_n{}_k{}", shape.batch, shape.m, shape.n, shape.k),
+        KernelCost {
+            flops: shape.flops(),
+            hbm_bytes: bytes,
+            compute_eff: gemm_compute_eff(shape, DEFAULT_SMS),
+            memory_eff: mem_eff,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn large_square_gemm_is_efficient() {
+        let e = gemm_compute_eff(GemmShape::new(4096, 4096, 4096), DEFAULT_SMS);
+        assert!(e > 0.75, "e={e}");
+    }
+
+    #[test]
+    fn decode_gemv_is_inefficient() {
+        // 1×N decode-style "GEMM" (m=1).
+        let e = gemm_compute_eff(GemmShape::new(1, 4096, 4096), DEFAULT_SMS);
+        assert!(e < 0.05, "e={e}");
+    }
+
+    #[test]
+    fn tiny_batched_gemm_is_inefficient() {
+        // Temporal attention: 4096 batches of 16x16x64.
+        let e = gemm_compute_eff(GemmShape::batched(4096, 16, 16, 64), DEFAULT_SMS);
+        assert!(e < 0.02, "e={e}");
+    }
+
+    #[test]
+    fn efficiency_monotone_in_m_up_to_tile() {
+        let mut last = 0.0;
+        for m in [1, 8, 32, 64, 128] {
+            let e = gemm_compute_eff(GemmShape::batched(256, m, 128, 128), DEFAULT_SMS);
+            assert!(e >= last, "m={m}: {e} < {last}");
+            last = e;
+        }
+    }
+
+    #[test]
+    fn shallow_k_penalized() {
+        let deep = gemm_compute_eff(GemmShape::new(4096, 4096, 1024), DEFAULT_SMS);
+        let shallow = gemm_compute_eff(GemmShape::new(4096, 4096, 8), DEFAULT_SMS);
+        assert!(deep > 3.0 * shallow);
+    }
+
+    #[test]
+    fn flops_and_bytes() {
+        let s = GemmShape::batched(2, 4, 5, 6);
+        assert_eq!(s.flops(), 2 * 2 * 4 * 5 * 6);
+        assert_eq!(s.min_bytes(2), 2 * (4 * 6 + 6 * 5 + 4 * 5) * 2);
+    }
+
+    #[test]
+    fn amplification_scales_bytes() {
+        let s = GemmShape::new(64, 64, 64);
+        let base = gemm_kernel(s, 2);
+        let amp = gemm_kernel_amplified(s, 2, 16.0);
+        assert_eq!(amp.cost.hbm_bytes, base.cost.hbm_bytes * 16);
+        assert!(amp.cost.memory_eff < base.cost.memory_eff);
+    }
+
+    #[test]
+    fn efficiency_clamped_to_valid_range() {
+        for shape in [
+            GemmShape::new(1, 1, 1),
+            GemmShape::new(100_000, 100_000, 4096),
+            GemmShape::batched(1_000_000, 2, 2, 2),
+        ] {
+            let e = gemm_compute_eff(shape, DEFAULT_SMS);
+            assert!((MIN_GEMM_EFF..=1.0).contains(&e), "{shape:?} -> {e}");
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Bandwidth-bound kernels: softmax, elementwise, norms, copies, gathers.
+
+use mmg_gpu::KernelCost;
+
+use crate::{KernelDesc, KernelKind};
+
+/// Fraction of peak HBM bandwidth a well-formed streaming kernel sustains.
+pub const STREAM_EFF: f64 = 0.8;
+
+/// Bandwidth efficiency for a row-oriented kernel whose rows are shorter
+/// than a cache line: the tail of each 128-byte line is wasted, so the
+/// *useful* bandwidth drops proportionally.
+#[must_use]
+pub fn short_row_eff(row_bytes: usize, line_bytes: usize) -> f64 {
+    if row_bytes == 0 {
+        return STREAM_EFF;
+    }
+    if row_bytes >= line_bytes {
+        STREAM_EFF
+    } else {
+        STREAM_EFF * row_bytes as f64 / line_bytes as f64
+    }
+}
+
+/// Softmax over `rows` rows of `cols` elements.
+///
+/// Reads the input once, writes the output once; ~5 FLOPs per element
+/// (max-subtract, exp, sum, divide). Rows shorter than a cache line —
+/// temporal attention's frame-length rows — waste line bandwidth.
+#[must_use]
+pub fn softmax_kernel(rows: usize, cols: usize, elem_bytes: usize) -> KernelDesc {
+    let elems = (rows * cols) as u64;
+    let row_bytes = cols * elem_bytes;
+    KernelDesc::new(
+        KernelKind::Softmax,
+        format!("softmax_r{rows}_c{cols}"),
+        KernelCost {
+            flops: 5 * elems,
+            hbm_bytes: 2 * elems * elem_bytes as u64,
+            compute_eff: 1.0,
+            memory_eff: short_row_eff(row_bytes, 128),
+        },
+    )
+}
+
+/// Pointwise kernel over `elems` elements with `inputs` operands
+/// (e.g. residual add = 2 inputs) and `flops_per_elem` arithmetic.
+#[must_use]
+pub fn elementwise_kernel(
+    label: &str,
+    elems: u64,
+    inputs: u64,
+    flops_per_elem: u64,
+    elem_bytes: usize,
+) -> KernelDesc {
+    KernelDesc::new(
+        KernelKind::Elementwise,
+        format!("elementwise_{label}_{elems}"),
+        KernelCost {
+            flops: flops_per_elem * elems,
+            hbm_bytes: (inputs + 1) * elems * elem_bytes as u64,
+            compute_eff: 1.0,
+            memory_eff: STREAM_EFF,
+        },
+    )
+}
+
+/// Normalization kernel (GroupNorm / LayerNorm / RMSNorm): two passes over
+/// the data (statistics, then normalize) at ~8 FLOPs per element.
+#[must_use]
+pub fn norm_kernel(label: &str, elems: u64, elem_bytes: usize) -> KernelDesc {
+    KernelDesc::new(
+        KernelKind::Norm,
+        format!("norm_{label}_{elems}"),
+        KernelCost {
+            flops: 8 * elems,
+            hbm_bytes: 3 * elems * elem_bytes as u64,
+            compute_eff: 1.0,
+            memory_eff: STREAM_EFF,
+        },
+    )
+}
+
+/// Pure copy / layout transform. `amplification ≥ 1` models strided
+/// (permuted-view) transforms where lines are partially used.
+#[must_use]
+pub fn memcpy_kernel(label: &str, bytes: u64, amplification: f64) -> KernelDesc {
+    assert!(amplification >= 1.0, "amplification must be >= 1");
+    let eff = if amplification > 1.0 { 0.5 } else { STREAM_EFF };
+    KernelDesc::new(
+        KernelKind::MemCopy,
+        format!("memcpy_{label}_{bytes}"),
+        KernelCost::memory_only((bytes as f64 * amplification) as u64, eff),
+    )
+}
+
+/// Embedding gather of `tokens` rows of `dim` elements: random row reads
+/// get roughly half the streaming bandwidth.
+#[must_use]
+pub fn gather_kernel(tokens: usize, dim: usize, elem_bytes: usize) -> KernelDesc {
+    let bytes = (2 * tokens * dim * elem_bytes) as u64;
+    KernelDesc::new(
+        KernelKind::Gather,
+        format!("gather_t{tokens}_d{dim}"),
+        KernelCost { flops: 0, hbm_bytes: bytes, compute_eff: 1.0, memory_eff: 0.4 },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn long_row_softmax_full_bandwidth() {
+        let d = softmax_kernel(4096, 4096, 2);
+        assert!((d.cost.memory_eff - STREAM_EFF).abs() < 1e-12);
+        assert_eq!(d.cost.hbm_bytes, 2 * 4096 * 4096 * 2);
+    }
+
+    #[test]
+    fn short_row_softmax_penalized() {
+        // 16-frame temporal rows: 32 bytes of a 128-byte line used.
+        let d = softmax_kernel(4096 * 4096 / 16, 16, 2);
+        assert!((d.cost.memory_eff - STREAM_EFF * 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn short_row_eff_is_monotone() {
+        let mut last = 0.0;
+        for cols in [1usize, 4, 16, 32, 64, 128] {
+            let e = short_row_eff(cols * 2, 128);
+            assert!(e >= last);
+            last = e;
+        }
+        assert!((short_row_eff(256, 128) - STREAM_EFF).abs() < 1e-12);
+    }
+
+    #[test]
+    fn elementwise_counts_inputs_plus_output() {
+        let d = elementwise_kernel("add", 1000, 2, 1, 2);
+        assert_eq!(d.cost.hbm_bytes, 3 * 1000 * 2);
+        assert_eq!(d.cost.flops, 1000);
+    }
+
+    #[test]
+    fn memcpy_amplification() {
+        let d = memcpy_kernel("permute", 1000, 4.0);
+        assert_eq!(d.cost.hbm_bytes, 4000);
+        assert_eq!(d.cost.flops, 0);
+    }
+
+    #[test]
+    fn gather_bandwidth_is_degraded() {
+        let d = gather_kernel(77, 768, 2);
+        assert!(d.cost.memory_eff < STREAM_EFF);
+    }
+
+    #[test]
+    fn norm_three_streams() {
+        let d = norm_kernel("groupnorm", 500, 2);
+        assert_eq!(d.cost.hbm_bytes, 3 * 500 * 2);
+    }
+}

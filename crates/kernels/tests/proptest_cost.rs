@@ -1,0 +1,109 @@
+//! Property-based tests for kernel cost models and access streams.
+
+use mmg_kernels::access::{StridedMatrixAccess, SECTOR_BYTES};
+use mmg_kernels::conv::ConvShape;
+use mmg_kernels::gemm::{gemm_compute_eff, gemm_kernel, GemmShape};
+use mmg_kernels::memory_bound::{short_row_eff, softmax_kernel, STREAM_EFF};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Conv FLOPs via the implicit-GEMM view match the direct formula.
+    #[test]
+    fn conv_flops_match_direct_formula(
+        batch in 1usize..4,
+        c_in in 1usize..64,
+        c_out in 1usize..64,
+        hw in 1usize..64,
+        kernel in 1usize..5,
+        stride in 1usize..3,
+    ) {
+        let s = ConvShape { batch, c_in, c_out, h: hw, w: hw, kernel, stride };
+        let direct = 2
+            * (batch * hw.div_ceil(stride) * hw.div_ceil(stride)) as u64
+            * c_out as u64
+            * (c_in * kernel * kernel) as u64;
+        prop_assert_eq!(s.flops(), direct);
+    }
+
+    /// GEMM efficiency never leaves (0, 1], and kernel costs are positive.
+    #[test]
+    fn gemm_cost_sane(b in 1usize..128, m in 1usize..1024, n in 1usize..1024, k in 1usize..1024) {
+        let shape = GemmShape::batched(b, m, n, k);
+        let e = gemm_compute_eff(shape, 108);
+        prop_assert!(e > 0.0 && e <= 1.0);
+        let kd = gemm_kernel(shape, 2);
+        prop_assert!(kd.cost.flops > 0);
+        prop_assert!(kd.cost.hbm_bytes > 0);
+    }
+
+    /// GEMM bytes grow monotonically with every dimension.
+    #[test]
+    fn gemm_bytes_monotone(m in 1usize..256, n in 1usize..256, k in 1usize..256) {
+        let base = GemmShape::new(m, n, k).min_bytes(2);
+        prop_assert!(GemmShape::new(m + 1, n, k).min_bytes(2) >= base);
+        prop_assert!(GemmShape::new(m, n + 1, k).min_bytes(2) >= base);
+        prop_assert!(GemmShape::new(m, n, k + 1).min_bytes(2) >= base);
+    }
+
+    /// Short-row efficiency is bounded by the streaming efficiency and
+    /// monotone in row length.
+    #[test]
+    fn short_row_eff_bounded(row in 0usize..512) {
+        let e = short_row_eff(row, 128);
+        prop_assert!(e > 0.0 && e <= STREAM_EFF + 1e-12);
+        prop_assert!(short_row_eff(row + 1, 128) >= e - 1e-12);
+    }
+
+    /// Softmax kernel traffic is exactly two passes over the data.
+    #[test]
+    fn softmax_traffic_two_passes(rows in 1usize..512, cols in 1usize..512) {
+        let k = softmax_kernel(rows, cols, 2);
+        prop_assert_eq!(k.cost.hbm_bytes, 2 * (rows * cols) as u64 * 2);
+    }
+
+    /// Probe streams are sector-aligned and never repeat consecutively.
+    #[test]
+    fn probes_sector_aligned_and_deduped(
+        rows in 1usize..16,
+        cols in 1usize..64,
+        col_stride in 1usize..256,
+    ) {
+        let acc = StridedMatrixAccess {
+            base: 0,
+            rows,
+            cols,
+            row_stride_elems: cols * col_stride,
+            col_stride_elems: col_stride,
+            elem_bytes: 2,
+            row_step: 1,
+        };
+        let mut out = Vec::new();
+        acc.extend_probes(&mut out, 10_000);
+        prop_assert!(!out.is_empty());
+        for w in out.windows(2) {
+            prop_assert_ne!(w[0], w[1], "consecutive duplicate sector");
+        }
+        for &a in &out {
+            prop_assert_eq!(a % SECTOR_BYTES, 0);
+        }
+    }
+
+    /// The probe cap is respected exactly.
+    #[test]
+    fn probe_cap_respected(rows in 1usize..64, cols in 1usize..64, cap in 1usize..128) {
+        let acc = StridedMatrixAccess {
+            base: 0,
+            rows,
+            cols,
+            row_stride_elems: cols * 100,
+            col_stride_elems: 100,
+            elem_bytes: 2,
+            row_step: 1,
+        };
+        let mut out = Vec::new();
+        acc.extend_probes(&mut out, cap);
+        prop_assert!(out.len() <= cap);
+    }
+}

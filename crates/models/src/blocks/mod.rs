@@ -1,0 +1,13 @@
+//! Graph builders for the architectural building blocks shared across the
+//! suite: transformer stacks, diffusion UNets, and convolutional decoders.
+
+mod decoder;
+mod transformer;
+mod unet;
+
+pub use decoder::{sr_unet_config, vae_decoder_graph, VaeDecoderConfig};
+pub use transformer::{
+    batched_decode_step_graph, decode_step_graph, encoder_graph, prefill_graph,
+    windowed_encoder_graph,
+};
+pub use unet::unet_step_graph;

@@ -1,0 +1,203 @@
+//! Reusable architecture configurations.
+
+/// Configuration of a diffusion UNet (Table I vocabulary: channel
+/// multipliers, attention resolutions, residual blocks per level).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UNetConfig {
+    /// Channels at the highest resolution level.
+    pub base_channels: usize,
+    /// Per-level channel multipliers, highest resolution first
+    /// (Table I "Channel Mult", e.g. `[1, 2, 4, 4]`).
+    pub channel_mult: Vec<usize>,
+    /// Residual blocks per level (Table I "Num Res Blocks").
+    pub num_res_blocks: usize,
+    /// Latent/pixel edge lengths at which *self*-attention runs.
+    pub attn_resolutions: Vec<usize>,
+    /// Edge lengths at which *cross*-attention to the text runs
+    /// (empty = no text conditioning inside the UNet).
+    pub cross_attn_resolutions: Vec<usize>,
+    /// Edge lengths at which *temporal* attention runs (TTV models only).
+    pub temporal_attn_resolutions: Vec<usize>,
+    /// Attention head count.
+    pub heads: usize,
+    /// Encoded-text sequence length for cross-attention.
+    pub text_len: usize,
+    /// Encoded-text embedding width.
+    pub text_dim: usize,
+    /// Input channels (4 for SD latents, 3 for pixel models).
+    pub in_channels: usize,
+}
+
+impl UNetConfig {
+    /// Channels at level `i` (0 = highest resolution).
+    #[must_use]
+    pub fn channels_at(&self, level: usize) -> usize {
+        self.base_channels * self.channel_mult[level.min(self.channel_mult.len() - 1)]
+    }
+
+    /// Number of resolution levels.
+    #[must_use]
+    pub fn levels(&self) -> usize {
+        self.channel_mult.len()
+    }
+
+    /// Whether self-attention runs at edge length `res`.
+    #[must_use]
+    pub fn self_attn_at(&self, res: usize) -> bool {
+        self.attn_resolutions.contains(&res)
+    }
+
+    /// Whether cross-attention runs at edge length `res`.
+    #[must_use]
+    pub fn cross_attn_at(&self, res: usize) -> bool {
+        self.cross_attn_resolutions.contains(&res)
+    }
+
+    /// Whether temporal attention runs at edge length `res`.
+    #[must_use]
+    pub fn temporal_attn_at(&self, res: usize) -> bool {
+        self.temporal_attn_resolutions.contains(&res)
+    }
+}
+
+/// Configuration of a transformer stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransformerConfig {
+    /// Layer count.
+    pub layers: usize,
+    /// Model width (Table I "Model Dim").
+    pub d_model: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Feed-forward inner width.
+    pub d_ff: usize,
+    /// Whether the FFN is gated (SwiGLU: three matrices, as in LLaMA).
+    pub gated_ffn: bool,
+    /// Vocabulary size (text or image-token codebook).
+    pub vocab: usize,
+    /// Whether blocks include cross-attention to an encoder output.
+    pub cross_attention: bool,
+    /// Encoder output length for cross-attention (ignored otherwise).
+    pub context_len: usize,
+    /// Encoder output width for cross-attention (ignored otherwise).
+    pub context_dim: usize,
+}
+
+impl TransformerConfig {
+    /// Per-head width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_model` is not divisible by `heads`.
+    #[must_use]
+    pub fn head_dim(&self) -> usize {
+        assert!(
+            self.heads > 0 && self.d_model.is_multiple_of(self.heads),
+            "d_model {} not divisible by heads {}",
+            self.d_model,
+            self.heads
+        );
+        self.d_model / self.heads
+    }
+
+    /// Approximate parameter count of the stack (QKVO projections + FFN +
+    /// norms + embedding), for roofline capacity estimates.
+    #[must_use]
+    pub fn approx_params(&self) -> u64 {
+        let d = self.d_model as u64;
+        let ffn_mats = if self.gated_ffn { 3 } else { 2 };
+        let per_layer = 4 * d * d
+            + ffn_mats * d * self.d_ff as u64
+            + if self.cross_attention { 2 * d * self.context_dim as u64 + 2 * d * d } else { 0 }
+            + 4 * d;
+        self.layers as u64 * per_layer + self.vocab as u64 * d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sd_unet() -> UNetConfig {
+        UNetConfig {
+            base_channels: 320,
+            channel_mult: vec![1, 2, 4, 4],
+            num_res_blocks: 2,
+            attn_resolutions: vec![64, 32, 16],
+            cross_attn_resolutions: vec![64, 32, 16],
+            temporal_attn_resolutions: vec![],
+            heads: 8,
+            text_len: 77,
+            text_dim: 768,
+            in_channels: 4,
+        }
+    }
+
+    #[test]
+    fn channels_follow_multipliers() {
+        let c = sd_unet();
+        assert_eq!(c.channels_at(0), 320);
+        assert_eq!(c.channels_at(2), 1280);
+        assert_eq!(c.channels_at(9), 1280, "clamps to last level");
+        assert_eq!(c.levels(), 4);
+    }
+
+    #[test]
+    fn attention_resolution_predicates() {
+        let c = sd_unet();
+        assert!(c.self_attn_at(64));
+        assert!(!c.self_attn_at(8));
+        assert!(c.cross_attn_at(16));
+        assert!(!c.temporal_attn_at(64));
+    }
+
+    #[test]
+    fn head_dim_checks_divisibility() {
+        let t = TransformerConfig {
+            layers: 2,
+            d_model: 64,
+            heads: 8,
+            d_ff: 256,
+            gated_ffn: false,
+            vocab: 100,
+            cross_attention: false,
+            context_len: 0,
+            context_dim: 0,
+        };
+        assert_eq!(t.head_dim(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn bad_head_split_panics() {
+        let t = TransformerConfig {
+            layers: 1,
+            d_model: 65,
+            heads: 8,
+            d_ff: 1,
+            gated_ffn: false,
+            vocab: 1,
+            cross_attention: false,
+            context_len: 0,
+            context_dim: 0,
+        };
+        let _ = t.head_dim();
+    }
+
+    #[test]
+    fn llama_7b_params_in_range() {
+        let t = TransformerConfig {
+            layers: 32,
+            d_model: 4096,
+            heads: 32,
+            d_ff: 11008,
+            gated_ffn: true,
+            vocab: 32000,
+            cross_attention: false,
+            context_len: 0,
+            context_dim: 0,
+        };
+        let p = t.approx_params();
+        assert!((6_000_000_000..8_000_000_000).contains(&p), "params {p}");
+    }
+}

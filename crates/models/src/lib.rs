@@ -1,0 +1,35 @@
+//! # mmg-models
+//!
+//! The paper's model suite (Section III) as operator-graph builders:
+//!
+//! | Workload | Class | Built from |
+//! |---|---|---|
+//! | LLaMA2-7B | text LLM | transformer decoder, prefill + KV-cached decode |
+//! | Imagen | pixel diffusion | T5 encoder + base UNet + two SR UNets |
+//! | Stable Diffusion | latent diffusion | CLIP encoder + UNet + VAE decoder |
+//! | Muse | transformer TTI | decoder transformer with parallel decoding |
+//! | Parti | transformer TTI | encoder–decoder with autoregressive decode |
+//! | Prod Image | latent diffusion | production-style conv-heavy latent UNet |
+//! | Make-A-Video | diffusion TTV | UNet + temporal attention/conv layers |
+//! | Phenaki | transformer TTV | C-ViViT tokens + MaskGit transformer |
+//!
+//! Architecture hyperparameters follow the paper's Table I where given and
+//! the cited model papers otherwise; every config is a plain struct you can
+//! modify for sweeps (image size, frame count, step count).
+//!
+//! Builders produce [`Pipeline`]s: named stages (text encoder, UNet step,
+//! decoder, …) with repeat counts (denoising steps, decode steps), which
+//! the profiler turns into operator timelines.
+
+#![deny(missing_docs)]
+
+pub mod blocks;
+mod config;
+pub mod diffusion;
+mod pipeline;
+mod registry;
+pub mod suite;
+
+pub use config::{TransformerConfig, UNetConfig};
+pub use pipeline::{Pipeline, PipelineProfile, Stage, StageProfile};
+pub use registry::{ArchClass, ModelId, ModelRecord, registry};

@@ -1,0 +1,212 @@
+//! The model registry: suite identities plus the published
+//! (FID, parameter-count) points behind Fig. 4.
+
+use std::fmt;
+
+/// The eight profiled workloads plus the LLaMA2 baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ModelId {
+    /// LLaMA2-7B text generation (the comparison LLM).
+    Llama2,
+    /// Imagen — pixel-space diffusion with two SR stages.
+    Imagen,
+    /// Stable Diffusion — latent diffusion.
+    StableDiffusion,
+    /// Muse — transformer TTI with parallel decoding.
+    Muse,
+    /// Parti — autoregressive encoder–decoder transformer TTI.
+    Parti,
+    /// The production latent-diffusion image model.
+    ProdImage,
+    /// Make-A-Video — diffusion TTV.
+    MakeAVideo,
+    /// Phenaki — transformer TTV.
+    Phenaki,
+}
+
+impl ModelId {
+    /// All suite members in the paper's presentation order.
+    pub const ALL: [ModelId; 8] = [
+        ModelId::Llama2,
+        ModelId::Imagen,
+        ModelId::StableDiffusion,
+        ModelId::Muse,
+        ModelId::Parti,
+        ModelId::ProdImage,
+        ModelId::MakeAVideo,
+        ModelId::Phenaki,
+    ];
+
+    /// The TTI/TTV members (everything but the LLM baseline).
+    pub const GENERATIVE: [ModelId; 7] = [
+        ModelId::Imagen,
+        ModelId::StableDiffusion,
+        ModelId::Muse,
+        ModelId::Parti,
+        ModelId::ProdImage,
+        ModelId::MakeAVideo,
+        ModelId::Phenaki,
+    ];
+
+    /// Architecture class of the model.
+    #[must_use]
+    pub fn arch(self) -> ArchClass {
+        match self {
+            ModelId::Llama2 => ArchClass::Llm,
+            ModelId::Imagen => ArchClass::DiffusionPixel,
+            ModelId::StableDiffusion | ModelId::ProdImage => ArchClass::DiffusionLatent,
+            ModelId::Muse | ModelId::Parti => ArchClass::TransformerTti,
+            ModelId::MakeAVideo => ArchClass::DiffusionVideo,
+            ModelId::Phenaki => ArchClass::TransformerVideo,
+        }
+    }
+
+    /// Whether the workload is diffusion-based (UNet denoising loop).
+    #[must_use]
+    pub fn is_diffusion(self) -> bool {
+        matches!(
+            self.arch(),
+            ArchClass::DiffusionPixel | ArchClass::DiffusionLatent | ArchClass::DiffusionVideo
+        )
+    }
+
+    /// Whether the workload generates video.
+    #[must_use]
+    pub fn is_video(self) -> bool {
+        matches!(self.arch(), ArchClass::DiffusionVideo | ArchClass::TransformerVideo)
+    }
+}
+
+impl fmt::Display for ModelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ModelId::Llama2 => "LLaMA2",
+            ModelId::Imagen => "Imagen",
+            ModelId::StableDiffusion => "StableDiffusion",
+            ModelId::Muse => "Muse",
+            ModelId::Parti => "Parti",
+            ModelId::ProdImage => "ProdImage",
+            ModelId::MakeAVideo => "MakeAVideo",
+            ModelId::Phenaki => "Phenaki",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Architecture taxonomy of Section II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArchClass {
+    /// Text-only decoder transformer.
+    Llm,
+    /// Pixel-space diffusion (with SR networks).
+    DiffusionPixel,
+    /// Latent-space diffusion (with VAE/GAN decoder).
+    DiffusionLatent,
+    /// Transformer-based text-to-image.
+    TransformerTti,
+    /// Diffusion-based text-to-video.
+    DiffusionVideo,
+    /// Transformer-based text-to-video.
+    TransformerVideo,
+}
+
+impl fmt::Display for ArchClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ArchClass::Llm => "LLM",
+            ArchClass::DiffusionPixel => "Diffusion (Pixel)",
+            ArchClass::DiffusionLatent => "Diffusion (Latent)",
+            ArchClass::TransformerTti => "Transformer",
+            ArchClass::DiffusionVideo => "Diffusion TTV",
+            ArchClass::TransformerVideo => "Transformer TTV",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A published model point for the Fig. 4 quality/size landscape.
+///
+/// FID values are the previously-reported COCO zero-shot numbers the paper
+/// plots; parameter counts are the cited totals. (Fig. 4 plots published
+/// values — these are inputs, not measurements.)
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelRecord {
+    /// Model name as plotted.
+    pub name: &'static str,
+    /// Architecture class.
+    pub arch: ArchClass,
+    /// Total parameters (all components), in billions.
+    pub params_b: f64,
+    /// Reported COCO FID (lower is better).
+    pub fid: f64,
+    /// Whether an open implementation exists (closed models are plotted
+    /// but excluded from the profiled suite).
+    pub open_source: bool,
+}
+
+/// The Fig. 4 scatter: published (FID, params) points for TTI models.
+#[must_use]
+pub fn registry() -> Vec<ModelRecord> {
+    use ArchClass::*;
+    vec![
+        ModelRecord { name: "Imagen", arch: DiffusionPixel, params_b: 3.0, fid: 7.27, open_source: true },
+        ModelRecord { name: "StableDiffusion", arch: DiffusionLatent, params_b: 1.45, fid: 12.63, open_source: true },
+        ModelRecord { name: "Muse", arch: TransformerTti, params_b: 3.0, fid: 7.88, open_source: true },
+        ModelRecord { name: "Parti", arch: TransformerTti, params_b: 20.0, fid: 7.23, open_source: true },
+        ModelRecord { name: "DALL-E", arch: TransformerTti, params_b: 12.0, fid: 27.5, open_source: false },
+        ModelRecord { name: "GLIDE", arch: DiffusionPixel, params_b: 5.0, fid: 12.24, open_source: false },
+        ModelRecord { name: "DALL-E 2", arch: DiffusionPixel, params_b: 5.5, fid: 10.39, open_source: false },
+        ModelRecord { name: "Make-A-Scene", arch: TransformerTti, params_b: 4.0, fid: 11.84, open_source: true },
+        ModelRecord { name: "CogView", arch: TransformerTti, params_b: 4.0, fid: 27.1, open_source: true },
+        ModelRecord { name: "CogView2", arch: TransformerTti, params_b: 6.0, fid: 24.0, open_source: true },
+        ModelRecord { name: "VQ-Diffusion", arch: DiffusionLatent, params_b: 0.37, fid: 19.75, open_source: true },
+        ModelRecord { name: "ERNIE-ViLG 2.0", arch: DiffusionPixel, params_b: 24.0, fid: 6.75, open_source: false },
+        ModelRecord { name: "LDM", arch: DiffusionLatent, params_b: 1.45, fid: 12.63, open_source: true },
+        ModelRecord { name: "RA-CM3", arch: TransformerTti, params_b: 2.7, fid: 15.7, open_source: true },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_eight_plus_llm() {
+        assert_eq!(ModelId::ALL.len(), 8);
+        assert_eq!(ModelId::GENERATIVE.len(), 7);
+        assert!(!ModelId::GENERATIVE.contains(&ModelId::Llama2));
+    }
+
+    #[test]
+    fn arch_classification() {
+        assert!(ModelId::StableDiffusion.is_diffusion());
+        assert!(!ModelId::Parti.is_diffusion());
+        assert!(ModelId::MakeAVideo.is_video());
+        assert!(ModelId::Phenaki.is_video());
+        assert!(!ModelId::Muse.is_video());
+        assert_eq!(ModelId::Imagen.arch(), ArchClass::DiffusionPixel);
+    }
+
+    #[test]
+    fn registry_covers_pareto_models() {
+        let r = registry();
+        for name in ["Imagen", "StableDiffusion", "Muse", "Parti"] {
+            assert!(r.iter().any(|m| m.name == name), "{name} missing");
+        }
+        assert!(r.len() >= 12);
+    }
+
+    #[test]
+    fn registry_values_sane() {
+        for m in registry() {
+            assert!(m.params_b > 0.0 && m.params_b < 100.0, "{}", m.name);
+            assert!(m.fid > 0.0 && m.fid < 50.0, "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ModelId::StableDiffusion.to_string(), "StableDiffusion");
+        assert_eq!(ArchClass::DiffusionLatent.to_string(), "Diffusion (Latent)");
+    }
+}

@@ -1,0 +1,130 @@
+//! Imagen — the pixel-diffusion representative: T5-XXL text encoder, a
+//! 64×64 base UNet, and two super-resolution diffusion stages
+//! (64→256→1024), per Section III.
+
+use crate::blocks::{encoder_graph, sr_unet_config, unet_step_graph};
+use crate::suite::t5_xxl_config;
+use crate::{ModelId, Pipeline, Stage, UNetConfig};
+
+/// Imagen inference configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImagenConfig {
+    /// Text sequence length fed to T5.
+    pub text_len: usize,
+    /// Base (64×64) denoising steps.
+    pub base_steps: usize,
+    /// SR stage 1 (256×256) steps.
+    pub sr1_steps: usize,
+    /// SR stage 2 (1024×1024) steps.
+    pub sr2_steps: usize,
+}
+
+impl Default for ImagenConfig {
+    fn default() -> Self {
+        ImagenConfig { text_len: 128, base_steps: 64, sr1_steps: 32, sr2_steps: 32 }
+    }
+}
+
+impl ImagenConfig {
+    /// The base 64×64 UNet, following Table I: channel mult `[1,2,4,4]`,
+    /// 3 res blocks, self- and text-cross-attention at resolutions
+    /// `[32,16,8]`, embed dim 512.
+    #[must_use]
+    pub fn base_unet(&self) -> UNetConfig {
+        UNetConfig {
+            base_channels: 512,
+            channel_mult: vec![1, 2, 4, 4],
+            num_res_blocks: 3,
+            attn_resolutions: vec![32, 16, 8],
+            cross_attn_resolutions: vec![32, 16, 8],
+            temporal_attn_resolutions: vec![],
+            heads: 8,
+            text_len: self.text_len,
+            text_dim: 4096,
+            in_channels: 3,
+        }
+    }
+
+    /// SR stage 1: efficient UNet at 256×256 (cross-attention only at the
+    /// deepest level; no high-res self-attention).
+    #[must_use]
+    pub fn sr1_unet(&self) -> UNetConfig {
+        sr_unet_config(self.text_len, 4096)
+    }
+
+    /// SR stage 2: 1024×1024, convolution-only (its levels never reach the
+    /// 32-pixel cross-attention resolution).
+    #[must_use]
+    pub fn sr2_unet(&self) -> UNetConfig {
+        UNetConfig { base_channels: 64, ..sr_unet_config(self.text_len, 4096) }
+    }
+}
+
+/// Builds the Imagen pipeline.
+#[must_use]
+pub fn pipeline(cfg: &ImagenConfig) -> Pipeline {
+    let t5 = t5_xxl_config();
+    let stages = vec![
+        Stage::once("t5_encoder", encoder_graph(&t5, cfg.text_len)),
+        Stage::new("base_unet_step", cfg.base_steps, unet_step_graph(&cfg.base_unet(), 64, 1)),
+        Stage::new("sr1_unet_step", cfg.sr1_steps, unet_step_graph(&cfg.sr1_unet(), 256, 1)),
+        Stage::new("sr2_unet_step", cfg.sr2_steps, unet_step_graph(&cfg.sr2_unet(), 1024, 1)),
+    ];
+    Pipeline::new("Imagen", Some(ModelId::Imagen), stages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmg_graph::OpCategory;
+
+    #[test]
+    fn pipeline_has_three_diffusion_stages() {
+        let p = pipeline(&ImagenConfig::default());
+        assert_eq!(p.stages.len(), 4);
+        assert!(p.stages.iter().filter(|s| s.name.contains("unet")).count() == 3);
+    }
+
+    #[test]
+    fn sr2_is_pure_convolution() {
+        let cfg = ImagenConfig::default();
+        let g = unet_step_graph(&cfg.sr2_unet(), 1024, 1);
+        // Mid-block self-attention exists but at 128 res it is the only one;
+        // ensure no attention above the mid block leaked in.
+        let attn_flops: u64 = g
+            .attention_nodes()
+            .map(|n| n.op.flops())
+            .sum();
+        assert!((attn_flops as f64) / (g.total_flops() as f64) < 0.35, "SR2 should be conv-dominated");
+    }
+
+    #[test]
+    fn pixel_model_spends_more_conv_flops_than_latent_sd() {
+        // Section IV-A: pixel-based models spend ~15% more time on
+        // convolution than latent-based ones. Check the FLOP mix ordering.
+        use crate::suite::stable_diffusion;
+        let conv_frac = |p: &Pipeline| {
+            let mut conv = 0u64;
+            let mut total = 0u64;
+            for s in &p.stages {
+                let by = s.graph.flops_by_category();
+                let c = by.iter().find(|(c, _)| *c == OpCategory::Conv).map_or(0, |(_, f)| *f);
+                conv += s.repeats as u64 * c;
+                total += s.repeats as u64 * s.graph.total_flops();
+            }
+            conv as f64 / total as f64
+        };
+        let imagen = pipeline(&ImagenConfig::default());
+        let sd = stable_diffusion::pipeline(&stable_diffusion::StableDiffusionConfig::default());
+        assert!(conv_frac(&imagen) > conv_frac(&sd));
+    }
+
+    #[test]
+    fn params_within_taxonomy_range() {
+        // Table I lists 3B for Imagen's diffusion stack (T5-XXL is frozen
+        // and usually quoted separately); allow the combined total.
+        let p = pipeline(&ImagenConfig::default());
+        let params = p.param_count() as f64 / 1e9;
+        assert!((2.0..10.0).contains(&params), "params {params}B");
+    }
+}

@@ -1,0 +1,184 @@
+//! Imagen-Video-style cascade (extension model, paper ref \[24]).
+//!
+//! Not one of the eight profiled workloads, but the paper leans on its
+//! design twice: TTV systems "substitute Attention calls for Convolutional
+//! layers to keep computational/memory costs down, especially in models
+//! with higher resolution", and future TTV needs both more frames and more
+//! resolution. This builder composes the existing blocks into the
+//! characteristic three-stage cascade: a spatiotemporal base model, a
+//! temporal super-resolution stage (more frames), and a spatial
+//! super-resolution stage (more pixels, convolution-only).
+
+use crate::blocks::{encoder_graph, sr_unet_config, unet_step_graph};
+use crate::suite::t5_xxl_config;
+use crate::{ModelId, Pipeline, Stage, UNetConfig};
+
+/// Imagen-Video-style configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImagenVideoConfig {
+    /// Base frames.
+    pub base_frames: usize,
+    /// Base spatial edge.
+    pub base_res: usize,
+    /// Base denoising steps.
+    pub base_steps: usize,
+    /// Frames after temporal super-resolution.
+    pub tsr_frames: usize,
+    /// Temporal-SR denoising steps.
+    pub tsr_steps: usize,
+    /// Spatial-SR output edge.
+    pub ssr_res: usize,
+    /// Spatial-SR denoising steps.
+    pub ssr_steps: usize,
+    /// Text length.
+    pub text_len: usize,
+}
+
+impl Default for ImagenVideoConfig {
+    fn default() -> Self {
+        ImagenVideoConfig {
+            base_frames: 16,
+            base_res: 64,
+            base_steps: 50,
+            tsr_frames: 32,
+            tsr_steps: 24,
+            ssr_res: 256,
+            ssr_steps: 24,
+            text_len: 128,
+        }
+    }
+}
+
+impl ImagenVideoConfig {
+    /// Base spatiotemporal UNet: spatial + temporal attention at the deep
+    /// levels.
+    #[must_use]
+    pub fn base_unet(&self) -> UNetConfig {
+        UNetConfig {
+            base_channels: 320,
+            channel_mult: vec![1, 2, 4, 4],
+            num_res_blocks: 2,
+            attn_resolutions: vec![32, 16, 8],
+            cross_attn_resolutions: vec![32, 16, 8],
+            temporal_attn_resolutions: vec![64, 32, 16, 8],
+            heads: 8,
+            text_len: self.text_len,
+            text_dim: 4096,
+            in_channels: 3,
+        }
+    }
+
+    /// Temporal-SR UNet: interpolates to more frames; temporal layers at
+    /// every level, *no* spatial attention (the resolution is unchanged,
+    /// the frame axis is the work).
+    #[must_use]
+    pub fn tsr_unet(&self) -> UNetConfig {
+        UNetConfig {
+            base_channels: 256,
+            channel_mult: vec![1, 2, 4],
+            num_res_blocks: 2,
+            attn_resolutions: vec![],
+            cross_attn_resolutions: vec![16],
+            temporal_attn_resolutions: vec![64, 32, 16],
+            heads: 8,
+            text_len: self.text_len,
+            text_dim: 4096,
+            in_channels: 3,
+        }
+    }
+
+    /// Spatial-SR UNet: the high-resolution stage drops attention entirely
+    /// — the ref \[24] design choice the paper highlights — and keeps only
+    /// temporal *convolution* at its deepest level.
+    #[must_use]
+    pub fn ssr_unet(&self) -> UNetConfig {
+        UNetConfig {
+            temporal_attn_resolutions: vec![32],
+            cross_attn_resolutions: vec![],
+            ..sr_unet_config(self.text_len, 4096)
+        }
+    }
+}
+
+/// Builds the cascade pipeline. The stages carry no [`ModelId`]: this is
+/// an extension beyond the paper's profiled suite.
+#[must_use]
+pub fn pipeline(cfg: &ImagenVideoConfig) -> Pipeline {
+    let t5 = t5_xxl_config();
+    let stages = vec![
+        Stage::once("t5_encoder", encoder_graph(&t5, cfg.text_len)),
+        Stage::new(
+            "base_unet_step",
+            cfg.base_steps,
+            unet_step_graph(&cfg.base_unet(), cfg.base_res, cfg.base_frames),
+        ),
+        Stage::new(
+            "tsr_unet_step",
+            cfg.tsr_steps,
+            unet_step_graph(&cfg.tsr_unet(), cfg.base_res, cfg.tsr_frames),
+        ),
+        Stage::new(
+            "ssr_unet_step",
+            cfg.ssr_steps,
+            unet_step_graph(&cfg.ssr_unet(), cfg.ssr_res, cfg.tsr_frames),
+        ),
+    ];
+    let _: Option<ModelId> = None;
+    Pipeline::new("ImagenVideo", None, stages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmg_graph::{AttnKind, OpCategory};
+
+    #[test]
+    fn cascade_has_three_diffusion_stages() {
+        let p = pipeline(&ImagenVideoConfig::default());
+        assert_eq!(p.stages.iter().filter(|s| s.name.contains("unet")).count(), 3);
+        assert!(p.total_flops() > 0);
+    }
+
+    #[test]
+    fn ssr_stage_has_no_attention_above_mid_block() {
+        let cfg = ImagenVideoConfig::default();
+        let g = unet_step_graph(&cfg.ssr_unet(), cfg.ssr_res, cfg.tsr_frames);
+        for n in g.attention_nodes() {
+            let (s, kind) = n.op.attention_shape().unwrap();
+            // Only the mid-block spatial attention (32*32 at the deepest
+            // level of a 256-res, 4-level UNet) and temporal layers remain.
+            if kind != AttnKind::Temporal {
+                assert!(s.seq_q <= 32 * 32, "high-res spatial attention leaked: {}", s.seq_q);
+            }
+        }
+    }
+
+    #[test]
+    fn ssr_stage_is_convolution_dominated() {
+        let cfg = ImagenVideoConfig::default();
+        let g = unet_step_graph(&cfg.ssr_unet(), cfg.ssr_res, cfg.tsr_frames);
+        let by = g.flops_by_category();
+        let conv = by.iter().find(|(c, _)| *c == OpCategory::Conv).unwrap().1;
+        assert!(conv as f64 / g.total_flops() as f64 > 0.7);
+    }
+
+    #[test]
+    fn tsr_temporal_sequence_is_interpolated_frame_count() {
+        let cfg = ImagenVideoConfig::default();
+        let g = unet_step_graph(&cfg.tsr_unet(), cfg.base_res, cfg.tsr_frames);
+        let t = g
+            .attention_nodes()
+            .filter_map(|n| n.op.attention_shape())
+            .find(|(_, k)| *k == AttnKind::Temporal)
+            .unwrap();
+        assert_eq!(t.0.seq_q, 32);
+    }
+
+    #[test]
+    fn video_cascade_outweighs_image_cascade() {
+        // Same architecture family, but the temporal axis multiplies work.
+        let video = pipeline(&ImagenVideoConfig::default());
+        let image = crate::suite::imagen::pipeline(&crate::suite::imagen::ImagenConfig::default());
+        assert!(video.total_flops() > image.total_flops());
+    }
+}

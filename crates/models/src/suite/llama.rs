@@ -1,0 +1,116 @@
+//! LLaMA2-7B — the text-generation comparison point.
+
+use crate::blocks::{decode_step_graph, prefill_graph};
+use crate::{ModelId, Pipeline, Stage, TransformerConfig};
+
+/// LLaMA2-7B inference configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Llama2Config {
+    /// Transformer stack.
+    pub transformer: TransformerConfig,
+    /// Prompt length processed in the prefill phase.
+    pub prompt_len: usize,
+    /// Tokens generated autoregressively.
+    pub gen_tokens: usize,
+    /// Decode steps are sampled at this stride (each sampled step stands
+    /// for `stride` real steps); the KV length grows linearly, so the
+    /// sampled sum converges to the true sum.
+    pub decode_sample_stride: usize,
+}
+
+impl Default for Llama2Config {
+    fn default() -> Self {
+        Llama2Config {
+            transformer: TransformerConfig {
+                layers: 32,
+                d_model: 4096,
+                heads: 32,
+                d_ff: 11008,
+            gated_ffn: true,
+                vocab: 32000,
+                cross_attention: false,
+                context_len: 0,
+                context_dim: 0,
+            },
+            prompt_len: 4096,
+            gen_tokens: 32,
+            decode_sample_stride: 8,
+        }
+    }
+}
+
+/// Builds the LLaMA2 inference pipeline: one prefill stage plus sampled
+/// KV-cached decode stages.
+#[must_use]
+pub fn pipeline(cfg: &Llama2Config) -> Pipeline {
+    let mut stages =
+        vec![Stage::once("prefill", prefill_graph(&cfg.transformer, cfg.prompt_len))
+            .with_weight_group("transformer")];
+    let stride = cfg.decode_sample_stride.max(1);
+    let mut t = 0;
+    while t < cfg.gen_tokens {
+        let reps = stride.min(cfg.gen_tokens - t);
+        // Sample the middle of the window so the linear KV growth averages
+        // out exactly.
+        let kv = cfg.prompt_len + t + reps / 2;
+        stages.push(
+            Stage::new(format!("decode_t{t}"), reps, decode_step_graph(&cfg.transformer, kv))
+                .with_weight_group("transformer"),
+        );
+        t += reps;
+    }
+    Pipeline::new("LLaMA2", Some(ModelId::Llama2), stages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmg_graph::OpCategory;
+
+    #[test]
+    fn decode_steps_cover_generation() {
+        let cfg = Llama2Config::default();
+        let p = pipeline(&cfg);
+        let decode_reps: usize =
+            p.stages.iter().filter(|s| s.name.starts_with("decode")).map(|s| s.repeats).sum();
+        assert_eq!(decode_reps, cfg.gen_tokens);
+    }
+
+    #[test]
+    fn params_are_about_7b() {
+        let p = pipeline(&Llama2Config::default());
+        // Stage params over-count because each sampled decode stage holds
+        // the same weights; the prefill stage alone carries the true count.
+        let prefill = &p.stages[0];
+        let params = prefill.graph.param_count() as f64 / 1e9;
+        assert!((5.5..8.0).contains(&params), "params {params}B");
+    }
+
+    #[test]
+    fn attention_and_linear_dominate_flops() {
+        let p = pipeline(&Llama2Config::default());
+        let g = &p.stages[0].graph;
+        let by = g.flops_by_category();
+        let get = |c| by.iter().find(|(cat, _)| *cat == c).map_or(0, |(_, f)| *f);
+        let dominant = get(OpCategory::Linear) + get(OpCategory::Attention);
+        assert!(dominant as f64 / g.total_flops() as f64 > 0.95);
+    }
+
+    #[test]
+    fn sampled_kv_lengths_increase() {
+        let p = pipeline(&Llama2Config::default());
+        let kvs: Vec<usize> = p.stages[1..]
+            .iter()
+            .map(|s| {
+                s.graph
+                    .attention_nodes()
+                    .next()
+                    .and_then(|n| n.op.attention_shape())
+                    .unwrap()
+                    .0
+                    .seq_kv
+            })
+            .collect();
+        assert!(kvs.windows(2).all(|w| w[1] > w[0]), "{kvs:?}");
+    }
+}

@@ -1,0 +1,120 @@
+//! Muse — transformer TTI with parallel decoding (Table I: 48 layers,
+//! model dim 2048).
+
+use crate::blocks::{encoder_graph, windowed_encoder_graph};
+use crate::{ModelId, Pipeline, Stage, TransformerConfig};
+
+/// Muse inference configuration.
+///
+/// Muse predicts all image tokens each step and re-masks, so every
+/// "decode" step is a full-sequence forward pass — which is why its Fig. 7
+/// sequence length is constant. A base transformer works on 16×16 = 256
+/// tokens; a super-resolution transformer refines 64×64 = 4096 tokens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MuseConfig {
+    /// Base transformer stack (48 layers, d=2048 per Table I).
+    pub base: TransformerConfig,
+    /// Base image-token grid edge (16 → 256 tokens).
+    pub base_grid: usize,
+    /// Parallel-decoding steps of the base model.
+    pub base_steps: usize,
+    /// Super-resolution transformer stack.
+    pub sr: TransformerConfig,
+    /// SR token grid edge (64 → 4096 tokens).
+    pub sr_grid: usize,
+    /// Parallel-decoding steps of the SR model.
+    pub sr_steps: usize,
+    /// Self-attention window of the SR transformer (high-resolution token
+    /// grids use windowed attention to stay affordable).
+    pub sr_window: usize,
+}
+
+impl Default for MuseConfig {
+    fn default() -> Self {
+        let base = TransformerConfig {
+            layers: 48,
+            d_model: 2048,
+            heads: 16,
+            d_ff: 8192,
+            gated_ffn: false,
+            vocab: 8192,
+            cross_attention: true,
+            context_len: 77,
+            context_dim: 4096,
+        };
+        let sr = TransformerConfig {
+            layers: 16,
+            d_model: 1024,
+            heads: 16,
+            d_ff: 4096,
+            gated_ffn: false,
+            vocab: 8192,
+            cross_attention: true,
+            context_len: 77,
+            context_dim: 4096,
+        };
+        MuseConfig { base, base_grid: 16, base_steps: 24, sr, sr_grid: 64, sr_steps: 8, sr_window: 256 }
+    }
+}
+
+/// Builds the Muse pipeline: every step is a full-sequence (bidirectional)
+/// forward pass over the token grid.
+#[must_use]
+pub fn pipeline(cfg: &MuseConfig) -> Pipeline {
+    let base_tokens = cfg.base_grid * cfg.base_grid;
+    let sr_tokens = cfg.sr_grid * cfg.sr_grid;
+    let stages = vec![
+        Stage::new("base_step", cfg.base_steps, encoder_graph(&cfg.base, base_tokens)),
+        Stage::new("sr_step", cfg.sr_steps, windowed_encoder_graph(&cfg.sr, sr_tokens, cfg.sr_window)),
+    ];
+    Pipeline::new("Muse", Some(ModelId::Muse), stages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequence_length_constant_within_stage() {
+        // Fig. 7: Muse's parallel decoding keeps sequence length constant.
+        let p = pipeline(&MuseConfig::default());
+        for s in &p.stages {
+            let seqs: Vec<usize> = s
+                .graph
+                .attention_nodes()
+                .filter_map(|n| n.op.attention_shape())
+                .filter(|(_, k)| *k == mmg_graph::AttnKind::SpatialSelf)
+                .map(|(sh, _)| sh.seq_q)
+                .collect();
+            assert!(seqs.windows(2).all(|w| w[0] == w[1]), "{}: {seqs:?}", s.name);
+        }
+    }
+
+    #[test]
+    fn params_near_3b() {
+        let p = pipeline(&MuseConfig::default());
+        let params = p.param_count() as f64 / 1e9;
+        assert!((2.0..4.5).contains(&params), "params {params}B");
+    }
+
+    #[test]
+    fn base_tokens_256_sr_tokens_4096() {
+        let cfg = MuseConfig::default();
+        let p = pipeline(&cfg);
+        let max_seq = |name: &str| {
+            p.stages
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap()
+                .graph
+                .attention_nodes()
+                .filter_map(|n| n.op.attention_shape())
+                .filter(|(_, k)| *k == mmg_graph::AttnKind::SpatialSelf)
+                .map(|(s, _)| s.seq_q)
+                .max()
+                .unwrap()
+        };
+        assert_eq!(max_seq("base_step"), 256);
+        assert_eq!(max_seq("sr_step"), 256, "windowed SR attention");
+    }
+}

@@ -1,0 +1,130 @@
+//! Parti — the autoregressive encoder–decoder transformer TTI
+//! (Table I: 20B parameters, 80 layers, model dim 4096).
+
+use crate::blocks::{decode_step_graph, encoder_graph};
+use crate::{ModelId, Pipeline, Stage, TransformerConfig};
+
+/// Parti inference configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartiConfig {
+    /// Text encoder stack (40 of the 80 layers).
+    pub encoder: TransformerConfig,
+    /// Image-token decoder stack (the other 40 layers, with
+    /// cross-attention to the encoder output).
+    pub decoder: TransformerConfig,
+    /// Text prompt length.
+    pub text_len: usize,
+    /// Image-token grid edge (32 → 1024 tokens, ViT-VQGAN).
+    pub image_grid: usize,
+    /// Decode steps are sampled at this stride.
+    pub decode_sample_stride: usize,
+}
+
+impl Default for PartiConfig {
+    fn default() -> Self {
+        let encoder = TransformerConfig {
+            layers: 40,
+            d_model: 4096,
+            heads: 32,
+            d_ff: 16384,
+            gated_ffn: false,
+            vocab: 32000,
+            cross_attention: false,
+            context_len: 0,
+            context_dim: 0,
+        };
+        let decoder = TransformerConfig {
+            layers: 40,
+            d_model: 4096,
+            heads: 32,
+            d_ff: 16384,
+            gated_ffn: false,
+            vocab: 8192,
+            cross_attention: true,
+            context_len: 128,
+            context_dim: 4096,
+        };
+        PartiConfig { encoder, decoder, text_len: 128, image_grid: 32, decode_sample_stride: 32 }
+    }
+}
+
+/// Builds the Parti pipeline: encode the prompt once, then generate
+/// `image_grid²` tokens autoregressively. Each sampled decode stage stands
+/// for `stride` real steps at the window-middle KV length, so the linear
+/// sequence-length growth (Fig. 7) integrates exactly.
+#[must_use]
+pub fn pipeline(cfg: &PartiConfig) -> Pipeline {
+    let mut stages = vec![Stage::once("text_encoder", encoder_graph(&cfg.encoder, cfg.text_len))];
+    let total = cfg.image_grid * cfg.image_grid;
+    let stride = cfg.decode_sample_stride.max(1);
+    let mut t = 0;
+    while t < total {
+        let reps = stride.min(total - t);
+        let kv = (t + reps / 2).max(1);
+        stages.push(Stage::new(
+            format!("decode_t{t}"),
+            reps,
+            decode_step_graph(&cfg.decoder, kv),
+        ));
+        t += reps;
+    }
+    Pipeline::new("Parti", Some(ModelId::Parti), stages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_near_20b() {
+        let p = pipeline(&PartiConfig::default());
+        // Encoder + one decode stage carry the unique weights.
+        let enc = p.stages[0].graph.param_count();
+        let dec = p.stages[1].graph.param_count();
+        let params = (enc + dec) as f64 / 1e9;
+        assert!((14.0..26.0).contains(&params), "params {params}B");
+    }
+
+    #[test]
+    fn sequence_grows_linearly_over_decode() {
+        // Fig. 7: Parti's sequence length increases linearly.
+        let p = pipeline(&PartiConfig::default());
+        let kvs: Vec<usize> = p.stages[1..]
+            .iter()
+            .map(|s| {
+                s.graph
+                    .attention_nodes()
+                    .find_map(|n| {
+                        n.op.attention_shape().filter(|(_, k)| *k == mmg_graph::AttnKind::Causal)
+                    })
+                    .unwrap()
+                    .0
+                    .seq_kv
+            })
+            .collect();
+        let diffs: Vec<isize> =
+            kvs.windows(2).map(|w| w[1] as isize - w[0] as isize).collect();
+        assert!(diffs.iter().all(|&d| d == diffs[0]), "non-linear growth: {kvs:?}");
+    }
+
+    #[test]
+    fn generates_1024_tokens() {
+        let p = pipeline(&PartiConfig::default());
+        let reps: usize =
+            p.stages.iter().filter(|s| s.name.starts_with("decode")).map(|s| s.repeats).sum();
+        assert_eq!(reps, 1024);
+    }
+
+    #[test]
+    fn decode_queries_are_single_token() {
+        let p = pipeline(&PartiConfig::default());
+        for s in p.stages.iter().filter(|s| s.name.starts_with("decode")) {
+            for n in s.graph.attention_nodes() {
+                let (shape, kind) = n.op.attention_shape().unwrap();
+                if kind == mmg_graph::AttnKind::Causal {
+                    assert_eq!(shape.seq_q, 1);
+                }
+            }
+        }
+    }
+}

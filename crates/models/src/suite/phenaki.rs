@@ -1,0 +1,120 @@
+//! Phenaki — the transformer TTV representative: C-ViViT video tokens
+//! refined by a masked bidirectional transformer (MaskGit-style parallel
+//! decoding), then decoded to pixels frame by frame.
+
+use crate::blocks::{encoder_graph, vae_decoder_graph, VaeDecoderConfig};
+use crate::{ModelId, Pipeline, Stage, TransformerConfig};
+
+/// Phenaki inference configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhenakiConfig {
+    /// MaskGit transformer stack.
+    pub maskgit: TransformerConfig,
+    /// Video frames generated.
+    pub frames: usize,
+    /// Token-grid edge per frame (16 → 256 tokens/frame at 128×128).
+    pub tokens_per_frame_edge: usize,
+    /// Temporal compression of the C-ViViT tokenizer (frames per token
+    /// step after the first frame).
+    pub temporal_compression: usize,
+    /// MaskGit refinement steps (each is a full-sequence forward).
+    pub maskgit_steps: usize,
+}
+
+impl Default for PhenakiConfig {
+    fn default() -> Self {
+        let maskgit = TransformerConfig {
+            layers: 24,
+            d_model: 2048,
+            heads: 16,
+            d_ff: 8192,
+            gated_ffn: false,
+            vocab: 8192,
+            cross_attention: true,
+            context_len: 77,
+            context_dim: 768,
+        };
+        PhenakiConfig {
+            maskgit,
+            frames: 11,
+            tokens_per_frame_edge: 16,
+            temporal_compression: 2,
+            maskgit_steps: 16,
+        }
+    }
+}
+
+impl PhenakiConfig {
+    /// Total video tokens: the first frame plus temporally-compressed
+    /// subsequent frames.
+    #[must_use]
+    pub fn video_tokens(&self) -> usize {
+        let per_frame = self.tokens_per_frame_edge * self.tokens_per_frame_edge;
+        let later = (self.frames - 1).div_ceil(self.temporal_compression);
+        (1 + later) * per_frame
+    }
+}
+
+/// Builds the Phenaki pipeline.
+#[must_use]
+pub fn pipeline(cfg: &PhenakiConfig) -> Pipeline {
+    let tokens = cfg.video_tokens();
+    let decoder = VaeDecoderConfig {
+        latent_channels: 32,
+        base_channels: 512,
+        channel_div: vec![1, 2, 4],
+        blocks_per_level: 2,
+        out_channels: 3,
+    };
+    let stages = vec![
+        Stage::new("maskgit_step", cfg.maskgit_steps, encoder_graph(&cfg.maskgit, tokens)),
+        Stage::new(
+            "cvivit_decoder",
+            cfg.frames,
+            vae_decoder_graph(&decoder, cfg.tokens_per_frame_edge * 2),
+        ),
+    ];
+    Pipeline::new("Phenaki", Some(ModelId::Phenaki), stages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn video_tokens_account_temporal_compression() {
+        let cfg = PhenakiConfig::default();
+        // 1 + ceil(10/2) = 6 token-frames of 256 tokens.
+        assert_eq!(cfg.video_tokens(), 6 * 256);
+    }
+
+    #[test]
+    fn maskgit_sequence_constant() {
+        let p = pipeline(&PhenakiConfig::default());
+        let s = &p.stages[0];
+        let seqs: Vec<usize> = s
+            .graph
+            .attention_nodes()
+            .filter_map(|n| n.op.attention_shape())
+            .filter(|(_, k)| *k == mmg_graph::AttnKind::SpatialSelf)
+            .map(|(sh, _)| sh.seq_q)
+            .collect();
+        assert!(!seqs.is_empty());
+        assert!(seqs.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(seqs[0], 1536);
+    }
+
+    #[test]
+    fn params_in_published_range() {
+        // Phenaki reports ~1.8B for the video model.
+        let p = pipeline(&PhenakiConfig::default());
+        let params = p.param_count() as f64 / 1e9;
+        assert!((1.0..4.0).contains(&params), "params {params}B");
+    }
+
+    #[test]
+    fn decoder_runs_per_frame() {
+        let p = pipeline(&PhenakiConfig::default());
+        assert_eq!(p.stages[1].repeats, 11);
+    }
+}

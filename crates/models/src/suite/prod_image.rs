@@ -1,0 +1,102 @@
+//! The production text-to-image model (Section III includes one
+//! industry-deployed latent-diffusion model "retrained on licensed data").
+//!
+//! The production model is convolution-heavy: a wide latent UNet at a
+//! larger 96×96 latent with attention kept only at the two deepest levels
+//! (high-resolution attention being too expensive to deploy), plus a
+//! high-resolution decoder. This mirrors the Table II observation that the
+//! production model sees the smallest Flash Attention gain (1.04x) —
+//! attention is simply a small slice of its runtime.
+
+use crate::blocks::{encoder_graph, unet_step_graph, vae_decoder_graph, VaeDecoderConfig};
+use crate::suite::clip_text_config;
+use crate::{ModelId, Pipeline, Stage, UNetConfig};
+
+/// Production image model configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProdImageConfig {
+    /// Output image edge (768).
+    pub image_size: usize,
+    /// VAE downsampling factor.
+    pub vae_factor: usize,
+    /// Denoising steps.
+    pub steps: usize,
+    /// UNet base channels.
+    pub base_channels: usize,
+}
+
+impl Default for ProdImageConfig {
+    fn default() -> Self {
+        ProdImageConfig { image_size: 768, vae_factor: 8, steps: 40, base_channels: 384 }
+    }
+}
+
+impl ProdImageConfig {
+    /// Latent edge length.
+    #[must_use]
+    pub fn latent_res(&self) -> usize {
+        self.image_size / self.vae_factor
+    }
+
+    /// The UNet: 3 res blocks per level, attention only at the two deepest
+    /// resolutions.
+    #[must_use]
+    pub fn unet(&self) -> UNetConfig {
+        let l = self.latent_res();
+        UNetConfig {
+            base_channels: self.base_channels,
+            channel_mult: vec![1, 2, 4, 4],
+            num_res_blocks: 3,
+            attn_resolutions: vec![l / 4, l / 8],
+            cross_attn_resolutions: vec![l / 4, l / 8],
+            temporal_attn_resolutions: vec![],
+            heads: 8,
+            text_len: 77,
+            text_dim: 768,
+            in_channels: 4,
+        }
+    }
+}
+
+/// Builds the production-model pipeline.
+#[must_use]
+pub fn pipeline(cfg: &ProdImageConfig) -> Pipeline {
+    let clip = clip_text_config();
+    let vae = VaeDecoderConfig { base_channels: 512, ..VaeDecoderConfig::stable_diffusion() };
+    let stages = vec![
+        Stage::once("clip_encoder", encoder_graph(&clip, 77)),
+        Stage::new("unet_step", cfg.steps, unet_step_graph(&cfg.unet(), cfg.latent_res(), 1)),
+        Stage::once("vae_decoder", vae_decoder_graph(&vae, cfg.latent_res())),
+    ];
+    Pipeline::new("ProdImage", Some(ModelId::ProdImage), stages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmg_graph::OpCategory;
+
+    #[test]
+    fn latent_is_96() {
+        assert_eq!(ProdImageConfig::default().latent_res(), 96);
+    }
+
+    #[test]
+    fn attention_flops_fraction_is_small() {
+        let cfg = ProdImageConfig::default();
+        let g = unet_step_graph(&cfg.unet(), cfg.latent_res(), 1);
+        let by = g.flops_by_category();
+        let attn = by.iter().find(|(c, _)| *c == OpCategory::Attention).map_or(0, |(_, f)| *f);
+        let frac = attn as f64 / g.total_flops() as f64;
+        assert!(frac < 0.15, "attention fraction {frac}");
+    }
+
+    #[test]
+    fn conv_dominates() {
+        let cfg = ProdImageConfig::default();
+        let g = unet_step_graph(&cfg.unet(), cfg.latent_res(), 1);
+        let by = g.flops_by_category();
+        let conv = by.iter().find(|(c, _)| *c == OpCategory::Conv).unwrap().1;
+        assert!(conv as f64 / g.total_flops() as f64 > 0.5);
+    }
+}

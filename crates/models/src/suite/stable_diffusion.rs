@@ -1,0 +1,143 @@
+//! Stable Diffusion — the latent-diffusion representative.
+
+use crate::blocks::{encoder_graph, unet_step_graph, vae_decoder_graph, VaeDecoderConfig};
+use crate::suite::clip_text_config;
+use crate::{ModelId, Pipeline, Stage, UNetConfig};
+
+/// Stable Diffusion inference configuration (v1-style: 512×512 output,
+/// 8× VAE downsampling, 50 denoising steps).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StableDiffusionConfig {
+    /// Output image edge length.
+    pub image_size: usize,
+    /// VAE spatial downsampling factor.
+    pub vae_factor: usize,
+    /// Denoising steps.
+    pub steps: usize,
+    /// UNet base channels.
+    pub base_channels: usize,
+    /// Per-level channel multipliers.
+    pub channel_mult: Vec<usize>,
+    /// Residual blocks per level (Table I: 2).
+    pub num_res_blocks: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Text conditioning length (CLIP: 77).
+    pub text_len: usize,
+}
+
+impl Default for StableDiffusionConfig {
+    fn default() -> Self {
+        StableDiffusionConfig {
+            image_size: 512,
+            vae_factor: 8,
+            steps: 50,
+            base_channels: 320,
+            channel_mult: vec![1, 2, 4, 4],
+            num_res_blocks: 2,
+            heads: 8,
+            text_len: 77,
+        }
+    }
+}
+
+impl StableDiffusionConfig {
+    /// Latent edge length for the configured image size.
+    #[must_use]
+    pub fn latent_res(&self) -> usize {
+        self.image_size / self.vae_factor
+    }
+
+    /// The UNet configuration at the configured image size. Attention runs
+    /// at the three highest-resolution levels (SD's CrossAttn blocks), so
+    /// the attention resolutions track the latent size — this is what makes
+    /// sequence length scale as `(image size)²` (Section V).
+    #[must_use]
+    pub fn unet(&self) -> UNetConfig {
+        let l = self.latent_res();
+        UNetConfig {
+            base_channels: self.base_channels,
+            channel_mult: self.channel_mult.clone(),
+            num_res_blocks: self.num_res_blocks,
+            attn_resolutions: vec![l, l / 2, l / 4],
+            cross_attn_resolutions: vec![l, l / 2, l / 4],
+            temporal_attn_resolutions: vec![],
+            heads: self.heads,
+            text_len: self.text_len,
+            text_dim: 768,
+            in_channels: 4,
+        }
+    }
+}
+
+/// Builds the Stable Diffusion pipeline: CLIP encode → UNet denoising loop
+/// → VAE decode.
+#[must_use]
+pub fn pipeline(cfg: &StableDiffusionConfig) -> Pipeline {
+    let clip = clip_text_config();
+    let stages = vec![
+        Stage::once("clip_encoder", encoder_graph(&clip, cfg.text_len)),
+        Stage::new("unet_step", cfg.steps, unet_step_graph(&cfg.unet(), cfg.latent_res(), 1)),
+        Stage::once(
+            "vae_decoder",
+            vae_decoder_graph(&VaeDecoderConfig::stable_diffusion(), cfg.latent_res()),
+        ),
+    ];
+    Pipeline::new("StableDiffusion", Some(ModelId::StableDiffusion), stages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_latent_is_64() {
+        assert_eq!(StableDiffusionConfig::default().latent_res(), 64);
+    }
+
+    #[test]
+    fn total_params_near_1_45b() {
+        // Table I: 1.45B for the full SD stack.
+        let p = pipeline(&StableDiffusionConfig::default());
+        let params = p.param_count() as f64 / 1e9;
+        assert!((0.8..1.8).contains(&params), "params {params}B");
+    }
+
+    #[test]
+    fn max_sequence_length_is_4096_at_512() {
+        // Fig. 7: "sequence length of Stable Diffusion actually goes up to
+        // 4096".
+        let cfg = StableDiffusionConfig::default();
+        let g = unet_step_graph(&cfg.unet(), cfg.latent_res(), 1);
+        let max_seq = g
+            .attention_nodes()
+            .filter_map(|n| n.op.attention_shape())
+            .map(|(s, _)| s.seq_q)
+            .max()
+            .unwrap();
+        assert_eq!(max_seq, 4096);
+    }
+
+    #[test]
+    fn sequence_scales_quadratically_with_image_size() {
+        let seq_at = |img: usize| {
+            let cfg = StableDiffusionConfig { image_size: img, ..Default::default() };
+            let g = unet_step_graph(&cfg.unet(), cfg.latent_res(), 1);
+            g.attention_nodes()
+                .filter_map(|n| n.op.attention_shape())
+                .map(|(s, _)| s.seq_q)
+                .max()
+                .unwrap()
+        };
+        assert_eq!(seq_at(512) / seq_at(256), 4);
+        assert_eq!(seq_at(1024) / seq_at(512), 4);
+    }
+
+    #[test]
+    fn unet_dominates_end_to_end_flops() {
+        let p = pipeline(&StableDiffusionConfig::default());
+        let unet = p.stages.iter().find(|s| s.name == "unet_step").unwrap();
+        let unet_flops = unet.repeats as u64 * unet.graph.total_flops();
+        assert!(unet_flops as f64 / p.total_flops() as f64 > 0.8);
+    }
+}

@@ -1,0 +1,122 @@
+//! Module hooks — the analogue of the paper's forward-function hooks.
+
+use std::collections::BTreeMap;
+
+use crate::OpEvent;
+
+/// Observes events as the profiler produces them.
+///
+/// The paper "develop\[s] a profiling framework to automate this process,
+/// via inserting hooks into the forward functions of each module"; this
+/// trait is that extension point in our executor.
+pub trait ModuleHook {
+    /// Called once per operator execution, in order.
+    fn on_op(&mut self, event: &OpEvent);
+}
+
+/// A hook that counts operator executions and time per module-path prefix.
+///
+/// # Example
+///
+/// ```
+/// use mmg_attn::AttnImpl;
+/// use mmg_gpu::DeviceSpec;
+/// use mmg_graph::{Graph, Op};
+/// use mmg_profiler::{CountingHook, ModuleHook, Profiler};
+///
+/// let mut g = Graph::new();
+/// g.push("unet.down.ffn", Op::Linear { tokens: 8, in_features: 8, out_features: 8 });
+/// g.push("unet.up.ffn", Op::Linear { tokens: 8, in_features: 8, out_features: 8 });
+///
+/// let mut hook = CountingHook::with_prefix_depth(2);
+/// let profiler = Profiler::new(DeviceSpec::a100_80gb(), AttnImpl::Flash);
+/// let _ = profiler.profile_with_hooks(&g, &mut [&mut hook]);
+/// assert_eq!(hook.count("unet.down"), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct CountingHook {
+    prefix_depth: usize,
+    counts: BTreeMap<String, u64>,
+    times: BTreeMap<String, f64>,
+}
+
+impl CountingHook {
+    /// Aggregates by the first `depth` dotted path components (0 = full
+    /// path).
+    #[must_use]
+    pub fn with_prefix_depth(depth: usize) -> Self {
+        CountingHook { prefix_depth: depth, ..Default::default() }
+    }
+
+    fn key(&self, path: &str) -> String {
+        if self.prefix_depth == 0 {
+            return path.to_owned();
+        }
+        path.split('.').take(self.prefix_depth).collect::<Vec<_>>().join(".")
+    }
+
+    /// Executions observed under a prefix.
+    #[must_use]
+    pub fn count(&self, prefix: &str) -> u64 {
+        self.counts.get(prefix).copied().unwrap_or(0)
+    }
+
+    /// Seconds observed under a prefix.
+    #[must_use]
+    pub fn time_s(&self, prefix: &str) -> f64 {
+        self.times.get(prefix).copied().unwrap_or(0.0)
+    }
+
+    /// All `(prefix, count)` pairs.
+    #[must_use]
+    pub fn counts(&self) -> &BTreeMap<String, u64> {
+        &self.counts
+    }
+}
+
+impl ModuleHook for CountingHook {
+    fn on_op(&mut self, event: &OpEvent) {
+        let key = self.key(&event.path);
+        *self.counts.entry(key.clone()).or_insert(0) += 1;
+        *self.times.entry(key).or_insert(0.0) += event.time_s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmg_graph::OpCategory;
+
+    fn ev(path: &str, t: f64) -> OpEvent {
+        OpEvent {
+            index: 0,
+            path: path.into(),
+            category: OpCategory::Linear,
+            time_s: t,
+            flops: 0,
+            hbm_bytes: 0,
+            kernels: vec![],
+            attention: None,
+        }
+    }
+
+    #[test]
+    fn full_path_counting() {
+        let mut h = CountingHook::default();
+        h.on_op(&ev("a.b.c", 1.0));
+        h.on_op(&ev("a.b.c", 2.0));
+        assert_eq!(h.count("a.b.c"), 2);
+        assert_eq!(h.time_s("a.b.c"), 3.0);
+    }
+
+    #[test]
+    fn prefix_aggregation() {
+        let mut h = CountingHook::with_prefix_depth(1);
+        h.on_op(&ev("unet.down.attn", 1.0));
+        h.on_op(&ev("unet.up.conv", 1.0));
+        h.on_op(&ev("vae.decoder", 1.0));
+        assert_eq!(h.count("unet"), 2);
+        assert_eq!(h.count("vae"), 1);
+        assert_eq!(h.count("missing"), 0);
+    }
+}

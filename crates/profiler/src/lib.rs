@@ -1,0 +1,33 @@
+//! # mmg-profiler
+//!
+//! The measurement framework of the suite — the analogue of the paper's
+//! PyTorch-Profiler-plus-hooks tooling (Section III, *Tools*):
+//!
+//! * [`Profiler`] walks a graph, lowers each operator to kernels, times
+//!   them on the simulated device, and emits a [`Timeline`] of
+//!   [`OpEvent`]s annotated with the module path that launched them —
+//!   the same "link GPU kernels to their corresponding annotation"
+//!   methodology the paper describes.
+//! * [`ModuleHook`]s observe events as they are produced, mirroring the
+//!   forward-function hooks the paper inserts.
+//! * [`seqlen`] extracts the per-attention-call sequence-length trace
+//!   (Fig. 7) and its distribution (Fig. 8).
+//! * [`report`] renders operator breakdowns as ASCII tables and
+//!   serializable JSON reports (Fig. 6, Table II).
+//! * [`trace`] exports timelines in the Chrome Trace Event Format for
+//!   `chrome://tracing` / Perfetto.
+
+#![deny(missing_docs)]
+
+mod event;
+mod executor;
+mod hooks;
+pub mod report;
+pub mod seqlen;
+mod timeline;
+pub mod trace;
+
+pub use event::{AttnCallInfo, KernelRecord, OpEvent};
+pub use executor::Profiler;
+pub use hooks::{CountingHook, ModuleHook};
+pub use timeline::{CategoryBreakdown, Timeline};

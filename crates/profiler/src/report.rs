@@ -1,0 +1,193 @@
+//! Serializable reports and ASCII table rendering.
+
+use serde::{Deserialize, Serialize};
+
+use crate::CategoryBreakdown;
+
+/// A serializable operator breakdown (one Fig. 6 bar).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BreakdownReport {
+    /// Workload label.
+    pub model: String,
+    /// Attention implementation the run used (`"baseline"` / `"flash"`).
+    pub attention: String,
+    /// Total simulated seconds.
+    pub total_s: f64,
+    /// `(category, seconds, fraction)` rows, descending.
+    pub rows: Vec<BreakdownRow>,
+}
+
+/// One row of a breakdown report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BreakdownRow {
+    /// Category name.
+    pub category: String,
+    /// Seconds in the category.
+    pub seconds: f64,
+    /// Fraction of total time.
+    pub fraction: f64,
+}
+
+impl BreakdownReport {
+    /// Builds a report from a breakdown.
+    #[must_use]
+    pub fn from_breakdown(
+        model: impl Into<String>,
+        attention: impl Into<String>,
+        b: &CategoryBreakdown,
+    ) -> Self {
+        let total = b.total_s();
+        BreakdownReport {
+            model: model.into(),
+            attention: attention.into(),
+            total_s: total,
+            rows: b
+                .rows()
+                .iter()
+                .map(|&(c, s)| BreakdownRow {
+                    category: c.to_string(),
+                    seconds: s,
+                    fraction: if total > 0.0 { s / total } else { 0.0 },
+                })
+                .collect(),
+        }
+    }
+
+    /// Serializes to pretty JSON.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: the report contains only serializable primitives.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report is always serializable")
+    }
+}
+
+/// Renders a simple two-column-plus ASCII table.
+///
+/// `rows` are `(label, values…)`; every row must have `headers.len() - 1`
+/// values.
+///
+/// # Panics
+///
+/// Panics if a row's value count disagrees with the header.
+#[must_use]
+pub fn render_table(headers: &[&str], rows: &[(String, Vec<String>)]) -> String {
+    for (label, vals) in rows {
+        assert_eq!(vals.len(), headers.len() - 1, "row '{label}' has wrong arity");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for (label, vals) in rows {
+        widths[0] = widths[0].max(label.len());
+        for (i, v) in vals.iter().enumerate() {
+            widths[i + 1] = widths[i + 1].max(v.len());
+        }
+    }
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        for w in &widths {
+            out.push('+');
+            out.push_str(&"-".repeat(w + 2));
+        }
+        out.push_str("+\n");
+    };
+    sep(&mut out);
+    out.push('|');
+    for (h, w) in headers.iter().zip(widths.iter()) {
+        out.push_str(&format!(" {h:<w$} |"));
+    }
+    out.push('\n');
+    sep(&mut out);
+    for (label, vals) in rows {
+        out.push('|');
+        out.push_str(&format!(" {label:<w$} |", w = widths[0]));
+        for (v, w) in vals.iter().zip(widths[1..].iter()) {
+            out.push_str(&format!(" {v:>w$} |"));
+        }
+        out.push('\n');
+    }
+    sep(&mut out);
+    out
+}
+
+/// Formats seconds with an adaptive unit.
+#[must_use]
+pub fn fmt_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.1} µs", s * 1e6)
+    }
+}
+
+/// Formats a fraction as a percentage.
+#[must_use]
+pub fn fmt_pct(f: f64) -> String {
+    format!("{:.1}%", f * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmg_graph::OpCategory;
+    use crate::Timeline;
+    use crate::{AttnCallInfo, OpEvent};
+
+    fn breakdown() -> CategoryBreakdown {
+        let _ = AttnCallInfo {
+            kind: mmg_graph::AttnKind::Cross,
+            seq_q: 1,
+            seq_kv: 1,
+            batch: 1,
+            heads: 1,
+        };
+        Timeline::new(vec![OpEvent {
+            index: 0,
+            path: "x".into(),
+            category: OpCategory::Conv,
+            time_s: 2.0,
+            flops: 0,
+            hbm_bytes: 0,
+            kernels: vec![],
+            attention: None,
+        }])
+        .breakdown()
+    }
+
+    #[test]
+    fn report_roundtrips_via_json() {
+        let r = BreakdownReport::from_breakdown("sd", "flash", &breakdown());
+        let back: BreakdownReport = serde_json::from_str(&r.to_json()).unwrap();
+        assert_eq!(r, back);
+        assert_eq!(back.rows[0].category, "Conv");
+        assert!((back.rows[0].fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["Model", "Speedup"],
+            &[("LLaMA".into(), vec!["1.52x".into()]), ("StableDiffusion".into(), vec!["1.67x".into()])],
+        );
+        assert!(t.contains("| LLaMA"));
+        assert!(t.contains("1.67x |"));
+        assert!(t.starts_with('+'));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong arity")]
+    fn table_rejects_ragged_rows() {
+        let _ = render_table(&["A", "B"], &[("x".into(), vec![])]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_seconds(2.5), "2.500 s");
+        assert_eq!(fmt_seconds(0.0025), "2.500 ms");
+        assert_eq!(fmt_seconds(2.5e-6), "2.5 µs");
+        assert_eq!(fmt_pct(0.443), "44.3%");
+    }
+}

@@ -1,0 +1,139 @@
+//! Sequence-length tracing (Fig. 7) and distributions (Fig. 8).
+
+use mmg_graph::AttnKind;
+
+use crate::Timeline;
+
+/// One attention call's sequence lengths, in call order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeqLenSample {
+    /// Index among attention calls (the Fig. 7 x-axis).
+    pub call_index: usize,
+    /// Attention role.
+    pub kind: AttnKind,
+    /// Query sequence length (the Fig. 7 y-axis).
+    pub seq_q: usize,
+    /// Key/value sequence length.
+    pub seq_kv: usize,
+}
+
+/// Extracts the attention-call sequence-length trace from a timeline.
+#[must_use]
+pub fn trace(timeline: &Timeline) -> Vec<SeqLenSample> {
+    timeline
+        .events()
+        .iter()
+        .filter_map(|e| e.attention.map(|a| (a.kind, a.seq_q, a.seq_kv)))
+        .enumerate()
+        .map(|(call_index, (kind, seq_q, seq_kv))| SeqLenSample { call_index, kind, seq_q, seq_kv })
+        .collect()
+}
+
+/// Summary of a sequence-length trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceSummary {
+    /// Smallest query length observed.
+    pub min: usize,
+    /// Largest query length observed.
+    pub max: usize,
+    /// max / min — the paper reports up to 4x for Stable Diffusion.
+    pub variation: f64,
+    /// Number of attention calls.
+    pub calls: usize,
+}
+
+/// Summarizes a trace (`None` for traces with no attention calls).
+#[must_use]
+pub fn summarize(samples: &[SeqLenSample]) -> Option<TraceSummary> {
+    let (mut min, mut max) = (usize::MAX, 0usize);
+    for s in samples {
+        min = min.min(s.seq_q);
+        max = max.max(s.seq_q);
+    }
+    if samples.is_empty() {
+        return None;
+    }
+    Some(TraceSummary {
+        min,
+        max,
+        variation: max as f64 / min.max(1) as f64,
+        calls: samples.len(),
+    })
+}
+
+/// Frequency distribution of query sequence lengths (Fig. 8): returns
+/// `(seq_len, count)` sorted ascending by length.
+#[must_use]
+pub fn histogram(samples: &[SeqLenSample]) -> Vec<(usize, usize)> {
+    let mut hist: Vec<(usize, usize)> = Vec::new();
+    for s in samples {
+        if let Some(slot) = hist.iter_mut().find(|(l, _)| *l == s.seq_q) {
+            slot.1 += 1;
+        } else {
+            hist.push((s.seq_q, 1));
+        }
+    }
+    hist.sort_by_key(|&(l, _)| l);
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AttnCallInfo, OpEvent};
+    use mmg_graph::OpCategory;
+
+    fn attn_ev(seq: usize) -> OpEvent {
+        OpEvent {
+            index: 0,
+            path: "attn".into(),
+            category: OpCategory::Attention,
+            time_s: 1.0,
+            flops: 0,
+            hbm_bytes: 0,
+            kernels: vec![],
+            attention: Some(AttnCallInfo {
+                kind: AttnKind::SpatialSelf,
+                seq_q: seq,
+                seq_kv: seq,
+                batch: 1,
+                heads: 1,
+            }),
+        }
+    }
+
+    fn other_ev() -> OpEvent {
+        OpEvent { attention: None, category: OpCategory::Conv, ..attn_ev(0) }
+    }
+
+    #[test]
+    fn trace_skips_non_attention() {
+        let t = Timeline::new(vec![attn_ev(4096), other_ev(), attn_ev(1024)]);
+        let tr = trace(&t);
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr[0].call_index, 0);
+        assert_eq!(tr[1].call_index, 1);
+        assert_eq!(tr[1].seq_q, 1024);
+    }
+
+    #[test]
+    fn summary_computes_variation() {
+        let t = Timeline::new(vec![attn_ev(4096), attn_ev(1024), attn_ev(256)]);
+        let s = summarize(&trace(&t)).unwrap();
+        assert_eq!(s.min, 256);
+        assert_eq!(s.max, 4096);
+        assert!((s.variation - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_summary_is_none() {
+        assert!(summarize(&[]).is_none());
+    }
+
+    #[test]
+    fn histogram_counts_buckets() {
+        let t = Timeline::new(vec![attn_ev(64), attn_ev(256), attn_ev(64)]);
+        let h = histogram(&trace(&t));
+        assert_eq!(h, vec![(64, 2), (256, 1)]);
+    }
+}

@@ -1,0 +1,127 @@
+//! Chrome-trace export.
+//!
+//! Serializes a [`Timeline`] into the Trace Event Format consumed by
+//! `chrome://tracing` / Perfetto, with operators on one track and their
+//! kernels on another — the same two-level view PyTorch Profiler exports.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Timeline;
+
+/// One Trace Event Format entry (`ph = "X"` complete events only).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Event name (op path or kernel label).
+    pub name: String,
+    /// Category (`op:<category>` or `kernel:<kind>`).
+    pub cat: String,
+    /// Phase — always `"X"` (complete event).
+    pub ph: String,
+    /// Start timestamp in microseconds.
+    pub ts: f64,
+    /// Duration in microseconds.
+    pub dur: f64,
+    /// Process id (always 1).
+    pub pid: u32,
+    /// Track: 0 = operators, 1 = kernels.
+    pub tid: u32,
+}
+
+/// Converts a timeline into trace events, serializing ops back-to-back
+/// from t = 0 (the simulator has no gaps).
+#[must_use]
+pub fn to_trace_events(timeline: &Timeline) -> Vec<TraceEvent> {
+    let mut events = Vec::new();
+    let mut t_us = 0.0f64;
+    for ev in timeline.events() {
+        let op_dur = ev.time_s * 1e6;
+        events.push(TraceEvent {
+            name: ev.path.clone(),
+            cat: format!("op:{}", ev.category),
+            ph: "X".into(),
+            ts: t_us,
+            dur: op_dur,
+            pid: 1,
+            tid: 0,
+        });
+        let mut k_ts = t_us;
+        for k in &ev.kernels {
+            let dur = k.time_s * 1e6;
+            events.push(TraceEvent {
+                name: k.label.clone(),
+                cat: format!("kernel:{}", k.kind),
+                ph: "X".into(),
+                ts: k_ts,
+                dur,
+                pid: 1,
+                tid: 1,
+            });
+            k_ts += dur;
+        }
+        t_us += op_dur;
+    }
+    events
+}
+
+/// Serializes a timeline to a Chrome-trace JSON string.
+///
+/// # Panics
+///
+/// Never panics: trace events contain only serializable primitives.
+#[must_use]
+pub fn to_chrome_trace(timeline: &Timeline) -> String {
+    serde_json::to_string(&to_trace_events(timeline)).expect("trace events always serialize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Profiler;
+    use mmg_attn::AttnImpl;
+    use mmg_gpu::DeviceSpec;
+    use mmg_graph::{Graph, Op};
+
+    fn timeline() -> Timeline {
+        let mut g = Graph::new();
+        g.push("enc.fc", Op::Linear { tokens: 64, in_features: 64, out_features: 64 });
+        g.push("enc.norm", Op::LayerNorm { rows: 64, cols: 64 });
+        Profiler::new(DeviceSpec::a100_80gb(), AttnImpl::Flash).profile(&g)
+    }
+
+    #[test]
+    fn ops_are_contiguous_from_zero() {
+        let evs = to_trace_events(&timeline());
+        let ops: Vec<&TraceEvent> = evs.iter().filter(|e| e.tid == 0).collect();
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops[0].ts, 0.0);
+        assert!((ops[1].ts - ops[0].dur).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kernels_nest_within_their_op() {
+        let evs = to_trace_events(&timeline());
+        let ops: Vec<&TraceEvent> = evs.iter().filter(|e| e.tid == 0).collect();
+        for k in evs.iter().filter(|e| e.tid == 1) {
+            let host = ops
+                .iter()
+                .find(|o| k.ts >= o.ts - 1e-9 && k.ts + k.dur <= o.ts + o.dur + 1e-9);
+            assert!(host.is_some(), "kernel {} escapes its op", k.name);
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let t = timeline();
+        let json = to_chrome_trace(&t);
+        let back: Vec<TraceEvent> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, to_trace_events(&t));
+        assert!(json.contains("\"ph\":\"X\""));
+    }
+
+    #[test]
+    fn categories_are_tagged() {
+        let evs = to_trace_events(&timeline());
+        assert!(evs.iter().any(|e| e.cat == "op:Linear"));
+        assert!(evs.iter().any(|e| e.cat.starts_with("kernel:")));
+    }
+}

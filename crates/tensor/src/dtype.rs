@@ -1,0 +1,103 @@
+//! Element data types.
+//!
+//! The numeric plane always computes in `f32`; dtypes exist so the
+//! performance plane can account for memory traffic at the precision the
+//! paper profiles (FP16 weights/activations on A100).
+
+use std::fmt;
+
+/// Element type of a tensor, used for byte accounting.
+///
+/// The numeric executor stores everything as `f32` regardless of the
+/// declared dtype; the dtype only affects [`DType::size_bytes`] and thus the
+/// simulated memory traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DType {
+    /// IEEE 754 half precision (2 bytes). The paper assumes FP16 inference.
+    F16,
+    /// bfloat16 (2 bytes).
+    Bf16,
+    /// IEEE 754 single precision (4 bytes).
+    F32,
+    /// 64-bit signed integer, used for token ids (8 bytes).
+    I64,
+    /// Unsigned byte, used for decoded image pixels (1 byte).
+    U8,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    ///
+    /// ```
+    /// assert_eq!(mmg_tensor::DType::F16.size_bytes(), 2);
+    /// ```
+    #[must_use]
+    pub const fn size_bytes(self) -> usize {
+        match self {
+            DType::F16 | DType::Bf16 => 2,
+            DType::F32 => 4,
+            DType::I64 => 8,
+            DType::U8 => 1,
+        }
+    }
+
+    /// Whether the type is a floating-point type.
+    #[must_use]
+    pub const fn is_float(self) -> bool {
+        matches!(self, DType::F16 | DType::Bf16 | DType::F32)
+    }
+}
+
+impl Default for DType {
+    /// FP16 is the default because the paper profiles FP16 inference.
+    fn default() -> Self {
+        DType::F16
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DType::F16 => "f16",
+            DType::Bf16 => "bf16",
+            DType::F32 => "f32",
+            DType::I64 => "i64",
+            DType::U8 => "u8",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_are_correct() {
+        assert_eq!(DType::F16.size_bytes(), 2);
+        assert_eq!(DType::Bf16.size_bytes(), 2);
+        assert_eq!(DType::F32.size_bytes(), 4);
+        assert_eq!(DType::I64.size_bytes(), 8);
+        assert_eq!(DType::U8.size_bytes(), 1);
+    }
+
+    #[test]
+    fn float_classification() {
+        assert!(DType::F16.is_float());
+        assert!(DType::Bf16.is_float());
+        assert!(DType::F32.is_float());
+        assert!(!DType::I64.is_float());
+        assert!(!DType::U8.is_float());
+    }
+
+    #[test]
+    fn default_is_f16() {
+        assert_eq!(DType::default(), DType::F16);
+    }
+
+    #[test]
+    fn display_is_lowercase() {
+        assert_eq!(DType::F16.to_string(), "f16");
+        assert_eq!(DType::I64.to_string(), "i64");
+    }
+}

@@ -1,0 +1,92 @@
+//! Error types for tensor operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by fallible tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two shapes that must agree do not.
+    ShapeMismatch {
+        /// Human-readable operation name (e.g. `"matmul"`).
+        op: &'static str,
+        /// Left-hand / expected shape.
+        lhs: Vec<usize>,
+        /// Right-hand / actual shape.
+        rhs: Vec<usize>,
+    },
+    /// The number of data elements does not match the shape's element count.
+    DataLengthMismatch {
+        /// Elements implied by the shape.
+        expected: usize,
+        /// Elements actually supplied.
+        actual: usize,
+    },
+    /// A shape is structurally invalid for the requested operation.
+    InvalidShape {
+        /// Operation name.
+        op: &'static str,
+        /// Explanation of the violated requirement.
+        reason: String,
+    },
+    /// An axis index is out of range for the tensor's rank.
+    AxisOutOfRange {
+        /// Requested axis.
+        axis: usize,
+        /// Tensor rank.
+        rank: usize,
+    },
+    /// A parameter (stride, group count, scale factor, …) is invalid.
+    InvalidParameter {
+        /// Operation name.
+        op: &'static str,
+        /// Explanation of the violated requirement.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "shape mismatch in {op}: {lhs:?} vs {rhs:?}")
+            }
+            TensorError::DataLengthMismatch { expected, actual } => {
+                write!(f, "data length {actual} does not match shape element count {expected}")
+            }
+            TensorError::InvalidShape { op, reason } => {
+                write!(f, "invalid shape for {op}: {reason}")
+            }
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank {rank}")
+            }
+            TensorError::InvalidParameter { op, reason } => {
+                write!(f, "invalid parameter for {op}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TensorError::ShapeMismatch { op: "matmul", lhs: vec![2, 3], rhs: vec![4, 5] };
+        assert!(e.to_string().contains("matmul"));
+        assert!(e.to_string().contains("[2, 3]"));
+
+        let e = TensorError::DataLengthMismatch { expected: 6, actual: 5 };
+        assert!(e.to_string().contains('6'));
+        assert!(e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

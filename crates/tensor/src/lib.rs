@@ -1,0 +1,45 @@
+//! # mmg-tensor
+//!
+//! A small, dependency-light CPU tensor engine used as the *numeric plane*
+//! of the mmgen workload-characterization suite.
+//!
+//! The performance simulation in `mmg-gpu` never touches real numbers —
+//! it propagates shapes, FLOPs and bytes. This crate exists so that the same
+//! operator graphs can also be *executed for real* at reduced sizes, which
+//! lets the test suite prove properties such as:
+//!
+//! * shape inference agrees with actual execution,
+//! * the tiled (flash) attention lowering is numerically identical to the
+//!   baseline attention it replaces,
+//! * convolution / normalization / resampling arithmetic is correct.
+//!
+//! # Example
+//!
+//! ```
+//! use mmg_tensor::{Tensor, ops};
+//!
+//! # fn main() -> Result<(), mmg_tensor::TensorError> {
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::eye(2);
+//! let c = ops::matmul(&a, &b)?;
+//! assert_eq!(c.data(), a.data());
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+mod dtype;
+mod error;
+mod shape;
+mod tensor;
+
+pub mod ops;
+
+pub use dtype::DType;
+pub use error::TensorError;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TensorError>;

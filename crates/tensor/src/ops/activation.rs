@@ -1,0 +1,77 @@
+//! Pointwise activation functions.
+
+use crate::Tensor;
+
+fn map(x: &Tensor, f: impl Fn(f32) -> f32) -> Tensor {
+    let data = x.data().iter().map(|&v| f(v)).collect();
+    Tensor::from_vec(data, x.shape().dims()).expect("same element count")
+}
+
+/// SiLU (swish): `x · sigmoid(x)`. Used throughout diffusion UNets.
+#[must_use]
+pub fn silu(x: &Tensor) -> Tensor {
+    map(x, |v| v / (1.0 + (-v).exp()))
+}
+
+/// Tanh-approximated GELU, as used in transformer feed-forward blocks.
+#[must_use]
+pub fn gelu(x: &Tensor) -> Tensor {
+    map(x, |v| {
+        0.5 * v * (1.0 + (0.797_884_6 * (v + 0.044_715 * v * v * v)).tanh())
+    })
+}
+
+/// Rectified linear unit.
+#[must_use]
+pub fn relu(x: &Tensor) -> Tensor {
+    map(x, |v| v.max(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silu_known_values() {
+        let x = Tensor::from_vec(vec![0.0, 1.0, -1.0], &[3]).unwrap();
+        let y = silu(&x);
+        assert_eq!(y.data()[0], 0.0);
+        assert!((y.data()[1] - 0.731_058_6).abs() < 1e-5);
+        assert!((y.data()[2] + 0.268_941_4).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gelu_known_values() {
+        let x = Tensor::from_vec(vec![0.0, 1.0], &[2]).unwrap();
+        let y = gelu(&x);
+        assert_eq!(y.data()[0], 0.0);
+        assert!((y.data()[1] - 0.841_192).abs() < 1e-3);
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let x = Tensor::from_vec(vec![-2.0, 0.0, 3.0], &[3]).unwrap();
+        assert_eq!(relu(&x).data(), &[0.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn activations_preserve_shape() {
+        let x = Tensor::randn(&[2, 3, 4], 14);
+        assert_eq!(silu(&x).shape(), x.shape());
+        assert_eq!(gelu(&x).shape(), x.shape());
+        assert_eq!(relu(&x).shape(), x.shape());
+    }
+
+    #[test]
+    fn activations_monotone_on_samples() {
+        // SiLU and GELU are monotone for x >= 0.
+        let xs: Vec<f32> = (0..100).map(|i| i as f32 * 0.1).collect();
+        let t = Tensor::from_vec(xs, &[100]).unwrap();
+        for f in [silu, gelu, relu] {
+            let y = f(&t);
+            for w in y.data().windows(2) {
+                assert!(w[1] >= w[0] - 1e-6);
+            }
+        }
+    }
+}

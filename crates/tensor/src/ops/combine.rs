@@ -1,0 +1,153 @@
+//! Concatenation and splitting — the UNet's skip connections.
+
+use crate::{Result, Shape, Tensor, TensorError};
+
+/// Concatenates tensors along `axis`. All other extents must agree.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidParameter`] for an empty input list or an
+/// out-of-range axis, and [`TensorError::ShapeMismatch`] if non-`axis`
+/// extents disagree.
+pub fn concat(tensors: &[&Tensor], axis: usize) -> Result<Tensor> {
+    let first = tensors.first().ok_or(TensorError::InvalidParameter {
+        op: "concat",
+        reason: "empty tensor list".into(),
+    })?;
+    let rank = first.shape().rank();
+    if axis >= rank {
+        return Err(TensorError::AxisOutOfRange { axis, rank });
+    }
+    let mut out_dims = first.shape().dims().to_vec();
+    for t in &tensors[1..] {
+        let d = t.shape().dims();
+        if d.len() != rank
+            || d.iter().zip(out_dims.iter()).enumerate().any(|(i, (a, b))| i != axis && a != b)
+        {
+            return Err(TensorError::ShapeMismatch {
+                op: "concat",
+                lhs: out_dims,
+                rhs: d.to_vec(),
+            });
+        }
+        out_dims[axis] += d[axis];
+    }
+    let out_shape = Shape::new(&out_dims);
+    // Row-major: iterate over the outer block, copying each tensor's slab.
+    let outer: usize = out_dims[..axis].iter().product();
+    let inner: usize = out_dims[axis + 1..].iter().product();
+    let mut data = Vec::with_capacity(out_shape.numel());
+    for o in 0..outer {
+        for t in tensors {
+            let t_axis = t.shape().dims()[axis];
+            let slab = t_axis * inner;
+            data.extend_from_slice(&t.data()[o * slab..(o + 1) * slab]);
+        }
+    }
+    Tensor::from_vec(data, &out_dims)
+}
+
+/// Splits a tensor into `parts` equal chunks along `axis`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidParameter`] if `parts` is zero or does not
+/// divide the axis extent, and [`TensorError::AxisOutOfRange`] for a bad
+/// axis.
+pub fn chunk(t: &Tensor, parts: usize, axis: usize) -> Result<Vec<Tensor>> {
+    let rank = t.shape().rank();
+    if axis >= rank {
+        return Err(TensorError::AxisOutOfRange { axis, rank });
+    }
+    let extent = t.shape().dims()[axis];
+    if parts == 0 || !extent.is_multiple_of(parts) {
+        return Err(TensorError::InvalidParameter {
+            op: "chunk",
+            reason: format!("axis extent {extent} not divisible into {parts} parts"),
+        });
+    }
+    let part_extent = extent / parts;
+    let mut part_dims = t.shape().dims().to_vec();
+    part_dims[axis] = part_extent;
+    let outer: usize = t.shape().dims()[..axis].iter().product();
+    let inner: usize = t.shape().dims()[axis + 1..].iter().product();
+    let slab = part_extent * inner;
+    let mut out = Vec::with_capacity(parts);
+    for p in 0..parts {
+        let mut data = Vec::with_capacity(outer * slab);
+        for o in 0..outer {
+            let base = o * extent * inner + p * slab;
+            data.extend_from_slice(&t.data()[base..base + slab]);
+        }
+        out.push(Tensor::from_vec(data, &part_dims)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_axis0() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap();
+        let b = Tensor::from_vec(vec![3.0, 4.0, 5.0, 6.0], &[2, 2]).unwrap();
+        let c = concat(&[&a, &b], 0).unwrap();
+        assert_eq!(c.shape().dims(), &[3, 2]);
+        assert_eq!(c.data(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn concat_channel_axis_matches_unet_skip() {
+        // [1, 2, 2, 2] ++ [1, 3, 2, 2] along channels.
+        let a = Tensor::randn(&[1, 2, 2, 2], 1);
+        let b = Tensor::randn(&[1, 3, 2, 2], 2);
+        let c = concat(&[&a, &b], 1).unwrap();
+        assert_eq!(c.shape().dims(), &[1, 5, 2, 2]);
+        assert_eq!(c.at(&[0, 0, 1, 1]), a.at(&[0, 0, 1, 1]));
+        assert_eq!(c.at(&[0, 2, 0, 0]), b.at(&[0, 0, 0, 0]));
+        assert_eq!(c.at(&[0, 4, 1, 0]), b.at(&[0, 2, 1, 0]));
+    }
+
+    #[test]
+    fn concat_rejects_mismatch() {
+        let a = Tensor::zeros(&[1, 2, 2, 2]);
+        let b = Tensor::zeros(&[1, 3, 2, 3]);
+        assert!(concat(&[&a, &b], 1).is_err());
+        assert!(concat(&[], 0).is_err());
+        assert!(concat(&[&a], 9).is_err());
+    }
+
+    #[test]
+    fn chunk_then_concat_roundtrips() {
+        let t = Tensor::randn(&[2, 6, 3], 3);
+        for axis in 0..3 {
+            let parts = t.shape().dims()[axis];
+            if parts == 0 {
+                continue;
+            }
+            let chunks = chunk(&t, parts, axis).unwrap();
+            let refs: Vec<&Tensor> = chunks.iter().collect();
+            let back = concat(&refs, axis).unwrap();
+            assert_eq!(back, t, "axis {axis}");
+        }
+    }
+
+    #[test]
+    fn chunk_validates() {
+        let t = Tensor::zeros(&[2, 6]);
+        assert!(chunk(&t, 4, 1).is_err(), "6 not divisible by 4");
+        assert!(chunk(&t, 0, 1).is_err());
+        assert!(chunk(&t, 2, 5).is_err());
+        assert_eq!(chunk(&t, 3, 1).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn multihead_split_use_case() {
+        // [seq, heads*dim] -> heads x [seq, dim], the attention head split.
+        let t = Tensor::randn(&[4, 8], 4);
+        let heads = chunk(&t, 2, 1).unwrap();
+        assert_eq!(heads[0].shape().dims(), &[4, 4]);
+        assert_eq!(heads[1].at(&[2, 1]), t.at(&[2, 5]));
+    }
+}

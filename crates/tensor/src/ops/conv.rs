@@ -1,0 +1,186 @@
+//! 2-D convolution.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Parameters of a 2-D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dParams {
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+    /// Zero padding in both spatial dimensions.
+    pub padding: usize,
+}
+
+impl Default for Conv2dParams {
+    fn default() -> Self {
+        Conv2dParams { stride: 1, padding: 0 }
+    }
+}
+
+impl Conv2dParams {
+    /// Stride-1 convolution with "same" padding for odd kernel size `k`.
+    #[must_use]
+    pub fn same(k: usize) -> Self {
+        Conv2dParams { stride: 1, padding: k / 2 }
+    }
+
+    /// Output spatial extent for input extent `i` and kernel extent `k`.
+    #[must_use]
+    pub fn out_extent(&self, i: usize, k: usize) -> usize {
+        (i + 2 * self.padding).saturating_sub(k) / self.stride + 1
+    }
+}
+
+/// Direct 2-D convolution: input `[n, c_in, h, w]`, weight
+/// `[c_out, c_in, kh, kw]`, optional bias `[c_out]` → `[n, c_out, h', w']`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidShape`] for wrong ranks,
+/// [`TensorError::ShapeMismatch`] if channel counts disagree, and
+/// [`TensorError::InvalidParameter`] for a zero stride.
+pub fn conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    params: Conv2dParams,
+) -> Result<Tensor> {
+    if params.stride == 0 {
+        return Err(TensorError::InvalidParameter { op: "conv2d", reason: "stride must be > 0".into() });
+    }
+    if input.shape().rank() != 4 || weight.shape().rank() != 4 {
+        return Err(TensorError::InvalidShape {
+            op: "conv2d",
+            reason: format!("expected rank-4 input/weight, got {} and {}", input.shape(), weight.shape()),
+        });
+    }
+    let [n, c_in, h, w] = [
+        input.shape().dims()[0],
+        input.shape().dims()[1],
+        input.shape().dims()[2],
+        input.shape().dims()[3],
+    ];
+    let [c_out, c_in2, kh, kw] = [
+        weight.shape().dims()[0],
+        weight.shape().dims()[1],
+        weight.shape().dims()[2],
+        weight.shape().dims()[3],
+    ];
+    if c_in != c_in2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d",
+            lhs: input.shape().dims().to_vec(),
+            rhs: weight.shape().dims().to_vec(),
+        });
+    }
+    if let Some(b) = bias {
+        if b.shape().dims() != [c_out] {
+            return Err(TensorError::ShapeMismatch {
+                op: "conv2d(bias)",
+                lhs: vec![c_out],
+                rhs: b.shape().dims().to_vec(),
+            });
+        }
+    }
+    let oh = params.out_extent(h, kh);
+    let ow = params.out_extent(w, kw);
+    let mut out = vec![0.0f32; n * c_out * oh * ow];
+    let x = input.data();
+    let wt = weight.data();
+    let pad = params.padding as isize;
+    let stride = params.stride;
+    for ni in 0..n {
+        for oc in 0..c_out {
+            let b = bias.map_or(0.0, |b| b.data()[oc]);
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = b;
+                    for ic in 0..c_in {
+                        for ky in 0..kh {
+                            let iy = oy as isize * stride as isize + ky as isize - pad;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..kw {
+                                let ix = ox as isize * stride as isize + kx as isize - pad;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let xi = ((ni * c_in + ic) * h + iy as usize) * w + ix as usize;
+                                let wi = ((oc * c_in + ic) * kh + ky) * kw + kx;
+                                acc += x[xi] * wt[wi];
+                            }
+                        }
+                    }
+                    out[((ni * c_out + oc) * oh + oy) * ow + ox] = acc;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, c_out, oh, ow])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_kernel_passes_through() {
+        // 1x1 kernel with weight 1 on a single channel is identity.
+        let x = Tensor::randn(&[1, 1, 4, 4], 5);
+        let w = Tensor::ones(&[1, 1, 1, 1]);
+        let y = conv2d(&x, &w, None, Conv2dParams::default()).unwrap();
+        assert!(x.max_abs_diff(&y).unwrap() < 1e-7);
+    }
+
+    #[test]
+    fn known_3x3_convolution() {
+        // 3x3 all-ones kernel over a 3x3 all-ones image, no padding → 9.
+        let x = Tensor::ones(&[1, 1, 3, 3]);
+        let w = Tensor::ones(&[1, 1, 3, 3]);
+        let y = conv2d(&x, &w, None, Conv2dParams::default()).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 1, 1, 1]);
+        assert_eq!(y.data()[0], 9.0);
+    }
+
+    #[test]
+    fn same_padding_preserves_extent() {
+        let x = Tensor::randn(&[2, 3, 8, 8], 6);
+        let w = Tensor::randn(&[4, 3, 3, 3], 7);
+        let y = conv2d(&x, &w, None, Conv2dParams::same(3)).unwrap();
+        assert_eq!(y.shape().dims(), &[2, 4, 8, 8]);
+    }
+
+    #[test]
+    fn stride_2_halves_extent() {
+        let x = Tensor::randn(&[1, 2, 8, 8], 8);
+        let w = Tensor::randn(&[2, 2, 3, 3], 9);
+        let y = conv2d(&x, &w, None, Conv2dParams { stride: 2, padding: 1 }).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 2, 4, 4]);
+    }
+
+    #[test]
+    fn bias_is_added() {
+        let x = Tensor::zeros(&[1, 1, 2, 2]);
+        let w = Tensor::zeros(&[3, 1, 1, 1]);
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        let y = conv2d(&x, &w, Some(&b), Conv2dParams::default()).unwrap();
+        assert_eq!(y.at(&[0, 0, 0, 0]), 1.0);
+        assert_eq!(y.at(&[0, 1, 1, 1]), 2.0);
+        assert_eq!(y.at(&[0, 2, 0, 1]), 3.0);
+    }
+
+    #[test]
+    fn channel_mismatch_errors() {
+        let x = Tensor::zeros(&[1, 3, 4, 4]);
+        let w = Tensor::zeros(&[2, 4, 3, 3]);
+        assert!(conv2d(&x, &w, None, Conv2dParams::default()).is_err());
+    }
+
+    #[test]
+    fn zero_stride_errors() {
+        let x = Tensor::zeros(&[1, 1, 4, 4]);
+        let w = Tensor::zeros(&[1, 1, 3, 3]);
+        assert!(conv2d(&x, &w, None, Conv2dParams { stride: 0, padding: 0 }).is_err());
+    }
+}

@@ -1,0 +1,74 @@
+//! Elementwise binary and scalar operations.
+
+use crate::{Result, Tensor, TensorError};
+
+fn zip(op: &'static str, a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+    if !a.shape().same_as(b.shape()) {
+        return Err(TensorError::ShapeMismatch {
+            op,
+            lhs: a.shape().dims().to_vec(),
+            rhs: b.shape().dims().to_vec(),
+        });
+    }
+    let data = a.data().iter().zip(b.data().iter()).map(|(&x, &y)| f(x, y)).collect();
+    Tensor::from_vec(data, a.shape().dims())
+}
+
+/// Elementwise sum of two same-shaped tensors.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+pub fn add(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    zip("add", a, b, |x, y| x + y)
+}
+
+/// Elementwise product of two same-shaped tensors.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+pub fn mul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    zip("mul", a, b, |x, y| x * y)
+}
+
+/// Multiplies every element by a scalar.
+#[must_use]
+pub fn scale(a: &Tensor, s: f32) -> Tensor {
+    let data = a.data().iter().map(|&x| x * s).collect();
+    Tensor::from_vec(data, a.shape().dims()).expect("same element count")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_mul_work() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![3.0, 4.0], &[2]).unwrap();
+        assert_eq!(add(&a, &b).unwrap().data(), &[4.0, 6.0]);
+        assert_eq!(mul(&a, &b).unwrap().data(), &[3.0, 8.0]);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a = Tensor::zeros(&[2]);
+        let b = Tensor::zeros(&[3]);
+        assert!(add(&a, &b).is_err());
+        assert!(mul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn scale_multiplies() {
+        let a = Tensor::ones(&[4]);
+        assert_eq!(scale(&a, 2.5).data(), &[2.5; 4]);
+    }
+
+    #[test]
+    fn add_is_commutative() {
+        let a = Tensor::randn(&[8], 20);
+        let b = Tensor::randn(&[8], 21);
+        assert_eq!(add(&a, &b).unwrap(), add(&b, &a).unwrap());
+    }
+}

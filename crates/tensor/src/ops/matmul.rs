@@ -1,0 +1,158 @@
+//! Matrix multiplication.
+
+use crate::{Result, Tensor, TensorError};
+
+/// `[m, k] × [k, n] → [m, n]` matrix product.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidShape`] for non-rank-2 operands and
+/// [`TensorError::ShapeMismatch`] if the inner dimensions disagree.
+///
+/// # Example
+///
+/// ```
+/// use mmg_tensor::{ops, Tensor};
+/// # fn main() -> Result<(), mmg_tensor::TensorError> {
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+/// let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2])?;
+/// let c = ops::matmul(&a, &b)?;
+/// assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    if a.shape().rank() != 2 || b.shape().rank() != 2 {
+        return Err(TensorError::InvalidShape {
+            op: "matmul",
+            reason: format!("expected rank-2 operands, got {} and {}", a.shape(), b.shape()),
+        });
+    }
+    let (m, k) = (a.shape().dims()[0], a.shape().dims()[1]);
+    let (k2, n) = (b.shape().dims()[0], b.shape().dims()[1]);
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: a.shape().dims().to_vec(),
+            rhs: b.shape().dims().to_vec(),
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        for p in 0..k {
+            let av = ad[i * k + p];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[p * n..(p + 1) * n];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Batched matrix product `[b, m, k] × [b, k, n] → [b, m, n]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidShape`] for non-rank-3 operands and
+/// [`TensorError::ShapeMismatch`] if batch or inner dims disagree.
+pub fn bmm(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    if a.shape().rank() != 3 || b.shape().rank() != 3 {
+        return Err(TensorError::InvalidShape {
+            op: "bmm",
+            reason: format!("expected rank-3 operands, got {} and {}", a.shape(), b.shape()),
+        });
+    }
+    let (ba, m, k) = (a.shape().dims()[0], a.shape().dims()[1], a.shape().dims()[2]);
+    let (bb, k2, n) = (b.shape().dims()[0], b.shape().dims()[1], b.shape().dims()[2]);
+    if ba != bb || k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "bmm",
+            lhs: a.shape().dims().to_vec(),
+            rhs: b.shape().dims().to_vec(),
+        });
+    }
+    let mut out = vec![0.0f32; ba * m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for batch in 0..ba {
+        let aoff = batch * m * k;
+        let boff = batch * k * n;
+        let ooff = batch * m * n;
+        for i in 0..m {
+            for p in 0..k {
+                let av = ad[aoff + i * k + p];
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &bd[boff + p * n..boff + (p + 1) * n];
+                let orow = &mut out[ooff + i * n..ooff + (i + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[ba, m, n])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::randn(&[3, 3], 1);
+        let i = Tensor::eye(3);
+        let c = matmul(&a, &i).unwrap();
+        assert!(a.max_abs_diff(&c).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0], &[3, 2]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.shape().dims(), &[2, 2]);
+        assert_eq!(c.data(), &[4.0, 5.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn matmul_shape_errors() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(matmul(&a, &b).is_err());
+        let c = Tensor::zeros(&[2, 3, 4]);
+        assert!(matmul(&a, &c).is_err());
+    }
+
+    #[test]
+    fn bmm_matches_per_batch_matmul() {
+        let a = Tensor::randn(&[2, 3, 4], 2);
+        let b = Tensor::randn(&[2, 4, 5], 3);
+        let c = bmm(&a, &b).unwrap();
+        assert_eq!(c.shape().dims(), &[2, 3, 5]);
+        for batch in 0..2 {
+            let a0 = Tensor::from_vec(a.data()[batch * 12..(batch + 1) * 12].to_vec(), &[3, 4]).unwrap();
+            let b0 = Tensor::from_vec(b.data()[batch * 20..(batch + 1) * 20].to_vec(), &[4, 5]).unwrap();
+            let c0 = matmul(&a0, &b0).unwrap();
+            let got = &c.data()[batch * 15..(batch + 1) * 15];
+            for (x, y) in c0.data().iter().zip(got.iter()) {
+                assert!((x - y).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn bmm_batch_mismatch_errors() {
+        let a = Tensor::zeros(&[2, 3, 4]);
+        let b = Tensor::zeros(&[3, 4, 5]);
+        assert!(bmm(&a, &b).is_err());
+    }
+}

@@ -1,0 +1,23 @@
+//! Numeric operator implementations.
+//!
+//! These are straightforward reference implementations — clarity over speed.
+//! They exist to validate the performance plane (shape inference, attention
+//! lowering equivalence) and to power reduced-size end-to-end examples.
+
+mod activation;
+mod combine;
+mod conv;
+mod elementwise;
+mod matmul;
+mod norm;
+mod reduce;
+mod resample;
+
+pub use activation::{gelu, relu, silu};
+pub use combine::{chunk, concat};
+pub use conv::{conv2d, Conv2dParams};
+pub use elementwise::{add, mul, scale};
+pub use matmul::{bmm, matmul};
+pub use norm::{group_norm, layer_norm, rms_norm, softmax_last};
+pub use reduce::{l2_norm, mean, mean_last, sum, variance};
+pub use resample::{avg_pool2d, upsample_nearest2d};

@@ -1,0 +1,202 @@
+//! Normalization and softmax.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Softmax over the last axis.
+///
+/// Uses the numerically-stable max-subtraction formulation — the same
+/// invariant the flash-attention online softmax must preserve.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidShape`] for rank-0 tensors.
+pub fn softmax_last(x: &Tensor) -> Result<Tensor> {
+    if x.shape().rank() == 0 {
+        return Err(TensorError::InvalidShape { op: "softmax", reason: "rank-0 input".into() });
+    }
+    let cols = *x.shape().dims().last().expect("rank >= 1");
+    if cols == 0 {
+        return Err(TensorError::InvalidShape { op: "softmax", reason: "zero-length last axis".into() });
+    }
+    let rows = x.numel() / cols;
+    let mut out = vec![0.0f32; x.numel()];
+    for r in 0..rows {
+        let row = &x.data()[r * cols..(r + 1) * cols];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0f32;
+        for (o, &v) in out[r * cols..(r + 1) * cols].iter_mut().zip(row.iter()) {
+            let e = (v - m).exp();
+            *o = e;
+            denom += e;
+        }
+        for o in &mut out[r * cols..(r + 1) * cols] {
+            *o /= denom;
+        }
+    }
+    Tensor::from_vec(out, x.shape().dims())
+}
+
+/// GroupNorm over `[n, c, h, w]` with `num_groups` channel groups.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidShape`] for non-rank-4 input and
+/// [`TensorError::InvalidParameter`] if `c % num_groups != 0` or
+/// `num_groups == 0`.
+pub fn group_norm(x: &Tensor, num_groups: usize, eps: f32) -> Result<Tensor> {
+    if x.shape().rank() != 4 {
+        return Err(TensorError::InvalidShape {
+            op: "group_norm",
+            reason: format!("expected rank-4 input, got {}", x.shape()),
+        });
+    }
+    let [n, c, h, w] =
+        [x.shape().dims()[0], x.shape().dims()[1], x.shape().dims()[2], x.shape().dims()[3]];
+    if num_groups == 0 || c % num_groups != 0 {
+        return Err(TensorError::InvalidParameter {
+            op: "group_norm",
+            reason: format!("channels {c} not divisible by groups {num_groups}"),
+        });
+    }
+    let cg = c / num_groups;
+    let group_elems = cg * h * w;
+    let mut out = vec![0.0f32; x.numel()];
+    for ni in 0..n {
+        for g in 0..num_groups {
+            let start = (ni * c + g * cg) * h * w;
+            let slice = &x.data()[start..start + group_elems];
+            let mean: f32 = slice.iter().sum::<f32>() / group_elems as f32;
+            let var: f32 =
+                slice.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / group_elems as f32;
+            let inv = 1.0 / (var + eps).sqrt();
+            for (o, &v) in out[start..start + group_elems].iter_mut().zip(slice.iter()) {
+                *o = (v - mean) * inv;
+            }
+        }
+    }
+    Tensor::from_vec(out, x.shape().dims())
+}
+
+/// LayerNorm over the last axis.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidShape`] for rank-0 input.
+pub fn layer_norm(x: &Tensor, eps: f32) -> Result<Tensor> {
+    if x.shape().rank() == 0 {
+        return Err(TensorError::InvalidShape { op: "layer_norm", reason: "rank-0 input".into() });
+    }
+    let cols = *x.shape().dims().last().expect("rank >= 1");
+    let rows = x.numel() / cols;
+    let mut out = vec![0.0f32; x.numel()];
+    for r in 0..rows {
+        let row = &x.data()[r * cols..(r + 1) * cols];
+        let mean: f32 = row.iter().sum::<f32>() / cols as f32;
+        let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
+        let inv = 1.0 / (var + eps).sqrt();
+        for (o, &v) in out[r * cols..(r + 1) * cols].iter_mut().zip(row.iter()) {
+            *o = (v - mean) * inv;
+        }
+    }
+    Tensor::from_vec(out, x.shape().dims())
+}
+
+/// RMSNorm over the last axis (used by LLaMA-family models).
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidShape`] for rank-0 input.
+pub fn rms_norm(x: &Tensor, eps: f32) -> Result<Tensor> {
+    if x.shape().rank() == 0 {
+        return Err(TensorError::InvalidShape { op: "rms_norm", reason: "rank-0 input".into() });
+    }
+    let cols = *x.shape().dims().last().expect("rank >= 1");
+    let rows = x.numel() / cols;
+    let mut out = vec![0.0f32; x.numel()];
+    for r in 0..rows {
+        let row = &x.data()[r * cols..(r + 1) * cols];
+        let ms: f32 = row.iter().map(|v| v * v).sum::<f32>() / cols as f32;
+        let inv = 1.0 / (ms + eps).sqrt();
+        for (o, &v) in out[r * cols..(r + 1) * cols].iter_mut().zip(row.iter()) {
+            *o = v * inv;
+        }
+    }
+    Tensor::from_vec(out, x.shape().dims())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Tensor::randn(&[4, 7], 10);
+        let y = softmax_last(&x).unwrap();
+        for r in 0..4 {
+            let s: f32 = y.data()[r * 7..(r + 1) * 7].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5, "row {r} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap();
+        let shifted = Tensor::from_vec(vec![101.0, 102.0, 103.0], &[1, 3]).unwrap();
+        let a = softmax_last(&x).unwrap();
+        let b = softmax_last(&shifted).unwrap();
+        assert!(a.max_abs_diff(&b).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_handles_large_magnitudes() {
+        let x = Tensor::from_vec(vec![1000.0, 1000.0], &[1, 2]).unwrap();
+        let y = softmax_last(&x).unwrap();
+        assert!(y.all_finite());
+        assert!((y.data()[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn group_norm_zero_mean_unit_var() {
+        let x = Tensor::randn(&[2, 8, 4, 4], 11);
+        let y = group_norm(&x, 4, 1e-5).unwrap();
+        // Each group of 2 channels x 16 pixels should be ~N(0,1).
+        let group_elems = 2 * 16;
+        let slice = &y.data()[0..group_elems];
+        let mean: f32 = slice.iter().sum::<f32>() / group_elems as f32;
+        let var: f32 = slice.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / group_elems as f32;
+        assert!(mean.abs() < 1e-4);
+        assert!((var - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn group_norm_validates_groups() {
+        let x = Tensor::zeros(&[1, 6, 2, 2]);
+        assert!(group_norm(&x, 4, 1e-5).is_err());
+        assert!(group_norm(&x, 0, 1e-5).is_err());
+        assert!(group_norm(&x, 3, 1e-5).is_ok());
+    }
+
+    #[test]
+    fn layer_norm_normalizes_rows() {
+        let x = Tensor::randn(&[3, 64], 12);
+        let y = layer_norm(&x, 1e-5).unwrap();
+        for r in 0..3 {
+            let row = &y.data()[r * 64..(r + 1) * 64];
+            let mean: f32 = row.iter().sum::<f32>() / 64.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 64.0;
+            assert!(mean.abs() < 1e-4);
+            assert!((var - 1.0).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn rms_norm_unit_rms() {
+        let x = Tensor::randn(&[2, 32], 13);
+        let y = rms_norm(&x, 1e-6).unwrap();
+        for r in 0..2 {
+            let row = &y.data()[r * 32..(r + 1) * 32];
+            let ms: f32 = row.iter().map(|v| v * v).sum::<f32>() / 32.0;
+            assert!((ms - 1.0).abs() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Reductions.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Sum of all elements.
+#[must_use]
+pub fn sum(t: &Tensor) -> f32 {
+    t.data().iter().sum()
+}
+
+/// Mean of all elements (0 for empty tensors).
+#[must_use]
+pub fn mean(t: &Tensor) -> f32 {
+    if t.numel() == 0 {
+        0.0
+    } else {
+        sum(t) / t.numel() as f32
+    }
+}
+
+/// Population variance of all elements (0 for empty tensors).
+#[must_use]
+pub fn variance(t: &Tensor) -> f32 {
+    if t.numel() == 0 {
+        return 0.0;
+    }
+    let m = mean(t);
+    t.data().iter().map(|v| (v - m) * (v - m)).sum::<f32>() / t.numel() as f32
+}
+
+/// Mean over the last axis: `[.., n] → [..]`-shaped tensor (kept rank-1
+/// minimum).
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidShape`] for rank-0 or zero-length last
+/// axis.
+pub fn mean_last(t: &Tensor) -> Result<Tensor> {
+    if t.shape().rank() == 0 {
+        return Err(TensorError::InvalidShape { op: "mean_last", reason: "rank-0 input".into() });
+    }
+    let cols = *t.shape().dims().last().expect("rank >= 1");
+    if cols == 0 {
+        return Err(TensorError::InvalidShape {
+            op: "mean_last",
+            reason: "zero-length last axis".into(),
+        });
+    }
+    let rows = t.numel() / cols;
+    let data: Vec<f32> = (0..rows)
+        .map(|r| t.data()[r * cols..(r + 1) * cols].iter().sum::<f32>() / cols as f32)
+        .collect();
+    let out_dims: Vec<usize> = if t.shape().rank() == 1 {
+        vec![1]
+    } else {
+        t.shape().dims()[..t.shape().rank() - 1].to_vec()
+    };
+    Tensor::from_vec(data, &out_dims)
+}
+
+/// L2 norm of all elements.
+#[must_use]
+pub fn l2_norm(t: &Tensor) -> f32 {
+    t.data().iter().map(|v| v * v).sum::<f32>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_reductions() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        assert_eq!(sum(&t), 10.0);
+        assert_eq!(mean(&t), 2.5);
+        assert!((variance(&t) - 1.25).abs() < 1e-6);
+        assert!((l2_norm(&t) - 30.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_last_reduces_rows() {
+        let t = Tensor::from_vec(vec![1.0, 3.0, 10.0, 20.0], &[2, 2]).unwrap();
+        let m = mean_last(&t).unwrap();
+        assert_eq!(m.shape().dims(), &[2]);
+        assert_eq!(m.data(), &[2.0, 15.0]);
+    }
+
+    #[test]
+    fn mean_last_rank1_yields_singleton() {
+        let t = Tensor::from_vec(vec![2.0, 4.0], &[2]).unwrap();
+        let m = mean_last(&t).unwrap();
+        assert_eq!(m.shape().dims(), &[1]);
+        assert_eq!(m.data(), &[3.0]);
+    }
+
+    #[test]
+    fn randn_statistics() {
+        let t = Tensor::randn(&[10_000], 9);
+        assert!(mean(&t).abs() < 0.05);
+        assert!((variance(&t) - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn empty_tensor_is_safe() {
+        let t = Tensor::zeros(&[0]);
+        assert_eq!(sum(&t), 0.0);
+        assert_eq!(mean(&t), 0.0);
+        assert_eq!(variance(&t), 0.0);
+    }
+}

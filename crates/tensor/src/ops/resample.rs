@@ -1,0 +1,136 @@
+//! Spatial resampling — the UNet's down/upsampling blocks.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Nearest-neighbour upsampling of `[n, c, h, w]` by an integer factor.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidShape`] for non-rank-4 input and
+/// [`TensorError::InvalidParameter`] for factor 0.
+pub fn upsample_nearest2d(x: &Tensor, factor: usize) -> Result<Tensor> {
+    if factor == 0 {
+        return Err(TensorError::InvalidParameter { op: "upsample", reason: "factor must be > 0".into() });
+    }
+    if x.shape().rank() != 4 {
+        return Err(TensorError::InvalidShape {
+            op: "upsample",
+            reason: format!("expected rank-4 input, got {}", x.shape()),
+        });
+    }
+    let [n, c, h, w] =
+        [x.shape().dims()[0], x.shape().dims()[1], x.shape().dims()[2], x.shape().dims()[3]];
+    let (oh, ow) = (h * factor, w * factor);
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    for ni in 0..n {
+        for ci in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let iy = oy / factor;
+                    let ix = ox / factor;
+                    out[((ni * c + ci) * oh + oy) * ow + ox] =
+                        x.data()[((ni * c + ci) * h + iy) * w + ix];
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, c, oh, ow])
+}
+
+/// Average pooling of `[n, c, h, w]` by an integer factor.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidShape`] for non-rank-4 input or spatial
+/// extents not divisible by the factor, and
+/// [`TensorError::InvalidParameter`] for factor 0.
+pub fn avg_pool2d(x: &Tensor, factor: usize) -> Result<Tensor> {
+    if factor == 0 {
+        return Err(TensorError::InvalidParameter { op: "avg_pool", reason: "factor must be > 0".into() });
+    }
+    if x.shape().rank() != 4 {
+        return Err(TensorError::InvalidShape {
+            op: "avg_pool",
+            reason: format!("expected rank-4 input, got {}", x.shape()),
+        });
+    }
+    let [n, c, h, w] =
+        [x.shape().dims()[0], x.shape().dims()[1], x.shape().dims()[2], x.shape().dims()[3]];
+    if h % factor != 0 || w % factor != 0 {
+        return Err(TensorError::InvalidShape {
+            op: "avg_pool",
+            reason: format!("extent ({h}, {w}) not divisible by factor {factor}"),
+        });
+    }
+    let (oh, ow) = (h / factor, w / factor);
+    let inv = 1.0 / (factor * factor) as f32;
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    for ni in 0..n {
+        for ci in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0f32;
+                    for dy in 0..factor {
+                        for dx in 0..factor {
+                            acc += x.data()
+                                [((ni * c + ci) * h + oy * factor + dy) * w + ox * factor + dx];
+                        }
+                    }
+                    out[((ni * c + ci) * oh + oy) * ow + ox] = acc * inv;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, c, oh, ow])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upsample_replicates_pixels() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        let y = upsample_nearest2d(&x, 2).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 1, 4, 4]);
+        assert_eq!(y.at(&[0, 0, 0, 0]), 1.0);
+        assert_eq!(y.at(&[0, 0, 1, 1]), 1.0);
+        assert_eq!(y.at(&[0, 0, 0, 2]), 2.0);
+        assert_eq!(y.at(&[0, 0, 3, 3]), 4.0);
+    }
+
+    #[test]
+    fn avg_pool_averages() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        let y = avg_pool2d(&x, 2).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 1, 1, 1]);
+        assert_eq!(y.data()[0], 2.5);
+    }
+
+    #[test]
+    fn pool_then_upsample_roundtrip_on_constant() {
+        let x = Tensor::full(&[1, 2, 4, 4], 3.0);
+        let y = upsample_nearest2d(&avg_pool2d(&x, 2).unwrap(), 2).unwrap();
+        assert!(x.max_abs_diff(&y).unwrap() < 1e-7);
+    }
+
+    #[test]
+    fn indivisible_extent_rejected() {
+        let x = Tensor::zeros(&[1, 1, 3, 4]);
+        assert!(avg_pool2d(&x, 2).is_err());
+    }
+
+    #[test]
+    fn factor_one_is_identity() {
+        let x = Tensor::randn(&[1, 2, 3, 3], 30);
+        assert_eq!(upsample_nearest2d(&x, 1).unwrap(), x);
+        assert_eq!(avg_pool2d(&x, 1).unwrap(), x);
+    }
+
+    #[test]
+    fn factor_zero_rejected() {
+        let x = Tensor::zeros(&[1, 1, 2, 2]);
+        assert!(upsample_nearest2d(&x, 0).is_err());
+        assert!(avg_pool2d(&x, 0).is_err());
+    }
+}

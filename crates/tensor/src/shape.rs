@@ -1,0 +1,197 @@
+//! Tensor shapes and stride computation.
+
+use std::fmt;
+
+use crate::TensorError;
+
+/// The extents of a tensor along each axis.
+///
+/// Shapes are always row-major ("C order"): the last axis is contiguous.
+///
+/// # Example
+///
+/// ```
+/// use mmg_tensor::Shape;
+///
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.numel(), 24);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from axis extents.
+    #[must_use]
+    pub fn new(dims: &[usize]) -> Self {
+        Shape { dims: dims.to_vec() }
+    }
+
+    /// Creates a scalar (rank-0) shape.
+    #[must_use]
+    pub fn scalar() -> Self {
+        Shape { dims: Vec::new() }
+    }
+
+    /// Axis extents.
+    #[must_use]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of axes.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements (product of extents; 1 for scalars).
+    #[must_use]
+    pub fn numel(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Extent of `axis`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::AxisOutOfRange`] if `axis >= rank`.
+    pub fn dim(&self, axis: usize) -> Result<usize, TensorError> {
+        self.dims
+            .get(axis)
+            .copied()
+            .ok_or(TensorError::AxisOutOfRange { axis, rank: self.dims.len() })
+    }
+
+    /// Row-major strides, in elements.
+    #[must_use]
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Flat row-major offset of a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `index` has the right rank and is in bounds.
+    #[must_use]
+    pub fn offset(&self, index: &[usize]) -> usize {
+        debug_assert_eq!(index.len(), self.dims.len(), "index rank mismatch");
+        let strides = self.strides();
+        index
+            .iter()
+            .zip(strides.iter())
+            .zip(self.dims.iter())
+            .map(|((&i, &s), &d)| {
+                debug_assert!(i < d, "index {i} out of bounds for dim {d}");
+                i * s
+            })
+            .sum()
+    }
+
+    /// Whether two shapes are identical.
+    #[must_use]
+    pub fn same_as(&self, other: &Shape) -> bool {
+        self.dims == other.dims
+    }
+
+    /// The shape with `axis` removed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::AxisOutOfRange`] if `axis >= rank`.
+    pub fn remove_axis(&self, axis: usize) -> Result<Shape, TensorError> {
+        if axis >= self.dims.len() {
+            return Err(TensorError::AxisOutOfRange { axis, rank: self.dims.len() });
+        }
+        let mut dims = self.dims.clone();
+        dims.remove(axis);
+        Ok(Shape { dims })
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_rank() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(Shape::scalar().numel(), 1);
+        assert_eq!(Shape::scalar().rank(), 0);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(&[5]).strides(), vec![1]);
+        assert!(Shape::scalar().strides().is_empty());
+    }
+
+    #[test]
+    fn offset_walks_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]), 0);
+        assert_eq!(s.offset(&[0, 0, 3]), 3);
+        assert_eq!(s.offset(&[0, 1, 0]), 4);
+        assert_eq!(s.offset(&[1, 2, 3]), 23);
+    }
+
+    #[test]
+    fn dim_bounds_checked() {
+        let s = Shape::new(&[2, 3]);
+        assert_eq!(s.dim(1).unwrap(), 3);
+        assert!(matches!(s.dim(2), Err(TensorError::AxisOutOfRange { axis: 2, rank: 2 })));
+    }
+
+    #[test]
+    fn remove_axis_works() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.remove_axis(1).unwrap().dims(), &[2, 4]);
+        assert!(s.remove_axis(3).is_err());
+    }
+
+    #[test]
+    fn display_renders_brackets() {
+        assert_eq!(Shape::new(&[2, 3]).to_string(), "[2, 3]");
+        assert_eq!(Shape::scalar().to_string(), "[]");
+    }
+
+    #[test]
+    fn zero_extent_gives_zero_numel() {
+        assert_eq!(Shape::new(&[4, 0, 2]).numel(), 0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the numeric operators.
+
+use mmg_tensor::{ops, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Matmul distributes over addition: (A+B)·C = A·C + B·C.
+    #[test]
+    fn matmul_distributes(m in 1usize..6, k in 1usize..6, n in 1usize..6, seed in 0u64..500) {
+        let a = Tensor::randn(&[m, k], seed);
+        let b = Tensor::randn(&[m, k], seed + 1);
+        let c = Tensor::randn(&[k, n], seed + 2);
+        let lhs = ops::matmul(&ops::add(&a, &b).unwrap(), &c).unwrap();
+        let rhs = ops::add(&ops::matmul(&a, &c).unwrap(), &ops::matmul(&b, &c).unwrap()).unwrap();
+        prop_assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-4);
+    }
+
+    /// Matmul with the identity is the identity map.
+    #[test]
+    fn matmul_identity(m in 1usize..8, n in 1usize..8, seed in 0u64..500) {
+        let a = Tensor::randn(&[m, n], seed);
+        let i = Tensor::eye(n);
+        let out = ops::matmul(&a, &i).unwrap();
+        prop_assert!(a.max_abs_diff(&out).unwrap() < 1e-6);
+    }
+
+    /// Convolution is linear in its input.
+    #[test]
+    fn conv_is_linear(c in 1usize..3, hw in 3usize..7, seed in 0u64..500) {
+        let x = Tensor::randn(&[1, c, hw, hw], seed);
+        let w = Tensor::randn(&[2, c, 3, 3], seed + 1);
+        let params = ops::Conv2dParams::same(3);
+        let y1 = ops::conv2d(&ops::scale(&x, 2.0), &w, None, params).unwrap();
+        let y2 = ops::scale(&ops::conv2d(&x, &w, None, params).unwrap(), 2.0);
+        prop_assert!(y1.max_abs_diff(&y2).unwrap() < 1e-4);
+    }
+
+    /// Batched matmul equals per-slice matmul.
+    #[test]
+    fn bmm_equals_sliced_matmul(b in 1usize..4, m in 1usize..5, k in 1usize..5, n in 1usize..5, seed in 0u64..500) {
+        let x = Tensor::randn(&[b, m, k], seed);
+        let y = Tensor::randn(&[b, k, n], seed + 1);
+        let z = ops::bmm(&x, &y).unwrap();
+        for i in 0..b {
+            let xs = Tensor::from_vec(x.data()[i * m * k..(i + 1) * m * k].to_vec(), &[m, k]).unwrap();
+            let ys = Tensor::from_vec(y.data()[i * k * n..(i + 1) * k * n].to_vec(), &[k, n]).unwrap();
+            let zs = ops::matmul(&xs, &ys).unwrap();
+            for (j, v) in zs.data().iter().enumerate() {
+                prop_assert!((v - z.data()[i * m * n + j]).abs() < 1e-4);
+            }
+        }
+    }
+
+    /// LayerNorm output is invariant to input shift and scale (up to eps).
+    #[test]
+    fn layer_norm_shift_scale_invariant(cols in 4usize..32, shift in -5.0f32..5.0, scale in 0.5f32..4.0, seed in 0u64..500) {
+        let x = Tensor::randn(&[2, cols], seed);
+        let shifted_data: Vec<f32> = x.data().iter().map(|v| v * scale + shift).collect();
+        let shifted = Tensor::from_vec(shifted_data, &[2, cols]).unwrap();
+        let a = ops::layer_norm(&x, 1e-6).unwrap();
+        let b = ops::layer_norm(&shifted, 1e-6).unwrap();
+        prop_assert!(a.max_abs_diff(&b).unwrap() < 1e-2);
+    }
+
+    /// Softmax is monotone: larger logits never get smaller probability.
+    #[test]
+    fn softmax_preserves_order(cols in 2usize..16, seed in 0u64..500) {
+        let x = Tensor::randn(&[1, cols], seed);
+        let y = ops::softmax_last(&x).unwrap();
+        for i in 0..cols {
+            for j in 0..cols {
+                if x.data()[i] > x.data()[j] {
+                    prop_assert!(y.data()[i] >= y.data()[j] - 1e-7);
+                }
+            }
+        }
+    }
+
+    /// RMSNorm output always has unit RMS.
+    #[test]
+    fn rms_norm_unit_rms(cols in 2usize..64, seed in 0u64..500) {
+        let x = ops::scale(&Tensor::randn(&[1, cols], seed), 7.0);
+        let y = ops::rms_norm(&x, 1e-8).unwrap();
+        let ms: f32 = y.data().iter().map(|v| v * v).sum::<f32>() / cols as f32;
+        prop_assert!((ms - 1.0).abs() < 1e-2, "ms = {}", ms);
+    }
+
+    /// avg_pool never exceeds the input maximum (convexity).
+    #[test]
+    fn avg_pool_bounded_by_extrema(c in 1usize..3, hw in 1usize..4, factor in 1usize..3, seed in 0u64..500) {
+        let x = Tensor::randn(&[1, c, hw * factor, hw * factor], seed);
+        let y = ops::avg_pool2d(&x, factor).unwrap();
+        let max_in = x.data().iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let min_in = x.data().iter().copied().fold(f32::INFINITY, f32::min);
+        for v in y.data() {
+            prop_assert!(*v <= max_in + 1e-6 && *v >= min_in - 1e-6);
+        }
+    }
+}

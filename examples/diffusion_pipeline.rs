@@ -1,0 +1,77 @@
+//! A reduced-size latent-diffusion denoising loop executed with *real
+//! numbers* on the numeric plane — demonstrating that the same operator
+//! graphs drive both actual computation and performance simulation, and
+//! that the flash-attention lowering is numerically exact end-to-end.
+//!
+//! ```text
+//! cargo run --release --example diffusion_pipeline
+//! ```
+
+use mmgen::attn::AttnImpl;
+use mmgen::graph::{numeric, ActivationKind, AttnKind, Graph, Op};
+use mmgen::gpu::DeviceSpec;
+use mmgen::profiler::Profiler;
+use mmgen::tensor::{ops, Tensor};
+
+/// A miniature UNet-ish denoiser: conv in, one attention block at 8x8,
+/// conv out. Small enough to run in milliseconds with real f32 math.
+fn tiny_denoiser() -> Graph {
+    let (c, r) = (16usize, 8usize);
+    let mut g = Graph::new();
+    g.push("conv_in", Op::Conv2d { batch: 1, c_in: 4, c_out: c, h: r, w: r, kernel: 3, stride: 1 });
+    g.push("norm", Op::GroupNorm { batch: 1, channels: c, h: r, w: r, groups: 4 });
+    g.push("act", Op::Activation { elems: c * r * r, kind: ActivationKind::Silu });
+    g.push(
+        "attn",
+        Op::Attention {
+            // 2 heads over the 16 channels at the 8x8 grid: seq = 64 pixels.
+            shape: mmgen::attn::AttentionShape::self_attn(1, 2, r * r, c / 2),
+            kind: AttnKind::SpatialSelf,
+        },
+    );
+    g.push("proj", Op::Linear { tokens: r * r, in_features: c, out_features: 4 });
+    g
+}
+
+fn main() {
+    let graph = tiny_denoiser();
+    let steps = 10;
+
+    // Numeric plane: a real DDIM sampling loop with real math, under both
+    // attention implementations.
+    let schedule = mmgen::models::diffusion::NoiseSchedule::scaled_linear(1000);
+    let timesteps = schedule.ddim_timesteps(steps).expect("valid step count");
+    let mut outputs = Vec::new();
+    for attn in [AttnImpl::Baseline, AttnImpl::Flash] {
+        let mut latent = Tensor::randn(&[1, 4, 8, 8], 7);
+        for (i, &t) in timesteps.iter().enumerate() {
+            // The toy denoiser plays the epsilon-prediction network; its
+            // output comes back as [64, 4] and is reshaped to the latent.
+            let eps = numeric::execute_chain(&graph, latent.clone(), attn)
+                .expect("graph is numerically executable");
+            let eps = eps.reshape(&[1, 64, 4]).unwrap().permute(&[0, 2, 1]).unwrap();
+            let eps = ops::scale(&eps.reshape(&[1, 4, 8, 8]).unwrap(), 0.05);
+            let t_prev = timesteps.get(i + 1).copied();
+            latent = schedule.ddim_step(&latent, &eps, t, t_prev).expect("ddim update");
+            assert!(latent.all_finite(), "denoising stays finite");
+        }
+        println!("{attn}: final latent norm {:.4}", l2(&latent));
+        outputs.push(latent);
+    }
+    let diff = outputs[0].max_abs_diff(&outputs[1]).unwrap();
+    println!("max |baseline - flash| after {steps} denoising steps: {diff:.2e}");
+    assert!(diff < 1e-3, "flash attention must be numerically exact");
+
+    // Performance plane: the same graph, timed on a simulated A100.
+    let profiler = Profiler::new(DeviceSpec::a100_80gb(), AttnImpl::Flash);
+    let timeline = profiler.profile(&graph);
+    println!(
+        "\nsimulated A100 time for one step of this toy denoiser: {:.1} µs ({} kernels)",
+        timeline.total_time_s() * 1e6,
+        timeline.events().iter().map(|e| e.kernels.len()).sum::<usize>()
+    );
+}
+
+fn l2(t: &Tensor) -> f32 {
+    t.data().iter().map(|x| x * x).sum::<f32>().sqrt()
+}

@@ -1,0 +1,47 @@
+//! Fleet- and landscape-level report (Figs. 1, 4, 5) with JSON export —
+//! the "datacenter operator" view of the multi-modal workload shift.
+//!
+//! ```text
+//! cargo run --release --example fleet_report            # tables
+//! cargo run --release --example fleet_report -- --json  # machine-readable
+//! ```
+
+use mmgen::analytics::fleet::{generate_fleet, summarize, FleetConfig, JobFamily};
+use mmgen::core::experiments::{fig1, fig4, fig5};
+use mmgen::gpu::DeviceSpec;
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let spec = DeviceSpec::a100_80gb();
+
+    let f1 = fig1::run(42);
+    let f4 = fig4::run();
+    let f5 = fig5::run(&spec);
+
+    if json {
+        let bundle = serde_json::json!({
+            "fig1": f1,
+            "fig4": f4,
+            "fig5": f5,
+        });
+        println!("{}", serde_json::to_string_pretty(&bundle).expect("serializable"));
+        return;
+    }
+
+    println!("{}", fig1::render(&f1));
+
+    // A deeper slice of the synthetic fleet than Fig. 1 prints.
+    let jobs = generate_fleet(&FleetConfig::default(), 42);
+    let s = summarize(&jobs);
+    let count = |f: JobFamily| jobs.iter().filter(|j| j.family == f).count();
+    println!(
+        "fleet detail: {} LLM jobs ({:.2e} GPUs/param), {} TTI/TTV jobs ({:.2e} GPUs/param)\n",
+        count(JobFamily::Llm),
+        s.llm_gpus_per_param,
+        count(JobFamily::TtiTtv),
+        s.tti_gpus_per_param,
+    );
+
+    println!("{}", fig4::render(&f4));
+    println!("{}", fig5::render(&f5));
+}

@@ -1,0 +1,52 @@
+//! Quickstart: profile Stable Diffusion on a simulated A100 and see where
+//! the time goes, with and without Flash Attention.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mmgen::attn::AttnImpl;
+use mmgen::gpu::DeviceSpec;
+use mmgen::models::suite::stable_diffusion::{pipeline, StableDiffusionConfig};
+use mmgen::profiler::report::{fmt_pct, fmt_seconds};
+use mmgen::profiler::Profiler;
+
+fn main() {
+    // 1. Build the model: CLIP text encoder -> 50-step UNet -> VAE decoder.
+    let config = StableDiffusionConfig::default();
+    let model = pipeline(&config);
+    println!(
+        "Stable Diffusion @ {}px: {} stages, {:.2}B params, {:.1} TFLOPs/image",
+        config.image_size,
+        model.stages.len(),
+        model.param_count() as f64 / 1e9,
+        model.total_flops() as f64 / 1e12,
+    );
+
+    // 2. Profile it on a simulated A100 under both attention kernels.
+    let device = DeviceSpec::a100_80gb();
+    for attn in [AttnImpl::Baseline, AttnImpl::Flash] {
+        let profiler = Profiler::new(device.clone(), attn);
+        let profile = model.profile(&profiler);
+        let breakdown = profile.breakdown();
+        println!("\n--- {attn} attention: {} end-to-end", fmt_seconds(profile.total_time_s()));
+        for &(category, seconds) in breakdown.rows() {
+            println!(
+                "  {category:<12} {:>10}  {:>6}",
+                fmt_seconds(seconds),
+                fmt_pct(seconds / breakdown.total_s())
+            );
+        }
+    }
+
+    // 3. The headline: who is the bottleneck after Flash Attention?
+    let flash = model.profile(&Profiler::new(device.clone(), AttnImpl::Flash));
+    let base = model.profile(&Profiler::new(device, AttnImpl::Baseline));
+    println!(
+        "\nFlash Attention end-to-end speedup: {:.2}x (paper reports 1.67x)",
+        base.total_time_s() / flash.total_time_s()
+    );
+    let b = flash.breakdown();
+    let top = b.rows().first().expect("nonempty breakdown");
+    println!("largest post-flash operator block: {} ({})", top.0, fmt_pct(top.1 / b.total_s()));
+}

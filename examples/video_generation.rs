@@ -1,0 +1,89 @@
+//! Text-to-video systems study: why temporal attention is the emerging
+//! bottleneck (Sections II-B and VI of the paper).
+//!
+//! Covers three angles:
+//! 1. end-to-end Make-A-Video profile split into spatial vs temporal time,
+//! 2. the frame-count FLOP crossover (Fig. 13),
+//! 3. the cache-locality collapse of the temporal layout (Fig. 12),
+//!    plus a numeric demonstration of the Fig. 10 rearrangements.
+//!
+//! ```text
+//! cargo run --release --example video_generation
+//! ```
+
+use mmgen::analytics::temporal::{crossover_frames, frame_sweep};
+use mmgen::attn::video::{to_spatial_layout, to_temporal_layout, VideoAttentionKind};
+use mmgen::attn::AttnImpl;
+use mmgen::gpu::DeviceSpec;
+use mmgen::graph::AttnKind;
+use mmgen::kernels::access::{AttentionKernel, VideoAttentionAccess};
+use mmgen::models::suite::make_a_video::{pipeline, MakeAVideoConfig};
+use mmgen::profiler::report::fmt_seconds;
+use mmgen::profiler::Profiler;
+use mmgen::tensor::Tensor;
+
+fn main() {
+    let device = DeviceSpec::a100_80gb();
+
+    // 1. Make-A-Video end to end.
+    let cfg = MakeAVideoConfig::default();
+    let profile = pipeline(&cfg).profile(&Profiler::new(device.clone(), AttnImpl::Flash));
+    let spatial = profile.attention_time_by_kind(AttnKind::SpatialSelf);
+    let temporal = profile.attention_time_by_kind(AttnKind::Temporal);
+    println!("Make-A-Video, {} frames @ {}px:", cfg.frames, cfg.base_res);
+    println!("  total            {}", fmt_seconds(profile.total_time_s()));
+    println!("  spatial attention  {}", fmt_seconds(spatial));
+    println!(
+        "  temporal attention {}  ({:.1}x spatial, with {:.1}x fewer FLOPs)",
+        fmt_seconds(temporal),
+        temporal / spatial,
+        profile.attention_flops_by_kind(AttnKind::SpatialSelf) as f64
+            / profile.attention_flops_by_kind(AttnKind::Temporal) as f64
+    );
+    println!(
+        "  temporal share of attention time: {:.0}% (paper: >60%)",
+        100.0 * temporal / (temporal + spatial)
+    );
+
+    // 2. Frame scaling: where does temporal overtake spatial?
+    println!("\nFLOPs vs frames at a 16x16 grid (Fig. 13):");
+    for p in frame_sweep(&[8, 64, 256, 512], 16, 320, 8) {
+        println!(
+            "  {:>4} frames: spatial {:>8.2} G, temporal {:>8.2} G",
+            p.frames,
+            p.spatial_flops as f64 / 1e9,
+            p.temporal_flops as f64 / 1e9
+        );
+    }
+    println!(
+        "  crossover: {:?} frames at 16x16; {:?} at 32x32 (higher res postpones it)",
+        crossover_frames(16, 320, 8, 100_000),
+        crossover_frames(32, 320, 8, 100_000)
+    );
+
+    // 3. Cache behaviour of the two layouts.
+    println!("\nSimulated cache hit rates (Fig. 12):");
+    let access = VideoAttentionAccess::make_a_video_base();
+    for (kernel, name) in
+        [(AttentionKernel::Gemm, "gemm"), (AttentionKernel::Softmax, "softmax")]
+    {
+        let s = access.simulate(kernel, false, &device, 200_000);
+        let t = access.simulate(kernel, true, &device, 200_000);
+        println!(
+            "  {name:<8} L1: spatial {:>5.1}%  temporal {:>5.1}%  ({:.0}x lower)",
+            100.0 * s.l1.hit_rate(),
+            100.0 * t.l1.hit_rate(),
+            s.l1.hit_rate() / t.l1.hit_rate().max(0.01)
+        );
+    }
+
+    // 4. The Fig. 10 rearrangements, on real data.
+    let clip = Tensor::randn(&[4, 8, 6, 6], 3);
+    let sp = to_spatial_layout(&clip).unwrap();
+    let tp = to_temporal_layout(&clip).unwrap();
+    println!("\nFig. 10 layouts for a [4, 8, 6, 6] clip:");
+    println!("  spatial  Q/K/V: {} (batch=frames, seq=pixels)", sp.shape());
+    println!("  temporal Q/K/V: {} (batch=pixels, seq=frames)", tp.shape());
+    let shape = VideoAttentionKind::Temporal.attention_shape(4, 8, 6, 6, 2);
+    println!("  temporal attention shape: batch={} seq={} heads={}", shape.batch, shape.seq_q, shape.heads);
+}

@@ -1,0 +1,24 @@
+//! # mmgen
+//!
+//! Umbrella crate re-exporting the full multi-modal generation
+//! systems-characterization suite. See the individual crates for detail:
+//!
+//! * [`tensor`] — numeric CPU tensor engine
+//! * [`attn`] — baseline / flash / spatial / temporal attention
+//! * [`gpu`] — simulated GPU device, caches, timing
+//! * [`kernels`] — kernel cost + access-pattern models
+//! * [`graph`] — operator IR and executors
+//! * [`models`] — the paper's model suite (Table I + Section III)
+//! * [`profiler`] — timeline capture and operator breakdowns
+//! * [`analytics`] — fleet, Pareto, roofline, analytical models
+//! * [`core`] — experiment runners reproducing every table and figure
+
+pub use mmg_analytics as analytics;
+pub use mmg_attn as attn;
+pub use mmg_core as core;
+pub use mmg_gpu as gpu;
+pub use mmg_graph as graph;
+pub use mmg_kernels as kernels;
+pub use mmg_models as models;
+pub use mmg_profiler as profiler;
+pub use mmg_tensor as tensor;

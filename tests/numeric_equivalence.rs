@@ -1,0 +1,108 @@
+//! Numeric-plane integration: real math through the public API must agree
+//! between attention implementations and with the perf plane's metadata.
+
+use mmgen::attn::video::{video_self_attention, VideoAttentionKind};
+use mmgen::attn::{baseline_attention, flash_attention, AttnImpl};
+use mmgen::graph::{numeric, ActivationKind, AttnKind, Graph, Op};
+use mmgen::tensor::{ops, Tensor};
+
+#[test]
+fn transformer_block_flash_equals_baseline() {
+    // A full transformer block chain at reduced size.
+    let (seq, d, dff) = (24usize, 32usize, 64usize);
+    let mut g = Graph::new();
+    g.push("ln1", Op::LayerNorm { rows: seq, cols: d });
+    g.push(
+        "attn",
+        Op::Attention {
+            shape: mmgen::attn::AttentionShape::self_attn(1, 4, seq, d / 4),
+            kind: AttnKind::Causal,
+        },
+    );
+    g.push("fc1", Op::Linear { tokens: seq, in_features: d, out_features: dff });
+    g.push("act", Op::Activation { elems: seq * dff, kind: ActivationKind::Gelu });
+    g.push("fc2", Op::Linear { tokens: seq, in_features: dff, out_features: d });
+    g.push("ln2", Op::LayerNorm { rows: seq, cols: d });
+
+    let x = Tensor::randn(&[seq, d], 11);
+    let a = numeric::execute_chain(&g, x.clone(), AttnImpl::Baseline).unwrap();
+    let b = numeric::execute_chain(&g, x, AttnImpl::Flash).unwrap();
+    assert!(a.max_abs_diff(&b).unwrap() < 1e-4);
+    assert!(a.all_finite());
+}
+
+#[test]
+fn unet_like_chain_executes_and_matches_metadata() {
+    let mut g = Graph::new();
+    g.push("conv_in", Op::Conv2d { batch: 2, c_in: 4, c_out: 8, h: 16, w: 16, kernel: 3, stride: 1 });
+    g.push("gn", Op::GroupNorm { batch: 2, channels: 8, h: 16, w: 16, groups: 4 });
+    g.push("act", Op::Activation { elems: 2 * 8 * 256, kind: ActivationKind::Silu });
+    g.push("down", Op::Conv2d { batch: 2, c_in: 8, c_out: 16, h: 16, w: 16, kernel: 3, stride: 2 });
+    g.push("up", Op::Upsample { batch: 2, c: 16, h: 8, w: 8, factor: 2 });
+    g.push("conv_out", Op::Conv2d { batch: 2, c_in: 16, c_out: 4, h: 16, w: 16, kernel: 3, stride: 1 });
+
+    let x = Tensor::randn(&[2, 4, 16, 16], 13);
+    let y = numeric::execute_chain(&g, x, AttnImpl::Flash).unwrap();
+    assert_eq!(y.shape().dims(), &[2, 4, 16, 16]);
+    let last = g.nodes().last().unwrap();
+    assert_eq!(y.numel() as u64, last.op.output_elems());
+}
+
+#[test]
+fn video_attention_spatial_temporal_compose() {
+    // Apply spatial then temporal attention — the Make-A-Video block order
+    // — and verify flash/baseline equivalence of the composite.
+    let clip = Tensor::randn(&[6, 8, 4, 4], 17);
+    let run = |flash: bool| {
+        let s = video_self_attention(&clip, VideoAttentionKind::Spatial, flash).unwrap();
+        video_self_attention(&s, VideoAttentionKind::Temporal, flash).unwrap()
+    };
+    let a = run(false);
+    let b = run(true);
+    assert_eq!(a.shape().dims(), clip.shape().dims());
+    assert!(a.max_abs_diff(&b).unwrap() < 1e-4);
+}
+
+#[test]
+fn attention_is_permutation_equivariant_over_batch() {
+    // Swapping two batch entries swaps the outputs — a structural property
+    // that holds for both implementations.
+    let q = Tensor::randn(&[2, 8, 16], 19);
+    let k = Tensor::randn(&[2, 8, 16], 20);
+    let v = Tensor::randn(&[2, 8, 16], 21);
+    let swap = |t: &Tensor| {
+        let d = t.data();
+        let half = d.len() / 2;
+        let mut out = Vec::with_capacity(d.len());
+        out.extend_from_slice(&d[half..]);
+        out.extend_from_slice(&d[..half]);
+        Tensor::from_vec(out, t.shape().dims()).unwrap()
+    };
+    let o1 = flash_attention(&q, &k, &v, 4).unwrap();
+    let o2 = flash_attention(&swap(&q), &swap(&k), &swap(&v), 4).unwrap();
+    assert!(swap(&o1).max_abs_diff(&o2).unwrap() < 1e-5);
+}
+
+#[test]
+fn softmax_value_bounds_propagate_through_attention() {
+    // Attention outputs are convex combinations of V rows: bounded by V's
+    // extrema.
+    let q = Tensor::randn(&[1, 12, 8], 23);
+    let k = Tensor::randn(&[1, 12, 8], 24);
+    let v = Tensor::randn(&[1, 12, 8], 25);
+    let (vmin, vmax) = v
+        .data()
+        .iter()
+        .fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &x| (lo.min(x), hi.max(x)));
+    for o in baseline_attention(&q, &k, &v).unwrap().data() {
+        assert!(*o >= vmin - 1e-5 && *o <= vmax + 1e-5);
+    }
+}
+
+#[test]
+fn elementwise_and_scale_compose_linearly() {
+    let x = Tensor::randn(&[64], 29);
+    let two_x = ops::add(&x, &x).unwrap();
+    let scaled = ops::scale(&x, 2.0);
+    assert!(two_x.max_abs_diff(&scaled).unwrap() < 1e-6);
+}

@@ -1,0 +1,175 @@
+//! Property-based invariants over the core data structures, via proptest.
+
+use mmgen::attn::{baseline_attention, flash_attention, AttentionShape, AttnImpl};
+use mmgen::gpu::{CacheConfig, SetAssociativeCache};
+use mmgen::kernels::gemm::{gemm_compute_eff, GemmShape};
+use mmgen::tensor::{ops, Shape, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Flash attention (any block size) is numerically identical to
+    /// baseline attention — the contract that justifies modelling both
+    /// with the same FLOP count.
+    #[test]
+    fn flash_equals_baseline(
+        b in 1usize..3,
+        sq in 1usize..24,
+        skv in 1usize..24,
+        d in 1usize..12,
+        block in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let q = Tensor::randn(&[b, sq, d], seed);
+        let k = Tensor::randn(&[b, skv, d], seed + 1);
+        let v = Tensor::randn(&[b, skv, d], seed + 2);
+        let base = baseline_attention(&q, &k, &v).unwrap();
+        let flash = flash_attention(&q, &k, &v, block).unwrap();
+        prop_assert!(base.max_abs_diff(&flash).unwrap() < 1e-4);
+    }
+
+    /// Softmax rows always sum to 1 and stay in [0, 1].
+    #[test]
+    fn softmax_is_a_distribution(rows in 1usize..8, cols in 1usize..32, seed in 0u64..1000) {
+        let x = ops::scale(&Tensor::randn(&[rows, cols], seed), 10.0);
+        let y = ops::softmax_last(&x).unwrap();
+        for r in 0..rows {
+            let row = &y.data()[r * cols..(r + 1) * cols];
+            let s: f32 = row.iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)));
+        }
+    }
+
+    /// Permutation round-trips restore the original tensor.
+    #[test]
+    fn permute_roundtrip(d0 in 1usize..5, d1 in 1usize..5, d2 in 1usize..5, seed in 0u64..1000) {
+        let t = Tensor::randn(&[d0, d1, d2], seed);
+        let p = t.permute(&[2, 0, 1]).unwrap();
+        let back = p.permute(&[1, 2, 0]).unwrap();
+        prop_assert_eq!(back, t);
+    }
+
+    /// Shape offsets are a bijection onto 0..numel.
+    #[test]
+    fn shape_offsets_bijective(d0 in 1usize..5, d1 in 1usize..5, d2 in 1usize..5) {
+        let s = Shape::new(&[d0, d1, d2]);
+        let mut seen = vec![false; s.numel()];
+        for i in 0..d0 {
+            for j in 0..d1 {
+                for k in 0..d2 {
+                    let off = s.offset(&[i, j, k]);
+                    prop_assert!(!seen[off], "duplicate offset {}", off);
+                    seen[off] = true;
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&x| x));
+    }
+
+    /// Cache statistics are consistent: hits ≤ accesses, hit rate in [0,1],
+    /// and re-running an identical short stream only improves the hit rate.
+    #[test]
+    fn cache_stats_consistent(addrs in proptest::collection::vec(0u64..4096, 1..200)) {
+        let mut c = SetAssociativeCache::new(CacheConfig {
+            capacity_bytes: 1024,
+            line_bytes: 64,
+            ways: 2,
+        });
+        for &a in &addrs {
+            c.access(a);
+        }
+        let first = c.stats();
+        prop_assert!(first.hits <= first.accesses);
+        prop_assert!((0.0..=1.0).contains(&first.hit_rate()));
+        for &a in &addrs {
+            c.access(a);
+        }
+        let second = c.stats();
+        prop_assert!(second.hits >= first.hits);
+    }
+
+    /// A working set that fits entirely in the cache always hits after the
+    /// first pass.
+    #[test]
+    fn resident_set_always_hits(lines in 1usize..8, passes in 2usize..5) {
+        let mut c = SetAssociativeCache::new(CacheConfig {
+            capacity_bytes: 64 * 64, // 64 lines, plenty of ways
+            line_bytes: 64,
+            ways: 8,
+        });
+        for _ in 0..passes {
+            for l in 0..lines {
+                c.access((l * 64) as u64);
+            }
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.accesses - s.hits, lines as u64, "only compulsory misses");
+    }
+
+    /// GEMM efficiency stays in its clamped range and never decreases when
+    /// the reduction deepens (all else equal).
+    #[test]
+    fn gemm_eff_bounded_and_monotone_in_k(
+        b in 1usize..64,
+        m in 1usize..512,
+        n in 1usize..512,
+        k in 1usize..512,
+    ) {
+        let e1 = gemm_compute_eff(GemmShape::batched(b, m, n, k), 108);
+        prop_assert!((0.0..=1.0).contains(&e1));
+        let e2 = gemm_compute_eff(GemmShape::batched(b, m, n, k * 2), 108);
+        prop_assert!(e2 >= e1 - 1e-9, "deeper k reduced eff: {} -> {}", e1, e2);
+    }
+
+    /// Attention byte model: flash never moves more HBM bytes than
+    /// baseline, and the gap grows with query length.
+    #[test]
+    fn flash_bytes_never_exceed_baseline(
+        batch in 1usize..8,
+        heads in 1usize..16,
+        sq in 1usize..2048,
+        skv in 1usize..2048,
+        d in 8usize..128,
+    ) {
+        let s = AttentionShape { batch, heads, seq_q: sq, seq_kv: skv, head_dim: d };
+        let base = s.costs(AttnImpl::Baseline, 2);
+        let flash = s.costs(AttnImpl::Flash, 2);
+        prop_assert!(flash.hbm_bytes <= base.hbm_bytes);
+        prop_assert_eq!(flash.flops, base.flops);
+    }
+
+    /// Group norm output is mean-zero within every group, for any valid
+    /// grouping.
+    #[test]
+    fn group_norm_zero_mean(
+        c_groups in 1usize..4,
+        group_width in 1usize..4,
+        hw in 2usize..6,
+        seed in 0u64..1000,
+    ) {
+        let c = c_groups * group_width;
+        let x = Tensor::randn(&[1, c, hw, hw], seed);
+        let y = ops::group_norm(&x, c_groups, 1e-5).unwrap();
+        let elems = group_width * hw * hw;
+        for g in 0..c_groups {
+            let s: f32 = y.data()[g * elems..(g + 1) * elems].iter().sum();
+            prop_assert!((s / elems as f32).abs() < 1e-3);
+        }
+    }
+
+    /// Upsample then avg-pool by the same factor is the identity.
+    #[test]
+    fn upsample_pool_roundtrip(
+        c in 1usize..4,
+        hw in 1usize..6,
+        factor in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let x = Tensor::randn(&[1, c, hw, hw], seed);
+        let up = ops::upsample_nearest2d(&x, factor).unwrap();
+        let back = ops::avg_pool2d(&up, factor).unwrap();
+        prop_assert!(x.max_abs_diff(&back).unwrap() < 1e-5);
+    }
+}

@@ -1,0 +1,117 @@
+//! Cross-crate integration: the full model suite, profiled end-to-end on
+//! the simulated device, must exhibit the paper's headline findings.
+
+use mmgen::attn::AttnImpl;
+use mmgen::gpu::DeviceSpec;
+use mmgen::graph::{AttnKind, OpCategory};
+use mmgen::models::{suite, ModelId, PipelineProfile};
+use mmgen::profiler::Profiler;
+
+fn profile(id: ModelId, attn: AttnImpl) -> PipelineProfile {
+    suite::build(id).profile(&Profiler::new(DeviceSpec::a100_80gb(), attn))
+}
+
+#[test]
+fn every_model_profiles_under_both_attention_impls() {
+    for id in ModelId::ALL {
+        let base = profile(id, AttnImpl::Baseline);
+        let flash = profile(id, AttnImpl::Flash);
+        assert!(base.total_time_s() > 0.0, "{id}");
+        assert!(
+            flash.total_time_s() <= base.total_time_s() * 1.001,
+            "{id}: flash must not slow the model down"
+        );
+        assert_eq!(base.total_flops(), {
+            // FLOPs are a property of the model, not the kernel impl
+            // (up to the small softmax-side terms removed by fusion).
+            let f = flash.total_flops() as f64;
+            let b = base.total_flops() as f64;
+            assert!((b / f) < 1.05, "{id}: flop mismatch {b} vs {f}");
+            base.total_flops()
+        });
+    }
+}
+
+#[test]
+fn flash_speedup_ordering_matches_paper() {
+    // Table II ordering: SD gains most; ProdImage and MakeAVideo least.
+    let speedup = |id: ModelId| {
+        profile(id, AttnImpl::Baseline).total_time_s()
+            / profile(id, AttnImpl::Flash).total_time_s()
+    };
+    let sd = speedup(ModelId::StableDiffusion);
+    let prod = speedup(ModelId::ProdImage);
+    let mav = speedup(ModelId::MakeAVideo);
+    assert!(sd > 1.5, "SD speedup {sd}");
+    assert!(prod < 1.15, "ProdImage speedup {prod}");
+    assert!(mav < 1.2, "MakeAVideo speedup {mav}");
+    for id in ModelId::ALL {
+        assert!(sd >= speedup(id) - 1e-9, "{id} outgained SD");
+    }
+}
+
+#[test]
+fn diffusion_models_shift_bottleneck_to_conv_after_flash() {
+    for id in [ModelId::StableDiffusion, ModelId::Imagen, ModelId::ProdImage] {
+        let b = profile(id, AttnImpl::Flash).breakdown();
+        assert!(
+            b.seconds(OpCategory::Conv) > b.seconds(OpCategory::Attention),
+            "{id}: conv must dominate attention post-flash"
+        );
+    }
+}
+
+#[test]
+fn llm_and_transformer_tti_keep_attention_linear_dominance() {
+    for id in [ModelId::Llama2, ModelId::Muse, ModelId::Parti, ModelId::Phenaki] {
+        let b = profile(id, AttnImpl::Flash).breakdown();
+        let dominant = b.seconds(OpCategory::Linear) + b.seconds(OpCategory::Attention);
+        assert!(
+            dominant / b.total_s() > 0.6,
+            "{id}: linear+attention are {:.0}%",
+            100.0 * dominant / b.total_s()
+        );
+        assert!(b.seconds(OpCategory::Conv) < 0.05 * b.total_s(), "{id} has no real conv");
+    }
+}
+
+#[test]
+fn temporal_attention_dominates_attention_time_in_ttv() {
+    // Paper: temporal attention accounts for over 60% of total attention
+    // time in TTV models.
+    let p = profile(ModelId::MakeAVideo, AttnImpl::Flash);
+    let temporal = p.attention_time_by_kind(AttnKind::Temporal);
+    let spatial = p.attention_time_by_kind(AttnKind::SpatialSelf);
+    let cross = p.attention_time_by_kind(AttnKind::Cross);
+    assert!(temporal / (temporal + spatial + cross) > 0.6);
+}
+
+#[test]
+fn pixel_diffusion_spends_more_conv_share_than_latent() {
+    // Section IV-A: pixel-based models spend ~15 points more on conv.
+    let conv_share = |id: ModelId| {
+        let b = profile(id, AttnImpl::Baseline).breakdown();
+        b.fraction(OpCategory::Conv)
+    };
+    let imagen = conv_share(ModelId::Imagen);
+    let sd = conv_share(ModelId::StableDiffusion);
+    assert!(imagen > sd + 0.10, "imagen {imagen} vs sd {sd}");
+}
+
+#[test]
+fn groupnorm_visible_in_diffusion_breakdowns() {
+    // Paper: 4–11% of execution time attributed to GroupNorm.
+    for id in [ModelId::StableDiffusion, ModelId::Imagen] {
+        let b = profile(id, AttnImpl::Baseline).breakdown();
+        let f = b.fraction(OpCategory::GroupNorm);
+        assert!((0.01..0.20).contains(&f), "{id}: groupnorm {f}");
+    }
+}
+
+#[test]
+fn profiles_are_deterministic() {
+    let a = profile(ModelId::StableDiffusion, AttnImpl::Flash);
+    let b = profile(ModelId::StableDiffusion, AttnImpl::Flash);
+    assert_eq!(a.total_time_s(), b.total_time_s());
+    assert_eq!(a.total_flops(), b.total_flops());
+}
