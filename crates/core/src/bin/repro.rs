@@ -1,16 +1,30 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro all              # every experiment, paper order
-//! repro table2 fig6      # selected experiments
-//! repro --list           # available experiment ids
-//! repro --device v100 …  # run on a different simulated device
+//! repro all                    # every experiment, paper order
+//! repro table2 fig6            # selected experiments
+//! repro --list                 # available experiment ids
+//! repro --device v100 …        # run on a different simulated device
+//! repro --json …               # one {"experiment", "result"} line each
+//! repro --metrics m.txt …      # Prometheus dump of telemetry counters
+//! repro --trace-out t.json …   # Perfetto trace of one SD UNet step
+//! repro --manifest run.json …  # run manifest (device, ids, counters)
 //! ```
+//!
+//! Every run ends with a run-manifest JSON line on stderr (or in the
+//! `--manifest` file): the simulated device, the experiments executed,
+//! elapsed wall time, and final telemetry counter totals.
 
 use std::process::ExitCode;
+use std::time::Instant;
 
-use mmg_core::{run_experiment, run_experiment_json, ExperimentId};
+use mmg_attn::AttnImpl;
+use mmg_core::{run_experiment, run_experiment_value, run_manifest, ExperimentId};
 use mmg_gpu::DeviceSpec;
+use mmg_models::{suite, ModelId};
+use mmg_profiler::trace::to_chrome_trace_object;
+use mmg_profiler::Profiler;
+use serde_json::Value;
 
 fn device_by_name(name: &str) -> Option<DeviceSpec> {
     match name.to_lowercase().as_str() {
@@ -22,10 +36,31 @@ fn device_by_name(name: &str) -> Option<DeviceSpec> {
     }
 }
 
+/// Profiles one Stable Diffusion UNet denoising step with per-op cache
+/// simulation on the global registry and returns the Perfetto trace
+/// object (`{"traceEvents": [...], "displayTimeUnit": "us"}`).
+fn unet_step_trace(spec: &DeviceSpec) -> Result<String, String> {
+    let pipeline = suite::build(ModelId::StableDiffusion);
+    let stage = pipeline
+        .stages
+        .iter()
+        .find(|s| s.name == "unet_step")
+        .ok_or_else(|| "StableDiffusion pipeline has no unet_step stage".to_string())?;
+    let profiler = Profiler::new(spec.clone(), AttnImpl::Flash).with_cache_sim(20_000);
+    Ok(to_chrome_trace_object(&profiler.profile(&stage.graph)))
+}
+
+fn write_file(path: &str, contents: &str, what: &str) -> Result<(), String> {
+    std::fs::write(path, contents).map_err(|e| format!("cannot write {what} to '{path}': {e}"))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut spec = DeviceSpec::a100_80gb();
     let mut json = false;
+    let mut metrics_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut manifest_path: Option<String> = None;
     let mut targets: Vec<ExperimentId> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -49,6 +84,18 @@ fn main() -> ExitCode {
                 };
                 spec = d;
             }
+            flag @ ("--metrics" | "--trace-out" | "--manifest") => {
+                i += 1;
+                let Some(path) = args.get(i) else {
+                    eprintln!("{flag} requires an output path");
+                    return ExitCode::FAILURE;
+                };
+                match flag {
+                    "--metrics" => metrics_path = Some(path.clone()),
+                    "--trace-out" => trace_path = Some(path.clone()),
+                    _ => manifest_path = Some(path.clone()),
+                }
+            }
             "all" => targets.extend(ExperimentId::ALL),
             other => match other.parse::<ExperimentId>() {
                 Ok(id) => targets.push(id),
@@ -60,19 +107,61 @@ fn main() -> ExitCode {
         }
         i += 1;
     }
+    // Repeated targets (e.g. `repro fig6 all`) run once, first-mention order.
+    let mut seen = std::collections::HashSet::new();
+    targets.retain(|id| seen.insert(*id));
     if targets.is_empty() {
-        eprintln!("usage: repro [--device <name>] [--json] <all | fig1 | table1 | fig4 | fig5 | fig6 | table2 | table3 | fig7 | fig8 | fig9 | fig11 | fig12 | fig13 | secv | flashdec | pods | batch | tp | ablations>…");
+        eprintln!("usage: repro [--device <name>] [--json] [--metrics <path>] [--trace-out <path>] [--manifest <path>] <all | fig1 | table1 | fig4 | fig5 | fig6 | table2 | table3 | fig7 | fig8 | fig9 | fig11 | fig12 | fig13 | secv | flashdec | pods | batch | tp | ablations>…");
         return ExitCode::FAILURE;
     }
+    let started = Instant::now();
     if json {
-        for id in targets {
-            println!("{}", run_experiment_json(id, &spec));
+        for &id in &targets {
+            let envelope = Value::Object(vec![
+                ("experiment".to_string(), Value::from(id.to_string())),
+                ("result".to_string(), run_experiment_value(id, &spec)),
+            ]);
+            let line =
+                serde_json::to_string(&envelope).expect("experiment envelopes always serialize");
+            println!("{line}");
         }
     } else {
         println!("device: {}\n", spec.name);
-        for id in targets {
+        for &id in &targets {
             println!("{}", run_experiment(id, &spec));
         }
+    }
+    if let Some(path) = &trace_path {
+        let trace = match unet_step_trace(&spec) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = write_file(path, &trace, "Chrome trace") {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let registry = mmg_telemetry::global();
+    if let Some(path) = &metrics_path {
+        if let Err(e) = write_file(path, &registry.render_prometheus(), "metrics") {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let manifest = run_manifest(&spec, &targets, started.elapsed().as_secs_f64(), &registry);
+    let manifest_line =
+        serde_json::to_string(&manifest).expect("run manifests always serialize");
+    match &manifest_path {
+        Some(path) => {
+            if let Err(e) = write_file(path, &manifest_line, "run manifest") {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        None => eprintln!("{manifest_line}"),
     }
     ExitCode::SUCCESS
 }

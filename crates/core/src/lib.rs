@@ -39,4 +39,6 @@
 pub mod experiments;
 mod runner;
 
-pub use runner::{run_experiment, run_experiment_json, ExperimentId};
+pub use runner::{
+    run_experiment, run_experiment_json, run_experiment_value, run_manifest, ExperimentId,
+};

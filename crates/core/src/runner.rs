@@ -163,6 +163,40 @@ pub fn run_experiment(id: ExperimentId, spec: &DeviceSpec) -> String {
     }
 }
 
+/// Runs one experiment and returns its result as a JSON value tree
+/// (same defaults as [`run_experiment`]).
+///
+/// # Panics
+///
+/// Never panics: every experiment result is serializable.
+#[must_use]
+pub fn run_experiment_value(id: ExperimentId, spec: &DeviceSpec) -> serde_json::Value {
+    fn v<T: serde::Serialize>(x: &T) -> serde_json::Value {
+        serde_json::to_value(x).expect("experiment results always serialize")
+    }
+    match id {
+        ExperimentId::Fig1 => v(&fig1::run(42)),
+        ExperimentId::Table1 => v(&table1::run()),
+        ExperimentId::Fig4 => v(&fig4::run()),
+        ExperimentId::Fig5 => v(&fig5::run(spec)),
+        ExperimentId::Fig6 => v(&fig6::run(spec)),
+        ExperimentId::Table2 => v(&table2::run(spec)),
+        ExperimentId::Table3 => v(&table3::run()),
+        ExperimentId::Fig7 => v(&fig7::run(spec)),
+        ExperimentId::Fig8 => v(&fig8::run(spec, &fig8::default_sizes())),
+        ExperimentId::Fig9 => v(&fig9::run(spec, &fig9::default_sizes())),
+        ExperimentId::Fig11 => v(&fig11::run(spec)),
+        ExperimentId::Fig12 => v(&fig12::run(spec, 200_000)),
+        ExperimentId::Fig13 => v(&fig13::run(16, &fig13::default_frames())),
+        ExperimentId::SecV => v(&secv::run(spec, 512)),
+        ExperimentId::FlashDec => v(&flashdec::run(spec)),
+        ExperimentId::Pods => v(&pods::run(spec)),
+        ExperimentId::Batch => v(&batch::run(spec, &batch::default_batches())),
+        ExperimentId::Tp => v(&tp::run(spec, &tp::default_widths())),
+        ExperimentId::Ablations => v(&ablations::run(spec)),
+    }
+}
+
 /// Runs one experiment and returns its result as pretty JSON (for
 /// machine-readable pipelines; same defaults as [`run_experiment`]).
 ///
@@ -171,30 +205,43 @@ pub fn run_experiment(id: ExperimentId, spec: &DeviceSpec) -> String {
 /// Never panics: every experiment result is serializable.
 #[must_use]
 pub fn run_experiment_json(id: ExperimentId, spec: &DeviceSpec) -> String {
-    fn j<T: serde::Serialize>(v: &T) -> String {
-        serde_json::to_string_pretty(v).expect("experiment results always serialize")
-    }
-    match id {
-        ExperimentId::Fig1 => j(&fig1::run(42)),
-        ExperimentId::Table1 => j(&table1::run()),
-        ExperimentId::Fig4 => j(&fig4::run()),
-        ExperimentId::Fig5 => j(&fig5::run(spec)),
-        ExperimentId::Fig6 => j(&fig6::run(spec)),
-        ExperimentId::Table2 => j(&table2::run(spec)),
-        ExperimentId::Table3 => j(&table3::run()),
-        ExperimentId::Fig7 => j(&fig7::run(spec)),
-        ExperimentId::Fig8 => j(&fig8::run(spec, &fig8::default_sizes())),
-        ExperimentId::Fig9 => j(&fig9::run(spec, &fig9::default_sizes())),
-        ExperimentId::Fig11 => j(&fig11::run(spec)),
-        ExperimentId::Fig12 => j(&fig12::run(spec, 200_000)),
-        ExperimentId::Fig13 => j(&fig13::run(16, &fig13::default_frames())),
-        ExperimentId::SecV => j(&secv::run(spec, 512)),
-        ExperimentId::FlashDec => j(&flashdec::run(spec)),
-        ExperimentId::Pods => j(&pods::run(spec)),
-        ExperimentId::Batch => j(&batch::run(spec, &batch::default_batches())),
-        ExperimentId::Tp => j(&tp::run(spec, &tp::default_widths())),
-        ExperimentId::Ablations => j(&ablations::run(spec)),
-    }
+    serde_json::to_string_pretty(&run_experiment_value(id, spec))
+        .expect("experiment results always serialize")
+}
+
+/// Builds the run manifest for one CLI invocation: the simulated device,
+/// the experiments executed, elapsed wall time, and the final telemetry
+/// counter totals from `registry`.
+///
+/// # Panics
+///
+/// Never panics: the manifest contains only serializable primitives.
+#[must_use]
+pub fn run_manifest(
+    spec: &DeviceSpec,
+    ids: &[ExperimentId],
+    elapsed_s: f64,
+    registry: &mmg_telemetry::Registry,
+) -> serde_json::Value {
+    use serde_json::Value;
+    let counters = registry
+        .counters_snapshot()
+        .values()
+        .iter()
+        .map(|(name, value)| (name.clone(), Value::from(*value)))
+        .collect();
+    Value::Object(vec![
+        (
+            "device".to_string(),
+            serde_json::to_value(spec).expect("device specs always serialize"),
+        ),
+        (
+            "experiments".to_string(),
+            Value::Array(ids.iter().map(|id| Value::from(id.to_string())).collect()),
+        ),
+        ("elapsed_s".to_string(), Value::from(elapsed_s)),
+        ("counters".to_string(), Value::Object(counters)),
+    ])
 }
 
 #[cfg(test)]

@@ -6,6 +6,7 @@
 //! temporal attention's strided accesses collapse the L1 hit rate by ~10x —
 //! falls out of the geometry.
 
+use mmg_telemetry::{Counter, Registry};
 use serde::{Deserialize, Serialize};
 
 use crate::DeviceSpec;
@@ -160,36 +161,82 @@ impl HierarchyStats {
 pub struct CacheHierarchy {
     l1: SetAssociativeCache,
     l2: SetAssociativeCache,
+    metrics: CacheMetrics,
+}
+
+/// Telemetry counters updated per simulated access (relaxed atomics).
+#[derive(Debug, Clone)]
+struct CacheMetrics {
+    l1_accesses: Counter,
+    l1_hits: Counter,
+    l2_accesses: Counter,
+    l2_hits: Counter,
+}
+
+impl CacheMetrics {
+    fn for_registry(registry: &Registry) -> Self {
+        CacheMetrics {
+            l1_accesses: registry.counter("gpu_l1_accesses_total"),
+            l1_hits: registry.counter("gpu_l1_hits_total"),
+            l2_accesses: registry.counter("gpu_l2_accesses_total"),
+            l2_hits: registry.counter("gpu_l2_hits_total"),
+        }
+    }
 }
 
 impl CacheHierarchy {
     /// Builds the hierarchy from a device spec (L1 = one SM's 4-way cache,
-    /// L2 = 16-way device cache).
+    /// L2 = 16-way device cache), recording to the global telemetry
+    /// registry.
     #[must_use]
     pub fn for_device(spec: &DeviceSpec) -> Self {
-        let l1 = SetAssociativeCache::new(CacheConfig {
+        CacheHierarchy::for_device_with_registry(spec, &mmg_telemetry::global())
+    }
+
+    /// Like [`CacheHierarchy::for_device`], recording to a specific
+    /// registry.
+    #[must_use]
+    pub fn for_device_with_registry(spec: &DeviceSpec, registry: &Registry) -> Self {
+        let l1 = CacheConfig {
             capacity_bytes: spec.l1_bytes_per_sm,
             line_bytes: spec.cache_line_bytes,
             ways: 4,
-        });
-        let l2 = SetAssociativeCache::new(CacheConfig {
+        };
+        let l2 = CacheConfig {
             capacity_bytes: spec.l2_bytes,
             line_bytes: spec.cache_line_bytes,
             ways: 16,
-        });
-        CacheHierarchy { l1, l2 }
+        };
+        CacheHierarchy::with_registry(l1, l2, registry)
     }
 
-    /// Builds from explicit per-level configs.
+    /// Builds from explicit per-level configs, recording to the global
+    /// telemetry registry.
     #[must_use]
     pub fn new(l1: CacheConfig, l2: CacheConfig) -> Self {
-        CacheHierarchy { l1: SetAssociativeCache::new(l1), l2: SetAssociativeCache::new(l2) }
+        CacheHierarchy::with_registry(l1, l2, &mmg_telemetry::global())
+    }
+
+    /// Builds from explicit per-level configs and a telemetry registry.
+    #[must_use]
+    pub fn with_registry(l1: CacheConfig, l2: CacheConfig, registry: &Registry) -> Self {
+        CacheHierarchy {
+            l1: SetAssociativeCache::new(l1),
+            l2: SetAssociativeCache::new(l2),
+            metrics: CacheMetrics::for_registry(registry),
+        }
     }
 
     /// Accesses an address: L1 first, then L2 on miss.
     pub fn access(&mut self, addr: u64) {
-        if !self.l1.access(addr) {
-            self.l2.access(addr);
+        self.metrics.l1_accesses.inc();
+        if self.l1.access(addr) {
+            self.metrics.l1_hits.inc();
+        } else {
+            self.metrics.l2_accesses.inc();
+            if self.l2.access(addr) {
+                self.metrics.l2_hits.inc();
+            }
         }
     }
 
@@ -298,6 +345,25 @@ mod tests {
         assert!(s.l1.hit_rate() < 0.2, "L1 thrashes: {}", s.l1.hit_rate());
         assert!(s.l2.hit_rate() > 0.7, "L2 retains: {}", s.l2.hit_rate());
         assert!(s.hbm_fraction() < 0.3);
+    }
+
+    #[test]
+    fn hierarchy_records_telemetry_counters() {
+        let registry = mmg_telemetry::Registry::new();
+        let l1 = CacheConfig { capacity_bytes: 512, line_bytes: 64, ways: 2 };
+        let l2 = CacheConfig { capacity_bytes: 16 * 1024, line_bytes: 64, ways: 8 };
+        let mut h = CacheHierarchy::with_registry(l1, l2, &registry);
+        for _pass in 0..2 {
+            for i in 0..4u64 {
+                h.access(i * 64);
+            }
+        }
+        let stats = h.stats();
+        assert_eq!(registry.counter("gpu_l1_accesses_total").get(), stats.l1.accesses);
+        assert_eq!(registry.counter("gpu_l1_hits_total").get(), stats.l1.hits);
+        assert_eq!(registry.counter("gpu_l2_accesses_total").get(), stats.l2.accesses);
+        assert_eq!(registry.counter("gpu_l2_hits_total").get(), stats.l2.hits);
+        assert!(stats.l1.hits > 0, "warm second pass should hit L1");
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Roofline-based kernel timing.
 
+use mmg_telemetry::{Counter, Histogram, Registry};
 use serde::{Deserialize, Serialize};
 
 use crate::DeviceSpec;
@@ -57,17 +58,53 @@ impl KernelTime {
     }
 }
 
+/// Telemetry handles the engine updates on every modelled launch,
+/// resolved once at construction so the hot path is a few relaxed
+/// atomic ops.
+#[derive(Debug, Clone)]
+struct TimingMetrics {
+    launches: Counter,
+    flops: Counter,
+    hbm_bytes: Counter,
+    memory_bound: Counter,
+    compute_bound: Counter,
+    kernel_time_us: Histogram,
+}
+
+impl TimingMetrics {
+    fn for_registry(registry: &Registry) -> Self {
+        TimingMetrics {
+            launches: registry.counter("gpu_kernel_launches_total"),
+            flops: registry.counter("gpu_flops_total"),
+            hbm_bytes: registry.counter("gpu_hbm_bytes_total"),
+            memory_bound: registry.counter("gpu_kernels_memory_bound_total"),
+            compute_bound: registry.counter("gpu_kernels_compute_bound_total"),
+            kernel_time_us: registry
+                .histogram("gpu_kernel_time_us", &mmg_telemetry::time_buckets_us()),
+        }
+    }
+}
+
 /// Computes kernel durations against a [`DeviceSpec`].
 #[derive(Debug, Clone)]
 pub struct TimingEngine {
     spec: DeviceSpec,
+    metrics: TimingMetrics,
 }
 
 impl TimingEngine {
-    /// Creates an engine for a device.
+    /// Creates an engine for a device, recording to the global
+    /// telemetry registry.
     #[must_use]
     pub fn new(spec: DeviceSpec) -> Self {
-        TimingEngine { spec }
+        TimingEngine::with_registry(spec, &mmg_telemetry::global())
+    }
+
+    /// Creates an engine recording to a specific registry (test or
+    /// sweep isolation).
+    #[must_use]
+    pub fn with_registry(spec: DeviceSpec, registry: &Registry) -> Self {
+        TimingEngine { spec, metrics: TimingMetrics::for_registry(registry) }
     }
 
     /// The device being simulated.
@@ -92,7 +129,17 @@ impl TimingEngine {
         let floor_s = self.spec.min_kernel_time_us * 1e-6;
         let overhead_s = self.spec.kernel_launch_overhead_us * 1e-6;
         let body = compute_s.max(memory_s).max(floor_s);
-        KernelTime { compute_s, memory_s, overhead_s, total_s: body + overhead_s }
+        let time = KernelTime { compute_s, memory_s, overhead_s, total_s: body + overhead_s };
+        self.metrics.launches.inc();
+        self.metrics.flops.add(cost.flops);
+        self.metrics.hbm_bytes.add(cost.hbm_bytes);
+        if time.is_memory_bound() {
+            self.metrics.memory_bound.inc();
+        } else {
+            self.metrics.compute_bound.inc();
+        }
+        self.metrics.kernel_time_us.observe(time.total_s * 1e6);
+        time
     }
 
     /// Sums a sequence of kernels (serial dependency, as in one CUDA stream).
@@ -161,6 +208,22 @@ mod tests {
         let lo = KernelCost { compute_eff: 0.3, ..hi };
         let e = engine();
         assert!(e.kernel_time(&lo).total_s > 2.5 * e.kernel_time(&hi).total_s);
+    }
+
+    #[test]
+    fn kernel_time_records_telemetry() {
+        let registry = mmg_telemetry::Registry::new();
+        let engine = TimingEngine::with_registry(DeviceSpec::a100_80gb(), &registry);
+        let cost =
+            KernelCost { flops: 1000, hbm_bytes: 4096, compute_eff: 1.0, memory_eff: 1.0 };
+        let _ = engine.kernel_time(&cost);
+        let _ = engine.kernel_time(&cost);
+        assert_eq!(registry.counter("gpu_kernel_launches_total").get(), 2);
+        assert_eq!(registry.counter("gpu_flops_total").get(), 2000);
+        assert_eq!(registry.counter("gpu_hbm_bytes_total").get(), 8192);
+        let hist = registry.histogram("gpu_kernel_time_us", &mmg_telemetry::time_buckets_us());
+        assert_eq!(hist.count(), 2);
+        assert!(hist.quantile(0.99) > 0.0);
     }
 
     #[test]

@@ -210,7 +210,8 @@ impl VideoAttentionAccess {
     }
 
     /// Replays the stream for `kernel` through a fresh device hierarchy and
-    /// returns the hit statistics.
+    /// returns the hit statistics. Cache counters land in the global
+    /// telemetry registry.
     #[must_use]
     pub fn simulate(
         &self,
@@ -219,7 +220,21 @@ impl VideoAttentionAccess {
         spec: &DeviceSpec,
         max_probes: usize,
     ) -> HierarchyStats {
-        let mut h = CacheHierarchy::for_device(spec);
+        self.simulate_with_registry(kernel, temporal, spec, max_probes, &mmg_telemetry::global())
+    }
+
+    /// Like [`VideoAttentionAccess::simulate`], recording cache counters
+    /// to a specific telemetry registry.
+    #[must_use]
+    pub fn simulate_with_registry(
+        &self,
+        kernel: AttentionKernel,
+        temporal: bool,
+        spec: &DeviceSpec,
+        max_probes: usize,
+        registry: &mmg_telemetry::Registry,
+    ) -> HierarchyStats {
+        let mut h = CacheHierarchy::for_device_with_registry(spec, registry);
         h.run(self.stream(kernel, temporal, max_probes));
         h.stats()
     }

@@ -2,7 +2,8 @@
 
 use std::fmt;
 
-use mmg_gpu::KernelCost;
+use mmg_gpu::{KernelCost, KernelTime};
+use mmg_telemetry::Registry;
 
 /// The kernel families the profiler distinguishes, mirroring the kernel
 /// names the paper reads out of Nsight Compute (`gemm`, `softmax`,
@@ -62,9 +63,47 @@ impl KernelDesc {
     }
 }
 
+/// Records one simulated launch of `desc` to per-kind telemetry
+/// counters: launches, FLOPs, HBM bytes, and the roofline regime the
+/// launch landed in (`memory` vs `compute`).
+pub fn record_kernel(registry: &Registry, desc: &KernelDesc, time: &KernelTime) {
+    let kind = desc.kind.to_string();
+    let labels = [("kind", kind.as_str())];
+    registry.counter_with("kernel_launches_total", &labels).inc();
+    registry.counter_with("kernel_flops_total", &labels).add(desc.cost.flops);
+    registry.counter_with("kernel_hbm_bytes_total", &labels).add(desc.cost.hbm_bytes);
+    let regime = if time.is_memory_bound() { "memory" } else { "compute" };
+    registry
+        .counter_with("kernel_regime_total", &[("kind", kind.as_str()), ("regime", regime)])
+        .inc();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn record_kernel_tracks_kind_and_regime() {
+        let registry = Registry::new();
+        let desc = KernelDesc::new(
+            KernelKind::Softmax,
+            "softmax_r64",
+            KernelCost { flops: 100, hbm_bytes: 4000, compute_eff: 1.0, memory_eff: 0.8 },
+        );
+        let time = KernelTime { compute_s: 1e-7, memory_s: 2e-6, overhead_s: 2e-6, total_s: 4e-6 };
+        record_kernel(&registry, &desc, &time);
+        record_kernel(&registry, &desc, &time);
+        let labels = [("kind", "softmax")];
+        assert_eq!(registry.counter_with("kernel_launches_total", &labels).get(), 2);
+        assert_eq!(registry.counter_with("kernel_flops_total", &labels).get(), 200);
+        assert_eq!(registry.counter_with("kernel_hbm_bytes_total", &labels).get(), 8000);
+        assert_eq!(
+            registry
+                .counter_with("kernel_regime_total", &[("kind", "softmax"), ("regime", "memory")])
+                .get(),
+            2
+        );
+    }
 
     #[test]
     fn display_names_match_nsight_vocabulary() {

@@ -89,6 +89,22 @@ pub fn gemm_compute_eff(shape: GemmShape, sms: usize) -> f64 {
     (BASE_GEMM_EFF * tile_eff * wave_eff * k_eff).clamp(MIN_GEMM_EFF, 1.0)
 }
 
+/// Idle SM-tile slots in the final (ragged) wave of a GEMM launch —
+/// the waste term behind the wave-quantization factor of
+/// [`gemm_compute_eff`]. Zero when the grid divides the device evenly.
+#[must_use]
+pub fn wave_quant_idle_slots(shape: GemmShape, sms: usize) -> u64 {
+    let tiles_m = shape.m.div_ceil(TILE_M);
+    let tiles_n = shape.n.div_ceil(TILE_N);
+    let mut total_tiles = shape.batch * tiles_m * tiles_n;
+    if total_tiles < sms {
+        let split_k = (shape.k / 256).clamp(1, 8);
+        total_tiles *= split_k;
+    }
+    let waves = total_tiles.div_ceil(sms.max(1));
+    (waves * sms.max(1) - total_tiles) as u64
+}
+
 /// Builds the kernel descriptor for a batched GEMM over contiguous
 /// operands at `elem_bytes` precision.
 #[must_use]
@@ -108,6 +124,10 @@ pub fn gemm_kernel_amplified(shape: GemmShape, elem_bytes: usize, amplification:
     assert!(amplification >= 1.0, "amplification must be >= 1");
     let bytes = (shape.min_bytes(elem_bytes) as f64 * amplification) as u64;
     let mem_eff = if amplification > 1.0 { 0.5 } else { 0.85 };
+    let idle = wave_quant_idle_slots(shape, DEFAULT_SMS);
+    if idle > 0 {
+        mmg_telemetry::global().counter("gpu_wave_quant_idle_slots_total").add(idle);
+    }
     KernelDesc::new(
         KernelKind::Gemm,
         format!("gemm_b{}_m{}_n{}_k{}", shape.batch, shape.m, shape.n, shape.k),
@@ -166,6 +186,19 @@ mod tests {
         let s = GemmShape::batched(2, 4, 5, 6);
         assert_eq!(s.flops(), 2 * 2 * 4 * 5 * 6);
         assert_eq!(s.min_bytes(2), 2 * (4 * 6 + 6 * 5 + 4 * 5) * 2);
+    }
+
+    #[test]
+    fn wave_quant_idle_slots_shape() {
+        // Exactly one full wave: no waste.
+        assert_eq!(
+            wave_quant_idle_slots(GemmShape::batched(DEFAULT_SMS, 128, 128, 4096), DEFAULT_SMS),
+            0
+        );
+        // One tile over a full wave: a nearly idle second wave.
+        let slots =
+            wave_quant_idle_slots(GemmShape::batched(DEFAULT_SMS + 1, 128, 128, 4096), DEFAULT_SMS);
+        assert_eq!(slots, DEFAULT_SMS as u64 - 1);
     }
 
     #[test]

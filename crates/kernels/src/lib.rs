@@ -33,4 +33,4 @@ pub mod memory_bound;
 
 mod desc;
 
-pub use desc::{KernelDesc, KernelKind};
+pub use desc::{record_kernel, KernelDesc, KernelKind};

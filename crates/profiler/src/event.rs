@@ -55,6 +55,9 @@ pub struct OpEvent {
     pub kernels: Vec<KernelRecord>,
     /// Present when the operator is an attention call.
     pub attention: Option<AttnCallInfo>,
+    /// Telemetry counter increments attributed to this operator (full
+    /// metric name → delta), captured by the executor around the op.
+    pub counters: Vec<(String, u64)>,
 }
 
 #[cfg(test)]
@@ -71,6 +74,7 @@ mod tests {
             flops: 100,
             hbm_bytes: 200,
             kernels: vec![],
+            counters: vec![],
             attention: Some(AttnCallInfo {
                 kind: AttnKind::SpatialSelf,
                 seq_q: 64,

@@ -2,8 +2,10 @@
 
 use mmg_attn::AttnImpl;
 use mmg_gpu::{DeviceSpec, TimingEngine};
-use mmg_graph::{lower::lower_with, Graph};
+use mmg_graph::{lower::lower_with, AttnKind, Graph};
+use mmg_kernels::access::{AttentionKernel, VideoAttentionAccess};
 use mmg_kernels::conv::ConvAlgorithm;
+use mmg_telemetry::Registry;
 
 use crate::{AttnCallInfo, KernelRecord, ModuleHook, OpEvent, Timeline};
 
@@ -29,18 +31,32 @@ pub struct Profiler {
     attn: AttnImpl,
     elem_bytes: usize,
     conv_algo: ConvAlgorithm,
+    registry: Registry,
+    /// Max sector probes per attention op fed to the cache simulator;
+    /// 0 disables per-op cache simulation.
+    cache_probes: usize,
 }
 
 impl Profiler {
     /// Creates a profiler for a device using the given attention
-    /// implementation and FP16 activations.
+    /// implementation and FP16 activations, recording telemetry to the
+    /// global registry.
     #[must_use]
     pub fn new(spec: DeviceSpec, attn: AttnImpl) -> Self {
+        Profiler::with_registry(spec, attn, &mmg_telemetry::global())
+    }
+
+    /// Like [`Profiler::new`], recording telemetry to a specific
+    /// registry.
+    #[must_use]
+    pub fn with_registry(spec: DeviceSpec, attn: AttnImpl, registry: &Registry) -> Self {
         Profiler {
-            engine: TimingEngine::new(spec),
+            engine: TimingEngine::with_registry(spec, registry),
             attn,
             elem_bytes: 2,
             conv_algo: ConvAlgorithm::ImplicitGemm,
+            registry: registry.clone(),
+            cache_probes: 0,
         }
     }
 
@@ -55,6 +71,18 @@ impl Profiler {
     #[must_use]
     pub fn with_conv_algorithm(mut self, algo: ConvAlgorithm) -> Self {
         self.conv_algo = algo;
+        self
+    }
+
+    /// Enables per-op cache simulation for attention operators: each
+    /// attention op replays up to `max_probes` sampled sector probes of
+    /// its GEMM and softmax streams through a fresh L1/L2 hierarchy, so
+    /// `gpu_l1_*`/`gpu_l2_*` counters (and per-op counter deltas)
+    /// reflect the op's locality. Off by default — it adds simulation
+    /// time proportional to `max_probes` per attention op.
+    #[must_use]
+    pub fn with_cache_sim(mut self, max_probes: usize) -> Self {
+        self.cache_probes = max_probes;
         self
     }
 
@@ -80,6 +108,8 @@ impl Profiler {
     ) -> Timeline {
         let mut events = Vec::with_capacity(graph.len());
         for (index, node) in graph.nodes().iter().enumerate() {
+            let snap = self.registry.counters_snapshot();
+            let span = self.registry.span(&node.path);
             let kernels = lower_with(&node.op, self.attn, self.elem_bytes, self.conv_algo);
             let mut records = Vec::with_capacity(kernels.len());
             let mut time_s = 0.0;
@@ -87,6 +117,7 @@ impl Profiler {
             let mut hbm = 0u64;
             for k in &kernels {
                 let kt = self.engine.kernel_time(&k.cost);
+                mmg_kernels::record_kernel(&self.registry, k, &kt);
                 time_s += kt.total_s;
                 flops += k.cost.flops;
                 hbm += k.cost.hbm_bytes;
@@ -100,13 +131,20 @@ impl Profiler {
                     hbm_bytes: k.cost.hbm_bytes,
                 });
             }
-            let attention = node.op.attention_shape().map(|(shape, kind)| AttnCallInfo {
-                kind,
+            let attn_shape = node.op.attention_shape();
+            let attention = attn_shape.as_ref().map(|(shape, kind)| AttnCallInfo {
+                kind: *kind,
                 seq_q: shape.seq_q,
                 seq_kv: shape.seq_kv,
                 batch: shape.batch,
                 heads: shape.heads,
             });
+            if self.cache_probes > 0 {
+                if let Some((shape, kind)) = &attn_shape {
+                    self.simulate_attention_caches(shape, *kind);
+                }
+            }
+            drop(span);
             let event = OpEvent {
                 index,
                 path: node.path.clone(),
@@ -116,6 +154,7 @@ impl Profiler {
                 hbm_bytes: hbm,
                 kernels: records,
                 attention,
+                counters: snap.delta_since(&self.registry),
             };
             for h in hooks.iter_mut() {
                 h.on_op(&event);
@@ -123,6 +162,42 @@ impl Profiler {
             events.push(event);
         }
         Timeline::new(events)
+    }
+
+    /// Replays sampled GEMM and softmax sector streams for one attention
+    /// call through a fresh L1/L2 hierarchy wired to this profiler's
+    /// registry. The call's sequence geometry is mapped back onto the
+    /// video activation layout: temporal attention attends across frames
+    /// per pixel (`seq = frames`, `batch = H·W`), spatial attention
+    /// attends across pixels per frame (`seq = H·W`, `batch = frames`).
+    fn simulate_attention_caches(&self, shape: &mmg_attn::AttentionShape, kind: AttnKind) {
+        let temporal = kind == AttnKind::Temporal;
+        let channels = (shape.heads * shape.head_dim).max(1);
+        let access = if temporal {
+            VideoAttentionAccess {
+                frames: shape.seq_q.max(1),
+                channels,
+                hw: shape.batch.max(1),
+                elem_bytes: self.elem_bytes,
+            }
+        } else {
+            VideoAttentionAccess {
+                frames: shape.batch.max(1),
+                channels,
+                hw: shape.seq_q.max(1),
+                elem_bytes: self.elem_bytes,
+            }
+        };
+        let spec = self.engine.spec();
+        for kernel in [AttentionKernel::Gemm, AttentionKernel::Softmax] {
+            let _ = access.simulate_with_registry(
+                kernel,
+                temporal,
+                spec,
+                self.cache_probes,
+                &self.registry,
+            );
+        }
     }
 }
 
@@ -171,6 +246,54 @@ mod tests {
             let s: f64 = ev.kernels.iter().map(|k| k.time_s).sum();
             assert!((s - ev.time_s).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn op_events_carry_counter_deltas() {
+        let registry = mmg_telemetry::Registry::new();
+        let t = Profiler::with_registry(DeviceSpec::a100_80gb(), AttnImpl::Flash, &registry)
+            .profile(&attn_graph());
+        for ev in t.events() {
+            let launches = ev
+                .counters
+                .iter()
+                .find(|(name, _)| name == "gpu_kernel_launches_total")
+                .map(|(_, delta)| *delta)
+                .unwrap_or(0);
+            assert_eq!(launches as usize, ev.kernels.len(), "op {}", ev.path);
+            let flops = ev
+                .counters
+                .iter()
+                .find(|(name, _)| name == "gpu_flops_total")
+                .map(|(_, delta)| *delta)
+                .unwrap_or(0);
+            assert_eq!(flops, ev.flops, "op {}", ev.path);
+        }
+        // Spans were recorded per op with the same attribution.
+        let spans = registry.finished_spans();
+        assert_eq!(spans.len(), t.events().len());
+        assert_eq!(spans[0].path, "blk.attn");
+    }
+
+    #[test]
+    fn cache_sim_populates_l1_counters_for_attention() {
+        let registry = mmg_telemetry::Registry::new();
+        let t = Profiler::with_registry(DeviceSpec::a100_80gb(), AttnImpl::Flash, &registry)
+            .with_cache_sim(20_000)
+            .profile(&attn_graph());
+        assert!(registry.counter("gpu_l1_accesses_total").get() > 0);
+        assert!(registry.counter("gpu_l1_hits_total").get() > 0);
+        // Only the attention op carries cache deltas.
+        let attn_ev = &t.events()[0];
+        assert!(attn_ev
+            .counters
+            .iter()
+            .any(|(name, delta)| name == "gpu_l1_accesses_total" && *delta > 0));
+        let linear_ev = &t.events()[1];
+        assert!(!linear_ev
+            .counters
+            .iter()
+            .any(|(name, _)| name == "gpu_l1_accesses_total"));
     }
 
     #[test]

@@ -96,6 +96,7 @@ mod tests {
             flops: 0,
             hbm_bytes: 0,
             kernels: vec![],
+            counters: vec![],
             attention: None,
         }
     }

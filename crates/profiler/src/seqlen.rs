@@ -92,6 +92,7 @@ mod tests {
             flops: 0,
             hbm_bytes: 0,
             kernels: vec![],
+            counters: vec![],
             attention: Some(AttnCallInfo {
                 kind: AttnKind::SpatialSelf,
                 seq_q: seq,

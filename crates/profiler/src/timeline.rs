@@ -168,6 +168,7 @@ mod tests {
             flops: 10,
             hbm_bytes: 20,
             kernels: vec![],
+            counters: vec![],
             attention: attn.map(|kind| AttnCallInfo {
                 kind,
                 seq_q: 4,

@@ -3,29 +3,52 @@
 //! Serializes a [`Timeline`] into the Trace Event Format consumed by
 //! `chrome://tracing` / Perfetto, with operators on one track and their
 //! kernels on another — the same two-level view PyTorch Profiler exports.
+//! Operator events carry their telemetry counter deltas (and FLOP/byte
+//! totals) in `args`, and cumulative device counters are emitted as
+//! `ph:"C"` counter tracks so Perfetto plots them as area charts.
+
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
+use serde_json::Value;
 
 use crate::Timeline;
 
-/// One Trace Event Format entry (`ph = "X"` complete events only).
+/// One Trace Event Format entry (`ph = "X"` complete events and
+/// `ph = "C"` counter samples).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TraceEvent {
-    /// Event name (op path or kernel label).
+    /// Event name (op path, kernel label, or counter name).
     pub name: String,
-    /// Category (`op:<category>` or `kernel:<kind>`).
+    /// Category (`op:<category>`, `kernel:<kind>`, or `counter`).
     pub cat: String,
-    /// Phase — always `"X"` (complete event).
+    /// Phase — `"X"` (complete event) or `"C"` (counter sample).
     pub ph: String,
     /// Start timestamp in microseconds.
     pub ts: f64,
-    /// Duration in microseconds.
+    /// Duration in microseconds (0 for counter samples).
     pub dur: f64,
     /// Process id (always 1).
     pub pid: u32,
-    /// Track: 0 = operators, 1 = kernels.
+    /// Track: 0 = operators, 1 = kernels, 2 = counters.
     pub tid: u32,
+    /// Per-event payload: counter deltas and totals for op events, the
+    /// sampled value for counter events.
+    pub args: BTreeMap<String, Value>,
 }
+
+/// Counters promoted to `ph:"C"` tracks when present in op deltas.
+/// Labelled (per-kind) series stay in `args` only — one track per label
+/// set would swamp the trace viewer.
+const COUNTER_TRACKS: &[&str] = &[
+    "gpu_flops_total",
+    "gpu_hbm_bytes_total",
+    "gpu_kernel_launches_total",
+    "gpu_l1_hits_total",
+    "gpu_l1_accesses_total",
+    "gpu_l2_hits_total",
+    "gpu_l2_accesses_total",
+];
 
 /// Converts a timeline into trace events, serializing ops back-to-back
 /// from t = 0 (the simulator has no gaps).
@@ -33,8 +56,15 @@ pub struct TraceEvent {
 pub fn to_trace_events(timeline: &Timeline) -> Vec<TraceEvent> {
     let mut events = Vec::new();
     let mut t_us = 0.0f64;
+    let mut cumulative: BTreeMap<&str, u64> = BTreeMap::new();
     for ev in timeline.events() {
         let op_dur = ev.time_s * 1e6;
+        let mut args = BTreeMap::new();
+        args.insert("flops".to_string(), Value::from(ev.flops));
+        args.insert("hbm_bytes".to_string(), Value::from(ev.hbm_bytes));
+        for (name, delta) in &ev.counters {
+            args.insert(name.clone(), Value::from(*delta));
+        }
         events.push(TraceEvent {
             name: ev.path.clone(),
             cat: format!("op:{}", ev.category),
@@ -43,10 +73,14 @@ pub fn to_trace_events(timeline: &Timeline) -> Vec<TraceEvent> {
             dur: op_dur,
             pid: 1,
             tid: 0,
+            args,
         });
         let mut k_ts = t_us;
         for k in &ev.kernels {
             let dur = k.time_s * 1e6;
+            let mut args = BTreeMap::new();
+            args.insert("flops".to_string(), Value::from(k.flops));
+            args.insert("hbm_bytes".to_string(), Value::from(k.hbm_bytes));
             events.push(TraceEvent {
                 name: k.label.clone(),
                 cat: format!("kernel:{}", k.kind),
@@ -55,15 +89,36 @@ pub fn to_trace_events(timeline: &Timeline) -> Vec<TraceEvent> {
                 dur,
                 pid: 1,
                 tid: 1,
+                args,
             });
             k_ts += dur;
         }
         t_us += op_dur;
+        // Sample cumulative device counters at the op boundary.
+        for &track in COUNTER_TRACKS {
+            if let Some((_, delta)) = ev.counters.iter().find(|(name, _)| name == track) {
+                let total = cumulative.entry(track).or_insert(0);
+                *total += delta;
+                let mut args = BTreeMap::new();
+                args.insert("value".to_string(), Value::from(*total));
+                events.push(TraceEvent {
+                    name: track.to_string(),
+                    cat: "counter".into(),
+                    ph: "C".into(),
+                    ts: t_us,
+                    dur: 0.0,
+                    pid: 1,
+                    tid: 2,
+                    args,
+                });
+            }
+        }
     }
     events
 }
 
-/// Serializes a timeline to a Chrome-trace JSON string.
+/// Serializes a timeline to a bare-array Chrome-trace JSON string (the
+/// legacy format `chrome://tracing` accepts directly).
 ///
 /// # Panics
 ///
@@ -73,19 +128,41 @@ pub fn to_chrome_trace(timeline: &Timeline) -> String {
     serde_json::to_string(&to_trace_events(timeline)).expect("trace events always serialize")
 }
 
+/// Serializes a timeline to the JSON-object trace form Perfetto prefers:
+/// `{"traceEvents": [...], "displayTimeUnit": "us"}`.
+///
+/// # Panics
+///
+/// Never panics: trace events contain only serializable primitives.
+#[must_use]
+pub fn to_chrome_trace_object(timeline: &Timeline) -> String {
+    let events = serde_json::to_value(&to_trace_events(timeline))
+        .expect("trace events always serialize");
+    let envelope = Value::Object(vec![
+        ("traceEvents".to_string(), events),
+        ("displayTimeUnit".to_string(), Value::from("us")),
+    ]);
+    serde_json::to_string(&envelope).expect("trace envelope always serializes")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::Profiler;
-    use mmg_attn::AttnImpl;
+    use mmg_attn::{AttentionShape, AttnImpl};
     use mmg_gpu::DeviceSpec;
-    use mmg_graph::{Graph, Op};
+    use mmg_graph::{AttnKind, Graph, Op};
 
     fn timeline() -> Timeline {
         let mut g = Graph::new();
         g.push("enc.fc", Op::Linear { tokens: 64, in_features: 64, out_features: 64 });
         g.push("enc.norm", Op::LayerNorm { rows: 64, cols: 64 });
-        Profiler::new(DeviceSpec::a100_80gb(), AttnImpl::Flash).profile(&g)
+        Profiler::with_registry(
+            DeviceSpec::a100_80gb(),
+            AttnImpl::Flash,
+            &mmg_telemetry::Registry::new(),
+        )
+        .profile(&g)
     }
 
     #[test]
@@ -123,5 +200,56 @@ mod tests {
         let evs = to_trace_events(&timeline());
         assert!(evs.iter().any(|e| e.cat == "op:Linear"));
         assert!(evs.iter().any(|e| e.cat.starts_with("kernel:")));
+    }
+
+    #[test]
+    fn op_events_carry_counter_args() {
+        let evs = to_trace_events(&timeline());
+        let op = evs.iter().find(|e| e.tid == 0).expect("an op event");
+        assert!(op.args.contains_key("flops"));
+        assert!(op.args.contains_key("gpu_kernel_launches_total"), "args: {:?}", op.args);
+    }
+
+    #[test]
+    fn counter_tracks_are_cumulative_and_monotone() {
+        let evs = to_trace_events(&timeline());
+        let samples: Vec<u64> = evs
+            .iter()
+            .filter(|e| e.ph == "C" && e.name == "gpu_kernel_launches_total")
+            .map(|e| e.args["value"].as_u64().expect("integer counter"))
+            .collect();
+        assert!(samples.len() >= 2, "one sample per op");
+        assert!(samples.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn envelope_wraps_trace_events() {
+        let t = timeline();
+        let json = to_chrome_trace_object(&t);
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v.field("displayTimeUnit").and_then(serde_json::Value::as_str), Some("us"));
+        let evs = v.field("traceEvents").and_then(serde_json::Value::as_array).expect("array");
+        assert_eq!(evs.len(), to_trace_events(&t).len());
+    }
+
+    #[test]
+    fn temporal_attention_trace_has_cache_counter_tracks() {
+        let mut g = Graph::new();
+        g.push(
+            "unet.temporal_attn",
+            Op::Attention {
+                shape: AttentionShape::self_attn(4096, 8, 16, 40),
+                kind: AttnKind::Temporal,
+            },
+        );
+        let registry = mmg_telemetry::Registry::new();
+        let t = Profiler::with_registry(DeviceSpec::a100_80gb(), AttnImpl::Flash, &registry)
+            .with_cache_sim(10_000)
+            .profile(&g);
+        let evs = to_trace_events(&t);
+        assert!(
+            evs.iter().any(|e| e.ph == "C" && e.name == "gpu_l1_accesses_total"),
+            "cache counter track missing"
+        );
     }
 }

@@ -12,6 +12,7 @@
 //! * [`profiler`] — timeline capture and operator breakdowns
 //! * [`analytics`] — fleet, Pareto, roofline, analytical models
 //! * [`core`] — experiment runners reproducing every table and figure
+//! * [`telemetry`] — metrics registry, spans, and exporters
 
 pub use mmg_analytics as analytics;
 pub use mmg_attn as attn;
@@ -21,4 +22,5 @@ pub use mmg_graph as graph;
 pub use mmg_kernels as kernels;
 pub use mmg_models as models;
 pub use mmg_profiler as profiler;
+pub use mmg_telemetry as telemetry;
 pub use mmg_tensor as tensor;

@@ -1,0 +1,211 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! Provides `Criterion`, `BenchmarkGroup`, `Bencher`, `BenchmarkId`, and
+//! the `criterion_group!`/`criterion_main!` macros. Each benchmark runs a
+//! short warm-up followed by `sample_size` timed iterations and prints a
+//! mean-time line — no statistics engine, no HTML reports, but `cargo
+//! bench` produces comparable relative numbers and, crucially, still
+//! *renders every paper artifact* the bench targets print.
+
+#![deny(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export for parity with `criterion::black_box` users.
+pub use std::hint::black_box;
+
+/// The benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Caps the total measurement time per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Caps the warm-up time per benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) -> &mut Self {
+        run_one(self, &id.to_string(), &mut f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(self.criterion, &label, &mut f);
+        self
+    }
+
+    /// Runs one benchmark that borrows an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(self.criterion, &label, &mut |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (a no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one parameterized benchmark.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// A `function/parameter` id.
+    #[must_use]
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { text: format!("{function}/{parameter}") }
+    }
+
+    /// An id that is just the parameter.
+    #[must_use]
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { text: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Hands the routine-under-test to the driver.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: usize,
+    budget: Duration,
+    total: Duration,
+    timed_iters: usize,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warm-up iteration.
+        black_box(routine());
+        let start = Instant::now();
+        let mut done = 0usize;
+        while done < self.iters && start.elapsed() < self.budget {
+            black_box(routine());
+            done += 1;
+        }
+        self.total = start.elapsed();
+        self.timed_iters = done.max(1);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(criterion: &Criterion, label: &str, f: &mut F) {
+    let mut bencher = Bencher {
+        iters: criterion.sample_size,
+        budget: criterion.measurement_time,
+        total: Duration::ZERO,
+        timed_iters: 1,
+    };
+    f(&mut bencher);
+    let mean = bencher.total.as_secs_f64() / bencher.timed_iters as f64;
+    println!(
+        "bench: {label:<48} {:>12.3} us/iter ({} iters)",
+        mean * 1e6,
+        bencher.timed_iters
+    );
+}
+
+/// Declares a benchmark entry point collecting the listed targets.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares `main` for a benchmark binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        c.bench_function("stub/identity", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("stub");
+        group.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn driver_runs_targets() {
+        let mut c = Criterion::default().sample_size(3).measurement_time(Duration::from_millis(50));
+        target(&mut c);
+    }
+}

@@ -1,0 +1,176 @@
+//! Offline stand-in for the subset of the `rand` crate this workspace uses.
+//!
+//! The container this repository builds in has no access to crates.io, so
+//! the workspace vendors a minimal, API-compatible implementation of the
+//! pieces it actually calls: [`SeedableRng`], [`rngs::StdRng`], and
+//! [`distributions::Uniform`] / [`distributions::Distribution`].
+//!
+//! The generator is SplitMix64 — not the ChaCha12 of the real `StdRng`,
+//! but statistically strong enough for the Monte-Carlo workloads here
+//! (queueing simulations, synthetic fleets, Gaussian tensor init), and
+//! deterministic under a seed, which is all the callers rely on.
+
+#![deny(missing_docs)]
+
+/// A random number generator core: the subset of `rand_core::RngCore`
+/// the workspace needs.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// A generator that can be constructed from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator (SplitMix64).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood 2014). Passes BigCrush when
+            // used as a 64-bit stream.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // One warm-up scramble so nearby seeds diverge immediately.
+            let mut rng = StdRng { state: seed ^ 0x5DEE_CE66_D123_4567 };
+            let _ = rng.next_u64();
+            rng
+        }
+    }
+}
+
+pub mod distributions {
+    //! Sampling distributions.
+
+    use super::RngCore;
+
+    /// A distribution over values of `T` sampled with an [`RngCore`].
+    pub trait Distribution<T> {
+        /// Draws one sample.
+        fn sample<R: RngCore>(&self, rng: &mut R) -> T;
+    }
+
+    /// Uniform distribution over `[low, high)`.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct Uniform<T> {
+        low: T,
+        high: T,
+    }
+
+    impl<T: Copy + PartialOrd> Uniform<T> {
+        /// Creates the half-open range `[low, high)`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `low >= high`, matching the real crate.
+        #[must_use]
+        pub fn new(low: T, high: T) -> Self {
+            assert!(low < high, "Uniform::new requires low < high");
+            Uniform { low, high }
+        }
+    }
+
+    impl Distribution<f64> for Uniform<f64> {
+        fn sample<R: RngCore>(&self, rng: &mut R) -> f64 {
+            // 53 uniform mantissa bits in [0, 1).
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            self.low + unit * (self.high - self.low)
+        }
+    }
+
+    impl Distribution<f32> for Uniform<f32> {
+        fn sample<R: RngCore>(&self, rng: &mut R) -> f32 {
+            let unit = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+            self.low + unit * (self.high - self.low)
+        }
+    }
+
+    impl Distribution<u64> for Uniform<u64> {
+        fn sample<R: RngCore>(&self, rng: &mut R) -> u64 {
+            let span = self.high - self.low;
+            // Modulo bias is < 2^-40 for the spans used here.
+            self.low + rng.next_u64() % span
+        }
+    }
+
+    impl Distribution<usize> for Uniform<usize> {
+        fn sample<R: RngCore>(&self, rng: &mut R) -> usize {
+            let span = (self.high - self.low) as u64;
+            self.low + (rng.next_u64() % span) as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::rngs::StdRng;
+    use super::SeedableRng;
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let u = Uniform::new(0.0f64, 1.0);
+        for _ in 0..100 {
+            assert_eq!(u.sample(&mut a).to_bits(), u.sample(&mut b).to_bits());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(8);
+        let u = Uniform::new(0.0f64, 1.0);
+        assert_ne!(u.sample(&mut a).to_bits(), u.sample(&mut b).to_bits());
+    }
+
+    #[test]
+    fn uniform_stays_in_range_and_has_sane_mean() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let u = Uniform::new(2.0f64, 4.0);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = u.sample(&mut rng);
+            assert!((2.0..4.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / f64::from(n);
+        assert!((mean - 3.0).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn f32_uniform_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let u = Uniform::new(f32::EPSILON, 1.0f32);
+        for _ in 0..10_000 {
+            let x = u.sample(&mut rng);
+            assert!(x >= f32::EPSILON && x < 1.0);
+        }
+    }
+}

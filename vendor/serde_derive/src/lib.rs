@@ -1,0 +1,233 @@
+//! `#[derive(Serialize, Deserialize)]` for the workspace's offline serde
+//! stub.
+//!
+//! Supports exactly what the workspace uses: non-generic structs with
+//! named fields (and unit-variant enums, serialized as their variant
+//! name). The input is parsed directly from the token stream — no `syn`,
+//! no `quote` — and the generated impls target the stub's value-tree
+//! model (`serde::Serialize::to_value` / `serde::Deserialize::from_value`).
+
+#![deny(missing_docs)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Input {
+    /// Struct name + named fields.
+    Struct(String, Vec<String>),
+    /// Enum name + unit variant names.
+    Enum(String, Vec<String>),
+}
+
+/// Parses `struct Name { fields }` or `enum Name { Variants }` out of the
+/// derive input token stream.
+fn parse_input(input: TokenStream) -> Input {
+    let mut iter = input.into_iter().peekable();
+    let mut kind: Option<String> = None;
+    let mut name: Option<String> = None;
+    while let Some(tt) = iter.next() {
+        match tt {
+            // Skip outer attributes: `#` followed by a bracket group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let _ = iter.next();
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                match s.as_str() {
+                    "pub" => {
+                        // Skip a following `(crate)`-style restriction.
+                        if let Some(TokenTree::Group(g)) = iter.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                let _ = iter.next();
+                            }
+                        }
+                    }
+                    "struct" | "enum" => kind = Some(s),
+                    _ if kind.is_some() && name.is_none() => name = Some(s),
+                    _ => {}
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                panic!("serde stub derive: generic types are not supported")
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                let kind = kind.expect("serde stub derive: no struct/enum keyword found");
+                let name = name.expect("serde stub derive: unnamed item");
+                return match kind.as_str() {
+                    "struct" => Input::Struct(name, parse_named_fields(g.stream())),
+                    _ => Input::Enum(name, parse_unit_variants(g.stream())),
+                };
+            }
+            _ => {}
+        }
+    }
+    panic!("serde stub derive: only braced structs and enums are supported")
+}
+
+/// Extracts field names from the body of a braced struct.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Field start: skip attributes and visibility.
+        let name = loop {
+            match iter.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    let _ = iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            let _ = iter.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => {
+                    panic!("serde stub derive: unexpected token `{other}` at field start")
+                }
+            }
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde stub derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        fields.push(name);
+        // Consume the type up to a top-level comma, tracking angle-bracket
+        // depth (commas inside `<...>` belong to the type).
+        let mut angle_depth = 0i32;
+        loop {
+            match iter.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+/// Extracts unit-variant names from the body of a braced enum.
+fn parse_unit_variants(body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let _ = iter.next();
+            }
+            TokenTree::Ident(id) => {
+                variants.push(id.to_string());
+                // Any payload group or discriminant is unsupported.
+                match iter.peek() {
+                    None => {}
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                        let _ = iter.next();
+                    }
+                    Some(other) => panic!(
+                        "serde stub derive: enum variants with payloads are not supported \
+                         (found `{other}` after `{id}`)"
+                    ),
+                }
+            }
+            other => panic!("serde stub derive: unexpected enum token `{other}`"),
+        }
+    }
+    variants
+}
+
+/// Derives the stub `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_input(input) {
+        Input::Struct(name, fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push((\"{f}\".to_string(), \
+                         ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> \
+                             = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!("{name}::{v} => ::serde::Value::String(\"{v}\".to_string()),\n")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde stub derive: generated Serialize impl parses")
+}
+
+/// Derives the stub `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_input(input) {
+        Input::Struct(name, fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(v.field(\"{f}\")\
+                         .ok_or_else(|| ::serde::Error::missing_field(\"{name}\", \"{f}\"))?)?,\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok({name} {{\n{inits}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v.as_str() {{\n\
+                             ::std::option::Option::Some(s) => match s {{\n{arms}\
+                                 other => ::std::result::Result::Err(::serde::Error::msg(\
+                                     format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             ::std::option::Option::None => ::std::result::Result::Err(\
+                                 ::serde::Error::expected(\"string\", v)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde stub derive: generated Deserialize impl parses")
+}
