@@ -1,13 +1,15 @@
 //! Fig. 6 — operator breakdown across the suite under both attention
 //! implementations. Benchmarks the per-model profiling path.
 
+use std::sync::Arc;
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use mmg_attn::AttnImpl;
 use mmg_bench::{experiment_criterion, print_artifact};
 use mmg_core::experiments::fig6;
 use mmg_gpu::DeviceSpec;
 use mmg_models::{suite, ModelId};
-use mmg_profiler::Profiler;
+use mmg_profiler::{CostMemo, Profiler};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
@@ -20,6 +22,16 @@ fn bench(c: &mut Criterion) {
             let profiler = Profiler::new(spec.clone(), attn);
             group.bench_function(format!("{id}/{tag}"), |b| {
                 b.iter(|| black_box(&pipeline).profile(&profiler).breakdown())
+            });
+            // Same profile with a pre-warmed operator-cost memo: every op
+            // replays its stored cost instead of re-running lowering,
+            // roofline timing, and cache simulation.
+            let memo = Arc::new(CostMemo::new());
+            let memoized =
+                Profiler::new(spec.clone(), attn).with_memo(Arc::clone(&memo));
+            let _ = pipeline.profile(&memoized); // warm
+            group.bench_function(format!("{id}/{tag}_memo_warm"), |b| {
+                b.iter(|| black_box(&pipeline).profile(&memoized).breakdown())
             });
         }
     }

@@ -1,24 +1,34 @@
 //! Fig. 9 — attention vs convolution scaling with image size.
 
+use std::sync::Arc;
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mmg_attn::AttnImpl;
 use mmg_bench::{experiment_criterion, print_artifact};
 use mmg_core::experiments::fig9;
 use mmg_gpu::DeviceSpec;
 use mmg_models::suite::stable_diffusion::{pipeline, StableDiffusionConfig};
-use mmg_profiler::Profiler;
+use mmg_profiler::{CostMemo, Profiler};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let spec = DeviceSpec::a100_80gb();
     print_artifact("Fig. 9", &fig9::render(&fig9::run(&spec, &fig9::default_sizes())));
-    let profiler = Profiler::new(spec, AttnImpl::Flash);
+    let profiler = Profiler::new(spec.clone(), AttnImpl::Flash);
+    let memo = Arc::new(CostMemo::new());
+    let memoized = Profiler::new(spec, AttnImpl::Flash).with_memo(Arc::clone(&memo));
     let mut group = c.benchmark_group("fig9");
     for image_size in [64usize, 128, 256, 512] {
         let p = pipeline(&StableDiffusionConfig { image_size, ..Default::default() });
         group.bench_with_input(BenchmarkId::new("profile_sd", image_size), &p, |b, p| {
             b.iter(|| black_box(p).profile(&profiler).breakdown())
         });
+        let _ = p.profile(&memoized); // warm the memo for this size
+        group.bench_with_input(
+            BenchmarkId::new("profile_sd_memo_warm", image_size),
+            &p,
+            |b, p| b.iter(|| black_box(p).profile(&memoized).breakdown()),
+        );
     }
     group.finish();
 }

@@ -5,21 +5,33 @@
 //! repro table2 fig6            # selected experiments
 //! repro --list                 # available experiment ids
 //! repro --device v100 …        # run on a different simulated device
+//! repro --jobs 4 …             # worker threads (default: all cores)
 //! repro --json …               # one {"experiment", "result"} line each
 //! repro --metrics m.txt …      # Prometheus dump of telemetry counters
 //! repro --trace-out t.json …   # Perfetto trace of one SD UNet step
 //! repro --manifest run.json …  # run manifest (device, ids, counters)
+//! repro bench-snapshot         # time each experiment → BENCH_<date>.json
 //! ```
 //!
-//! Every run ends with a run-manifest JSON line on stderr (or in the
-//! `--manifest` file): the simulated device, the experiments executed,
-//! elapsed wall time, and final telemetry counter totals.
+//! Experiments run on a worker pool (`--jobs`); outputs are printed and
+//! telemetry merged in experiment order, so stdout and counter totals
+//! are byte-identical for every job count. Randomness is seed-stable
+//! too: the only stochastic experiment (Fig. 1's fleet sampler) uses a
+//! fixed seed, so two invocations of the same command — serial or
+//! parallel, warm or cold memo — produce identical stdout.
+//! Every run ends with a
+//! run-manifest JSON line on stderr (or in the `--manifest` file): the
+//! simulated device, the experiments executed, elapsed wall time, and
+//! final telemetry counter totals.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use mmg_attn::AttnImpl;
-use mmg_core::{run_experiment, run_experiment_value, run_manifest, ExperimentId};
+use mmg_core::{
+    global_memo, run_experiment_value_with, run_experiment_with, run_manifest, run_suite,
+    run_suite_with, ExecContext, ExperimentId,
+};
 use mmg_gpu::DeviceSpec;
 use mmg_models::{suite, ModelId};
 use mmg_profiler::trace::to_chrome_trace_object;
@@ -54,10 +66,72 @@ fn write_file(path: &str, contents: &str, what: &str) -> Result<(), String> {
     std::fs::write(path, contents).map_err(|e| format!("cannot write {what} to '{path}': {e}"))
 }
 
+/// Days-since-epoch → proleptic Gregorian `(year, month, day)`
+/// (Howard Hinnant's `civil_from_days`), so the bench snapshot can stamp
+/// its filename without a calendar dependency.
+fn civil_from_days(days: i64) -> (i64, u32, u32) {
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+fn today_stamp() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs() as i64)
+        .unwrap_or(0);
+    let (y, m, d) = civil_from_days(secs.div_euclid(86_400));
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Times every experiment serially (sharing the process memo, so later
+/// experiments see the warm entries earlier ones created — the shipped
+/// behaviour) and writes `{experiment → wall seconds}` plus memo
+/// statistics to `path` (default `BENCH_<date>.json`).
+fn bench_snapshot(spec: &DeviceSpec, path: Option<String>) -> Result<String, String> {
+    let memo = global_memo();
+    let ctx = ExecContext::isolated(spec.clone(), memo.clone());
+    let started = Instant::now();
+    let mut entries = Vec::new();
+    for &id in &ExperimentId::ALL {
+        let t0 = Instant::now();
+        let _ = run_experiment_with(id, &ctx);
+        entries.push((id.to_string(), Value::from(t0.elapsed().as_secs_f64())));
+    }
+    let snapshot = Value::Object(vec![
+        ("date".to_string(), Value::from(today_stamp())),
+        ("device".to_string(), Value::from(spec.name.clone())),
+        ("experiments".to_string(), Value::Object(entries)),
+        ("total_s".to_string(), Value::from(started.elapsed().as_secs_f64())),
+        (
+            "memo".to_string(),
+            Value::Object(vec![
+                ("hits".to_string(), Value::from(memo.hits())),
+                ("misses".to_string(), Value::from(memo.misses())),
+                ("entries".to_string(), Value::from(memo.len() as u64)),
+            ]),
+        ),
+    ]);
+    let path = path.unwrap_or_else(|| format!("BENCH_{}.json", today_stamp()));
+    let body = serde_json::to_string_pretty(&snapshot).expect("snapshots always serialize");
+    write_file(&path, &body, "bench snapshot")?;
+    Ok(path)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut spec = DeviceSpec::a100_80gb();
     let mut json = false;
+    let mut bench = false;
+    let mut jobs: Option<usize> = None;
+    let mut out_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut manifest_path: Option<String> = None;
@@ -84,7 +158,16 @@ fn main() -> ExitCode {
                 };
                 spec = d;
             }
-            flag @ ("--metrics" | "--trace-out" | "--manifest") => {
+            "--jobs" => {
+                i += 1;
+                let parsed = args.get(i).and_then(|n| n.parse::<usize>().ok());
+                let Some(n) = parsed.filter(|&n| n > 0) else {
+                    eprintln!("--jobs requires a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                jobs = Some(n);
+            }
+            flag @ ("--metrics" | "--trace-out" | "--manifest" | "--out") => {
                 i += 1;
                 let Some(path) = args.get(i) else {
                     eprintln!("{flag} requires an output path");
@@ -93,9 +176,11 @@ fn main() -> ExitCode {
                 match flag {
                     "--metrics" => metrics_path = Some(path.clone()),
                     "--trace-out" => trace_path = Some(path.clone()),
+                    "--out" => out_path = Some(path.clone()),
                     _ => manifest_path = Some(path.clone()),
                 }
             }
+            "bench-snapshot" => bench = true,
             "all" => targets.extend(ExperimentId::ALL),
             other => match other.parse::<ExperimentId>() {
                 Ok(id) => targets.push(id),
@@ -107,28 +192,49 @@ fn main() -> ExitCode {
         }
         i += 1;
     }
+    if bench {
+        return match bench_snapshot(&spec, out_path) {
+            Ok(path) => {
+                eprintln!("bench snapshot written to {path}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     // Repeated targets (e.g. `repro fig6 all`) run once, first-mention order.
     let mut seen = std::collections::HashSet::new();
     targets.retain(|id| seen.insert(*id));
     if targets.is_empty() {
-        eprintln!("usage: repro [--device <name>] [--json] [--metrics <path>] [--trace-out <path>] [--manifest <path>] <all | fig1 | table1 | fig4 | fig5 | fig6 | table2 | table3 | fig7 | fig8 | fig9 | fig11 | fig12 | fig13 | secv | flashdec | pods | batch | tp | ablations>…");
+        eprintln!("usage: repro [--device <name>] [--jobs <n>] [--json] [--metrics <path>] [--trace-out <path>] [--manifest <path>] <bench-snapshot | all | fig1 | table1 | fig4 | fig5 | fig6 | table2 | table3 | fig7 | fig8 | fig9 | fig11 | fig12 | fig13 | secv | flashdec | pods | batch | tp | ablations>…");
         return ExitCode::FAILURE;
     }
+    let jobs = jobs.unwrap_or_else(|| {
+        std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+    });
     let started = Instant::now();
+    let memo = global_memo();
+    let registry = mmg_telemetry::global();
+    // Experiments run on the worker pool; printing and telemetry merge
+    // happen in target order after the join, so stdout and counter
+    // totals do not depend on `--jobs`.
     if json {
-        for &id in &targets {
+        let lines = run_suite_with(&targets, &spec, jobs, &memo, &registry, |id, ctx| {
             let envelope = Value::Object(vec![
                 ("experiment".to_string(), Value::from(id.to_string())),
-                ("result".to_string(), run_experiment_value(id, &spec)),
+                ("result".to_string(), run_experiment_value_with(id, ctx)),
             ]);
-            let line =
-                serde_json::to_string(&envelope).expect("experiment envelopes always serialize");
+            serde_json::to_string(&envelope).expect("experiment envelopes always serialize")
+        });
+        for line in lines {
             println!("{line}");
         }
     } else {
         println!("device: {}\n", spec.name);
-        for &id in &targets {
-            println!("{}", run_experiment(id, &spec));
+        for report in run_suite(&targets, &spec, jobs, &memo, &registry) {
+            println!("{report}");
         }
     }
     if let Some(path) = &trace_path {

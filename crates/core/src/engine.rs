@@ -1,0 +1,187 @@
+//! Execution contexts and the multi-threaded experiment engine.
+//!
+//! Two pieces turn the serial `repro` loop into a deterministic parallel
+//! sweep:
+//!
+//! * [`ExecContext`] bundles what every experiment needs — the simulated
+//!   device, the telemetry [`Registry`] to record into, and the shared
+//!   operator-cost memo ([`CostMemo`]). The process-wide
+//!   [`ExecContext::shared`] context keeps the classic serial behaviour
+//!   (global registry, global memo); [`ExecContext::isolated`] gives a
+//!   worker thread its own registry.
+//! * [`run_suite`] executes a list of experiments across a worker pool.
+//!   Each experiment runs on its own fresh registry; at join time the
+//!   per-experiment registries are merged into the target registry *in
+//!   experiment order*, and outputs are returned in experiment order —
+//!   so counter totals and printed output are identical to a serial run
+//!   regardless of worker count or scheduling.
+//!
+//! Memo entries replay the exact telemetry a cold computation records
+//! (see `mmg-profiler`'s memo property test), which is what makes
+//! sharing one memo across workers — and across serial runs — safe.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use mmg_attn::AttnImpl;
+use mmg_gpu::DeviceSpec;
+use mmg_profiler::{CostMemo, Profiler};
+use mmg_telemetry::Registry;
+
+use crate::runner::{run_experiment_with, ExperimentId};
+
+/// The process-wide operator-cost memo used by [`ExecContext::shared`]
+/// and as the default memo for suite runs. Shared so a whole `repro all`
+/// invocation — serial or parallel — profiles each distinct operator
+/// once.
+#[must_use]
+pub fn global_memo() -> Arc<CostMemo> {
+    static MEMO: OnceLock<Arc<CostMemo>> = OnceLock::new();
+    Arc::clone(MEMO.get_or_init(|| Arc::new(CostMemo::new())))
+}
+
+/// Everything an experiment run needs: device, telemetry sink, and the
+/// shared cost memo.
+#[derive(Debug, Clone)]
+pub struct ExecContext {
+    /// Simulated device.
+    pub spec: DeviceSpec,
+    /// Registry the experiment's profilers record into.
+    pub registry: Registry,
+    /// Shared operator-cost memo.
+    pub memo: Arc<CostMemo>,
+}
+
+impl ExecContext {
+    /// The classic serial context: global registry, global memo.
+    #[must_use]
+    pub fn shared(spec: DeviceSpec) -> Self {
+        ExecContext { spec, registry: mmg_telemetry::global(), memo: global_memo() }
+    }
+
+    /// A context with its own fresh registry (for a worker thread whose
+    /// telemetry is merged deterministically at join), sharing `memo`.
+    #[must_use]
+    pub fn isolated(spec: DeviceSpec, memo: Arc<CostMemo>) -> Self {
+        ExecContext { spec, registry: Registry::new(), memo }
+    }
+
+    /// A profiler wired to this context's registry and memo.
+    #[must_use]
+    pub fn profiler(&self, attn: AttnImpl) -> Profiler {
+        Profiler::with_registry(self.spec.clone(), attn, &self.registry)
+            .with_memo(Arc::clone(&self.memo))
+    }
+}
+
+/// Runs `produce` for every experiment in `ids` on up to `jobs` worker
+/// threads, each experiment on its own fresh [`Registry`] sharing
+/// `memo`. Returns outputs in `ids` order and merges each experiment's
+/// registry into `target` in `ids` order, so counter totals match a
+/// serial run byte for byte no matter how the workers interleave.
+///
+/// # Panics
+///
+/// Propagates a panic from any experiment after all workers stop.
+pub fn run_suite_with<F>(
+    ids: &[ExperimentId],
+    spec: &DeviceSpec,
+    jobs: usize,
+    memo: &Arc<CostMemo>,
+    target: &Registry,
+    produce: F,
+) -> Vec<String>
+where
+    F: Fn(ExperimentId, &ExecContext) -> String + Sync,
+{
+    let n = ids.len();
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<(String, Registry)>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.clamp(1, n.max(1)) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let ctx = ExecContext::isolated(spec.clone(), Arc::clone(memo));
+                let out = produce(ids[i], &ctx);
+                *slots[i].lock().expect("suite slot lock poisoned") = Some((out, ctx.registry));
+            });
+        }
+    });
+    let mut outputs = Vec::with_capacity(n);
+    for slot in slots {
+        let (out, registry) = slot
+            .into_inner()
+            .expect("suite slot lock poisoned")
+            .expect("every claimed slot is filled before join");
+        target.merge_from(&registry);
+        outputs.push(out);
+    }
+    outputs
+}
+
+/// [`run_suite_with`] specialized to the rendered-report form the CLI
+/// prints: one ASCII report per experiment, in `ids` order.
+pub fn run_suite(
+    ids: &[ExperimentId],
+    spec: &DeviceSpec,
+    jobs: usize,
+    memo: &Arc<CostMemo>,
+    target: &Registry,
+) -> Vec<String> {
+    run_suite_with(ids, spec, jobs, memo, target, run_experiment_with)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_experiment;
+
+    const SMOKE: [ExperimentId; 5] = [
+        ExperimentId::Fig4,
+        ExperimentId::Fig12,
+        ExperimentId::Fig13,
+        ExperimentId::Tp,
+        ExperimentId::Table3,
+    ];
+
+    #[test]
+    fn parallel_output_matches_serial_for_any_job_count() {
+        let spec = DeviceSpec::a100_80gb();
+        let serial: Vec<String> =
+            SMOKE.iter().map(|&id| run_experiment(id, &spec)).collect();
+        for jobs in [1, 2, 8] {
+            let memo = Arc::new(CostMemo::new());
+            let target = Registry::new();
+            let parallel = run_suite(&SMOKE, &spec, jobs, &memo, &target);
+            assert_eq!(serial, parallel, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn suite_merges_counters_deterministically() {
+        let spec = DeviceSpec::a100_80gb();
+        let ids = [ExperimentId::Fig12, ExperimentId::Fig13];
+        let totals = |jobs: usize| {
+            let memo = Arc::new(CostMemo::new());
+            let target = Registry::new();
+            let _ = run_suite(&ids, &spec, jobs, &memo, &target);
+            target.counters_snapshot().values().to_vec()
+        };
+        assert_eq!(totals(1), totals(2));
+    }
+
+    #[test]
+    fn shared_context_uses_global_registry() {
+        let ctx = ExecContext::shared(DeviceSpec::a100_80gb());
+        // Telemetry recorded via the context lands in the global registry.
+        ctx.registry.counter("engine_test_shared_counter_total").inc();
+        assert_eq!(
+            mmg_telemetry::global().counter("engine_test_shared_counter_total").get(),
+            1
+        );
+    }
+}

@@ -12,8 +12,9 @@ use mmg_graph::OpCategory;
 use mmg_kernels::conv::ConvAlgorithm;
 use mmg_models::{suite, ModelId};
 use mmg_profiler::report::render_table;
-use mmg_profiler::Profiler;
 use serde::{Deserialize, Serialize};
+
+use crate::engine::ExecContext;
 
 /// One model's ablation row.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -51,16 +52,22 @@ impl AblationResult {
 /// representatives.
 #[must_use]
 pub fn run(spec: &DeviceSpec) -> AblationResult {
+    run_ctx(&ExecContext::shared(spec.clone()))
+}
+
+/// [`run`] against an explicit [`ExecContext`] (worker registry + memo).
+#[must_use]
+pub fn run_ctx(ctx: &ExecContext) -> AblationResult {
     let targets =
         [ModelId::StableDiffusion, ModelId::Imagen, ModelId::Muse, ModelId::Llama2];
     let rows = targets
         .iter()
         .map(|&id| {
             let p = suite::build(id);
-            let base_prof = Profiler::new(spec.clone(), AttnImpl::Flash);
-            let wino_prof = Profiler::new(spec.clone(), AttnImpl::Flash)
-                .with_conv_algorithm(ConvAlgorithm::Winograd);
-            let fp8_prof = Profiler::new(spec.clone(), AttnImpl::Flash).with_elem_bytes(1);
+            let base_prof = ctx.profiler(AttnImpl::Flash);
+            let wino_prof =
+                ctx.profiler(AttnImpl::Flash).with_conv_algorithm(ConvAlgorithm::Winograd);
+            let fp8_prof = ctx.profiler(AttnImpl::Flash).with_elem_bytes(1);
             let base = p.profile(&base_prof);
             let wino = p.profile(&wino_prof);
             let fp8 = p.profile(&fp8_prof);

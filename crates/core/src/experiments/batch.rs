@@ -13,8 +13,9 @@ use mmg_models::blocks::{batched_decode_step_graph, unet_step_graph};
 use mmg_models::suite::stable_diffusion::StableDiffusionConfig;
 use mmg_models::suite::parti::PartiConfig;
 use mmg_profiler::report::render_table;
-use mmg_profiler::Profiler;
 use serde::{Deserialize, Serialize};
+
+use crate::engine::ExecContext;
 
 /// One batch point.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -37,7 +38,13 @@ pub struct BatchResult {
 /// Sweeps batch sizes for the UNet step and the decode step.
 #[must_use]
 pub fn run(spec: &DeviceSpec, batches: &[usize]) -> BatchResult {
-    let profiler = Profiler::new(spec.clone(), AttnImpl::Flash);
+    run_ctx(&ExecContext::shared(spec.clone()), batches)
+}
+
+/// [`run`] against an explicit [`ExecContext`] (worker registry + memo).
+#[must_use]
+pub fn run_ctx(ctx: &ExecContext, batches: &[usize]) -> BatchResult {
+    let profiler = ctx.profiler(AttnImpl::Flash);
     let sd = StableDiffusionConfig::default();
     let parti = PartiConfig::default();
     let rows = batches

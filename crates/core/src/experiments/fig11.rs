@@ -6,8 +6,9 @@ use mmg_gpu::DeviceSpec;
 use mmg_graph::AttnKind;
 use mmg_models::suite::make_a_video::{pipeline, MakeAVideoConfig};
 use mmg_profiler::report::{fmt_seconds, render_table};
-use mmg_profiler::Profiler;
 use serde::{Deserialize, Serialize};
+
+use crate::engine::ExecContext;
 
 /// Fig. 11 result.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -39,7 +40,13 @@ impl Fig11Result {
 /// Profiles Make-A-Video and splits attention by kind.
 #[must_use]
 pub fn run(spec: &DeviceSpec) -> Fig11Result {
-    let profiler = Profiler::new(spec.clone(), AttnImpl::Flash);
+    run_ctx(&ExecContext::shared(spec.clone()))
+}
+
+/// [`run`] against an explicit [`ExecContext`] (worker registry + memo).
+#[must_use]
+pub fn run_ctx(ctx: &ExecContext) -> Fig11Result {
+    let profiler = ctx.profiler(AttnImpl::Flash);
     let prof = pipeline(&MakeAVideoConfig::default()).profile(&profiler);
     Fig11Result {
         spatial_s: prof.attention_time_by_kind(AttnKind::SpatialSelf),

@@ -5,8 +5,9 @@ use mmg_attn::AttnImpl;
 use mmg_gpu::DeviceSpec;
 use mmg_models::{suite, ModelId};
 use mmg_profiler::report::{fmt_pct, render_table};
-use mmg_profiler::Profiler;
 use serde::{Deserialize, Serialize};
+
+use crate::engine::ExecContext;
 
 /// One model's pair of stacked bars.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -54,8 +55,14 @@ impl Fig6Result {
 /// Profiles the whole suite under both attention implementations.
 #[must_use]
 pub fn run(spec: &DeviceSpec) -> Fig6Result {
-    let base = Profiler::new(spec.clone(), AttnImpl::Baseline);
-    let flash = Profiler::new(spec.clone(), AttnImpl::Flash);
+    run_ctx(&ExecContext::shared(spec.clone()))
+}
+
+/// [`run`] against an explicit [`ExecContext`] (worker registry + memo).
+#[must_use]
+pub fn run_ctx(ctx: &ExecContext) -> Fig6Result {
+    let base = ctx.profiler(AttnImpl::Baseline);
+    let flash = ctx.profiler(AttnImpl::Flash);
     let models = ModelId::ALL
         .iter()
         .map(|&id| {

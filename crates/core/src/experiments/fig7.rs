@@ -5,7 +5,8 @@ use mmg_attn::AttnImpl;
 use mmg_gpu::DeviceSpec;
 use mmg_models::{suite, ModelId};
 use mmg_profiler::seqlen::{trace, SeqLenSample};
-use mmg_profiler::Profiler;
+
+use crate::engine::ExecContext;
 use serde::{Deserialize, Serialize};
 
 /// One model's trace.
@@ -74,7 +75,13 @@ fn stage_filter(model: ModelId, stage: &str) -> bool {
 /// Traces sequence lengths for the Fig. 7 models.
 #[must_use]
 pub fn run(spec: &DeviceSpec) -> Fig7Result {
-    let profiler = Profiler::new(spec.clone(), AttnImpl::Flash);
+    run_ctx(&ExecContext::shared(spec.clone()))
+}
+
+/// [`run`] against an explicit [`ExecContext`] (worker registry + memo).
+#[must_use]
+pub fn run_ctx(ctx: &ExecContext) -> Fig7Result {
+    let profiler = ctx.profiler(AttnImpl::Flash);
     let traces = [ModelId::StableDiffusion, ModelId::Parti, ModelId::Muse, ModelId::Llama2]
         .iter()
         .map(|&id| {

@@ -5,7 +5,8 @@ use mmg_attn::AttnImpl;
 use mmg_gpu::DeviceSpec;
 use mmg_models::suite::stable_diffusion::{pipeline, StableDiffusionConfig};
 use mmg_profiler::seqlen::{histogram, trace};
-use mmg_profiler::Profiler;
+
+use crate::engine::ExecContext;
 use serde::{Deserialize, Serialize};
 
 /// One image size's histogram.
@@ -42,7 +43,13 @@ pub struct Fig8Result {
 /// lengths (one denoising step = the repeating unit).
 #[must_use]
 pub fn run(spec: &DeviceSpec, image_sizes: &[usize]) -> Fig8Result {
-    let profiler = Profiler::new(spec.clone(), AttnImpl::Flash);
+    run_ctx(&ExecContext::shared(spec.clone()), image_sizes)
+}
+
+/// [`run`] against an explicit [`ExecContext`] (worker registry + memo).
+#[must_use]
+pub fn run_ctx(ctx: &ExecContext, image_sizes: &[usize]) -> Fig8Result {
+    let profiler = ctx.profiler(AttnImpl::Flash);
     let series = image_sizes
         .iter()
         .map(|&image_size| {

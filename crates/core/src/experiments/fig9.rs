@@ -6,7 +6,8 @@ use mmg_gpu::DeviceSpec;
 use mmg_graph::OpCategory;
 use mmg_models::suite::stable_diffusion::{pipeline, StableDiffusionConfig};
 use mmg_profiler::report::{fmt_seconds, render_table};
-use mmg_profiler::Profiler;
+
+use crate::engine::ExecContext;
 use serde::{Deserialize, Serialize};
 
 /// One swept point.
@@ -32,8 +33,14 @@ pub struct Fig9Result {
 /// Sweeps Stable Diffusion output sizes.
 #[must_use]
 pub fn run(spec: &DeviceSpec, image_sizes: &[usize]) -> Fig9Result {
-    let base = Profiler::new(spec.clone(), AttnImpl::Baseline);
-    let flash = Profiler::new(spec.clone(), AttnImpl::Flash);
+    run_ctx(&ExecContext::shared(spec.clone()), image_sizes)
+}
+
+/// [`run`] against an explicit [`ExecContext`] (worker registry + memo).
+#[must_use]
+pub fn run_ctx(ctx: &ExecContext, image_sizes: &[usize]) -> Fig9Result {
+    let base = ctx.profiler(AttnImpl::Baseline);
+    let flash = ctx.profiler(AttnImpl::Flash);
     let rows = image_sizes
         .iter()
         .map(|&image_size| {

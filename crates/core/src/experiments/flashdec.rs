@@ -13,7 +13,8 @@ use mmg_gpu::DeviceSpec;
 use mmg_graph::OpCategory;
 use mmg_models::{suite, ModelId};
 use mmg_profiler::report::render_table;
-use mmg_profiler::Profiler;
+
+use crate::engine::ExecContext;
 use serde::{Deserialize, Serialize};
 
 /// One model's three-way comparison.
@@ -51,9 +52,14 @@ impl FlashDecResult {
 /// Profiles the suite under all three attention implementations.
 #[must_use]
 pub fn run(spec: &DeviceSpec) -> FlashDecResult {
-    let profile = |id: ModelId, attn: AttnImpl| {
-        suite::build(id).profile(&Profiler::new(spec.clone(), attn))
-    };
+    run_ctx(&ExecContext::shared(spec.clone()))
+}
+
+/// [`run`] against an explicit [`ExecContext`] (worker registry + memo).
+#[must_use]
+pub fn run_ctx(ctx: &ExecContext) -> FlashDecResult {
+    let profile =
+        |id: ModelId, attn: AttnImpl| suite::build(id).profile(&ctx.profiler(attn));
     let decode_attention_s = |p: &mmg_models::PipelineProfile| -> f64 {
         p.stages
             .iter()

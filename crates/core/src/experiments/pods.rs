@@ -5,7 +5,8 @@ use mmg_attn::AttnImpl;
 use mmg_gpu::DeviceSpec;
 use mmg_models::{suite, ModelId};
 use mmg_profiler::report::render_table;
-use mmg_profiler::Profiler;
+
+use crate::engine::ExecContext;
 use serde::{Deserialize, Serialize};
 
 /// One model's pod-scheduling headroom.
@@ -45,7 +46,13 @@ impl PodsResult {
 /// proposal targets denoising loops) plus LLaMA2 for contrast.
 #[must_use]
 pub fn run(spec: &DeviceSpec) -> PodsResult {
-    let profiler = Profiler::new(spec.clone(), AttnImpl::Flash);
+    run_ctx(&ExecContext::shared(spec.clone()))
+}
+
+/// [`run`] against an explicit [`ExecContext`] (worker registry + memo).
+#[must_use]
+pub fn run_ctx(ctx: &ExecContext) -> PodsResult {
+    let profiler = ctx.profiler(AttnImpl::Flash);
     let targets = [
         ModelId::StableDiffusion,
         ModelId::Imagen,

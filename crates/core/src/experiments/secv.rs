@@ -7,7 +7,8 @@ use mmg_gpu::DeviceSpec;
 use mmg_models::suite::stable_diffusion::{pipeline, StableDiffusionConfig};
 use mmg_profiler::seqlen::trace;
 use mmg_profiler::report::render_table;
-use mmg_profiler::Profiler;
+
+use crate::engine::ExecContext;
 use serde::{Deserialize, Serialize};
 
 /// Section V result.
@@ -29,9 +30,15 @@ pub struct SecVResult {
 /// graphs.
 #[must_use]
 pub fn run(spec: &DeviceSpec, image_size: usize) -> SecVResult {
+    run_ctx(&ExecContext::shared(spec.clone()), image_size)
+}
+
+/// [`run`] against an explicit [`ExecContext`] (worker registry + memo).
+#[must_use]
+pub fn run_ctx(ctx: &ExecContext, image_size: usize) -> SecVResult {
     let model = DiffusionSeqModel::stable_diffusion(image_size);
     // Traced check.
-    let profiler = Profiler::new(spec.clone(), AttnImpl::Flash);
+    let profiler = ctx.profiler(AttnImpl::Flash);
     let cfg = StableDiffusionConfig { image_size, ..Default::default() };
     let prof = pipeline(&cfg).profile(&profiler);
     let traced = trace(&prof.stage("unet_step").expect("unet stage").timeline);

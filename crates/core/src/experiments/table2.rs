@@ -6,7 +6,8 @@ use mmg_gpu::DeviceSpec;
 use mmg_graph::OpCategory;
 use mmg_models::{suite, ModelId};
 use mmg_profiler::report::render_table;
-use mmg_profiler::Profiler;
+
+use crate::engine::ExecContext;
 use serde::{Deserialize, Serialize};
 
 /// Paper-reported Table II values, for the comparison column.
@@ -56,8 +57,14 @@ impl Table2Result {
 /// Profiles the suite under both implementations.
 #[must_use]
 pub fn run(spec: &DeviceSpec) -> Table2Result {
-    let base = Profiler::new(spec.clone(), AttnImpl::Baseline);
-    let flash = Profiler::new(spec.clone(), AttnImpl::Flash);
+    run_ctx(&ExecContext::shared(spec.clone()))
+}
+
+/// [`run`] against an explicit [`ExecContext`] (worker registry + memo).
+#[must_use]
+pub fn run_ctx(ctx: &ExecContext) -> Table2Result {
+    let base = ctx.profiler(AttnImpl::Baseline);
+    let flash = ctx.profiler(AttnImpl::Flash);
     let rows = ModelId::ALL
         .iter()
         .map(|&id| {

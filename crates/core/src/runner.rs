@@ -5,6 +5,7 @@ use std::str::FromStr;
 
 use mmg_gpu::DeviceSpec;
 
+use crate::engine::ExecContext;
 use crate::experiments::{
     ablations, batch, fig1, fig11, fig12, fig13, fig4, fig5, fig6, fig7, fig8, fig9, flashdec, pods, secv, table1,
     table2, table3, tp,
@@ -137,63 +138,86 @@ impl FromStr for ExperimentId {
 }
 
 /// Runs one experiment with default parameters and returns its rendered
-/// report.
+/// report. Uses the shared context (global registry + global memo).
 #[must_use]
 pub fn run_experiment(id: ExperimentId, spec: &DeviceSpec) -> String {
+    run_experiment_with(id, &ExecContext::shared(spec.clone()))
+}
+
+/// Runs one experiment with default parameters against an explicit
+/// [`ExecContext`], returning its rendered report. Experiments that
+/// profile graphs record telemetry into `ctx.registry` and share
+/// `ctx.memo`; the purely analytic ones just use `ctx.spec`.
+#[must_use]
+pub fn run_experiment_with(id: ExperimentId, ctx: &ExecContext) -> String {
+    let spec = &ctx.spec;
     match id {
         ExperimentId::Fig1 => fig1::render(&fig1::run(42)),
         ExperimentId::Table1 => table1::render(&table1::run()),
         ExperimentId::Fig4 => fig4::render(&fig4::run()),
         ExperimentId::Fig5 => fig5::render(&fig5::run(spec)),
-        ExperimentId::Fig6 => fig6::render(&fig6::run(spec)),
-        ExperimentId::Table2 => table2::render(&table2::run(spec)),
+        ExperimentId::Fig6 => fig6::render(&fig6::run_ctx(ctx)),
+        ExperimentId::Table2 => table2::render(&table2::run_ctx(ctx)),
         ExperimentId::Table3 => table3::render(&table3::run()),
-        ExperimentId::Fig7 => fig7::render(&fig7::run(spec)),
-        ExperimentId::Fig8 => fig8::render(&fig8::run(spec, &fig8::default_sizes())),
-        ExperimentId::Fig9 => fig9::render(&fig9::run(spec, &fig9::default_sizes())),
-        ExperimentId::Fig11 => fig11::render(&fig11::run(spec)),
+        ExperimentId::Fig7 => fig7::render(&fig7::run_ctx(ctx)),
+        ExperimentId::Fig8 => fig8::render(&fig8::run_ctx(ctx, &fig8::default_sizes())),
+        ExperimentId::Fig9 => fig9::render(&fig9::run_ctx(ctx, &fig9::default_sizes())),
+        ExperimentId::Fig11 => fig11::render(&fig11::run_ctx(ctx)),
         ExperimentId::Fig12 => fig12::render(&fig12::run(spec, 200_000)),
         ExperimentId::Fig13 => fig13::render(&fig13::run(16, &fig13::default_frames())),
-        ExperimentId::SecV => secv::render(&secv::run(spec, 512)),
-        ExperimentId::FlashDec => flashdec::render(&flashdec::run(spec)),
-        ExperimentId::Pods => pods::render(&pods::run(spec)),
-        ExperimentId::Batch => batch::render(&batch::run(spec, &batch::default_batches())),
+        ExperimentId::SecV => secv::render(&secv::run_ctx(ctx, 512)),
+        ExperimentId::FlashDec => flashdec::render(&flashdec::run_ctx(ctx)),
+        ExperimentId::Pods => pods::render(&pods::run_ctx(ctx)),
+        ExperimentId::Batch => batch::render(&batch::run_ctx(ctx, &batch::default_batches())),
         ExperimentId::Tp => tp::render(&tp::run(spec, &tp::default_widths())),
-        ExperimentId::Ablations => ablations::render(&ablations::run(spec)),
+        ExperimentId::Ablations => ablations::render(&ablations::run_ctx(ctx)),
     }
 }
 
 /// Runs one experiment and returns its result as a JSON value tree
-/// (same defaults as [`run_experiment`]).
+/// (same defaults as [`run_experiment`]; shared context).
 ///
 /// # Panics
 ///
 /// Never panics: every experiment result is serializable.
 #[must_use]
 pub fn run_experiment_value(id: ExperimentId, spec: &DeviceSpec) -> serde_json::Value {
+    run_experiment_value_with(id, &ExecContext::shared(spec.clone()))
+}
+
+/// Runs one experiment against an explicit [`ExecContext`] and returns
+/// its result as a JSON value tree (same defaults as
+/// [`run_experiment_with`]).
+///
+/// # Panics
+///
+/// Never panics: every experiment result is serializable.
+#[must_use]
+pub fn run_experiment_value_with(id: ExperimentId, ctx: &ExecContext) -> serde_json::Value {
     fn v<T: serde::Serialize>(x: &T) -> serde_json::Value {
         serde_json::to_value(x).expect("experiment results always serialize")
     }
+    let spec = &ctx.spec;
     match id {
         ExperimentId::Fig1 => v(&fig1::run(42)),
         ExperimentId::Table1 => v(&table1::run()),
         ExperimentId::Fig4 => v(&fig4::run()),
         ExperimentId::Fig5 => v(&fig5::run(spec)),
-        ExperimentId::Fig6 => v(&fig6::run(spec)),
-        ExperimentId::Table2 => v(&table2::run(spec)),
+        ExperimentId::Fig6 => v(&fig6::run_ctx(ctx)),
+        ExperimentId::Table2 => v(&table2::run_ctx(ctx)),
         ExperimentId::Table3 => v(&table3::run()),
-        ExperimentId::Fig7 => v(&fig7::run(spec)),
-        ExperimentId::Fig8 => v(&fig8::run(spec, &fig8::default_sizes())),
-        ExperimentId::Fig9 => v(&fig9::run(spec, &fig9::default_sizes())),
-        ExperimentId::Fig11 => v(&fig11::run(spec)),
+        ExperimentId::Fig7 => v(&fig7::run_ctx(ctx)),
+        ExperimentId::Fig8 => v(&fig8::run_ctx(ctx, &fig8::default_sizes())),
+        ExperimentId::Fig9 => v(&fig9::run_ctx(ctx, &fig9::default_sizes())),
+        ExperimentId::Fig11 => v(&fig11::run_ctx(ctx)),
         ExperimentId::Fig12 => v(&fig12::run(spec, 200_000)),
         ExperimentId::Fig13 => v(&fig13::run(16, &fig13::default_frames())),
-        ExperimentId::SecV => v(&secv::run(spec, 512)),
-        ExperimentId::FlashDec => v(&flashdec::run(spec)),
-        ExperimentId::Pods => v(&pods::run(spec)),
-        ExperimentId::Batch => v(&batch::run(spec, &batch::default_batches())),
+        ExperimentId::SecV => v(&secv::run_ctx(ctx, 512)),
+        ExperimentId::FlashDec => v(&flashdec::run_ctx(ctx)),
+        ExperimentId::Pods => v(&pods::run_ctx(ctx)),
+        ExperimentId::Batch => v(&batch::run_ctx(ctx, &batch::default_batches())),
         ExperimentId::Tp => v(&tp::run(spec, &tp::default_widths())),
-        ExperimentId::Ablations => v(&ablations::run(spec)),
+        ExperimentId::Ablations => v(&ablations::run_ctx(ctx)),
     }
 }
 

@@ -1,0 +1,64 @@
+//! End-to-end determinism of the `repro` binary: serial runs are
+//! repeatable, and a parallel (`--jobs`) run produces byte-identical
+//! stdout — the worker pool must not change what the user sees.
+
+use std::process::Command;
+
+/// A cheap-but-representative subset: pure-analytic experiments plus
+/// profiled ones that exercise the memo and the worker registries.
+const SUBSET: &[&str] = &["fig4", "fig12", "fig13", "tp", "secv", "batch"];
+
+fn repro(extra: &[&str]) -> (String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(SUBSET)
+        .args(extra)
+        .output()
+        .expect("repro binary runs");
+    assert!(out.status.success(), "repro exited with {:?}", out.status);
+    (
+        String::from_utf8(out.stdout).expect("stdout is UTF-8"),
+        String::from_utf8(out.stderr).expect("stderr is UTF-8"),
+    )
+}
+
+#[test]
+fn serial_runs_are_repeatable_and_parallel_matches() {
+    let (serial_a, _) = repro(&["--jobs", "1"]);
+    let (serial_b, _) = repro(&["--jobs", "1"]);
+    assert_eq!(serial_a, serial_b, "two serial runs diverge");
+    let (parallel, _) = repro(&["--jobs", "4"]);
+    assert_eq!(serial_a, parallel, "--jobs 4 changes stdout");
+    assert!(serial_a.contains("device:"), "report header present");
+}
+
+#[test]
+fn json_mode_is_deterministic_across_job_counts() {
+    let (serial, _) = repro(&["--json", "--jobs", "1"]);
+    let (parallel, _) = repro(&["--json", "--jobs", "3"]);
+    assert_eq!(serial, parallel, "--jobs 3 changes JSON stream");
+    assert_eq!(
+        serial.lines().count(),
+        SUBSET.len(),
+        "one envelope line per experiment"
+    );
+    for line in serial.lines() {
+        let v: serde_json::Value = serde_json::from_str(line).expect("valid JSON envelope");
+        assert!(v.get("experiment").is_some() && v.get("result").is_some());
+    }
+}
+
+#[test]
+fn manifest_counter_totals_match_across_job_counts() {
+    // The manifest (stderr JSON line) carries final telemetry counter
+    // totals; the in-order merge must make them independent of --jobs.
+    let (_, stderr_serial) = repro(&["--jobs", "1"]);
+    let (_, stderr_parallel) = repro(&["--jobs", "4"]);
+    let manifest = |s: &str| -> serde_json::Value {
+        let line = s.lines().last().expect("manifest line on stderr");
+        serde_json::from_str(line).expect("manifest is valid JSON")
+    };
+    assert_eq!(
+        manifest(&stderr_serial).get("counters"),
+        manifest(&stderr_parallel).get("counters")
+    );
+}

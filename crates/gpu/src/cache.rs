@@ -5,11 +5,49 @@
 //! module reports L1/L2 hit rates for them. The paper's Fig. 12 finding —
 //! temporal attention's strided accesses collapse the L1 hit rate by ~10x —
 //! falls out of the geometry.
+//!
+//! Because this is the hottest inner loop of the simulator, the cache keeps
+//! its tags in one flat array (set-major, MRU-first) and precomputes the
+//! set/tag shift-masks; streams can additionally be supplied run-length
+//! compressed ([`ProbeRun`]) via [`CacheHierarchy::run_runs`] so regular
+//! strided sweeps never materialize a probe vector.
+
+use std::fmt;
 
 use mmg_telemetry::{Counter, Registry};
 use serde::{Deserialize, Serialize};
 
 use crate::DeviceSpec;
+
+/// Why a [`CacheConfig`] cannot describe a simulatable cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheGeometryError {
+    /// `line_bytes` or `ways` is zero.
+    DegenerateGeometry,
+    /// `line_bytes` is not a power of two (the simulator derives line
+    /// addresses by shifting).
+    LineNotPowerOfTwo,
+    /// `capacity_bytes` holds fewer lines than one set needs.
+    CapacitySmallerThanOneSet,
+}
+
+impl fmt::Display for CacheGeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheGeometryError::DegenerateGeometry => {
+                write!(f, "degenerate cache geometry: line_bytes and ways must be nonzero")
+            }
+            CacheGeometryError::LineNotPowerOfTwo => {
+                write!(f, "line size must be a power of two")
+            }
+            CacheGeometryError::CapacitySmallerThanOneSet => {
+                write!(f, "capacity smaller than one set")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CacheGeometryError {}
 
 /// Geometry of one cache level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -23,17 +61,21 @@ pub struct CacheConfig {
 }
 
 impl CacheConfig {
-    /// Number of sets implied by the geometry.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the geometry does not divide evenly or is zero-sized.
-    #[must_use]
-    pub fn num_sets(&self) -> usize {
-        assert!(self.line_bytes > 0 && self.ways > 0, "degenerate cache geometry");
+    /// Number of sets implied by the geometry, or a typed error when the
+    /// geometry is degenerate (zero-sized, non-power-of-two line, or a
+    /// capacity smaller than one set).
+    pub fn num_sets(&self) -> Result<usize, CacheGeometryError> {
+        if self.line_bytes == 0 || self.ways == 0 {
+            return Err(CacheGeometryError::DegenerateGeometry);
+        }
+        if !self.line_bytes.is_power_of_two() {
+            return Err(CacheGeometryError::LineNotPowerOfTwo);
+        }
         let lines = self.capacity_bytes / self.line_bytes;
-        assert!(lines >= self.ways, "capacity smaller than one set");
-        lines / self.ways
+        if lines < self.ways {
+            return Err(CacheGeometryError::CapacitySmallerThanOneSet);
+        }
+        Ok(lines / self.ways)
     }
 }
 
@@ -59,52 +101,92 @@ impl CacheStats {
 }
 
 /// A set-associative cache with true-LRU replacement.
+///
+/// Tags live in one flat `num_sets × ways` array in MRU-first order per
+/// set; power-of-two set counts take a mask fast path for the set index.
 #[derive(Debug, Clone)]
 pub struct SetAssociativeCache {
     config: CacheConfig,
     num_sets: usize,
     line_shift: u32,
-    /// Per set: tags in LRU order (front = most recent).
-    sets: Vec<Vec<u64>>,
+    /// `num_sets - 1` when the set count is a power of two; `None` falls
+    /// back to a modulo (A100's 384-set L1 is *not* a power of two).
+    set_mask: Option<u64>,
+    /// Set-major tag storage; within a set the filled prefix is in LRU
+    /// order, front = most recent.
+    tags: Vec<u64>,
+    /// Occupied ways per set.
+    filled: Vec<u32>,
     stats: CacheStats,
 }
 
 impl SetAssociativeCache {
     /// Builds an empty cache with the given geometry.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `line_bytes` is not a power of two or the geometry is
-    /// degenerate (see [`CacheConfig::num_sets`]).
-    #[must_use]
-    pub fn new(config: CacheConfig) -> Self {
-        assert!(config.line_bytes.is_power_of_two(), "line size must be a power of two");
-        let num_sets = config.num_sets();
-        SetAssociativeCache {
+    /// Returns the [`CacheGeometryError`] describing how the geometry is
+    /// degenerate.
+    pub fn try_new(config: CacheConfig) -> Result<Self, CacheGeometryError> {
+        let num_sets = config.num_sets()?;
+        Ok(SetAssociativeCache {
             config,
             num_sets,
             line_shift: config.line_bytes.trailing_zeros(),
-            sets: vec![Vec::with_capacity(config.ways); num_sets],
+            set_mask: num_sets.is_power_of_two().then(|| num_sets as u64 - 1),
+            tags: vec![0; num_sets * config.ways],
+            filled: vec![0; num_sets],
             stats: CacheStats::default(),
+        })
+    }
+
+    /// Builds an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate geometry; sweep drivers that construct
+    /// configs programmatically should prefer
+    /// [`SetAssociativeCache::try_new`].
+    #[must_use]
+    pub fn new(config: CacheConfig) -> Self {
+        match SetAssociativeCache::try_new(config) {
+            Ok(c) => c,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    #[inline]
+    fn set_index(&self, line: u64) -> usize {
+        match self.set_mask {
+            Some(mask) => (line & mask) as usize,
+            None => (line % self.num_sets as u64) as usize,
         }
     }
 
     /// Accesses a byte address; returns whether it hit.
+    #[inline]
     pub fn access(&mut self, addr: u64) -> bool {
         let line = addr >> self.line_shift;
-        let set_idx = (line % self.num_sets as u64) as usize;
-        let set = &mut self.sets[set_idx];
+        let set_idx = self.set_index(line);
+        let ways = self.config.ways;
+        let n = self.filled[set_idx] as usize;
+        let set = &mut self.tags[set_idx * ways..(set_idx + 1) * ways];
         self.stats.accesses += 1;
-        if let Some(pos) = set.iter().position(|&t| t == line) {
-            set.remove(pos);
-            set.insert(0, line);
+        if let Some(pos) = set[..n].iter().position(|&t| t == line) {
+            // MRU promotion: rotate [0..=pos] right so set[pos] lands at
+            // the front and everything before it shifts back one.
+            set[..=pos].rotate_right(1);
             self.stats.hits += 1;
             true
         } else {
-            if set.len() == self.config.ways {
-                set.pop();
+            if n == ways {
+                // Full set: the wrapped-around LRU tag is overwritten.
+                set.rotate_right(1);
+            } else {
+                set[..=n].rotate_right(1);
+                self.filled[set_idx] = (n + 1) as u32;
             }
-            set.insert(0, line);
+            set[0] = line;
             false
         }
     }
@@ -117,9 +199,7 @@ impl SetAssociativeCache {
 
     /// Clears contents and statistics.
     pub fn reset(&mut self) {
-        for s in &mut self.sets {
-            s.clear();
-        }
+        self.filled.fill(0);
         self.stats = CacheStats::default();
     }
 
@@ -127,6 +207,35 @@ impl SetAssociativeCache {
     #[must_use]
     pub fn config(&self) -> CacheConfig {
         self.config
+    }
+}
+
+/// A run-length-compressed segment of a probe stream: `count` addresses
+/// starting at `base`, each `stride` bytes after the previous one.
+///
+/// Strided sweeps (the common case for attention operand walks) compress
+/// thousands of probes into one run, so [`CacheHierarchy::run_runs`] can
+/// replay them without materializing an address vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProbeRun {
+    /// First byte address of the run.
+    pub base: u64,
+    /// Number of probes in the run (at least 1 for a meaningful run).
+    pub count: u64,
+    /// Byte distance between consecutive probes; 0 repeats `base`.
+    pub stride: u64,
+}
+
+impl ProbeRun {
+    /// The addresses this run expands to, in order.
+    pub fn addrs(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.count).map(move |i| self.base.wrapping_add(i.wrapping_mul(self.stride)))
+    }
+
+    /// Total probes across a slice of runs.
+    #[must_use]
+    pub fn total(runs: &[ProbeRun]) -> u64 {
+        runs.iter().map(|r| r.count).sum()
     }
 }
 
@@ -161,6 +270,9 @@ impl HierarchyStats {
 pub struct CacheHierarchy {
     l1: SetAssociativeCache,
     l2: SetAssociativeCache,
+    /// L1 line of the immediately preceding access: a repeat is a
+    /// guaranteed MRU hit and skips the tag search entirely.
+    last_l1_line: Option<u64>,
     metrics: CacheMetrics,
 }
 
@@ -223,28 +335,79 @@ impl CacheHierarchy {
         CacheHierarchy {
             l1: SetAssociativeCache::new(l1),
             l2: SetAssociativeCache::new(l2),
+            last_l1_line: None,
             metrics: CacheMetrics::for_registry(registry),
         }
     }
 
+    /// L1-then-L2 access updating only the local stats; telemetry is the
+    /// caller's problem. Returns `(l1_hit, l2_hit)`; L2 is accessed iff
+    /// L1 missed.
+    #[inline]
+    fn access_raw(&mut self, addr: u64) -> (bool, bool) {
+        let line = addr >> self.l1.line_shift;
+        if self.last_l1_line == Some(line) {
+            // The previous access made this line MRU in its L1 set: a
+            // guaranteed hit with no LRU state change.
+            self.l1.stats.accesses += 1;
+            self.l1.stats.hits += 1;
+            return (true, false);
+        }
+        self.last_l1_line = Some(line);
+        if self.l1.access(addr) {
+            (true, false)
+        } else {
+            (false, self.l2.access(addr))
+        }
+    }
+
+    /// Adds whatever happened since `before` onto the telemetry counters.
+    fn flush_metrics(&self, before: HierarchyStats) {
+        let after = self.stats();
+        self.metrics.l1_accesses.add(after.l1.accesses - before.l1.accesses);
+        self.metrics.l1_hits.add(after.l1.hits - before.l1.hits);
+        self.metrics.l2_accesses.add(after.l2.accesses - before.l2.accesses);
+        self.metrics.l2_hits.add(after.l2.hits - before.l2.hits);
+    }
+
     /// Accesses an address: L1 first, then L2 on miss.
     pub fn access(&mut self, addr: u64) {
+        let (l1_hit, l2_hit) = self.access_raw(addr);
         self.metrics.l1_accesses.inc();
-        if self.l1.access(addr) {
+        if l1_hit {
             self.metrics.l1_hits.inc();
         } else {
             self.metrics.l2_accesses.inc();
-            if self.l2.access(addr) {
+            if l2_hit {
                 self.metrics.l2_hits.inc();
             }
         }
     }
 
-    /// Runs a whole address stream.
+    /// Runs a whole address stream. Telemetry counters are updated once
+    /// at the end (same totals as per-access updates, without an atomic
+    /// op per probe).
     pub fn run<I: IntoIterator<Item = u64>>(&mut self, stream: I) {
+        let before = self.stats();
         for a in stream {
-            self.access(a);
+            let _ = self.access_raw(a);
         }
+        self.flush_metrics(before);
+    }
+
+    /// Replays a run-length-compressed probe stream (see [`ProbeRun`])
+    /// without materializing the addresses; equivalent to
+    /// `self.run(runs.iter().flat_map(ProbeRun::addrs))`.
+    pub fn run_runs(&mut self, runs: &[ProbeRun]) {
+        let before = self.stats();
+        for run in runs {
+            let mut addr = run.base;
+            for _ in 0..run.count {
+                let _ = self.access_raw(addr);
+                addr = addr.wrapping_add(run.stride);
+            }
+        }
+        self.flush_metrics(before);
     }
 
     /// Accumulated statistics.
@@ -257,6 +420,7 @@ impl CacheHierarchy {
     pub fn reset(&mut self) {
         self.l1.reset();
         self.l2.reset();
+        self.last_l1_line = None;
     }
 }
 
@@ -331,6 +495,63 @@ mod tests {
     }
 
     #[test]
+    fn non_pow2_set_count_behaves_like_modulo() {
+        // 3 sets x 2 ways: exercises the modulo fallback (no set mask).
+        let mut c = SetAssociativeCache::new(CacheConfig {
+            capacity_bytes: 6 * 64,
+            line_bytes: 64,
+            ways: 2,
+        });
+        assert_eq!(c.config().num_sets(), Ok(3));
+        // Lines 0, 3, 6 all map to set 0; third insert evicts line 0.
+        c.access(0);
+        c.access(3 * 64);
+        c.access(6 * 64);
+        assert!(!c.access(0), "LRU line evicted in modulo-indexed set");
+        assert!(c.access(6 * 64), "surviving line still resident");
+        // Line 1 maps to set 1: untouched by the set-0 churn.
+        assert!(!c.access(64));
+        assert!(c.access(64));
+    }
+
+    #[test]
+    fn num_sets_reports_typed_errors() {
+        let ok = CacheConfig { capacity_bytes: 512, line_bytes: 64, ways: 2 };
+        assert_eq!(ok.num_sets(), Ok(4));
+        assert_eq!(
+            CacheConfig { line_bytes: 0, ..ok }.num_sets(),
+            Err(CacheGeometryError::DegenerateGeometry)
+        );
+        assert_eq!(
+            CacheConfig { ways: 0, ..ok }.num_sets(),
+            Err(CacheGeometryError::DegenerateGeometry)
+        );
+        assert_eq!(
+            CacheConfig { line_bytes: 48, ..ok }.num_sets(),
+            Err(CacheGeometryError::LineNotPowerOfTwo)
+        );
+        assert_eq!(
+            CacheConfig { capacity_bytes: 64, ..ok }.num_sets(),
+            Err(CacheGeometryError::CapacitySmallerThanOneSet)
+        );
+    }
+
+    #[test]
+    fn try_new_surfaces_geometry_errors() {
+        let bad = CacheConfig { capacity_bytes: 512, line_bytes: 48, ways: 2 };
+        assert_eq!(
+            SetAssociativeCache::try_new(bad).err(),
+            Some(CacheGeometryError::LineNotPowerOfTwo)
+        );
+        assert!(SetAssociativeCache::try_new(CacheConfig {
+            capacity_bytes: 512,
+            line_bytes: 64,
+            ways: 2,
+        })
+        .is_ok());
+    }
+
+    #[test]
     fn hierarchy_l2_catches_l1_evictions() {
         let l1 = CacheConfig { capacity_bytes: 512, line_bytes: 64, ways: 2 };
         let l2 = CacheConfig { capacity_bytes: 16 * 1024, line_bytes: 64, ways: 8 };
@@ -367,10 +588,64 @@ mod tests {
     }
 
     #[test]
+    fn run_runs_matches_expanded_stream() {
+        let l1 = CacheConfig { capacity_bytes: 512, line_bytes: 64, ways: 2 };
+        let l2 = CacheConfig { capacity_bytes: 16 * 1024, line_bytes: 64, ways: 8 };
+        let runs = [
+            ProbeRun { base: 0, count: 64, stride: 32 },
+            ProbeRun { base: 1 << 16, count: 100, stride: 4096 },
+            ProbeRun { base: 96, count: 1, stride: 0 },
+            ProbeRun { base: 0, count: 64, stride: 32 },
+        ];
+        let ra = mmg_telemetry::Registry::new();
+        let mut compressed = CacheHierarchy::with_registry(l1, l2, &ra);
+        compressed.run_runs(&runs);
+        let rb = mmg_telemetry::Registry::new();
+        let mut expanded = CacheHierarchy::with_registry(l1, l2, &rb);
+        expanded.run(runs.iter().flat_map(ProbeRun::addrs));
+        assert_eq!(compressed.stats(), expanded.stats());
+        assert_eq!(ra.counters_snapshot().values(), rb.counters_snapshot().values());
+        assert_eq!(compressed.stats().l1.accesses, ProbeRun::total(&runs));
+    }
+
+    #[test]
+    fn repeated_line_shortcut_keeps_lru_semantics() {
+        let l1 = CacheConfig { capacity_bytes: 2 * 64, line_bytes: 64, ways: 2 };
+        let l2 = CacheConfig { capacity_bytes: 16 * 1024, line_bytes: 64, ways: 8 };
+        let mut h = CacheHierarchy::new(l1, l2);
+        // Same line twice (second via the last-line shortcut), then force
+        // an eviction pattern that distinguishes MRU from LRU order.
+        h.access(0);
+        h.access(32); // same line: shortcut hit
+        h.access(64); // other way of set 0... (1 set x 2 ways)
+        h.access(128); // evicts line 0 (LRU), keeps line 64
+        let s = h.stats();
+        assert_eq!(s.l1.accesses, 4);
+        assert_eq!(s.l1.hits, 1);
+        h.access(64);
+        assert_eq!(h.stats().l1.hits, 2, "line 64 survived as MRU-1");
+    }
+
+    #[test]
     fn device_hierarchy_builds() {
         let h = CacheHierarchy::for_device(&DeviceSpec::a100_80gb());
         assert_eq!(h.l1.config().capacity_bytes, 192 * 1024);
         assert_eq!(h.l2.config().capacity_bytes, 40 * 1024 * 1024);
+        // A100 L1: 192KB / 128B / 4 ways = 384 sets; L2: 40MiB / 128B /
+        // 16 ways = 20480 sets. Neither is a power of two, so the mask
+        // fast path must stay off for both (the modulo fallback is load-
+        // bearing on the paper's own platform).
+        assert_eq!(h.l1.config.num_sets(), Ok(384));
+        assert_eq!(h.l2.config.num_sets(), Ok(20480));
+        assert!(h.l1.set_mask.is_none());
+        assert!(h.l2.set_mask.is_none());
+        // The pow2 path engages for pow2 geometries.
+        let pow2 = SetAssociativeCache::new(CacheConfig {
+            capacity_bytes: 1 << 16,
+            line_bytes: 128,
+            ways: 4,
+        });
+        assert_eq!(pow2.set_mask, Some(127));
     }
 
     #[test]
@@ -380,6 +655,17 @@ mod tests {
         c.reset();
         assert_eq!(c.stats(), CacheStats::default());
         assert!(!c.access(0), "contents cleared too");
+    }
+
+    #[test]
+    fn hierarchy_reset_clears_last_line_shortcut() {
+        let l1 = CacheConfig { capacity_bytes: 512, line_bytes: 64, ways: 2 };
+        let l2 = CacheConfig { capacity_bytes: 16 * 1024, line_bytes: 64, ways: 8 };
+        let mut h = CacheHierarchy::new(l1, l2);
+        h.access(0);
+        h.reset();
+        h.access(0);
+        assert_eq!(h.stats().l1.hits, 0, "post-reset access must miss");
     }
 
     #[test]

@@ -24,12 +24,17 @@
 #![deny(missing_docs)]
 
 pub mod cache;
+pub mod memo;
 pub mod multistream;
 mod roofline;
 mod specs;
 mod timing;
 
-pub use cache::{CacheConfig, CacheHierarchy, CacheStats, HierarchyStats, SetAssociativeCache};
+pub use cache::{
+    CacheConfig, CacheGeometryError, CacheHierarchy, CacheStats, HierarchyStats, ProbeRun,
+    SetAssociativeCache,
+};
+pub use memo::ShardedLru;
 pub use roofline::{Roofline, RooflinePoint};
 pub use specs::DeviceSpec;
 pub use timing::{KernelCost, KernelTime, TimingEngine};

@@ -1,0 +1,266 @@
+//! A sharded LRU map for memoizing computed kernel costs.
+//!
+//! The profiler evaluates the same kernel descriptors thousands of times —
+//! a 50-step denoising loop re-costs an identical UNet kernel set every
+//! step, and sweeps re-profile near-identical graphs point by point.
+//! [`ShardedLru`] gives those callers a concurrent, bounded cache: keys
+//! hash to one of a fixed number of shards, each shard is an independently
+//! locked `HashMap`, and eviction inside a shard is least-recently-used by
+//! a global access tick.
+//!
+//! Values are handed out as `Arc<V>` so hits never clone the payload, and
+//! the map never blocks readers of *other* shards while one shard evicts.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of independently locked shards. A small power of two: enough to
+/// keep worker threads from serializing on one lock, small enough that a
+/// bounded capacity still divides into useful per-shard budgets.
+const SHARDS: usize = 8;
+
+#[derive(Debug)]
+struct Slot<V> {
+    value: Arc<V>,
+    last_used: u64,
+}
+
+/// A concurrent, bounded, sharded LRU map.
+///
+/// # Example
+///
+/// ```
+/// let lru = mmg_gpu::ShardedLru::new(128);
+/// assert!(lru.get(&"qk_gemm").is_none());
+/// lru.insert("qk_gemm", 42u64);
+/// assert_eq!(lru.get(&"qk_gemm").as_deref(), Some(&42));
+/// assert_eq!(lru.hits(), 1);
+/// assert_eq!(lru.misses(), 1);
+/// ```
+#[derive(Debug)]
+pub struct ShardedLru<K, V> {
+    shards: Vec<Mutex<HashMap<K, Slot<V>>>>,
+    capacity_per_shard: usize,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Hash + Eq, V> ShardedLru<K, V> {
+    /// A map holding at most `capacity` entries (rounded up to a multiple
+    /// of the shard count, minimum one entry per shard).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        ShardedLru {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            capacity_per_shard: capacity.div_ceil(SHARDS).max(1),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &K) -> &Mutex<HashMap<K, Slot<V>>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit. Also counts the
+    /// outcome into [`ShardedLru::hits`] / [`ShardedLru::misses`].
+    #[must_use]
+    pub fn get(&self, key: &K) -> Option<Arc<V>> {
+        let mut shard = self.shard_of(key).lock().expect("memo shard poisoned");
+        match shard.get_mut(key) {
+            Some(slot) => {
+                slot.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&slot.value))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) `key`, evicting the shard's least-recently
+    /// used entry if the shard is at capacity. Returns the shared value.
+    pub fn insert(&self, key: K, value: V) -> Arc<V>
+    where
+        K: Clone,
+    {
+        let value = Arc::new(value);
+        let mut shard = self.shard_of(&key).lock().expect("memo shard poisoned");
+        if !shard.contains_key(&key) && shard.len() >= self.capacity_per_shard {
+            // Keys are small (shapes + enums + hashes); cloning one per
+            // eviction beats maintaining a separate recency list.
+            if let Some(lru_key) = shard
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                shard.remove(&lru_key);
+            }
+        }
+        shard.insert(
+            key,
+            Slot {
+                value: Arc::clone(&value),
+                last_used: self.tick.fetch_add(1, Ordering::Relaxed),
+            },
+        );
+        value
+    }
+
+    /// Entries currently resident across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("memo shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether the map is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups served from the map since construction (or `clear`).
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// `hits / (hits + misses)`, or 0 before the first lookup.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.hits();
+        let m = self.misses();
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+
+    /// Drops every entry and zeroes the hit/miss statistics.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("memo shard poisoned").clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_insert_round_trip() {
+        let lru: ShardedLru<u32, String> = ShardedLru::new(64);
+        assert!(lru.get(&7).is_none());
+        lru.insert(7, "seven".to_string());
+        assert_eq!(lru.get(&7).as_deref().map(String::as_str), Some("seven"));
+        assert_eq!(lru.hits(), 1);
+        assert_eq!(lru.misses(), 1);
+        assert!((lru.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn insert_replaces_existing_key() {
+        let lru: ShardedLru<u32, u32> = ShardedLru::new(8);
+        lru.insert(1, 10);
+        lru.insert(1, 20);
+        assert_eq!(lru.len(), 1);
+        assert_eq!(lru.get(&1).as_deref(), Some(&20));
+    }
+
+    #[test]
+    fn capacity_bounds_and_lru_eviction() {
+        // One entry per shard: every colliding insert evicts.
+        let lru: ShardedLru<u32, u32> = ShardedLru::new(1);
+        // Find two keys in the same shard.
+        let shard_idx = |k: &u32| {
+            let mut h = DefaultHasher::new();
+            k.hash(&mut h);
+            (h.finish() as usize) % SHARDS
+        };
+        let a = 0u32;
+        let b = (1..1000).find(|k| shard_idx(k) == shard_idx(&a)).unwrap();
+        let c = (b + 1..2000).find(|k| shard_idx(k) == shard_idx(&a)).unwrap();
+        lru.insert(a, 1);
+        lru.insert(b, 2); // evicts a (LRU)
+        assert!(lru.get(&a).is_none());
+        assert_eq!(lru.get(&b).as_deref(), Some(&2));
+        // b was just used; inserting c evicts nothing else but b stays.
+        lru.insert(c, 3);
+        assert_eq!(lru.get(&c).as_deref(), Some(&3));
+    }
+
+    #[test]
+    fn recency_is_refreshed_by_get() {
+        let lru: ShardedLru<u32, u32> = ShardedLru::new(SHARDS * 2);
+        let shard_idx = |k: &u32| {
+            let mut h = DefaultHasher::new();
+            k.hash(&mut h);
+            (h.finish() as usize) % SHARDS
+        };
+        let a = 0u32;
+        let b = (1..1000).find(|k| shard_idx(k) == shard_idx(&a)).unwrap();
+        let c = (b + 1..2000).find(|k| shard_idx(k) == shard_idx(&a)).unwrap();
+        lru.insert(a, 1);
+        lru.insert(b, 2);
+        let _ = lru.get(&a); // a becomes MRU; b is now LRU
+        lru.insert(c, 3); // shard at capacity 2: evicts b
+        assert_eq!(lru.get(&a).as_deref(), Some(&1));
+        assert!(lru.get(&b).is_none());
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let lru: ShardedLru<u32, u32> = ShardedLru::new(8);
+        lru.insert(1, 1);
+        let _ = lru.get(&1);
+        lru.clear();
+        assert!(lru.is_empty());
+        assert_eq!(lru.hits(), 0);
+        assert_eq!(lru.misses(), 0);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let lru: Arc<ShardedLru<u64, u64>> = Arc::new(ShardedLru::new(256));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let lru = Arc::clone(&lru);
+                s.spawn(move || {
+                    for i in 0..200u64 {
+                        let k = (t * 37 + i) % 64;
+                        if lru.get(&k).is_none() {
+                            lru.insert(k, k * 2);
+                        }
+                    }
+                });
+            }
+        });
+        for k in 0..64u64 {
+            if let Some(v) = lru.get(&k) {
+                assert_eq!(*v, k * 2);
+            }
+        }
+    }
+}

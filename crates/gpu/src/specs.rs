@@ -142,6 +142,32 @@ impl DeviceSpec {
     pub fn total_l1_bytes(&self) -> usize {
         self.l1_bytes_per_sm * self.sm_count as usize
     }
+
+    /// A stable 64-bit digest of every field of the spec.
+    ///
+    /// Memoized kernel costs are keyed on this, so two specs that differ
+    /// in *any* constant (even a hand-edited bandwidth) never share cache
+    /// entries. Stable within a build: uses `DefaultHasher` with its
+    /// fixed default keys, not a `RandomState`.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.name.hash(&mut h);
+        self.sm_count.hash(&mut h);
+        self.peak_fp16_tflops.to_bits().hash(&mut h);
+        self.peak_fp32_tflops.to_bits().hash(&mut h);
+        self.hbm_bandwidth_gbs.to_bits().hash(&mut h);
+        self.hbm_capacity_gib.to_bits().hash(&mut h);
+        self.l2_bytes.hash(&mut h);
+        self.l1_bytes_per_sm.hash(&mut h);
+        self.cache_line_bytes.hash(&mut h);
+        self.kernel_launch_overhead_us.to_bits().hash(&mut h);
+        self.min_kernel_time_us.to_bits().hash(&mut h);
+        self.nvlink_bw_gbs.to_bits().hash(&mut h);
+        self.nvlink_latency_us.to_bits().hash(&mut h);
+        h.finish()
+    }
 }
 
 impl Default for DeviceSpec {
@@ -190,6 +216,17 @@ mod tests {
     fn interconnect_scales_with_generation() {
         assert!(DeviceSpec::v100_32gb().nvlink_bw_gbs < DeviceSpec::a100_80gb().nvlink_bw_gbs);
         assert!(DeviceSpec::a100_80gb().nvlink_bw_gbs < DeviceSpec::h100_80gb().nvlink_bw_gbs);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_devices_and_edits() {
+        let a = DeviceSpec::a100_80gb();
+        assert_eq!(a.fingerprint(), DeviceSpec::a100_80gb().fingerprint());
+        assert_ne!(a.fingerprint(), DeviceSpec::a100_40gb().fingerprint());
+        assert_ne!(a.fingerprint(), DeviceSpec::v100_32gb().fingerprint());
+        assert_ne!(a.fingerprint(), DeviceSpec::h100_80gb().fingerprint());
+        let edited = DeviceSpec { hbm_bandwidth_gbs: 2040.0, ..a.clone() };
+        assert_ne!(a.fingerprint(), edited.fingerprint());
     }
 
     #[test]

@@ -49,7 +49,11 @@ pub enum ActivationKind {
 /// Sizes are resolved when model builders construct the graph, so every
 /// cost query is O(1); there is no symbolic shape propagation to run at
 /// profile time.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Op` is `Eq + Hash` so it can key memoized kernel costs; the one
+/// float field ([`Op::Memcpy`]'s amplification) compares and hashes by
+/// its bit pattern, which is exactly the identity a memo cache wants.
+#[derive(Debug, Clone)]
 pub enum Op {
     /// Dense projection: `[tokens, in] → [tokens, out]`.
     Linear {
@@ -161,6 +165,84 @@ pub enum Op {
         /// Traffic amplification for strided transforms (≥ 1).
         amplification: f64,
     },
+}
+
+impl PartialEq for Op {
+    fn eq(&self, other: &Self) -> bool {
+        use Op::*;
+        match (self, other) {
+            (
+                Linear { tokens: a0, in_features: a1, out_features: a2 },
+                Linear { tokens: b0, in_features: b1, out_features: b2 },
+            ) => (a0, a1, a2) == (b0, b1, b2),
+            (
+                Conv2d { batch: a0, c_in: a1, c_out: a2, h: a3, w: a4, kernel: a5, stride: a6 },
+                Conv2d { batch: b0, c_in: b1, c_out: b2, h: b3, w: b4, kernel: b5, stride: b6 },
+            ) => (a0, a1, a2, a3, a4, a5, a6) == (b0, b1, b2, b3, b4, b5, b6),
+            (Attention { shape: a0, kind: a1 }, Attention { shape: b0, kind: b1 }) => {
+                (a0, a1) == (b0, b1)
+            }
+            (
+                GroupNorm { batch: a0, channels: a1, h: a2, w: a3, groups: a4 },
+                GroupNorm { batch: b0, channels: b1, h: b2, w: b3, groups: b4 },
+            ) => (a0, a1, a2, a3, a4) == (b0, b1, b2, b3, b4),
+            (LayerNorm { rows: a0, cols: a1 }, LayerNorm { rows: b0, cols: b1 }) => {
+                (a0, a1) == (b0, b1)
+            }
+            (Activation { elems: a0, kind: a1 }, Activation { elems: b0, kind: b1 }) => {
+                (a0, a1) == (b0, b1)
+            }
+            (Elementwise { elems: a0, inputs: a1 }, Elementwise { elems: b0, inputs: b1 }) => {
+                (a0, a1) == (b0, b1)
+            }
+            (
+                Upsample { batch: a0, c: a1, h: a2, w: a3, factor: a4 },
+                Upsample { batch: b0, c: b1, h: b2, w: b3, factor: b4 },
+            )
+            | (
+                Downsample { batch: a0, c: a1, h: a2, w: a3, factor: a4 },
+                Downsample { batch: b0, c: b1, h: b2, w: b3, factor: b4 },
+            ) => (a0, a1, a2, a3, a4) == (b0, b1, b2, b3, b4),
+            (
+                Embedding { vocab: a0, tokens: a1, dim: a2 },
+                Embedding { vocab: b0, tokens: b1, dim: b2 },
+            ) => (a0, a1, a2) == (b0, b1, b2),
+            (
+                Memcpy { bytes: a0, amplification: a1 },
+                Memcpy { bytes: b0, amplification: b1 },
+            ) => a0 == b0 && a1.to_bits() == b1.to_bits(),
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Op {}
+
+impl std::hash::Hash for Op {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        use Op::*;
+        std::mem::discriminant(self).hash(state);
+        match self {
+            Linear { tokens, in_features, out_features } => {
+                (tokens, in_features, out_features).hash(state);
+            }
+            Conv2d { batch, c_in, c_out, h, w, kernel, stride } => {
+                (batch, c_in, c_out, h, w, kernel, stride).hash(state);
+            }
+            Attention { shape, kind } => (shape, kind).hash(state),
+            GroupNorm { batch, channels, h, w, groups } => {
+                (batch, channels, h, w, groups).hash(state);
+            }
+            LayerNorm { rows, cols } => (rows, cols).hash(state),
+            Activation { elems, kind } => (elems, kind).hash(state),
+            Elementwise { elems, inputs } => (elems, inputs).hash(state),
+            Upsample { batch, c, h, w, factor } | Downsample { batch, c, h, w, factor } => {
+                (batch, c, h, w, factor).hash(state);
+            }
+            Embedding { vocab, tokens, dim } => (vocab, tokens, dim).hash(state),
+            Memcpy { bytes, amplification } => (bytes, amplification.to_bits()).hash(state),
+        }
+    }
 }
 
 impl Op {
@@ -307,6 +389,26 @@ mod tests {
         let op = Op::Memcpy { bytes: 100, amplification: 1.0 };
         assert_eq!(op.flops(), 0);
         assert_eq!(op.param_count(), 0);
+    }
+
+    #[test]
+    fn op_hashes_and_compares_for_memo_keys() {
+        use std::collections::HashSet;
+        let a = Op::Memcpy { bytes: 100, amplification: 16.0 };
+        let b = Op::Memcpy { bytes: 100, amplification: 16.0 };
+        let c = Op::Memcpy { bytes: 100, amplification: 1.0 };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mut set = HashSet::new();
+        set.insert(a.clone());
+        assert!(set.contains(&b));
+        assert!(!set.contains(&c));
+        // Upsample and Downsample share a field layout but must differ.
+        let up = Op::Upsample { batch: 1, c: 2, h: 4, w: 4, factor: 2 };
+        let down = Op::Downsample { batch: 1, c: 2, h: 4, w: 4, factor: 2 };
+        assert_ne!(up, down);
+        set.insert(up.clone());
+        assert!(!set.contains(&down));
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! the QKV projection. The ~10x L1 hit-rate gap in Fig. 12 follows from
 //! this geometry.
 
-use mmg_gpu::{CacheHierarchy, DeviceSpec, HierarchyStats};
+use mmg_gpu::{CacheHierarchy, DeviceSpec, HierarchyStats, ProbeRun};
 
 /// NVIDIA memory-request sector size in bytes.
 pub const SECTOR_BYTES: u64 = 32;
@@ -84,6 +84,109 @@ impl StridedMatrixAccess {
             r += self.row_step.max(1);
         }
     }
+
+    /// Run-length-compressed form of [`StridedMatrixAccess::extend_probes`]:
+    /// appends [`ProbeRun`]s whose expansion is exactly the probe sequence
+    /// `extend_probes` would emit, with `max` bounding the *total* probe
+    /// count across `out` (i.e. `ProbeRun::total(out)` plays the role of
+    /// `out.len()`).
+    ///
+    /// Most rows compress analytically — a column step below the sector
+    /// size walks consecutive sectors, a sector-multiple step emits one
+    /// probe per element at a uniform stride — so regular sweeps become a
+    /// handful of runs instead of hundreds of thousands of addresses.
+    pub fn extend_probe_runs(&self, out: &mut Vec<ProbeRun>, max: usize) {
+        let mut total = ProbeRun::total(out) as usize;
+        let mut last_sector = u64::MAX;
+        let step = (self.col_stride_elems * self.elem_bytes) as u64;
+        let mut r = 0usize;
+        while r < self.rows && total < max {
+            let row_base = self.base + (r * self.row_stride_elems * self.elem_bytes) as u64;
+            if self.cols > 0 {
+                let s0 = row_base / SECTOR_BYTES;
+                if step == 0 {
+                    // Every element repeats one sector: a single probe.
+                    if s0 != last_sector {
+                        push_run(out, s0 * SECTOR_BYTES, 1, 0, &mut total, max);
+                        last_sector = s0;
+                    }
+                } else if step < SECTOR_BYTES {
+                    // Sector indices are non-decreasing and never skip, so
+                    // the deduped sequence is the consecutive sector range.
+                    let s1 = (row_base + (self.cols as u64 - 1) * step) / SECTOR_BYTES;
+                    let first = if s0 == last_sector { s0 + 1 } else { s0 };
+                    if first <= s1 {
+                        push_run(
+                            out,
+                            first * SECTOR_BYTES,
+                            s1 - first + 1,
+                            SECTOR_BYTES,
+                            &mut total,
+                            max,
+                        );
+                    }
+                    last_sector = s1;
+                } else if step.is_multiple_of(SECTOR_BYTES) {
+                    // One distinct sector per element, uniformly strided.
+                    let (mut base, mut count) = (s0 * SECTOR_BYTES, self.cols as u64);
+                    if s0 == last_sector {
+                        base += step;
+                        count -= 1;
+                    }
+                    if count > 0 {
+                        push_run(out, base, count, step, &mut total, max);
+                    }
+                    last_sector = s0 + (self.cols as u64 - 1) * (step / SECTOR_BYTES);
+                } else {
+                    // Irregular sector deltas (step ≥ sector but not a
+                    // multiple): walk elements and let `push_run` coalesce.
+                    for c in 0..self.cols {
+                        if total >= max {
+                            break;
+                        }
+                        let sector = (row_base + c as u64 * step) / SECTOR_BYTES;
+                        if sector != last_sector {
+                            push_run(out, sector * SECTOR_BYTES, 1, 0, &mut total, max);
+                            last_sector = sector;
+                        }
+                    }
+                }
+            }
+            r += self.row_step.max(1);
+        }
+    }
+}
+
+/// Appends `count` probes from `base` at `stride` onto `out`, clipping to
+/// the `max` total-probe budget and coalescing with the previous run when
+/// the sequence continues uniformly.
+fn push_run(out: &mut Vec<ProbeRun>, base: u64, count: u64, stride: u64, total: &mut usize, max: usize) {
+    let budget = (max - *total) as u64;
+    let count = count.min(budget);
+    if count == 0 {
+        return;
+    }
+    *total += count as usize;
+    if let Some(last) = out.last_mut() {
+        let next = last.base + last.count * last.stride;
+        if next == base && (last.stride == stride || last.count == 1) {
+            // Continues the previous run at the same stride (a run of one
+            // adopts whatever stride the continuation uses).
+            if last.count == 1 {
+                last.stride = stride;
+            }
+            last.count += count;
+            return;
+        }
+        if last.count == 1 && count == 1 && base > last.base {
+            // Two singletons become a run; later singletons at the same
+            // spacing keep extending it through the arm above.
+            last.stride = base - last.base;
+            last.count = 2;
+            return;
+        }
+    }
+    out.push(ProbeRun { base, count, stride });
 }
 
 /// The attention-internal kernel whose stream is being generated.
@@ -120,9 +223,23 @@ impl VideoAttentionAccess {
 
     /// Generates the sector-probe stream one SM observes for `kernel`
     /// under the given attention direction. At most `max` probes.
+    ///
+    /// This is the expansion of [`VideoAttentionAccess::runs`]; cache
+    /// replay should prefer the compressed form directly.
     #[must_use]
     pub fn stream(&self, kernel: AttentionKernel, temporal: bool, max: usize) -> Vec<u64> {
-        let mut out = Vec::with_capacity(max.min(1 << 20));
+        let runs = self.runs(kernel, temporal, max);
+        let mut out = Vec::with_capacity(ProbeRun::total(&runs) as usize);
+        out.extend(runs.iter().flat_map(ProbeRun::addrs));
+        out
+    }
+
+    /// The run-length-compressed sector-probe stream one SM observes for
+    /// `kernel` under the given attention direction. At most `max` total
+    /// probes across the expansion.
+    #[must_use]
+    pub fn runs(&self, kernel: AttentionKernel, temporal: bool, max: usize) -> Vec<ProbeRun> {
+        let mut out = Vec::new();
         let e = self.elem_bytes;
         match (kernel, temporal) {
             (AttentionKernel::Gemm, false) => {
@@ -133,8 +250,8 @@ impl VideoAttentionAccess {
                 let k = StridedMatrixAccess::contiguous(k_base, self.hw, self.channels, e);
                 // Two tile passes: Q tile re-read is cheap, K streams twice.
                 for _ in 0..2 {
-                    q_tile.extend_probes(&mut out, max);
-                    k.extend_probes(&mut out, max);
+                    q_tile.extend_probe_runs(&mut out, max);
+                    k.extend_probe_runs(&mut out, max);
                 }
             }
             (AttentionKernel::Gemm, true) => {
@@ -146,7 +263,7 @@ impl VideoAttentionAccess {
                 // stride.
                 let pixel_chunk = 64.min(self.hw);
                 for p in 0..pixel_chunk {
-                    if out.len() >= max {
+                    if ProbeRun::total(&out) as usize >= max {
                         break;
                     }
                     let q = StridedMatrixAccess {
@@ -158,12 +275,12 @@ impl VideoAttentionAccess {
                         elem_bytes: e,
                         row_step: 1,
                     };
-                    q.extend_probes(&mut out, max);
+                    q.extend_probe_runs(&mut out, max);
                     let k = StridedMatrixAccess {
                         base: (self.frames * self.channels * self.hw * e + p * e) as u64,
                         ..q
                     };
-                    k.extend_probes(&mut out, max);
+                    k.extend_probe_runs(&mut out, max);
                 }
             }
             (AttentionKernel::Softmax, false) => {
@@ -179,7 +296,7 @@ impl VideoAttentionAccess {
                     elem_bytes: e,
                     row_step: SCHEDULE_SMS,
                 };
-                acc.extend_probes(&mut out, max);
+                acc.extend_probe_runs(&mut out, max);
             }
             (AttentionKernel::Softmax, true) => {
                 // Temporal scores: rows of length `frames` (often a fraction
@@ -195,7 +312,7 @@ impl VideoAttentionAccess {
                     elem_bytes: e,
                     row_step: SCHEDULE_SMS,
                 };
-                acc.extend_probes(&mut out, max);
+                acc.extend_probe_runs(&mut out, max);
             }
             (AttentionKernel::Elementwise, _) => {
                 // Pointwise kernels stream contiguously regardless of the
@@ -203,7 +320,7 @@ impl VideoAttentionAccess {
                 // rates unchanged.
                 let elems = self.frames * self.channels * self.hw;
                 let acc = StridedMatrixAccess::contiguous(0, 1, elems.min(8 * max), e);
-                acc.extend_probes(&mut out, max);
+                acc.extend_probe_runs(&mut out, max);
             }
         }
         out
@@ -235,7 +352,7 @@ impl VideoAttentionAccess {
         registry: &mmg_telemetry::Registry,
     ) -> HierarchyStats {
         let mut h = CacheHierarchy::for_device_with_registry(spec, registry);
-        h.run(self.stream(kernel, temporal, max_probes));
+        h.run_runs(&self.runs(kernel, temporal, max_probes));
         h.stats()
     }
 }
@@ -319,5 +436,139 @@ mod tests {
     #[test]
     fn amplification_for_fp16_is_16x() {
         assert!((strided_amplification(2) - 16.0).abs() < 1e-12);
+    }
+
+    fn expand(runs: &[ProbeRun]) -> Vec<u64> {
+        runs.iter().flat_map(ProbeRun::addrs).collect()
+    }
+
+    #[test]
+    fn probe_runs_expand_to_exactly_the_probe_stream() {
+        // Every analytic case plus the irregular fallback, at several
+        // truncation points, against the element-wise reference.
+        let patterns = [
+            // step == 0 (broadcast column)
+            StridedMatrixAccess {
+                base: 40,
+                rows: 7,
+                cols: 5,
+                row_stride_elems: 100,
+                col_stride_elems: 0,
+                elem_bytes: 2,
+                row_step: 1,
+            },
+            // step < sector, dividing it (fp16 contiguous)
+            StridedMatrixAccess::contiguous(0, 9, 37, 2),
+            // step < sector, NOT dividing it (3-byte elements)
+            StridedMatrixAccess {
+                base: 5,
+                rows: 4,
+                cols: 50,
+                row_stride_elems: 61,
+                col_stride_elems: 1,
+                elem_bytes: 3,
+                row_step: 1,
+            },
+            // step a multiple of the sector (temporal channel walk)
+            StridedMatrixAccess {
+                base: 64,
+                rows: 16,
+                cols: 320,
+                row_stride_elems: 320 * 4096,
+                col_stride_elems: 4096,
+                elem_bytes: 2,
+                row_step: 1,
+            },
+            // step >= sector, not a multiple (irregular deltas: 48B)
+            StridedMatrixAccess {
+                base: 0,
+                rows: 3,
+                cols: 40,
+                row_stride_elems: 7,
+                col_stride_elems: 24,
+                elem_bytes: 2,
+                row_step: 1,
+            },
+            // round-robin row schedule with rows sharing sectors
+            StridedMatrixAccess {
+                base: 0,
+                rows: 1000,
+                cols: 16,
+                row_stride_elems: 16,
+                col_stride_elems: 1,
+                elem_bytes: 2,
+                row_step: SCHEDULE_SMS,
+            },
+            // adjacent rows whose boundary sectors coincide (dedup across
+            // rows in the middle of the pattern)
+            StridedMatrixAccess {
+                base: 8,
+                rows: 6,
+                cols: 3,
+                row_stride_elems: 3,
+                col_stride_elems: 1,
+                elem_bytes: 2,
+                row_step: 1,
+            },
+        ];
+        for (i, acc) in patterns.iter().enumerate() {
+            let mut reference = Vec::new();
+            acc.extend_probes(&mut reference, usize::MAX);
+            for max in [0, 1, 2, 7, reference.len().saturating_sub(1), reference.len(), usize::MAX] {
+                let mut probes = Vec::new();
+                acc.extend_probes(&mut probes, max);
+                let mut runs = Vec::new();
+                acc.extend_probe_runs(&mut runs, max);
+                assert_eq!(
+                    expand(&runs),
+                    probes,
+                    "pattern {i} diverges at max={max}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn probe_runs_respect_preexisting_totals() {
+        // `max` counts probes already in `out`, matching extend_probes'
+        // treatment of out.len().
+        let acc = StridedMatrixAccess::contiguous(0, 4, 64, 2);
+        let mut runs = vec![ProbeRun { base: 1 << 20, count: 10, stride: 32 }];
+        acc.extend_probe_runs(&mut runs, 14);
+        assert_eq!(ProbeRun::total(&runs), 14);
+    }
+
+    #[test]
+    fn video_streams_match_runs_for_all_kernels() {
+        let v = VideoAttentionAccess { frames: 4, channels: 32, hw: 256, elem_bytes: 2 };
+        for kernel in [AttentionKernel::Gemm, AttentionKernel::Softmax, AttentionKernel::Elementwise] {
+            for temporal in [false, true] {
+                for max in [100, 5000] {
+                    let stream = v.stream(kernel, temporal, max);
+                    let runs = v.runs(kernel, temporal, max);
+                    assert_eq!(expand(&runs), stream, "{kernel:?} temporal={temporal} max={max}");
+                    assert!(
+                        runs.len() < stream.len().max(1),
+                        "compression should shrink {kernel:?}: {} runs for {} probes",
+                        runs.len(),
+                        stream.len()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn temporal_stream_compresses_dramatically() {
+        let v = VideoAttentionAccess::make_a_video_base();
+        let max = 300_000;
+        let stream_len = v.stream(AttentionKernel::Gemm, true, max).len();
+        let runs = v.runs(AttentionKernel::Gemm, true, max);
+        assert!(stream_len >= max / 2, "stream should be large: {stream_len}");
+        assert!(
+            runs.len() * 100 < stream_len,
+            "expected >100x compression: {} runs for {stream_len} probes",
+            runs.len()
+        );
     }
 }

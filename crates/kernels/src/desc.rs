@@ -53,13 +53,24 @@ pub struct KernelDesc {
     pub label: String,
     /// Cost fed to [`mmg_gpu::TimingEngine`].
     pub cost: KernelCost,
+    /// Idle SM-tile slots in the launch's final ragged wave (GEMM wave
+    /// quantization). Recorded to telemetry by [`record_kernel`], not at
+    /// descriptor-construction time, so lowering stays a pure function.
+    pub wave_quant_idle_slots: u64,
 }
 
 impl KernelDesc {
     /// Creates a descriptor.
     #[must_use]
     pub fn new(kind: KernelKind, label: impl Into<String>, cost: KernelCost) -> Self {
-        KernelDesc { kind, label: label.into(), cost }
+        KernelDesc { kind, label: label.into(), cost, wave_quant_idle_slots: 0 }
+    }
+
+    /// Annotates the descriptor with wave-quantization idle slots.
+    #[must_use]
+    pub fn with_idle_slots(mut self, slots: u64) -> Self {
+        self.wave_quant_idle_slots = slots;
+        self
     }
 }
 
@@ -67,6 +78,9 @@ impl KernelDesc {
 /// counters: launches, FLOPs, HBM bytes, and the roofline regime the
 /// launch landed in (`memory` vs `compute`).
 pub fn record_kernel(registry: &Registry, desc: &KernelDesc, time: &KernelTime) {
+    if desc.wave_quant_idle_slots > 0 {
+        registry.counter("gpu_wave_quant_idle_slots_total").add(desc.wave_quant_idle_slots);
+    }
     let kind = desc.kind.to_string();
     let labels = [("kind", kind.as_str())];
     registry.counter_with("kernel_launches_total", &labels).inc();
@@ -78,9 +92,54 @@ pub fn record_kernel(registry: &Registry, desc: &KernelDesc, time: &KernelTime) 
         .inc();
 }
 
+/// Replay form of [`record_kernel`]: bumps the identical counters from a
+/// stored `(kind name, flops, bytes, regime)` tuple instead of live
+/// [`KernelDesc`]/[`KernelTime`] values. Memoized profiling uses this so
+/// a cache hit leaves exactly the telemetry a recomputation would have.
+pub fn record_kernel_named(
+    registry: &Registry,
+    kind: &str,
+    flops: u64,
+    hbm_bytes: u64,
+    memory_bound: bool,
+    wave_quant_idle_slots: u64,
+) {
+    if wave_quant_idle_slots > 0 {
+        registry.counter("gpu_wave_quant_idle_slots_total").add(wave_quant_idle_slots);
+    }
+    let labels = [("kind", kind)];
+    registry.counter_with("kernel_launches_total", &labels).inc();
+    registry.counter_with("kernel_flops_total", &labels).add(flops);
+    registry.counter_with("kernel_hbm_bytes_total", &labels).add(hbm_bytes);
+    let regime = if memory_bound { "memory" } else { "compute" };
+    registry.counter_with("kernel_regime_total", &[("kind", kind), ("regime", regime)]).inc();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn record_kernel_named_matches_record_kernel() {
+        let live = Registry::new();
+        let replay = Registry::new();
+        let desc = KernelDesc::new(
+            KernelKind::Gemm,
+            "gemm_b1",
+            KernelCost { flops: 640, hbm_bytes: 128, compute_eff: 0.9, memory_eff: 0.9 },
+        );
+        let time = KernelTime { compute_s: 3e-6, memory_s: 1e-6, overhead_s: 4e-6, total_s: 7e-6 };
+        record_kernel(&live, &desc, &time);
+        record_kernel_named(
+            &replay,
+            &desc.kind.to_string(),
+            desc.cost.flops,
+            desc.cost.hbm_bytes,
+            time.is_memory_bound(),
+            desc.wave_quant_idle_slots,
+        );
+        assert_eq!(live.counters_snapshot().values(), replay.counters_snapshot().values());
+    }
 
     #[test]
     fn record_kernel_tracks_kind_and_regime() {

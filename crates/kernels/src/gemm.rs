@@ -124,10 +124,6 @@ pub fn gemm_kernel_amplified(shape: GemmShape, elem_bytes: usize, amplification:
     assert!(amplification >= 1.0, "amplification must be >= 1");
     let bytes = (shape.min_bytes(elem_bytes) as f64 * amplification) as u64;
     let mem_eff = if amplification > 1.0 { 0.5 } else { 0.85 };
-    let idle = wave_quant_idle_slots(shape, DEFAULT_SMS);
-    if idle > 0 {
-        mmg_telemetry::global().counter("gpu_wave_quant_idle_slots_total").add(idle);
-    }
     KernelDesc::new(
         KernelKind::Gemm,
         format!("gemm_b{}_m{}_n{}_k{}", shape.batch, shape.m, shape.n, shape.k),
@@ -138,6 +134,7 @@ pub fn gemm_kernel_amplified(shape: GemmShape, elem_bytes: usize, amplification:
             memory_eff: mem_eff,
         },
     )
+    .with_idle_slots(wave_quant_idle_slots(shape, DEFAULT_SMS))
 }
 
 #[cfg(test)]

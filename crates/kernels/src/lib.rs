@@ -33,4 +33,4 @@ pub mod memory_bound;
 
 mod desc;
 
-pub use desc::{record_kernel, KernelDesc, KernelKind};
+pub use desc::{record_kernel, record_kernel_named, KernelDesc, KernelKind};

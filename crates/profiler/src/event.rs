@@ -19,6 +19,8 @@ pub struct KernelRecord {
     pub flops: u64,
     /// HBM bytes moved.
     pub hbm_bytes: u64,
+    /// Wave-quantization idle SM-tile slots charged by this launch.
+    pub wave_quant_idle_slots: u64,
 }
 
 /// Attention-specific annotation on an event.

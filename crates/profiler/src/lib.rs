@@ -22,6 +22,7 @@
 mod event;
 mod executor;
 mod hooks;
+pub mod memo;
 pub mod report;
 pub mod seqlen;
 mod timeline;
@@ -30,4 +31,5 @@ pub mod trace;
 pub use event::{AttnCallInfo, KernelRecord, OpEvent};
 pub use executor::Profiler;
 pub use hooks::{CountingHook, ModuleHook};
+pub use memo::{CostMemo, MemoKey, OpCostEntry};
 pub use timeline::{CategoryBreakdown, Timeline};

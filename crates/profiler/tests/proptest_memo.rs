@@ -1,0 +1,155 @@
+//! Property test: memoized profiling is observationally identical to
+//! unmemoized profiling.
+//!
+//! For arbitrary graphs (with repeated ops, so the memo actually hits),
+//! a profiler with a [`CostMemo`] must produce bit-identical
+//! [`mmg_profiler::KernelRecord`]s and [`mmg_profiler::OpEvent`]s,
+//! identical per-op span attribution, and a byte-identical Prometheus
+//! rendering of the registry — whether entries are computed cold,
+//! replayed within one run, or replayed from a previous run's memo.
+
+use std::sync::Arc;
+
+use mmg_attn::{AttentionShape, AttnImpl};
+use mmg_gpu::DeviceSpec;
+use mmg_graph::{AttnKind, Graph, Op};
+use mmg_profiler::{CostMemo, Profiler, Timeline};
+use mmg_telemetry::Registry;
+use proptest::prelude::*;
+
+/// Expands one generated seed into an operator, cycling through every
+/// family the lowering pass distinguishes (the vendored proptest stub
+/// has no `prop_oneof`, so variant choice rides on the seed).
+fn op_from_seed(seed: u64) -> Op {
+    let mut s = seed;
+    let mut next = move |span: u64| {
+        s = (s ^ (s >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        s = (s ^ (s >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        1 + (s ^ (s >> 31)) % span
+    };
+    match seed % 7 {
+        0 => Op::Linear {
+            tokens: next(512) as usize,
+            in_features: next(256) as usize,
+            out_features: next(256) as usize,
+        },
+        1 => {
+            let hw = 3 + next(20) as usize;
+            Op::Conv2d {
+                batch: next(2) as usize,
+                c_in: next(24) as usize,
+                c_out: next(24) as usize,
+                h: hw,
+                w: hw,
+                kernel: next(3) as usize,
+                stride: next(2) as usize,
+            }
+        }
+        2 => {
+            let kind = [AttnKind::SpatialSelf, AttnKind::Cross, AttnKind::Temporal, AttnKind::Causal]
+                [(next(4) - 1) as usize];
+            Op::Attention {
+                shape: AttentionShape::self_attn(
+                    next(2) as usize,
+                    next(8) as usize,
+                    7 + next(180) as usize,
+                    7 + next(56) as usize,
+                ),
+                kind,
+            }
+        }
+        3 => Op::LayerNorm { rows: next(1024) as usize, cols: next(512) as usize },
+        4 => Op::Elementwise { elems: next(100_000) as usize, inputs: next(3) as usize },
+        5 => Op::GroupNorm {
+            batch: next(2) as usize,
+            channels: 32 * next(8) as usize,
+            h: next(32) as usize,
+            w: next(32) as usize,
+            groups: 32,
+        },
+        _ => Op::Memcpy { bytes: next(1_000_000), amplification: 1.0 + next(4) as f64 * 0.25 },
+    }
+}
+
+/// Builds a graph that walks `seeds`' ops twice, so every op repeats at
+/// least once and the memo's intra-run hit path is exercised.
+fn graph_of(seeds: &[u64]) -> Graph {
+    let mut g = Graph::new();
+    for pass in 0..2 {
+        for (i, &seed) in seeds.iter().enumerate() {
+            g.push(format!("pass{pass}.op{i}"), op_from_seed(seed));
+        }
+    }
+    g
+}
+
+fn profile(g: &Graph, attn: AttnImpl, memo: Option<Arc<CostMemo>>) -> (Timeline, Registry) {
+    let registry = Registry::new();
+    let mut p =
+        Profiler::with_registry(DeviceSpec::a100_80gb(), attn, &registry).with_cache_sim(4096);
+    if let Some(memo) = memo {
+        p = p.with_memo(memo);
+    }
+    (p.profile(g), registry)
+}
+
+fn assert_identical(
+    label: &str,
+    (cold_t, cold_r): &(Timeline, Registry),
+    (memo_t, memo_r): &(Timeline, Registry),
+) {
+    assert_eq!(cold_t.events().len(), memo_t.events().len(), "{label}: event count");
+    for (a, b) in cold_t.events().iter().zip(memo_t.events()) {
+        assert_eq!(a.index, b.index, "{label}: index of {}", a.path);
+        assert_eq!(a.path, b.path, "{label}: path");
+        assert_eq!(a.category, b.category, "{label}: category of {}", a.path);
+        assert_eq!(a.time_s.to_bits(), b.time_s.to_bits(), "{label}: time of {}", a.path);
+        assert_eq!(a.flops, b.flops, "{label}: flops of {}", a.path);
+        assert_eq!(a.hbm_bytes, b.hbm_bytes, "{label}: bytes of {}", a.path);
+        assert_eq!(a.kernels, b.kernels, "{label}: kernel records of {}", a.path);
+        assert_eq!(a.attention, b.attention, "{label}: attention info of {}", a.path);
+        assert_eq!(a.counters, b.counters, "{label}: counter deltas of {}", a.path);
+    }
+    // Registry totals, bucket for bucket and byte for byte.
+    assert_eq!(cold_r.render_prometheus(), memo_r.render_prometheus(), "{label}: registry");
+    // Span attribution (durations are wall time and legitimately differ).
+    let cold_s = cold_r.finished_spans();
+    let memo_s = memo_r.finished_spans();
+    assert_eq!(cold_s.len(), memo_s.len(), "{label}: span count");
+    for (a, b) in cold_s.iter().zip(&memo_s) {
+        assert_eq!(a.path, b.path, "{label}: span path");
+        assert_eq!(a.counter_deltas, b.counter_deltas, "{label}: span deltas of {}", a.path);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Cold, intra-run-memoized, and warm-memoized profiling all agree.
+    #[test]
+    fn memoized_profiling_is_bit_identical(
+        seeds in proptest::collection::vec(0u64..u64::MAX, 1..5),
+        flash in 0usize..2,
+    ) {
+        let attn = if flash == 1 { AttnImpl::Flash } else { AttnImpl::Baseline };
+        let g = graph_of(&seeds);
+        let cold = profile(&g, attn, None);
+
+        // First memoized run: every distinct op misses once (pass 0) and
+        // hits on repetition (pass 1).
+        let memo = Arc::new(CostMemo::new());
+        let first = profile(&g, attn, Some(Arc::clone(&memo)));
+        prop_assert!(memo.hits() >= seeds.len() as u64, "second pass must hit");
+        assert_identical("intra-run", &cold, &first);
+
+        // Second run against the warm memo: pure replay.
+        let hits_before = memo.hits();
+        let warm = profile(&g, attn, Some(Arc::clone(&memo)));
+        prop_assert_eq!(
+            memo.hits(),
+            hits_before + g.len() as u64,
+            "warm run must be all hits"
+        );
+        assert_identical("warm", &cold, &warm);
+    }
+}

@@ -298,6 +298,18 @@ impl Drop for SpanGuard {
     }
 }
 
+/// The dot-joined path a span named `name` would receive if opened on
+/// this thread right now — nested under any open span — without
+/// actually opening one. Pairs with [`Registry::record_span`] on replay
+/// paths that must emit the same paths a live run would.
+#[must_use]
+pub fn nested_span_path(name: &str) -> String {
+    SPAN_PATH.with(|stack| match stack.borrow().last() {
+        Some(parent) => format!("{parent}.{name}"),
+        None => name.to_string(),
+    })
+}
+
 /// Entry point for spans on the [`global`] registry.
 pub struct Span;
 
@@ -412,6 +424,111 @@ impl Registry {
             })
         });
         Histogram(Arc::clone(inner))
+    }
+
+    /// Appends a pre-built [`SpanRecord`] to this registry's finished
+    /// spans, bypassing the snapshot machinery of [`Registry::span`].
+    ///
+    /// Replay paths (e.g. a profiler serving an operator from its memo
+    /// cache) use this to record the span a live execution would have
+    /// produced — same path and counter deltas — without paying two full
+    /// counter snapshots per operator.
+    pub fn record_span(&self, record: SpanRecord) {
+        if let Ok(mut spans) = self.inner.spans.lock() {
+            spans.push(record);
+        }
+    }
+
+    /// Microseconds elapsed since this registry's epoch — the timebase
+    /// of [`SpanRecord::start_us`].
+    #[must_use]
+    pub fn epoch_us(&self) -> f64 {
+        self.inner.epoch.elapsed().as_secs_f64() * 1e6
+    }
+
+    /// Adds `deltas` — `(full metric name, increment)` pairs as produced
+    /// by [`CounterSnapshot::delta_since`] or found in
+    /// [`SpanRecord::counter_deltas`] — onto this registry's counters.
+    /// Full names round-trip exactly: `name{label="v"}` lands on the
+    /// counter registered as `counter_with("name", &[("label", "v")])`.
+    pub fn apply_counter_deltas(&self, deltas: &[(String, u64)]) {
+        let mut map = self.inner.counters.lock().expect("counter registry poisoned");
+        for (full, delta) in deltas {
+            let key = match full.split_once('{') {
+                Some((name, labels)) => (
+                    name.to_string(),
+                    labels.strip_suffix('}').unwrap_or(labels).to_string(),
+                ),
+                None => (full.clone(), String::new()),
+            };
+            map.entry(key).or_default().fetch_add(*delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Merges another registry's state into this one, deterministically:
+    /// counters add, gauges take the other's value, histograms merge
+    /// bucket-by-bucket (created here with the other's edges when
+    /// missing), finished spans append in the other's completion order.
+    ///
+    /// The worker-pool experiment engine runs each experiment on its own
+    /// registry and merges them at join in experiment order, so totals
+    /// are byte-identical to a serial run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a histogram exists in both registries under the same
+    /// name with different bucket edges.
+    pub fn merge_from(&self, other: &Registry) {
+        {
+            let theirs = other.inner.counters.lock().expect("counter registry poisoned");
+            let mut ours = self.inner.counters.lock().expect("counter registry poisoned");
+            for (key, v) in theirs.iter() {
+                let add = v.load(Ordering::Relaxed);
+                if add > 0 {
+                    ours.entry(key.clone()).or_default().fetch_add(add, Ordering::Relaxed);
+                }
+            }
+        }
+        {
+            let theirs = other.inner.gauges.lock().expect("gauge registry poisoned");
+            let mut ours = self.inner.gauges.lock().expect("gauge registry poisoned");
+            for (key, v) in theirs.iter() {
+                ours.entry(key.clone())
+                    .or_default()
+                    .store(v.load(Ordering::Relaxed), Ordering::Relaxed);
+            }
+        }
+        {
+            let theirs = other.inner.histograms.lock().expect("histogram registry poisoned");
+            let mut ours = self.inner.histograms.lock().expect("histogram registry poisoned");
+            for (key, h) in theirs.iter() {
+                let mine = ours.entry(key.clone()).or_insert_with(|| {
+                    Arc::new(HistogramInner {
+                        edges: h.edges.clone(),
+                        buckets: (0..=h.edges.len()).map(|_| AtomicU64::new(0)).collect(),
+                        sum_bits: AtomicU64::new(0f64.to_bits()),
+                        count: AtomicU64::new(0),
+                    })
+                });
+                assert_eq!(
+                    mine.edges, h.edges,
+                    "histogram '{}' merged with mismatched bucket edges",
+                    key.0
+                );
+                for (dst, src) in mine.buckets.iter().zip(h.buckets.iter()) {
+                    dst.fetch_add(src.load(Ordering::Relaxed), Ordering::Relaxed);
+                }
+                let sum = f64::from_bits(mine.sum_bits.load(Ordering::Relaxed))
+                    + f64::from_bits(h.sum_bits.load(Ordering::Relaxed));
+                mine.sum_bits.store(sum.to_bits(), Ordering::Relaxed);
+                mine.count.fetch_add(h.count.load(Ordering::Relaxed), Ordering::Relaxed);
+            }
+        }
+        let their_spans = other.finished_spans();
+        if !their_spans.is_empty() {
+            let mut spans = self.inner.spans.lock().expect("span registry poisoned");
+            spans.extend(their_spans);
+        }
     }
 
     /// Opens a span on this registry, nested under any span already
@@ -801,6 +918,113 @@ mod tests {
         let before = c.get();
         b.counter("global_smoke_total").inc();
         assert_eq!(c.get(), before + 1);
+    }
+
+    #[test]
+    fn apply_counter_deltas_round_trips_full_names() {
+        let r = Registry::new();
+        r.counter("plain").add(3);
+        r.counter_with("labelled", &[("kind", "gemm"), ("a", "b")]).add(2);
+        let deltas = CounterSnapshot { values: vec![] }.delta_since(&r);
+        let replay = Registry::new();
+        replay.apply_counter_deltas(&deltas);
+        assert_eq!(replay.counters_snapshot().values(), r.counters_snapshot().values());
+        // Applying twice doubles, proving it lands on the same keys.
+        replay.apply_counter_deltas(&deltas);
+        assert_eq!(replay.counter("plain").get(), 6);
+        assert_eq!(replay.counter_with("labelled", &[("a", "b"), ("kind", "gemm")]).get(), 4);
+    }
+
+    #[test]
+    fn record_span_appends_verbatim() {
+        let r = Registry::new();
+        let record = SpanRecord {
+            path: "unet.replayed".to_string(),
+            start_us: 12.5,
+            dur_us: 3.0,
+            counter_deltas: vec![("k".to_string(), 7)],
+        };
+        r.record_span(record.clone());
+        assert_eq!(r.finished_spans(), vec![record]);
+    }
+
+    #[test]
+    fn nested_span_path_matches_live_span_paths() {
+        let r = Registry::new();
+        assert_eq!(nested_span_path("root"), "root");
+        {
+            let _outer = r.span("unet");
+            assert_eq!(nested_span_path("attn"), "unet.attn");
+            {
+                let _inner = r.span("down");
+                assert_eq!(nested_span_path("gemm"), "unet.down.gemm");
+            }
+            assert_eq!(nested_span_path("attn"), "unet.attn");
+        }
+        assert_eq!(nested_span_path("root"), "root");
+    }
+
+    #[test]
+    fn merge_from_adds_counters_and_appends_spans() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.counter("shared_total").add(5);
+        b.counter("shared_total").add(7);
+        b.counter("only_b_total").add(1);
+        b.gauge("depth").set(4.0);
+        b.record_span(SpanRecord {
+            path: "exp".to_string(),
+            start_us: 0.0,
+            dur_us: 1.0,
+            counter_deltas: vec![],
+        });
+        a.merge_from(&b);
+        assert_eq!(a.counter("shared_total").get(), 12);
+        assert_eq!(a.counter("only_b_total").get(), 1);
+        assert!((a.gauge("depth").get() - 4.0).abs() < 1e-12);
+        assert_eq!(a.finished_spans().len(), 1);
+        // b is untouched.
+        assert_eq!(b.counter("shared_total").get(), 7);
+    }
+
+    #[test]
+    fn merge_from_merges_histograms_bucketwise() {
+        let a = Registry::new();
+        let b = Registry::new();
+        let ha = a.histogram("t_us", &[1.0, 10.0]);
+        ha.observe(0.5);
+        let hb = b.histogram("t_us", &[1.0, 10.0]);
+        hb.observe(5.0);
+        hb.observe(50.0);
+        b.histogram("only_b_us", &[2.0]).observe(1.0);
+        a.merge_from(&b);
+        let merged = a.histogram("t_us", &[1.0, 10.0]);
+        assert_eq!(merged.count(), 3);
+        assert!((merged.sum() - 55.5).abs() < 1e-9);
+        assert_eq!(a.histogram("only_b_us", &[2.0]).count(), 1);
+    }
+
+    #[test]
+    fn merged_counters_match_serial_totals() {
+        // Serial run: one registry sees all events. Parallel run: two
+        // registries see a partition of the events, then merge. Totals
+        // must be identical, down to the rendered snapshot.
+        let serial = Registry::new();
+        let p1 = Registry::new();
+        let p2 = Registry::new();
+        for (r, n) in [(&serial, 3u64), (&serial, 4), (&p1, 3), (&p2, 4)] {
+            r.counter_with("ops_total", &[("exp", "fig6")]).add(n);
+            r.histogram("lat_us", &[1.0, 10.0]).observe(n as f64);
+        }
+        let merged = Registry::new();
+        merged.merge_from(&p1);
+        merged.merge_from(&p2);
+        assert_eq!(merged.counters_snapshot().values(), serial.counters_snapshot().values());
+        assert_eq!(
+            merged.histogram("lat_us", &[1.0, 10.0]).count(),
+            serial.histogram("lat_us", &[1.0, 10.0]).count()
+        );
+        assert_eq!(merged.render_prometheus(), serial.render_prometheus());
     }
 
     #[test]
