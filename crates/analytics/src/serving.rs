@@ -2,15 +2,22 @@
 //!
 //! The paper closes on "designing efficient and *deployable* systems for
 //! emerging TTI/TTV workloads". Deployment means queueing: image requests
-//! arrive stochastically and share one device. This module runs a discrete
-//! single-server queue over the simulated per-request service time, with an
-//! optional pod factor for the Section V co-scheduling gain, and reports
-//! the latency distribution.
+//! arrive stochastically and share one device. This module keeps the
+//! classical M/D/1 view — Poisson arrivals, one FIFO server, fixed
+//! service time — but the queue itself now runs on the `mmg-serve`
+//! discrete-event simulator: [`simulate_mdl`] is a thin adapter over
+//! [`mmg_serve::simulate`] with a single GPU, a batching-free service
+//! curve, and the same seeded arrival stream as before. The full
+//! multi-GPU/batching/SLO machinery lives in `mmg-serve`; this module
+//! remains the analytical baseline (its M/D/1 mean-wait closed form is
+//! the theory anchor the DES is tested against).
 
+use mmg_models::ModelId;
+use mmg_serve::{
+    simulate, ArrivalProcess, RequestMix, ScenarioCfg, SchedulerKind, ServiceCurve,
+    ServiceProfile, SloSpec,
+};
 use mmg_telemetry::Registry;
-use rand::distributions::Distribution;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// One simulated request's outcome.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -52,10 +59,11 @@ pub fn simulate_mdl(rate_rps: f64, service_s: f64, n: usize, seed: u64) -> Vec<R
 
 /// Like [`simulate_mdl`], recording serving telemetry to a specific
 /// registry: the `serving_queue_depth` gauge is sampled at each arrival
-/// (requests in system, including the one in service), and every
-/// request's wait and total latency land in the `serving_wait_s` /
-/// `serving_latency_s` histograms. `serving_requests_total` counts
-/// completions.
+/// (requests in system, including the one in service — the *exact*
+/// count of outstanding finish times, not the old
+/// `(wait/service).ceil()+1` approximation), and every request's wait
+/// and total latency land in the `serving_wait_s` / `serving_latency_s`
+/// histograms. `serving_requests_total` counts completions.
 ///
 /// # Panics
 ///
@@ -69,34 +77,44 @@ pub fn simulate_mdl_with_registry(
     registry: &Registry,
 ) -> Vec<RequestOutcome> {
     assert!(rate_rps > 0.0 && service_s > 0.0 && n > 0, "degenerate serving parameters");
+    // The model identity is irrelevant to an M/D/1 queue; SD stands in.
+    let model = ModelId::StableDiffusion;
+    let profile = ServiceProfile::new(vec![ServiceCurve::constant(model, service_s)]);
+    let cfg = ScenarioCfg {
+        max_requests: Some(n as u64),
+        ..ScenarioCfg::new(
+            1,
+            RequestMix::single(model),
+            ArrivalProcess::poisson(rate_rps),
+            SchedulerKind::Fifo,
+            SloSpec::None,
+            f64::INFINITY,
+            seed,
+        )
+    };
+    // The DES records its own serve_* metrics; the legacy serving_*
+    // names are emitted here, against the caller's registry.
+    let result = simulate(&cfg, &profile, &Registry::new());
     let queue_depth = registry.gauge("serving_queue_depth");
     let requests = registry.counter("serving_requests_total");
     let buckets = mmg_telemetry::latency_buckets_s();
     let wait_hist = registry.histogram("serving_wait_s", &buckets);
     let latency_hist = registry.histogram("serving_latency_s", &buckets);
-    let mut rng = StdRng::seed_from_u64(seed);
-    let uniform = rand::distributions::Uniform::new(f64::EPSILON, 1.0f64);
-    let mut t = 0.0f64;
-    let mut server_free = 0.0f64;
-    let mut out = Vec::with_capacity(n);
-    for _ in 0..n {
-        // Exponential inter-arrival.
-        let u: f64 = uniform.sample(&mut rng);
-        t += -u.ln() / rate_rps;
-        let start = server_free.max(t);
-        let finish = start + service_s;
-        server_free = finish;
-        let wait_s = start - t;
-        let latency_s = finish - t;
-        // Requests in system when this one arrives: everything still
-        // unfinished ahead of it, plus itself.
-        queue_depth.set((wait_s / service_s).ceil() + 1.0);
-        requests.inc();
-        wait_hist.observe(wait_s);
-        latency_hist.observe(latency_s);
-        out.push(RequestOutcome { arrival_s: t, wait_s, latency_s });
-    }
-    out
+    result
+        .records_by_arrival()
+        .into_iter()
+        .map(|rec| {
+            queue_depth.set(rec.depth_at_arrival as f64);
+            requests.inc();
+            wait_hist.observe(rec.wait_s());
+            latency_hist.observe(rec.latency_s());
+            RequestOutcome {
+                arrival_s: rec.arrival_s,
+                wait_s: rec.wait_s(),
+                latency_s: rec.latency_s(),
+            }
+        })
+        .collect()
 }
 
 /// Summarizes outcomes at the given offered utilization.
@@ -109,12 +127,11 @@ pub fn summarize(outcomes: &[RequestOutcome], utilization: f64) -> ServingSummar
     assert!(!outcomes.is_empty(), "no outcomes to summarize");
     let mut lat: Vec<f64> = outcomes.iter().map(|o| o.latency_s).collect();
     lat.sort_by(f64::total_cmp);
-    let pick = |q: f64| lat[((lat.len() - 1) as f64 * q).round() as usize];
     ServingSummary {
         utilization,
         mean_s: lat.iter().sum::<f64>() / lat.len() as f64,
-        p50_s: pick(0.50),
-        p99_s: pick(0.99),
+        p50_s: mmg_telemetry::quantile_sorted(&lat, 0.50),
+        p99_s: mmg_telemetry::quantile_sorted(&lat, 0.99),
         completed: lat.len(),
     }
 }
@@ -208,6 +225,20 @@ mod tests {
             s.p50_s
         );
         assert!(registry.gauge("serving_queue_depth").get() >= 1.0);
+    }
+
+    #[test]
+    fn queue_depth_gauge_is_exact() {
+        // Fast arrivals into a slow server: by the n-th arrival, nothing
+        // has finished, so the exact depth-seen-by-arrival is n — where
+        // the old (wait/service).ceil()+1 formula could be off by one at
+        // service boundaries.
+        let registry = mmg_telemetry::Registry::new();
+        let n = 20;
+        let _ = simulate_mdl_with_registry(1000.0, 10.0, n, 5, &registry);
+        // Final gauge value = depth at the last arrival.
+        let depth = registry.gauge("serving_queue_depth").get();
+        assert_eq!(depth, n as f64, "last arrival must see all {n} requests in system");
     }
 
     #[test]

@@ -11,7 +11,22 @@
 //! repro --trace-out t.json …   # Perfetto trace of one SD UNet step
 //! repro --manifest run.json …  # run manifest (device, ids, counters)
 //! repro bench-snapshot         # time each experiment → BENCH_<date>.json
+//! repro serve --gpus 4 --mix sd:8,parti:2 --scheduler dynamic --slo-ms 2000
+//!                              # serving-cluster DES (see `serve` below)
 //! ```
+//!
+//! The `serve` subcommand runs one scenario on the `mmg-serve`
+//! discrete-event cluster simulator — profiler-grounded service curves,
+//! a mixed request stream, and a chosen router/scheduler — and prints
+//! the per-model latency/SLO report. Flags: `--gpus`, `--mix`
+//! (`model:weight,…`), `--arrival` (poisson | bursty | diurnal),
+//! `--rate` (requests/s; default targets 0.8 utilization),
+//! `--scheduler` (fifo | static | dynamic | pods), `--batch`,
+//! `--router` (rr | least-work | affinity), `--slo-ms` (default: 4x
+//! each model's own service time), `--duration-s`, `--seed`, and
+//! `--metrics <path>` (Prometheus dump of the `serve_*` series). One
+//! seed fixes the whole sample path, so stdout is byte-identical across
+//! runs, machines, and job counts.
 //!
 //! Experiments run on a worker pool (`--jobs`); outputs are printed and
 //! telemetry merged in experiment order, so stdout and counter totals
@@ -125,8 +140,162 @@ fn bench_snapshot(spec: &DeviceSpec, path: Option<String>) -> Result<String, Str
     Ok(path)
 }
 
+/// Runs one serving scenario on the `mmg-serve` cluster DES and prints
+/// the per-model SLO report. Deterministic: one seed fixes the sample
+/// path, so stdout is byte-identical across invocations.
+fn serve_main(args: &[String]) -> Result<(), String> {
+    use mmg_serve::{
+        simulate, ArrivalProcess, RequestMix, ScenarioCfg, SchedulerKind, ServiceProfile,
+        SloReport, SloSpec,
+    };
+
+    let mut spec = DeviceSpec::a100_80gb();
+    let mut gpus = 4usize;
+    let mut mix_spec = "sd:8,parti:2".to_string();
+    let mut arrival_name = "poisson".to_string();
+    let mut rate: Option<f64> = None;
+    let mut scheduler_name = "dynamic".to_string();
+    let mut batch = 16usize;
+    let mut router_name: Option<String> = None;
+    let mut slo_ms: Option<f64> = None;
+    let mut duration_s = 120.0f64;
+    let mut seed = 42u64;
+    let mut metrics_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        i += 1;
+        let value = args
+            .get(i)
+            .ok_or_else(|| format!("{flag} requires a value"))?;
+        match flag {
+            "--device" => {
+                spec = device_by_name(value).ok_or_else(|| format!("unknown device '{value}'"))?;
+            }
+            "--gpus" => {
+                gpus = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| "--gpus requires a positive integer".to_string())?;
+            }
+            "--mix" => mix_spec = value.clone(),
+            "--arrival" => arrival_name = value.clone(),
+            "--rate" => {
+                rate = Some(
+                    value
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|r| *r > 0.0)
+                        .ok_or_else(|| "--rate requires a positive number".to_string())?,
+                );
+            }
+            "--scheduler" => scheduler_name = value.clone(),
+            "--batch" => {
+                batch = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| "--batch requires a positive integer".to_string())?;
+            }
+            "--router" => router_name = Some(value.clone()),
+            "--slo-ms" => {
+                slo_ms = Some(
+                    value
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|s| *s > 0.0)
+                        .ok_or_else(|| "--slo-ms requires a positive number".to_string())?,
+                );
+            }
+            "--duration-s" => {
+                duration_s = value
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|d| *d > 0.0)
+                    .ok_or_else(|| "--duration-s requires a positive number".to_string())?;
+            }
+            "--seed" => {
+                seed = value
+                    .parse::<u64>()
+                    .map_err(|_| "--seed requires a non-negative integer".to_string())?;
+            }
+            "--metrics" => metrics_path = Some(value.clone()),
+            other => {
+                return Err(format!(
+                    "unknown serve flag '{other}'; expected --device | --gpus | --mix | --arrival | --rate | --scheduler | --batch | --router | --slo-ms | --duration-s | --seed | --metrics"
+                ));
+            }
+        }
+        i += 1;
+    }
+
+    let mix = RequestMix::parse(&mix_spec)?;
+    let scheduler = SchedulerKind::parse(&scheduler_name, batch)?;
+
+    // Service curves come from the real profiler (shared memo + global
+    // registry), at power-of-two batch sizes up to the scheduler's cap.
+    let ctx = ExecContext::shared(spec.clone());
+    let profiler = ctx.profiler(AttnImpl::Flash);
+    let models: Vec<ModelId> = mix.models().collect();
+    let cap = match scheduler {
+        SchedulerKind::Fifo => 1,
+        SchedulerKind::Static { batch, .. } => batch,
+        SchedulerKind::Dynamic { max_batch } | SchedulerKind::Pods { max_batch } => max_batch,
+    };
+    let batches: Vec<usize> = (0..).map(|i| 1usize << i).take_while(|&b| b <= cap).collect();
+    let mut profile = ServiceProfile::from_profiler(&profiler, &models, &batches);
+    if matches!(scheduler, SchedulerKind::Pods { .. }) {
+        let factors: Vec<(ModelId, f64)> = models
+            .iter()
+            .map(|&m| (m, mmg_core::experiments::serve_sweep::pod_factor(&profiler, m)))
+            .collect();
+        profile = profile.with_pod_factors(&factors);
+    }
+
+    let mean_service_s = profile.mean_base_s(&mix);
+    let rate = rate.unwrap_or(0.8 * gpus as f64 / mean_service_s);
+    let arrival = ArrivalProcess::parse(&arrival_name, rate)?;
+    let slo = match slo_ms {
+        Some(ms) => SloSpec::FixedS(ms / 1e3),
+        None => SloSpec::ServiceMultiple(4.0),
+    };
+    let mut cfg = ScenarioCfg::new(gpus, mix, arrival, scheduler, slo, duration_s, seed);
+    if let Some(name) = &router_name {
+        cfg.router = mmg_serve::RouterKind::parse(name)?;
+    }
+
+    let result = simulate(&cfg, &profile, &ctx.registry);
+    println!(
+        "device: {} | gpus: {gpus} | mix: {mix_spec} | arrival: {arrival_name} @ {rate:.3}/s",
+        spec.name
+    );
+    println!(
+        "scheduler: {} (batch cap {cap}) | slo: {} | duration: {duration_s}s | seed: {seed}\n",
+        scheduler.name(),
+        match slo {
+            SloSpec::FixedS(s) => format!("{:.0} ms", s * 1e3),
+            _ => "4.0x service".to_string(),
+        },
+    );
+    println!("{}", SloReport::from_result(&result).render());
+    if let Some(path) = &metrics_path {
+        write_file(path, &ctx.registry.render_prometheus(), "metrics")?;
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("serve") {
+        return match serve_main(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let mut spec = DeviceSpec::a100_80gb();
     let mut json = false;
     let mut bench = false;
@@ -208,7 +377,8 @@ fn main() -> ExitCode {
     let mut seen = std::collections::HashSet::new();
     targets.retain(|id| seen.insert(*id));
     if targets.is_empty() {
-        eprintln!("usage: repro [--device <name>] [--jobs <n>] [--json] [--metrics <path>] [--trace-out <path>] [--manifest <path>] <bench-snapshot | all | fig1 | table1 | fig4 | fig5 | fig6 | table2 | table3 | fig7 | fig8 | fig9 | fig11 | fig12 | fig13 | secv | flashdec | pods | batch | tp | ablations>…");
+        eprintln!("usage: repro [--device <name>] [--jobs <n>] [--json] [--metrics <path>] [--trace-out <path>] [--manifest <path>] <bench-snapshot | all | fig1 | table1 | fig4 | fig5 | fig6 | table2 | table3 | fig7 | fig8 | fig9 | fig11 | fig12 | fig13 | secv | flashdec | pods | batch | tp | ablations | serve-sweep>…");
+        eprintln!("       repro serve [--device <name>] [--gpus <n>] [--mix <model:weight,…>] [--arrival <poisson|bursty|diurnal>] [--rate <rps>] [--scheduler <fifo|static|dynamic|pods>] [--batch <n>] [--router <rr|least-work|affinity>] [--slo-ms <ms>] [--duration-s <s>] [--seed <n>] [--metrics <path>]");
         return ExitCode::FAILURE;
     }
     let jobs = jobs.unwrap_or_else(|| {

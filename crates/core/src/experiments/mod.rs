@@ -15,6 +15,7 @@ pub mod fig9;
 pub mod flashdec;
 pub mod pods;
 pub mod secv;
+pub mod serve_sweep;
 pub mod table1;
 pub mod table2;
 pub mod table3;

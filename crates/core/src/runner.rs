@@ -7,8 +7,8 @@ use mmg_gpu::DeviceSpec;
 
 use crate::engine::ExecContext;
 use crate::experiments::{
-    ablations, batch, fig1, fig11, fig12, fig13, fig4, fig5, fig6, fig7, fig8, fig9, flashdec, pods, secv, table1,
-    table2, table3, tp,
+    ablations, batch, fig1, fig11, fig12, fig13, fig4, fig5, fig6, fig7, fig8, fig9, flashdec, pods, secv,
+    serve_sweep, table1, table2, table3, tp,
 };
 
 /// Identifier of one reproducible artifact.
@@ -52,11 +52,13 @@ pub enum ExperimentId {
     Tp,
     /// Extension: conv-algorithm and precision ablations.
     Ablations,
+    /// Extension: serving-cluster scheduler sweep on the DES.
+    ServeSweep,
 }
 
 impl ExperimentId {
     /// All experiments in paper order.
-    pub const ALL: [ExperimentId; 19] = [
+    pub const ALL: [ExperimentId; 20] = [
         ExperimentId::Fig1,
         ExperimentId::Table1,
         ExperimentId::Fig4,
@@ -76,6 +78,7 @@ impl ExperimentId {
         ExperimentId::Batch,
         ExperimentId::Tp,
         ExperimentId::Ablations,
+        ExperimentId::ServeSweep,
     ];
 }
 
@@ -101,6 +104,7 @@ impl fmt::Display for ExperimentId {
             ExperimentId::Batch => "batch",
             ExperimentId::Tp => "tp",
             ExperimentId::Ablations => "ablations",
+            ExperimentId::ServeSweep => "serve-sweep",
         };
         f.write_str(s)
     }
@@ -171,6 +175,7 @@ pub fn run_experiment_with(id: ExperimentId, ctx: &ExecContext) -> String {
         ExperimentId::Batch => batch::render(&batch::run_ctx(ctx, &batch::default_batches())),
         ExperimentId::Tp => tp::render(&tp::run(spec, &tp::default_widths())),
         ExperimentId::Ablations => ablations::render(&ablations::run_ctx(ctx)),
+        ExperimentId::ServeSweep => serve_sweep::render(&serve_sweep::run_ctx(ctx)),
     }
 }
 
@@ -218,6 +223,7 @@ pub fn run_experiment_value_with(id: ExperimentId, ctx: &ExecContext) -> serde_j
         ExperimentId::Batch => v(&batch::run_ctx(ctx, &batch::default_batches())),
         ExperimentId::Tp => v(&tp::run(spec, &tp::default_widths())),
         ExperimentId::Ablations => v(&ablations::run_ctx(ctx)),
+        ExperimentId::ServeSweep => v(&serve_sweep::run_ctx(ctx)),
     }
 }
 

@@ -1,0 +1,69 @@
+//! End-to-end determinism of the `repro serve` subcommand and the
+//! `serve-sweep` experiment: one seed fixes the entire sample path, so
+//! stdout must be byte-identical across invocations and `--jobs`
+//! counts, and different seeds must produce different sample paths.
+
+use std::process::Command;
+
+fn repro(args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("repro binary runs");
+    assert!(
+        out.status.success(),
+        "repro {args:?} exited with {:?}: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("stdout is UTF-8")
+}
+
+const SERVE: &[&str] = &[
+    "serve",
+    "--gpus",
+    "2",
+    "--mix",
+    "sd:8,parti:2",
+    "--scheduler",
+    "dynamic",
+    "--slo-ms",
+    "2000",
+    "--duration-s",
+    "20",
+];
+
+#[test]
+fn serve_is_byte_identical_for_one_seed() {
+    let a = repro(&[SERVE, &["--seed", "7"]].concat());
+    let b = repro(&[SERVE, &["--seed", "7"]].concat());
+    assert_eq!(a, b, "same seed, different stdout");
+    assert!(a.contains("p99") && a.contains("SLO attain"), "report shape:\n{a}");
+    assert!(a.contains("sd") && a.contains("parti"), "per-model rows:\n{a}");
+}
+
+#[test]
+fn serve_seed_changes_the_sample_path() {
+    let a = repro(&[SERVE, &["--seed", "7"]].concat());
+    let b = repro(&[SERVE, &["--seed", "8"]].concat());
+    assert_ne!(a, b, "different seeds must differ");
+}
+
+#[test]
+fn serve_sweep_is_identical_across_job_counts() {
+    let serial = repro(&["serve-sweep", "--jobs", "1"]);
+    let parallel = repro(&["serve-sweep", "--jobs", "4"]);
+    assert_eq!(serial, parallel, "--jobs changes serve-sweep stdout");
+    assert!(serial.contains("dynamic@0.95"), "sweep grid present:\n{serial}");
+}
+
+#[test]
+fn serve_rejects_bad_flags() {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["serve", "--scheduler", "nope"])
+        .output()
+        .expect("repro binary runs");
+    assert!(!out.status.success(), "unknown scheduler must fail");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown scheduler"), "stderr: {err}");
+}

@@ -1,0 +1,54 @@
+//! `mmg-serve` — a deterministic discrete-event simulation of a
+//! multi-GPU inference cluster serving the paper's model suite.
+//!
+//! The paper closes on "designing efficient and *deployable* systems"
+//! for TTI/TTV workloads; this crate is the deployment story. It
+//! simulates a fleet of GPUs serving a mixed request stream of suite
+//! models, with service times grounded in the repo's roofline profiler
+//! (per-model, per-batch-size cost curves — not hand-picked constants),
+//! so the paper's system observations surface as cluster-level effects:
+//!
+//! - **Batching regimes** (Fig. 5): memory-bandwidth-bound
+//!   autoregressive decode amortizes dramatically with batch size, the
+//!   compute-bound diffusion UNet barely — so a dynamic batcher wins
+//!   big on Parti/LLaMA traffic and modestly on Stable Diffusion.
+//! - **Latency heterogeneity** (Table I / Fig. 4): the mix spans two
+//!   orders of magnitude of service time, which is why SLOs here can be
+//!   per-model multiples rather than one fixed deadline.
+//! - **Pod co-scheduling** (Section V): overlapping compute- and
+//!   memory-bound stages of concurrent requests buys throughput at
+//!   load; the `pods` scheduler models that with per-model factors.
+//!
+//! Layering:
+//!
+//! - [`des`] — the event-queue kernel: virtual clock, deterministic
+//!   `(time, insertion-seq)` ordering, no wall clock anywhere.
+//! - [`workload`] — Poisson / bursty (Markov-modulated) / diurnal
+//!   arrival processes and the weighted model [`RequestMix`].
+//! - [`profile`] — [`ServiceProfile`]: per-model batch-size cost curves
+//!   queried from the real profiler.
+//! - [`cluster`] — routers (round-robin, least-work, model-affinity),
+//!   schedulers (FIFO, static, deadline-aware dynamic, pods), SLOs,
+//!   admission control and abandonment; [`simulate`] runs a scenario.
+//! - [`report`] — per-model p50/p95/p99, SLO attainment, goodput.
+//!
+//! Determinism: one seed fixes the entire sample path. Runs are
+//! byte-identical across processes and thread counts — the simulation
+//! itself is single-threaded and all randomness flows from seeded
+//! [`rand::rngs::StdRng`] streams.
+
+#![deny(missing_docs)]
+
+pub mod cluster;
+pub mod des;
+pub mod profile;
+pub mod report;
+pub mod workload;
+
+pub use cluster::{
+    simulate, RequestRecord, RouterKind, ScenarioCfg, SchedulerKind, SimResult, SloSpec,
+};
+pub use des::EventQueue;
+pub use profile::{ServiceCurve, ServiceProfile};
+pub use report::{ModelSlo, SloReport};
+pub use workload::{model_short_name, parse_model, ArrivalGen, ArrivalProcess, RequestMix};

@@ -1,0 +1,385 @@
+//! Profiler-grounded per-model service curves.
+//!
+//! A [`ServiceCurve`] answers "how long does one GPU take to serve a
+//! batch of `b` requests of model M?" with numbers that come from the
+//! repo's real roofline profiler, not hand-picked constants. For each
+//! model the dominant *repeated* stages (the denoising loop, the decode
+//! loop) are re-profiled at several batch sizes — preserving the paper's
+//! batching regimes: memory-bandwidth-bound autoregressive decode
+//! amortizes dramatically with batch, while the compute-bound diffusion
+//! UNet gains little (Fig. 5's "low batch size" qualifier). The
+//! once-per-request stages (text encoders, VAE decoders) scale linearly.
+
+use mmg_models::blocks::{batched_decode_step_graph, unet_step_graph, windowed_encoder_graph};
+use mmg_models::suite;
+use mmg_models::ModelId;
+use mmg_profiler::Profiler;
+
+use crate::workload::RequestMix;
+
+/// GPU seconds to serve a batch of same-model requests, as a function of
+/// batch size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceCurve {
+    /// The model the curve describes.
+    pub model: ModelId,
+    /// `(batch, total seconds for the whole batch)` points, ascending by
+    /// batch, starting at batch 1.
+    pub points: Vec<(usize, f64)>,
+    /// Throughput multiplier from Section-V pod co-scheduling (≥ 1;
+    /// 1 = no pods). Applied by the pod scheduler, not baked into the
+    /// points.
+    pub pod_factor: f64,
+}
+
+impl ServiceCurve {
+    /// A curve from measured points.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the points start at batch 1, ascend strictly in
+    /// batch, and carry positive non-decreasing total times.
+    #[must_use]
+    pub fn new(model: ModelId, points: Vec<(usize, f64)>) -> Self {
+        assert!(!points.is_empty(), "{model}: service curve needs points");
+        assert_eq!(points[0].0, 1, "{model}: curve must start at batch 1");
+        for w in points.windows(2) {
+            assert!(w[1].0 > w[0].0, "{model}: batches must ascend");
+            assert!(w[1].1 >= w[0].1, "{model}: batch time cannot shrink");
+        }
+        assert!(points[0].1 > 0.0, "{model}: service time must be positive");
+        ServiceCurve { model, points, pod_factor: 1.0 }
+    }
+
+    /// A batching-free curve: a batch of `b` takes `b × service_s`
+    /// (sequential service — the classical M/D/1 assumption).
+    #[must_use]
+    pub fn constant(model: ModelId, service_s: f64) -> Self {
+        assert!(service_s > 0.0, "service time must be positive");
+        ServiceCurve { model, points: vec![(1, service_s)], pod_factor: 1.0 }
+    }
+
+    /// The same curve with a pod co-scheduling factor attached.
+    #[must_use]
+    pub fn with_pod_factor(mut self, pod_factor: f64) -> Self {
+        assert!(pod_factor >= 1.0, "pod factor must be >= 1");
+        self.pod_factor = pod_factor;
+        self
+    }
+
+    /// Seconds one GPU needs for a batch of `b` requests: linear
+    /// interpolation between measured points, linear extrapolation past
+    /// the last point at its marginal per-request slope (a single-point
+    /// curve extrapolates at the batch-1 cost, i.e. no batching benefit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is zero.
+    #[must_use]
+    pub fn batch_s(&self, b: usize) -> f64 {
+        assert!(b > 0, "batch must be positive");
+        let pts = &self.points;
+        if let Some(&(_, t)) = pts.iter().find(|(pb, _)| *pb == b) {
+            return t;
+        }
+        let last = pts[pts.len() - 1];
+        if b > last.0 {
+            let slope = if pts.len() >= 2 {
+                let prev = pts[pts.len() - 2];
+                (last.1 - prev.1) / (last.0 - prev.0) as f64
+            } else {
+                last.1
+            };
+            return last.1 + slope * (b - last.0) as f64;
+        }
+        // b below the last point and not measured: interpolate within the
+        // bracketing segment (b > 1 here since batch 1 is always a point).
+        let hi = pts.iter().position(|(pb, _)| *pb > b).expect("bracketing point");
+        let (b0, t0) = pts[hi - 1];
+        let (b1, t1) = pts[hi];
+        let frac = (b - b0) as f64 / (b1 - b0) as f64;
+        t0 + frac * (t1 - t0)
+    }
+
+    /// Per-request seconds at batch `b`.
+    #[must_use]
+    pub fn per_item_s(&self, b: usize) -> f64 {
+        self.batch_s(b) / b as f64
+    }
+
+    /// Batch-1 (unbatched) service seconds.
+    #[must_use]
+    pub fn base_s(&self) -> f64 {
+        self.points[0].1
+    }
+}
+
+/// The per-model service curves of a serving scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceProfile {
+    /// One curve per model in the scenario mix.
+    pub curves: Vec<ServiceCurve>,
+}
+
+impl ServiceProfile {
+    /// A profile from explicit curves.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty or duplicate-model curve set.
+    #[must_use]
+    pub fn new(curves: Vec<ServiceCurve>) -> Self {
+        assert!(!curves.is_empty(), "service profile needs curves");
+        for (i, c) in curves.iter().enumerate() {
+            assert!(
+                curves[..i].iter().all(|o| o.model != c.model),
+                "duplicate curve for {}",
+                c.model
+            );
+        }
+        ServiceProfile { curves }
+    }
+
+    /// Builds curves for `models` by querying `profiler` at each batch
+    /// size in `batches`.
+    ///
+    /// The decomposition per model: profile the full batch-1 pipeline
+    /// once, re-profile the dominant repeated ("hot") stages at batch
+    /// `b`, and charge the remaining once-per-request stages linearly —
+    /// `batch_s(b) = (pipe₁ − hot₁)·b + hot_b`. For the parallel-decoding
+    /// transformers the batched stage uses windowed attention with the
+    /// window set to one request's token count, which models a batch
+    /// of independent requests exactly (no cross-request attention).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batches` is empty (batch 1 is added automatically when
+    /// absent).
+    #[must_use]
+    pub fn from_profiler(profiler: &Profiler, models: &[ModelId], batches: &[usize]) -> Self {
+        assert!(!batches.is_empty(), "need at least one batch size");
+        let mut batches: Vec<usize> = batches.to_vec();
+        if !batches.contains(&1) {
+            batches.push(1);
+        }
+        batches.sort_unstable();
+        batches.dedup();
+
+        let curves = models
+            .iter()
+            .map(|&model| {
+                let pipe1 = suite::build(model).profile(profiler).total_time_s();
+                let hot1 = hot_stage_s(profiler, model, 1);
+                let overhead_s = (pipe1 - hot1).max(0.0);
+                let points = batches
+                    .iter()
+                    .map(|&b| (b, overhead_s * b as f64 + hot_stage_s(profiler, model, b)))
+                    .collect();
+                ServiceCurve::new(model, points)
+            })
+            .collect();
+        ServiceProfile::new(curves)
+    }
+
+    /// The curve for one model.
+    #[must_use]
+    pub fn curve(&self, model: ModelId) -> Option<&ServiceCurve> {
+        self.curves.iter().find(|c| c.model == model)
+    }
+
+    /// Mix-weighted mean batch-1 service seconds — the per-request GPU
+    /// cost an unbatched cluster pays, used to translate a target
+    /// utilization into an offered arrival rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mix references a model without a curve.
+    #[must_use]
+    pub fn mean_base_s(&self, mix: &RequestMix) -> f64 {
+        mix.entries()
+            .iter()
+            .map(|&(model, _)| {
+                let c = self
+                    .curve(model)
+                    .unwrap_or_else(|| panic!("no service curve for {model}"));
+                mix.share(model) * c.base_s()
+            })
+            .sum()
+    }
+
+    /// Attaches pod factors (`(model, factor)`) to the matching curves.
+    #[must_use]
+    pub fn with_pod_factors(mut self, factors: &[(ModelId, f64)]) -> Self {
+        for c in &mut self.curves {
+            if let Some(&(_, f)) = factors.iter().find(|(m, _)| *m == c.model) {
+                c.pod_factor = f.max(1.0);
+            }
+        }
+        self
+    }
+}
+
+/// Seconds the dominant repeated stages of `model` take for a batch of
+/// `b` requests, via the profiler.
+fn hot_stage_s(profiler: &Profiler, model: ModelId, b: usize) -> f64 {
+    let t = |graph| profiler.profile(&graph).total_time_s();
+    match model {
+        ModelId::StableDiffusion => {
+            let cfg = suite::stable_diffusion::StableDiffusionConfig::default();
+            cfg.steps as f64 * t(unet_step_graph(&cfg.unet(), cfg.latent_res(), b))
+        }
+        ModelId::ProdImage => {
+            let cfg = suite::prod_image::ProdImageConfig::default();
+            cfg.steps as f64 * t(unet_step_graph(&cfg.unet(), cfg.latent_res(), b))
+        }
+        ModelId::Imagen => {
+            let cfg = suite::imagen::ImagenConfig::default();
+            cfg.base_steps as f64 * t(unet_step_graph(&cfg.base_unet(), 64, b))
+                + cfg.sr1_steps as f64 * t(unet_step_graph(&cfg.sr1_unet(), 256, b))
+                + cfg.sr2_steps as f64 * t(unet_step_graph(&cfg.sr2_unet(), 1024, b))
+        }
+        ModelId::MakeAVideo => {
+            // The UNet's third axis is the frame count; a batch of b videos
+            // is b×frames independent frames.
+            let cfg = suite::make_a_video::MakeAVideoConfig::default();
+            cfg.base_steps as f64
+                * t(unet_step_graph(&cfg.base_unet(), cfg.base_res, cfg.frames * b))
+                + cfg.sr_steps as f64
+                    * t(unet_step_graph(&cfg.sr_unet(), cfg.sr_res, cfg.frames * b))
+        }
+        ModelId::Parti => {
+            let cfg = suite::parti::PartiConfig::default();
+            let total = cfg.image_grid * cfg.image_grid;
+            // Mid-generation KV length stands for the linear ramp.
+            total as f64 * t(batched_decode_step_graph(&cfg.decoder, total / 2, b))
+        }
+        ModelId::Llama2 => {
+            let cfg = suite::llama::Llama2Config::default();
+            let kv = cfg.prompt_len + cfg.gen_tokens / 2;
+            cfg.gen_tokens as f64 * t(batched_decode_step_graph(&cfg.transformer, kv, b))
+        }
+        ModelId::Muse => {
+            // Window = one request's token count ⇒ b independent requests,
+            // no cross-request attention.
+            let cfg = suite::muse::MuseConfig::default();
+            let base_tokens = cfg.base_grid * cfg.base_grid;
+            let sr_tokens = cfg.sr_grid * cfg.sr_grid;
+            cfg.base_steps as f64
+                * t(windowed_encoder_graph(&cfg.base, base_tokens * b, base_tokens))
+                + cfg.sr_steps as f64
+                    * t(windowed_encoder_graph(&cfg.sr, sr_tokens * b, cfg.sr_window))
+        }
+        ModelId::Phenaki => {
+            let cfg = suite::phenaki::PhenakiConfig::default();
+            let tokens = cfg.video_tokens();
+            cfg.maskgit_steps as f64
+                * t(windowed_encoder_graph(&cfg.maskgit, tokens * b, tokens))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmg_attn::AttnImpl;
+    use mmg_gpu::DeviceSpec;
+
+    fn profiler() -> Profiler {
+        Profiler::new(DeviceSpec::a100_80gb(), AttnImpl::Flash)
+    }
+
+    #[test]
+    fn curves_cover_all_models_and_ascend() {
+        let p = ServiceProfile::from_profiler(&profiler(), &ModelId::ALL, &[1, 4, 16]);
+        assert_eq!(p.curves.len(), ModelId::ALL.len());
+        for c in &p.curves {
+            assert_eq!(c.points.len(), 3);
+            assert!(c.base_s() > 1e-4, "{}: implausibly fast", c.model);
+            for w in c.points.windows(2) {
+                assert!(w[1].1 >= w[0].1, "{}: batch time shrank", c.model);
+            }
+        }
+    }
+
+    #[test]
+    fn decode_batches_better_than_diffusion() {
+        // Fig. 5's regimes must survive into the serving curves: batching
+        // 16 Parti requests costs far less than 16× batch-1, while the
+        // compute-bound SD UNet sees only modest amortization.
+        let p = ServiceProfile::from_profiler(
+            &profiler(),
+            &[ModelId::StableDiffusion, ModelId::Parti],
+            &[1, 4, 16],
+        );
+        let sd = p.curve(ModelId::StableDiffusion).unwrap();
+        let parti = p.curve(ModelId::Parti).unwrap();
+        let sd_amort = sd.base_s() / sd.per_item_s(16);
+        let parti_amort = parti.base_s() / parti.per_item_s(16);
+        assert!(parti_amort > 4.0 * sd_amort, "parti {parti_amort} vs sd {sd_amort}");
+        assert!(sd_amort >= 1.0, "batching cannot hurt: {sd_amort}");
+    }
+
+    #[test]
+    fn hbm_bandwidth_shifts_serving_latency() {
+        // The acceptance-criteria test: service latencies come from the
+        // device roofline. Halving HBM bandwidth must slow the
+        // memory-bound decode curve, batch-1 latency included.
+        let fast = profiler();
+        let mut slow_spec = DeviceSpec::a100_80gb();
+        slow_spec.hbm_bandwidth_gbs /= 2.0;
+        let slow = Profiler::new(slow_spec, AttnImpl::Flash);
+        let models = [ModelId::Parti, ModelId::StableDiffusion];
+        let pf = ServiceProfile::from_profiler(&fast, &models, &[1, 8]);
+        let ps = ServiceProfile::from_profiler(&slow, &models, &[1, 8]);
+        for m in models {
+            let f = pf.curve(m).unwrap();
+            let s = ps.curve(m).unwrap();
+            assert!(
+                s.base_s() > f.base_s() * 1.05,
+                "{m}: halving HBM bandwidth should slow serving ({} vs {})",
+                s.base_s(),
+                f.base_s()
+            );
+        }
+    }
+
+    #[test]
+    fn interpolation_and_extrapolation() {
+        let c = ServiceCurve::new(ModelId::StableDiffusion, vec![(1, 1.0), (3, 2.0), (5, 2.5)]);
+        assert_eq!(c.batch_s(3), 2.0);
+        assert!((c.batch_s(2) - 1.5).abs() < 1e-12);
+        assert!((c.batch_s(4) - 2.25).abs() < 1e-12);
+        // Past the last point: marginal slope of the last segment.
+        assert!((c.batch_s(7) - 3.0).abs() < 1e-12);
+        // Constant curve: no batching benefit.
+        let k = ServiceCurve::constant(ModelId::Parti, 0.5);
+        assert!((k.batch_s(4) - 2.0).abs() < 1e-12);
+        assert!((k.per_item_s(4) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_base_weights_by_mix_share() {
+        let p = ServiceProfile::new(vec![
+            ServiceCurve::constant(ModelId::StableDiffusion, 1.0),
+            ServiceCurve::constant(ModelId::Parti, 3.0),
+        ]);
+        let mix = RequestMix::new(vec![
+            (ModelId::StableDiffusion, 3.0),
+            (ModelId::Parti, 1.0),
+        ]);
+        assert!((p.mean_base_s(&mix) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pod_factors_attach() {
+        let p = ServiceProfile::new(vec![ServiceCurve::constant(ModelId::StableDiffusion, 1.0)])
+            .with_pod_factors(&[(ModelId::StableDiffusion, 1.4), (ModelId::Parti, 2.0)]);
+        assert!((p.curve(ModelId::StableDiffusion).unwrap().pod_factor - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "start at batch 1")]
+    fn curve_requires_batch_one() {
+        let _ = ServiceCurve::new(ModelId::Muse, vec![(2, 1.0)]);
+    }
+}

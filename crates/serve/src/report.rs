@@ -1,0 +1,202 @@
+//! SLO accounting: turning a [`SimResult`] into per-model serving
+//! statistics and a rendered report.
+
+use mmg_profiler::report::render_table;
+use mmg_telemetry::quantile_sorted;
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::{RequestRecord, SimResult};
+use crate::workload::model_short_name;
+
+/// Serving statistics for one model in the mix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelSlo {
+    /// Short model name (`sd`, `parti`, …).
+    pub model: String,
+    /// Completed requests.
+    pub completed: u64,
+    /// Mean queueing delay, seconds.
+    pub mean_wait_s: f64,
+    /// Median end-to-end latency, seconds.
+    pub p50_s: f64,
+    /// 95th-percentile latency, seconds.
+    pub p95_s: f64,
+    /// 99th-percentile latency, seconds.
+    pub p99_s: f64,
+    /// Fraction of completions inside the deadline.
+    pub slo_attainment: f64,
+    /// Mean batch size the model's requests were served in.
+    pub mean_batch: f64,
+}
+
+/// Cluster-wide serving report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloReport {
+    /// Per-model rows, mix declaration order.
+    pub models: Vec<ModelSlo>,
+    /// Completed requests.
+    pub completed: u64,
+    /// Admission-control drops.
+    pub dropped: u64,
+    /// Queue abandonments.
+    pub abandoned: u64,
+    /// Completions per second over the horizon.
+    pub throughput_rps: f64,
+    /// On-time completions per second over the horizon.
+    pub goodput_rps: f64,
+    /// Overall deadline attainment across completions.
+    pub slo_attainment: f64,
+    /// Mean cluster (GPU-time) utilization.
+    pub utilization: f64,
+}
+
+impl SloReport {
+    /// Builds the report from a finished run. Models appear in first-
+    /// completion order (callers pass results from a fixed mix, so this
+    /// is stable across runs of the same scenario).
+    #[must_use]
+    pub fn from_result(r: &SimResult) -> Self {
+        let mut order: Vec<&'static str> = Vec::new();
+        for rec in &r.records {
+            let name = model_short_name(rec.model);
+            if !order.contains(&name) {
+                order.push(name);
+            }
+        }
+        let models = order
+            .iter()
+            .map(|&name| {
+                let recs: Vec<&RequestRecord> = r
+                    .records
+                    .iter()
+                    .filter(|rec| model_short_name(rec.model) == name)
+                    .collect();
+                let mut lat: Vec<f64> = recs.iter().map(|rec| rec.latency_s()).collect();
+                lat.sort_by(f64::total_cmp);
+                let n = recs.len() as f64;
+                ModelSlo {
+                    model: name.to_string(),
+                    completed: recs.len() as u64,
+                    mean_wait_s: recs.iter().map(|rec| rec.wait_s()).sum::<f64>() / n,
+                    p50_s: quantile_sorted(&lat, 0.50),
+                    p95_s: quantile_sorted(&lat, 0.95),
+                    p99_s: quantile_sorted(&lat, 0.99),
+                    slo_attainment: recs.iter().filter(|rec| rec.on_time()).count() as f64 / n,
+                    mean_batch: recs.iter().map(|rec| rec.batch as f64).sum::<f64>() / n,
+                }
+            })
+            .collect();
+        SloReport {
+            models,
+            completed: r.records.len() as u64,
+            dropped: r.dropped,
+            abandoned: r.abandoned,
+            throughput_rps: r.throughput_rps(),
+            goodput_rps: r.goodput_rps(),
+            slo_attainment: r.slo_attainment(),
+            utilization: r.utilization(),
+        }
+    }
+
+    /// Renders the per-model table plus the cluster summary line.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let rows: Vec<(String, Vec<String>)> = self
+            .models
+            .iter()
+            .map(|m| {
+                (
+                    m.model.clone(),
+                    vec![
+                        format!("{}", m.completed),
+                        format!("{:.0} ms", m.mean_wait_s * 1e3),
+                        format!("{:.0} ms", m.p50_s * 1e3),
+                        format!("{:.0} ms", m.p95_s * 1e3),
+                        format!("{:.0} ms", m.p99_s * 1e3),
+                        format!("{:.1}%", m.slo_attainment * 100.0),
+                        format!("{:.1}", m.mean_batch),
+                    ],
+                )
+            })
+            .collect();
+        let table = render_table(
+            &["Model", "Done", "Mean wait", "p50", "p95", "p99", "SLO attain", "Mean batch"],
+            &rows,
+        );
+        format!(
+            "{table}\ncluster: {} done, {} dropped, {} abandoned | throughput {:.2} req/s, \
+             goodput {:.2} req/s | SLO attainment {:.1}% | utilization {:.1}%\n",
+            self.completed,
+            self.dropped,
+            self.abandoned,
+            self.throughput_rps,
+            self.goodput_rps,
+            self.slo_attainment * 100.0,
+            self.utilization * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{simulate, ScenarioCfg, SchedulerKind, SloSpec};
+    use crate::profile::{ServiceCurve, ServiceProfile};
+    use crate::workload::{ArrivalProcess, RequestMix};
+    use mmg_models::ModelId;
+    use mmg_telemetry::Registry;
+
+    fn run() -> SimResult {
+        let mix = RequestMix::new(vec![
+            (ModelId::StableDiffusion, 3.0),
+            (ModelId::Parti, 1.0),
+        ]);
+        let profile = ServiceProfile::new(vec![
+            ServiceCurve::constant(ModelId::StableDiffusion, 0.3),
+            ServiceCurve::constant(ModelId::Parti, 0.9),
+        ]);
+        let cfg = ScenarioCfg::new(
+            2,
+            mix,
+            ArrivalProcess::poisson(2.0),
+            SchedulerKind::Fifo,
+            SloSpec::FixedS(2.0),
+            100.0,
+            11,
+        );
+        simulate(&cfg, &profile, &Registry::new())
+    }
+
+    #[test]
+    fn report_covers_every_model_and_orders_quantiles() {
+        let rep = SloReport::from_result(&run());
+        assert_eq!(rep.models.len(), 2);
+        for m in &rep.models {
+            assert!(m.completed > 0, "{}", m.model);
+            assert!(m.p50_s <= m.p95_s && m.p95_s <= m.p99_s, "{}", m.model);
+            assert!((0.0..=1.0).contains(&m.slo_attainment));
+        }
+        assert_eq!(
+            rep.completed,
+            rep.models.iter().map(|m| m.completed).sum::<u64>()
+        );
+        assert!(rep.goodput_rps <= rep.throughput_rps + 1e-12);
+    }
+
+    #[test]
+    fn report_serializes() {
+        let rep = SloReport::from_result(&run());
+        let json = serde_json::to_string(&rep).unwrap();
+        let back: SloReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(rep, back);
+    }
+
+    #[test]
+    fn render_mentions_models_and_summary() {
+        let text = SloReport::from_result(&run()).render();
+        assert!(text.contains("sd"));
+        assert!(text.contains("parti"));
+        assert!(text.contains("goodput"));
+        assert!(text.contains("SLO attainment"));
+    }
+}

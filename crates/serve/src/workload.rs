@@ -1,0 +1,500 @@
+//! Workload generators: arrival processes and the request model mix.
+//!
+//! Three arrival processes cover the serving regimes the paper's fleet
+//! data motivates: steady [`ArrivalProcess::Poisson`] traffic, bursty
+//! Markov-modulated on/off traffic (flash crowds), and a diurnal
+//! sinusoidal rate (the day/night cycle of a production fleet, with the
+//! period compressed to simulation scale). All sampling is driven by a
+//! seeded [`StdRng`] — the same seed always produces the same arrival
+//! sample path.
+
+use mmg_models::ModelId;
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// An arrival process with a configurable mean offered rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals at a constant rate.
+    Poisson {
+        /// Mean arrival rate, requests/second.
+        rate_rps: f64,
+    },
+    /// Markov-modulated on/off arrivals: bursts at `burst_factor` times
+    /// the mean rate alternate with quieter phases, with exponentially
+    /// distributed phase sojourns. The quiet-phase rate is solved so the
+    /// long-run mean stays `rate_rps` (clamped at zero when the burst
+    /// factor saturates the duty cycle).
+    Bursty {
+        /// Long-run mean arrival rate, requests/second.
+        rate_rps: f64,
+        /// Burst-phase rate multiplier (≥ 1).
+        burst_factor: f64,
+        /// Mean burst-phase duration, seconds.
+        mean_burst_s: f64,
+        /// Mean quiet-phase duration, seconds.
+        mean_idle_s: f64,
+    },
+    /// Sinusoidally modulated rate `λ(t) = rate·(1 + amp·sin(2πt/T))`,
+    /// sampled by thinning against the peak rate.
+    Diurnal {
+        /// Mean arrival rate, requests/second.
+        rate_rps: f64,
+        /// Relative modulation amplitude in `[0, 1)`.
+        amplitude: f64,
+        /// Cycle period, seconds.
+        period_s: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// A Poisson process at `rate_rps`.
+    #[must_use]
+    pub fn poisson(rate_rps: f64) -> Self {
+        ArrivalProcess::Poisson { rate_rps }
+    }
+
+    /// The default bursty shape at a given mean rate: 3x bursts lasting
+    /// 5 s on average, separated by 10 s quiet phases on average.
+    #[must_use]
+    pub fn bursty(rate_rps: f64) -> Self {
+        ArrivalProcess::Bursty {
+            rate_rps,
+            burst_factor: 3.0,
+            mean_burst_s: 5.0,
+            mean_idle_s: 10.0,
+        }
+    }
+
+    /// The default diurnal shape at a given mean rate: ±60% modulation
+    /// over a 120 s simulated "day".
+    #[must_use]
+    pub fn diurnal(rate_rps: f64) -> Self {
+        ArrivalProcess::Diurnal { rate_rps, amplitude: 0.6, period_s: 120.0 }
+    }
+
+    /// Builds the named default shape (`poisson` | `bursty` | `diurnal`)
+    /// at a mean rate.
+    pub fn parse(name: &str, rate_rps: f64) -> Result<Self, String> {
+        match name.to_lowercase().as_str() {
+            "poisson" => Ok(ArrivalProcess::poisson(rate_rps)),
+            "bursty" => Ok(ArrivalProcess::bursty(rate_rps)),
+            "diurnal" => Ok(ArrivalProcess::diurnal(rate_rps)),
+            other => Err(format!(
+                "unknown arrival process '{other}'; expected poisson | bursty | diurnal"
+            )),
+        }
+    }
+
+    /// Long-run mean arrival rate, requests/second.
+    #[must_use]
+    pub fn mean_rate_rps(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate_rps }
+            | ArrivalProcess::Bursty { rate_rps, .. }
+            | ArrivalProcess::Diurnal { rate_rps, .. } => rate_rps,
+        }
+    }
+
+    /// The same process with its mean rate replaced.
+    #[must_use]
+    pub fn with_rate(self, new_rate_rps: f64) -> Self {
+        match self {
+            ArrivalProcess::Poisson { .. } => ArrivalProcess::Poisson { rate_rps: new_rate_rps },
+            ArrivalProcess::Bursty { burst_factor, mean_burst_s, mean_idle_s, .. } => {
+                ArrivalProcess::Bursty {
+                    rate_rps: new_rate_rps,
+                    burst_factor,
+                    mean_burst_s,
+                    mean_idle_s,
+                }
+            }
+            ArrivalProcess::Diurnal { amplitude, period_s, .. } => {
+                ArrivalProcess::Diurnal { rate_rps: new_rate_rps, amplitude, period_s }
+            }
+        }
+    }
+}
+
+/// Stateful arrival-time sampler for one [`ArrivalProcess`].
+#[derive(Debug)]
+pub struct ArrivalGen {
+    process: ArrivalProcess,
+    rng: StdRng,
+    uniform: Uniform<f64>,
+    /// Bursty state: currently in the burst phase, and when it ends.
+    in_burst: bool,
+    phase_end_s: f64,
+}
+
+impl ArrivalGen {
+    /// A sampler for `process` seeded with `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive rates or degenerate shape parameters.
+    #[must_use]
+    pub fn new(process: ArrivalProcess, seed: u64) -> Self {
+        match process {
+            ArrivalProcess::Poisson { rate_rps } => {
+                assert!(rate_rps > 0.0, "arrival rate must be positive");
+            }
+            ArrivalProcess::Bursty { rate_rps, burst_factor, mean_burst_s, mean_idle_s } => {
+                assert!(rate_rps > 0.0, "arrival rate must be positive");
+                assert!(burst_factor >= 1.0, "burst factor must be >= 1");
+                assert!(
+                    mean_burst_s > 0.0 && mean_idle_s > 0.0,
+                    "phase durations must be positive"
+                );
+            }
+            ArrivalProcess::Diurnal { rate_rps, amplitude, period_s } => {
+                assert!(rate_rps > 0.0, "arrival rate must be positive");
+                assert!((0.0..1.0).contains(&amplitude), "amplitude must be in [0, 1)");
+                assert!(period_s > 0.0, "period must be positive");
+            }
+        }
+        ArrivalGen {
+            process,
+            rng: StdRng::seed_from_u64(seed),
+            uniform: Uniform::new(f64::EPSILON, 1.0),
+            in_burst: false,
+            phase_end_s: 0.0,
+        }
+    }
+
+    /// One exponential variate with the given rate.
+    fn exp(&mut self, rate: f64) -> f64 {
+        let u: f64 = self.uniform.sample(&mut self.rng);
+        -u.ln() / rate
+    }
+
+    /// Burst-phase and quiet-phase rates for the bursty process. The
+    /// quiet rate solves `p·hi + (1−p)·lo = rate` for the burst duty
+    /// cycle `p`, clamped at zero.
+    fn bursty_rates(rate: f64, factor: f64, burst_s: f64, idle_s: f64) -> (f64, f64) {
+        let hi = rate * factor;
+        let p = burst_s / (burst_s + idle_s);
+        let lo = ((rate - p * hi) / (1.0 - p)).max(0.0);
+        (hi, lo)
+    }
+
+    /// The first arrival strictly after virtual time `t_s`.
+    pub fn next_after(&mut self, t_s: f64) -> f64 {
+        match self.process {
+            ArrivalProcess::Poisson { rate_rps } => t_s + self.exp(rate_rps),
+            ArrivalProcess::Bursty { rate_rps, burst_factor, mean_burst_s, mean_idle_s } => {
+                let (hi, lo) = Self::bursty_rates(rate_rps, burst_factor, mean_burst_s, mean_idle_s);
+                let mut t = t_s;
+                loop {
+                    if t >= self.phase_end_s {
+                        // Phase transition; exponential sojourns make the
+                        // carried-over candidate memoryless, so redrawing
+                        // from the phase boundary is exact.
+                        self.in_burst = !self.in_burst;
+                        let mean = if self.in_burst { mean_burst_s } else { mean_idle_s };
+                        self.phase_end_s = t + self.exp(1.0 / mean);
+                    }
+                    let rate = if self.in_burst { hi } else { lo };
+                    if rate <= 0.0 {
+                        t = self.phase_end_s;
+                        continue;
+                    }
+                    let candidate = t + self.exp(rate);
+                    if candidate <= self.phase_end_s {
+                        return candidate;
+                    }
+                    t = self.phase_end_s;
+                }
+            }
+            ArrivalProcess::Diurnal { rate_rps, amplitude, period_s } => {
+                // Thinning (Lewis–Shedler) against the peak rate.
+                let peak = rate_rps * (1.0 + amplitude);
+                let mut t = t_s;
+                loop {
+                    t += self.exp(peak);
+                    let lambda = rate_rps
+                        * (1.0 + amplitude * (2.0 * std::f64::consts::PI * t / period_s).sin());
+                    let u: f64 = self.uniform.sample(&mut self.rng);
+                    if u * peak < lambda {
+                        return t;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A weighted mix of suite models making up the request stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestMix {
+    entries: Vec<(ModelId, f64)>,
+    total_weight: f64,
+}
+
+/// The short CLI name of a suite model (`sd`, `parti`, `mav`, …).
+#[must_use]
+pub fn model_short_name(id: ModelId) -> &'static str {
+    match id {
+        ModelId::Llama2 => "llama",
+        ModelId::Imagen => "imagen",
+        ModelId::StableDiffusion => "sd",
+        ModelId::Muse => "muse",
+        ModelId::Parti => "parti",
+        ModelId::ProdImage => "prod",
+        ModelId::MakeAVideo => "mav",
+        ModelId::Phenaki => "phenaki",
+    }
+}
+
+/// Parses a short model name (the inverse of [`model_short_name`]; full
+/// display names are accepted too, case-insensitively).
+pub fn parse_model(name: &str) -> Result<ModelId, String> {
+    let lower = name.to_lowercase();
+    ModelId::ALL
+        .iter()
+        .find(|&&id| {
+            model_short_name(id) == lower || id.to_string().to_lowercase() == lower
+        })
+        .copied()
+        .ok_or_else(|| {
+            let names: Vec<&str> = ModelId::ALL.iter().map(|&id| model_short_name(id)).collect();
+            format!("unknown model '{name}'; expected one of {}", names.join(" | "))
+        })
+}
+
+impl RequestMix {
+    /// A mix from `(model, weight)` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty mix, non-positive weights, or duplicates.
+    #[must_use]
+    pub fn new(entries: Vec<(ModelId, f64)>) -> Self {
+        assert!(!entries.is_empty(), "request mix cannot be empty");
+        for (i, (id, w)) in entries.iter().enumerate() {
+            assert!(*w > 0.0, "mix weight for {id} must be positive");
+            assert!(
+                entries[..i].iter().all(|(other, _)| other != id),
+                "duplicate mix entry for {id}"
+            );
+        }
+        let total_weight = entries.iter().map(|(_, w)| w).sum();
+        RequestMix { entries, total_weight }
+    }
+
+    /// A single-model mix.
+    #[must_use]
+    pub fn single(id: ModelId) -> Self {
+        RequestMix::new(vec![(id, 1.0)])
+    }
+
+    /// Parses `"sd:8,parti:2"` (weights default to 1 when omitted:
+    /// `"sd,parti"`).
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut entries = Vec::new();
+        for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let (name, weight) = match part.split_once(':') {
+                Some((n, w)) => {
+                    let w: f64 = w
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("bad mix weight in '{part}'"))?;
+                    (n.trim(), w)
+                }
+                None => (part.trim(), 1.0),
+            };
+            if weight <= 0.0 {
+                return Err(format!("mix weight in '{part}' must be positive"));
+            }
+            entries.push((parse_model(name)?, weight));
+        }
+        if entries.is_empty() {
+            return Err("empty request mix".to_string());
+        }
+        for (i, (id, _)) in entries.iter().enumerate() {
+            if entries[..i].iter().any(|(other, _)| other == id) {
+                return Err(format!("duplicate mix entry for {id}"));
+            }
+        }
+        Ok(RequestMix::new(entries))
+    }
+
+    /// The `(model, weight)` entries, in declaration order.
+    #[must_use]
+    pub fn entries(&self) -> &[(ModelId, f64)] {
+        &self.entries
+    }
+
+    /// The models in the mix, in declaration order.
+    pub fn models(&self) -> impl Iterator<Item = ModelId> + '_ {
+        self.entries.iter().map(|(id, _)| *id)
+    }
+
+    /// The probability share of one model.
+    #[must_use]
+    pub fn share(&self, id: ModelId) -> f64 {
+        self.entries
+            .iter()
+            .find(|(m, _)| *m == id)
+            .map_or(0.0, |(_, w)| w / self.total_weight)
+    }
+
+    /// Samples one model from a uniform variate `u ∈ [0, 1)`.
+    #[must_use]
+    pub fn sample(&self, u: f64) -> ModelId {
+        let mut remaining = u.clamp(0.0, 1.0) * self.total_weight;
+        for (id, w) in &self.entries {
+            if remaining < *w {
+                return *id;
+            }
+            remaining -= w;
+        }
+        self.entries.last().expect("mix is non-empty").0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_rate(process: ArrivalProcess, horizon_s: f64, seed: u64) -> f64 {
+        let mut g = ArrivalGen::new(process, seed);
+        let mut t = 0.0;
+        let mut n = 0u64;
+        loop {
+            t = g.next_after(t);
+            if t > horizon_s {
+                return n as f64 / horizon_s;
+            }
+            n += 1;
+        }
+    }
+
+    #[test]
+    fn poisson_hits_its_mean_rate() {
+        let rate = mean_rate(ArrivalProcess::poisson(5.0), 4000.0, 1);
+        assert!((rate - 5.0).abs() / 5.0 < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn bursty_preserves_the_long_run_mean() {
+        let rate = mean_rate(ArrivalProcess::bursty(5.0), 8000.0, 2);
+        assert!((rate - 5.0).abs() / 5.0 < 0.10, "rate {rate}");
+    }
+
+    #[test]
+    fn diurnal_preserves_the_long_run_mean() {
+        let rate = mean_rate(ArrivalProcess::diurnal(5.0), 8000.0, 3);
+        assert!((rate - 5.0).abs() / 5.0 < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn bursty_is_burstier_than_poisson() {
+        // Dispersion of per-window counts: Poisson ≈ 1, MMPP > 1.
+        let dispersion = |process: ArrivalProcess| {
+            let mut g = ArrivalGen::new(process, 4);
+            let mut t = 0.0;
+            let mut counts = vec![0u64; 2000];
+            loop {
+                t = g.next_after(t);
+                let w = (t / 2.0) as usize;
+                if w >= counts.len() {
+                    break;
+                }
+                counts[w] += 1;
+            }
+            let n = counts.len() as f64;
+            let mean = counts.iter().sum::<u64>() as f64 / n;
+            let var = counts
+                .iter()
+                .map(|&c| (c as f64 - mean).powi(2))
+                .sum::<f64>()
+                / n;
+            var / mean
+        };
+        let poisson = dispersion(ArrivalProcess::poisson(5.0));
+        let bursty = dispersion(ArrivalProcess::bursty(5.0));
+        assert!(bursty > 1.5 * poisson, "bursty {bursty} vs poisson {poisson}");
+    }
+
+    #[test]
+    fn arrivals_strictly_increase() {
+        for process in [
+            ArrivalProcess::poisson(10.0),
+            ArrivalProcess::bursty(10.0),
+            ArrivalProcess::diurnal(10.0),
+        ] {
+            let mut g = ArrivalGen::new(process, 5);
+            let mut t = 0.0;
+            for _ in 0..5000 {
+                let next = g.next_after(t);
+                assert!(next > t, "{process:?}: {next} <= {t}");
+                t = next;
+            }
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic_under_seed() {
+        for process in [
+            ArrivalProcess::poisson(3.0),
+            ArrivalProcess::bursty(3.0),
+            ArrivalProcess::diurnal(3.0),
+        ] {
+            let mut a = ArrivalGen::new(process, 9);
+            let mut b = ArrivalGen::new(process, 9);
+            let mut c = ArrivalGen::new(process, 10);
+            let (mut ta, mut tb, mut tc) = (0.0, 0.0, 0.0);
+            let mut diverged = false;
+            for _ in 0..200 {
+                ta = a.next_after(ta);
+                tb = b.next_after(tb);
+                tc = c.next_after(tc);
+                assert_eq!(ta.to_bits(), tb.to_bits());
+                diverged |= ta.to_bits() != tc.to_bits();
+            }
+            assert!(diverged, "{process:?}: seeds 9 and 10 coincide");
+        }
+    }
+
+    #[test]
+    fn mix_parses_and_samples_by_weight() {
+        let mix = RequestMix::parse("sd:8,parti:2").unwrap();
+        assert_eq!(mix.entries().len(), 2);
+        assert!((mix.share(ModelId::StableDiffusion) - 0.8).abs() < 1e-12);
+        assert_eq!(mix.sample(0.0), ModelId::StableDiffusion);
+        assert_eq!(mix.sample(0.79), ModelId::StableDiffusion);
+        assert_eq!(mix.sample(0.81), ModelId::Parti);
+        assert_eq!(mix.sample(0.999), ModelId::Parti);
+    }
+
+    #[test]
+    fn mix_defaults_weights_and_rejects_garbage() {
+        let mix = RequestMix::parse("sd,muse").unwrap();
+        assert!((mix.share(ModelId::Muse) - 0.5).abs() < 1e-12);
+        assert!(RequestMix::parse("").is_err());
+        assert!(RequestMix::parse("sd:0").is_err());
+        assert!(RequestMix::parse("sd:8,sd:2").is_err());
+        assert!(RequestMix::parse("notamodel:1").is_err());
+    }
+
+    #[test]
+    fn model_short_names_round_trip() {
+        for id in ModelId::ALL {
+            assert_eq!(parse_model(model_short_name(id)).unwrap(), id);
+            assert_eq!(parse_model(&id.to_string()).unwrap(), id);
+        }
+        assert!(parse_model("gpt").is_err());
+    }
+
+    #[test]
+    fn arrival_parse_names() {
+        assert_eq!(
+            ArrivalProcess::parse("poisson", 2.0).unwrap(),
+            ArrivalProcess::poisson(2.0)
+        );
+        assert!(ArrivalProcess::parse("steady", 2.0).is_err());
+        assert_eq!(ArrivalProcess::bursty(2.0).with_rate(4.0).mean_rate_rps(), 4.0);
+    }
+}

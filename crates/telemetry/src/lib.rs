@@ -157,6 +157,24 @@ impl Histogram {
     }
 }
 
+/// Nearest-rank `q`-quantile of an ascending-sorted slice: the shared
+/// quantile picker used by the serving summaries (M/D/1 and the DES SLO
+/// report). Unlike [`Histogram::quantile`] this is exact — no bucket
+/// interpolation — so it is the right tool when the raw samples are in
+/// hand. Returns 0 on an empty slice.
+#[must_use]
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "quantile_sorted needs an ascending slice"
+    );
+    let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+    sorted[idx]
+}
+
 /// Exponential bucket edges for microsecond-scale durations: 1 µs to
 /// ~10 s, four buckets per decade.
 #[must_use]
@@ -1025,6 +1043,21 @@ mod tests {
             serial.histogram("lat_us", &[1.0, 10.0]).count()
         );
         assert_eq!(merged.render_prometheus(), serial.render_prometheus());
+    }
+
+    #[test]
+    fn quantile_sorted_nearest_rank() {
+        assert_eq!(quantile_sorted(&[], 0.5), 0.0);
+        assert_eq!(quantile_sorted(&[7.0], 0.0), 7.0);
+        assert_eq!(quantile_sorted(&[7.0], 1.0), 7.0);
+        let xs: Vec<f64> = (0..101).map(f64::from).collect();
+        assert_eq!(quantile_sorted(&xs, 0.0), 0.0);
+        assert_eq!(quantile_sorted(&xs, 0.5), 50.0);
+        assert_eq!(quantile_sorted(&xs, 0.99), 99.0);
+        assert_eq!(quantile_sorted(&xs, 1.0), 100.0);
+        // Out-of-range q clamps.
+        assert_eq!(quantile_sorted(&xs, 1.5), 100.0);
+        assert_eq!(quantile_sorted(&xs, -0.5), 0.0);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! * [`models`] — the paper's model suite (Table I + Section III)
 //! * [`profiler`] — timeline capture and operator breakdowns
 //! * [`analytics`] — fleet, Pareto, roofline, analytical models
+//! * [`serve`] — discrete-event multi-GPU serving-cluster simulator
 //! * [`core`] — experiment runners reproducing every table and figure
 //! * [`telemetry`] — metrics registry, spans, and exporters
 
@@ -22,5 +23,6 @@ pub use mmg_graph as graph;
 pub use mmg_kernels as kernels;
 pub use mmg_models as models;
 pub use mmg_profiler as profiler;
+pub use mmg_serve as serve;
 pub use mmg_telemetry as telemetry;
 pub use mmg_tensor as tensor;
