@@ -62,7 +62,7 @@ pub fn pod_estimate(timeline: &Timeline) -> PodEstimate {
     let mut overhead = 0.0f64;
     let mut serial = 0.0f64;
     for ev in timeline.events() {
-        for k in &ev.kernels {
+        for k in ev.kernels.iter() {
             compute += k.compute_s;
             memory += k.memory_s;
             overhead += k.time_s - k.compute_s.max(k.memory_s);

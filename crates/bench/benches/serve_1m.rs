@@ -1,0 +1,52 @@
+//! Serving fast path — one million simulated requests per iteration.
+//!
+//! Exercises the streaming (constant-memory) mode of the cluster DES on
+//! synthetic constant service curves, so the figure isolates the
+//! event-loop fast path: calendar queue, slot pool, batched arrival
+//! generation, and sketch-based latency aggregation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmg_bench::print_artifact;
+use mmg_models::ModelId;
+use mmg_serve::{
+    simulate, ArrivalProcess, RequestMix, ScenarioCfg, SchedulerKind, ServiceCurve,
+    ServiceProfile, SloReport, SloSpec,
+};
+use mmg_telemetry::Registry;
+use std::hint::black_box;
+
+fn scenario() -> (ScenarioCfg, ServiceProfile) {
+    let mix = RequestMix::new(vec![(ModelId::StableDiffusion, 8.0), (ModelId::Parti, 2.0)]);
+    let profile = ServiceProfile::new(vec![
+        ServiceCurve::constant(ModelId::StableDiffusion, 0.015),
+        ServiceCurve::constant(ModelId::Parti, 0.03),
+    ]);
+    let rate = 0.8 * 4.0 / profile.mean_base_s(&mix);
+    let mut cfg = ScenarioCfg::new(
+        4,
+        mix,
+        ArrivalProcess::poisson(rate),
+        SchedulerKind::Dynamic { max_batch: 16 },
+        SloSpec::ServiceMultiple(4.0),
+        1e9,
+        42,
+    );
+    cfg.full_records = false;
+    cfg.max_requests = Some(1_000_000);
+    (cfg, profile)
+}
+
+fn bench(c: &mut Criterion) {
+    let (cfg, profile) = scenario();
+    let result = simulate(&cfg, &profile, &Registry::new());
+    print_artifact("Serving — 1M requests", &SloReport::from_result(&result).render());
+    let mut group = c.benchmark_group("serve");
+    // Each iteration replays the full million-request sample path.
+    group.bench_function("serve_1m", |b| {
+        b.iter(|| simulate(black_box(&cfg), &profile, &Registry::new()))
+    });
+    group.finish();
+}
+
+criterion_group! { name = benches; config = mmg_bench::experiment_criterion(); targets = bench }
+criterion_main!(benches);

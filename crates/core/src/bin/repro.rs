@@ -23,10 +23,19 @@
 //! `--rate` (requests/s; default targets 0.8 utilization),
 //! `--scheduler` (fifo | static | dynamic | pods), `--batch`,
 //! `--router` (rr | least-work | affinity), `--slo-ms` (default: 4x
-//! each model's own service time), `--duration-s`, `--seed`, and
-//! `--metrics <path>` (Prometheus dump of the `serve_*` series). One
-//! seed fixes the whole sample path, so stdout is byte-identical across
-//! runs, machines, and job counts.
+//! each model's own service time), `--duration-s`, `--requests`
+//! (arrival cap), `--seed`, `--metrics <path>` (Prometheus dump of the
+//! `serve_*` series), and `--full-records`. One seed fixes the whole
+//! sample path, so stdout is byte-identical across runs, machines, and
+//! job counts.
+//!
+//! By default `serve` runs in streaming mode: constant memory no matter
+//! how many requests are simulated, with report quantiles from a
+//! mergeable GK sketch (rank error ≤ 0.001·n + 1, i.e. well inside the
+//! printed precision). `--full-records` retains every per-request
+//! record and reports exact quantiles — same trajectory, more memory. A
+//! perf line (wall seconds, simulated requests/s) goes to stderr so
+//! stdout stays byte-deterministic.
 //!
 //! Experiments run on a worker pool (`--jobs`); outputs are printed and
 //! telemetry merged in experiment order, so stdout and counter totals
@@ -120,10 +129,48 @@ fn bench_snapshot(spec: &DeviceSpec, path: Option<String>) -> Result<String, Str
         let _ = run_experiment_with(id, &ctx);
         entries.push((id.to_string(), Value::from(t0.elapsed().as_secs_f64())));
     }
+    // Serving fast-path figure: one streaming (constant-memory) run of
+    // the cluster DES at ~0.8 utilization, sized to ~2M arrivals, so the
+    // snapshot tracks simulated-requests-per-second alongside the
+    // experiment timings.
+    let serve = {
+        use mmg_serve::{
+            simulate, ArrivalProcess, RequestMix, ScenarioCfg, SchedulerKind, ServiceProfile,
+            SloSpec,
+        };
+        let profiler = ctx.profiler(AttnImpl::Flash);
+        let mix = RequestMix::parse("sd:8,parti:2")?;
+        let models: Vec<ModelId> = mix.models().collect();
+        let profile = ServiceProfile::from_profiler(&profiler, &models, &[1, 2, 4, 8, 16]);
+        let rate = 0.8 * 4.0 / profile.mean_base_s(&mix);
+        let duration_s = 2_000_000.0 / rate;
+        let mut cfg = ScenarioCfg::new(
+            4,
+            mix,
+            ArrivalProcess::poisson(rate),
+            SchedulerKind::Dynamic { max_batch: 16 },
+            SloSpec::ServiceMultiple(4.0),
+            duration_s,
+            42,
+        );
+        cfg.full_records = false;
+        let t0 = Instant::now();
+        let result = simulate(&cfg, &profile, &ctx.registry);
+        let wall_s = t0.elapsed().as_secs_f64();
+        Value::Object(vec![
+            ("wall_s".to_string(), Value::from(wall_s)),
+            ("simulated_requests".to_string(), Value::from(result.arrivals)),
+            (
+                "requests_per_sec".to_string(),
+                Value::from(result.arrivals as f64 / wall_s.max(1e-9)),
+            ),
+        ])
+    };
     let snapshot = Value::Object(vec![
         ("date".to_string(), Value::from(today_stamp())),
         ("device".to_string(), Value::from(spec.name.clone())),
         ("experiments".to_string(), Value::Object(entries)),
+        ("serve".to_string(), serve),
         ("total_s".to_string(), Value::from(started.elapsed().as_secs_f64())),
         (
             "memo".to_string(),
@@ -159,12 +206,18 @@ fn serve_main(args: &[String]) -> Result<(), String> {
     let mut router_name: Option<String> = None;
     let mut slo_ms: Option<f64> = None;
     let mut duration_s = 120.0f64;
+    let mut max_requests: Option<u64> = None;
     let mut seed = 42u64;
     let mut metrics_path: Option<String> = None;
+    let mut full_records = false;
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
         i += 1;
+        if flag == "--full-records" {
+            full_records = true;
+            continue;
+        }
         let value = args
             .get(i)
             .ok_or_else(|| format!("{flag} requires a value"))?;
@@ -215,6 +268,15 @@ fn serve_main(args: &[String]) -> Result<(), String> {
                     .filter(|d| *d > 0.0)
                     .ok_or_else(|| "--duration-s requires a positive number".to_string())?;
             }
+            "--requests" => {
+                max_requests = Some(
+                    value
+                        .parse::<u64>()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| "--requests requires a positive integer".to_string())?,
+                );
+            }
             "--seed" => {
                 seed = value
                     .parse::<u64>()
@@ -223,7 +285,7 @@ fn serve_main(args: &[String]) -> Result<(), String> {
             "--metrics" => metrics_path = Some(value.clone()),
             other => {
                 return Err(format!(
-                    "unknown serve flag '{other}'; expected --device | --gpus | --mix | --arrival | --rate | --scheduler | --batch | --router | --slo-ms | --duration-s | --seed | --metrics"
+                    "unknown serve flag '{other}'; expected --device | --gpus | --mix | --arrival | --rate | --scheduler | --batch | --router | --slo-ms | --duration-s | --requests | --seed | --metrics | --full-records"
                 ));
             }
         }
@@ -261,11 +323,15 @@ fn serve_main(args: &[String]) -> Result<(), String> {
         None => SloSpec::ServiceMultiple(4.0),
     };
     let mut cfg = ScenarioCfg::new(gpus, mix, arrival, scheduler, slo, duration_s, seed);
+    cfg.full_records = full_records;
+    cfg.max_requests = max_requests;
     if let Some(name) = &router_name {
         cfg.router = mmg_serve::RouterKind::parse(name)?;
     }
 
+    let sim_started = Instant::now();
     let result = simulate(&cfg, &profile, &ctx.registry);
+    let sim_wall_s = sim_started.elapsed().as_secs_f64();
     println!(
         "device: {} | gpus: {gpus} | mix: {mix_spec} | arrival: {arrival_name} @ {rate:.3}/s",
         spec.name
@@ -279,6 +345,13 @@ fn serve_main(args: &[String]) -> Result<(), String> {
         },
     );
     println!("{}", SloReport::from_result(&result).render());
+    // Perf to stderr: stdout must stay byte-identical across machines.
+    eprintln!(
+        "serve: {} arrivals simulated in {sim_wall_s:.3}s wall ({:.0} simulated req/s, {})",
+        result.arrivals,
+        result.arrivals as f64 / sim_wall_s.max(1e-9),
+        if full_records { "full records" } else { "streaming" },
+    );
     if let Some(path) = &metrics_path {
         write_file(path, &ctx.registry.render_prometheus(), "metrics")?;
     }
@@ -299,6 +372,8 @@ fn main() -> ExitCode {
     let mut spec = DeviceSpec::a100_80gb();
     let mut json = false;
     let mut bench = false;
+    let mut replications: Option<u64> = None;
+    let mut sweep_seed = 42u64;
     let mut jobs: Option<usize> = None;
     let mut out_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
@@ -335,6 +410,23 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 };
                 jobs = Some(n);
+            }
+            "--replications" => {
+                i += 1;
+                let parsed = args.get(i).and_then(|n| n.parse::<u64>().ok());
+                let Some(n) = parsed.filter(|&n| n > 0) else {
+                    eprintln!("--replications requires a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                replications = Some(n);
+            }
+            "--sweep-seed" => {
+                i += 1;
+                let Some(n) = args.get(i).and_then(|n| n.parse::<u64>().ok()) else {
+                    eprintln!("--sweep-seed requires a non-negative integer");
+                    return ExitCode::FAILURE;
+                };
+                sweep_seed = n;
             }
             flag @ ("--metrics" | "--trace-out" | "--manifest" | "--out") => {
                 i += 1;
@@ -376,9 +468,43 @@ fn main() -> ExitCode {
     // Repeated targets (e.g. `repro fig6 all`) run once, first-mention order.
     let mut seen = std::collections::HashSet::new();
     targets.retain(|id| seen.insert(*id));
+    if let Some(reps) = replications {
+        // Replicated serving sweep: seed × scheduler × utilization grid
+        // on the worker pool, deterministic for every --jobs.
+        if !targets.iter().all(|&t| t == ExperimentId::ServeSweep) {
+            eprintln!("--replications applies only to the serve-sweep target");
+            return ExitCode::FAILURE;
+        }
+        let jobs = jobs.unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+        });
+        let started = Instant::now();
+        let memo = global_memo();
+        let registry = mmg_telemetry::global();
+        let result = mmg_core::experiments::serve_sweep::run_replicated(
+            &spec, reps, sweep_seed, jobs, &memo, &registry,
+        );
+        println!("device: {}\n", spec.name);
+        println!("{}", mmg_core::experiments::serve_sweep::render_replicated(&result));
+        let targets = [ExperimentId::ServeSweep];
+        let manifest =
+            run_manifest(&spec, &targets, started.elapsed().as_secs_f64(), &registry);
+        let manifest_line =
+            serde_json::to_string(&manifest).expect("run manifests always serialize");
+        match &manifest_path {
+            Some(path) => {
+                if let Err(e) = write_file(path, &manifest_line, "run manifest") {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            None => eprintln!("{manifest_line}"),
+        }
+        return ExitCode::SUCCESS;
+    }
     if targets.is_empty() {
-        eprintln!("usage: repro [--device <name>] [--jobs <n>] [--json] [--metrics <path>] [--trace-out <path>] [--manifest <path>] <bench-snapshot | all | fig1 | table1 | fig4 | fig5 | fig6 | table2 | table3 | fig7 | fig8 | fig9 | fig11 | fig12 | fig13 | secv | flashdec | pods | batch | tp | ablations | serve-sweep>…");
-        eprintln!("       repro serve [--device <name>] [--gpus <n>] [--mix <model:weight,…>] [--arrival <poisson|bursty|diurnal>] [--rate <rps>] [--scheduler <fifo|static|dynamic|pods>] [--batch <n>] [--router <rr|least-work|affinity>] [--slo-ms <ms>] [--duration-s <s>] [--seed <n>] [--metrics <path>]");
+        eprintln!("usage: repro [--device <name>] [--jobs <n>] [--json] [--metrics <path>] [--trace-out <path>] [--manifest <path>] [--replications <n> [--sweep-seed <n>]] <bench-snapshot | all | fig1 | table1 | fig4 | fig5 | fig6 | table2 | table3 | fig7 | fig8 | fig9 | fig11 | fig12 | fig13 | secv | flashdec | pods | batch | tp | ablations | serve-sweep>…");
+        eprintln!("       repro serve [--device <name>] [--gpus <n>] [--mix <model:weight,…>] [--arrival <poisson|bursty|diurnal>] [--rate <rps>] [--scheduler <fifo|static|dynamic|pods>] [--batch <n>] [--router <rr|least-work|affinity>] [--slo-ms <ms>] [--duration-s <s>] [--requests <n>] [--seed <n>] [--metrics <path>] [--full-records]");
         return ExitCode::FAILURE;
     }
     let jobs = jobs.unwrap_or_else(|| {

@@ -74,15 +74,60 @@ impl ExecContext {
     }
 }
 
-/// Runs `produce` for every experiment in `ids` on up to `jobs` worker
-/// threads, each experiment on its own fresh [`Registry`] sharing
-/// `memo`. Returns outputs in `ids` order and merges each experiment's
-/// registry into `target` in `ids` order, so counter totals match a
-/// serial run byte for byte no matter how the workers interleave.
+/// Runs `produce(i, ctx)` for every cell index `0..n` on up to `jobs`
+/// worker threads, each cell on its own fresh [`Registry`] sharing
+/// `memo`. Returns the cell outputs in index order and merges each
+/// cell's registry into `target` in index order, so counter totals
+/// match a serial run byte for byte no matter how the workers
+/// interleave. This is the general engine under [`run_suite_with`]
+/// (cells = experiments) and the serving replication sweep (cells =
+/// seed × scheduler × utilization grid points).
 ///
 /// # Panics
 ///
-/// Propagates a panic from any experiment after all workers stop.
+/// Propagates a panic from any cell after all workers stop.
+pub fn run_cells_with<T, F>(
+    n: usize,
+    spec: &DeviceSpec,
+    jobs: usize,
+    memo: &Arc<CostMemo>,
+    target: &Registry,
+    produce: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &ExecContext) -> T + Sync,
+{
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<(T, Registry)>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.clamp(1, n.max(1)) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let ctx = ExecContext::isolated(spec.clone(), Arc::clone(memo));
+                let out = produce(i, &ctx);
+                *slots[i].lock().expect("cell slot lock poisoned") = Some((out, ctx.registry));
+            });
+        }
+    });
+    let mut outputs = Vec::with_capacity(n);
+    for slot in slots {
+        let (out, registry) = slot
+            .into_inner()
+            .expect("cell slot lock poisoned")
+            .expect("every claimed slot is filled before join");
+        target.merge_from(&registry);
+        outputs.push(out);
+    }
+    outputs
+}
+
+/// Runs `produce` for every experiment in `ids` on the worker pool —
+/// [`run_cells_with`] with cells addressed by [`ExperimentId`]. Outputs
+/// and telemetry merge in `ids` order, independent of `jobs`.
 pub fn run_suite_with<F>(
     ids: &[ExperimentId],
     spec: &DeviceSpec,
@@ -94,33 +139,7 @@ pub fn run_suite_with<F>(
 where
     F: Fn(ExperimentId, &ExecContext) -> String + Sync,
 {
-    let n = ids.len();
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<(String, Registry)>>> =
-        (0..n).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..jobs.clamp(1, n.max(1)) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let ctx = ExecContext::isolated(spec.clone(), Arc::clone(memo));
-                let out = produce(ids[i], &ctx);
-                *slots[i].lock().expect("suite slot lock poisoned") = Some((out, ctx.registry));
-            });
-        }
-    });
-    let mut outputs = Vec::with_capacity(n);
-    for slot in slots {
-        let (out, registry) = slot
-            .into_inner()
-            .expect("suite slot lock poisoned")
-            .expect("every claimed slot is filled before join");
-        target.merge_from(&registry);
-        outputs.push(out);
-    }
-    outputs
+    run_cells_with(ids.len(), spec, jobs, memo, target, |i, ctx| produce(ids[i], ctx))
 }
 
 /// [`run_suite_with`] specialized to the rendered-report form the CLI

@@ -19,18 +19,21 @@
 //! dramatically under batching while the compute-bound SD UNet barely
 //! does, so dynamic batching's goodput win over FIFO grows with load.
 
+use std::sync::Arc;
+
 use mmg_analytics::scheduling::pod_estimate;
 use mmg_attn::AttnImpl;
 use mmg_gpu::DeviceSpec;
 use mmg_models::{suite, ModelId};
 use mmg_profiler::report::render_table;
-use mmg_profiler::Profiler;
+use mmg_profiler::{CostMemo, Profiler};
 use mmg_serve::{
     simulate, model_short_name, RequestMix, ScenarioCfg, SchedulerKind, ServiceProfile,
     SimResult, SloSpec,
 };
+use mmg_telemetry::{QuantileSketch, Registry};
 
-use crate::engine::ExecContext;
+use crate::engine::{run_cells_with, ExecContext};
 use serde::{Deserialize, Serialize};
 
 /// GPUs in the simulated cluster.
@@ -197,6 +200,228 @@ pub fn run_ctx(ctx: &ExecContext) -> ServeSweepResult {
     }
 }
 
+/// One aggregated (scheduler, utilization) cell of a replicated sweep:
+/// statistics pooled across all replication seeds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplicatedCell {
+    /// Scheduler name.
+    pub scheduler: String,
+    /// Offered utilization target.
+    pub utilization: f64,
+    /// Offered arrival rate, requests/s (same for every seed).
+    pub offered_rps: f64,
+    /// Seeds pooled into this cell.
+    pub replications: u64,
+    /// Mean completed requests/s across seeds.
+    pub mean_throughput_rps: f64,
+    /// Mean on-time requests/s across seeds.
+    pub mean_goodput_rps: f64,
+    /// Pooled SLO attainment: total on-time over total completed.
+    pub slo_attainment: f64,
+    /// 99th-percentile latency from the seeds' merged quantile sketches
+    /// (rank error bounded by [`mmg_serve::LATENCY_SKETCH_EPS`]).
+    pub p99_s: f64,
+    /// Pooled mean served batch size.
+    pub mean_batch: f64,
+    /// Mean measured GPU-time utilization across seeds.
+    pub mean_measured_utilization: f64,
+}
+
+/// Replicated serving sweep: the scheduler × utilization grid run at
+/// `replications` seeds each, in parallel, deterministically merged.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplicatedSweepResult {
+    /// Cluster size.
+    pub gpus: usize,
+    /// Request mix, `model:weight` list.
+    pub mix: String,
+    /// Deadline multiple of batch-1 service time.
+    pub slo_multiple: f64,
+    /// Seeds per cell.
+    pub replications: u64,
+    /// First seed; cell `k` of a grid point uses `base_seed + k`.
+    pub base_seed: u64,
+    /// Aggregated cells, scheduler-major in [`UTILIZATIONS`] order.
+    pub cells: Vec<ReplicatedCell>,
+}
+
+impl ReplicatedSweepResult {
+    /// The aggregated cell for a scheduler at an offered utilization.
+    #[must_use]
+    pub fn cell(&self, scheduler: &str, utilization: f64) -> Option<&ReplicatedCell> {
+        self.cells
+            .iter()
+            .find(|c| c.scheduler == scheduler && (c.utilization - utilization).abs() < 1e-9)
+    }
+}
+
+/// Runs the scheduler × utilization grid at `replications` seeds per
+/// cell on the [`run_cells_with`] worker pool. Every (scheduler,
+/// utilization, seed) triple is one independent streaming-mode DES run
+/// on its own registry; outputs and telemetry merge in grid order, so
+/// the result — and the merged counter totals — are byte-identical for
+/// every `jobs` value. Per-seed latency sketches are merged per grid
+/// point, so pooled quantiles keep the documented rank-error bound.
+#[must_use]
+pub fn run_replicated(
+    spec: &DeviceSpec,
+    replications: u64,
+    base_seed: u64,
+    jobs: usize,
+    memo: &Arc<CostMemo>,
+    target: &Registry,
+) -> ReplicatedSweepResult {
+    assert!(replications >= 1, "need at least one replication");
+    // Profile once up front on its own registry, merged before any
+    // cell's telemetry — same order a serial run would record in.
+    let profile_ctx = ExecContext::isolated(spec.clone(), Arc::clone(memo));
+    let profiler = profile_ctx.profiler(AttnImpl::Flash);
+    let mix = RequestMix::parse(MIX).expect("the built-in mix parses");
+    let models: Vec<ModelId> = mix.models().collect();
+    let batches: Vec<usize> = (0..).map(|i| 1 << i).take_while(|&b| b <= MAX_BATCH).collect();
+    let factors: Vec<(ModelId, f64)> =
+        models.iter().map(|&m| (m, pod_factor(&profiler, m))).collect();
+    let profile = ServiceProfile::from_profiler(&profiler, &models, &batches)
+        .with_pod_factors(&factors);
+    let mean_service_s = profile.mean_base_s(&mix);
+    target.merge_from(&profile_ctx.registry);
+
+    let schedulers = [
+        SchedulerKind::Fifo,
+        SchedulerKind::Static { batch: MAX_BATCH / 2, wait_s: 0.5 },
+        SchedulerKind::Dynamic { max_batch: MAX_BATCH },
+        SchedulerKind::Pods { max_batch: MAX_BATCH },
+    ];
+    let mut grid: Vec<(SchedulerKind, f64, u64)> = Vec::new();
+    for scheduler in schedulers {
+        for utilization in UTILIZATIONS {
+            for k in 0..replications {
+                grid.push((scheduler, utilization, base_seed.wrapping_add(k)));
+            }
+        }
+    }
+
+    struct SeedRun {
+        completed: u64,
+        on_time: u64,
+        batch_sum: u64,
+        throughput_rps: f64,
+        goodput_rps: f64,
+        measured_utilization: f64,
+        sketch: QuantileSketch,
+    }
+
+    let runs: Vec<SeedRun> = run_cells_with(grid.len(), spec, jobs, memo, target, |i, ctx| {
+        let (scheduler, utilization, seed) = grid[i];
+        let offered_rps = utilization * GPUS as f64 / mean_service_s;
+        let mut cfg = ScenarioCfg::new(
+            GPUS,
+            mix.clone(),
+            mmg_serve::ArrivalProcess::poisson(offered_rps),
+            scheduler,
+            SloSpec::ServiceMultiple(SLO_MULTIPLE),
+            DURATION_S,
+            seed,
+        );
+        cfg.full_records = false;
+        let r = simulate(&cfg, &profile, &ctx.registry);
+        SeedRun {
+            completed: r.stats.completed,
+            on_time: r.stats.on_time,
+            batch_sum: r.stats.batch_sum,
+            throughput_rps: r.throughput_rps(),
+            goodput_rps: r.goodput_rps(),
+            measured_utilization: r.utilization(),
+            sketch: r.stats.latency_sketch.clone(),
+        }
+    });
+
+    let reps = replications as usize;
+    let cells = runs
+        .chunks(reps)
+        .zip(grid.iter().step_by(reps))
+        .map(|(chunk, &(scheduler, utilization, _))| {
+            let offered_rps = utilization * GPUS as f64 / mean_service_s;
+            let completed: u64 = chunk.iter().map(|r| r.completed).sum();
+            let on_time: u64 = chunk.iter().map(|r| r.on_time).sum();
+            let batch_sum: u64 = chunk.iter().map(|r| r.batch_sum).sum();
+            let mut pooled = QuantileSketch::new(mmg_serve::LATENCY_SKETCH_EPS);
+            for r in chunk {
+                pooled.merge(&r.sketch);
+            }
+            let n = chunk.len() as f64;
+            ReplicatedCell {
+                scheduler: scheduler.name().to_string(),
+                utilization,
+                offered_rps,
+                replications,
+                mean_throughput_rps: chunk.iter().map(|r| r.throughput_rps).sum::<f64>() / n,
+                mean_goodput_rps: chunk.iter().map(|r| r.goodput_rps).sum::<f64>() / n,
+                slo_attainment: if completed == 0 {
+                    1.0
+                } else {
+                    on_time as f64 / completed as f64
+                },
+                p99_s: pooled.quantile(0.99),
+                mean_batch: if completed == 0 {
+                    0.0
+                } else {
+                    batch_sum as f64 / completed as f64
+                },
+                mean_measured_utilization: chunk
+                    .iter()
+                    .map(|r| r.measured_utilization)
+                    .sum::<f64>()
+                    / n,
+            }
+        })
+        .collect();
+
+    ReplicatedSweepResult {
+        gpus: GPUS,
+        mix: MIX.to_string(),
+        slo_multiple: SLO_MULTIPLE,
+        replications,
+        base_seed,
+        cells,
+    }
+}
+
+/// Renders the replicated scheduler × utilization sweep.
+#[must_use]
+pub fn render_replicated(r: &ReplicatedSweepResult) -> String {
+    let rows: Vec<(String, Vec<String>)> = r
+        .cells
+        .iter()
+        .map(|c| {
+            (
+                format!("{}@{:.2}", c.scheduler, c.utilization),
+                vec![
+                    format!("{:.2}/s", c.offered_rps),
+                    format!("{:.2}/s", c.mean_throughput_rps),
+                    format!("{:.2}/s", c.mean_goodput_rps),
+                    format!("{:.0}%", c.slo_attainment * 100.0),
+                    format!("{:.2} s", c.p99_s),
+                    format!("{:.1}", c.mean_batch),
+                    format!("{:.0}%", c.mean_measured_utilization * 100.0),
+                ],
+            )
+        })
+        .collect();
+    format!(
+        "Extension — replicated serving sweep ({} GPUs, mix {}, SLO {}x service, {} seeds from {})\n{}",
+        r.gpus,
+        r.mix,
+        r.slo_multiple,
+        r.replications,
+        r.base_seed,
+        render_table(
+            &["Scheduler@util", "Offered", "Throughput", "Goodput", "SLO attain", "p99", "Mean batch", "GPU busy"],
+            &rows
+        )
+    )
+}
+
 /// Renders the scheduler × utilization sweep.
 #[must_use]
 pub fn render(r: &ServeSweepResult) -> String {
@@ -294,5 +519,40 @@ mod tests {
     fn renders() {
         let out = render(result());
         assert!(out.contains("scheduler sweep") && out.contains("dynamic@0.95"));
+    }
+
+    #[test]
+    fn replicated_sweep_is_identical_across_job_counts() {
+        let spec = DeviceSpec::a100_80gb();
+        let run_with = |jobs: usize| {
+            let target = Registry::new();
+            let r = run_replicated(&spec, 2, 42, jobs, &crate::engine::global_memo(), &target);
+            (r, target.counters_snapshot().values().to_vec())
+        };
+        let serial = run_with(1);
+        for jobs in [2, 8] {
+            let parallel = run_with(jobs);
+            assert_eq!(serial.0, parallel.0, "results diverged at jobs={jobs}");
+            assert_eq!(serial.1, parallel.1, "counters diverged at jobs={jobs}");
+        }
+        // Sanity on the aggregation itself.
+        assert_eq!(serial.0.cells.len(), 4 * UTILIZATIONS.len());
+        for c in &serial.0.cells {
+            assert_eq!(c.replications, 2);
+            assert!(c.mean_goodput_rps <= c.mean_throughput_rps + 1e-12);
+            assert!((0.0..=1.0).contains(&c.slo_attainment));
+        }
+        // Replication changes the seed set, so pooled numbers differ
+        // from any single-seed run but stay in the same regime as the
+        // classic sweep.
+        let classic = result();
+        let rep = serial.0.cell("dynamic", 0.8).unwrap();
+        let one = classic.cell("dynamic", 0.8).unwrap();
+        assert!(
+            (rep.mean_throughput_rps - one.throughput_rps).abs() < 0.5 * one.throughput_rps,
+            "replicated {} vs classic {}",
+            rep.mean_throughput_rps,
+            one.throughput_rps
+        );
     }
 }

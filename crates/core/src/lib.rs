@@ -40,7 +40,7 @@ pub mod engine;
 pub mod experiments;
 mod runner;
 
-pub use engine::{global_memo, run_suite, run_suite_with, ExecContext};
+pub use engine::{global_memo, run_cells_with, run_suite, run_suite_with, ExecContext};
 pub use runner::{
     run_experiment, run_experiment_json, run_experiment_value, run_experiment_value_with,
     run_experiment_with, run_manifest, ExperimentId,

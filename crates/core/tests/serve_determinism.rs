@@ -57,6 +57,38 @@ fn serve_sweep_is_identical_across_job_counts() {
     assert!(serial.contains("dynamic@0.95"), "sweep grid present:\n{serial}");
 }
 
+/// The streaming fast path at scale: a million simulated requests must
+/// be byte-identical run to run, and the constant-memory mode must not
+/// change any printed aggregate.
+#[test]
+fn serve_is_byte_identical_at_a_million_requests() {
+    let args = &[
+        "serve",
+        "--mix",
+        "sd",
+        "--scheduler",
+        "fifo",
+        "--duration-s",
+        "1000000",
+        "--requests",
+        "1000000",
+        "--seed",
+        "1",
+    ];
+    let a = repro(args);
+    let b = repro(args);
+    assert_eq!(a, b, "same seed, different stdout at 1M requests");
+    assert!(a.contains("SLO attain"), "report shape:\n{a}");
+}
+
+#[test]
+fn replicated_sweep_is_byte_identical_across_job_counts() {
+    let serial = repro(&["serve-sweep", "--replications", "2", "--jobs", "1"]);
+    let parallel = repro(&["serve-sweep", "--replications", "2", "--jobs", "4"]);
+    assert_eq!(serial, parallel, "--jobs changes replicated sweep stdout");
+    assert!(serial.contains("2 seeds from 42"), "replication header:\n{serial}");
+}
+
 #[test]
 fn serve_rejects_bad_flags() {
     let out = Command::new(env!("CARGO_BIN_EXE_repro"))

@@ -1,5 +1,7 @@
 //! Profile events.
 
+use std::sync::Arc;
+
 use mmg_graph::{AttnKind, OpCategory};
 
 /// One simulated kernel launch inside an operator.
@@ -53,13 +55,16 @@ pub struct OpEvent {
     pub flops: u64,
     /// HBM bytes.
     pub hbm_bytes: u64,
-    /// Constituent kernels.
-    pub kernels: Vec<KernelRecord>,
+    /// Constituent kernels. Shared (`Arc`) with the operator-cost memo
+    /// on replayed ops, so repeated structure (e.g. every step of a
+    /// denoising loop) does not deep-clone the records per event.
+    pub kernels: Arc<Vec<KernelRecord>>,
     /// Present when the operator is an attention call.
     pub attention: Option<AttnCallInfo>,
     /// Telemetry counter increments attributed to this operator (full
     /// metric name → delta), captured by the executor around the op.
-    pub counters: Vec<(String, u64)>,
+    /// Shared with the memo entry's visible delta list on replay.
+    pub counters: Arc<Vec<(String, u64)>>,
 }
 
 #[cfg(test)]
@@ -75,8 +80,8 @@ mod tests {
             time_s: 1e-3,
             flops: 100,
             hbm_bytes: 200,
-            kernels: vec![],
-            counters: vec![],
+            kernels: Arc::new(vec![]),
+            counters: Arc::new(vec![]),
             attention: Some(AttnCallInfo {
                 kind: AttnKind::SpatialSelf,
                 seq_q: 64,

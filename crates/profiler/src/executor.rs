@@ -1,6 +1,7 @@
 //! The performance-plane executor.
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use mmg_attn::AttnImpl;
@@ -8,10 +9,14 @@ use mmg_gpu::{DeviceSpec, HierarchyStats, TimingEngine};
 use mmg_graph::{lower::lower_with, AttnKind, Graph};
 use mmg_kernels::access::{AttentionKernel, VideoAttentionAccess};
 use mmg_kernels::conv::ConvAlgorithm;
-use mmg_telemetry::{Registry, SpanRecord};
+use mmg_telemetry::{Counter, Registry, SpanRecord};
 
 use crate::memo::{synthetic_op_deltas, CostMemo, MemoKey, OpCostEntry};
 use crate::{AttnCallInfo, KernelRecord, ModuleHook, OpEvent, Timeline};
+
+/// Cached counter handles for one replayed memo entry, keyed by the
+/// entry's `Arc` address (the held `Arc` keeps the address alive).
+type ReplayHandles = HashMap<usize, (Arc<OpCostEntry>, Vec<Counter>)>;
 
 /// Walks graphs and produces timelines.
 ///
@@ -46,6 +51,12 @@ pub struct Profiler {
     /// Handle to the engine's `gpu_kernel_time_us` histogram, so memo
     /// replay can observe stored kernel times without the engine.
     kernel_time_us: mmg_telemetry::Histogram,
+    /// Per-entry counter handles for memo replay, keyed by the entry's
+    /// `Arc` address (the cached `Arc` keeps the address alive). Lets a
+    /// hit bump its counters lock-free instead of re-parsing metric
+    /// names under the registry lock on every replay. Bounded by the
+    /// number of distinct entries this profiler replays.
+    replay_handles: Mutex<ReplayHandles>,
 }
 
 impl Profiler {
@@ -73,6 +84,7 @@ impl Profiler {
             device_fingerprint,
             kernel_time_us: registry
                 .histogram("gpu_kernel_time_us", &mmg_telemetry::time_buckets_us()),
+            replay_handles: Mutex::new(HashMap::new()),
         }
     }
 
@@ -195,16 +207,17 @@ impl Profiler {
                     cache_stats = Some(self.simulate_attention_caches(shape, *kind));
                 }
             }
+            let records = Arc::new(records);
             if let (Some(memo), Some(key)) = (self.memo.as_deref(), key) {
                 memo.store(
                     key,
-                    OpCostEntry {
+                    OpCostEntry::new(
                         time_s,
                         flops,
-                        hbm_bytes: hbm,
-                        records: records.clone(),
-                        counter_deltas: synthetic_op_deltas(&records, cache_stats),
-                    },
+                        hbm,
+                        Arc::clone(&records),
+                        synthetic_op_deltas(&records, cache_stats),
+                    ),
                 );
             }
             drop(span);
@@ -217,7 +230,7 @@ impl Profiler {
                 hbm_bytes: hbm,
                 kernels: records,
                 attention,
-                counters: snap.delta_since(&self.registry),
+                counters: Arc::new(snap.delta_since(&self.registry)),
             };
             for h in hooks.iter_mut() {
                 h.on_op(&event);
@@ -237,23 +250,20 @@ impl Profiler {
         index: usize,
         path: &str,
         op: &mmg_graph::Op,
-        entry: &OpCostEntry,
+        entry: &Arc<OpCostEntry>,
         attention: Option<AttnCallInfo>,
     ) -> OpEvent {
         let wall = Instant::now();
         let start_us = self.registry.epoch_us();
-        // Zero deltas ride along so counters the live path registers at
-        // zero get created; they are filtered from event/span output.
-        self.registry.apply_counter_deltas(&entry.counter_deltas);
-        for k in &entry.records {
+        self.apply_replay_deltas(entry);
+        for k in entry.records.iter() {
             self.kernel_time_us.observe(k.time_s * 1e6);
         }
-        let visible = entry.visible_deltas();
         self.registry.record_span(SpanRecord {
             path: mmg_telemetry::nested_span_path(path),
             start_us,
             dur_us: wall.elapsed().as_secs_f64() * 1e6,
-            counter_deltas: visible.clone(),
+            counter_deltas: Arc::clone(&entry.visible),
         });
         OpEvent {
             index,
@@ -262,9 +272,33 @@ impl Profiler {
             time_s: entry.time_s,
             flops: entry.flops,
             hbm_bytes: entry.hbm_bytes,
-            kernels: entry.records.clone(),
+            kernels: Arc::clone(&entry.records),
             attention,
-            counters: visible,
+            counters: Arc::clone(&entry.visible),
+        }
+    }
+
+    /// Bumps the registry counters for one replayed entry. The first
+    /// replay of an entry resolves every counter name — including zero
+    /// deltas, so counters the live path registers at zero get created —
+    /// to an atomic handle; subsequent replays add through the cached
+    /// handles without touching the registry lock or parsing names.
+    fn apply_replay_deltas(&self, entry: &Arc<OpCostEntry>) {
+        let mut cache = self.replay_handles.lock().expect("replay handle cache poisoned");
+        let (_, handles) = cache
+            .entry(Arc::as_ptr(entry) as usize)
+            .or_insert_with(|| {
+                let handles = entry
+                    .counter_deltas
+                    .iter()
+                    .map(|(full, _)| self.registry.counter_handle(full))
+                    .collect();
+                (Arc::clone(entry), handles)
+            });
+        for (c, (_, delta)) in handles.iter().zip(&entry.counter_deltas) {
+            if *delta > 0 {
+                c.add(*delta);
+            }
         }
     }
 

@@ -95,8 +95,8 @@ mod tests {
             time_s: t,
             flops: 0,
             hbm_bytes: 0,
-            kernels: vec![],
-            counters: vec![],
+            kernels: std::sync::Arc::new(vec![]),
+            counters: std::sync::Arc::new(vec![]),
             attention: None,
         }
     }

@@ -80,6 +80,12 @@ impl MemoKey {
 }
 
 /// Everything a memo hit must reproduce about an operator's execution.
+///
+/// The per-kernel records and the visible delta list are behind `Arc`s
+/// so the replay fast path can hand them to [`crate::OpEvent`]s and
+/// span records by reference count — a 50-step denoising loop replays
+/// the same UNet entries hundreds of thousands of times, and deep-
+/// cloning the string-heavy vectors each hit dominated replay cost.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OpCostEntry {
     /// Summed kernel time, seconds.
@@ -89,23 +95,36 @@ pub struct OpCostEntry {
     /// Summed HBM bytes.
     pub hbm_bytes: u64,
     /// Per-kernel records, in launch order.
-    pub records: Vec<KernelRecord>,
+    pub records: Arc<Vec<KernelRecord>>,
     /// Every counter a live execution of this op touches, as
     /// `(full metric name, delta)` sorted the way
     /// [`mmg_telemetry::CounterSnapshot::delta_since`] sorts them.
     /// Zero deltas are *kept*: replay applies them so counters the live
     /// path would create at zero (e.g. `kernel_flops_total` of a copy
     /// kernel) exist in the registry; event/span attribution filters
-    /// them out via [`OpCostEntry::visible_deltas`].
+    /// them out via [`OpCostEntry::visible`].
     pub counter_deltas: Vec<(String, u64)>,
+    /// The non-zero subset of `counter_deltas`, in the exact form
+    /// [`mmg_telemetry::CounterSnapshot::delta_since`] reports —
+    /// precomputed once at store time so replay attaches it to events
+    /// and spans without filtering or cloning.
+    pub visible: Arc<Vec<(String, u64)>>,
 }
 
 impl OpCostEntry {
-    /// The non-zero counter deltas, in the exact form
-    /// [`mmg_telemetry::CounterSnapshot::delta_since`] reports.
+    /// Builds an entry, precomputing the visible (non-zero) delta list
+    /// from `counter_deltas`.
     #[must_use]
-    pub fn visible_deltas(&self) -> Vec<(String, u64)> {
-        self.counter_deltas.iter().filter(|(_, d)| *d > 0).cloned().collect()
+    pub fn new(
+        time_s: f64,
+        flops: u64,
+        hbm_bytes: u64,
+        records: Arc<Vec<KernelRecord>>,
+        counter_deltas: Vec<(String, u64)>,
+    ) -> Self {
+        let visible =
+            Arc::new(counter_deltas.iter().filter(|(_, d)| *d > 0).cloned().collect::<Vec<_>>());
+        OpCostEntry { time_s, flops, hbm_bytes, records, counter_deltas, visible }
     }
 }
 
@@ -192,8 +211,9 @@ impl CostMemo {
 /// per-kind kernel counters, and (for attention ops with cache
 /// simulation) the L1/L2 counters. Sorted by `(name, labels)` exactly
 /// like the snapshot machinery; zero deltas are kept so replay can
-/// recreate counters the live path registers at zero (filter with
-/// [`OpCostEntry::visible_deltas`] for `delta_since`-equivalent output).
+/// recreate counters the live path registers at zero (the
+/// `delta_since`-equivalent filtered form lives in
+/// [`OpCostEntry::visible`]).
 pub(crate) fn synthetic_op_deltas(
     records: &[KernelRecord],
     cache: Option<HierarchyStats>,
@@ -298,13 +318,14 @@ mod tests {
             42,
         );
         assert!(memo.lookup(&key).is_none());
-        let entry = OpCostEntry {
-            time_s: 1e-5,
-            flops: 100,
-            hbm_bytes: 200,
-            records: vec![],
-            counter_deltas: vec![("gpu_flops_total".to_string(), 100)],
-        };
+        let entry = OpCostEntry::new(
+            1e-5,
+            100,
+            200,
+            Arc::new(vec![]),
+            vec![("gpu_flops_total".to_string(), 100), ("zero_total".to_string(), 0)],
+        );
+        assert_eq!(*entry.visible, vec![("gpu_flops_total".to_string(), 100)]);
         memo.store(key.clone(), entry.clone());
         assert_eq!(memo.lookup(&key).as_deref(), Some(&entry));
         assert_eq!(memo.hits(), 1);

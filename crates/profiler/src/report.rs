@@ -151,8 +151,8 @@ mod tests {
             time_s: 2.0,
             flops: 0,
             hbm_bytes: 0,
-            kernels: vec![],
-            counters: vec![],
+            kernels: std::sync::Arc::new(vec![]),
+            counters: std::sync::Arc::new(vec![]),
             attention: None,
         }])
         .breakdown()

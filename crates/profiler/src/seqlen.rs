@@ -91,8 +91,8 @@ mod tests {
             time_s: 1.0,
             flops: 0,
             hbm_bytes: 0,
-            kernels: vec![],
-            counters: vec![],
+            kernels: std::sync::Arc::new(vec![]),
+            counters: std::sync::Arc::new(vec![]),
             attention: Some(AttnCallInfo {
                 kind: AttnKind::SpatialSelf,
                 seq_q: seq,

@@ -167,8 +167,8 @@ mod tests {
             time_s: t,
             flops: 10,
             hbm_bytes: 20,
-            kernels: vec![],
-            counters: vec![],
+            kernels: std::sync::Arc::new(vec![]),
+            counters: std::sync::Arc::new(vec![]),
             attention: attn.map(|kind| AttnCallInfo {
                 kind,
                 seq_q: 4,

@@ -62,7 +62,7 @@ pub fn to_trace_events(timeline: &Timeline) -> Vec<TraceEvent> {
         let mut args = BTreeMap::new();
         args.insert("flops".to_string(), Value::from(ev.flops));
         args.insert("hbm_bytes".to_string(), Value::from(ev.hbm_bytes));
-        for (name, delta) in &ev.counters {
+        for (name, delta) in ev.counters.iter() {
             args.insert(name.clone(), Value::from(*delta));
         }
         events.push(TraceEvent {
@@ -76,7 +76,7 @@ pub fn to_trace_events(timeline: &Timeline) -> Vec<TraceEvent> {
             args,
         });
         let mut k_ts = t_us;
-        for k in &ev.kernels {
+        for k in ev.kernels.iter() {
             let dur = k.time_s * 1e6;
             let mut args = BTreeMap::new();
             args.insert("flops".to_string(), Value::from(k.flops));

@@ -10,11 +10,29 @@
 //!
 //! Everything runs on the deterministic [`EventQueue`]; the only
 //! randomness is the seeded arrival process and model mix.
+//!
+//! # The fast path
+//!
+//! The simulator is built to push tens of millions of requests through
+//! in seconds with memory independent of request count:
+//!
+//! - Request state lives in a **slot pool** with a free list; generation
+//!   counters keep stale abandonment events from touching reused slots.
+//!   Batch id-vectors are pooled too, and arrivals are pre-generated in
+//!   batches, so the steady-state event loop does no per-request
+//!   allocation.
+//! - All telemetry handles are resolved **once per run** — the event
+//!   loop pays one atomic op per observation, never a registry lookup.
+//! - Aggregates stream into [`ServeStats`]: exact running sums plus
+//!   bounded-memory [`QuantileSketch`]es (rank error documented in
+//!   [`mmg_telemetry::sketch`]). Retaining every [`RequestRecord`] is
+//!   opt-in via [`ScenarioCfg::full_records`] (the CLI's
+//!   `--full-records`), which preserves the exact-quantile path.
 
 use std::collections::VecDeque;
 
 use mmg_models::ModelId;
-use mmg_telemetry::{latency_buckets_s, Registry};
+use mmg_telemetry::{latency_buckets_s, Counter, Histogram, QuantileSketch, Registry};
 use rand::distributions::{Distribution, Uniform};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -22,6 +40,16 @@ use rand::SeedableRng;
 use crate::des::EventQueue;
 use crate::profile::{ServiceCurve, ServiceProfile};
 use crate::workload::{model_short_name, ArrivalGen, ArrivalProcess, RequestMix};
+
+/// Relative rank-error bound of the streaming latency sketches: every
+/// reported quantile has true rank within `eps * n + 1` of exact (see
+/// [`mmg_telemetry::sketch`] for the bound's derivation and merge
+/// semantics).
+pub const LATENCY_SKETCH_EPS: f64 = 0.001;
+
+/// How many arrival timestamps are pre-generated per refill of the
+/// arrival buffer.
+const ARRIVAL_BATCH: usize = 64;
 
 /// How arriving requests are assigned to a GPU queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -157,13 +185,19 @@ pub struct ScenarioCfg {
     /// Admission control: arrivals finding this many requests queued
     /// cluster-wide are dropped.
     pub max_queue: Option<usize>,
+    /// Retain a [`RequestRecord`] per completion (memory O(requests)).
+    /// When `false`, only the constant-memory streaming aggregates in
+    /// [`ServeStats`] are kept. `true` by default — the library keeps
+    /// the exact path unless a caller opts into streaming; the CLI's
+    /// default is streaming with `--full-records` to opt back in.
+    pub full_records: bool,
     /// RNG seed for arrivals and mix sampling.
     pub seed: u64,
 }
 
 impl ScenarioCfg {
     /// A scenario with the common defaults: least-work routing, no
-    /// abandonment, no admission control.
+    /// abandonment, no admission control, full records retained.
     #[must_use]
     pub fn new(
         gpus: usize,
@@ -185,6 +219,7 @@ impl ScenarioCfg {
             max_requests: None,
             abandon_after_s: None,
             max_queue: None,
+            full_records: true,
             seed,
         }
     }
@@ -234,11 +269,91 @@ impl RequestRecord {
     }
 }
 
+/// Streaming per-model aggregates: exact sums and counts plus a
+/// bounded-memory latency quantile sketch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelStats {
+    /// The model.
+    pub model: ModelId,
+    /// Completed requests.
+    pub completed: u64,
+    /// Completions that met their deadline.
+    pub on_time: u64,
+    /// Exact sum of queueing delays.
+    pub wait_sum_s: f64,
+    /// Exact sum of end-to-end latencies.
+    pub latency_sum_s: f64,
+    /// Sum of the batch sizes each completion was served in.
+    pub batch_sum: u64,
+    /// Global completion index of this model's first completion
+    /// (`u64::MAX` if it never completed) — reports list models in
+    /// first-completion order, matching the exact path.
+    pub first_done_seq: u64,
+    /// Latency sketch (rank error [`LATENCY_SKETCH_EPS`]).
+    pub latency_sketch: QuantileSketch,
+}
+
+impl ModelStats {
+    fn new(model: ModelId) -> Self {
+        ModelStats {
+            model,
+            completed: 0,
+            on_time: 0,
+            wait_sum_s: 0.0,
+            latency_sum_s: 0.0,
+            batch_sum: 0,
+            first_done_seq: u64::MAX,
+            latency_sketch: QuantileSketch::new(LATENCY_SKETCH_EPS),
+        }
+    }
+}
+
+/// Streaming aggregates maintained on every run — cluster-wide running
+/// sums and quantile sketches whose memory is independent of request
+/// count. This is the only completion accounting in the default
+/// (streaming) mode; with [`ScenarioCfg::full_records`] it coexists with
+/// the exact per-request records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeStats {
+    /// Completed requests.
+    pub completed: u64,
+    /// Completions that met their deadline.
+    pub on_time: u64,
+    /// Exact sum of queueing delays.
+    pub wait_sum_s: f64,
+    /// Exact sum of end-to-end latencies.
+    pub latency_sum_s: f64,
+    /// Sum of served batch sizes across completions.
+    pub batch_sum: u64,
+    /// Cluster-wide latency sketch (rank error [`LATENCY_SKETCH_EPS`]).
+    pub latency_sketch: QuantileSketch,
+    /// Per-model aggregates, in mix declaration order.
+    pub per_model: Vec<ModelStats>,
+}
+
+impl ServeStats {
+    fn new(mix: &RequestMix) -> Self {
+        ServeStats {
+            completed: 0,
+            on_time: 0,
+            wait_sum_s: 0.0,
+            latency_sum_s: 0.0,
+            batch_sum: 0,
+            latency_sketch: QuantileSketch::new(LATENCY_SKETCH_EPS),
+            per_model: mix.entries().iter().map(|(m, _)| ModelStats::new(*m)).collect(),
+        }
+    }
+}
+
 /// Everything a simulation run produced.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimResult {
-    /// Completed requests in completion order.
+    /// Completed requests in completion order. Empty when the scenario
+    /// ran with [`ScenarioCfg::full_records`] off — use [`SimResult::stats`]
+    /// then.
     pub records: Vec<RequestRecord>,
+    /// Streaming aggregates (always filled, both modes).
+    pub stats: ServeStats,
     /// Requests generated (admitted or not).
     pub arrivals: u64,
     /// Requests rejected by admission control.
@@ -262,15 +377,21 @@ pub struct SimResult {
     pub abandoned_wait_s: f64,
     /// Busy seconds per GPU.
     pub busy_s: Vec<f64>,
+    /// Indices into `records` sorted by arrival id, computed once at the
+    /// end of the run so [`SimResult::records_by_arrival`] never re-sorts.
+    arrival_order: Vec<u32>,
 }
 
 impl SimResult {
-    /// Completed records sorted by arrival (id) order.
+    /// Completed records sorted by arrival (id) order. Uses the sort
+    /// computed once at construction — calling this repeatedly is cheap.
     #[must_use]
     pub fn records_by_arrival(&self) -> Vec<&RequestRecord> {
-        let mut v: Vec<&RequestRecord> = self.records.iter().collect();
-        v.sort_by_key(|r| r.id);
-        v
+        debug_assert_eq!(self.arrival_order.len(), self.records.len());
+        self.arrival_order
+            .iter()
+            .map(|&i| &self.records[i as usize])
+            .collect()
     }
 
     /// Mean cluster utilization: busy GPU-seconds over `gpus × end`.
@@ -285,24 +406,23 @@ impl SimResult {
     /// Completions per second over the horizon.
     #[must_use]
     pub fn throughput_rps(&self) -> f64 {
-        self.records.len() as f64 / self.horizon_s.min(self.end_s).max(f64::MIN_POSITIVE)
+        self.stats.completed as f64 / self.horizon_s.min(self.end_s).max(f64::MIN_POSITIVE)
     }
 
     /// On-time completions per second over the horizon — the SLO-aware
     /// throughput ("goodput").
     #[must_use]
     pub fn goodput_rps(&self) -> f64 {
-        self.records.iter().filter(|r| r.on_time()).count() as f64
-            / self.horizon_s.min(self.end_s).max(f64::MIN_POSITIVE)
+        self.stats.on_time as f64 / self.horizon_s.min(self.end_s).max(f64::MIN_POSITIVE)
     }
 
     /// Fraction of completed requests that met their deadline.
     #[must_use]
     pub fn slo_attainment(&self) -> f64 {
-        if self.records.is_empty() {
+        if self.stats.completed == 0 {
             return 1.0;
         }
-        self.records.iter().filter(|r| r.on_time()).count() as f64 / self.records.len() as f64
+        self.stats.on_time as f64 / self.stats.completed as f64
     }
 }
 
@@ -311,20 +431,29 @@ enum Event {
     Arrival,
     Depart { gpu: usize },
     Timeout { gpu: usize },
-    Abandon { req: u64 },
+    Abandon { slot: u32, gen: u32 },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Status {
+    Vacant,
     Queued,
     Running,
     Done,
     Abandoned,
 }
 
+/// Pooled per-request state. Slots are recycled through a free list;
+/// `gen` increments on every free so events holding a `(slot, gen)`
+/// reference (abandonment timers) can detect that their request is gone
+/// and the slot now belongs to someone else.
 #[derive(Debug)]
 struct ReqState {
     model: ModelId,
+    mix_idx: u32,
+    gen: u32,
+    gpu: u32,
+    arrival_id: u64,
     arrival_s: f64,
     deadline_s: f64,
     depth_at_arrival: u64,
@@ -334,20 +463,36 @@ struct ReqState {
 
 #[derive(Debug)]
 struct RunningBatch {
-    ids: Vec<u64>,
+    ids: Vec<u32>,
     start_s: f64,
     finish_s: f64,
 }
 
+/// Per-model state resolved once at simulation start so the event loop
+/// never scans the mix, the profile, or the metric registry.
+struct ModelInfo<'a> {
+    model: ModelId,
+    curve: &'a ServiceCurve,
+    base_s: f64,
+    /// Deadline delta after arrival (`+inf` for no SLO).
+    slo_delta_s: f64,
+    requests_c: Counter,
+    slo_miss_c: Counter,
+    wait_h: Histogram,
+    latency_h: Histogram,
+}
+
 struct Sim<'a> {
     cfg: &'a ScenarioCfg,
-    profile: &'a ServiceProfile,
-    registry: &'a Registry,
     queue: EventQueue<Event>,
+    per_model: Vec<ModelInfo<'a>>,
     reqs: Vec<ReqState>,
-    gpu_queues: Vec<VecDeque<u64>>,
+    free: Vec<u32>,
+    gpu_queues: Vec<VecDeque<u32>>,
     queued_work_s: Vec<f64>,
+    queued_count: usize,
     running: Vec<Option<RunningBatch>>,
+    vec_pool: Vec<Vec<u32>>,
     busy_s: Vec<f64>,
     rr_next: usize,
     arrivals: u64,
@@ -355,9 +500,15 @@ struct Sim<'a> {
     abandoned: u64,
     abandoned_wait_s: f64,
     records: Vec<RequestRecord>,
+    stats: ServeStats,
+    batch_h: Histogram,
+    drops_c: Counter,
+    abandons_c: Counter,
     mix_rng: StdRng,
     unit: Uniform<f64>,
     arrival_gen: ArrivalGen,
+    arrival_buf: VecDeque<f64>,
+    last_gen_t: f64,
     area_requests_s: f64,
     last_event_s: f64,
     in_system: u64,
@@ -366,17 +517,48 @@ struct Sim<'a> {
 }
 
 impl<'a> Sim<'a> {
-    fn curve(&self, model: ModelId) -> &'a ServiceCurve {
-        self.profile
-            .curve(model)
-            .unwrap_or_else(|| panic!("no service curve for {model}"))
+    /// Next arrival instant; refills the pre-generated batch when empty.
+    /// The chained `next_after` recurrence is unchanged, so the sample
+    /// path is identical to drawing one arrival at a time.
+    fn next_arrival(&mut self) -> f64 {
+        if self.arrival_buf.is_empty() {
+            let mut t = self.last_gen_t;
+            for _ in 0..ARRIVAL_BATCH {
+                t = self.arrival_gen.next_after(t);
+                self.arrival_buf.push_back(t);
+            }
+            self.last_gen_t = t;
+        }
+        self.arrival_buf.pop_front().expect("refilled above")
     }
 
-    fn total_queued(&self) -> usize {
-        self.gpu_queues.iter().map(VecDeque::len).sum()
+    fn alloc_slot(&mut self) -> u32 {
+        if let Some(slot) = self.free.pop() {
+            slot
+        } else {
+            self.reqs.push(ReqState {
+                model: ModelId::StableDiffusion,
+                mix_idx: 0,
+                gen: 0,
+                gpu: 0,
+                arrival_id: 0,
+                arrival_s: 0.0,
+                deadline_s: 0.0,
+                depth_at_arrival: 0,
+                base_s: 0.0,
+                status: Status::Vacant,
+            });
+            (self.reqs.len() - 1) as u32
+        }
     }
 
-    fn route(&mut self, model: ModelId) -> usize {
+    fn free_slot(&mut self, slot: u32) {
+        let st = &mut self.reqs[slot as usize];
+        st.gen = st.gen.wrapping_add(1);
+        self.free.push(slot);
+    }
+
+    fn route(&mut self, mix_idx: usize) -> usize {
         match self.cfg.router {
             RouterKind::RoundRobin => {
                 let gpu = self.rr_next;
@@ -385,20 +567,13 @@ impl<'a> Sim<'a> {
             }
             RouterKind::LeastWork => self.least_work_of(0..self.cfg.gpus),
             RouterKind::ModelAffinity => {
-                let n_models = self.cfg.mix.entries().len();
-                let m_idx = self
-                    .cfg
-                    .mix
-                    .entries()
-                    .iter()
-                    .position(|(m, _)| *m == model)
-                    .expect("mix model");
+                let n_models = self.per_model.len();
                 if self.cfg.gpus >= n_models {
                     self.least_work_of(
-                        (0..self.cfg.gpus).filter(|g| g % n_models == m_idx),
+                        (0..self.cfg.gpus).filter(|g| g % n_models == mix_idx),
                     )
                 } else {
-                    m_idx % self.cfg.gpus
+                    mix_idx % self.cfg.gpus
                 }
             }
         }
@@ -422,35 +597,42 @@ impl<'a> Sim<'a> {
         .0
     }
 
-    /// Picks the batch to launch on `gpu`, or the instant to re-try at
-    /// (static batching waiting out its timer).
-    fn plan_batch(&self, gpu: usize) -> Result<Vec<u64>, Option<f64>> {
+    /// Fills `out` with the batch to launch on `gpu`, or returns the
+    /// instant to re-try at (static batching waiting out its timer).
+    fn plan_batch(&self, gpu: usize, out: &mut Vec<u32>) -> Result<(), Option<f64>> {
         let q = &self.gpu_queues[gpu];
         if q.is_empty() {
             return Err(None);
         }
         let now = self.queue.now_s();
         match self.cfg.scheduler {
-            SchedulerKind::Fifo => Ok(vec![q[0]]),
+            SchedulerKind::Fifo => {
+                out.push(q[0]);
+                Ok(())
+            }
             SchedulerKind::Static { batch, wait_s } => {
                 let head = q[0];
                 let model = self.reqs[head as usize].model;
-                let members: Vec<u64> = q
-                    .iter()
-                    .copied()
-                    .filter(|&id| self.reqs[id as usize].model == model)
-                    .take(batch.max(1))
-                    .collect();
+                let target = batch.max(1);
+                for &slot in q.iter() {
+                    if self.reqs[slot as usize].model == model {
+                        out.push(slot);
+                        if out.len() >= target {
+                            break;
+                        }
+                    }
+                }
                 let deadline = self.reqs[head as usize].arrival_s + wait_s;
-                if members.len() >= batch.max(1) || now + 1e-12 >= deadline {
-                    Ok(members)
+                if out.len() >= target || now + 1e-12 >= deadline {
+                    Ok(())
                 } else {
+                    out.clear();
                     Err(Some(deadline))
                 }
             }
             SchedulerKind::Dynamic { max_batch } | SchedulerKind::Pods { max_batch } => {
                 // Earliest-deadline-first leader, then same-model members
-                // also in deadline order.
+                // also in deadline order (ties in arrival order).
                 let leader = q
                     .iter()
                     .copied()
@@ -458,23 +640,29 @@ impl<'a> Sim<'a> {
                         self.reqs[a as usize]
                             .deadline_s
                             .total_cmp(&self.reqs[b as usize].deadline_s)
-                            .then(a.cmp(&b))
+                            .then(
+                                self.reqs[a as usize]
+                                    .arrival_id
+                                    .cmp(&self.reqs[b as usize].arrival_id),
+                            )
                     })
                     .expect("non-empty queue");
                 let model = self.reqs[leader as usize].model;
-                let mut members: Vec<u64> = q
-                    .iter()
-                    .copied()
-                    .filter(|&id| self.reqs[id as usize].model == model)
-                    .collect();
-                members.sort_by(|&a, &b| {
+                out.extend(
+                    q.iter().copied().filter(|&s| self.reqs[s as usize].model == model),
+                );
+                out.sort_by(|&a, &b| {
                     self.reqs[a as usize]
                         .deadline_s
                         .total_cmp(&self.reqs[b as usize].deadline_s)
-                        .then(a.cmp(&b))
+                        .then(
+                            self.reqs[a as usize]
+                                .arrival_id
+                                .cmp(&self.reqs[b as usize].arrival_id),
+                        )
                 });
-                members.truncate(max_batch.max(1));
-                Ok(members)
+                out.truncate(max_batch.max(1));
+                Ok(())
             }
         }
     }
@@ -484,27 +672,32 @@ impl<'a> Sim<'a> {
         if self.running[gpu].is_some() {
             return;
         }
-        let members = match self.plan_batch(gpu) {
-            Ok(m) => m,
-            Err(Some(retry_at)) => {
-                if retry_at > self.queue.now_s() {
-                    self.queue.schedule(retry_at, Event::Timeout { gpu });
+        let mut members = self.vec_pool.pop().unwrap_or_default();
+        members.clear();
+        match self.plan_batch(gpu, &mut members) {
+            Ok(()) => {}
+            Err(retry) => {
+                self.vec_pool.push(members);
+                if let Some(retry_at) = retry {
+                    if retry_at > self.queue.now_s() {
+                        self.queue.schedule(retry_at, Event::Timeout { gpu });
+                    }
                 }
                 return;
             }
-            Err(None) => return,
-        };
+        }
         let now = self.queue.now_s();
-        let model = self.reqs[members[0] as usize].model;
-        let curve = self.curve(model);
+        let mix_idx = self.reqs[members[0] as usize].mix_idx as usize;
+        let curve: &ServiceCurve = self.per_model[mix_idx].curve;
         let mut service_s = curve.batch_s(members.len());
-        for &id in &members {
-            let st = &mut self.reqs[id as usize];
+        for &slot in &members {
+            let st = &mut self.reqs[slot as usize];
             st.status = Status::Running;
             self.queued_work_s[gpu] -= st.base_s;
             let q = &mut self.gpu_queues[gpu];
-            let pos = q.iter().position(|&x| x == id).expect("queued member");
+            let pos = q.iter().position(|&x| x == slot).expect("queued member");
             q.remove(pos);
+            self.queued_count -= 1;
         }
         self.queued_work_s[gpu] = self.queued_work_s[gpu].max(0.0);
         // Pod co-scheduling pays off when another batch is waiting to
@@ -517,55 +710,51 @@ impl<'a> Sim<'a> {
         }
         let finish_s = now + service_s;
         self.busy_s[gpu] += service_s;
-        self.registry
-            .histogram("serve_batch_size", &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0])
-            .observe(members.len() as f64);
+        self.batch_h.observe(members.len() as f64);
         self.running[gpu] = Some(RunningBatch { ids: members, start_s: now, finish_s });
         self.queue.schedule(finish_s, Event::Depart { gpu });
     }
 
     fn on_arrival(&mut self) {
         let now = self.queue.now_s();
+        let arrival_id = self.arrivals;
         self.arrivals += 1;
         let u: f64 = self.unit.sample(&mut self.mix_rng);
-        let model = self.cfg.mix.sample(u);
-        let id = self.reqs.len() as u64;
-        let curve = self.curve(model);
-        let deadline_s = now + self.cfg.slo.slo_s(curve);
-        let base_s = curve.base_s();
-        self.registry
-            .counter_with("serve_requests_total", &[("model", model_short_name(model))])
-            .inc();
+        let mix_idx = self.cfg.mix.sample_index(u);
+        let info = &self.per_model[mix_idx];
+        let model = info.model;
+        let deadline_s = now + info.slo_delta_s;
+        let base_s = info.base_s;
+        info.requests_c.inc();
         if let Some(cap) = self.cfg.max_queue {
-            if self.total_queued() >= cap {
+            if self.queued_count >= cap {
                 self.dropped += 1;
-                self.registry.counter("serve_drops_total").inc();
-                self.reqs.push(ReqState {
-                    model,
-                    arrival_s: now,
-                    deadline_s,
-                    depth_at_arrival: 0,
-                    base_s,
-                    status: Status::Abandoned,
-                });
+                self.drops_c.inc();
                 return;
             }
         }
         self.in_system += 1;
         let depth_at_arrival = self.in_system;
-        self.reqs.push(ReqState {
-            model,
-            arrival_s: now,
-            deadline_s,
-            depth_at_arrival,
-            base_s,
-            status: Status::Queued,
-        });
-        let gpu = self.route(model);
-        self.gpu_queues[gpu].push_back(id);
+        let gpu = self.route(mix_idx);
+        let slot = self.alloc_slot();
+        {
+            let st = &mut self.reqs[slot as usize];
+            st.model = model;
+            st.mix_idx = mix_idx as u32;
+            st.gpu = gpu as u32;
+            st.arrival_id = arrival_id;
+            st.arrival_s = now;
+            st.deadline_s = deadline_s;
+            st.depth_at_arrival = depth_at_arrival;
+            st.base_s = base_s;
+            st.status = Status::Queued;
+        }
+        self.gpu_queues[gpu].push_back(slot);
+        self.queued_count += 1;
         self.queued_work_s[gpu] += base_s;
         if let Some(patience_s) = self.cfg.abandon_after_s {
-            self.queue.schedule(now + patience_s, Event::Abandon { req: id });
+            let gen = self.reqs[slot as usize].gen;
+            self.queue.schedule(now + patience_s, Event::Abandon { slot, gen });
         }
         self.try_dispatch(gpu);
     }
@@ -573,55 +762,94 @@ impl<'a> Sim<'a> {
     fn on_depart(&mut self, gpu: usize) {
         let batch = self.running[gpu].take().expect("depart from idle gpu");
         let size = batch.ids.len();
-        for &id in &batch.ids {
-            let st = &mut self.reqs[id as usize];
+        for i in 0..size {
+            let slot = batch.ids[i];
+            let st = &mut self.reqs[slot as usize];
             st.status = Status::Done;
+            let model = st.model;
+            let mix_idx = st.mix_idx as usize;
+            let arrival_id = st.arrival_id;
+            let arrival_s = st.arrival_s;
+            let deadline_s = st.deadline_s;
+            let depth_at_arrival = st.depth_at_arrival;
             self.in_system -= 1;
-            let rec = RequestRecord {
-                id,
-                model: st.model,
-                arrival_s: st.arrival_s,
-                start_s: batch.start_s,
-                finish_s: batch.finish_s,
-                deadline_s: st.deadline_s,
-                gpu,
-                batch: size,
-                depth_at_arrival: st.depth_at_arrival,
-            };
-            let labels = [("model", model_short_name(st.model))];
-            self.registry
-                .histogram_with("serve_wait_s", &labels, &latency_buckets_s())
-                .observe(rec.wait_s());
-            self.registry
-                .histogram_with("serve_latency_s", &labels, &latency_buckets_s())
-                .observe(rec.latency_s());
-            if !rec.on_time() {
-                self.registry.counter_with("serve_slo_miss_total", &labels).inc();
+            self.free_slot(slot);
+
+            let wait_s = batch.start_s - arrival_s;
+            let latency_s = batch.finish_s - arrival_s;
+            let on_time = batch.finish_s <= deadline_s;
+
+            let info = &self.per_model[mix_idx];
+            info.wait_h.observe(wait_s);
+            info.latency_h.observe(latency_s);
+            if !on_time {
+                info.slo_miss_c.inc();
             }
-            self.records.push(rec);
+
+            let ms = &mut self.stats.per_model[mix_idx];
+            if ms.first_done_seq == u64::MAX {
+                ms.first_done_seq = self.stats.completed;
+            }
+            ms.completed += 1;
+            ms.on_time += u64::from(on_time);
+            ms.wait_sum_s += wait_s;
+            ms.latency_sum_s += latency_s;
+            ms.batch_sum += size as u64;
+            ms.latency_sketch.observe(latency_s);
+            self.stats.completed += 1;
+            self.stats.on_time += u64::from(on_time);
+            self.stats.wait_sum_s += wait_s;
+            self.stats.latency_sum_s += latency_s;
+            self.stats.batch_sum += size as u64;
+            self.stats.latency_sketch.observe(latency_s);
+
+            if self.cfg.full_records {
+                self.records.push(RequestRecord {
+                    id: arrival_id,
+                    model,
+                    arrival_s,
+                    start_s: batch.start_s,
+                    finish_s: batch.finish_s,
+                    deadline_s,
+                    gpu,
+                    batch: size,
+                    depth_at_arrival,
+                });
+            }
         }
+        let mut ids = batch.ids;
+        ids.clear();
+        self.vec_pool.push(ids);
         self.try_dispatch(gpu);
     }
 
-    fn on_abandon(&mut self, id: u64) {
-        if self.reqs[id as usize].status != Status::Queued {
-            return;
+    fn on_abandon(&mut self, slot: u32, gen: u32) {
+        {
+            let st = &self.reqs[slot as usize];
+            // A stale timer: the request already departed (or abandoned)
+            // and the slot may have been recycled since.
+            if st.gen != gen || st.status != Status::Queued {
+                return;
+            }
         }
         let now = self.queue.now_s();
-        let (gpu, pos) = self
-            .gpu_queues
+        let gpu = self.reqs[slot as usize].gpu as usize;
+        let pos = self.gpu_queues[gpu]
             .iter()
-            .enumerate()
-            .find_map(|(g, q)| q.iter().position(|&x| x == id).map(|p| (g, p)))
-            .expect("queued request is on some gpu queue");
+            .position(|&x| x == slot)
+            .expect("queued request is on its gpu queue");
         self.gpu_queues[gpu].remove(pos);
-        let st = &mut self.reqs[id as usize];
+        self.queued_count -= 1;
+        let st = &mut self.reqs[slot as usize];
         st.status = Status::Abandoned;
-        self.queued_work_s[gpu] = (self.queued_work_s[gpu] - st.base_s).max(0.0);
+        let base_s = st.base_s;
+        let waited = now - st.arrival_s;
+        self.queued_work_s[gpu] = (self.queued_work_s[gpu] - base_s).max(0.0);
         self.in_system -= 1;
         self.abandoned += 1;
-        self.abandoned_wait_s += now - st.arrival_s;
-        self.registry.counter("serve_abandons_total").inc();
+        self.abandoned_wait_s += waited;
+        self.abandons_c.inc();
+        self.free_slot(slot);
     }
 }
 
@@ -641,15 +869,41 @@ pub fn simulate(cfg: &ScenarioCfg, profile: &ServiceProfile, registry: &Registry
         assert!(profile.curve(model).is_some(), "no service curve for {model}");
     }
 
+    // Resolve per-model curves, deadlines, and telemetry handles once;
+    // the event loop then never touches the registry's lock or re-scans
+    // the mix.
+    let per_model: Vec<ModelInfo<'_>> = cfg
+        .mix
+        .entries()
+        .iter()
+        .map(|(model, _)| {
+            let curve = profile.curve(*model).expect("checked above");
+            let labels = [("model", model_short_name(*model))];
+            ModelInfo {
+                model: *model,
+                curve,
+                base_s: curve.base_s(),
+                slo_delta_s: cfg.slo.slo_s(curve),
+                requests_c: registry.counter_with("serve_requests_total", &labels),
+                slo_miss_c: registry.counter_with("serve_slo_miss_total", &labels),
+                wait_h: registry.histogram_with("serve_wait_s", &labels, &latency_buckets_s()),
+                latency_h: registry
+                    .histogram_with("serve_latency_s", &labels, &latency_buckets_s()),
+            }
+        })
+        .collect();
+
     let mut sim = Sim {
         cfg,
-        profile,
-        registry,
         queue: EventQueue::new(),
+        per_model,
         reqs: Vec::new(),
+        free: Vec::new(),
         gpu_queues: vec![VecDeque::new(); cfg.gpus],
         queued_work_s: vec![0.0; cfg.gpus],
+        queued_count: 0,
         running: (0..cfg.gpus).map(|_| None).collect(),
+        vec_pool: Vec::new(),
         busy_s: vec![0.0; cfg.gpus],
         rr_next: 0,
         arrivals: 0,
@@ -657,9 +911,16 @@ pub fn simulate(cfg: &ScenarioCfg, profile: &ServiceProfile, registry: &Registry
         abandoned: 0,
         abandoned_wait_s: 0.0,
         records: Vec::new(),
+        stats: ServeStats::new(&cfg.mix),
+        batch_h: registry
+            .histogram("serve_batch_size", &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0]),
+        drops_c: registry.counter("serve_drops_total"),
+        abandons_c: registry.counter("serve_abandons_total"),
         mix_rng: StdRng::seed_from_u64(cfg.seed.wrapping_add(1)),
         unit: Uniform::new(0.0, 1.0),
         arrival_gen: ArrivalGen::new(cfg.arrival, cfg.seed),
+        arrival_buf: VecDeque::with_capacity(ARRIVAL_BATCH),
+        last_gen_t: 0.0,
         area_requests_s: 0.0,
         last_event_s: 0.0,
         in_system: 0,
@@ -667,12 +928,14 @@ pub fn simulate(cfg: &ScenarioCfg, profile: &ServiceProfile, registry: &Registry
         horizon_snapped: false,
     };
 
-    let first = sim.arrival_gen.next_after(0.0);
+    let first = sim.next_arrival();
     if first <= cfg.duration_s {
         sim.queue.schedule(first, Event::Arrival);
     }
 
+    let mut any_events = false;
     while let Some((t, event)) = sim.queue.pop() {
+        any_events = true;
         // n(t) is constant between events; accumulate the occupancy
         // integral before the state changes.
         sim.area_requests_s += sim.in_system as f64 * (t - sim.last_event_s);
@@ -687,7 +950,7 @@ pub fn simulate(cfg: &ScenarioCfg, profile: &ServiceProfile, registry: &Registry
                 let generated = sim.arrivals;
                 let more = cfg.max_requests.is_none_or(|cap| generated < cap);
                 if more {
-                    let next = sim.arrival_gen.next_after(t);
+                    let next = sim.next_arrival();
                     if next <= cfg.duration_s {
                         sim.queue.schedule(next, Event::Arrival);
                     }
@@ -695,9 +958,14 @@ pub fn simulate(cfg: &ScenarioCfg, profile: &ServiceProfile, registry: &Registry
             }
             Event::Depart { gpu } => sim.on_depart(gpu),
             Event::Timeout { gpu } => sim.try_dispatch(gpu),
-            Event::Abandon { req } => sim.on_abandon(req),
+            Event::Abandon { slot, gen } => sim.on_abandon(slot, gen),
         }
-        registry.gauge("serve_queue_depth").set(sim.total_queued() as f64);
+    }
+
+    // Gauges are instantaneous: setting them once after the loop leaves
+    // the same final values as the per-event updates the slow path did.
+    if any_events {
+        registry.gauge("serve_queue_depth").set(sim.queued_count as f64);
         registry.gauge("serve_in_flight").set(sim.in_system as f64);
     }
 
@@ -710,8 +978,22 @@ pub fn simulate(cfg: &ScenarioCfg, profile: &ServiceProfile, registry: &Registry
     }
 
     debug_assert_eq!(sim.in_system, 0, "drain left requests in the system");
+
+    sim.stats.latency_sketch.flush();
+    for ms in &mut sim.stats.per_model {
+        ms.latency_sketch.flush();
+    }
+
+    assert!(
+        sim.records.len() <= u32::MAX as usize,
+        "full-records mode caps at u32::MAX completions; use streaming mode"
+    );
+    let mut arrival_order: Vec<u32> = (0..sim.records.len() as u32).collect();
+    arrival_order.sort_by_key(|&i| sim.records[i as usize].id);
+
     SimResult {
         records: sim.records,
+        stats: sim.stats,
         arrivals: sim.arrivals,
         dropped: sim.dropped,
         abandoned: sim.abandoned,
@@ -721,6 +1003,7 @@ pub fn simulate(cfg: &ScenarioCfg, profile: &ServiceProfile, registry: &Registry
         area_requests_s: sim.area_requests_s,
         abandoned_wait_s: sim.abandoned_wait_s,
         busy_s: sim.busy_s,
+        arrival_order,
     }
 }
 
@@ -786,6 +1069,26 @@ mod tests {
         let other = ScenarioCfg { seed: 8, ..cfg };
         let c = simulate(&other, &batching_profile(0.5), &Registry::new());
         assert_ne!(a.records, c.records);
+    }
+
+    #[test]
+    fn streaming_mode_matches_full_records_aggregates() {
+        // Same seed, records on vs off: the trajectory must be identical,
+        // so every streaming aggregate must equal the exact one.
+        let cfg = scenario(SchedulerKind::Dynamic { max_batch: 8 }, 4.0, 200.0);
+        let full = simulate(&cfg, &batching_profile(0.5), &Registry::new());
+        let streaming_cfg = ScenarioCfg { full_records: false, ..cfg };
+        let streaming = simulate(&streaming_cfg, &batching_profile(0.5), &Registry::new());
+        assert!(streaming.records.is_empty());
+        assert_eq!(streaming.stats, full.stats);
+        assert_eq!(streaming.arrivals, full.arrivals);
+        assert_eq!(streaming.area_requests_s, full.area_requests_s);
+        assert_eq!(streaming.busy_s, full.busy_s);
+        assert_eq!(full.stats.completed, full.records.len() as u64);
+        let on_time = full.records.iter().filter(|r| r.on_time()).count() as u64;
+        assert_eq!(full.stats.on_time, on_time);
+        let lat: f64 = full.records.iter().map(RequestRecord::latency_s).sum();
+        assert!((full.stats.latency_sum_s - lat).abs() < 1e-9);
     }
 
     #[test]
@@ -862,6 +1165,20 @@ mod tests {
     }
 
     #[test]
+    fn slot_pool_recycles_under_churn() {
+        // Heavy abandonment churn: the pool must stay bounded by peak
+        // concurrency, and stale abandon timers must never fire on
+        // recycled slots (conservation would break if they did).
+        let mut cfg = scenario(SchedulerKind::Fifo, 12.0, 120.0);
+        cfg.abandon_after_s = Some(0.4);
+        cfg.gpus = 1;
+        cfg.full_records = false;
+        let r = simulate(&cfg, &constant_profile(0.5), &Registry::new());
+        assert!(r.abandoned > 100, "churn scenario must abandon plenty");
+        assert_eq!(r.arrivals, r.stats.completed + r.dropped + r.abandoned);
+    }
+
+    #[test]
     fn depth_at_arrival_counts_outstanding_requests() {
         // Deterministic hand check: single GPU, service 1.0, arrivals
         // faster than service. The k-th arrival sees all earlier
@@ -884,6 +1201,20 @@ mod tests {
                 rec.id
             );
         }
+    }
+
+    #[test]
+    fn records_by_arrival_is_sorted_and_stable() {
+        let cfg = scenario(SchedulerKind::Dynamic { max_batch: 8 }, 4.0, 100.0);
+        let r = simulate(&cfg, &batching_profile(0.5), &Registry::new());
+        let by_arrival = r.records_by_arrival();
+        assert_eq!(by_arrival.len(), r.records.len());
+        assert!(by_arrival.windows(2).all(|w| w[0].id < w[1].id));
+        // Second call returns the same view (cached order, no re-sort).
+        assert_eq!(
+            r.records_by_arrival().iter().map(|x| x.id).collect::<Vec<_>>(),
+            by_arrival.iter().map(|x| x.id).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -46,9 +46,10 @@ pub mod report;
 pub mod workload;
 
 pub use cluster::{
-    simulate, RequestRecord, RouterKind, ScenarioCfg, SchedulerKind, SimResult, SloSpec,
+    simulate, ModelStats, RequestRecord, RouterKind, ScenarioCfg, SchedulerKind, ServeStats,
+    SimResult, SloSpec, LATENCY_SKETCH_EPS,
 };
-pub use des::EventQueue;
+pub use des::{CalendarEventQueue, EventQueue, HeapEventQueue};
 pub use profile::{ServiceCurve, ServiceProfile};
 pub use report::{ModelSlo, SloReport};
 pub use workload::{model_short_name, parse_model, ArrivalGen, ArrivalProcess, RequestMix};

@@ -54,8 +54,33 @@ impl SloReport {
     /// Builds the report from a finished run. Models appear in first-
     /// completion order (callers pass results from a fixed mix, so this
     /// is stable across runs of the same scenario).
+    ///
+    /// With full records retained the per-model quantiles are exact;
+    /// for a streaming run ([`crate::ScenarioCfg::full_records`] off)
+    /// they come from the latency sketches, with rank error bounded by
+    /// [`crate::LATENCY_SKETCH_EPS`]. Both paths list models in first-
+    /// completion order.
     #[must_use]
     pub fn from_result(r: &SimResult) -> Self {
+        let models = if r.records.is_empty() && r.stats.completed > 0 {
+            Self::models_from_stats(r)
+        } else {
+            Self::models_from_records(r)
+        };
+        SloReport {
+            models,
+            completed: r.stats.completed,
+            dropped: r.dropped,
+            abandoned: r.abandoned,
+            throughput_rps: r.throughput_rps(),
+            goodput_rps: r.goodput_rps(),
+            slo_attainment: r.slo_attainment(),
+            utilization: r.utilization(),
+        }
+    }
+
+    /// Exact path: per-model rows from the retained records.
+    fn models_from_records(r: &SimResult) -> Vec<ModelSlo> {
         let mut order: Vec<&'static str> = Vec::new();
         for rec in &r.records {
             let name = model_short_name(rec.model);
@@ -63,7 +88,7 @@ impl SloReport {
                 order.push(name);
             }
         }
-        let models = order
+        order
             .iter()
             .map(|&name| {
                 let recs: Vec<&RequestRecord> = r
@@ -85,17 +110,32 @@ impl SloReport {
                     mean_batch: recs.iter().map(|rec| rec.batch as f64).sum::<f64>() / n,
                 }
             })
-            .collect();
-        SloReport {
-            models,
-            completed: r.records.len() as u64,
-            dropped: r.dropped,
-            abandoned: r.abandoned,
-            throughput_rps: r.throughput_rps(),
-            goodput_rps: r.goodput_rps(),
-            slo_attainment: r.slo_attainment(),
-            utilization: r.utilization(),
-        }
+            .collect()
+    }
+
+    /// Streaming path: per-model rows from running sums and quantile
+    /// sketches, sorted into first-completion order to match the exact
+    /// path's row ordering.
+    fn models_from_stats(r: &SimResult) -> Vec<ModelSlo> {
+        let mut stats: Vec<&crate::cluster::ModelStats> =
+            r.stats.per_model.iter().filter(|m| m.completed > 0).collect();
+        stats.sort_by_key(|m| m.first_done_seq);
+        stats
+            .iter()
+            .map(|m| {
+                let n = m.completed as f64;
+                ModelSlo {
+                    model: model_short_name(m.model).to_string(),
+                    completed: m.completed,
+                    mean_wait_s: m.wait_sum_s / n,
+                    p50_s: m.latency_sketch.quantile(0.50),
+                    p95_s: m.latency_sketch.quantile(0.95),
+                    p99_s: m.latency_sketch.quantile(0.99),
+                    slo_attainment: m.on_time as f64 / n,
+                    mean_batch: m.batch_sum as f64 / n,
+                }
+            })
+            .collect()
     }
 
     /// Renders the per-model table plus the cluster summary line.
@@ -198,5 +238,74 @@ mod tests {
         assert!(text.contains("parti"));
         assert!(text.contains("goodput"));
         assert!(text.contains("SLO attainment"));
+    }
+
+    /// A ~10k-request scenario in both modes: every streaming-report
+    /// quantile must land within the sketch's documented rank-error
+    /// bound of the exact (sorted-records) answer, and all the exact
+    /// running sums must agree to float precision.
+    #[test]
+    fn streaming_report_matches_exact_within_sketch_bound() {
+        let mix = RequestMix::new(vec![
+            (ModelId::StableDiffusion, 3.0),
+            (ModelId::Parti, 1.0),
+        ]);
+        let profile = ServiceProfile::new(vec![
+            ServiceCurve::constant(ModelId::StableDiffusion, 0.015),
+            ServiceCurve::constant(ModelId::Parti, 0.03),
+        ]);
+        let cfg = ScenarioCfg::new(
+            2,
+            mix,
+            ArrivalProcess::poisson(100.0),
+            SchedulerKind::Fifo,
+            SloSpec::FixedS(0.5),
+            120.0,
+            5,
+        );
+        let full = simulate(&cfg, &profile, &Registry::new());
+        assert!(full.records.len() > 10_000, "want a 10k+ run, got {}", full.records.len());
+        let streaming_cfg = ScenarioCfg { full_records: false, ..cfg };
+        let streaming = simulate(&streaming_cfg, &profile, &Registry::new());
+
+        let exact = SloReport::from_result(&full);
+        let sketched = SloReport::from_result(&streaming);
+        assert_eq!(exact.models.len(), sketched.models.len());
+        assert_eq!(exact.completed, sketched.completed);
+        assert!((exact.slo_attainment - sketched.slo_attainment).abs() < 1e-12);
+
+        for (em, sm) in exact.models.iter().zip(&sketched.models) {
+            assert_eq!(em.model, sm.model, "row order must match the exact report");
+            assert_eq!(em.completed, sm.completed);
+            assert!((em.mean_wait_s - sm.mean_wait_s).abs() < 1e-9);
+            assert!((em.mean_batch - sm.mean_batch).abs() < 1e-9);
+            // Value-level check of the rank bound: the sketched quantile
+            // must sit between the exact order statistics err ranks away.
+            let mut lat: Vec<f64> = full
+                .records
+                .iter()
+                .filter(|r| model_short_name(r.model) == em.model)
+                .map(RequestRecord::latency_s)
+                .collect();
+            lat.sort_by(f64::total_cmp);
+            let n = lat.len();
+            let ms = streaming
+                .stats
+                .per_model
+                .iter()
+                .find(|m| model_short_name(m.model) == em.model)
+                .unwrap();
+            let err = ms.latency_sketch.rank_error_ranks().ceil() as usize + 1;
+            for (q, got) in [(0.50, sm.p50_s), (0.95, sm.p95_s), (0.99, sm.p99_s)] {
+                let r = (q * (n - 1) as f64).round() as usize;
+                let lo = lat[r.saturating_sub(err)];
+                let hi = lat[(r + err).min(n - 1)];
+                assert!(
+                    (lo..=hi).contains(&got),
+                    "{} q{q}: {got} outside [{lo}, {hi}] (±{err} ranks of {n})",
+                    em.model
+                );
+            }
+        }
     }
 }

@@ -343,14 +343,23 @@ impl RequestMix {
     /// Samples one model from a uniform variate `u ∈ [0, 1)`.
     #[must_use]
     pub fn sample(&self, u: f64) -> ModelId {
+        self.entries[self.sample_index(u)].0
+    }
+
+    /// Like [`RequestMix::sample`], but returns the index into
+    /// [`RequestMix::entries`] — the serving fast path uses the index to
+    /// address pre-resolved per-model state (telemetry handles, service
+    /// curves) without re-scanning the mix.
+    #[must_use]
+    pub fn sample_index(&self, u: f64) -> usize {
         let mut remaining = u.clamp(0.0, 1.0) * self.total_weight;
-        for (id, w) in &self.entries {
+        for (i, (_, w)) in self.entries.iter().enumerate() {
             if remaining < *w {
-                return *id;
+                return i;
             }
             remaining -= w;
         }
-        self.entries.last().expect("mix is non-empty").0
+        self.entries.len() - 1
     }
 }
 

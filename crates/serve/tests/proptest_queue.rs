@@ -1,0 +1,94 @@
+//! Property tests: the calendar queue is event-for-event identical to
+//! the `BinaryHeap` oracle under random schedule/pop interleavings.
+//!
+//! Both kernels promise the same contract — pops in `(time, insertion
+//! sequence)` order with a forward-only clock — so driving them in
+//! lockstep with the same operation stream must produce the identical
+//! pop sequence, lengths, and clock readings at every step.
+
+use mmg_serve::{CalendarEventQueue, HeapEventQueue};
+use proptest::prelude::*;
+
+/// Drives both queues with the same op stream and asserts lockstep
+/// equality. `ops` entries: (coarse time step, pop decision). Times are
+/// quantized to a grid so same-instant ties happen constantly, which is
+/// exactly where the (time, seq) tiebreak matters.
+fn drive(ops: &[(u32, u32)], quantum: f64, horizon_jump: bool) {
+    let mut cal = CalendarEventQueue::new();
+    let mut heap = HeapEventQueue::new();
+    let mut scheduled = 0u64;
+    let mut popped = 0u64;
+    for (i, &(step, decide)) in ops.iter().enumerate() {
+        let at = cal.now_s() + f64::from(step) * quantum;
+        assert_eq!(cal.now_s(), heap.now_s(), "clocks diverged before op {i}");
+        cal.schedule(at, (i, scheduled));
+        heap.schedule(at, (i, scheduled));
+        scheduled += 1;
+        if horizon_jump && decide % 17 == 0 {
+            // Occasionally schedule far in the future to exercise the
+            // calendar's sparse-jump path.
+            let far = cal.now_s() + 1.0e6 + f64::from(step);
+            cal.schedule(far, (usize::MAX, scheduled));
+            heap.schedule(far, (usize::MAX, scheduled));
+            scheduled += 1;
+        }
+        if decide % 3 != 0 {
+            let a = cal.pop();
+            let b = heap.pop();
+            assert_eq!(a, b, "pop diverged at op {i}");
+            if a.is_some() {
+                popped += 1;
+            }
+            assert_eq!(cal.now_s(), heap.now_s(), "clock diverged at op {i}");
+        }
+        assert_eq!(cal.len(), heap.len(), "len diverged at op {i}");
+    }
+    // Drain: every remaining event must come out identically.
+    loop {
+        let a = cal.pop();
+        let b = heap.pop();
+        assert_eq!(a, b, "drain diverged after {popped} pops");
+        if a.is_none() {
+            break;
+        }
+        popped += 1;
+    }
+    assert_eq!(popped, scheduled, "event conservation");
+    assert!(cal.is_empty() && heap.is_empty());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Dense tie-heavy streams: tiny quantized steps collide constantly.
+    #[test]
+    fn calendar_matches_heap_dense(
+        steps in proptest::collection::vec((0u32..4, 0u32..100), 200..800),
+    ) {
+        drive(&steps, 0.25, false);
+    }
+
+    /// Spread-out streams with occasional far-future bursts, forcing
+    /// calendar resizes and empty-year jumps.
+    #[test]
+    fn calendar_matches_heap_sparse(
+        steps in proptest::collection::vec((0u32..1000, 0u32..100), 100..400),
+    ) {
+        drive(&steps, 0.013, true);
+    }
+
+    /// Sub-nanosecond quanta: floating-point bucketing must not reorder.
+    #[test]
+    fn calendar_matches_heap_fine_grained(
+        steps in proptest::collection::vec((0u32..50, 0u32..100), 100..400),
+    ) {
+        drive(&steps, 1.0e-9, false);
+    }
+}
+
+/// Pure-tie stress: thousands of events at identical instants.
+#[test]
+fn calendar_matches_heap_all_ties() {
+    let ops: Vec<(u32, u32)> = (0..3_000).map(|i| (0, i % 100)).collect();
+    drive(&ops, 1.0, false);
+}

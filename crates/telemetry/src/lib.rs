@@ -20,6 +20,10 @@
 
 #![deny(missing_docs)]
 
+pub mod sketch;
+
+pub use sketch::QuantileSketch;
+
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -226,6 +230,18 @@ fn full_name(key: &Key) -> String {
     }
 }
 
+/// Inverse of [`full_name`]: splits `name{labels}` back into the
+/// registry key.
+fn parse_full_name(full: &str) -> Key {
+    match full.split_once('{') {
+        Some((name, labels)) => (
+            name.to_string(),
+            labels.strip_suffix('}').unwrap_or(labels).to_string(),
+        ),
+        None => (full.to_string(), String::new()),
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Spans
 // ---------------------------------------------------------------------------
@@ -240,8 +256,11 @@ pub struct SpanRecord {
     /// Span duration in microseconds.
     pub dur_us: f64,
     /// Counter increments observed while the span was open, full metric
-    /// name → delta; zero-delta counters are omitted.
-    pub counter_deltas: Vec<(String, u64)>,
+    /// name → delta; zero-delta counters are omitted. Shared (`Arc`) so
+    /// replay paths that stamp thousands of identical spans — e.g. the
+    /// profiler memo serving a 50-step denoising loop — can attach the
+    /// same delta list without cloning every string.
+    pub counter_deltas: Arc<Vec<(String, u64)>>,
 }
 
 /// Point-in-time view of every counter in a registry. Subtract two
@@ -308,7 +327,7 @@ impl Drop for SpanGuard {
             path: std::mem::take(&mut self.path),
             start_us: self.start_us,
             dur_us: self.start.elapsed().as_secs_f64() * 1e6,
-            counter_deltas: self.snap.delta_since(&self.registry),
+            counter_deltas: Arc::new(self.snap.delta_since(&self.registry)),
         };
         if let Ok(mut spans) = self.registry.inner.spans.lock() {
             spans.push(record);
@@ -472,15 +491,23 @@ impl Registry {
     pub fn apply_counter_deltas(&self, deltas: &[(String, u64)]) {
         let mut map = self.inner.counters.lock().expect("counter registry poisoned");
         for (full, delta) in deltas {
-            let key = match full.split_once('{') {
-                Some((name, labels)) => (
-                    name.to_string(),
-                    labels.strip_suffix('}').unwrap_or(labels).to_string(),
-                ),
-                None => (full.clone(), String::new()),
-            };
+            let key = parse_full_name(full);
             map.entry(key).or_default().fetch_add(*delta, Ordering::Relaxed);
         }
+    }
+
+    /// Resolves a full metric name — `name` or `name{label="v"}`, the
+    /// form [`CounterSnapshot::delta_since`] reports — to its [`Counter`]
+    /// handle, creating the counter at zero if absent. Replay paths that
+    /// apply the same delta list many times resolve handles once with
+    /// this and then [`Counter::add`] lock-free, instead of paying
+    /// [`Registry::apply_counter_deltas`]'s registry lock and name parse
+    /// on every application.
+    #[must_use]
+    pub fn counter_handle(&self, full: &str) -> Counter {
+        let key = parse_full_name(full);
+        let mut map = self.inner.counters.lock().expect("counter registry poisoned");
+        Counter(Arc::clone(map.entry(key).or_default()))
     }
 
     /// Merges another registry's state into this one, deterministically:
@@ -735,8 +762,8 @@ impl Registry {
                         "counter_deltas".to_string(),
                         Value::Object(
                             s.counter_deltas
-                                .into_iter()
-                                .map(|(k, v)| (k, Value::from(v)))
+                                .iter()
+                                .map(|(k, v)| (k.clone(), Value::from(*v)))
                                 .collect(),
                         ),
                     ),
@@ -856,9 +883,9 @@ mod tests {
         assert_eq!(spans.len(), 2);
         // Inner closes first.
         assert_eq!(spans[0].path, "unet.attn");
-        assert_eq!(spans[0].counter_deltas, vec![("work_total".to_string(), 7)]);
+        assert_eq!(*spans[0].counter_deltas, vec![("work_total".to_string(), 7)]);
         assert_eq!(spans[1].path, "unet");
-        assert_eq!(spans[1].counter_deltas, vec![("work_total".to_string(), 13)]);
+        assert_eq!(*spans[1].counter_deltas, vec![("work_total".to_string(), 13)]);
         assert!(spans[1].dur_us >= spans[0].dur_us);
     }
 
@@ -954,13 +981,27 @@ mod tests {
     }
 
     #[test]
+    fn counter_handle_resolves_full_names() {
+        let r = Registry::new();
+        r.counter_with("labelled", &[("kind", "gemm")]).add(2);
+        let h = r.counter_handle("labelled{kind=\"gemm\"}");
+        h.add(3);
+        assert_eq!(r.counter_with("labelled", &[("kind", "gemm")]).get(), 5);
+        // Unknown names create the counter at zero, like apply_counter_deltas.
+        let created = r.counter_handle("fresh_total");
+        assert_eq!(r.counter("fresh_total").get(), 0);
+        created.inc();
+        assert_eq!(r.counter("fresh_total").get(), 1);
+    }
+
+    #[test]
     fn record_span_appends_verbatim() {
         let r = Registry::new();
         let record = SpanRecord {
             path: "unet.replayed".to_string(),
             start_us: 12.5,
             dur_us: 3.0,
-            counter_deltas: vec![("k".to_string(), 7)],
+            counter_deltas: Arc::new(vec![("k".to_string(), 7)]),
         };
         r.record_span(record.clone());
         assert_eq!(r.finished_spans(), vec![record]);
@@ -994,7 +1035,7 @@ mod tests {
             path: "exp".to_string(),
             start_us: 0.0,
             dur_us: 1.0,
-            counter_deltas: vec![],
+            counter_deltas: Arc::new(vec![]),
         });
         a.merge_from(&b);
         assert_eq!(a.counter("shared_total").get(), 12);
