@@ -1,0 +1,235 @@
+//! `repro bench-check` — compare two `BENCH_*.json` snapshots and flag
+//! regressions.
+//!
+//! A snapshot (written by `repro bench-snapshot`) records per-experiment
+//! wall seconds plus the serving fast-path figure (`serve.wall_s`,
+//! `serve.requests_per_sec`). This module diffs two snapshots:
+//!
+//! * an **experiment** regresses when its new wall time exceeds the old
+//!   by more than the threshold — but only when at least one side is
+//!   above the wall-time floor, so micro-benchmarks that jitter between
+//!   2 ms and 4 ms don't page anyone;
+//! * the **serve** figure regresses when `requests_per_sec` *drops* by
+//!   more than the threshold (it is a throughput, so the direction
+//!   flips).
+//!
+//! Only experiments present in both snapshots are compared (the suite
+//! grows PR over PR; a new experiment has no baseline). The comparison
+//! is pure data → data, so the CLI wrapper stays a thin argument parser
+//! and the whole policy is unit-testable.
+
+use serde_json::Value;
+
+/// Default regression threshold: 15% (the CI wiring passes a much
+/// looser one — shared runners jitter).
+pub const DEFAULT_THRESHOLD: f64 = 0.15;
+/// Default wall-time floor below which experiment timings are ignored.
+pub const DEFAULT_MIN_WALL_S: f64 = 0.05;
+
+/// Comparison of one figure across the two snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureDelta {
+    /// Figure name (`experiment:<id>` or `serve:requests_per_sec`).
+    pub name: String,
+    /// Baseline value.
+    pub old: f64,
+    /// Candidate value.
+    pub new: f64,
+    /// `new/old - 1` (positive = slower for wall times, faster for
+    /// throughputs).
+    pub ratio: f64,
+    /// Whether this delta crosses the regression threshold.
+    pub regressed: bool,
+}
+
+/// The verdict of a snapshot comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchCheck {
+    /// Per-figure deltas, experiments first (snapshot order), serve last.
+    pub deltas: Vec<FigureDelta>,
+    /// Experiments present in only one snapshot (skipped).
+    pub skipped: Vec<String>,
+    /// Threshold the check ran with.
+    pub threshold: f64,
+}
+
+impl BenchCheck {
+    /// Whether any figure regressed.
+    #[must_use]
+    pub fn regressed(&self) -> bool {
+        self.deltas.iter().any(|d| d.regressed)
+    }
+}
+
+fn experiments(v: &Value) -> Vec<(String, f64)> {
+    let Some(Value::Object(pairs)) = v.field("experiments") else {
+        return Vec::new();
+    };
+    pairs
+        .iter()
+        .filter_map(|(name, val)| val.as_f64().map(|w| (name.clone(), w)))
+        .collect()
+}
+
+fn serve_rps(v: &Value) -> Option<f64> {
+    v.field("serve")?.field("requests_per_sec")?.as_f64()
+}
+
+/// Compares a baseline snapshot against a candidate.
+///
+/// `threshold` is the allowed relative change (0.15 = 15%);
+/// `min_wall_s` is the experiment wall-time floor: a timing delta only
+/// counts when `max(old, new)` reaches it.
+#[must_use]
+pub fn compare(old: &Value, new: &Value, threshold: f64, min_wall_s: f64) -> BenchCheck {
+    let old_exps = experiments(old);
+    let new_exps = experiments(new);
+    let mut deltas = Vec::new();
+    let mut skipped = Vec::new();
+
+    for (name, old_wall) in &old_exps {
+        let Some((_, new_wall)) = new_exps.iter().find(|(n, _)| n == name) else {
+            skipped.push(name.clone());
+            continue;
+        };
+        let ratio = if *old_wall > 0.0 { new_wall / old_wall - 1.0 } else { 0.0 };
+        let material = old_wall.max(*new_wall) >= min_wall_s;
+        deltas.push(FigureDelta {
+            name: format!("experiment:{name}"),
+            old: *old_wall,
+            new: *new_wall,
+            ratio,
+            regressed: material && ratio > threshold,
+        });
+    }
+    for (name, _) in &new_exps {
+        if !old_exps.iter().any(|(n, _)| n == name) {
+            skipped.push(name.clone());
+        }
+    }
+
+    if let (Some(old_rps), Some(new_rps)) = (serve_rps(old), serve_rps(new)) {
+        let ratio = if old_rps > 0.0 { new_rps / old_rps - 1.0 } else { 0.0 };
+        deltas.push(FigureDelta {
+            name: "serve:requests_per_sec".to_string(),
+            old: old_rps,
+            new: new_rps,
+            ratio,
+            // Throughput: a regression is a *drop* beyond the threshold.
+            regressed: ratio < -threshold,
+        });
+    }
+
+    BenchCheck { deltas, skipped, threshold }
+}
+
+/// Renders the check as the report `repro bench-check` prints.
+#[must_use]
+pub fn render(c: &BenchCheck) -> String {
+    let mut out = String::new();
+    for d in &c.deltas {
+        let mark = if d.regressed { "REGRESSED" } else { "ok" };
+        out.push_str(&format!(
+            "{:<40} {:>12.4} -> {:>12.4} ({:+.1}%)  {mark}\n",
+            d.name,
+            d.old,
+            d.new,
+            d.ratio * 100.0
+        ));
+    }
+    if !c.skipped.is_empty() {
+        out.push_str(&format!("skipped (present in one snapshot): {}\n", c.skipped.join(", ")));
+    }
+    out.push_str(&format!(
+        "bench-check: {} figures compared at ±{:.0}% — {}\n",
+        c.deltas.len(),
+        c.threshold * 100.0,
+        if c.regressed() { "REGRESSION" } else { "no regression" }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(exps: &[(&str, f64)], rps: Option<f64>) -> Value {
+        let mut fields = vec![(
+            "experiments".to_string(),
+            Value::Object(
+                exps.iter().map(|(n, w)| ((*n).to_string(), Value::from(*w))).collect(),
+            ),
+        )];
+        if let Some(r) = rps {
+            fields.push((
+                "serve".to_string(),
+                Value::Object(vec![("requests_per_sec".to_string(), Value::from(r))]),
+            ));
+        }
+        Value::Object(fields)
+    }
+
+    #[test]
+    fn clean_comparison_passes() {
+        let old = snapshot(&[("fig6", 1.0), ("table2", 2.0)], Some(2.9e6));
+        let new = snapshot(&[("fig6", 1.05), ("table2", 1.9)], Some(2.95e6));
+        let c = compare(&old, &new, 0.15, 0.05);
+        assert!(!c.regressed());
+        assert_eq!(c.deltas.len(), 3);
+        assert!(c.skipped.is_empty());
+    }
+
+    #[test]
+    fn slow_experiment_regresses() {
+        let old = snapshot(&[("fig6", 1.0)], None);
+        let new = snapshot(&[("fig6", 1.2)], None);
+        let c = compare(&old, &new, 0.15, 0.05);
+        assert!(c.regressed());
+        assert_eq!(c.deltas[0].name, "experiment:fig6");
+        assert!(c.deltas[0].regressed);
+    }
+
+    #[test]
+    fn tiny_wall_times_never_regress() {
+        // 2 ms -> 40 ms is a 20x blowup but below the floor: jitter on a
+        // shared runner, not a regression.
+        let old = snapshot(&[("fig4", 0.002)], None);
+        let new = snapshot(&[("fig4", 0.040)], None);
+        assert!(!compare(&old, &new, 0.15, 0.05).regressed());
+        // …but crossing the floor counts.
+        let new = snapshot(&[("fig4", 0.080)], None);
+        assert!(compare(&old, &new, 0.15, 0.05).regressed());
+    }
+
+    #[test]
+    fn serve_throughput_drop_regresses_and_gain_does_not() {
+        let old = snapshot(&[], Some(2.9e6));
+        let drop = snapshot(&[], Some(2.0e6));
+        assert!(compare(&old, &drop, 0.15, 0.05).regressed());
+        let gain = snapshot(&[], Some(4.0e6));
+        assert!(!compare(&old, &gain, 0.15, 0.05).regressed());
+        // A wall-time-style increase must NOT be treated as a regression
+        // for a throughput figure.
+        let c = compare(&old, &gain, 0.15, 0.05);
+        assert!(c.deltas[0].ratio > 0.15 && !c.deltas[0].regressed);
+    }
+
+    #[test]
+    fn disjoint_experiments_are_skipped_not_compared() {
+        let old = snapshot(&[("fig6", 1.0), ("retired", 3.0)], None);
+        let new = snapshot(&[("fig6", 1.0), ("brand-new", 9.0)], None);
+        let c = compare(&old, &new, 0.15, 0.05);
+        assert!(!c.regressed());
+        assert_eq!(c.skipped, vec!["retired".to_string(), "brand-new".to_string()]);
+    }
+
+    #[test]
+    fn render_reports_verdict() {
+        let old = snapshot(&[("fig6", 1.0)], Some(2.9e6));
+        let new = snapshot(&[("fig6", 2.0)], Some(2.9e6));
+        let text = render(&compare(&old, &new, 0.15, 0.05));
+        assert!(text.contains("REGRESSED") && text.contains("REGRESSION"));
+        let ok = render(&compare(&old, &old, 0.15, 0.05));
+        assert!(ok.contains("no regression"));
+    }
+}

@@ -11,6 +11,7 @@
 //! repro --trace-out t.json …   # Perfetto trace of one SD UNet step
 //! repro --manifest run.json …  # run manifest (device, ids, counters)
 //! repro bench-snapshot         # time each experiment → BENCH_<date>.json
+//! repro bench-check old new    # diff two snapshots; exit 1 on regression
 //! repro serve --gpus 4 --mix sd:8,parti:2 --scheduler dynamic --slo-ms 2000
 //!                              # serving-cluster DES (see `serve` below)
 //! ```
@@ -25,8 +26,10 @@
 //! `--router` (rr | least-work | affinity), `--slo-ms` (default: 4x
 //! each model's own service time), `--duration-s`, `--requests`
 //! (arrival cap), `--seed`, `--metrics <path>` (Prometheus dump of the
-//! `serve_*` series), and `--full-records`. One seed fixes the whole
-//! sample path, so stdout is byte-identical across runs, machines, and
+//! `serve_*` series), `--trace-out <path>` (Perfetto flight-recorder
+//! trace: per-GPU batch lanes, scheduler instants, counter tracks), and
+//! `--full-records`. One seed fixes the whole sample path, so stdout —
+//! and the flight trace — is byte-identical across runs, machines, and
 //! job counts.
 //!
 //! By default `serve` runs in streaming mode: constant memory no matter
@@ -192,8 +195,8 @@ fn bench_snapshot(spec: &DeviceSpec, path: Option<String>) -> Result<String, Str
 /// path, so stdout is byte-identical across invocations.
 fn serve_main(args: &[String]) -> Result<(), String> {
     use mmg_serve::{
-        simulate, ArrivalProcess, RequestMix, ScenarioCfg, SchedulerKind, ServiceProfile,
-        SloReport, SloSpec,
+        simulate, simulate_recorded, ArrivalProcess, FlightCfg, RequestMix, ScenarioCfg,
+        SchedulerKind, ServiceProfile, SloReport, SloSpec,
     };
 
     let mut spec = DeviceSpec::a100_80gb();
@@ -209,6 +212,7 @@ fn serve_main(args: &[String]) -> Result<(), String> {
     let mut max_requests: Option<u64> = None;
     let mut seed = 42u64;
     let mut metrics_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut full_records = false;
     let mut i = 0;
     while i < args.len() {
@@ -283,9 +287,20 @@ fn serve_main(args: &[String]) -> Result<(), String> {
                     .map_err(|_| "--seed requires a non-negative integer".to_string())?;
             }
             "--metrics" => metrics_path = Some(value.clone()),
+            "--trace-out" => trace_path = Some(value.clone()),
+            "--jobs" => {
+                // The scenario DES is inherently serial; the flag exists so
+                // determinism harnesses can assert the trace bytes do not
+                // depend on the advertised worker count.
+                value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| "--jobs requires a positive integer".to_string())?;
+            }
             other => {
                 return Err(format!(
-                    "unknown serve flag '{other}'; expected --device | --gpus | --mix | --arrival | --rate | --scheduler | --batch | --router | --slo-ms | --duration-s | --requests | --seed | --metrics | --full-records"
+                    "unknown serve flag '{other}'; expected --device | --gpus | --mix | --arrival | --rate | --scheduler | --batch | --router | --slo-ms | --duration-s | --requests | --seed | --metrics | --trace-out | --jobs | --full-records"
                 ));
             }
         }
@@ -330,7 +345,13 @@ fn serve_main(args: &[String]) -> Result<(), String> {
     }
 
     let sim_started = Instant::now();
-    let result = simulate(&cfg, &profile, &ctx.registry);
+    let (result, flight) = if trace_path.is_some() {
+        let (result, flight) =
+            simulate_recorded(&cfg, &profile, &ctx.registry, FlightCfg::for_horizon(duration_s));
+        (result, Some(flight))
+    } else {
+        (simulate(&cfg, &profile, &ctx.registry), None)
+    };
     let sim_wall_s = sim_started.elapsed().as_secs_f64();
     println!(
         "device: {} | gpus: {gpus} | mix: {mix_spec} | arrival: {arrival_name} @ {rate:.3}/s",
@@ -355,7 +376,68 @@ fn serve_main(args: &[String]) -> Result<(), String> {
     if let Some(path) = &metrics_path {
         write_file(path, &ctx.registry.render_prometheus(), "metrics")?;
     }
+    if let (Some(path), Some(flight)) = (&trace_path, &flight) {
+        write_file(path, &flight.to_chrome_trace_object(), "serve flight trace")?;
+        eprintln!(
+            "flight trace: {} batch spans, {} scheduler events, {} windows",
+            flight.batches.len(),
+            flight.instants.len(),
+            flight.series.iter().count(),
+        );
+    }
     Ok(())
+}
+
+/// `repro bench-check <old> <new>` — compare two `bench-snapshot`
+/// outputs and exit nonzero when any figure regressed.
+fn bench_check_main(args: &[String]) -> Result<bool, String> {
+    use mmg_core::benchcheck;
+
+    let mut threshold = benchcheck::DEFAULT_THRESHOLD;
+    let mut min_wall_s = benchcheck::DEFAULT_MIN_WALL_S;
+    let mut paths: Vec<&String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        match arg {
+            "--threshold" | "--min-wall-s" => {
+                i += 1;
+                let parsed = args
+                    .get(i)
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .filter(|v| *v >= 0.0)
+                    .ok_or_else(|| format!("{arg} requires a non-negative number"))?;
+                if arg == "--threshold" {
+                    threshold = parsed;
+                } else {
+                    min_wall_s = parsed;
+                }
+            }
+            other if other.starts_with("--") => {
+                return Err(format!(
+                    "unknown bench-check flag '{other}'; expected --threshold | --min-wall-s"
+                ));
+            }
+            _ => paths.push(&args[i]),
+        }
+        i += 1;
+    }
+    let [old_path, new_path] = paths[..] else {
+        return Err(
+            "usage: repro bench-check <old.json> <new.json> [--threshold <frac>] [--min-wall-s <s>]"
+                .to_string(),
+        );
+    };
+    let read = |path: &String| -> Result<serde_json::Value, String> {
+        let body = std::fs::read_to_string(path)
+            .map_err(|e| format!("failed to read snapshot {path}: {e}"))?;
+        serde_json::from_str(&body).map_err(|e| format!("snapshot {path} is not valid JSON: {e}"))
+    };
+    let old = read(old_path)?;
+    let new = read(new_path)?;
+    let check = benchcheck::compare(&old, &new, threshold, min_wall_s);
+    print!("{}", benchcheck::render(&check));
+    Ok(check.regressed())
 }
 
 fn main() -> ExitCode {
@@ -363,6 +445,16 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("serve") {
         return match serve_main(&args[1..]) {
             Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.first().map(String::as_str) == Some("bench-check") {
+        return match bench_check_main(&args[1..]) {
+            Ok(false) => ExitCode::SUCCESS,
+            Ok(true) => ExitCode::FAILURE,
             Err(e) => {
                 eprintln!("{e}");
                 ExitCode::FAILURE
@@ -503,8 +595,9 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     if targets.is_empty() {
-        eprintln!("usage: repro [--device <name>] [--jobs <n>] [--json] [--metrics <path>] [--trace-out <path>] [--manifest <path>] [--replications <n> [--sweep-seed <n>]] <bench-snapshot | all | fig1 | table1 | fig4 | fig5 | fig6 | table2 | table3 | fig7 | fig8 | fig9 | fig11 | fig12 | fig13 | secv | flashdec | pods | batch | tp | ablations | serve-sweep>…");
-        eprintln!("       repro serve [--device <name>] [--gpus <n>] [--mix <model:weight,…>] [--arrival <poisson|bursty|diurnal>] [--rate <rps>] [--scheduler <fifo|static|dynamic|pods>] [--batch <n>] [--router <rr|least-work|affinity>] [--slo-ms <ms>] [--duration-s <s>] [--requests <n>] [--seed <n>] [--metrics <path>] [--full-records]");
+        eprintln!("usage: repro [--device <name>] [--jobs <n>] [--json] [--metrics <path>] [--trace-out <path>] [--manifest <path>] [--replications <n> [--sweep-seed <n>]] <bench-snapshot | all | fig1 | table1 | fig4 | fig5 | fig6 | table2 | table3 | fig7 | fig8 | fig9 | fig11 | fig12 | fig13 | secv | flashdec | pods | batch | tp | ablations | serve-sweep | serve-timeline>…");
+        eprintln!("       repro serve [--device <name>] [--gpus <n>] [--mix <model:weight,…>] [--arrival <poisson|bursty|diurnal>] [--rate <rps>] [--scheduler <fifo|static|dynamic|pods>] [--batch <n>] [--router <rr|least-work|affinity>] [--slo-ms <ms>] [--duration-s <s>] [--requests <n>] [--seed <n>] [--metrics <path>] [--trace-out <path>] [--jobs <n>] [--full-records]");
+        eprintln!("       repro bench-check <old.json> <new.json> [--threshold <frac>] [--min-wall-s <s>]");
         return ExitCode::FAILURE;
     }
     let jobs = jobs.unwrap_or_else(|| {

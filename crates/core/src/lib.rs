@@ -36,6 +36,7 @@
 
 #![deny(missing_docs)]
 
+pub mod benchcheck;
 pub mod engine;
 pub mod experiments;
 mod runner;

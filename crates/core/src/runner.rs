@@ -8,7 +8,7 @@ use mmg_gpu::DeviceSpec;
 use crate::engine::ExecContext;
 use crate::experiments::{
     ablations, batch, fig1, fig11, fig12, fig13, fig4, fig5, fig6, fig7, fig8, fig9, flashdec, pods, secv,
-    serve_sweep, table1, table2, table3, tp,
+    serve_sweep, serve_timeline, table1, table2, table3, tp,
 };
 
 /// Identifier of one reproducible artifact.
@@ -54,11 +54,13 @@ pub enum ExperimentId {
     Ablations,
     /// Extension: serving-cluster scheduler sweep on the DES.
     ServeSweep,
+    /// Extension: windowed serving timeline (FIFO vs dynamic over time).
+    ServeTimeline,
 }
 
 impl ExperimentId {
     /// All experiments in paper order.
-    pub const ALL: [ExperimentId; 20] = [
+    pub const ALL: [ExperimentId; 21] = [
         ExperimentId::Fig1,
         ExperimentId::Table1,
         ExperimentId::Fig4,
@@ -79,6 +81,7 @@ impl ExperimentId {
         ExperimentId::Tp,
         ExperimentId::Ablations,
         ExperimentId::ServeSweep,
+        ExperimentId::ServeTimeline,
     ];
 }
 
@@ -105,6 +108,7 @@ impl fmt::Display for ExperimentId {
             ExperimentId::Tp => "tp",
             ExperimentId::Ablations => "ablations",
             ExperimentId::ServeSweep => "serve-sweep",
+            ExperimentId::ServeTimeline => "serve-timeline",
         };
         f.write_str(s)
     }
@@ -176,6 +180,7 @@ pub fn run_experiment_with(id: ExperimentId, ctx: &ExecContext) -> String {
         ExperimentId::Tp => tp::render(&tp::run(spec, &tp::default_widths())),
         ExperimentId::Ablations => ablations::render(&ablations::run_ctx(ctx)),
         ExperimentId::ServeSweep => serve_sweep::render(&serve_sweep::run_ctx(ctx)),
+        ExperimentId::ServeTimeline => serve_timeline::render(&serve_timeline::run_ctx(ctx)),
     }
 }
 
@@ -224,6 +229,7 @@ pub fn run_experiment_value_with(id: ExperimentId, ctx: &ExecContext) -> serde_j
         ExperimentId::Tp => v(&tp::run(spec, &tp::default_widths())),
         ExperimentId::Ablations => v(&ablations::run_ctx(ctx)),
         ExperimentId::ServeSweep => v(&serve_sweep::run_ctx(ctx)),
+        ExperimentId::ServeTimeline => v(&serve_timeline::run_ctx(ctx)),
     }
 }
 

@@ -38,6 +38,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::des::EventQueue;
+use crate::flight::{Exemplars, FlightCfg, FlightRecorder};
 use crate::profile::{ServiceCurve, ServiceProfile};
 use crate::workload::{model_short_name, ArrivalGen, ArrivalProcess, RequestMix};
 
@@ -191,6 +192,13 @@ pub struct ScenarioCfg {
     /// the exact path unless a caller opts into streaming; the CLI's
     /// default is streaming with `--full-records` to opt back in.
     pub full_records: bool,
+    /// Reservoir size K of the always-on request-lifecycle
+    /// [`Exemplars`] (uniform sample of completions; survives streaming
+    /// mode). `0` disables the reservoir.
+    pub exemplar_k: usize,
+    /// Exact worst-latency lifecycles retained by the [`Exemplars`].
+    /// `0` disables worst-retention.
+    pub worst_n: usize,
     /// RNG seed for arrivals and mix sampling.
     pub seed: u64,
 }
@@ -220,6 +228,8 @@ impl ScenarioCfg {
             abandon_after_s: None,
             max_queue: None,
             full_records: true,
+            exemplar_k: 8,
+            worst_n: 4,
             seed,
         }
     }
@@ -329,10 +339,14 @@ pub struct ServeStats {
     pub latency_sketch: QuantileSketch,
     /// Per-model aggregates, in mix declaration order.
     pub per_model: Vec<ModelStats>,
+    /// Request-lifecycle exemplars: a seeded uniform sample of
+    /// completions plus the exact worst-latency lifecycles. Maintained
+    /// in both modes, so streaming runs keep explainable tails.
+    pub exemplars: Exemplars,
 }
 
 impl ServeStats {
-    fn new(mix: &RequestMix) -> Self {
+    fn new(mix: &RequestMix, seed: u64, exemplar_k: usize, worst_n: usize) -> Self {
         ServeStats {
             completed: 0,
             on_time: 0,
@@ -341,6 +355,7 @@ impl ServeStats {
             batch_sum: 0,
             latency_sketch: QuantileSketch::new(LATENCY_SKETCH_EPS),
             per_model: mix.entries().iter().map(|(m, _)| ModelStats::new(*m)).collect(),
+            exemplars: Exemplars::new(exemplar_k, worst_n, seed),
         }
     }
 }
@@ -514,6 +529,10 @@ struct Sim<'a> {
     in_system: u64,
     in_flight_at_horizon: u64,
     horizon_snapped: bool,
+    /// Flight recorder, when the caller asked for one
+    /// ([`simulate_recorded`]). `None` keeps the fast path untouched:
+    /// every hook site is guarded by an `Option` check.
+    flight: Option<FlightRecorder>,
 }
 
 impl<'a> Sim<'a> {
@@ -681,6 +700,9 @@ impl<'a> Sim<'a> {
                 if let Some(retry_at) = retry {
                     if retry_at > self.queue.now_s() {
                         self.queue.schedule(retry_at, Event::Timeout { gpu });
+                        if let Some(fl) = self.flight.as_mut() {
+                            fl.on_hold(self.queue.now_s(), gpu, retry_at);
+                        }
                     }
                 }
                 return;
@@ -703,14 +725,32 @@ impl<'a> Sim<'a> {
         // Pod co-scheduling pays off when another batch is waiting to
         // interleave with this one (Section V: denoising pods overlap
         // compute- and memory-bound stages of concurrent requests).
+        let mut pod_applied = false;
         if matches!(self.cfg.scheduler, SchedulerKind::Pods { .. })
             && !self.gpu_queues[gpu].is_empty()
         {
             service_s /= curve.pod_factor.max(1.0);
+            pod_applied = true;
         }
         let finish_s = now + service_s;
         self.busy_s[gpu] += service_s;
         self.batch_h.observe(members.len() as f64);
+        if let Some(fl) = self.flight.as_mut() {
+            let wait_max_s = members
+                .iter()
+                .map(|&s| now - self.reqs[s as usize].arrival_s)
+                .fold(0.0f64, f64::max);
+            fl.on_launch(
+                gpu,
+                self.per_model[mix_idx].model,
+                members.len(),
+                now,
+                finish_s,
+                wait_max_s,
+                self.gpu_queues[gpu].len(),
+                pod_applied,
+            );
+        }
         self.running[gpu] = Some(RunningBatch { ids: members, start_s: now, finish_s });
         self.queue.schedule(finish_s, Event::Depart { gpu });
     }
@@ -726,10 +766,16 @@ impl<'a> Sim<'a> {
         let deadline_s = now + info.slo_delta_s;
         let base_s = info.base_s;
         info.requests_c.inc();
+        if let Some(fl) = self.flight.as_mut() {
+            fl.on_arrival(now);
+        }
         if let Some(cap) = self.cfg.max_queue {
             if self.queued_count >= cap {
                 self.dropped += 1;
                 self.drops_c.inc();
+                if let Some(fl) = self.flight.as_mut() {
+                    fl.on_drop(now);
+                }
                 return;
             }
         }
@@ -802,6 +848,20 @@ impl<'a> Sim<'a> {
             self.stats.latency_sum_s += latency_s;
             self.stats.batch_sum += size as u64;
             self.stats.latency_sketch.observe(latency_s);
+            self.stats.exemplars.observe(latency_s, arrival_id, || RequestRecord {
+                id: arrival_id,
+                model,
+                arrival_s,
+                start_s: batch.start_s,
+                finish_s: batch.finish_s,
+                deadline_s,
+                gpu,
+                batch: size,
+                depth_at_arrival,
+            });
+            if let Some(fl) = self.flight.as_mut() {
+                fl.on_complete(batch.finish_s, latency_s, on_time);
+            }
 
             if self.cfg.full_records {
                 self.records.push(RequestRecord {
@@ -849,6 +909,9 @@ impl<'a> Sim<'a> {
         self.abandoned += 1;
         self.abandoned_wait_s += waited;
         self.abandons_c.inc();
+        if let Some(fl) = self.flight.as_mut() {
+            fl.on_abandon(now, gpu, waited);
+        }
         self.free_slot(slot);
     }
 }
@@ -863,6 +926,38 @@ impl<'a> Sim<'a> {
 /// has no curve for.
 #[must_use]
 pub fn simulate(cfg: &ScenarioCfg, profile: &ServiceProfile, registry: &Registry) -> SimResult {
+    let (result, _flight) = run(cfg, profile, registry, None);
+    result
+}
+
+/// Like [`simulate`], with a [`FlightRecorder`] attached: the returned
+/// recorder holds the run's per-GPU batch timeline, scheduler instants,
+/// and windowed counters, ready for
+/// [`FlightRecorder::to_chrome_trace_object`]. Recording never changes
+/// the simulated trajectory — the [`SimResult`] is identical to an
+/// unrecorded run of the same scenario.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`simulate`].
+#[must_use]
+pub fn simulate_recorded(
+    cfg: &ScenarioCfg,
+    profile: &ServiceProfile,
+    registry: &Registry,
+    flight_cfg: FlightCfg,
+) -> (SimResult, FlightRecorder) {
+    let (result, flight) =
+        run(cfg, profile, registry, Some(FlightRecorder::new(flight_cfg, cfg.gpus)));
+    (result, flight.expect("recorder threaded through the run"))
+}
+
+fn run(
+    cfg: &ScenarioCfg,
+    profile: &ServiceProfile,
+    registry: &Registry,
+    flight: Option<FlightRecorder>,
+) -> (SimResult, Option<FlightRecorder>) {
     assert!(cfg.gpus >= 1, "need at least one GPU");
     assert!(cfg.duration_s > 0.0, "duration must be positive");
     for model in cfg.mix.models() {
@@ -911,7 +1006,7 @@ pub fn simulate(cfg: &ScenarioCfg, profile: &ServiceProfile, registry: &Registry
         abandoned: 0,
         abandoned_wait_s: 0.0,
         records: Vec::new(),
-        stats: ServeStats::new(&cfg.mix),
+        stats: ServeStats::new(&cfg.mix, cfg.seed, cfg.exemplar_k, cfg.worst_n),
         batch_h: registry
             .histogram("serve_batch_size", &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0]),
         drops_c: registry.counter("serve_drops_total"),
@@ -926,6 +1021,7 @@ pub fn simulate(cfg: &ScenarioCfg, profile: &ServiceProfile, registry: &Registry
         in_system: 0,
         in_flight_at_horizon: 0,
         horizon_snapped: false,
+        flight,
     };
 
     let first = sim.next_arrival();
@@ -939,6 +1035,11 @@ pub fn simulate(cfg: &ScenarioCfg, profile: &ServiceProfile, registry: &Registry
         // n(t) is constant between events; accumulate the occupancy
         // integral before the state changes.
         sim.area_requests_s += sim.in_system as f64 * (t - sim.last_event_s);
+        if let Some(fl) = sim.flight.as_mut() {
+            if t > sim.last_event_s {
+                fl.on_occupancy(sim.last_event_s, t, sim.in_system);
+            }
+        }
         sim.last_event_s = t;
         if !sim.horizon_snapped && t >= cfg.duration_s {
             sim.horizon_snapped = true;
@@ -991,7 +1092,7 @@ pub fn simulate(cfg: &ScenarioCfg, profile: &ServiceProfile, registry: &Registry
     let mut arrival_order: Vec<u32> = (0..sim.records.len() as u32).collect();
     arrival_order.sort_by_key(|&i| sim.records[i as usize].id);
 
-    SimResult {
+    let result = SimResult {
         records: sim.records,
         stats: sim.stats,
         arrivals: sim.arrivals,
@@ -1004,7 +1105,8 @@ pub fn simulate(cfg: &ScenarioCfg, profile: &ServiceProfile, registry: &Registry
         abandoned_wait_s: sim.abandoned_wait_s,
         busy_s: sim.busy_s,
         arrival_order,
-    }
+    };
+    (result, sim.flight)
 }
 
 #[cfg(test)]

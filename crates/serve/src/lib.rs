@@ -31,6 +31,10 @@
 //!   schedulers (FIFO, static, deadline-aware dynamic, pods), SLOs,
 //!   admission control and abandonment; [`simulate`] runs a scenario.
 //! - [`report`] — per-model p50/p95/p99, SLO attainment, goodput.
+//! - [`flight`] — the bounded flight recorder: per-GPU batch timelines,
+//!   scheduler instants, windowed counters (Chrome-trace export) and
+//!   always-on request-lifecycle exemplars; [`simulate_recorded`] runs a
+//!   scenario with the recorder attached.
 //!
 //! Determinism: one seed fixes the entire sample path. Runs are
 //! byte-identical across processes and thread counts — the simulation
@@ -41,13 +45,18 @@
 
 pub mod cluster;
 pub mod des;
+pub mod flight;
 pub mod profile;
 pub mod report;
 pub mod workload;
 
 pub use cluster::{
-    simulate, ModelStats, RequestRecord, RouterKind, ScenarioCfg, SchedulerKind, ServeStats,
-    SimResult, SloSpec, LATENCY_SKETCH_EPS,
+    simulate, simulate_recorded, ModelStats, RequestRecord, RouterKind, ScenarioCfg,
+    SchedulerKind, ServeStats, SimResult, SloSpec, LATENCY_SKETCH_EPS,
+};
+pub use flight::{
+    BatchSpan, Exemplars, FlightCfg, FlightRecorder, SchedEvent, SchedKind, ServeWindow,
+    CLUSTER_LANE, FLIGHT_SKETCH_EPS,
 };
 pub use des::{CalendarEventQueue, EventQueue, HeapEventQueue};
 pub use profile::{ServiceCurve, ServiceProfile};

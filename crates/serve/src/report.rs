@@ -29,6 +29,48 @@ pub struct ModelSlo {
     pub mean_batch: f64,
 }
 
+/// One retained worst-latency request lifecycle, flattened for the
+/// report. Sourced from the always-on [`crate::Exemplars`], so these
+/// survive streaming mode, where no per-request records exist.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExemplarRow {
+    /// Arrival-order request id.
+    pub id: u64,
+    /// Short model name.
+    pub model: String,
+    /// Arrival instant, seconds.
+    pub arrival_s: f64,
+    /// Queueing delay, seconds.
+    pub wait_s: f64,
+    /// End-to-end latency, seconds.
+    pub latency_s: f64,
+    /// Seconds past the deadline (0 when on time or no SLO).
+    pub over_s: f64,
+    /// GPU that served it.
+    pub gpu: u64,
+    /// Batch size it was served in.
+    pub batch: u64,
+    /// Requests in the system at its arrival (itself included).
+    pub depth: u64,
+}
+
+impl ExemplarRow {
+    fn from_record(rec: &RequestRecord) -> Self {
+        let over = rec.finish_s - rec.deadline_s;
+        ExemplarRow {
+            id: rec.id,
+            model: model_short_name(rec.model).to_string(),
+            arrival_s: rec.arrival_s,
+            wait_s: rec.wait_s(),
+            latency_s: rec.latency_s(),
+            over_s: if over.is_finite() { over.max(0.0) } else { 0.0 },
+            gpu: rec.gpu as u64,
+            batch: rec.batch as u64,
+            depth: rec.depth_at_arrival,
+        }
+    }
+}
+
 /// Cluster-wide serving report.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SloReport {
@@ -48,6 +90,10 @@ pub struct SloReport {
     pub slo_attainment: f64,
     /// Mean cluster (GPU-time) utilization.
     pub utilization: f64,
+    /// Worst-latency lifecycles, worst first — the p99 sketch says how
+    /// bad the tail is; these say *which* requests it was and what they
+    /// were waiting behind.
+    pub worst: Vec<ExemplarRow>,
 }
 
 impl SloReport {
@@ -76,6 +122,14 @@ impl SloReport {
             goodput_rps: r.goodput_rps(),
             slo_attainment: r.slo_attainment(),
             utilization: r.utilization(),
+            worst: r
+                .stats
+                .exemplars
+                .worst()
+                .iter()
+                .rev()
+                .map(ExemplarRow::from_record)
+                .collect(),
         }
     }
 
@@ -163,7 +217,7 @@ impl SloReport {
             &["Model", "Done", "Mean wait", "p50", "p95", "p99", "SLO attain", "Mean batch"],
             &rows,
         );
-        format!(
+        let mut out = format!(
             "{table}\ncluster: {} done, {} dropped, {} abandoned | throughput {:.2} req/s, \
              goodput {:.2} req/s | SLO attainment {:.1}% | utilization {:.1}%\n",
             self.completed,
@@ -173,7 +227,34 @@ impl SloReport {
             self.goodput_rps,
             self.slo_attainment * 100.0,
             self.utilization * 100.0,
-        )
+        );
+        if !self.worst.is_empty() {
+            let rows: Vec<(String, Vec<String>)> = self
+                .worst
+                .iter()
+                .map(|e| {
+                    (
+                        format!("#{}", e.id),
+                        vec![
+                            e.model.clone(),
+                            format!("{:.3} s", e.arrival_s),
+                            format!("{:.0} ms", e.wait_s * 1e3),
+                            format!("{:.0} ms", e.latency_s * 1e3),
+                            format!("{:.0} ms", e.over_s * 1e3),
+                            format!("gpu{}", e.gpu),
+                            format!("{}", e.batch),
+                            format!("{}", e.depth),
+                        ],
+                    )
+                })
+                .collect();
+            out.push_str("\nworst-latency exemplars (worst first):\n");
+            out.push_str(&render_table(
+                &["Req", "Model", "Arrived", "Wait", "Latency", "Over SLO", "GPU", "Batch", "Depth"],
+                &rows,
+            ));
+        }
+        out
     }
 }
 

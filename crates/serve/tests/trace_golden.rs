@@ -1,0 +1,117 @@
+//! Golden-file pin of the flight recorder's Chrome-trace export.
+//!
+//! A fixed scenario (constant service curves, fixed seed) must serialize
+//! to byte-identical JSON on every host and toolchain — that is the
+//! determinism contract `repro serve --trace-out` relies on. If a change
+//! intentionally alters the trace schema, regenerate the golden with:
+//!
+//! ```sh
+//! MMG_BLESS=1 cargo test -p mmg-serve --test trace_golden
+//! ```
+//!
+//! and review the diff like any other schema change.
+
+use mmg_models::ModelId;
+use mmg_serve::{
+    simulate_recorded, ArrivalProcess, FlightCfg, RequestMix, ScenarioCfg, SchedulerKind,
+    ServiceCurve, ServiceProfile, SloSpec,
+};
+use mmg_telemetry::Registry;
+
+fn golden_trace() -> String {
+    let mix = RequestMix::new(vec![
+        (ModelId::StableDiffusion, 3.0),
+        (ModelId::Parti, 1.0),
+    ]);
+    let profile = ServiceProfile::new(vec![
+        ServiceCurve::constant(ModelId::StableDiffusion, 0.25),
+        ServiceCurve::constant(ModelId::Parti, 0.75),
+    ]);
+    let cfg = ScenarioCfg::new(
+        2,
+        mix,
+        ArrivalProcess::poisson(3.0),
+        SchedulerKind::Dynamic { max_batch: 8 },
+        SloSpec::FixedS(1.5),
+        40.0,
+        7,
+    );
+    let (_result, flight) = simulate_recorded(
+        &cfg,
+        &profile,
+        &Registry::new(),
+        FlightCfg { window_s: 5.0, ..FlightCfg::default() },
+    );
+    flight.to_chrome_trace_object()
+}
+
+#[test]
+fn chrome_trace_matches_golden_bytes() {
+    let got = golden_trace();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/serve_trace.json");
+    if std::env::var_os("MMG_BLESS").is_some() {
+        std::fs::write(path, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(path).expect("golden file exists; MMG_BLESS=1 to create");
+    assert_eq!(
+        got, want,
+        "flight trace bytes diverged from the golden; if intentional, regenerate with MMG_BLESS=1"
+    );
+}
+
+#[test]
+fn chrome_trace_schema_is_well_formed() {
+    let got = golden_trace();
+    let v: serde_json::Value = serde_json::from_str(&got).expect("trace parses as JSON");
+    assert_eq!(v.field("displayTimeUnit").and_then(serde_json::Value::as_str), Some("us"));
+    let events = v
+        .field("traceEvents")
+        .and_then(serde_json::Value::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    let mut counter_tracks = std::collections::BTreeSet::new();
+    let mut last_ts_per_tid: std::collections::BTreeMap<u64, f64> = std::collections::BTreeMap::new();
+    let mut saw_span = false;
+    for e in events {
+        let ph = e.field("ph").and_then(serde_json::Value::as_str).expect("ph");
+        let ts = e.field("ts").and_then(serde_json::Value::as_f64).expect("ts");
+        let tid = e.field("tid").and_then(serde_json::Value::as_u64).expect("tid");
+        assert!(ts >= 0.0);
+        match ph {
+            "X" => {
+                saw_span = true;
+                let dur = e.field("dur").and_then(serde_json::Value::as_f64).expect("dur");
+                assert!(dur > 0.0, "span with non-positive duration");
+                // Spans on a lane are monotonically ordered.
+                let last = last_ts_per_tid.entry(tid).or_insert(f64::NEG_INFINITY);
+                assert!(ts >= *last, "lane {tid} out of order: {ts} after {last}");
+                *last = ts;
+            }
+            "C" => {
+                let name = e.field("name").and_then(serde_json::Value::as_str).expect("name");
+                counter_tracks.insert(name.to_string());
+                let serde_json::Value::Object(pairs) = e.field("args").expect("args") else {
+                    panic!("counter args must be an object");
+                };
+                for (k, val) in pairs {
+                    let val = val.as_f64().unwrap_or_else(|| panic!("non-numeric {name}.{k}"));
+                    assert!(val >= 0.0, "negative counter sample {name}.{k} = {val}");
+                }
+            }
+            "i" | "M" => {}
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    assert!(saw_span, "no batch spans in the trace");
+    assert!(
+        counter_tracks.len() >= 4,
+        "want >= 4 counter tracks, got {counter_tracks:?}"
+    );
+    for want in
+        ["serve_queue_depth", "serve_throughput_rps", "serve_slo_attainment", "serve_gpu_util"]
+    {
+        assert!(counter_tracks.contains(want), "missing counter track {want}");
+    }
+}

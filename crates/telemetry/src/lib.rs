@@ -21,8 +21,10 @@
 #![deny(missing_docs)]
 
 pub mod sketch;
+pub mod timeseries;
 
 pub use sketch::QuantileSketch;
+pub use timeseries::{WindowValue, WindowedSeries};
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -369,6 +371,8 @@ struct Inner {
     gauges: Mutex<BTreeMap<Key, Arc<AtomicU64>>>,
     histograms: Mutex<BTreeMap<Key, Arc<HistogramInner>>>,
     spans: Mutex<Vec<SpanRecord>>,
+    /// Metric family name → help text, rendered as `# HELP` lines.
+    help: Mutex<BTreeMap<String, String>>,
     epoch: Instant,
 }
 
@@ -394,6 +398,7 @@ impl Registry {
                 gauges: Mutex::new(BTreeMap::new()),
                 histograms: Mutex::new(BTreeMap::new()),
                 spans: Mutex::new(Vec::new()),
+                help: Mutex::new(BTreeMap::new()),
                 epoch: Instant::now(),
             }),
         }
@@ -461,6 +466,16 @@ impl Registry {
             })
         });
         Histogram(Arc::clone(inner))
+    }
+
+    /// Registers help text for the metric family `name`, rendered as a
+    /// single `# HELP` line ahead of the family's samples in
+    /// [`Registry::render_prometheus`]. Later calls overwrite earlier
+    /// ones; families without help render a generic placeholder so the
+    /// exposition stays schema-valid either way.
+    pub fn describe(&self, name: &str, help: &str) {
+        let mut map = self.inner.help.lock().expect("help registry poisoned");
+        map.insert(name.to_string(), help.to_string());
     }
 
     /// Appends a pre-built [`SpanRecord`] to this registry's finished
@@ -569,6 +584,13 @@ impl Registry {
                 mine.count.fetch_add(h.count.load(Ordering::Relaxed), Ordering::Relaxed);
             }
         }
+        {
+            let theirs = other.inner.help.lock().expect("help registry poisoned");
+            let mut ours = self.inner.help.lock().expect("help registry poisoned");
+            for (name, help) in theirs.iter() {
+                ours.entry(name.clone()).or_insert_with(|| help.clone());
+            }
+        }
         let their_spans = other.finished_spans();
         if !their_spans.is_empty() {
             let mut spans = self.inner.spans.lock().expect("span registry poisoned");
@@ -641,16 +663,28 @@ impl Registry {
     // -- exporters ---------------------------------------------------------
 
     /// Renders the Prometheus text exposition format (counters, gauges,
-    /// histograms with `_bucket`/`_sum`/`_count` series).
+    /// histograms with `_bucket`/`_sum`/`_count` series). Each metric
+    /// family is preceded by exactly one `# HELP` line (registered via
+    /// [`Registry::describe`], or a placeholder) and one `# TYPE` line,
+    /// regardless of how many labeled instances it has.
     #[must_use]
     pub fn render_prometheus(&self) -> String {
+        let help = self.inner.help.lock().expect("help registry poisoned").clone();
+        let family_header = |out: &mut String, name: &str, kind: &str| {
+            let text = help
+                .get(name)
+                .map_or_else(|| format!("{kind} metric {name}"), |h| h.clone());
+            // HELP text is a single line in the exposition format.
+            out.push_str(&format!("# HELP {} {}\n", name, text.replace('\n', " ")));
+            out.push_str(&format!("# TYPE {name} {kind}\n"));
+        };
         let mut out = String::new();
         {
             let counters = self.inner.counters.lock().expect("counter registry poisoned");
             let mut last_name = "";
             for (key, v) in counters.iter() {
                 if key.0 != last_name {
-                    out.push_str(&format!("# TYPE {} counter\n", key.0));
+                    family_header(&mut out, &key.0, "counter");
                     last_name = &key.0;
                 }
                 out.push_str(&format!("{} {}\n", full_name(key), v.load(Ordering::Relaxed)));
@@ -661,7 +695,7 @@ impl Registry {
             let mut last_name = "";
             for (key, v) in gauges.iter() {
                 if key.0 != last_name {
-                    out.push_str(&format!("# TYPE {} gauge\n", key.0));
+                    family_header(&mut out, &key.0, "gauge");
                     last_name = &key.0;
                 }
                 let value = f64::from_bits(v.load(Ordering::Relaxed));
@@ -673,7 +707,7 @@ impl Registry {
             let mut last_name = "";
             for (key, h) in histograms.iter() {
                 if key.0 != last_name {
-                    out.push_str(&format!("# TYPE {} histogram\n", key.0));
+                    family_header(&mut out, &key.0, "histogram");
                     last_name = &key.0;
                 }
                 let prefix = if key.1.is_empty() {
@@ -922,6 +956,105 @@ mod tests {
         assert!(text.contains("kernel_time_us_bucket{le=\"10\"} 2"));
         assert!(text.contains("kernel_time_us_bucket{le=\"+Inf\"} 3"));
         assert!(text.contains("kernel_time_us_count 3"));
+    }
+
+    #[test]
+    fn prometheus_exposition_is_valid() {
+        // Multiple labeled instances per family, all three metric kinds,
+        // help registered for some families and defaulted for others.
+        let r = Registry::new();
+        r.describe("req_total", "requests admitted");
+        r.describe("lat_s", "end-to-end latency");
+        r.counter_with("req_total", &[("model", "sd")]).add(3);
+        r.counter_with("req_total", &[("model", "parti")]).add(5);
+        r.counter("drops_total").add(1);
+        r.gauge_with("util", &[("gpu", "0")]).set(0.5);
+        r.gauge_with("util", &[("gpu", "1")]).set(0.75);
+        for labels in [[("model", "sd")], [("model", "parti")]] {
+            let h = r.histogram_with("lat_s", &labels, &[0.1, 1.0]);
+            h.observe(0.05);
+            h.observe(0.5);
+            h.observe(5.0);
+        }
+        let text = r.render_prometheus();
+
+        // Exactly one HELP and one TYPE per family, HELP directly before
+        // TYPE, and both before any of the family's samples.
+        let mut seen_families: Vec<String> = Vec::new();
+        let mut pending_help: Option<String> = None;
+        let mut samples_of: BTreeMap<String, Vec<(String, f64)>> = BTreeMap::new();
+        for line in text.lines() {
+            assert!(!line.trim().is_empty(), "blank line in exposition");
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let name = rest.split_whitespace().next().expect("HELP has a name");
+                assert!(pending_help.is_none(), "two HELP lines in a row at {line}");
+                assert!(
+                    !seen_families.contains(&name.to_string()),
+                    "family {name} announced twice"
+                );
+                assert!(rest.len() > name.len() + 1, "HELP {name} has no text");
+                pending_help = Some(name.to_string());
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split_whitespace();
+                let name = parts.next().expect("TYPE has a name");
+                let kind = parts.next().expect("TYPE has a kind");
+                assert!(["counter", "gauge", "histogram"].contains(&kind), "kind {kind}");
+                assert_eq!(
+                    pending_help.take().as_deref(),
+                    Some(name),
+                    "TYPE {name} not directly preceded by its HELP"
+                );
+                seen_families.push(name.to_string());
+            } else {
+                assert!(pending_help.is_none(), "sample interleaved between HELP and TYPE");
+                let (series, value) = line.rsplit_once(' ').expect("sample line shape");
+                let value: f64 = value.parse().unwrap_or_else(|_| panic!("value in {line}"));
+                assert!(value >= 0.0);
+                let base = series.split('{').next().unwrap();
+                let family = base
+                    .strip_suffix("_bucket")
+                    .or_else(|| base.strip_suffix("_sum"))
+                    .or_else(|| base.strip_suffix("_count"))
+                    .filter(|f| seen_families.contains(&(*f).to_string()))
+                    .unwrap_or(base);
+                assert!(
+                    seen_families.contains(&family.to_string()),
+                    "sample {series} before its family header"
+                );
+                samples_of.entry(family.to_string()).or_default().push((
+                    series.to_string(),
+                    value,
+                ));
+            }
+        }
+        assert!(pending_help.is_none(), "dangling HELP at end of exposition");
+        // One header per family even with several labeled instances.
+        let req_headers = text.matches("# TYPE req_total ").count();
+        assert_eq!(req_headers, 1);
+        assert_eq!(text.matches("# HELP req_total ").count(), 1);
+        assert_eq!(text.matches("# TYPE util ").count(), 1);
+        assert_eq!(text.matches("# TYPE lat_s ").count(), 1);
+        assert!(text.contains("# HELP req_total requests admitted\n"));
+        // Default help keeps undescribed families valid.
+        assert!(text.contains("# HELP drops_total counter metric drops_total\n"));
+        // Histogram shape: per instance, buckets are cumulative, end at
+        // +Inf, and _count equals the +Inf bucket.
+        for instance in ["{model=\"parti\"", "{model=\"sd\""] {
+            let buckets: Vec<f64> = samples_of["lat_s"]
+                .iter()
+                .filter(|(s, _)| s.starts_with(&format!("lat_s_bucket{instance}")))
+                .map(|&(_, v)| v)
+                .collect();
+            assert_eq!(buckets.len(), 3, "two edges + +Inf for {instance}");
+            assert!(buckets.windows(2).all(|w| w[0] <= w[1]), "non-cumulative buckets");
+            let count = samples_of["lat_s"]
+                .iter()
+                .find(|(s, _)| s.starts_with(&format!("lat_s_count{instance}")))
+                .map(|&(_, v)| v)
+                .expect("count series");
+            assert_eq!(count, *buckets.last().unwrap());
+            assert_eq!(count, 3.0);
+        }
     }
 
     #[test]

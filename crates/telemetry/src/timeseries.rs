@@ -1,0 +1,336 @@
+//! Windowed time-series aggregation with a bounded memory footprint.
+//!
+//! A [`WindowedSeries`] partitions simulated time `[0, ∞)` into
+//! fixed-width windows and keeps one aggregate value per window. The
+//! number of retained windows is capped: when an observation lands past
+//! the cap, the window width doubles and adjacent windows fold together
+//! (pairwise [`WindowValue::merge`]), so the series always covers the
+//! whole run at the coarsest resolution that fits the cap. Folding is a
+//! pure function of the observation sequence, which keeps the series
+//! byte-deterministic for a deterministic simulator.
+//!
+//! Two series with the same base window width are mergeable even after
+//! they folded a different number of times — widths only ever double,
+//! so both widths are `base · 2^k` and the finer series can be coarsened
+//! to the coarser one before an element-wise merge. This is what lets
+//! the serving experiments aggregate per-seed timelines produced on the
+//! `run_cells_with` worker pool into one cluster timeline, independent
+//! of `--jobs`.
+
+use std::fmt::Debug;
+
+/// Aggregate stored per window. `Default` is the empty window; `merge`
+/// must be commutative-enough for the caller's semantics (the serving
+/// windows sum counts and merge quantile sketches).
+pub trait WindowValue: Clone + Default {
+    /// Folds `other` into `self`.
+    fn merge(&mut self, other: &Self);
+}
+
+/// A bounded ring of per-window aggregates over simulated time.
+///
+/// Windows are half-open: window `i` (at the current width `w`) covers
+/// `[i·w, (i+1)·w)`. See the module docs for the fold-on-overflow and
+/// merge semantics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowedSeries<V> {
+    base_window_s: f64,
+    window_s: f64,
+    cap: usize,
+    windows: Vec<V>,
+}
+
+impl<V: WindowValue> WindowedSeries<V> {
+    /// A new series with the given base window width (seconds of
+    /// simulated time) retaining at most `cap` windows before folding.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `window_s > 0` and `cap >= 2`.
+    #[must_use]
+    pub fn new(window_s: f64, cap: usize) -> Self {
+        assert!(window_s > 0.0, "window width must be positive");
+        assert!(cap >= 2, "need at least two windows to fold");
+        WindowedSeries {
+            base_window_s: window_s,
+            window_s,
+            cap,
+            windows: Vec::new(),
+        }
+    }
+
+    /// The width the series was created with.
+    #[must_use]
+    pub fn base_window_s(&self) -> f64 {
+        self.base_window_s
+    }
+
+    /// The current window width — `base · 2^folds`.
+    #[must_use]
+    pub fn window_s(&self) -> f64 {
+        self.window_s
+    }
+
+    /// Number of windows currently materialized.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Whether no window has been touched yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Maximum number of windows retained before folding.
+    #[must_use]
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// The window at index `i`, if materialized.
+    #[must_use]
+    pub fn get(&self, i: usize) -> Option<&V> {
+        self.windows.get(i)
+    }
+
+    /// Iterates `(window_start_s, window_end_s, value)` in time order.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64, &V)> {
+        let w = self.window_s;
+        self.windows
+            .iter()
+            .enumerate()
+            .map(move |(i, v)| (i as f64 * w, (i + 1) as f64 * w, v))
+    }
+
+    /// Doubles the window width, folding adjacent pairs. A trailing
+    /// unpaired window survives as-is at the new width.
+    fn fold(&mut self) {
+        let mut folded: Vec<V> = Vec::with_capacity(self.windows.len().div_ceil(2));
+        let mut it = self.windows.drain(..);
+        while let Some(mut a) = it.next() {
+            if let Some(b) = it.next() {
+                a.merge(&b);
+            }
+            folded.push(a);
+        }
+        drop(it);
+        self.windows = folded;
+        self.window_s *= 2.0;
+    }
+
+    /// Materializes (with defaults) every window up to and including
+    /// `idx` at the *current* width, folding first if `idx` would
+    /// overflow the cap. Returns the index re-expressed at the width in
+    /// effect after any folds.
+    fn ensure_index(&mut self, t_s: f64) -> usize {
+        loop {
+            let idx = (t_s / self.window_s) as usize;
+            if idx < self.cap {
+                if self.windows.len() <= idx {
+                    self.windows.resize_with(idx + 1, V::default);
+                }
+                return idx;
+            }
+            self.fold();
+        }
+    }
+
+    /// Applies `f` to the window containing simulated time `t_s`
+    /// (which must be `>= 0`).
+    pub fn observe_at(&mut self, t_s: f64, f: impl FnOnce(&mut V)) {
+        debug_assert!(t_s >= 0.0, "negative simulated time");
+        let idx = self.ensure_index(t_s.max(0.0));
+        f(&mut self.windows[idx]);
+    }
+
+    /// Applies `f(window, overlap_s)` to every window overlapping the
+    /// half-open span `[t0_s, t1_s)`, where `overlap_s` is the length of
+    /// the intersection. Used to spread span-shaped quantities (GPU busy
+    /// time, queue-depth integrals) across window boundaries.
+    pub fn observe_span(&mut self, t0_s: f64, t1_s: f64, mut f: impl FnMut(&mut V, f64)) {
+        debug_assert!(t0_s >= 0.0 && t1_s >= t0_s, "bad span [{t0_s}, {t1_s})");
+        let t0 = t0_s.max(0.0);
+        let t1 = t1_s.max(t0);
+        if t1 <= t0 {
+            return;
+        }
+        loop {
+            let w = self.window_s;
+            let first = (t0 / w) as usize;
+            // Last window with a non-empty intersection with [t0, t1):
+            // an exact-boundary t1 does not spill into the next window.
+            let last = ((t1 / w).ceil() as usize).saturating_sub(1).max(first);
+            if last >= self.cap {
+                self.fold();
+                continue;
+            }
+            if self.windows.len() <= last {
+                self.windows.resize_with(last + 1, V::default);
+            }
+            for (i, win) in self.windows[first..=last].iter_mut().enumerate() {
+                let lo = ((first + i) as f64) * w;
+                let overlap = t1.min(lo + w) - t0.max(lo);
+                if overlap > 0.0 {
+                    f(win, overlap);
+                }
+            }
+            return;
+        }
+    }
+
+    /// Merges another series into this one. The other series must share
+    /// this one's base width and cap; whichever side is finer is
+    /// coarsened (folded) to the coarser width first, then windows merge
+    /// element-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched base width or cap.
+    pub fn merge_from(&mut self, other: &Self) {
+        assert!(
+            self.base_window_s == other.base_window_s && self.cap == other.cap,
+            "WindowedSeries merge requires identical base width and cap"
+        );
+        let mut other = other.clone();
+        while self.window_s < other.window_s {
+            self.fold();
+        }
+        while other.window_s < self.window_s {
+            other.fold();
+        }
+        if self.windows.len() < other.windows.len() {
+            self.windows.resize_with(other.windows.len(), V::default);
+        }
+        for (dst, src) in self.windows.iter_mut().zip(other.windows.iter()) {
+            dst.merge(src);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, Default, PartialEq)]
+    struct Sum {
+        n: u64,
+        weight_s: f64,
+    }
+
+    impl WindowValue for Sum {
+        fn merge(&mut self, other: &Self) {
+            self.n += other.n;
+            self.weight_s += other.weight_s;
+        }
+    }
+
+    fn counts(s: &WindowedSeries<Sum>) -> Vec<u64> {
+        s.iter().map(|(_, _, v)| v.n).collect()
+    }
+
+    #[test]
+    fn observations_land_in_their_window() {
+        let mut s: WindowedSeries<Sum> = WindowedSeries::new(1.0, 8);
+        for t in [0.0, 0.5, 1.0, 2.9] {
+            s.observe_at(t, |v| v.n += 1);
+        }
+        assert_eq!(counts(&s), vec![2, 1, 1]);
+        let spans: Vec<(f64, f64)> = s.iter().map(|(a, b, _)| (a, b)).collect();
+        assert_eq!(spans, vec![(0.0, 1.0), (1.0, 2.0), (2.0, 3.0)]);
+    }
+
+    #[test]
+    fn overflow_folds_pairwise_and_doubles_width() {
+        let mut s: WindowedSeries<Sum> = WindowedSeries::new(1.0, 4);
+        for t in 0..4 {
+            s.observe_at(t as f64 + 0.5, |v| v.n += 1);
+        }
+        assert_eq!(counts(&s), vec![1, 1, 1, 1]);
+        // Window index 4 at width 1 overflows cap 4 → fold to width 2.
+        s.observe_at(4.5, |v| v.n += 10);
+        assert_eq!(s.window_s(), 2.0);
+        assert_eq!(counts(&s), vec![2, 2, 10]);
+        // Total is conserved across folds.
+        let total: u64 = counts(&s).iter().sum();
+        assert_eq!(total, 14);
+    }
+
+    #[test]
+    fn observe_span_splits_across_boundaries() {
+        let mut s: WindowedSeries<Sum> = WindowedSeries::new(1.0, 8);
+        s.observe_span(0.5, 2.25, |v, o| v.weight_s += o);
+        let w: Vec<f64> = s.iter().map(|(_, _, v)| v.weight_s).collect();
+        assert_eq!(w.len(), 3);
+        assert!((w[0] - 0.5).abs() < 1e-12);
+        assert!((w[1] - 1.0).abs() < 1e-12);
+        assert!((w[2] - 0.25).abs() < 1e-12);
+        // Exact boundary end: no spill into the next window.
+        let mut s2: WindowedSeries<Sum> = WindowedSeries::new(1.0, 8);
+        s2.observe_span(0.0, 2.0, |v, o| v.weight_s += o);
+        assert_eq!(s2.len(), 2);
+    }
+
+    #[test]
+    fn observe_span_total_conserved_across_folds() {
+        let mut s: WindowedSeries<Sum> = WindowedSeries::new(1.0, 4);
+        let mut expected = 0.0;
+        for i in 0..20 {
+            let t0 = i as f64 * 0.7;
+            let t1 = t0 + 0.6;
+            expected += 0.6;
+            s.observe_span(t0, t1, |v, o| v.weight_s += o);
+        }
+        let total: f64 = s.iter().map(|(_, _, v)| v.weight_s).sum();
+        assert!((total - expected).abs() < 1e-9, "total {total} vs {expected}");
+        assert!(s.len() <= 4);
+    }
+
+    #[test]
+    fn merge_aligns_mismatched_fold_depths() {
+        // Fine series: width 1, never folded. Coarse: folded twice.
+        let mut fine: WindowedSeries<Sum> = WindowedSeries::new(1.0, 4);
+        for t in 0..4 {
+            fine.observe_at(t as f64, |v| v.n += 1);
+        }
+        let mut coarse: WindowedSeries<Sum> = WindowedSeries::new(1.0, 4);
+        for t in 0..16 {
+            coarse.observe_at(t as f64, |v| v.n += 1);
+        }
+        assert_eq!(coarse.window_s(), 4.0);
+        let mut merged = fine.clone();
+        merged.merge_from(&coarse);
+        assert_eq!(merged.window_s(), 4.0);
+        assert_eq!(counts(&merged), vec![8, 4, 4, 4]);
+        // Merge in the other direction gives the same totals.
+        let mut merged2 = coarse.clone();
+        merged2.merge_from(&fine);
+        assert_eq!(counts(&merged2), counts(&merged));
+    }
+
+    #[test]
+    fn merge_order_independent_totals() {
+        let mk = |offset: u64| {
+            let mut s: WindowedSeries<Sum> = WindowedSeries::new(0.5, 8);
+            for t in 0..6 {
+                s.observe_at(t as f64 * 0.9, |v| v.n += offset + t);
+            }
+            s
+        };
+        let (a, b) = (mk(1), mk(100));
+        let mut ab = a.clone();
+        ab.merge_from(&b);
+        let mut ba = b.clone();
+        ba.merge_from(&a);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical base width")]
+    fn merge_rejects_mismatched_base() {
+        let mut a: WindowedSeries<Sum> = WindowedSeries::new(1.0, 4);
+        let b: WindowedSeries<Sum> = WindowedSeries::new(2.0, 4);
+        a.merge_from(&b);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property test for the documented `QuantileSketch` merge bound.
+//!
+//! The sketch docs promise: a merged sketch answers any quantile with
+//! true rank within `rank_error_ranks() + 1` of the exact rank, where
+//! the merged budget is the *sum* of the inputs' budgets (`eps·n_a +
+//! eps·n_b` for equal-eps inputs, i.e. `eps·n + 1` over the pooled
+//! stream). This exercises the adversarial case for a mergeable
+//! summary: two *disjoint* value ranges, so every tuple of one input
+//! lands entirely inside a gap of the other.
+
+use mmg_telemetry::QuantileSketch;
+use proptest::prelude::*;
+
+/// Exact rank band `[first, last]` of `v` in ascending-sorted data.
+fn rank_band(sorted: &[f64], v: f64) -> (f64, f64) {
+    let lo = sorted.partition_point(|x| x.total_cmp(&v).is_lt());
+    let hi = sorted.partition_point(|x| x.total_cmp(&v).is_le());
+    (lo as f64, (hi.max(lo + 1) - 1) as f64)
+}
+
+/// Distance (in ranks) from the exact pooled quantile's rank — the
+/// nearest-rank index `quantile_sorted` would pick — to the band of
+/// ranks the sketch's answer actually occupies.
+fn rank_distance(sorted: &[f64], got: f64, q: f64) -> f64 {
+    let target = (q * (sorted.len() as f64 - 1.0)).round();
+    let (lo, hi) = rank_band(sorted, got);
+    if target < lo {
+        lo - target
+    } else if target > hi {
+        target - hi
+    } else {
+        0.0
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn merged_disjoint_streams_respect_rank_bound(
+        n_lo in 200usize..4000,
+        n_hi in 200usize..4000,
+        eps_mil in 1u64..20,
+        raw in proptest::collection::vec(0.0f64..1.0, 400..8400),
+    ) {
+        let eps = eps_mil as f64 / 1000.0;
+        let n_lo = n_lo.min(raw.len() / 2);
+        let n_hi = n_hi.min(raw.len() - n_lo);
+        prop_assume!(n_lo >= 100 && n_hi >= 100);
+
+        // Two disjoint streams: [0, 1) and [2, 3) — no interleaving of
+        // values, so the merge cannot hide error inside shared tuples.
+        let mut low = QuantileSketch::new(eps);
+        let mut high = QuantileSketch::new(eps);
+        let mut pooled: Vec<f64> = Vec::with_capacity(n_lo + n_hi);
+        for &u in raw.iter().take(n_lo) {
+            low.observe(u);
+            pooled.push(u);
+        }
+        for &u in raw.iter().skip(n_lo).take(n_hi) {
+            high.observe(2.0 + u);
+            pooled.push(2.0 + u);
+        }
+        pooled.sort_by(f64::total_cmp);
+        let n = pooled.len() as f64;
+
+        // Merge in both orders; both must respect the bound.
+        let mut merged_ab = low.clone();
+        merged_ab.merge(&high);
+        let mut merged_ba = high.clone();
+        merged_ba.merge(&low);
+
+        for merged in [&merged_ab, &merged_ba] {
+            prop_assert_eq!(merged.count(), pooled.len() as u64);
+            // The documented budget: ±(eps·n + 1) ranks for equal-eps
+            // inputs. rank_error_ranks() must not exceed it...
+            prop_assert!(
+                merged.rank_error_ranks() <= eps * n + 1e-9,
+                "advertised bound {} exceeds eps*n = {}",
+                merged.rank_error_ranks(),
+                eps * n
+            );
+            // ...and every quantile answer must sit within it of the
+            // exact pooled quantile's rank.
+            for q in [0.0, 0.05, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+                let got = merged.quantile(q);
+                let dist = rank_distance(&pooled, got, q);
+                let bound = eps * n + 1.0;
+                prop_assert!(
+                    dist <= bound,
+                    "q={q}: answer {got} is {dist} ranks from target (bound {bound}, \
+                     eps={eps}, n={n})"
+                );
+            }
+            // Extremes stay exact across the disjoint merge.
+            prop_assert_eq!(merged.quantile(0.0), pooled[0]);
+            prop_assert_eq!(merged.quantile(1.0), *pooled.last().unwrap());
+        }
+    }
+}
