@@ -130,8 +130,8 @@ pub fn summarize(outcomes: &[RequestOutcome], utilization: f64) -> ServingSummar
     ServingSummary {
         utilization,
         mean_s: lat.iter().sum::<f64>() / lat.len() as f64,
-        p50_s: mmg_telemetry::quantile_sorted(&lat, 0.50),
-        p99_s: mmg_telemetry::quantile_sorted(&lat, 0.99),
+        p50_s: mmg_telemetry::quantile_sorted(&lat, 0.50).expect("non-empty outcomes"),
+        p99_s: mmg_telemetry::quantile_sorted(&lat, 0.99).expect("non-empty outcomes"),
         completed: lat.len(),
     }
 }

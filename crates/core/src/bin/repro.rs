@@ -212,14 +212,20 @@ fn serve_main(args: &[String]) -> Result<(), String> {
     let mut max_requests: Option<u64> = None;
     let mut seed = 42u64;
     let mut metrics_path: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut full_records = false;
+    let mut attrib = false;
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
         i += 1;
         if flag == "--full-records" {
             full_records = true;
+            continue;
+        }
+        if flag == "--attrib" {
+            attrib = true;
             continue;
         }
         let value = args
@@ -287,6 +293,7 @@ fn serve_main(args: &[String]) -> Result<(), String> {
                     .map_err(|_| "--seed requires a non-negative integer".to_string())?;
             }
             "--metrics" => metrics_path = Some(value.clone()),
+            "--metrics-out" => metrics_out = Some(value.clone()),
             "--trace-out" => trace_path = Some(value.clone()),
             "--jobs" => {
                 // The scenario DES is inherently serial; the flag exists so
@@ -300,7 +307,7 @@ fn serve_main(args: &[String]) -> Result<(), String> {
             }
             other => {
                 return Err(format!(
-                    "unknown serve flag '{other}'; expected --device | --gpus | --mix | --arrival | --rate | --scheduler | --batch | --router | --slo-ms | --duration-s | --requests | --seed | --metrics | --trace-out | --jobs | --full-records"
+                    "unknown serve flag '{other}'; expected --device | --gpus | --mix | --arrival | --rate | --scheduler | --batch | --router | --slo-ms | --duration-s | --requests | --seed | --metrics | --metrics-out | --trace-out | --jobs | --full-records | --attrib"
                 ));
             }
         }
@@ -340,6 +347,11 @@ fn serve_main(args: &[String]) -> Result<(), String> {
     let mut cfg = ScenarioCfg::new(gpus, mix, arrival, scheduler, slo, duration_s, seed);
     cfg.full_records = full_records;
     cfg.max_requests = max_requests;
+    if attrib {
+        // Latency attribution plus the SRE-style burn-rate alert engine,
+        // budgeted against a 95% on-time objective over the horizon.
+        cfg = cfg.with_health(0.95);
+    }
     if let Some(name) = &router_name {
         cfg.router = mmg_serve::RouterKind::parse(name)?;
     }
@@ -375,6 +387,20 @@ fn serve_main(args: &[String]) -> Result<(), String> {
     );
     if let Some(path) = &metrics_path {
         write_file(path, &ctx.registry.render_prometheus(), "metrics")?;
+    }
+    if let Some(path) = &metrics_out {
+        // Extension-dispatched export of the final registry: `.json`
+        // gets the structured snapshot, anything else the Prometheus
+        // text exposition.
+        let body = if path.ends_with(".json") {
+            let mut s = serde_json::to_string_pretty(&ctx.registry.snapshot_json())
+                .expect("registry snapshots always serialize");
+            s.push('\n');
+            s
+        } else {
+            ctx.registry.render_prometheus()
+        };
+        write_file(path, &body, "metrics")?;
     }
     if let (Some(path), Some(flight)) = (&trace_path, &flight) {
         write_file(path, &flight.to_chrome_trace_object(), "serve flight trace")?;
@@ -595,8 +621,8 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     if targets.is_empty() {
-        eprintln!("usage: repro [--device <name>] [--jobs <n>] [--json] [--metrics <path>] [--trace-out <path>] [--manifest <path>] [--replications <n> [--sweep-seed <n>]] <bench-snapshot | all | fig1 | table1 | fig4 | fig5 | fig6 | table2 | table3 | fig7 | fig8 | fig9 | fig11 | fig12 | fig13 | secv | flashdec | pods | batch | tp | ablations | serve-sweep | serve-timeline>…");
-        eprintln!("       repro serve [--device <name>] [--gpus <n>] [--mix <model:weight,…>] [--arrival <poisson|bursty|diurnal>] [--rate <rps>] [--scheduler <fifo|static|dynamic|pods>] [--batch <n>] [--router <rr|least-work|affinity>] [--slo-ms <ms>] [--duration-s <s>] [--requests <n>] [--seed <n>] [--metrics <path>] [--trace-out <path>] [--jobs <n>] [--full-records]");
+        eprintln!("usage: repro [--device <name>] [--jobs <n>] [--json] [--metrics <path>] [--trace-out <path>] [--manifest <path>] [--replications <n> [--sweep-seed <n>]] <bench-snapshot | all | fig1 | table1 | fig4 | fig5 | fig6 | table2 | table3 | fig7 | fig8 | fig9 | fig11 | fig12 | fig13 | secv | flashdec | pods | batch | tp | ablations | serve-sweep | serve-timeline | serve-attrib>…");
+        eprintln!("       repro serve [--device <name>] [--gpus <n>] [--mix <model:weight,…>] [--arrival <poisson|bursty|diurnal>] [--rate <rps>] [--scheduler <fifo|static|dynamic|pods>] [--batch <n>] [--router <rr|least-work|affinity>] [--slo-ms <ms>] [--duration-s <s>] [--requests <n>] [--seed <n>] [--metrics <path>] [--metrics-out <path>] [--trace-out <path>] [--jobs <n>] [--full-records] [--attrib]");
         eprintln!("       repro bench-check <old.json> <new.json> [--threshold <frac>] [--min-wall-s <s>]");
         return ExitCode::FAILURE;
     }

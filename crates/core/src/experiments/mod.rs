@@ -16,6 +16,7 @@ pub mod flashdec;
 pub mod pods;
 pub mod secv;
 pub mod serve_sweep;
+pub mod serve_attrib;
 pub mod serve_timeline;
 pub mod table1;
 pub mod table2;

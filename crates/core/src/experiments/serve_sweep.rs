@@ -125,7 +125,7 @@ pub fn pod_factor(profiler: &Profiler, id: ModelId) -> f64 {
 fn p99_latency(r: &SimResult) -> f64 {
     let mut lat: Vec<f64> = r.records.iter().map(mmg_serve::RequestRecord::latency_s).collect();
     lat.sort_by(f64::total_cmp);
-    mmg_telemetry::quantile_sorted(&lat, 0.99)
+    mmg_telemetry::quantile_sorted(&lat, 0.99).unwrap_or(0.0)
 }
 
 fn mean_batch(r: &SimResult) -> f64 {
@@ -362,7 +362,7 @@ pub fn run_replicated(
                 } else {
                     on_time as f64 / completed as f64
                 },
-                p99_s: pooled.quantile(0.99),
+                p99_s: pooled.quantile(0.99).unwrap_or(0.0),
                 mean_batch: if completed == 0 {
                     0.0
                 } else {

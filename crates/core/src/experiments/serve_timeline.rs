@@ -138,7 +138,7 @@ fn flatten(series: &WindowedSeries<ServeWindow>, gpus: usize, reps: f64) -> Vec<
             throughput_rps: win.completed as f64 / (w_s * reps),
             goodput_rps: win.on_time as f64 / (w_s * reps),
             slo_attainment: win.slo_attainment(),
-            p99_s: if win.completed == 0 { 0.0 } else { win.latency.quantile(0.99) },
+            p99_s: win.latency.quantile(0.99).unwrap_or(0.0),
             utilization: win.busy_per_gpu_s.iter().sum::<f64>() / (gpus as f64 * w_s * reps),
             queue_depth: win.depth_time_s / (w_s * reps),
         })

@@ -8,7 +8,7 @@ use mmg_gpu::DeviceSpec;
 use crate::engine::ExecContext;
 use crate::experiments::{
     ablations, batch, fig1, fig11, fig12, fig13, fig4, fig5, fig6, fig7, fig8, fig9, flashdec, pods, secv,
-    serve_sweep, serve_timeline, table1, table2, table3, tp,
+    serve_attrib, serve_sweep, serve_timeline, table1, table2, table3, tp,
 };
 
 /// Identifier of one reproducible artifact.
@@ -56,11 +56,13 @@ pub enum ExperimentId {
     ServeSweep,
     /// Extension: windowed serving timeline (FIFO vs dynamic over time).
     ServeTimeline,
+    /// Extension: latency attribution and SLO burn-rate alerts per cell.
+    ServeAttrib,
 }
 
 impl ExperimentId {
     /// All experiments in paper order.
-    pub const ALL: [ExperimentId; 21] = [
+    pub const ALL: [ExperimentId; 22] = [
         ExperimentId::Fig1,
         ExperimentId::Table1,
         ExperimentId::Fig4,
@@ -82,6 +84,7 @@ impl ExperimentId {
         ExperimentId::Ablations,
         ExperimentId::ServeSweep,
         ExperimentId::ServeTimeline,
+        ExperimentId::ServeAttrib,
     ];
 }
 
@@ -109,6 +112,7 @@ impl fmt::Display for ExperimentId {
             ExperimentId::Ablations => "ablations",
             ExperimentId::ServeSweep => "serve-sweep",
             ExperimentId::ServeTimeline => "serve-timeline",
+            ExperimentId::ServeAttrib => "serve-attrib",
         };
         f.write_str(s)
     }
@@ -181,6 +185,7 @@ pub fn run_experiment_with(id: ExperimentId, ctx: &ExecContext) -> String {
         ExperimentId::Ablations => ablations::render(&ablations::run_ctx(ctx)),
         ExperimentId::ServeSweep => serve_sweep::render(&serve_sweep::run_ctx(ctx)),
         ExperimentId::ServeTimeline => serve_timeline::render(&serve_timeline::run_ctx(ctx)),
+        ExperimentId::ServeAttrib => serve_attrib::render(&serve_attrib::run_ctx(ctx)),
     }
 }
 
@@ -230,6 +235,7 @@ pub fn run_experiment_value_with(id: ExperimentId, ctx: &ExecContext) -> serde_j
         ExperimentId::Ablations => v(&ablations::run_ctx(ctx)),
         ExperimentId::ServeSweep => v(&serve_sweep::run_ctx(ctx)),
         ExperimentId::ServeTimeline => v(&serve_timeline::run_ctx(ctx)),
+        ExperimentId::ServeAttrib => v(&serve_attrib::run_ctx(ctx)),
     }
 }
 

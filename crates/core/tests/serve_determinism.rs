@@ -89,6 +89,60 @@ fn replicated_sweep_is_byte_identical_across_job_counts() {
     assert!(serial.contains("2 seeds from 42"), "replication header:\n{serial}");
 }
 
+/// Attribution and the SLO health engine ride the same deterministic
+/// sample path: with `--attrib` on, stdout (report tables, phase
+/// shares, alert timeline) is byte-identical per seed and across
+/// `--jobs` counts, and the section actually renders.
+#[test]
+fn serve_attrib_is_byte_identical_across_jobs() {
+    let args = [SERVE, &["--seed", "7", "--attrib"]].concat();
+    let serial = repro(&[&args[..], &["--jobs", "1"]].concat());
+    let parallel = repro(&[&args[..], &["--jobs", "4"]].concat());
+    assert_eq!(serial, parallel, "--jobs changes attributed serve stdout");
+    let again = repro(&[&args[..], &["--jobs", "1"]].concat());
+    assert_eq!(serial, again, "same seed, different attributed stdout");
+    assert!(serial.contains("attribution: p99 ="), "attribution headline:\n{serial}");
+    assert!(serial.contains("queue") && serial.contains("hold"), "phase table:\n{serial}");
+    assert!(serial.contains("slo health"), "health section:\n{serial}");
+    // The layer is additive: the plain report is a prefix-equal run of
+    // the same sample path, so its tables must appear verbatim.
+    let plain = repro(&[SERVE, &["--seed", "7"]].concat());
+    assert!(!plain.contains("attribution:"), "attrib leaked into plain run:\n{plain}");
+    let report_head = plain.lines().take(8).collect::<Vec<_>>().join("\n");
+    assert!(
+        serial.contains(&report_head),
+        "attributed run changed the base report:\n{serial}\nvs\n{report_head}"
+    );
+}
+
+/// `--metrics-out` dispatches on extension: `.json` gets the JSON
+/// snapshot, anything else the Prometheus exposition — both containing
+/// the new health metric families.
+#[test]
+fn serve_metrics_out_dispatches_on_extension() {
+    let dir = std::env::temp_dir().join(format!("mmg-metrics-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let prom = dir.join("metrics.prom");
+    let json = dir.join("metrics.json");
+    repro(&[
+        SERVE,
+        &["--seed", "7", "--attrib", "--metrics-out", prom.to_str().unwrap()],
+    ]
+    .concat());
+    repro(&[
+        SERVE,
+        &["--seed", "7", "--attrib", "--metrics-out", json.to_str().unwrap()],
+    ]
+    .concat());
+    let prom_body = std::fs::read_to_string(&prom).expect("prometheus dump");
+    assert!(prom_body.contains("# TYPE serve_latency_s histogram"), "{prom_body}");
+    assert!(prom_body.contains("serve_phase_s"), "phase family missing:\n{prom_body}");
+    let json_body = std::fs::read_to_string(&json).expect("json dump");
+    let v: serde_json::Value = serde_json::from_str(&json_body).expect("valid JSON");
+    assert!(v.field("counters").is_some(), "counters key missing:\n{json_body}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn serve_rejects_bad_flags() {
     let out = Command::new(env!("CARGO_BIN_EXE_repro"))

@@ -32,6 +32,9 @@
 use std::collections::VecDeque;
 
 use mmg_models::ModelId;
+use mmg_telemetry::burnrate::{
+    AlertEvent, AlertKind, BurnRateEngine, RatchetDetector, RatchetEvent, SloPolicy,
+};
 use mmg_telemetry::{latency_buckets_s, Counter, Histogram, QuantileSketch, Registry};
 use rand::distributions::{Distribution, Uniform};
 use rand::rngs::StdRng;
@@ -51,6 +54,16 @@ pub const LATENCY_SKETCH_EPS: f64 = 0.001;
 /// How many arrival timestamps are pre-generated per refill of the
 /// arrival buffer.
 const ARRIVAL_BATCH: usize = 64;
+
+/// Ratcheting-queue-depth detector defaults (see
+/// [`mmg_telemetry::burnrate::RatchetDetector`]): consecutive growing
+/// windows required, total growth factor, and absolute mean-depth floor.
+const RATCHET_STREAK: usize = 3;
+const RATCHET_GROWTH: f64 = 2.0;
+// The floor sits above normal Poisson occupancy noise (window means of
+// ~1-2 requests occur even at low utilization); genuine FIFO collapse
+// blows past it within a few windows.
+const RATCHET_MIN_DEPTH: f64 = 4.0;
 
 /// How arriving requests are assigned to a GPU queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -199,6 +212,19 @@ pub struct ScenarioCfg {
     /// Exact worst-latency lifecycles retained by the [`Exemplars`].
     /// `0` disables worst-retention.
     pub worst_n: usize,
+    /// Per-phase latency attribution: stream queue/hold/execute
+    /// quantile sketches per model and cluster-wide into
+    /// [`ServeStats::phases`], plus `serve_phase_s` histograms in the
+    /// registry. Off by default — the streaming fast path pays nothing
+    /// for the layer when it is off. Attribution is pure observation and
+    /// never changes the simulated trajectory.
+    pub attrib: bool,
+    /// Online SLO burn-rate alerting (plus the ratcheting-queue-depth
+    /// detector): when set, an [`mmg_telemetry::burnrate::BurnRateEngine`]
+    /// is driven from the completion stream and the resulting alert
+    /// timeline lands in [`SimResult::health`] (and on the flight
+    /// recorder's cluster lane when one is attached). `None` = off.
+    pub slo_policy: Option<SloPolicy>,
     /// RNG seed for arrivals and mix sampling.
     pub seed: u64,
 }
@@ -230,8 +256,20 @@ impl ScenarioCfg {
             full_records: true,
             exemplar_k: 8,
             worst_n: 4,
+            attrib: false,
+            slo_policy: None,
             seed,
         }
+    }
+
+    /// Enables the full observability layer: phase attribution plus the
+    /// scaled paging burn-rate policy for `objective` over this
+    /// scenario's horizon.
+    #[must_use]
+    pub fn with_health(mut self, objective: f64) -> Self {
+        self.attrib = true;
+        self.slo_policy = Some(SloPolicy::paging(objective, self.duration_s));
+        self
     }
 }
 
@@ -257,10 +295,22 @@ pub struct RequestRecord {
     /// Requests in the system at its arrival, itself included — the
     /// exact queue-depth-seen-by-arrivals statistic.
     pub depth_at_arrival: u64,
+    /// Queue-phase wait: seconds the serving GPU spent *busy with other
+    /// work* while this request was queued (waiting its turn).
+    pub queue_s: f64,
+    /// Batch-formation (hold) phase: seconds the GPU sat idle while the
+    /// scheduler deliberately withheld launch (static batching's timer
+    /// waiting to fill a batch). `wait = queue + hold` by construction.
+    pub hold_s: f64,
+    /// Execution phase: service time of the batch the request rode in.
+    /// Stored as the conserving residual (see [`conserving_execute_s`]),
+    /// so `queue_s + hold_s + execute_s` reproduces
+    /// [`RequestRecord::latency_s`] bit-exactly.
+    pub execute_s: f64,
 }
 
 impl RequestRecord {
-    /// Queueing delay.
+    /// Queueing delay (queue + hold phases).
     #[must_use]
     pub fn wait_s(&self) -> f64 {
         self.start_s - self.arrival_s
@@ -272,10 +322,111 @@ impl RequestRecord {
         self.finish_s - self.arrival_s
     }
 
+    /// Admission-wait phase. Admission control in this model decides
+    /// instantaneously at arrival (admit or drop), so completed requests
+    /// always report zero here; the phase exists in the schema so the
+    /// conservation invariant — and downstream consumers — survive a
+    /// future admission queue unchanged.
+    #[must_use]
+    pub fn admission_s(&self) -> f64 {
+        0.0
+    }
+
     /// Whether the request met its deadline.
     #[must_use]
     pub fn on_time(&self) -> bool {
         self.finish_s <= self.deadline_s
+    }
+}
+
+/// The execute-phase duration that makes the per-request phase
+/// decomposition conserve exactly: returns `e` such that
+/// `(queue_s + hold_s) + e == latency_s` *bitwise*. The naive residual
+/// `latency - (queue + hold)` is already within one ulp; the feedback
+/// loop absorbs the rare half-ulp tie where IEEE rounding would leave
+/// the sum one ulp off. Conservation is a tested invariant — reports
+/// attribute 100% of every request's latency, never 100%±ε.
+fn conserving_execute_s(queue_s: f64, hold_s: f64, latency_s: f64) -> f64 {
+    let split = queue_s + hold_s;
+    let mut e = latency_s - split;
+    for _ in 0..4 {
+        let sum = split + e;
+        if sum == latency_s {
+            break;
+        }
+        e += latency_s - sum;
+    }
+    e
+}
+
+/// Streaming per-phase attribution aggregates: one GK sketch plus an
+/// exact running sum per lifecycle phase (queue, hold, execute — the
+/// admission phase is structurally zero, see
+/// [`RequestRecord::admission_s`]). Memory is independent of request
+/// count; sketch quantiles carry the documented `±(eps·n + 1)` rank
+/// bound of [`LATENCY_SKETCH_EPS`]. Only maintained when
+/// [`ScenarioCfg::attrib`] is on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseStats {
+    /// Queue-phase sketch (GPU busy with other work).
+    pub queue: QuantileSketch,
+    /// Hold-phase sketch (scheduler withheld launch on an idle GPU).
+    pub hold: QuantileSketch,
+    /// Execute-phase sketch (batch service time).
+    pub execute: QuantileSketch,
+    /// Exact sum of queue-phase seconds.
+    pub queue_sum_s: f64,
+    /// Exact sum of hold-phase seconds.
+    pub hold_sum_s: f64,
+    /// Exact sum of execute-phase seconds.
+    pub execute_sum_s: f64,
+}
+
+impl PhaseStats {
+    /// An empty attribution aggregate.
+    #[must_use]
+    pub fn new() -> Self {
+        PhaseStats {
+            queue: QuantileSketch::new(LATENCY_SKETCH_EPS),
+            hold: QuantileSketch::new(LATENCY_SKETCH_EPS),
+            execute: QuantileSketch::new(LATENCY_SKETCH_EPS),
+            queue_sum_s: 0.0,
+            hold_sum_s: 0.0,
+            execute_sum_s: 0.0,
+        }
+    }
+
+    fn observe(&mut self, queue_s: f64, hold_s: f64, execute_s: f64) {
+        self.queue.observe(queue_s);
+        self.hold.observe(hold_s);
+        self.execute.observe(execute_s);
+        self.queue_sum_s += queue_s;
+        self.hold_sum_s += hold_s;
+        self.execute_sum_s += execute_s;
+    }
+
+    fn flush(&mut self) {
+        self.queue.flush();
+        self.hold.flush();
+        self.execute.flush();
+    }
+
+    /// Pools another run's attribution into this one (sketch merges add
+    /// absolute rank errors, see [`mmg_telemetry::sketch`]). Used by the
+    /// replicated experiments to aggregate per-seed phase sketches.
+    pub fn merge_from(&mut self, other: &PhaseStats) {
+        self.queue.merge(&other.queue);
+        self.hold.merge(&other.hold);
+        self.execute.merge(&other.execute);
+        self.queue_sum_s += other.queue_sum_s;
+        self.hold_sum_s += other.hold_sum_s;
+        self.execute_sum_s += other.execute_sum_s;
+    }
+}
+
+impl Default for PhaseStats {
+    fn default() -> Self {
+        PhaseStats::new()
     }
 }
 
@@ -301,10 +452,12 @@ pub struct ModelStats {
     pub first_done_seq: u64,
     /// Latency sketch (rank error [`LATENCY_SKETCH_EPS`]).
     pub latency_sketch: QuantileSketch,
+    /// Per-phase attribution, when [`ScenarioCfg::attrib`] is on.
+    pub phases: Option<PhaseStats>,
 }
 
 impl ModelStats {
-    fn new(model: ModelId) -> Self {
+    fn new(model: ModelId, attrib: bool) -> Self {
         ModelStats {
             model,
             completed: 0,
@@ -314,6 +467,7 @@ impl ModelStats {
             batch_sum: 0,
             first_done_seq: u64::MAX,
             latency_sketch: QuantileSketch::new(LATENCY_SKETCH_EPS),
+            phases: attrib.then(PhaseStats::new),
         }
     }
 }
@@ -343,10 +497,13 @@ pub struct ServeStats {
     /// completions plus the exact worst-latency lifecycles. Maintained
     /// in both modes, so streaming runs keep explainable tails.
     pub exemplars: Exemplars,
+    /// Cluster-wide per-phase attribution, when [`ScenarioCfg::attrib`]
+    /// is on.
+    pub phases: Option<PhaseStats>,
 }
 
 impl ServeStats {
-    fn new(mix: &RequestMix, seed: u64, exemplar_k: usize, worst_n: usize) -> Self {
+    fn new(mix: &RequestMix, seed: u64, exemplar_k: usize, worst_n: usize, attrib: bool) -> Self {
         ServeStats {
             completed: 0,
             on_time: 0,
@@ -354,9 +511,48 @@ impl ServeStats {
             latency_sum_s: 0.0,
             batch_sum: 0,
             latency_sketch: QuantileSketch::new(LATENCY_SKETCH_EPS),
-            per_model: mix.entries().iter().map(|(m, _)| ModelStats::new(*m)).collect(),
+            per_model: mix
+                .entries()
+                .iter()
+                .map(|(m, _)| ModelStats::new(*m, attrib))
+                .collect(),
             exemplars: Exemplars::new(exemplar_k, worst_n, seed),
+            phases: attrib.then(PhaseStats::new),
         }
+    }
+}
+
+/// The SLO-health outcome of a run: every burn-rate alert and ratchet
+/// transition the online engine produced, plus the policy that produced
+/// them. Present on [`SimResult::health`] when
+/// [`ScenarioCfg::slo_policy`] was set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthReport {
+    /// The policy the engine evaluated.
+    pub policy: SloPolicy,
+    /// Burn-rate fire/clear transitions, in evaluation order.
+    pub alerts: Vec<AlertEvent>,
+    /// Ratcheting-queue-depth transitions, in evaluation order.
+    pub ratchet: Vec<RatchetEvent>,
+}
+
+impl HealthReport {
+    /// Simulated time of the first burn-rate `Fire`, if any fired.
+    #[must_use]
+    pub fn time_to_first_alert_s(&self) -> Option<f64> {
+        self.alerts
+            .iter()
+            .find(|e| e.kind == AlertKind::Fire)
+            .map(|e| e.t_s)
+    }
+
+    /// Simulated time of the first ratchet `Fire`, if any fired.
+    #[must_use]
+    pub fn time_to_first_ratchet_s(&self) -> Option<f64> {
+        self.ratchet
+            .iter()
+            .find(|e| e.kind == AlertKind::Fire)
+            .map(|e| e.t_s)
     }
 }
 
@@ -392,6 +588,9 @@ pub struct SimResult {
     pub abandoned_wait_s: f64,
     /// Busy seconds per GPU.
     pub busy_s: Vec<f64>,
+    /// SLO burn-rate alert + ratchet timeline, when
+    /// [`ScenarioCfg::slo_policy`] was set.
+    pub health: Option<HealthReport>,
     /// Indices into `records` sorted by arrival id, computed once at the
     /// end of the run so [`SimResult::records_by_arrival`] never re-sorts.
     arrival_order: Vec<u32>,
@@ -474,6 +673,15 @@ struct ReqState {
     depth_at_arrival: u64,
     base_s: f64,
     status: Status,
+    /// GPU busy-seconds *completed* on this request's GPU at its arrival
+    /// (the in-flight batch counts only its elapsed portion). The launch
+    /// re-reads the same meter; the delta is the queue-phase wait.
+    busy_done_at_arrival: f64,
+    /// Queue-phase wait, fixed at launch.
+    queue_wait_s: f64,
+    /// Hold-phase wait, fixed at launch (`wait - queue`, clamped so both
+    /// phases are non-negative and sum to the wait exactly).
+    hold_wait_s: f64,
 }
 
 #[derive(Debug)]
@@ -495,6 +703,66 @@ struct ModelInfo<'a> {
     slo_miss_c: Counter,
     wait_h: Histogram,
     latency_h: Histogram,
+    /// `serve_phase_s{model,phase}` histograms (queue, hold, execute),
+    /// resolved only when attribution is on.
+    phase_h: Option<[Histogram; 3]>,
+}
+
+/// Online health state driven by the event loop: the burn-rate engine
+/// eats the completion stream, the ratchet detector eats per-window mean
+/// queue depths accumulated from the same occupancy spans that feed the
+/// Little's-law integral.
+struct HealthMonitor {
+    engine: BurnRateEngine,
+    ratchet: RatchetDetector,
+    window_s: f64,
+    depth_win_idx: u64,
+    depth_area_s: f64,
+}
+
+impl HealthMonitor {
+    fn new(policy: SloPolicy) -> Self {
+        let window_s = policy.window_s;
+        HealthMonitor {
+            engine: BurnRateEngine::new(policy),
+            ratchet: RatchetDetector::new(RATCHET_STREAK, RATCHET_GROWTH, RATCHET_MIN_DEPTH),
+            window_s,
+            depth_win_idx: 0,
+            depth_area_s: 0.0,
+        }
+    }
+
+    /// Accumulates the occupancy span `[t0, t1) × depth` into the
+    /// ratchet windows, closing (and evaluating) every window boundary
+    /// the span crosses. Spans arrive contiguously from t=0, so the
+    /// window index advances monotonically.
+    fn on_span(&mut self, t0_s: f64, t1_s: f64, depth: f64) {
+        let w = self.window_s;
+        let mut t = t0_s;
+        while t < t1_s {
+            let end = (self.depth_win_idx + 1) as f64 * w;
+            let seg = t1_s.min(end);
+            self.depth_area_s += depth * (seg - t);
+            if seg >= end {
+                self.ratchet.push(end, self.depth_area_s / w);
+                self.depth_area_s = 0.0;
+                self.depth_win_idx += 1;
+            }
+            t = seg;
+        }
+    }
+
+    /// Final evaluation at the end of the run: the engine closes its
+    /// trailing partial window; the ratchet sees the partial depth
+    /// window at its true (elapsed-time) mean.
+    fn finish(&mut self, t_end_s: f64) {
+        self.engine.finish(t_end_s);
+        let elapsed = t_end_s - self.depth_win_idx as f64 * self.window_s;
+        if elapsed > 0.0 && self.depth_area_s > 0.0 {
+            self.ratchet.push(t_end_s, self.depth_area_s / elapsed);
+            self.depth_area_s = 0.0;
+        }
+    }
 }
 
 struct Sim<'a> {
@@ -533,6 +801,9 @@ struct Sim<'a> {
     /// ([`simulate_recorded`]). `None` keeps the fast path untouched:
     /// every hook site is guarded by an `Option` check.
     flight: Option<FlightRecorder>,
+    /// SLO health engine, when [`ScenarioCfg::slo_policy`] is set. Same
+    /// contract as `flight`: `None` costs the fast path nothing.
+    health: Option<HealthMonitor>,
 }
 
 impl<'a> Sim<'a> {
@@ -566,6 +837,9 @@ impl<'a> Sim<'a> {
                 depth_at_arrival: 0,
                 base_s: 0.0,
                 status: Status::Vacant,
+                busy_done_at_arrival: 0.0,
+                queue_wait_s: 0.0,
+                hold_wait_s: 0.0,
             });
             (self.reqs.len() - 1) as u32
         }
@@ -712,9 +986,19 @@ impl<'a> Sim<'a> {
         let mix_idx = self.reqs[members[0] as usize].mix_idx as usize;
         let curve: &ServiceCurve = self.per_model[mix_idx].curve;
         let mut service_s = curve.batch_s(members.len());
+        // Busy meter at launch: the GPU is idle here, so `busy_s` equals
+        // completed busy seconds. The delta against each member's arrival
+        // stamp is its queue-phase wait (GPU busy with other work); the
+        // rest of the wait is the hold phase (scheduler withheld launch
+        // on an idle GPU). Clamping keeps both non-negative against
+        // float association error in the busy accumulator.
+        let busy_done_now = self.busy_s[gpu];
         for &slot in &members {
             let st = &mut self.reqs[slot as usize];
             st.status = Status::Running;
+            let wait = (now - st.arrival_s).max(0.0);
+            st.queue_wait_s = (busy_done_now - st.busy_done_at_arrival).clamp(0.0, wait);
+            st.hold_wait_s = wait - st.queue_wait_s;
             self.queued_work_s[gpu] -= st.base_s;
             let q = &mut self.gpu_queues[gpu];
             let pos = q.iter().position(|&x| x == slot).expect("queued member");
@@ -783,6 +1067,13 @@ impl<'a> Sim<'a> {
         let depth_at_arrival = self.in_system;
         let gpu = self.route(mix_idx);
         let slot = self.alloc_slot();
+        // Phase-attribution meter: busy seconds the GPU has *completed*
+        // by now. The in-flight batch (if any) was pre-credited its full
+        // service at launch, so subtract the portion still to run.
+        let busy_done_at_arrival = self.busy_s[gpu]
+            - self.running[gpu]
+                .as_ref()
+                .map_or(0.0, |b| (b.finish_s - now).max(0.0));
         {
             let st = &mut self.reqs[slot as usize];
             st.model = model;
@@ -794,6 +1085,7 @@ impl<'a> Sim<'a> {
             st.depth_at_arrival = depth_at_arrival;
             st.base_s = base_s;
             st.status = Status::Queued;
+            st.busy_done_at_arrival = busy_done_at_arrival;
         }
         self.gpu_queues[gpu].push_back(slot);
         self.queued_count += 1;
@@ -818,18 +1110,29 @@ impl<'a> Sim<'a> {
             let arrival_s = st.arrival_s;
             let deadline_s = st.deadline_s;
             let depth_at_arrival = st.depth_at_arrival;
+            let queue_s = st.queue_wait_s;
+            let hold_s = st.hold_wait_s;
             self.in_system -= 1;
             self.free_slot(slot);
 
             let wait_s = batch.start_s - arrival_s;
             let latency_s = batch.finish_s - arrival_s;
             let on_time = batch.finish_s <= deadline_s;
+            let execute_s = conserving_execute_s(queue_s, hold_s, latency_s);
 
             let info = &self.per_model[mix_idx];
             info.wait_h.observe(wait_s);
             info.latency_h.observe(latency_s);
             if !on_time {
                 info.slo_miss_c.inc();
+            }
+            if let Some(ph) = info.phase_h.as_ref() {
+                ph[0].observe(queue_s);
+                ph[1].observe(hold_s);
+                ph[2].observe(execute_s);
+            }
+            if let Some(hm) = self.health.as_mut() {
+                hm.engine.record(batch.finish_s, on_time);
             }
 
             let ms = &mut self.stats.per_model[mix_idx];
@@ -842,12 +1145,18 @@ impl<'a> Sim<'a> {
             ms.latency_sum_s += latency_s;
             ms.batch_sum += size as u64;
             ms.latency_sketch.observe(latency_s);
+            if let Some(ph) = ms.phases.as_mut() {
+                ph.observe(queue_s, hold_s, execute_s);
+            }
             self.stats.completed += 1;
             self.stats.on_time += u64::from(on_time);
             self.stats.wait_sum_s += wait_s;
             self.stats.latency_sum_s += latency_s;
             self.stats.batch_sum += size as u64;
             self.stats.latency_sketch.observe(latency_s);
+            if let Some(ph) = self.stats.phases.as_mut() {
+                ph.observe(queue_s, hold_s, execute_s);
+            }
             self.stats.exemplars.observe(latency_s, arrival_id, || RequestRecord {
                 id: arrival_id,
                 model,
@@ -858,6 +1167,9 @@ impl<'a> Sim<'a> {
                 gpu,
                 batch: size,
                 depth_at_arrival,
+                queue_s,
+                hold_s,
+                execute_s,
             });
             if let Some(fl) = self.flight.as_mut() {
                 fl.on_complete(batch.finish_s, latency_s, on_time);
@@ -874,6 +1186,9 @@ impl<'a> Sim<'a> {
                     gpu,
                     batch: size,
                     depth_at_arrival,
+                    queue_s,
+                    hold_s,
+                    execute_s,
                 });
             }
         }
@@ -984,6 +1299,16 @@ fn run(
                 wait_h: registry.histogram_with("serve_wait_s", &labels, &latency_buckets_s()),
                 latency_h: registry
                     .histogram_with("serve_latency_s", &labels, &latency_buckets_s()),
+                phase_h: cfg.attrib.then(|| {
+                    let m = model_short_name(*model);
+                    ["queue", "hold", "execute"].map(|phase| {
+                        registry.histogram_with(
+                            "serve_phase_s",
+                            &[("model", m), ("phase", phase)],
+                            &latency_buckets_s(),
+                        )
+                    })
+                }),
             }
         })
         .collect();
@@ -1006,7 +1331,7 @@ fn run(
         abandoned: 0,
         abandoned_wait_s: 0.0,
         records: Vec::new(),
-        stats: ServeStats::new(&cfg.mix, cfg.seed, cfg.exemplar_k, cfg.worst_n),
+        stats: ServeStats::new(&cfg.mix, cfg.seed, cfg.exemplar_k, cfg.worst_n, cfg.attrib),
         batch_h: registry
             .histogram("serve_batch_size", &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0]),
         drops_c: registry.counter("serve_drops_total"),
@@ -1022,6 +1347,7 @@ fn run(
         in_flight_at_horizon: 0,
         horizon_snapped: false,
         flight,
+        health: cfg.slo_policy.clone().map(HealthMonitor::new),
     };
 
     let first = sim.next_arrival();
@@ -1038,6 +1364,11 @@ fn run(
         if let Some(fl) = sim.flight.as_mut() {
             if t > sim.last_event_s {
                 fl.on_occupancy(sim.last_event_s, t, sim.in_system);
+            }
+        }
+        if let Some(hm) = sim.health.as_mut() {
+            if t > sim.last_event_s {
+                hm.on_span(sim.last_event_s, t, sim.in_system as f64);
             }
         }
         sim.last_event_s = t;
@@ -1083,6 +1414,65 @@ fn run(
     sim.stats.latency_sketch.flush();
     for ms in &mut sim.stats.per_model {
         ms.latency_sketch.flush();
+        if let Some(ph) = ms.phases.as_mut() {
+            ph.flush();
+        }
+    }
+    if let Some(ph) = sim.stats.phases.as_mut() {
+        ph.flush();
+    }
+
+    let health = sim.health.take().map(|mut hm| {
+        hm.finish(end_s);
+        let report = HealthReport {
+            policy: hm.engine.policy().clone(),
+            alerts: hm.engine.events().to_vec(),
+            ratchet: hm.ratchet.events().to_vec(),
+        };
+        // Alert/ratchet transitions become flight-recorder instants and
+        // registry counters only now, after the loop: both event vecs are
+        // chronological, so the trace stays time-ordered, and the hot
+        // loop never touches a counter for the health layer.
+        for ev in &report.alerts {
+            let fire = matches!(ev.kind, AlertKind::Fire);
+            if let Some(fl) = sim.flight.as_mut() {
+                fl.on_alert(ev.t_s, ev.rule as u32, fire, ev.long_burn, ev.short_burn);
+            }
+            registry
+                .counter_with("serve_alert_transitions_total", &[("kind", ev.kind.label())])
+                .inc();
+        }
+        for ev in &report.ratchet {
+            let fire = matches!(ev.kind, AlertKind::Fire);
+            if let Some(fl) = sim.flight.as_mut() {
+                fl.on_ratchet(ev.t_s, fire, ev.depth);
+            }
+            registry
+                .counter_with("serve_ratchet_transitions_total", &[("kind", ev.kind.label())])
+                .inc();
+        }
+        if let Some(tta) = report.time_to_first_alert_s() {
+            registry.gauge("serve_time_to_first_alert_s").set(tta);
+        }
+        registry.describe(
+            "serve_alert_transitions_total",
+            "burn-rate alert fire/clear transitions over the run",
+        );
+        registry.describe(
+            "serve_ratchet_transitions_total",
+            "ratcheting-queue-depth anomaly fire/clear transitions",
+        );
+        registry.describe(
+            "serve_time_to_first_alert_s",
+            "sim time of the first burn-rate alert fire, if any",
+        );
+        report
+    });
+    if cfg.attrib {
+        registry.describe(
+            "serve_phase_s",
+            "per-request latency attribution by phase (queue, hold, execute)",
+        );
     }
 
     assert!(
@@ -1104,6 +1494,7 @@ fn run(
         area_requests_s: sim.area_requests_s,
         abandoned_wait_s: sim.abandoned_wait_s,
         busy_s: sim.busy_s,
+        health,
         arrival_order,
     };
     (result, sim.flight)
@@ -1112,6 +1503,7 @@ fn run(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::flight::CLUSTER_LANE;
 
     fn constant_profile(service_s: f64) -> ServiceProfile {
         ServiceProfile::new(vec![ServiceCurve::constant(ModelId::StableDiffusion, service_s)])
@@ -1394,5 +1786,210 @@ mod tests {
         );
         assert_eq!(SchedulerKind::parse("fifo", 8).unwrap().name(), "fifo");
         assert!(SchedulerKind::parse("edf", 8).is_err());
+    }
+
+    /// The conservation invariant, bitwise: for every completed request
+    /// `(admission + queue) + hold + execute == latency` with zero
+    /// float slack, across schedulers with very different phase mixes.
+    #[test]
+    fn phases_conserve_latency_bitwise() {
+        for scheduler in [
+            SchedulerKind::Fifo,
+            SchedulerKind::Static { batch: 8, wait_s: 0.25 },
+            SchedulerKind::Dynamic { max_batch: 16 },
+        ] {
+            let cfg = ScenarioCfg { attrib: true, ..scenario(scheduler, 5.0, 120.0) };
+            let r = simulate(&cfg, &batching_profile(0.5), &Registry::new());
+            assert!(r.records.len() > 100, "{scheduler:?}: thin run");
+            for rec in r.records.iter().chain(r.stats.exemplars.worst()) {
+                assert!(
+                    rec.queue_s >= 0.0 && rec.hold_s >= 0.0 && rec.execute_s >= 0.0,
+                    "request {}: negative phase ({}, {}, {})",
+                    rec.id,
+                    rec.queue_s,
+                    rec.hold_s,
+                    rec.execute_s
+                );
+                let sum = ((rec.admission_s() + rec.queue_s) + rec.hold_s) + rec.execute_s;
+                assert!(
+                    sum == rec.latency_s(),
+                    "request {}: phases sum {} != latency {} ({scheduler:?})",
+                    rec.id,
+                    sum,
+                    rec.latency_s()
+                );
+            }
+            // The exact phase sums therefore telescope into the latency sum.
+            let ph = r.stats.phases.as_ref().expect("attrib on");
+            let total = ph.queue_sum_s + ph.hold_sum_s + ph.execute_sum_s;
+            assert!(
+                (total - r.stats.latency_sum_s).abs() < 1e-6 * r.stats.latency_sum_s.max(1.0),
+                "{scheduler:?}: phase total {total} vs latency sum {}",
+                r.stats.latency_sum_s
+            );
+        }
+    }
+
+    /// Instrumentation must be read-only: turning attribution and the
+    /// health engine on cannot change the simulated sample path.
+    #[test]
+    fn attrib_and_health_do_not_change_trajectory() {
+        let base = scenario(SchedulerKind::Dynamic { max_batch: 8 }, 5.0, 150.0);
+        let plain = simulate(&base, &batching_profile(0.5), &Registry::new());
+        let instrumented_cfg = base.clone().with_health(0.95);
+        assert!(instrumented_cfg.attrib && instrumented_cfg.slo_policy.is_some());
+        let instrumented = simulate(&instrumented_cfg, &batching_profile(0.5), &Registry::new());
+        assert_eq!(plain.records, instrumented.records);
+        assert_eq!(plain.busy_s, instrumented.busy_s);
+        assert_eq!(plain.arrivals, instrumented.arrivals);
+        assert_eq!(plain.area_requests_s, instrumented.area_requests_s);
+        assert_eq!(plain.stats.latency_sum_s, instrumented.stats.latency_sum_s);
+        assert!(plain.health.is_none());
+        assert!(instrumented.health.is_some());
+    }
+
+    /// Streaming phase quantiles respect the sketch's documented rank
+    /// bound against the exact per-phase order statistics.
+    #[test]
+    fn phase_sketch_p99_respects_rank_bound() {
+        let cfg = ScenarioCfg {
+            attrib: true,
+            ..scenario(SchedulerKind::Dynamic { max_batch: 16 }, 20.0, 300.0)
+        };
+        let r = simulate(&cfg, &batching_profile(0.2), &Registry::new());
+        assert!(r.records.len() > 2_000, "want a dense run, got {}", r.records.len());
+        let ph = r.stats.phases.as_ref().expect("attrib on");
+        for (name, sketch, exact) in [
+            ("queue", &ph.queue, r.records.iter().map(|x| x.queue_s).collect::<Vec<_>>()),
+            ("hold", &ph.hold, r.records.iter().map(|x| x.hold_s).collect::<Vec<_>>()),
+            ("execute", &ph.execute, r.records.iter().map(|x| x.execute_s).collect::<Vec<_>>()),
+        ] {
+            let mut exact = exact;
+            exact.sort_by(f64::total_cmp);
+            let n = exact.len();
+            let err = sketch.rank_error_ranks().ceil() as usize + 1;
+            let got = sketch.quantile(0.99).expect("non-empty phase sketch");
+            let rank = (0.99 * (n - 1) as f64).round() as usize;
+            let lo = exact[rank.saturating_sub(err)];
+            let hi = exact[(rank + err).min(n - 1)];
+            assert!(
+                (lo..=hi).contains(&got),
+                "{name} p99 {got} outside [{lo}, {hi}] (±{err} ranks of {n})"
+            );
+        }
+    }
+
+    /// Phase semantics: FIFO never idles with a non-empty queue, so its
+    /// wait is almost all queue; static batching's wait timer withholds
+    /// launches on an idle GPU, so it accrues genuine hold time.
+    #[test]
+    fn hold_phase_separates_static_from_fifo() {
+        let profile = batching_profile(0.5);
+        let fifo_cfg = ScenarioCfg { attrib: true, ..scenario(SchedulerKind::Fifo, 3.0, 200.0) };
+        let fifo = simulate(&fifo_cfg, &profile, &Registry::new());
+        let fifo_ph = fifo.stats.phases.as_ref().unwrap();
+        assert!(
+            fifo_ph.hold_sum_s <= 1e-9 * fifo_ph.queue_sum_s.max(1.0),
+            "fifo accrued hold time: {} (queue {})",
+            fifo_ph.hold_sum_s,
+            fifo_ph.queue_sum_s
+        );
+
+        let static_cfg = ScenarioCfg {
+            attrib: true,
+            ..scenario(SchedulerKind::Static { batch: 8, wait_s: 0.25 }, 3.0, 200.0)
+        };
+        let st = simulate(&static_cfg, &profile, &Registry::new());
+        let st_ph = st.stats.phases.as_ref().unwrap();
+        assert!(
+            st_ph.hold_sum_s > 0.1 * st_ph.queue_sum_s.max(1e-9),
+            "static batching shows no hold time: {} (queue {})",
+            st_ph.hold_sum_s,
+            st_ph.queue_sum_s
+        );
+    }
+
+    /// The burn-rate engine fires under sustained overload and stays
+    /// quiet on a well-provisioned cluster; the ratchet detector flags
+    /// the unbounded FIFO queue collapse.
+    #[test]
+    fn health_engine_fires_under_overload_only() {
+        // Overload: 1 GPU at capacity 2 req/s offered 8 req/s — latency
+        // grows without bound, misses saturate, the queue ratchets.
+        let overload_cfg = ScenarioCfg {
+            gpus: 1,
+            ..scenario(SchedulerKind::Fifo, 8.0, 100.0)
+        }
+        .with_health(0.95);
+        let overload = simulate(&overload_cfg, &constant_profile(0.5), &Registry::new());
+        let health = overload.health.as_ref().expect("policy set");
+        let tta = health.time_to_first_alert_s().expect("overload must alert");
+        assert!(tta > 0.0 && tta < 100.0, "tta {tta}");
+        assert!(matches!(health.alerts[0].kind, AlertKind::Fire));
+        let rta = health.time_to_first_ratchet_s().expect("collapse must ratchet");
+        assert!(rta > 0.0, "ratchet at {rta}");
+        assert!(matches!(health.ratchet[0].kind, AlertKind::Fire));
+
+        // Provisioned: same traffic shape, 4x capacity — no alerts.
+        let quiet_cfg = ScenarioCfg {
+            gpus: 4,
+            ..scenario(SchedulerKind::Fifo, 2.0, 100.0)
+        }
+        .with_health(0.95);
+        let quiet = simulate(&quiet_cfg, &constant_profile(0.5), &Registry::new());
+        let health = quiet.health.as_ref().expect("policy set");
+        assert!(health.alerts.is_empty(), "spurious alerts: {:?}", health.alerts);
+        assert!(health.time_to_first_alert_s().is_none());
+        assert!(health.ratchet.is_empty(), "spurious ratchet: {:?}", health.ratchet);
+    }
+
+    /// Health transitions surface as flight-recorder instants and
+    /// registry counters, but only when the layer is on.
+    #[test]
+    fn health_transitions_reach_flight_and_registry() {
+        let cfg = ScenarioCfg {
+            gpus: 1,
+            ..scenario(SchedulerKind::Fifo, 8.0, 100.0)
+        }
+        .with_health(0.95);
+        let reg = Registry::new();
+        let (r, fl) = simulate_recorded(&cfg, &constant_profile(0.5), &reg, FlightCfg::default());
+        let health = r.health.as_ref().expect("policy set");
+        let fired: Vec<_> = fl
+            .instants
+            .iter()
+            .filter(|e| matches!(e.kind, crate::flight::SchedKind::Alert { .. }))
+            .collect();
+        assert_eq!(fired.len(), health.alerts.len());
+        assert!(fired.iter().all(|e| e.gpu == CLUSTER_LANE));
+        let ratchets = fl
+            .instants
+            .iter()
+            .filter(|e| matches!(e.kind, crate::flight::SchedKind::Ratchet { .. }))
+            .count();
+        assert_eq!(ratchets, health.ratchet.len());
+        let fires = health
+            .alerts
+            .iter()
+            .filter(|a| matches!(a.kind, AlertKind::Fire))
+            .count() as u64;
+        assert_eq!(
+            reg.counter_with("serve_alert_transitions_total", &[("kind", "fire")]).get(),
+            fires
+        );
+        assert_eq!(
+            reg.gauge("serve_time_to_first_alert_s").get(),
+            health.time_to_first_alert_s().unwrap()
+        );
+
+        // Without the layer nothing is emitted, keeping default traces
+        // byte-stable.
+        let plain_cfg = ScenarioCfg { gpus: 1, ..scenario(SchedulerKind::Fifo, 8.0, 100.0) };
+        let (_, fl) =
+            simulate_recorded(&plain_cfg, &constant_profile(0.5), &Registry::new(), FlightCfg::default());
+        assert!(fl.instants.iter().all(|e| !matches!(
+            e.kind,
+            crate::flight::SchedKind::Alert { .. } | crate::flight::SchedKind::Ratchet { .. }
+        )));
     }
 }

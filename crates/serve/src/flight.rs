@@ -138,6 +138,27 @@ pub enum SchedKind {
         /// How long it had waited.
         waited_s: f64,
     },
+    /// An SLO burn-rate alert transition (cluster-wide; `gpu` is
+    /// [`CLUSTER_LANE`]). Emitted only when the health layer is on, so
+    /// default traces are byte-identical with or without this variant
+    /// existing.
+    Alert {
+        /// Index into the policy's rules.
+        rule: u32,
+        /// `true` = fire, `false` = clear.
+        fire: bool,
+        /// Burn rate over the rule's long window at evaluation time.
+        long_burn: f64,
+        /// Burn rate over the rule's short window at evaluation time.
+        short_burn: f64,
+    },
+    /// A ratcheting-queue-depth detector transition (cluster-wide).
+    Ratchet {
+        /// `true` = fire, `false` = clear.
+        fire: bool,
+        /// Mean queue depth of the triggering window.
+        depth: f64,
+    },
 }
 
 /// A scheduler-decision instant event on a GPU (or cluster) lane.
@@ -304,6 +325,31 @@ impl FlightRecorder {
         });
     }
 
+    /// Records an SLO burn-rate alert transition on the cluster lane.
+    pub(crate) fn on_alert(
+        &mut self,
+        t_s: f64,
+        rule: u32,
+        fire: bool,
+        long_burn: f64,
+        short_burn: f64,
+    ) {
+        self.push_instant(SchedEvent {
+            t_s,
+            gpu: CLUSTER_LANE,
+            kind: SchedKind::Alert { rule, fire, long_burn, short_burn },
+        });
+    }
+
+    /// Records a ratcheting-queue-depth transition on the cluster lane.
+    pub(crate) fn on_ratchet(&mut self, t_s: f64, fire: bool, depth: f64) {
+        self.push_instant(SchedEvent {
+            t_s,
+            gpu: CLUSTER_LANE,
+            kind: SchedKind::Ratchet { fire, depth },
+        });
+    }
+
     pub(crate) fn on_hold(&mut self, t_s: f64, gpu: usize, retry_at_s: f64) {
         self.push_instant(SchedEvent {
             t_s,
@@ -447,6 +493,24 @@ impl FlightRecorder {
                 SchedKind::Abandon { waited_s } => {
                     args.insert("waited_ms".to_string(), Value::from(waited_s * 1e3));
                     "abandon"
+                }
+                SchedKind::Alert { rule, fire, long_burn, short_burn } => {
+                    args.insert("rule".to_string(), Value::from(u64::from(rule)));
+                    args.insert("long_burn".to_string(), Value::from(long_burn));
+                    args.insert("short_burn".to_string(), Value::from(short_burn));
+                    if fire {
+                        "alert_fire"
+                    } else {
+                        "alert_clear"
+                    }
+                }
+                SchedKind::Ratchet { fire, depth } => {
+                    args.insert("mean_depth".to_string(), Value::from(depth));
+                    if fire {
+                        "ratchet_fire"
+                    } else {
+                        "ratchet_clear"
+                    }
                 }
             };
             TraceEvent {

@@ -51,8 +51,8 @@ pub mod report;
 pub mod workload;
 
 pub use cluster::{
-    simulate, simulate_recorded, ModelStats, RequestRecord, RouterKind, ScenarioCfg,
-    SchedulerKind, ServeStats, SimResult, SloSpec, LATENCY_SKETCH_EPS,
+    simulate, simulate_recorded, HealthReport, ModelStats, PhaseStats, RequestRecord, RouterKind,
+    ScenarioCfg, SchedulerKind, ServeStats, SimResult, SloSpec, LATENCY_SKETCH_EPS,
 };
 pub use flight::{
     BatchSpan, Exemplars, FlightCfg, FlightRecorder, SchedEvent, SchedKind, ServeWindow,

@@ -5,7 +5,7 @@ use mmg_profiler::report::render_table;
 use mmg_telemetry::quantile_sorted;
 use serde::{Deserialize, Serialize};
 
-use crate::cluster::{RequestRecord, SimResult};
+use crate::cluster::{HealthReport, PhaseStats, RequestRecord, SimResult};
 use crate::workload::model_short_name;
 
 /// Serving statistics for one model in the mix.
@@ -71,6 +71,132 @@ impl ExemplarRow {
     }
 }
 
+/// One latency-attribution row: where a scope's latency went, by
+/// phase. The `*_p99_s` columns are per-phase tail quantiles from the
+/// streaming sketches; the `*_sum_s` columns are exact totals, so
+/// `queue_sum_s + hold_sum_s + execute_sum_s` equals the scope's summed
+/// end-to-end latency (the conservation invariant holds per request and
+/// therefore in the sums).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseRow {
+    /// `"cluster"` or a short model name.
+    pub scope: String,
+    /// 99th-percentile queue-phase seconds (GPU busy with other work).
+    pub queue_p99_s: f64,
+    /// 99th-percentile hold-phase seconds (batch-formation wait).
+    pub hold_p99_s: f64,
+    /// 99th-percentile execute-phase seconds.
+    pub execute_p99_s: f64,
+    /// Exact total queue-phase seconds across completions.
+    pub queue_sum_s: f64,
+    /// Exact total hold-phase seconds.
+    pub hold_sum_s: f64,
+    /// Exact total execute-phase seconds.
+    pub execute_sum_s: f64,
+}
+
+impl PhaseRow {
+    fn from_stats(scope: &str, ph: &PhaseStats) -> Self {
+        PhaseRow {
+            scope: scope.to_string(),
+            queue_p99_s: ph.queue.quantile(0.99).unwrap_or(0.0),
+            hold_p99_s: ph.hold.quantile(0.99).unwrap_or(0.0),
+            execute_p99_s: ph.execute.quantile(0.99).unwrap_or(0.0),
+            queue_sum_s: ph.queue_sum_s,
+            hold_sum_s: ph.hold_sum_s,
+            execute_sum_s: ph.execute_sum_s,
+        }
+    }
+
+    /// Per-phase shares of the summed p99s (`queue`, `hold`, `execute`)
+    /// — the headline "p99 = 12% queue + 71% hold + 17% execute"
+    /// decomposition. All zeros when the scope saw no latency.
+    #[must_use]
+    pub fn p99_shares(&self) -> [f64; 3] {
+        let total = self.queue_p99_s + self.hold_p99_s + self.execute_p99_s;
+        if total <= 0.0 {
+            [0.0; 3]
+        } else {
+            [
+                self.queue_p99_s / total,
+                self.hold_p99_s / total,
+                self.execute_p99_s / total,
+            ]
+        }
+    }
+}
+
+/// One burn-rate alert transition, flattened for the report timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlertRow {
+    /// Sim time of the transition, seconds.
+    pub t_s: f64,
+    /// Name of the rule that transitioned (e.g. `fast-burn`).
+    pub rule: String,
+    /// `"fire"` or `"clear"`.
+    pub kind: String,
+    /// Long-window burn rate at the transition.
+    pub long_burn: f64,
+    /// Short-window burn rate at the transition.
+    pub short_burn: f64,
+}
+
+/// One ratcheting-queue-depth transition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RatchetRow {
+    /// Sim time of the transition, seconds.
+    pub t_s: f64,
+    /// `"fire"` or `"clear"`.
+    pub kind: String,
+    /// Mean queue depth over the window that transitioned.
+    pub depth: f64,
+    /// Baseline depth the ratchet grew from.
+    pub baseline: f64,
+}
+
+/// The SLO-health timeline of a run, rendered as fire/clear rows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthSection {
+    /// The availability objective the burn rates are measured against.
+    pub objective: f64,
+    /// Burn-rate alert transitions, chronological.
+    pub alerts: Vec<AlertRow>,
+    /// Queue-depth ratchet transitions, chronological.
+    pub ratchet: Vec<RatchetRow>,
+    /// Sim time of the first alert fire, if any fired.
+    pub time_to_first_alert_s: Option<f64>,
+}
+
+impl HealthSection {
+    fn from_report(h: &HealthReport) -> Self {
+        HealthSection {
+            objective: h.policy.objective,
+            alerts: h
+                .alerts
+                .iter()
+                .map(|e| AlertRow {
+                    t_s: e.t_s,
+                    rule: h.policy.rules[e.rule].name.clone(),
+                    kind: e.kind.label().to_string(),
+                    long_burn: e.long_burn,
+                    short_burn: e.short_burn,
+                })
+                .collect(),
+            ratchet: h
+                .ratchet
+                .iter()
+                .map(|e| RatchetRow {
+                    t_s: e.t_s,
+                    kind: e.kind.label().to_string(),
+                    depth: e.depth,
+                    baseline: e.baseline,
+                })
+                .collect(),
+            time_to_first_alert_s: h.time_to_first_alert_s(),
+        }
+    }
+}
+
 /// Cluster-wide serving report.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SloReport {
@@ -94,6 +220,13 @@ pub struct SloReport {
     /// bad the tail is; these say *which* requests it was and what they
     /// were waiting behind.
     pub worst: Vec<ExemplarRow>,
+    /// Latency attribution by phase — a cluster row first, then one row
+    /// per model in first-completion order. Present only when the run
+    /// had [`crate::ScenarioCfg::attrib`] on.
+    pub attribution: Option<Vec<PhaseRow>>,
+    /// Burn-rate alert and ratchet timeline. Present only when the run
+    /// had an SLO policy ([`crate::ScenarioCfg::slo_policy`]).
+    pub health: Option<HealthSection>,
 }
 
 impl SloReport {
@@ -130,6 +263,24 @@ impl SloReport {
                 .rev()
                 .map(ExemplarRow::from_record)
                 .collect(),
+            attribution: r.stats.phases.as_ref().map(|cluster_ph| {
+                let mut rows = vec![PhaseRow::from_stats("cluster", cluster_ph)];
+                let mut stats: Vec<&crate::cluster::ModelStats> = r
+                    .stats
+                    .per_model
+                    .iter()
+                    .filter(|m| m.completed > 0 && m.phases.is_some())
+                    .collect();
+                stats.sort_by_key(|m| m.first_done_seq);
+                rows.extend(stats.iter().map(|m| {
+                    PhaseRow::from_stats(
+                        model_short_name(m.model),
+                        m.phases.as_ref().expect("filtered above"),
+                    )
+                }));
+                rows
+            }),
+            health: r.health.as_ref().map(HealthSection::from_report),
         }
     }
 
@@ -157,9 +308,9 @@ impl SloReport {
                     model: name.to_string(),
                     completed: recs.len() as u64,
                     mean_wait_s: recs.iter().map(|rec| rec.wait_s()).sum::<f64>() / n,
-                    p50_s: quantile_sorted(&lat, 0.50),
-                    p95_s: quantile_sorted(&lat, 0.95),
-                    p99_s: quantile_sorted(&lat, 0.99),
+                    p50_s: quantile_sorted(&lat, 0.50).expect("model has completions"),
+                    p95_s: quantile_sorted(&lat, 0.95).expect("model has completions"),
+                    p99_s: quantile_sorted(&lat, 0.99).expect("model has completions"),
                     slo_attainment: recs.iter().filter(|rec| rec.on_time()).count() as f64 / n,
                     mean_batch: recs.iter().map(|rec| rec.batch as f64).sum::<f64>() / n,
                 }
@@ -182,9 +333,9 @@ impl SloReport {
                     model: model_short_name(m.model).to_string(),
                     completed: m.completed,
                     mean_wait_s: m.wait_sum_s / n,
-                    p50_s: m.latency_sketch.quantile(0.50),
-                    p95_s: m.latency_sketch.quantile(0.95),
-                    p99_s: m.latency_sketch.quantile(0.99),
+                    p50_s: m.latency_sketch.quantile(0.50).expect("model has completions"),
+                    p95_s: m.latency_sketch.quantile(0.95).expect("model has completions"),
+                    p99_s: m.latency_sketch.quantile(0.99).expect("model has completions"),
                     slo_attainment: m.on_time as f64 / n,
                     mean_batch: m.batch_sum as f64 / n,
                 }
@@ -253,6 +404,75 @@ impl SloReport {
                 &["Req", "Model", "Arrived", "Wait", "Latency", "Over SLO", "GPU", "Batch", "Depth"],
                 &rows,
             ));
+        }
+        if let Some(attr) = &self.attribution {
+            if let Some(cluster) = attr.first() {
+                let [q, h, e] = cluster.p99_shares();
+                out.push_str(&format!(
+                    "\nattribution: p99 = {:.0}% queue + {:.0}% hold + {:.0}% execute\n",
+                    q * 100.0,
+                    h * 100.0,
+                    e * 100.0
+                ));
+            }
+            let rows: Vec<(String, Vec<String>)> = attr
+                .iter()
+                .map(|p| {
+                    let [q, h, e] = p.p99_shares();
+                    (
+                        p.scope.clone(),
+                        vec![
+                            format!("{:.0} ms", p.queue_p99_s * 1e3),
+                            format!("{:.0} ms", p.hold_p99_s * 1e3),
+                            format!("{:.0} ms", p.execute_p99_s * 1e3),
+                            format!("{:.0}%", q * 100.0),
+                            format!("{:.0}%", h * 100.0),
+                            format!("{:.0}%", e * 100.0),
+                        ],
+                    )
+                })
+                .collect();
+            out.push_str(&render_table(
+                &["Scope", "Queue p99", "Hold p99", "Exec p99", "Queue", "Hold", "Exec"],
+                &rows,
+            ));
+        }
+        if let Some(hs) = &self.health {
+            out.push_str(&format!(
+                "\nslo health (objective {:.1}%): ",
+                hs.objective * 100.0
+            ));
+            match hs.time_to_first_alert_s {
+                Some(t) => out.push_str(&format!("first alert at {t:.1} s\n")),
+                None => out.push_str("no burn-rate alerts\n"),
+            }
+            if !hs.alerts.is_empty() {
+                let rows: Vec<(String, Vec<String>)> = hs
+                    .alerts
+                    .iter()
+                    .map(|a| {
+                        (
+                            format!("{:.1} s", a.t_s),
+                            vec![
+                                a.rule.clone(),
+                                a.kind.clone(),
+                                format!("{:.1}x", a.long_burn),
+                                format!("{:.1}x", a.short_burn),
+                            ],
+                        )
+                    })
+                    .collect();
+                out.push_str(&render_table(
+                    &["Time", "Rule", "Event", "Long burn", "Short burn"],
+                    &rows,
+                ));
+            }
+            for rr in &hs.ratchet {
+                out.push_str(&format!(
+                    "ratchet {} at {:.1} s: mean depth {:.1} (baseline {:.1})\n",
+                    rr.kind, rr.t_s, rr.depth, rr.baseline
+                ));
+            }
         }
         out
     }

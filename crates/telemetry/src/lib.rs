@@ -20,9 +20,14 @@
 
 #![deny(missing_docs)]
 
+pub mod burnrate;
 pub mod sketch;
 pub mod timeseries;
 
+pub use burnrate::{
+    AlertEvent, AlertKind, BudgetWindow, BurnRateEngine, BurnRule, RatchetDetector, RatchetEvent,
+    SloPolicy,
+};
 pub use sketch::QuantileSketch;
 pub use timeseries::{WindowValue, WindowedSeries};
 
@@ -167,18 +172,20 @@ impl Histogram {
 /// quantile picker used by the serving summaries (M/D/1 and the DES SLO
 /// report). Unlike [`Histogram::quantile`] this is exact — no bucket
 /// interpolation — so it is the right tool when the raw samples are in
-/// hand. Returns 0 on an empty slice.
+/// hand. Returns `None` on an empty slice: an empty sample set has no
+/// quantiles, and silently answering 0 has bitten callers that fed the
+/// result into SLO math.
 #[must_use]
-pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> Option<f64> {
     if sorted.is_empty() {
-        return 0.0;
+        return None;
     }
     debug_assert!(
         sorted.windows(2).all(|w| w[0] <= w[1]),
         "quantile_sorted needs an ascending slice"
     );
     let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
-    sorted[idx]
+    Some(sorted[idx])
 }
 
 /// Exponential bucket edges for microsecond-scale durations: 1 µs to
@@ -1221,17 +1228,18 @@ mod tests {
 
     #[test]
     fn quantile_sorted_nearest_rank() {
-        assert_eq!(quantile_sorted(&[], 0.5), 0.0);
-        assert_eq!(quantile_sorted(&[7.0], 0.0), 7.0);
-        assert_eq!(quantile_sorted(&[7.0], 1.0), 7.0);
+        assert_eq!(quantile_sorted(&[], 0.5), None, "empty slice has no quantiles");
+        assert_eq!(quantile_sorted(&[], 0.0), None);
+        assert_eq!(quantile_sorted(&[7.0], 0.0), Some(7.0));
+        assert_eq!(quantile_sorted(&[7.0], 1.0), Some(7.0));
         let xs: Vec<f64> = (0..101).map(f64::from).collect();
-        assert_eq!(quantile_sorted(&xs, 0.0), 0.0);
-        assert_eq!(quantile_sorted(&xs, 0.5), 50.0);
-        assert_eq!(quantile_sorted(&xs, 0.99), 99.0);
-        assert_eq!(quantile_sorted(&xs, 1.0), 100.0);
+        assert_eq!(quantile_sorted(&xs, 0.0), Some(0.0));
+        assert_eq!(quantile_sorted(&xs, 0.5), Some(50.0));
+        assert_eq!(quantile_sorted(&xs, 0.99), Some(99.0));
+        assert_eq!(quantile_sorted(&xs, 1.0), Some(100.0));
         // Out-of-range q clamps.
-        assert_eq!(quantile_sorted(&xs, 1.5), 100.0);
-        assert_eq!(quantile_sorted(&xs, -0.5), 0.0);
+        assert_eq!(quantile_sorted(&xs, 1.5), Some(100.0));
+        assert_eq!(quantile_sorted(&xs, -0.5), Some(0.0));
     }
 
     #[test]

@@ -309,19 +309,21 @@ impl QuantileSketch {
     }
 
     /// Returns a value whose rank is within `rank_error_ranks() + 1` of
-    /// rank `q * (count - 1)`. `q` is clamped to `[0, 1]`; returns 0.0
-    /// for an empty sketch. `q == 0` and `q == 1` are exact (min/max).
+    /// rank `q * (count - 1)`, or `None` for an empty sketch — an empty
+    /// stream has no quantiles, and the old 0.0 answer silently poisoned
+    /// downstream SLO math. `q` is clamped to `[0, 1]`; `q == 0` and
+    /// `q == 1` are exact (min/max).
     #[must_use]
-    pub fn quantile(&self, q: f64) -> f64 {
+    pub fn quantile(&self, q: f64) -> Option<f64> {
         if self.is_empty() {
-            return 0.0;
+            return None;
         }
         let q = q.clamp(0.0, 1.0);
         if q == 0.0 {
-            return self.min;
+            return Some(self.min);
         }
         if q == 1.0 {
-            return self.max;
+            return Some(self.max);
         }
         // Fold pending buffer into a scratch clone; queries are rare
         // (report time) while observes are hot, so the cost lands here.
@@ -347,7 +349,7 @@ impl QuantileSketch {
                 break;
             }
         }
-        best
+        Some(best)
     }
 }
 
@@ -363,7 +365,7 @@ mod tests {
     }
 
     fn assert_within_bound(sketch: &QuantileSketch, sorted: &[f64], q: f64) {
-        let got = sketch.quantile(q);
+        let got = sketch.quantile(q).expect("non-empty sketch");
         let target = q * (sorted.len() as f64 - 1.0);
         let (lo, hi) = rank_band(sorted, got);
         let bound = sketch.rank_error_ranks() + 1.0;
@@ -473,22 +475,25 @@ mod tests {
         for v in [5.0, 1.0, 3.0] {
             s.observe(v);
         }
-        assert_eq!(s.quantile(0.0), 1.0);
-        assert_eq!(s.quantile(1.0), 5.0);
+        assert_eq!(s.quantile(0.0), Some(1.0));
+        assert_eq!(s.quantile(1.0), Some(5.0));
         assert_eq!(s.count(), 3);
-        let med = s.quantile(0.5);
+        let med = s.quantile(0.5).expect("non-empty");
         assert!((1.0..=5.0).contains(&med));
     }
 
     #[test]
-    fn empty_sketch_is_benign() {
+    fn empty_sketch_has_no_quantiles() {
         let s = QuantileSketch::new(0.01);
         assert!(s.is_empty());
-        assert_eq!(s.quantile(0.5), 0.0);
+        assert_eq!(s.quantile(0.5), None, "empty sketch must answer None");
+        assert_eq!(s.quantile(0.0), None);
+        assert_eq!(s.quantile(1.0), None);
         assert_eq!(s.mean(), 0.0);
         let mut m = QuantileSketch::new(0.01);
         m.merge(&s);
         assert!(m.is_empty());
+        assert_eq!(m.quantile(0.99), None, "merging an empty sketch stays empty");
     }
 
     #[test]
@@ -504,6 +509,6 @@ mod tests {
         s.observe(f64::INFINITY);
         s.observe(2.0);
         assert_eq!(s.count(), 1);
-        assert_eq!(s.quantile(0.5), 2.0);
+        assert_eq!(s.quantile(0.5), Some(2.0));
     }
 }

@@ -333,4 +333,27 @@ mod tests {
         let b: WindowedSeries<Sum> = WindowedSeries::new(2.0, 4);
         a.merge_from(&b);
     }
+
+    #[test]
+    #[should_panic(expected = "identical base width")]
+    fn merge_rejects_mismatched_cap() {
+        let mut a: WindowedSeries<Sum> = WindowedSeries::new(1.0, 4);
+        let b: WindowedSeries<Sum> = WindowedSeries::new(1.0, 8);
+        a.merge_from(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical base width")]
+    fn merge_rejects_folded_width_that_masquerades_as_aligned() {
+        // A folded series reports window_s == 2.0, the same *current*
+        // width as a base-2.0 series — but merge keys on the base width,
+        // so the pair is still rejected: their fold lattices differ.
+        let mut folded: WindowedSeries<Sum> = WindowedSeries::new(1.0, 4);
+        for t in 0..8 {
+            folded.observe_at(t as f64, |v| v.n += 1);
+        }
+        assert_eq!(folded.window_s(), 2.0);
+        let native: WindowedSeries<Sum> = WindowedSeries::new(2.0, 4);
+        folded.merge_from(&native);
+    }
 }

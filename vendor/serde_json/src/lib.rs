@@ -347,13 +347,29 @@ impl Parser<'_> {
                     }
                     self.pos += 1;
                 }
-                Some(_) => {
-                    // Consume one UTF-8 character.
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| Error::msg("invalid UTF-8"))?;
-                    let c = s.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    // Consume one multi-byte UTF-8 character. Validate only
+                    // the character's own bytes — validating the whole tail
+                    // here would make string parsing quadratic in input size.
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err(Error::msg("invalid UTF-8")),
+                    };
+                    let end = self.pos + len;
+                    let chunk = self
+                        .bytes
+                        .get(self.pos..end)
+                        .ok_or_else(|| Error::msg("invalid UTF-8"))?;
+                    let s =
+                        std::str::from_utf8(chunk).map_err(|_| Error::msg("invalid UTF-8"))?;
+                    out.push(s.chars().next().unwrap());
+                    self.pos = end;
                 }
             }
         }
@@ -451,6 +467,14 @@ mod tests {
     fn unicode_escape_parses() {
         let back: String = from_str(r#""\u00e9\ud83d\ude00""#).unwrap();
         assert_eq!(back, "é😀");
+    }
+
+    #[test]
+    fn raw_multibyte_utf8_parses() {
+        // 2-, 3-, and 4-byte sequences embedded directly in the text.
+        let s = "é — 😀 ₿";
+        let back: String = from_str(&to_string(&s).unwrap()).unwrap();
+        assert_eq!(back, s);
     }
 
     #[test]
