@@ -2,16 +2,17 @@
 //! regressions.
 //!
 //! A snapshot (written by `repro bench-snapshot`) records per-experiment
-//! wall seconds plus the serving fast-path figure (`serve.wall_s`,
-//! `serve.requests_per_sec`). This module diffs two snapshots:
+//! wall seconds plus throughput figures for the serving fast path
+//! (`serve.requests_per_sec`) and the multi-cluster fleet simulator
+//! (`fleet.requests_per_sec`). This module diffs two snapshots:
 //!
 //! * an **experiment** regresses when its new wall time exceeds the old
 //!   by more than the threshold — but only when at least one side is
 //!   above the wall-time floor, so micro-benchmarks that jitter between
 //!   2 ms and 4 ms don't page anyone;
-//! * the **serve** figure regresses when `requests_per_sec` *drops* by
-//!   more than the threshold (it is a throughput, so the direction
-//!   flips).
+//! * a **throughput** figure (`serve`, `fleet`) regresses when
+//!   `requests_per_sec` *drops* by more than the threshold (the
+//!   direction flips).
 //!
 //! Only experiments present in both snapshots are compared (the suite
 //! grows PR over PR; a new experiment has no baseline). The comparison
@@ -29,7 +30,8 @@ pub const DEFAULT_MIN_WALL_S: f64 = 0.05;
 /// Comparison of one figure across the two snapshots.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FigureDelta {
-    /// Figure name (`experiment:<id>` or `serve:requests_per_sec`).
+    /// Figure name (`experiment:<id>`, `serve:requests_per_sec`, or
+    /// `fleet:requests_per_sec`).
     pub name: String,
     /// Baseline value.
     pub old: f64,
@@ -45,7 +47,8 @@ pub struct FigureDelta {
 /// The verdict of a snapshot comparison.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchCheck {
-    /// Per-figure deltas, experiments first (snapshot order), serve last.
+    /// Per-figure deltas, experiments first (snapshot order), then the
+    /// throughput figures (serve, fleet).
     pub deltas: Vec<FigureDelta>,
     /// Experiments present in only one snapshot (skipped).
     pub skipped: Vec<String>,
@@ -71,8 +74,11 @@ fn experiments(v: &Value) -> Vec<(String, f64)> {
         .collect()
 }
 
-fn serve_rps(v: &Value) -> Option<f64> {
-    v.field("serve")?.field("requests_per_sec")?.as_f64()
+/// Sections holding a `requests_per_sec` throughput figure.
+const THROUGHPUT_SECTIONS: [&str; 2] = ["serve", "fleet"];
+
+fn throughput_rps(v: &Value, section: &str) -> Option<f64> {
+    v.field(section)?.field("requests_per_sec")?.as_f64()
 }
 
 /// Compares a baseline snapshot against a candidate.
@@ -108,16 +114,20 @@ pub fn compare(old: &Value, new: &Value, threshold: f64, min_wall_s: f64) -> Ben
         }
     }
 
-    if let (Some(old_rps), Some(new_rps)) = (serve_rps(old), serve_rps(new)) {
-        let ratio = if old_rps > 0.0 { new_rps / old_rps - 1.0 } else { 0.0 };
-        deltas.push(FigureDelta {
-            name: "serve:requests_per_sec".to_string(),
-            old: old_rps,
-            new: new_rps,
-            ratio,
-            // Throughput: a regression is a *drop* beyond the threshold.
-            regressed: ratio < -threshold,
-        });
+    for section in THROUGHPUT_SECTIONS {
+        if let (Some(old_rps), Some(new_rps)) =
+            (throughput_rps(old, section), throughput_rps(new, section))
+        {
+            let ratio = if old_rps > 0.0 { new_rps / old_rps - 1.0 } else { 0.0 };
+            deltas.push(FigureDelta {
+                name: format!("{section}:requests_per_sec"),
+                old: old_rps,
+                new: new_rps,
+                ratio,
+                // Throughput: a regression is a *drop* beyond the threshold.
+                regressed: ratio < -threshold,
+            });
+        }
     }
 
     BenchCheck { deltas, skipped, threshold }
@@ -212,6 +222,29 @@ mod tests {
         // for a throughput figure.
         let c = compare(&old, &gain, 0.15, 0.05);
         assert!(c.deltas[0].ratio > 0.15 && !c.deltas[0].regressed);
+    }
+
+    #[test]
+    fn fleet_throughput_is_compared_like_serve() {
+        let with_fleet = |rps: f64| {
+            let mut v = snapshot(&[], None);
+            if let Value::Object(fields) = &mut v {
+                fields.push((
+                    "fleet".to_string(),
+                    Value::Object(vec![("requests_per_sec".to_string(), Value::from(rps))]),
+                ));
+            }
+            v
+        };
+        let old = with_fleet(12.0e6);
+        let drop = with_fleet(8.0e6);
+        let c = compare(&old, &drop, 0.15, 0.05);
+        assert!(c.regressed());
+        assert_eq!(c.deltas[0].name, "fleet:requests_per_sec");
+        // A gain is not a regression, and a missing section is skipped
+        // silently (older snapshots predate the fleet figure).
+        assert!(!compare(&old, &with_fleet(20.0e6), 0.15, 0.05).regressed());
+        assert!(!compare(&snapshot(&[], None), &old, 0.15, 0.05).regressed());
     }
 
     #[test]

@@ -71,6 +71,8 @@ fn device_by_name(name: &str) -> Option<DeviceSpec> {
         "a100-40gb" => Some(DeviceSpec::a100_40gb()),
         "v100" => Some(DeviceSpec::v100_32gb()),
         "h100" => Some(DeviceSpec::h100_80gb()),
+        "l4" | "l4-24gb" => Some(DeviceSpec::l4_24gb()),
+        "h200" | "h200-141gb" => Some(DeviceSpec::h200_141gb()),
         _ => None,
     }
 }
@@ -169,11 +171,40 @@ fn bench_snapshot(spec: &DeviceSpec, path: Option<String>) -> Result<String, Str
             ),
         ])
     };
+    // Fleet fast-path figure: the multi-cluster DES on a 128-GPU
+    // heterogeneous fleet (8 clusters cycling the four SKUs), Poisson
+    // arrivals at ~0.8 offered utilization, FIFO + round-robin so every
+    // cluster takes the O(1)-per-request fast lane. Sized to >100M
+    // aggregate arrivals — the committed throughput headline.
+    let fleet = {
+        let t0 = Instant::now();
+        let result = run_fleet(
+            &FleetRunCfg {
+                clusters: 8,
+                gpus_per_cluster: 16,
+                requests: Some(100_000_000),
+                ..FleetRunCfg::default()
+            },
+            &ctx.registry,
+            &memo,
+            1,
+        )?;
+        let wall_s = t0.elapsed().as_secs_f64();
+        Value::Object(vec![
+            ("wall_s".to_string(), Value::from(wall_s)),
+            ("simulated_requests".to_string(), Value::from(result.result.arrivals())),
+            (
+                "requests_per_sec".to_string(),
+                Value::from(result.result.arrivals() as f64 / wall_s.max(1e-9)),
+            ),
+        ])
+    };
     let snapshot = Value::Object(vec![
         ("date".to_string(), Value::from(today_stamp())),
         ("device".to_string(), Value::from(spec.name.clone())),
         ("experiments".to_string(), Value::Object(entries)),
         ("serve".to_string(), serve),
+        ("fleet".to_string(), fleet),
         ("total_s".to_string(), Value::from(started.elapsed().as_secs_f64())),
         (
             "memo".to_string(),
@@ -414,6 +445,306 @@ fn serve_main(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Parameters for one multi-cluster fleet run — shared by the `fleet`
+/// subcommand and the bench-snapshot fleet figure.
+struct FleetRunCfg {
+    /// Cluster count; SKUs cycle a100 → h100 → l4 → h200.
+    clusters: usize,
+    /// Initially provisioned GPUs per cluster.
+    gpus_per_cluster: usize,
+    /// Arrival family (`poisson` | `diurnal`; bursty is not splittable).
+    arrival_name: String,
+    /// Offered fraction of the fleet's aggregate batch-1 capacity.
+    utilization: f64,
+    /// Explicit fleet-wide rate, requests/s (overrides `utilization`).
+    rate: Option<f64>,
+    /// Autoscaler policy name (`fixed` | `reactive` | `reactive+spot`).
+    policy_name: String,
+    /// Expected-arrival target; sizes the horizon as `requests / rate`
+    /// (with 0.5% headroom so the realized Poisson count reaches it).
+    requests: Option<u64>,
+    /// Explicit horizon, seconds (used when `requests` is unset).
+    duration_s: f64,
+    /// Evaluation windows over the horizon.
+    windows: usize,
+    /// Per-GPU scheduler (fifo takes the O(1) fast lane).
+    scheduler_name: String,
+    /// Batch cap for batching schedulers.
+    batch: usize,
+    /// Fleet seed.
+    seed: u64,
+}
+
+impl Default for FleetRunCfg {
+    fn default() -> Self {
+        FleetRunCfg {
+            clusters: 4,
+            gpus_per_cluster: 16,
+            arrival_name: "poisson".to_string(),
+            utilization: 0.8,
+            rate: None,
+            policy_name: "fixed".to_string(),
+            requests: None,
+            duration_s: 600.0,
+            windows: 12,
+            scheduler_name: "fifo".to_string(),
+            batch: 16,
+            seed: 42,
+        }
+    }
+}
+
+/// A completed fleet run: the resolved scenario and its merged result.
+struct FleetRun {
+    cfg: mmg_serve::FleetCfg,
+    result: mmg_serve::FleetResult,
+}
+
+/// Builds the heterogeneous fleet (SKUs cycling, capacity-proportional
+/// region weights, quarter-period diurnal phase stagger), profiles each
+/// SKU once, and shards the simulation by cluster over the
+/// [`mmg_core::run_cells_with`] worker pool. Results and telemetry
+/// merge in cluster order, so stdout and the metrics snapshot are
+/// byte-identical for every `jobs` value.
+fn run_fleet(
+    rc: &FleetRunCfg,
+    registry: &mmg_telemetry::Registry,
+    memo: &std::sync::Arc<mmg_profiler::CostMemo>,
+    jobs: usize,
+) -> Result<FleetRun, String> {
+    use mmg_core::experiments::fleet_sweep::{device_for_sku, sku_price_per_gpu_hr, SKUS};
+    use mmg_core::experiments::serve_common::profile_mix;
+    use mmg_serve::{
+        run_cluster, ArrivalProcess, ClusterCfg, FleetCfg, FleetResult, RequestMix, RouterKind,
+        SchedulerKind, SloSpec,
+    };
+
+    if rc.clusters == 0 {
+        return Err("--clusters requires at least one cluster".to_string());
+    }
+    if rc.windows == 0 {
+        return Err("--windows requires at least one window".to_string());
+    }
+    let scheduler = SchedulerKind::parse(&rc.scheduler_name, rc.batch)?;
+    let cap = match scheduler {
+        SchedulerKind::Fifo => 1,
+        SchedulerKind::Static { batch, .. } => batch,
+        SchedulerKind::Dynamic { max_batch } | SchedulerKind::Pods { max_batch } => max_batch,
+    };
+    let policy = mmg_core::experiments::fleet_sweep::policies()
+        .into_iter()
+        .find(|p| p.name() == rc.policy_name)
+        .ok_or_else(|| {
+            format!("unknown policy '{}'; expected fixed | reactive | reactive+spot", rc.policy_name)
+        })?;
+
+    // Profile each deployed SKU once, in cycle order, before any cell
+    // runs — merge order into `registry` is then independent of `jobs`.
+    let mix_str = "sd:8,parti:2";
+    let n_skus = rc.clusters.min(SKUS.len());
+    let profiled: Vec<_> = SKUS[..n_skus]
+        .iter()
+        .map(|sku| {
+            profile_mix(
+                &device_for_sku(sku),
+                memo,
+                registry,
+                mix_str,
+                cap,
+                matches!(scheduler, SchedulerKind::Pods { .. }),
+            )
+        })
+        .collect();
+
+    // Capacity-proportional weights: every cluster is offered the same
+    // relative load despite the SKU service-time spread.
+    let mut clusters = Vec::with_capacity(rc.clusters);
+    let mut total_capacity = 0.0;
+    for i in 0..rc.clusters {
+        let sku_idx = i % n_skus;
+        let sku = SKUS[sku_idx];
+        let capacity = rc.gpus_per_cluster as f64 / profiled[sku_idx].mean_base_s;
+        total_capacity += capacity;
+        clusters.push(ClusterCfg {
+            name: format!("{sku}-{i}"),
+            sku: sku.to_string(),
+            gpus: rc.gpus_per_cluster,
+            price_per_gpu_hr: sku_price_per_gpu_hr(sku),
+            weight: capacity,
+            phase_s: 0.0, // set below once the arrival period is known
+        });
+    }
+    let rate = match rc.rate {
+        Some(r) => r,
+        None => rc.utilization * total_capacity,
+    };
+    let arrival = ArrivalProcess::parse(&rc.arrival_name, rate)?;
+    if let ArrivalProcess::Diurnal { period_s, .. } = arrival {
+        // Stagger regional peaks evenly across one diurnal period.
+        for (i, c) in clusters.iter_mut().enumerate() {
+            c.phase_s = period_s * i as f64 / rc.clusters as f64;
+        }
+    }
+    let duration_s = match rc.requests {
+        Some(n) => n as f64 / rate * 1.005,
+        None => rc.duration_s,
+    };
+
+    let cfg = FleetCfg {
+        clusters,
+        mix: RequestMix::parse(mix_str)?,
+        arrival,
+        scheduler,
+        router: RouterKind::RoundRobin,
+        slo: SloSpec::ServiceMultiple(4.0),
+        window_s: duration_s / rc.windows as f64,
+        windows: rc.windows,
+        autoscaler: policy,
+        seed: rc.seed,
+    };
+    cfg.validate()?;
+
+    let spec = DeviceSpec::a100_80gb(); // cell contexts need a spec; clusters use their SKU
+    let results = mmg_core::run_cells_with(
+        cfg.clusters.len(),
+        &spec,
+        jobs,
+        memo,
+        registry,
+        |i, cell_ctx| run_cluster(&cfg, i, &profiled[i % n_skus].profile, &cell_ctx.registry),
+    );
+    Ok(FleetRun { result: FleetResult::from_clusters(results), cfg })
+}
+
+/// Runs one multi-cluster fleet scenario, sharded by cluster across the
+/// worker pool, and prints the fleet report. Stdout is byte-identical
+/// for every `--jobs` value; the perf line goes to stderr.
+fn fleet_main(args: &[String]) -> Result<(), String> {
+    let mut rc = FleetRunCfg::default();
+    let mut jobs = 1usize;
+    let mut metrics_out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        i += 1;
+        let value = args
+            .get(i)
+            .ok_or_else(|| format!("{flag} requires a value"))?;
+        match flag {
+            "--clusters" => {
+                rc.clusters = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| "--clusters requires a positive integer".to_string())?;
+            }
+            "--gpus" => {
+                rc.gpus_per_cluster = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| "--gpus requires a positive integer".to_string())?;
+            }
+            "--arrival" => rc.arrival_name = value.clone(),
+            "--util" => {
+                rc.utilization = value
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|u| *u > 0.0)
+                    .ok_or_else(|| "--util requires a positive fraction".to_string())?;
+            }
+            "--rate" => {
+                rc.rate = Some(
+                    value
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|r| *r > 0.0)
+                        .ok_or_else(|| "--rate requires a positive number".to_string())?,
+                );
+            }
+            "--policy" => rc.policy_name = value.clone(),
+            "--requests" => {
+                rc.requests = Some(
+                    value
+                        .parse::<u64>()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| "--requests requires a positive integer".to_string())?,
+                );
+            }
+            "--duration-s" => {
+                rc.duration_s = value
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|d| *d > 0.0)
+                    .ok_or_else(|| "--duration-s requires a positive number".to_string())?;
+            }
+            "--windows" => {
+                rc.windows = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| "--windows requires a positive integer".to_string())?;
+            }
+            "--scheduler" => rc.scheduler_name = value.clone(),
+            "--batch" => {
+                rc.batch = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| "--batch requires a positive integer".to_string())?;
+            }
+            "--seed" => {
+                rc.seed = value
+                    .parse::<u64>()
+                    .map_err(|_| "--seed requires a non-negative integer".to_string())?;
+            }
+            "--jobs" => {
+                jobs = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| "--jobs requires a positive integer".to_string())?;
+            }
+            "--metrics-out" => metrics_out = Some(value.clone()),
+            other => {
+                return Err(format!(
+                    "unknown fleet flag '{other}'; expected --clusters | --gpus | --arrival | --util | --rate | --policy | --requests | --duration-s | --windows | --scheduler | --batch | --seed | --jobs | --metrics-out"
+                ));
+            }
+        }
+        i += 1;
+    }
+
+    let registry = mmg_telemetry::Registry::new();
+    let memo = global_memo();
+    let sim_started = Instant::now();
+    let run = run_fleet(&rc, &registry, &memo, jobs)?;
+    let sim_wall_s = sim_started.elapsed().as_secs_f64();
+
+    print!("{}", mmg_serve::FleetReport::new(&run.cfg, &run.result).render());
+    // Perf to stderr: stdout must stay byte-identical across machines
+    // and job counts.
+    eprintln!(
+        "fleet: {} arrivals across {} clusters simulated in {sim_wall_s:.3}s wall ({:.0} aggregate simulated req/s)",
+        run.result.arrivals(),
+        run.cfg.clusters.len(),
+        run.result.arrivals() as f64 / sim_wall_s.max(1e-9),
+    );
+    if let Some(path) = &metrics_out {
+        let body = if path.ends_with(".json") {
+            let mut s = serde_json::to_string_pretty(&registry.snapshot_json())
+                .expect("registry snapshots always serialize");
+            s.push('\n');
+            s
+        } else {
+            registry.render_prometheus()
+        };
+        write_file(path, &body, "metrics")?;
+    }
+    Ok(())
+}
+
 /// `repro bench-check <old> <new>` — compare two `bench-snapshot`
 /// outputs and exit nonzero when any figure regressed.
 fn bench_check_main(args: &[String]) -> Result<bool, String> {
@@ -477,6 +808,15 @@ fn main() -> ExitCode {
             }
         };
     }
+    if args.first().map(String::as_str) == Some("fleet") {
+        return match fleet_main(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if args.first().map(String::as_str) == Some("bench-check") {
         return match bench_check_main(&args[1..]) {
             Ok(false) => ExitCode::SUCCESS,
@@ -511,7 +851,9 @@ fn main() -> ExitCode {
             "--device" => {
                 i += 1;
                 let Some(name) = args.get(i) else {
-                    eprintln!("--device requires a name (a100 | a100-40gb | v100 | h100)");
+                    eprintln!(
+                        "--device requires a name (a100 | a100-40gb | v100 | h100 | l4 | h200)"
+                    );
                     return ExitCode::FAILURE;
                 };
                 let Some(d) = device_by_name(name) else {
@@ -621,8 +963,9 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     if targets.is_empty() {
-        eprintln!("usage: repro [--device <name>] [--jobs <n>] [--json] [--metrics <path>] [--trace-out <path>] [--manifest <path>] [--replications <n> [--sweep-seed <n>]] <bench-snapshot | all | fig1 | table1 | fig4 | fig5 | fig6 | table2 | table3 | fig7 | fig8 | fig9 | fig11 | fig12 | fig13 | secv | flashdec | pods | batch | tp | ablations | serve-sweep | serve-timeline | serve-attrib>…");
+        eprintln!("usage: repro [--device <name>] [--jobs <n>] [--json] [--metrics <path>] [--trace-out <path>] [--manifest <path>] [--replications <n> [--sweep-seed <n>]] <bench-snapshot | all | fig1 | table1 | fig4 | fig5 | fig6 | table2 | table3 | fig7 | fig8 | fig9 | fig11 | fig12 | fig13 | secv | flashdec | pods | batch | tp | ablations | serve-sweep | serve-timeline | serve-attrib | fleet-sweep>…");
         eprintln!("       repro serve [--device <name>] [--gpus <n>] [--mix <model:weight,…>] [--arrival <poisson|bursty|diurnal>] [--rate <rps>] [--scheduler <fifo|static|dynamic|pods>] [--batch <n>] [--router <rr|least-work|affinity>] [--slo-ms <ms>] [--duration-s <s>] [--requests <n>] [--seed <n>] [--metrics <path>] [--metrics-out <path>] [--trace-out <path>] [--jobs <n>] [--full-records] [--attrib]");
+        eprintln!("       repro fleet [--clusters <n>] [--gpus <per-cluster>] [--arrival <poisson|diurnal>] [--util <frac>] [--rate <rps>] [--policy <fixed|reactive|reactive+spot>] [--requests <n>] [--duration-s <s>] [--windows <n>] [--scheduler <fifo|static|dynamic|pods>] [--batch <n>] [--seed <n>] [--jobs <n>] [--metrics-out <path>]");
         eprintln!("       repro bench-check <old.json> <new.json> [--threshold <frac>] [--min-wall-s <s>]");
         return ExitCode::FAILURE;
     }

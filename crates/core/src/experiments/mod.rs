@@ -15,6 +15,8 @@ pub mod fig9;
 pub mod flashdec;
 pub mod pods;
 pub mod secv;
+pub mod fleet_sweep;
+pub mod serve_common;
 pub mod serve_sweep;
 pub mod serve_attrib;
 pub mod serve_timeline;

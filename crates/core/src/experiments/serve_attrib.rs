@@ -22,17 +22,12 @@
 use std::sync::Arc;
 
 use mmg_gpu::DeviceSpec;
-use mmg_models::ModelId;
 use mmg_profiler::report::render_table;
 use mmg_profiler::CostMemo;
-use mmg_serve::{
-    simulate, ArrivalProcess, PhaseStats, RequestMix, ScenarioCfg, SchedulerKind, ServiceProfile,
-    SloSpec,
-};
+use mmg_serve::{simulate, ArrivalProcess, PhaseStats, ScenarioCfg, SchedulerKind, SloSpec};
 use mmg_telemetry::Registry;
 
 use crate::engine::{global_memo, run_cells_with, ExecContext};
-use mmg_attn::AttnImpl;
 use serde::{Deserialize, Serialize};
 
 /// GPUs in the simulated cluster (matches `serve-sweep`).
@@ -142,32 +137,28 @@ pub fn run_jobs(
     target: &Registry,
 ) -> ServeAttribResult {
     // Profile once up front (same pattern as the replicated sweep).
-    let profile_ctx = ExecContext::isolated(spec.clone(), Arc::clone(memo));
-    let profiler = profile_ctx.profiler(AttnImpl::Flash);
-    let mix = RequestMix::parse(MIX).expect("the built-in mix parses");
-    let models: Vec<ModelId> = mix.models().collect();
-    let batches: Vec<usize> = (0..).map(|i| 1 << i).take_while(|&b| b <= MAX_BATCH).collect();
-    let profile = ServiceProfile::from_profiler(&profiler, &models, &batches);
-    let mean_base_s = profile.mean_base_s(&mix);
-    target.merge_from(&profile_ctx.registry);
+    let profiled =
+        super::serve_common::profile_mix(spec, memo, target, MIX, MAX_BATCH, false);
+    let (mix, profile) = (profiled.mix, profiled.profile);
+    let mean_base_s = profiled.mean_base_s;
 
     let schedulers = [
         SchedulerKind::Fifo,
         SchedulerKind::Static { batch: STATIC_BATCH, wait_s: STATIC_WAIT_S },
         SchedulerKind::Dynamic { max_batch: MAX_BATCH },
     ];
-    let mut grid: Vec<(SchedulerKind, f64, u64)> = Vec::new();
+    let mut keys: Vec<(SchedulerKind, f64)> = Vec::new();
     for scheduler in schedulers {
         for utilization in UTILIZATIONS {
-            for k in 0..REPLICATIONS {
-                grid.push((scheduler, utilization, BASE_SEED.wrapping_add(k)));
-            }
+            keys.push((scheduler, utilization));
         }
     }
+    let grid: Vec<((SchedulerKind, f64), u64)> =
+        super::serve_common::replicated_grid(&keys, REPLICATIONS, BASE_SEED);
 
     let seeds: Vec<(PhaseStats, Option<f64>)> =
         run_cells_with(grid.len(), spec, jobs, memo, target, |i, cell_ctx| {
-            let (scheduler, utilization, seed) = grid[i];
+            let ((scheduler, utilization), seed) = grid[i];
             let offered_rps = utilization * GPUS as f64 / mean_base_s;
             let mut cfg = ScenarioCfg::new(
                 GPUS,
@@ -193,9 +184,9 @@ pub fn run_jobs(
     let reps = REPLICATIONS as usize;
     let cells = seeds
         .chunks(reps)
-        .zip(grid.chunks(reps))
+        .zip(keys.iter())
         .map(|(chunk, cell_key)| {
-            let (scheduler, utilization, _) = cell_key[0];
+            let &(scheduler, utilization) = cell_key;
             let mut pooled = chunk[0].0.clone();
             for (ph, _) in &chunk[1..] {
                 pooled.merge_from(ph);

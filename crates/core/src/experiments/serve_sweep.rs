@@ -271,20 +271,12 @@ pub fn run_replicated(
     memo: &Arc<CostMemo>,
     target: &Registry,
 ) -> ReplicatedSweepResult {
-    assert!(replications >= 1, "need at least one replication");
     // Profile once up front on its own registry, merged before any
     // cell's telemetry — same order a serial run would record in.
-    let profile_ctx = ExecContext::isolated(spec.clone(), Arc::clone(memo));
-    let profiler = profile_ctx.profiler(AttnImpl::Flash);
-    let mix = RequestMix::parse(MIX).expect("the built-in mix parses");
-    let models: Vec<ModelId> = mix.models().collect();
-    let batches: Vec<usize> = (0..).map(|i| 1 << i).take_while(|&b| b <= MAX_BATCH).collect();
-    let factors: Vec<(ModelId, f64)> =
-        models.iter().map(|&m| (m, pod_factor(&profiler, m))).collect();
-    let profile = ServiceProfile::from_profiler(&profiler, &models, &batches)
-        .with_pod_factors(&factors);
-    let mean_service_s = profile.mean_base_s(&mix);
-    target.merge_from(&profile_ctx.registry);
+    let profiled =
+        super::serve_common::profile_mix(spec, memo, target, MIX, MAX_BATCH, true);
+    let (mix, profile) = (profiled.mix, profiled.profile);
+    let mean_service_s = profiled.mean_base_s;
 
     let schedulers = [
         SchedulerKind::Fifo,
@@ -292,14 +284,14 @@ pub fn run_replicated(
         SchedulerKind::Dynamic { max_batch: MAX_BATCH },
         SchedulerKind::Pods { max_batch: MAX_BATCH },
     ];
-    let mut grid: Vec<(SchedulerKind, f64, u64)> = Vec::new();
+    let mut keys: Vec<(SchedulerKind, f64)> = Vec::new();
     for scheduler in schedulers {
         for utilization in UTILIZATIONS {
-            for k in 0..replications {
-                grid.push((scheduler, utilization, base_seed.wrapping_add(k)));
-            }
+            keys.push((scheduler, utilization));
         }
     }
+    let grid: Vec<((SchedulerKind, f64), u64)> =
+        super::serve_common::replicated_grid(&keys, replications, base_seed);
 
     struct SeedRun {
         completed: u64,
@@ -312,7 +304,7 @@ pub fn run_replicated(
     }
 
     let runs: Vec<SeedRun> = run_cells_with(grid.len(), spec, jobs, memo, target, |i, ctx| {
-        let (scheduler, utilization, seed) = grid[i];
+        let ((scheduler, utilization), seed) = grid[i];
         let offered_rps = utilization * GPUS as f64 / mean_service_s;
         let mut cfg = ScenarioCfg::new(
             GPUS,
@@ -339,8 +331,8 @@ pub fn run_replicated(
     let reps = replications as usize;
     let cells = runs
         .chunks(reps)
-        .zip(grid.iter().step_by(reps))
-        .map(|(chunk, &(scheduler, utilization, _))| {
+        .zip(keys.iter())
+        .map(|(chunk, &(scheduler, utilization))| {
             let offered_rps = utilization * GPUS as f64 / mean_service_s;
             let completed: u64 = chunk.iter().map(|r| r.completed).sum();
             let on_time: u64 = chunk.iter().map(|r| r.on_time).sum();

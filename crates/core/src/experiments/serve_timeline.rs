@@ -22,17 +22,14 @@
 use std::sync::Arc;
 
 use mmg_gpu::DeviceSpec;
-use mmg_models::ModelId;
 use mmg_profiler::report::render_table;
 use mmg_profiler::CostMemo;
 use mmg_serve::{
-    simulate_recorded, ArrivalProcess, FlightCfg, RequestMix, ScenarioCfg, SchedulerKind,
-    ServeWindow, ServiceProfile, SloSpec,
+    simulate_recorded, ArrivalProcess, FlightCfg, ScenarioCfg, SchedulerKind, ServeWindow, SloSpec,
 };
 use mmg_telemetry::{Registry, WindowedSeries};
 
 use crate::engine::{global_memo, run_cells_with, ExecContext};
-use mmg_attn::AttnImpl;
 use serde::{Deserialize, Serialize};
 
 /// GPUs in the simulated cluster (matches `serve-sweep`).
@@ -170,22 +167,14 @@ pub fn run_jobs(
     target: &Registry,
 ) -> ServeTimelineResult {
     // Profile once up front (same pattern as the replicated sweep).
-    let profile_ctx = ExecContext::isolated(spec.clone(), Arc::clone(memo));
-    let profiler = profile_ctx.profiler(AttnImpl::Flash);
-    let mix = RequestMix::parse(MIX).expect("the built-in mix parses");
-    let models: Vec<ModelId> = mix.models().collect();
-    let batches: Vec<usize> = (0..).map(|i| 1 << i).take_while(|&b| b <= MAX_BATCH).collect();
-    let profile = ServiceProfile::from_profiler(&profiler, &models, &batches);
-    let offered_rps = UTILIZATION * GPUS as f64 / profile.mean_base_s(&mix);
-    target.merge_from(&profile_ctx.registry);
+    let profiled =
+        super::serve_common::profile_mix(spec, memo, target, MIX, MAX_BATCH, false);
+    let (mix, profile) = (profiled.mix, profiled.profile);
+    let offered_rps = UTILIZATION * GPUS as f64 / profiled.mean_base_s;
 
     let schedulers = [SchedulerKind::Fifo, SchedulerKind::Dynamic { max_batch: MAX_BATCH }];
-    let mut grid: Vec<(SchedulerKind, u64)> = Vec::new();
-    for scheduler in schedulers {
-        for k in 0..REPLICATIONS {
-            grid.push((scheduler, BASE_SEED.wrapping_add(k)));
-        }
-    }
+    let grid: Vec<(SchedulerKind, u64)> =
+        super::serve_common::replicated_grid(&schedulers, REPLICATIONS, BASE_SEED);
 
     let series: Vec<WindowedSeries<ServeWindow>> =
         run_cells_with(grid.len(), spec, jobs, memo, target, |i, cell_ctx| {

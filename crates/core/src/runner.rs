@@ -7,8 +7,8 @@ use mmg_gpu::DeviceSpec;
 
 use crate::engine::ExecContext;
 use crate::experiments::{
-    ablations, batch, fig1, fig11, fig12, fig13, fig4, fig5, fig6, fig7, fig8, fig9, flashdec, pods, secv,
-    serve_attrib, serve_sweep, serve_timeline, table1, table2, table3, tp,
+    ablations, batch, fig1, fig11, fig12, fig13, fig4, fig5, fig6, fig7, fig8, fig9, flashdec,
+    fleet_sweep, pods, secv, serve_attrib, serve_sweep, serve_timeline, table1, table2, table3, tp,
 };
 
 /// Identifier of one reproducible artifact.
@@ -58,11 +58,13 @@ pub enum ExperimentId {
     ServeTimeline,
     /// Extension: latency attribution and SLO burn-rate alerts per cell.
     ServeAttrib,
+    /// Extension: heterogeneous multi-cluster fleet policy sweep.
+    FleetSweep,
 }
 
 impl ExperimentId {
     /// All experiments in paper order.
-    pub const ALL: [ExperimentId; 22] = [
+    pub const ALL: [ExperimentId; 23] = [
         ExperimentId::Fig1,
         ExperimentId::Table1,
         ExperimentId::Fig4,
@@ -85,6 +87,7 @@ impl ExperimentId {
         ExperimentId::ServeSweep,
         ExperimentId::ServeTimeline,
         ExperimentId::ServeAttrib,
+        ExperimentId::FleetSweep,
     ];
 }
 
@@ -113,6 +116,7 @@ impl fmt::Display for ExperimentId {
             ExperimentId::ServeSweep => "serve-sweep",
             ExperimentId::ServeTimeline => "serve-timeline",
             ExperimentId::ServeAttrib => "serve-attrib",
+            ExperimentId::FleetSweep => "fleet-sweep",
         };
         f.write_str(s)
     }
@@ -186,6 +190,7 @@ pub fn run_experiment_with(id: ExperimentId, ctx: &ExecContext) -> String {
         ExperimentId::ServeSweep => serve_sweep::render(&serve_sweep::run_ctx(ctx)),
         ExperimentId::ServeTimeline => serve_timeline::render(&serve_timeline::run_ctx(ctx)),
         ExperimentId::ServeAttrib => serve_attrib::render(&serve_attrib::run_ctx(ctx)),
+        ExperimentId::FleetSweep => fleet_sweep::render(&fleet_sweep::run_ctx(ctx)),
     }
 }
 
@@ -236,6 +241,7 @@ pub fn run_experiment_value_with(id: ExperimentId, ctx: &ExecContext) -> serde_j
         ExperimentId::ServeSweep => v(&serve_sweep::run_ctx(ctx)),
         ExperimentId::ServeTimeline => v(&serve_timeline::run_ctx(ctx)),
         ExperimentId::ServeAttrib => v(&serve_attrib::run_ctx(ctx)),
+        ExperimentId::FleetSweep => v(&fleet_sweep::run_ctx(ctx)),
     }
 }
 

@@ -118,6 +118,43 @@ impl DeviceSpec {
         }
     }
 
+    /// NVIDIA L4-24GB (Ada Lovelace inference SKU). A PCIe part with
+    /// GDDR6 rather than HBM and no NVLink: the fleet's cheap capacity
+    /// tier for latency-tolerant image work, an order of magnitude less
+    /// bandwidth than the H-class training parts.
+    #[must_use]
+    pub fn l4_24gb() -> Self {
+        DeviceSpec {
+            name: "L4-24GB".to_owned(),
+            sm_count: 58,
+            peak_fp16_tflops: 121.0,
+            peak_fp32_tflops: 30.3,
+            hbm_bandwidth_gbs: 300.0,
+            hbm_capacity_gib: 24.0,
+            l2_bytes: 48 * 1024 * 1024,
+            l1_bytes_per_sm: 128 * 1024,
+            cache_line_bytes: 128,
+            kernel_launch_overhead_us: 4.0,
+            min_kernel_time_us: 2.0,
+            // No NVLink: PCIe Gen4 x16 is the only fabric.
+            nvlink_bw_gbs: 32.0,
+            nvlink_latency_us: 5.0,
+        }
+    }
+
+    /// NVIDIA H200-SXM-141GB — an H100 compute die paired with HBM3e:
+    /// same SM count and tensor throughput, 1.4× the bandwidth and 1.76×
+    /// the capacity. The fleet's memory-bound-decode tier.
+    #[must_use]
+    pub fn h200_141gb() -> Self {
+        DeviceSpec {
+            name: "H200-SXM-141GB".to_owned(),
+            hbm_bandwidth_gbs: 4800.0,
+            hbm_capacity_gib: 141.0,
+            ..Self::h100_80gb()
+        }
+    }
+
     /// Peak FP16 throughput in FLOP/s.
     #[must_use]
     pub fn peak_fp16_flops(&self) -> f64 {
@@ -219,12 +256,46 @@ mod tests {
     }
 
     #[test]
+    fn l4_is_the_bandwidth_poor_inference_tier() {
+        let l4 = DeviceSpec::l4_24gb();
+        let a100 = DeviceSpec::a100_80gb();
+        // GDDR6 vs HBM2e: the L4 trades ~7x bandwidth for cost.
+        assert!(l4.hbm_bandwidth_gbs < a100.hbm_bandwidth_gbs / 5.0);
+        assert!(l4.peak_fp16_tflops < a100.peak_fp16_tflops);
+        // PCIe-only fabric is far below any NVLink part.
+        assert!(l4.nvlink_bw_gbs < DeviceSpec::v100_32gb().nvlink_bw_gbs);
+        // Ada's big L2 partially compensates: larger than the A100's.
+        assert!(l4.l2_bytes > a100.l2_bytes);
+    }
+
+    #[test]
+    fn h200_is_h100_compute_with_hbm3e() {
+        let h100 = DeviceSpec::h100_80gb();
+        let h200 = DeviceSpec::h200_141gb();
+        // Same compute die: identical SM count and tensor throughput.
+        assert_eq!(h200.sm_count, h100.sm_count);
+        assert_eq!(h200.peak_fp16_tflops, h100.peak_fp16_tflops);
+        // HBM3e: ~1.4x bandwidth, 141 GiB capacity.
+        let bw_ratio = h200.hbm_bandwidth_gbs / h100.hbm_bandwidth_gbs;
+        assert!((bw_ratio - 1.43).abs() < 0.02, "bw ratio {bw_ratio}");
+        assert_eq!(h200.hbm_capacity_gib, 141.0);
+        // More bandwidth at equal compute lowers the ridge point: the
+        // H200 keeps memory-bound decode kernels fed longer.
+        assert!(h200.ridge_flops_per_byte() < h100.ridge_flops_per_byte());
+    }
+
+    #[test]
     fn fingerprint_distinguishes_devices_and_edits() {
         let a = DeviceSpec::a100_80gb();
         assert_eq!(a.fingerprint(), DeviceSpec::a100_80gb().fingerprint());
         assert_ne!(a.fingerprint(), DeviceSpec::a100_40gb().fingerprint());
         assert_ne!(a.fingerprint(), DeviceSpec::v100_32gb().fingerprint());
         assert_ne!(a.fingerprint(), DeviceSpec::h100_80gb().fingerprint());
+        assert_ne!(a.fingerprint(), DeviceSpec::l4_24gb().fingerprint());
+        assert_ne!(
+            DeviceSpec::h100_80gb().fingerprint(),
+            DeviceSpec::h200_141gb().fingerprint()
+        );
         let edited = DeviceSpec { hbm_bandwidth_gbs: 2040.0, ..a.clone() };
         assert_ne!(a.fingerprint(), edited.fingerprint());
     }

@@ -65,6 +65,22 @@ const RATCHET_GROWTH: f64 = 2.0;
 // blows past it within a few windows.
 const RATCHET_MIN_DEPTH: f64 = 4.0;
 
+/// An externally supplied arrival stream: each item is `(arrival time
+/// in seconds, index into the scenario's [`RequestMix`] entries)`.
+///
+/// The default simulation draws arrival times and models internally
+/// from the scenario's seeded generators; a source replaces both, which
+/// is how the fleet layer feeds one deterministically split slice of a
+/// global arrival stream into each cluster. Contract: times are
+/// strictly increasing and mix indices are in range for the scenario's
+/// mix. The simulation stops pulling at the first arrival past the
+/// horizon (that arrival is consumed but not simulated), so a windowed
+/// adapter should clip its stream at the horizon itself.
+pub trait ArrivalSource {
+    /// The next arrival, or `None` when the stream is exhausted.
+    fn next_arrival(&mut self) -> Option<(f64, usize)>;
+}
+
 /// How arriving requests are assigned to a GPU queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RouterKind {
@@ -792,6 +808,12 @@ struct Sim<'a> {
     arrival_gen: ArrivalGen,
     arrival_buf: VecDeque<f64>,
     last_gen_t: f64,
+    /// External arrival stream, when the caller supplied one
+    /// ([`simulate_stream`]). `None` keeps the seeded-generator path
+    /// byte-identical to before the hook existed.
+    source: Option<&'a mut dyn ArrivalSource>,
+    /// Mix index of the one scheduled-but-unprocessed stream arrival.
+    pending_mix: Option<usize>,
     area_requests_s: f64,
     last_event_s: f64,
     in_system: u64,
@@ -809,8 +831,20 @@ struct Sim<'a> {
 impl<'a> Sim<'a> {
     /// Next arrival instant; refills the pre-generated batch when empty.
     /// The chained `next_after` recurrence is unchanged, so the sample
-    /// path is identical to drawing one arrival at a time.
+    /// path is identical to drawing one arrival at a time. With an
+    /// external [`ArrivalSource`], pulls from it instead (`+inf` marks
+    /// exhaustion — past every horizon, so nothing gets scheduled).
     fn next_arrival(&mut self) -> f64 {
+        if let Some(src) = self.source.as_mut() {
+            return match src.next_arrival() {
+                Some((t, mix_idx)) => {
+                    debug_assert!(self.pending_mix.is_none(), "unconsumed stream arrival");
+                    self.pending_mix = Some(mix_idx);
+                    t
+                }
+                None => f64::INFINITY,
+            };
+        }
         if self.arrival_buf.is_empty() {
             let mut t = self.last_gen_t;
             for _ in 0..ARRIVAL_BATCH {
@@ -1043,8 +1077,16 @@ impl<'a> Sim<'a> {
         let now = self.queue.now_s();
         let arrival_id = self.arrivals;
         self.arrivals += 1;
-        let u: f64 = self.unit.sample(&mut self.mix_rng);
-        let mix_idx = self.cfg.mix.sample_index(u);
+        let mix_idx = match self.pending_mix.take() {
+            Some(idx) => {
+                assert!(idx < self.per_model.len(), "stream mix index out of range");
+                idx
+            }
+            None => {
+                let u: f64 = self.unit.sample(&mut self.mix_rng);
+                self.cfg.mix.sample_index(u)
+            }
+        };
         let info = &self.per_model[mix_idx];
         let model = info.model;
         let deadline_s = now + info.slo_delta_s;
@@ -1241,7 +1283,29 @@ impl<'a> Sim<'a> {
 /// has no curve for.
 #[must_use]
 pub fn simulate(cfg: &ScenarioCfg, profile: &ServiceProfile, registry: &Registry) -> SimResult {
-    let (result, _flight) = run(cfg, profile, registry, None);
+    let (result, _flight) = run(cfg, profile, registry, None, None);
+    result
+}
+
+/// Like [`simulate`], but arrivals come from an external
+/// [`ArrivalSource`] instead of the scenario's seeded generators (whose
+/// seeds are then unused). The fleet layer uses this to run one cluster
+/// against its deterministically split slice of a global arrival
+/// stream. Everything downstream of arrival — routing, scheduling,
+/// batching, SLOs, telemetry — behaves exactly as in [`simulate`].
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`simulate`], or if the source
+/// yields a mix index out of range for the scenario's mix.
+#[must_use]
+pub fn simulate_stream(
+    cfg: &ScenarioCfg,
+    profile: &ServiceProfile,
+    registry: &Registry,
+    source: &mut dyn ArrivalSource,
+) -> SimResult {
+    let (result, _flight) = run(cfg, profile, registry, None, Some(source));
     result
 }
 
@@ -1263,15 +1327,16 @@ pub fn simulate_recorded(
     flight_cfg: FlightCfg,
 ) -> (SimResult, FlightRecorder) {
     let (result, flight) =
-        run(cfg, profile, registry, Some(FlightRecorder::new(flight_cfg, cfg.gpus)));
+        run(cfg, profile, registry, Some(FlightRecorder::new(flight_cfg, cfg.gpus)), None);
     (result, flight.expect("recorder threaded through the run"))
 }
 
-fn run(
-    cfg: &ScenarioCfg,
-    profile: &ServiceProfile,
+fn run<'a>(
+    cfg: &'a ScenarioCfg,
+    profile: &'a ServiceProfile,
     registry: &Registry,
     flight: Option<FlightRecorder>,
+    source: Option<&'a mut dyn ArrivalSource>,
 ) -> (SimResult, Option<FlightRecorder>) {
     assert!(cfg.gpus >= 1, "need at least one GPU");
     assert!(cfg.duration_s > 0.0, "duration must be positive");
@@ -1341,6 +1406,8 @@ fn run(
         arrival_gen: ArrivalGen::new(cfg.arrival, cfg.seed),
         arrival_buf: VecDeque::with_capacity(ARRIVAL_BATCH),
         last_gen_t: 0.0,
+        source,
+        pending_mix: None,
         area_requests_s: 0.0,
         last_event_s: 0.0,
         in_system: 0,

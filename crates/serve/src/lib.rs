@@ -45,14 +45,20 @@
 
 pub mod cluster;
 pub mod des;
+pub mod fleet;
 pub mod flight;
 pub mod profile;
 pub mod report;
 pub mod workload;
 
 pub use cluster::{
-    simulate, simulate_recorded, HealthReport, ModelStats, PhaseStats, RequestRecord, RouterKind,
-    ScenarioCfg, SchedulerKind, ServeStats, SimResult, SloSpec, LATENCY_SKETCH_EPS,
+    simulate, simulate_recorded, simulate_stream, ArrivalSource, HealthReport, ModelStats,
+    PhaseStats, RequestRecord, RouterKind, ScenarioCfg, SchedulerKind, ServeStats, SimResult,
+    SloSpec, LATENCY_SKETCH_EPS,
+};
+pub use fleet::{
+    run_cluster, AutoscalerPolicy, ClusterCfg, ClusterResult, FleetCfg, FleetReport, FleetResult,
+    RegionStream, SpotChurn, FLEET_SKETCH_EPS,
 };
 pub use flight::{
     BatchSpan, Exemplars, FlightCfg, FlightRecorder, SchedEvent, SchedKind, ServeWindow,

@@ -36,8 +36,10 @@ pub enum ArrivalProcess {
         /// Mean quiet-phase duration, seconds.
         mean_idle_s: f64,
     },
-    /// Sinusoidally modulated rate `λ(t) = rate·(1 + amp·sin(2πt/T))`,
-    /// sampled by thinning against the peak rate.
+    /// Sinusoidally modulated rate `λ(t) = rate·(1 + amp·sin(2π(t+φ)/T))`,
+    /// sampled by thinning against the peak rate. The phase offset `φ`
+    /// shifts the cycle in time — a fleet places each region's diurnal
+    /// peak at a different wall-clock offset.
     Diurnal {
         /// Mean arrival rate, requests/second.
         rate_rps: f64,
@@ -45,6 +47,8 @@ pub enum ArrivalProcess {
         amplitude: f64,
         /// Cycle period, seconds.
         period_s: f64,
+        /// Phase offset `φ`, seconds (0 = peak at `T/4`).
+        phase_s: f64,
     },
 }
 
@@ -68,10 +72,22 @@ impl ArrivalProcess {
     }
 
     /// The default diurnal shape at a given mean rate: ±60% modulation
-    /// over a 120 s simulated "day".
+    /// over a 120 s simulated "day", zero phase offset.
     #[must_use]
     pub fn diurnal(rate_rps: f64) -> Self {
-        ArrivalProcess::Diurnal { rate_rps, amplitude: 0.6, period_s: 120.0 }
+        ArrivalProcess::Diurnal { rate_rps, amplitude: 0.6, period_s: 120.0, phase_s: 0.0 }
+    }
+
+    /// The same process with a diurnal phase offset applied (identity
+    /// for non-diurnal processes, which have no phase to shift).
+    #[must_use]
+    pub fn with_phase(self, new_phase_s: f64) -> Self {
+        match self {
+            ArrivalProcess::Diurnal { rate_rps, amplitude, period_s, .. } => {
+                ArrivalProcess::Diurnal { rate_rps, amplitude, period_s, phase_s: new_phase_s }
+            }
+            other => other,
+        }
     }
 
     /// Builds the named default shape (`poisson` | `bursty` | `diurnal`)
@@ -110,8 +126,8 @@ impl ArrivalProcess {
                     mean_idle_s,
                 }
             }
-            ArrivalProcess::Diurnal { amplitude, period_s, .. } => {
-                ArrivalProcess::Diurnal { rate_rps: new_rate_rps, amplitude, period_s }
+            ArrivalProcess::Diurnal { amplitude, period_s, phase_s, .. } => {
+                ArrivalProcess::Diurnal { rate_rps: new_rate_rps, amplitude, period_s, phase_s }
             }
         }
     }
@@ -148,10 +164,11 @@ impl ArrivalGen {
                     "phase durations must be positive"
                 );
             }
-            ArrivalProcess::Diurnal { rate_rps, amplitude, period_s } => {
+            ArrivalProcess::Diurnal { rate_rps, amplitude, period_s, phase_s } => {
                 assert!(rate_rps > 0.0, "arrival rate must be positive");
                 assert!((0.0..1.0).contains(&amplitude), "amplitude must be in [0, 1)");
                 assert!(period_s > 0.0, "period must be positive");
+                assert!(phase_s.is_finite(), "phase offset must be finite");
             }
         }
         ArrivalGen {
@@ -207,16 +224,25 @@ impl ArrivalGen {
                     t = self.phase_end_s;
                 }
             }
-            ArrivalProcess::Diurnal { rate_rps, amplitude, period_s } => {
-                // Thinning (Lewis–Shedler) against the peak rate.
-                let peak = rate_rps * (1.0 + amplitude);
+            ArrivalProcess::Diurnal { rate_rps, amplitude, period_s, phase_s } => {
+                // Thinning (Lewis–Shedler) against the peak rate. This
+                // loop is on the fleet fast lane's critical path, so the
+                // divisions are hoisted to reciprocals and the sine
+                // argument is range-reduced to one cycle (floor + small
+                // argument) instead of handing libm a huge angle.
+                let inv_peak = 1.0 / (rate_rps * (1.0 + amplitude));
+                let inv_period = 1.0 / period_s;
+                let one_plus_a = 1.0 + amplitude;
                 let mut t = t_s;
                 loop {
-                    t += self.exp(peak);
-                    let lambda = rate_rps
-                        * (1.0 + amplitude * (2.0 * std::f64::consts::PI * t / period_s).sin());
+                    let e: f64 = self.uniform.sample(&mut self.rng);
+                    t -= e.ln() * inv_peak;
+                    let cycles = (t + phase_s) * inv_period;
+                    let s = (2.0 * std::f64::consts::PI * (cycles - cycles.floor())).sin();
                     let u: f64 = self.uniform.sample(&mut self.rng);
-                    if u * peak < lambda {
+                    // Accept iff u·peak < λ(t); both sides divided by the
+                    // base rate.
+                    if u * one_plus_a < 1.0 + amplitude * s {
                         return t;
                     }
                 }
@@ -396,6 +422,62 @@ mod tests {
     fn diurnal_preserves_the_long_run_mean() {
         let rate = mean_rate(ArrivalProcess::diurnal(5.0), 8000.0, 3);
         assert!((rate - 5.0).abs() / 5.0 < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn diurnal_phase_preserves_the_long_run_mean() {
+        let rate = mean_rate(ArrivalProcess::diurnal(5.0).with_phase(30.0), 8000.0, 3);
+        assert!((rate - 5.0).abs() / 5.0 < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn diurnal_phase_shifts_the_peak() {
+        // Fold arrivals mod the period into bins: the densest bin tracks
+        // the sin peak, which phase φ moves from T/4 to T/4 − φ (mod T).
+        let peak_bin = |phase_s: f64| {
+            let period = 120.0;
+            let process = ArrivalProcess::Diurnal {
+                rate_rps: 50.0,
+                amplitude: 0.9,
+                period_s: period,
+                phase_s,
+            };
+            let mut g = ArrivalGen::new(process, 7);
+            let mut t = 0.0;
+            let mut bins = [0u64; 12];
+            for _ in 0..200_000 {
+                t = g.next_after(t);
+                bins[((t % period) / 10.0) as usize % 12] += 1;
+            }
+            bins.iter().enumerate().max_by_key(|(_, &n)| n).map(|(i, _)| i).unwrap()
+        };
+        // Phase 0 peaks at T/4 = 30 s → bin 3; phase T/2 shifts the peak
+        // to T/4 − T/2 ≡ 90 s → bin 9. Allow ±1 bin of sampling noise.
+        let p0 = peak_bin(0.0) as i64;
+        let p_half = peak_bin(60.0) as i64;
+        assert!((p0 - 3).abs() <= 1, "unphased peak bin {p0}");
+        assert!((p_half - 9).abs() <= 1, "phased peak bin {p_half}");
+    }
+
+    #[test]
+    fn with_phase_only_touches_diurnal() {
+        assert_eq!(
+            ArrivalProcess::poisson(2.0).with_phase(10.0),
+            ArrivalProcess::poisson(2.0)
+        );
+        let shifted = ArrivalProcess::diurnal(2.0).with_phase(10.0);
+        match shifted {
+            ArrivalProcess::Diurnal { phase_s, .. } => assert_eq!(phase_s, 10.0),
+            other => panic!("unexpected process {other:?}"),
+        }
+        // Rate changes preserve the phase.
+        match shifted.with_rate(4.0) {
+            ArrivalProcess::Diurnal { rate_rps, phase_s, .. } => {
+                assert_eq!(rate_rps, 4.0);
+                assert_eq!(phase_s, 10.0);
+            }
+            other => panic!("unexpected process {other:?}"),
+        }
     }
 
     #[test]

@@ -75,8 +75,25 @@ impl QuantileSketch {
     /// Panics unless `0 < eps < 0.5`.
     #[must_use]
     pub fn new(eps: f64) -> Self {
+        let buffer_cap = ((1.0 / (2.0 * eps.max(f64::MIN_POSITIVE))) as usize).max(1);
+        Self::with_buffer_cap(eps, buffer_cap)
+    }
+
+    /// Like [`QuantileSketch::new`], but with an explicit observe-buffer
+    /// capacity. The rank-error bound is identical for any capacity —
+    /// each fold budgets inserted tuples against the *post-batch* count,
+    /// so batch size only trades memory for amortized fold cost. Hot
+    /// paths observing tens of millions of values (the fleet fast lane)
+    /// use a few-KiB buffer to fold ~40× less often than the
+    /// `1/(2·eps)` default.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < eps < 0.5` and `buffer_cap > 0`.
+    #[must_use]
+    pub fn with_buffer_cap(eps: f64, buffer_cap: usize) -> Self {
         assert!(eps > 0.0 && eps < 0.5, "eps must be in (0, 0.5), got {eps}");
-        let buffer_cap = ((1.0 / (2.0 * eps)) as usize).max(1);
+        assert!(buffer_cap > 0, "buffer_cap must be positive");
         QuantileSketch {
             eps,
             err_ranks: 0.0,
@@ -389,6 +406,34 @@ mod tests {
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^ (z >> 31)
+    }
+
+    #[test]
+    fn large_observe_buffer_keeps_the_rank_bound() {
+        // The fleet fast lane batches folds through a multi-KiB buffer;
+        // the eps guarantee must not depend on the buffer capacity.
+        let mut state = 7u64;
+        let mut small = QuantileSketch::new(0.01);
+        let mut big = QuantileSketch::with_buffer_cap(0.01, 4096);
+        let mut data = Vec::new();
+        for _ in 0..60_000 {
+            let v = (splitmix(&mut state) as f64 / u64::MAX as f64).powi(3) * 100.0;
+            small.observe(v);
+            big.observe(v);
+            data.push(v);
+        }
+        data.sort_by(f64::total_cmp);
+        // Flush so `rank_error_ranks` sees the full count (queries fold
+        // pending buffers into a scratch clone with the same count).
+        small.flush();
+        big.flush();
+        for q in [0.01, 0.25, 0.5, 0.9, 0.99, 0.999] {
+            assert_within_bound(&small, &data, q);
+            assert_within_bound(&big, &data, q);
+        }
+        assert_eq!(big.count(), 60_000);
+        assert_eq!(big.min(), data[0]);
+        assert_eq!(big.max(), data[data.len() - 1]);
     }
 
     fn uniform(state: &mut u64) -> f64 {

@@ -207,6 +207,26 @@ impl<V: WindowValue> WindowedSeries<V> {
             dst.merge(src);
         }
     }
+
+    /// Merges an iterator of series into one, in iteration order — the
+    /// fleet path for rolling per-cluster timelines up into one
+    /// fleet-wide timeline. Returns `None` for an empty iterator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series disagree on base width or cap (as
+    /// [`WindowedSeries::merge_from`] does).
+    pub fn merged<'a, I>(mut series: I) -> Option<Self>
+    where
+        I: Iterator<Item = &'a Self>,
+        V: 'a,
+    {
+        let mut out = series.next()?.clone();
+        for s in series {
+            out.merge_from(s);
+        }
+        Some(out)
+    }
 }
 
 #[cfg(test)]
@@ -355,5 +375,21 @@ mod tests {
         assert_eq!(folded.window_s(), 2.0);
         let native: WindowedSeries<Sum> = WindowedSeries::new(2.0, 4);
         folded.merge_from(&native);
+    }
+
+    #[test]
+    fn merged_rolls_many_series_into_one() {
+        let mut parts: Vec<WindowedSeries<Sum>> = Vec::new();
+        for k in 0..3u64 {
+            let mut s: WindowedSeries<Sum> = WindowedSeries::new(1.0, 8);
+            for t in 0..4 {
+                s.observe_at(t as f64, |v| v.n += k + 1);
+            }
+            parts.push(s);
+        }
+        let merged = WindowedSeries::merged(parts.iter()).expect("non-empty");
+        // 1 + 2 + 3 per window.
+        assert_eq!(counts(&merged), vec![6, 6, 6, 6]);
+        assert!(WindowedSeries::<Sum>::merged(std::iter::empty()).is_none());
     }
 }
