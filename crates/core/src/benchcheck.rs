@@ -3,16 +3,16 @@
 //!
 //! A snapshot (written by `repro bench-snapshot`) records per-experiment
 //! wall seconds plus throughput figures for the serving fast path
-//! (`serve.requests_per_sec`) and the multi-cluster fleet simulator
-//! (`fleet.requests_per_sec`). This module diffs two snapshots:
+//! (`serve.requests_per_sec`), the multi-cluster fleet simulator
+//! (`fleet.requests_per_sec`), and the token-level serving engine
+//! (`token.tokens_per_sec`). This module diffs two snapshots:
 //!
 //! * an **experiment** regresses when its new wall time exceeds the old
 //!   by more than the threshold — but only when at least one side is
 //!   above the wall-time floor, so micro-benchmarks that jitter between
 //!   2 ms and 4 ms don't page anyone;
-//! * a **throughput** figure (`serve`, `fleet`) regresses when
-//!   `requests_per_sec` *drops* by more than the threshold (the
-//!   direction flips).
+//! * a **throughput** figure (`serve`, `fleet`, `token`) regresses when
+//!   its rate *drops* by more than the threshold (the direction flips).
 //!
 //! Only experiments present in both snapshots are compared (the suite
 //! grows PR over PR; a new experiment has no baseline). The comparison
@@ -30,8 +30,8 @@ pub const DEFAULT_MIN_WALL_S: f64 = 0.05;
 /// Comparison of one figure across the two snapshots.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FigureDelta {
-    /// Figure name (`experiment:<id>`, `serve:requests_per_sec`, or
-    /// `fleet:requests_per_sec`).
+    /// Figure name (`experiment:<id>`, `serve:requests_per_sec`,
+    /// `fleet:requests_per_sec`, or `token:tokens_per_sec`).
     pub name: String,
     /// Baseline value.
     pub old: f64,
@@ -48,7 +48,7 @@ pub struct FigureDelta {
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchCheck {
     /// Per-figure deltas, experiments first (snapshot order), then the
-    /// throughput figures (serve, fleet).
+    /// throughput figures (serve, fleet, token).
     pub deltas: Vec<FigureDelta>,
     /// Experiments present in only one snapshot (skipped).
     pub skipped: Vec<String>,
@@ -74,11 +74,16 @@ fn experiments(v: &Value) -> Vec<(String, f64)> {
         .collect()
 }
 
-/// Sections holding a `requests_per_sec` throughput figure.
-const THROUGHPUT_SECTIONS: [&str; 2] = ["serve", "fleet"];
+/// `(section, field)` pairs holding a throughput figure (higher is
+/// better; regression direction flips relative to wall times).
+const THROUGHPUT_FIGURES: [(&str, &str); 3] = [
+    ("serve", "requests_per_sec"),
+    ("fleet", "requests_per_sec"),
+    ("token", "tokens_per_sec"),
+];
 
-fn throughput_rps(v: &Value, section: &str) -> Option<f64> {
-    v.field(section)?.field("requests_per_sec")?.as_f64()
+fn throughput(v: &Value, section: &str, field: &str) -> Option<f64> {
+    v.field(section)?.field(field)?.as_f64()
 }
 
 /// Compares a baseline snapshot against a candidate.
@@ -114,13 +119,13 @@ pub fn compare(old: &Value, new: &Value, threshold: f64, min_wall_s: f64) -> Ben
         }
     }
 
-    for section in THROUGHPUT_SECTIONS {
+    for (section, field) in THROUGHPUT_FIGURES {
         if let (Some(old_rps), Some(new_rps)) =
-            (throughput_rps(old, section), throughput_rps(new, section))
+            (throughput(old, section, field), throughput(new, section, field))
         {
             let ratio = if old_rps > 0.0 { new_rps / old_rps - 1.0 } else { 0.0 };
             deltas.push(FigureDelta {
-                name: format!("{section}:requests_per_sec"),
+                name: format!("{section}:{field}"),
                 old: old_rps,
                 new: new_rps,
                 ratio,
@@ -244,6 +249,27 @@ mod tests {
         // A gain is not a regression, and a missing section is skipped
         // silently (older snapshots predate the fleet figure).
         assert!(!compare(&old, &with_fleet(20.0e6), 0.15, 0.05).regressed());
+        assert!(!compare(&snapshot(&[], None), &old, 0.15, 0.05).regressed());
+    }
+
+    #[test]
+    fn token_throughput_is_gated_on_tokens_per_sec() {
+        let with_token = |tps: f64| {
+            let mut v = snapshot(&[], None);
+            if let Value::Object(fields) = &mut v {
+                fields.push((
+                    "token".to_string(),
+                    Value::Object(vec![("tokens_per_sec".to_string(), Value::from(tps))]),
+                ));
+            }
+            v
+        };
+        let old = with_token(5.0e6);
+        let c = compare(&old, &with_token(3.0e6), 0.15, 0.05);
+        assert!(c.regressed());
+        assert_eq!(c.deltas[0].name, "token:tokens_per_sec");
+        assert!(!compare(&old, &with_token(8.0e6), 0.15, 0.05).regressed());
+        // Older snapshots predate the token figure: skipped silently.
         assert!(!compare(&snapshot(&[], None), &old, 0.15, 0.05).regressed());
     }
 

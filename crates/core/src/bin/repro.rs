@@ -14,6 +14,8 @@
 //! repro bench-check old new    # diff two snapshots; exit 1 on regression
 //! repro serve --gpus 4 --mix sd:8,parti:2 --scheduler dynamic --slo-ms 2000
 //!                              # serving-cluster DES (see `serve` below)
+//! repro token --model llama --gpus 2 --scheduler continuous --util 0.8
+//!                              # token-level serving DES (see `token` below)
 //! ```
 //!
 //! The `serve` subcommand runs one scenario on the `mmg-serve`
@@ -39,6 +41,22 @@
 //! record and reports exact quantiles — same trajectory, more memory. A
 //! perf line (wall seconds, simulated requests/s) goes to stderr so
 //! stdout stays byte-deterministic.
+//!
+//! The `token` subcommand runs one scenario on the token-granularity
+//! autoregressive serving engine: GPUs advance in decode *iterations*
+//! with continuous (in-flight) batching or run-to-completion static
+//! batching, chunked prefill interleaved with decode, and a per-GPU
+//! KV-cache ledger balanced against the SKU's HBM budget. Flags:
+//! `--model` (llama | parti | muse), `--gpus`, `--arrival`, `--rate`
+//! (default: `--util` × cluster capacity from the profiled curve),
+//! `--prompt-len` / `--output-len` (median tokens), `--kv-budget`
+//! (GiB/GPU; default HBM − weights), `--scheduler`
+//! (static | continuous), `--batch`, `--policy` (decode | prefill
+//! priority), `--admission` (prompt | reserve), `--chunk`,
+//! `--duration-s`, `--requests`, `--seed`, `--metrics-out`,
+//! `--trace-out`, `--jobs`. Prints the TTFT/TPOT phase table, the
+//! per-GPU KV table, and the goodput line; stdout and the metrics dump
+//! are byte-identical for every `--jobs` value.
 //!
 //! Experiments run on a worker pool (`--jobs`); outputs are printed and
 //! telemetry merged in experiment order, so stdout and counter totals
@@ -199,12 +217,59 @@ fn bench_snapshot(spec: &DeviceSpec, path: Option<String>) -> Result<String, Str
             ),
         ])
     };
+    // Token fast-path figure: one run of the token-level (iteration
+    // granularity) serving DES — continuous batching on 4 GPUs at ~0.8
+    // utilization, sized to >2M decoded tokens — so the snapshot tracks
+    // simulated-tokens-per-second alongside the request-level figures.
+    let token = {
+        use mmg_serve::{
+            simulate_token, ArrivalProcess, KvAdmission, KvLedger, LengthDist, PhasePriority,
+            TokenBatching, TokenScenarioCfg, TokenServiceCurve, TokenSlo,
+        };
+        let profiler = ctx.profiler(AttnImpl::Flash);
+        let curve = TokenServiceCurve::from_profiler(&profiler, ModelId::Llama2);
+        let gpus = 4usize;
+        let cap = 32usize;
+        let prompt = LengthDist::new(512.0, 0.3, 16, 4096);
+        let output = LengthDist::new(128.0, 0.3, 4, 1024);
+        let slo = TokenSlo::from_curve(&curve, prompt.mean(), output.mean(), cap);
+        let rate = 0.8 * gpus as f64 / curve.request_gpu_s(prompt.mean(), output.mean(), cap);
+        let duration_s = 2_000_000.0 / (rate * output.mean());
+        let cfg = TokenScenarioCfg {
+            gpus,
+            model: ModelId::Llama2,
+            arrival: ArrivalProcess::poisson(rate),
+            batching: TokenBatching::Continuous { max_batch: cap },
+            priority: PhasePriority::Decode,
+            admission: KvAdmission::Prompt,
+            chunk_tokens: 512,
+            prompt,
+            output,
+            slo,
+            duration_s,
+            max_requests: None,
+            seed: 42,
+        };
+        let budget = KvLedger::default_budget(spec, curve.weight_bytes);
+        let t0 = Instant::now();
+        let result = simulate_token(&cfg, &curve, budget, &ctx.registry);
+        let wall_s = t0.elapsed().as_secs_f64();
+        Value::Object(vec![
+            ("wall_s".to_string(), Value::from(wall_s)),
+            ("simulated_tokens".to_string(), Value::from(result.stats.decoded_tokens)),
+            (
+                "tokens_per_sec".to_string(),
+                Value::from(result.stats.decoded_tokens as f64 / wall_s.max(1e-9)),
+            ),
+        ])
+    };
     let snapshot = Value::Object(vec![
         ("date".to_string(), Value::from(today_stamp())),
         ("device".to_string(), Value::from(spec.name.clone())),
         ("experiments".to_string(), Value::Object(entries)),
         ("serve".to_string(), serve),
         ("fleet".to_string(), fleet),
+        ("token".to_string(), token),
         ("total_s".to_string(), Value::from(started.elapsed().as_secs_f64())),
         (
             "memo".to_string(),
@@ -435,6 +500,264 @@ fn serve_main(args: &[String]) -> Result<(), String> {
     }
     if let (Some(path), Some(flight)) = (&trace_path, &flight) {
         write_file(path, &flight.to_chrome_trace_object(), "serve flight trace")?;
+        eprintln!(
+            "flight trace: {} batch spans, {} scheduler events, {} windows",
+            flight.batches.len(),
+            flight.instants.len(),
+            flight.series.iter().count(),
+        );
+    }
+    Ok(())
+}
+
+/// Runs one token-level (iteration-granularity) serving scenario on the
+/// `mmg-serve::token` engine and prints the TTFT/TPOT/KV report.
+/// Deterministic: one seed fixes the sample path, so stdout — and the
+/// `--metrics-out` dump — is byte-identical across invocations and
+/// `--jobs` values.
+fn token_main(args: &[String]) -> Result<(), String> {
+    use mmg_serve::{
+        parse_model, simulate_token, simulate_token_recorded, ArrivalProcess, FlightCfg,
+        KvAdmission, KvLedger, LengthDist, PhasePriority, TokenBatching, TokenReport,
+        TokenScenarioCfg, TokenServiceCurve, TokenSlo, GIB,
+    };
+
+    let mut spec = DeviceSpec::a100_80gb();
+    let mut model_name = "llama".to_string();
+    let mut gpus = 2usize;
+    let mut arrival_name = "poisson".to_string();
+    let mut rate: Option<f64> = None;
+    let mut util = 0.8f64;
+    let mut prompt_len = 512.0f64;
+    let mut output_len = 128.0f64;
+    let mut kv_budget_gib: Option<f64> = None;
+    let mut scheduler_name = "continuous".to_string();
+    let mut batch = 16usize;
+    let mut policy_name = "decode".to_string();
+    let mut admission_name = "prompt".to_string();
+    let mut chunk = 256usize;
+    let mut duration_s: Option<f64> = None;
+    let mut max_requests: Option<u64> = None;
+    let mut seed = 42u64;
+    let mut metrics_out: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        i += 1;
+        let value = args
+            .get(i)
+            .ok_or_else(|| format!("{flag} requires a value"))?;
+        match flag {
+            "--device" => {
+                spec = device_by_name(value).ok_or_else(|| format!("unknown device '{value}'"))?;
+            }
+            "--model" => model_name = value.clone(),
+            "--gpus" => {
+                gpus = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| "--gpus requires a positive integer".to_string())?;
+            }
+            "--arrival" => arrival_name = value.clone(),
+            "--rate" => {
+                rate = Some(
+                    value
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|r| *r > 0.0)
+                        .ok_or_else(|| "--rate requires a positive number".to_string())?,
+                );
+            }
+            "--util" => {
+                util = value
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|u| *u > 0.0)
+                    .ok_or_else(|| "--util requires a positive fraction".to_string())?;
+            }
+            "--prompt-len" => {
+                prompt_len = value
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|n| *n > 0.0)
+                    .ok_or_else(|| "--prompt-len requires a positive number".to_string())?;
+            }
+            "--output-len" => {
+                output_len = value
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|n| *n > 0.0)
+                    .ok_or_else(|| "--output-len requires a positive number".to_string())?;
+            }
+            "--kv-budget" => {
+                kv_budget_gib = Some(
+                    value
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|g| *g > 0.0)
+                        .ok_or_else(|| "--kv-budget requires a positive GiB count".to_string())?,
+                );
+            }
+            "--scheduler" => scheduler_name = value.clone(),
+            "--batch" => {
+                batch = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| "--batch requires a positive integer".to_string())?;
+            }
+            "--policy" => policy_name = value.clone(),
+            "--admission" => admission_name = value.clone(),
+            "--chunk" => {
+                chunk = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| "--chunk requires a positive integer".to_string())?;
+            }
+            "--duration-s" => {
+                duration_s = Some(
+                    value
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|d| *d > 0.0)
+                        .ok_or_else(|| "--duration-s requires a positive number".to_string())?,
+                );
+            }
+            "--requests" => {
+                max_requests = Some(
+                    value
+                        .parse::<u64>()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| "--requests requires a positive integer".to_string())?,
+                );
+            }
+            "--seed" => {
+                seed = value
+                    .parse::<u64>()
+                    .map_err(|_| "--seed requires a non-negative integer".to_string())?;
+            }
+            "--metrics-out" => metrics_out = Some(value.clone()),
+            "--trace-out" => trace_path = Some(value.clone()),
+            "--jobs" => {
+                // The token DES is inherently serial; the flag exists so
+                // determinism harnesses can assert the report bytes do
+                // not depend on the advertised worker count.
+                value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| "--jobs requires a positive integer".to_string())?;
+            }
+            other => {
+                return Err(format!(
+                    "unknown token flag '{other}'; expected --device | --model | --gpus | --arrival | --rate | --util | --prompt-len | --output-len | --kv-budget | --scheduler | --batch | --policy | --admission | --chunk | --duration-s | --requests | --seed | --metrics-out | --trace-out | --jobs"
+                ));
+            }
+        }
+        i += 1;
+    }
+
+    let model = parse_model(&model_name)?;
+    if !TokenServiceCurve::supports(model) {
+        return Err(format!(
+            "model '{model_name}' is not autoregressive; token serving needs llama | parti | muse"
+        ));
+    }
+    let batching = TokenBatching::parse(&scheduler_name, batch)?;
+    let priority = PhasePriority::parse(&policy_name)?;
+    let admission = KvAdmission::parse(&admission_name)?;
+
+    // The per-step decode and cumulative prefill costs come from the
+    // real profiler (shared memo + global registry).
+    let ctx = ExecContext::shared(spec.clone());
+    let profiler = ctx.profiler(AttnImpl::Flash);
+    let curve = TokenServiceCurve::from_profiler(&profiler, model);
+    let kv_budget_bytes = match kv_budget_gib {
+        Some(g) => (g * GIB) as u64,
+        None => KvLedger::default_budget(&spec, curve.weight_bytes),
+    };
+    let prompt = LengthDist::new(prompt_len, 0.3, 16, 8192);
+    let output = LengthDist::new(output_len, 0.3, 1, 4096);
+    let cap = batching.cap();
+    let slo = TokenSlo::from_curve(&curve, prompt.mean(), output.mean(), cap);
+    let rate = rate.unwrap_or_else(|| {
+        util * gpus as f64 / curve.request_gpu_s(prompt.mean(), output.mean(), cap)
+    });
+    let arrival = ArrivalProcess::parse(&arrival_name, rate)?;
+    // `--requests` without an explicit horizon sizes the horizon so the
+    // realized arrival count reaches the cap (with 0.5% headroom).
+    let duration_s = duration_s.unwrap_or_else(|| match max_requests {
+        Some(n) => n as f64 / rate * 1.005,
+        None => 120.0,
+    });
+    let cfg = TokenScenarioCfg {
+        gpus,
+        model,
+        arrival,
+        batching,
+        priority,
+        admission,
+        chunk_tokens: chunk,
+        prompt,
+        output,
+        slo,
+        duration_s,
+        max_requests,
+        seed,
+    };
+    cfg.validate();
+
+    let sim_started = Instant::now();
+    let (result, flight) = if trace_path.is_some() {
+        let (result, flight) = simulate_token_recorded(
+            &cfg,
+            &curve,
+            kv_budget_bytes,
+            &ctx.registry,
+            FlightCfg::for_horizon(duration_s),
+        );
+        (result, Some(flight))
+    } else {
+        (simulate_token(&cfg, &curve, kv_budget_bytes, &ctx.registry), None)
+    };
+    let sim_wall_s = sim_started.elapsed().as_secs_f64();
+    println!(
+        "device: {} | arrival: {arrival_name} @ {rate:.3}/s | prompt ~{prompt_len:.0} tok | output ~{output_len:.0} tok",
+        spec.name
+    );
+    println!(
+        "kv budget: {:.1} GiB/GPU ({}) | chunk: {chunk} tok | duration: {duration_s:.0}s | seed: {seed}\n",
+        kv_budget_bytes as f64 / GIB,
+        if kv_budget_gib.is_some() { "explicit" } else { "HBM - weights" },
+    );
+    println!("{}", TokenReport::from_result(&result).render());
+    // Perf to stderr: stdout must stay byte-identical across machines.
+    eprintln!(
+        "token: {} decoded tokens over {} iterations in {sim_wall_s:.3}s wall ({:.0} simulated tok/s)",
+        result.stats.decoded_tokens,
+        result.stats.iterations,
+        result.stats.decoded_tokens as f64 / sim_wall_s.max(1e-9),
+    );
+    if let Some(path) = &metrics_out {
+        // Extension-dispatched export of the final registry: `.json`
+        // gets the structured snapshot, anything else the Prometheus
+        // text exposition.
+        let body = if path.ends_with(".json") {
+            let mut s = serde_json::to_string_pretty(&ctx.registry.snapshot_json())
+                .expect("registry snapshots always serialize");
+            s.push('\n');
+            s
+        } else {
+            ctx.registry.render_prometheus()
+        };
+        write_file(path, &body, "metrics")?;
+    }
+    if let (Some(path), Some(flight)) = (&trace_path, &flight) {
+        write_file(path, &flight.to_chrome_trace_object(), "token flight trace")?;
         eprintln!(
             "flight trace: {} batch spans, {} scheduler events, {} windows",
             flight.batches.len(),
@@ -808,6 +1131,15 @@ fn main() -> ExitCode {
             }
         };
     }
+    if args.first().map(String::as_str) == Some("token") {
+        return match token_main(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if args.first().map(String::as_str) == Some("fleet") {
         return match fleet_main(&args[1..]) {
             Ok(()) => ExitCode::SUCCESS,
@@ -963,9 +1295,10 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     if targets.is_empty() {
-        eprintln!("usage: repro [--device <name>] [--jobs <n>] [--json] [--metrics <path>] [--trace-out <path>] [--manifest <path>] [--replications <n> [--sweep-seed <n>]] <bench-snapshot | all | fig1 | table1 | fig4 | fig5 | fig6 | table2 | table3 | fig7 | fig8 | fig9 | fig11 | fig12 | fig13 | secv | flashdec | pods | batch | tp | ablations | serve-sweep | serve-timeline | serve-attrib | fleet-sweep>…");
+        eprintln!("usage: repro [--device <name>] [--jobs <n>] [--json] [--metrics <path>] [--trace-out <path>] [--manifest <path>] [--replications <n> [--sweep-seed <n>]] <bench-snapshot | all | fig1 | table1 | fig4 | fig5 | fig6 | table2 | table3 | fig7 | fig8 | fig9 | fig11 | fig12 | fig13 | secv | flashdec | pods | batch | tp | ablations | serve-sweep | serve-timeline | serve-attrib | fleet-sweep | token-sweep>…");
         eprintln!("       repro serve [--device <name>] [--gpus <n>] [--mix <model:weight,…>] [--arrival <poisson|bursty|diurnal>] [--rate <rps>] [--scheduler <fifo|static|dynamic|pods>] [--batch <n>] [--router <rr|least-work|affinity>] [--slo-ms <ms>] [--duration-s <s>] [--requests <n>] [--seed <n>] [--metrics <path>] [--metrics-out <path>] [--trace-out <path>] [--jobs <n>] [--full-records] [--attrib]");
         eprintln!("       repro fleet [--clusters <n>] [--gpus <per-cluster>] [--arrival <poisson|diurnal>] [--util <frac>] [--rate <rps>] [--policy <fixed|reactive|reactive+spot>] [--requests <n>] [--duration-s <s>] [--windows <n>] [--scheduler <fifo|static|dynamic|pods>] [--batch <n>] [--seed <n>] [--jobs <n>] [--metrics-out <path>]");
+        eprintln!("       repro token [--device <name>] [--model <llama|parti|muse>] [--gpus <n>] [--arrival <poisson|bursty|diurnal>] [--rate <rps>] [--util <frac>] [--prompt-len <tokens>] [--output-len <tokens>] [--kv-budget <gib>] [--scheduler <static|continuous>] [--batch <n>] [--policy <decode|prefill>] [--admission <prompt|reserve>] [--chunk <tokens>] [--duration-s <s>] [--requests <n>] [--seed <n>] [--metrics-out <path>] [--trace-out <path>] [--jobs <n>]");
         eprintln!("       repro bench-check <old.json> <new.json> [--threshold <frac>] [--min-wall-s <s>]");
         return ExitCode::FAILURE;
     }

@@ -21,6 +21,7 @@ pub mod serve_sweep;
 pub mod serve_attrib;
 pub mod serve_timeline;
 pub mod table1;
+pub mod token_sweep;
 pub mod table2;
 pub mod table3;
 pub mod tp;

@@ -8,7 +8,8 @@ use mmg_gpu::DeviceSpec;
 use crate::engine::ExecContext;
 use crate::experiments::{
     ablations, batch, fig1, fig11, fig12, fig13, fig4, fig5, fig6, fig7, fig8, fig9, flashdec,
-    fleet_sweep, pods, secv, serve_attrib, serve_sweep, serve_timeline, table1, table2, table3, tp,
+    fleet_sweep, pods, secv, serve_attrib, serve_sweep, serve_timeline, table1, table2, table3,
+    token_sweep, tp,
 };
 
 /// Identifier of one reproducible artifact.
@@ -60,11 +61,14 @@ pub enum ExperimentId {
     ServeAttrib,
     /// Extension: heterogeneous multi-cluster fleet policy sweep.
     FleetSweep,
+    /// Extension: token-level serving sweep (static vs continuous
+    /// batching × utilization × KV-cache budget).
+    TokenSweep,
 }
 
 impl ExperimentId {
     /// All experiments in paper order.
-    pub const ALL: [ExperimentId; 23] = [
+    pub const ALL: [ExperimentId; 24] = [
         ExperimentId::Fig1,
         ExperimentId::Table1,
         ExperimentId::Fig4,
@@ -88,6 +92,7 @@ impl ExperimentId {
         ExperimentId::ServeTimeline,
         ExperimentId::ServeAttrib,
         ExperimentId::FleetSweep,
+        ExperimentId::TokenSweep,
     ];
 }
 
@@ -117,6 +122,7 @@ impl fmt::Display for ExperimentId {
             ExperimentId::ServeTimeline => "serve-timeline",
             ExperimentId::ServeAttrib => "serve-attrib",
             ExperimentId::FleetSweep => "fleet-sweep",
+            ExperimentId::TokenSweep => "token-sweep",
         };
         f.write_str(s)
     }
@@ -191,6 +197,7 @@ pub fn run_experiment_with(id: ExperimentId, ctx: &ExecContext) -> String {
         ExperimentId::ServeTimeline => serve_timeline::render(&serve_timeline::run_ctx(ctx)),
         ExperimentId::ServeAttrib => serve_attrib::render(&serve_attrib::run_ctx(ctx)),
         ExperimentId::FleetSweep => fleet_sweep::render(&fleet_sweep::run_ctx(ctx)),
+        ExperimentId::TokenSweep => token_sweep::render(&token_sweep::run_ctx(ctx)),
     }
 }
 
@@ -242,6 +249,7 @@ pub fn run_experiment_value_with(id: ExperimentId, ctx: &ExecContext) -> serde_j
         ExperimentId::ServeTimeline => v(&serve_timeline::run_ctx(ctx)),
         ExperimentId::ServeAttrib => v(&serve_attrib::run_ctx(ctx)),
         ExperimentId::FleetSweep => v(&fleet_sweep::run_ctx(ctx)),
+        ExperimentId::TokenSweep => v(&token_sweep::run_ctx(ctx)),
     }
 }
 

@@ -167,6 +167,13 @@ impl DeviceSpec {
         self.hbm_bandwidth_gbs * 1e9
     }
 
+    /// HBM capacity in bytes — the hard ceiling model weights and the
+    /// KV cache share on this SKU.
+    #[must_use]
+    pub fn hbm_capacity_bytes(&self) -> u64 {
+        (self.hbm_capacity_gib * 1024.0 * 1024.0 * 1024.0) as u64
+    }
+
     /// The roofline ridge point: FLOPs/byte at which a perfectly efficient
     /// FP16 kernel transitions from memory- to compute-bound.
     #[must_use]
@@ -217,6 +224,12 @@ impl Default for DeviceSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn hbm_capacity_bytes_is_exact() {
+        assert_eq!(DeviceSpec::a100_80gb().hbm_capacity_bytes(), 80 << 30);
+        assert_eq!(DeviceSpec::l4_24gb().hbm_capacity_bytes(), 24 << 30);
+    }
 
     #[test]
     fn a100_ridge_point_matches_datasheet_math() {

@@ -1,0 +1,277 @@
+//! KV-cache memory model: per-GPU byte accounting against the HBM
+//! budget.
+//!
+//! Autoregressive decode is a *memory capacity* problem as much as a
+//! bandwidth one: every resident sequence pins `kv_bytes_per_token ×
+//! (prompt + generated)` bytes of fp16 K/V state, and the sum across
+//! the in-flight batch competes with the model weights for the SKU's
+//! HBM (`mmg_gpu::DeviceSpec::hbm_capacity_gib`). This module is the
+//! ledger the token-serving engine balances on: exact integer byte
+//! accounting with a conservation invariant (`allocated − freed ==
+//! resident`, checked every iteration), a reservation channel for
+//! admission control, and a preemption counter for the
+//! eviction-and-recompute path.
+
+use mmg_gpu::DeviceSpec;
+
+/// Bytes per GiB (the unit `DeviceSpec` quotes HBM capacity in).
+pub const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+/// KV-cache admission policy: what a sequence must be able to fit
+/// before it is admitted into the running batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvAdmission {
+    /// Admit when the *prompt's* KV fits. Decode growth is paid
+    /// optimistically as it happens, so cache overflow is resolved by
+    /// preempting (evicting and later recomputing) the youngest
+    /// sequence — the vLLM-style default that maximizes batch size at
+    /// the cost of preemption churn under pressure.
+    Prompt,
+    /// Admit only when the *worst-case* footprint (prompt + full
+    /// output) can be reserved. No preemption can ever occur, but the
+    /// batch runs smaller — conservative admission.
+    Reserve,
+}
+
+impl KvAdmission {
+    /// Parses `prompt` | `reserve`.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        match name.to_lowercase().as_str() {
+            "prompt" => Ok(KvAdmission::Prompt),
+            "reserve" => Ok(KvAdmission::Reserve),
+            other => Err(format!(
+                "unknown admission policy '{other}'; expected prompt | reserve"
+            )),
+        }
+    }
+
+    /// The CLI name of the policy.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            KvAdmission::Prompt => "prompt",
+            KvAdmission::Reserve => "reserve",
+        }
+    }
+}
+
+/// Per-GPU KV-cache ledger: exact cumulative byte accounting.
+///
+/// The invariant the engine re-checks at every iteration boundary:
+/// `allocated_total − freed_total == resident_bytes`, with
+/// `resident_bytes ≤ budget_bytes` at all times.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KvLedger {
+    /// Bytes of HBM available for KV state (capacity − weights, or an
+    /// explicit override).
+    pub budget_bytes: u64,
+    /// Bytes currently resident.
+    pub resident_bytes: u64,
+    /// Bytes promised to admitted sequences (admission control
+    /// channel; `≥ resident` under [`KvAdmission::Reserve`]).
+    pub reserved_bytes: u64,
+    /// Cumulative bytes ever allocated.
+    pub allocated_total: u64,
+    /// Cumulative bytes ever freed.
+    pub freed_total: u64,
+    /// High-water mark of `resident_bytes`.
+    pub peak_resident_bytes: u64,
+    /// Sequences evicted for recompute because decode growth hit the
+    /// budget.
+    pub preemptions: u64,
+}
+
+impl KvLedger {
+    /// A fresh ledger with the given byte budget.
+    #[must_use]
+    pub fn new(budget_bytes: u64) -> Self {
+        KvLedger {
+            budget_bytes,
+            resident_bytes: 0,
+            reserved_bytes: 0,
+            allocated_total: 0,
+            freed_total: 0,
+            peak_resident_bytes: 0,
+            preemptions: 0,
+        }
+    }
+
+    /// The default budget for a SKU: HBM capacity minus resident model
+    /// weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the weights alone exceed the device's HBM — the
+    /// model cannot be served on that SKU at all.
+    #[must_use]
+    pub fn default_budget(spec: &DeviceSpec, weight_bytes: u64) -> u64 {
+        let capacity = spec.hbm_capacity_bytes();
+        assert!(
+            weight_bytes < capacity,
+            "{}: model weights ({:.1} GiB) exceed HBM capacity ({:.0} GiB)",
+            spec.name,
+            weight_bytes as f64 / GIB,
+            spec.hbm_capacity_gib
+        );
+        capacity - weight_bytes
+    }
+
+    /// Whether `bytes` more can be made resident right now.
+    #[must_use]
+    pub fn fits(&self, bytes: u64) -> bool {
+        self.resident_bytes + bytes <= self.budget_bytes
+    }
+
+    /// Whether `bytes` more can be *promised* (reservation headroom and
+    /// immediate-resident headroom both available).
+    #[must_use]
+    pub fn can_admit(&self, bytes: u64) -> bool {
+        self.reserved_bytes + bytes <= self.budget_bytes && self.fits(bytes)
+    }
+
+    /// Promises `bytes` to an admitted sequence.
+    pub fn reserve(&mut self, bytes: u64) {
+        self.reserved_bytes += bytes;
+        debug_assert!(self.reserved_bytes <= self.budget_bytes, "over-reserved");
+    }
+
+    /// Releases a sequence's promise (on retire or preempt).
+    pub fn unreserve(&mut self, bytes: u64) {
+        debug_assert!(self.reserved_bytes >= bytes, "unreserve underflow");
+        self.reserved_bytes -= bytes;
+    }
+
+    /// Makes `bytes` resident.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the allocation would exceed the budget — the engine
+    /// must preempt *before* allocating.
+    pub fn alloc(&mut self, bytes: u64) {
+        assert!(
+            self.fits(bytes),
+            "KV alloc of {bytes} B over budget ({} resident / {} budget)",
+            self.resident_bytes,
+            self.budget_bytes
+        );
+        self.resident_bytes += bytes;
+        self.allocated_total += bytes;
+        self.peak_resident_bytes = self.peak_resident_bytes.max(self.resident_bytes);
+    }
+
+    /// Returns `bytes` to the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an underflow (freeing more than is resident).
+    pub fn free(&mut self, bytes: u64) {
+        assert!(
+            bytes <= self.resident_bytes,
+            "KV free of {bytes} B underflows {} resident",
+            self.resident_bytes
+        );
+        self.resident_bytes -= bytes;
+        self.freed_total += bytes;
+    }
+
+    /// Records one eviction-for-recompute.
+    pub fn count_preemption(&mut self) {
+        self.preemptions += 1;
+    }
+
+    /// The conservation invariant, checked by the engine at every
+    /// iteration boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if cumulative allocations minus frees disagree with the
+    /// resident byte count, or residency exceeds the budget.
+    pub fn assert_conserved(&self) {
+        assert!(
+            self.allocated_total - self.freed_total == self.resident_bytes,
+            "KV conservation violated: {} allocated − {} freed != {} resident",
+            self.allocated_total,
+            self.freed_total,
+            self.resident_bytes
+        );
+        assert!(
+            self.resident_bytes <= self.budget_bytes,
+            "KV residency {} exceeds budget {}",
+            self.resident_bytes,
+            self.budget_bytes
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_conserves_bytes() {
+        let mut l = KvLedger::new(1000);
+        l.alloc(400);
+        l.alloc(300);
+        l.free(200);
+        l.assert_conserved();
+        assert_eq!(l.resident_bytes, 500);
+        assert_eq!(l.allocated_total, 700);
+        assert_eq!(l.freed_total, 200);
+        assert_eq!(l.peak_resident_bytes, 700);
+        l.free(500);
+        l.assert_conserved();
+        assert_eq!(l.resident_bytes, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "over budget")]
+    fn alloc_past_budget_panics() {
+        let mut l = KvLedger::new(100);
+        l.alloc(60);
+        l.alloc(41);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflows")]
+    fn free_underflow_panics() {
+        let mut l = KvLedger::new(100);
+        l.alloc(10);
+        l.free(11);
+    }
+
+    #[test]
+    fn reservations_gate_admission() {
+        let mut l = KvLedger::new(1000);
+        assert!(l.can_admit(600));
+        l.reserve(600);
+        assert!(!l.can_admit(500), "reservation headroom must block");
+        assert!(l.can_admit(400));
+        l.unreserve(600);
+        l.alloc(900);
+        assert!(!l.can_admit(200), "resident headroom must block");
+        l.assert_conserved();
+    }
+
+    #[test]
+    fn default_budget_subtracts_weights() {
+        let spec = DeviceSpec::a100_80gb();
+        let weights = 14 * (GIB as u64);
+        let budget = KvLedger::default_budget(&spec, weights);
+        assert_eq!(budget, 66 * (GIB as u64));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed HBM capacity")]
+    fn oversized_weights_rejected() {
+        let spec = DeviceSpec::l4_24gb();
+        let _ = KvLedger::default_budget(&spec, 30 * (GIB as u64));
+    }
+
+    #[test]
+    fn admission_parse_round_trips() {
+        assert_eq!(KvAdmission::parse("prompt").unwrap(), KvAdmission::Prompt);
+        assert_eq!(KvAdmission::parse("Reserve").unwrap(), KvAdmission::Reserve);
+        assert!(KvAdmission::parse("yolo").is_err());
+        assert_eq!(KvAdmission::Prompt.name(), "prompt");
+    }
+}

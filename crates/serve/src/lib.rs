@@ -47,8 +47,10 @@ pub mod cluster;
 pub mod des;
 pub mod fleet;
 pub mod flight;
+pub mod kv;
 pub mod profile;
 pub mod report;
+pub mod token;
 pub mod workload;
 
 pub use cluster::{
@@ -65,6 +67,14 @@ pub use flight::{
     CLUSTER_LANE, FLIGHT_SKETCH_EPS,
 };
 pub use des::{CalendarEventQueue, EventQueue, HeapEventQueue};
-pub use profile::{ServiceCurve, ServiceProfile};
-pub use report::{ModelSlo, SloReport};
-pub use workload::{model_short_name, parse_model, ArrivalGen, ArrivalProcess, RequestMix};
+pub use kv::{KvAdmission, KvLedger, GIB};
+pub use profile::{kv_bytes_per_token, ServiceCurve, ServiceProfile, TokenServiceCurve};
+pub use report::{ModelSlo, SloReport, TokenReport};
+pub use token::{
+    simulate_token, simulate_token_recorded, PhasePriority, TokenBatching, TokenPhaseStats,
+    TokenScenarioCfg, TokenSimResult, TokenSlo, TokenStats,
+};
+pub use workload::{
+    model_short_name, parse_model, ArrivalGen, ArrivalProcess, LengthDist, LengthSampler,
+    RequestMix,
+};

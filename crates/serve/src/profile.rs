@@ -10,7 +10,10 @@
 //! UNet gains little (Fig. 5's "low batch size" qualifier). The
 //! once-per-request stages (text encoders, VAE decoders) scale linearly.
 
-use mmg_models::blocks::{batched_decode_step_graph, unet_step_graph, windowed_encoder_graph};
+use mmg_models::blocks::{
+    batched_decode_step_graph, encoder_graph, prefill_graph, unet_step_graph,
+    windowed_encoder_graph,
+};
 use mmg_models::suite;
 use mmg_models::ModelId;
 use mmg_profiler::Profiler;
@@ -67,10 +70,22 @@ impl ServiceCurve {
         self
     }
 
-    /// Seconds one GPU needs for a batch of `b` requests: linear
-    /// interpolation between measured points, linear extrapolation past
-    /// the last point at its marginal per-request slope (a single-point
-    /// curve extrapolates at the batch-1 cost, i.e. no batching benefit).
+    /// Seconds one GPU needs for a batch of `b` requests.
+    ///
+    /// # Interpolation and extrapolation rule
+    ///
+    /// - **Exact knot**: a measured batch size returns its measured time
+    ///   bit-for-bit (no float round-trip through the interpolator).
+    /// - **Between knots**: linear interpolation within the bracketing
+    ///   segment.
+    /// - **Below the first knot**: impossible by construction — every
+    ///   curve starts at batch 1 (enforced by [`ServiceCurve::new`]) and
+    ///   `b ≥ 1`, so the first knot is always reachable exactly.
+    /// - **Above the last knot**: linear extrapolation at the marginal
+    ///   per-request slope of the *last measured segment* — batching
+    ///   amortization is assumed to have flattened out past the largest
+    ///   profiled batch. A single-point curve extrapolates at the
+    ///   batch-1 cost (slope = `base_s`), i.e. no batching benefit.
     ///
     /// # Panics
     ///
@@ -278,6 +293,261 @@ fn hot_stage_s(profiler: &Profiler, model: ModelId, b: usize) -> f64 {
     }
 }
 
+/// Per-iteration cost surface for token-granularity autoregressive
+/// serving, queried from the real profiler.
+///
+/// Where [`ServiceCurve`] prices a *whole request* at batch `b`, this
+/// curve prices one **decode iteration** of a running batch — the unit
+/// the continuous-batching engine advances by — as a function of both
+/// the batch size and the (mean) KV context length, plus a cumulative
+/// prefill-cost curve for chunked prompt processing. Three of the
+/// paper's models decode token-by-token and are supported:
+///
+/// - **LLaMA** — classic AR text decode: one token per iteration per
+///   sequence, causal prefill over the prompt, per-token KV append.
+/// - **Parti** — AR image-token decode (1024 tokens): the "prompt" is
+///   the text encoding (cross-attention context), charged once via the
+///   prefill curve; image-token KV grows during decode.
+/// - **Muse** — *parallel* (MaskGIT) decode: each iteration re-scores
+///   the whole 256-token base grid and commits `tokens_per_step`
+///   tokens, so the step cost is flat in context length and no prompt
+///   prefill exists (conditioning rides the cross-attention inside the
+///   step cost). Only the base stage is modeled; the super-resolution
+///   stage is outside the token loop.
+///
+/// Interpolation follows the [`ServiceCurve::batch_s`] rule on the
+/// batch axis. On the context axis, queries **below the first knot
+/// clamp to it** (short-context decode is weight-read bound, flat in
+/// context) and queries above the last knot extrapolate at the last
+/// segment's marginal slope (attention KV traffic grows linearly).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TokenServiceCurve {
+    /// The model the curve describes.
+    pub model: ModelId,
+    /// Batch-size knots, ascending, starting at 1.
+    pub batch_knots: Vec<usize>,
+    /// Context-length knots (tokens of resident KV), ascending.
+    pub ctx_knots: Vec<usize>,
+    /// `step_s[ci][bi]`: seconds for one decode iteration of
+    /// `batch_knots[bi]` sequences, each holding `ctx_knots[ci]` tokens
+    /// of KV context.
+    pub step_s: Vec<Vec<f64>>,
+    /// Cumulative prefill cost: `(prompt tokens, seconds to prefill
+    /// them from token 0)`, ascending, with an implicit `(0, 0)` knot.
+    /// Empty for models with no prompt phase (Muse).
+    pub prefill_s: Vec<(usize, f64)>,
+    /// Output tokens committed per iteration per sequence (1 = strict
+    /// AR; >1 = parallel MaskGIT decode).
+    pub tokens_per_step: usize,
+    /// `Some(n)` when the model always emits exactly `n` tokens (image
+    /// grids); `None` when the output length is workload-sampled.
+    pub fixed_output_tokens: Option<usize>,
+    /// KV-cache bytes per resident token per sequence (fp16 K+V across
+    /// all layers).
+    pub kv_bytes_per_token: u64,
+    /// FP16 weight bytes resident on every GPU serving this model.
+    pub weight_bytes: u64,
+}
+
+/// Piecewise-linear read of ascending `(x, y)` knots at `x`: clamp
+/// below the first knot, marginal-slope extrapolation above the last
+/// (flat for a single knot), linear interpolation between.
+fn interp_ascending(knots: &[(f64, f64)], x: f64) -> f64 {
+    debug_assert!(!knots.is_empty());
+    let first = knots[0];
+    if x <= first.0 {
+        return first.1;
+    }
+    let last = knots[knots.len() - 1];
+    if x >= last.0 {
+        if knots.len() < 2 {
+            return last.1;
+        }
+        let prev = knots[knots.len() - 2];
+        let slope = (last.1 - prev.1) / (last.0 - prev.0);
+        return last.1 + slope * (x - last.0);
+    }
+    let hi = knots.iter().position(|&(kx, _)| kx > x).expect("bracketing knot");
+    let (x0, y0) = knots[hi - 1];
+    let (x1, y1) = knots[hi];
+    y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+}
+
+impl TokenServiceCurve {
+    /// Whether `model` decodes token-by-token and is supported by the
+    /// token engine.
+    #[must_use]
+    pub fn supports(model: ModelId) -> bool {
+        matches!(model, ModelId::Llama2 | ModelId::Parti | ModelId::Muse)
+    }
+
+    /// Builds the curve for an autoregressive suite model by profiling
+    /// its real decode-step lowering over a batch × context grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model` is not autoregressive (see
+    /// [`TokenServiceCurve::supports`]).
+    #[must_use]
+    pub fn from_profiler(profiler: &Profiler, model: ModelId) -> Self {
+        let t = |graph| profiler.profile(&graph).total_time_s();
+        let batch_knots: Vec<usize> = vec![1, 2, 4, 8, 16, 32, 64];
+        let weight_bytes = 2 * suite::build(model).param_count();
+        match model {
+            ModelId::Llama2 => {
+                let cfg = suite::llama::Llama2Config::default();
+                let ctx_knots: Vec<usize> = vec![256, 1024, 4096, 8192];
+                let step_s = ctx_knots
+                    .iter()
+                    .map(|&kv| {
+                        batch_knots
+                            .iter()
+                            .map(|&b| t(batched_decode_step_graph(&cfg.transformer, kv, b)))
+                            .collect()
+                    })
+                    .collect();
+                let prefill_s = [128usize, 512, 2048, 4096]
+                    .iter()
+                    .map(|&len| (len, t(prefill_graph(&cfg.transformer, len))))
+                    .collect();
+                TokenServiceCurve {
+                    model,
+                    batch_knots,
+                    ctx_knots,
+                    step_s,
+                    prefill_s,
+                    tokens_per_step: 1,
+                    fixed_output_tokens: None,
+                    kv_bytes_per_token: kv_bytes_per_token(&cfg.transformer),
+                    weight_bytes,
+                }
+            }
+            ModelId::Parti => {
+                let cfg = suite::parti::PartiConfig::default();
+                let total = cfg.image_grid * cfg.image_grid;
+                let ctx_knots: Vec<usize> = vec![64, 256, 512, total];
+                let step_s = ctx_knots
+                    .iter()
+                    .map(|&kv| {
+                        batch_knots
+                            .iter()
+                            .map(|&b| t(batched_decode_step_graph(&cfg.decoder, kv, b)))
+                            .collect()
+                    })
+                    .collect();
+                // The "prompt" is the text encoding: one encoder pass,
+                // linear in prompt tokens through the cumulative curve.
+                let prefill_s = vec![(cfg.text_len, t(encoder_graph(&cfg.encoder, cfg.text_len)))];
+                TokenServiceCurve {
+                    model,
+                    batch_knots,
+                    ctx_knots,
+                    step_s,
+                    prefill_s,
+                    tokens_per_step: 1,
+                    fixed_output_tokens: Some(total),
+                    kv_bytes_per_token: kv_bytes_per_token(&cfg.decoder),
+                    weight_bytes,
+                }
+            }
+            ModelId::Muse => {
+                let cfg = suite::muse::MuseConfig::default();
+                let base_tokens = cfg.base_grid * cfg.base_grid;
+                let step_s = vec![batch_knots
+                    .iter()
+                    .map(|&b| t(windowed_encoder_graph(&cfg.base, base_tokens * b, base_tokens)))
+                    .collect()];
+                TokenServiceCurve {
+                    model,
+                    batch_knots,
+                    ctx_knots: vec![base_tokens],
+                    step_s,
+                    prefill_s: Vec::new(),
+                    tokens_per_step: base_tokens.div_ceil(cfg.base_steps),
+                    fixed_output_tokens: Some(base_tokens),
+                    kv_bytes_per_token: kv_bytes_per_token(&cfg.base),
+                    weight_bytes,
+                }
+            }
+            other => panic!("{other} is not an autoregressive model; token serving needs one of llama | parti | muse"),
+        }
+    }
+
+    /// Seconds for one decode iteration of `batch` sequences whose mean
+    /// resident context is `ctx_tokens`: bilinear read of the profiled
+    /// grid (batch axis per the [`ServiceCurve::batch_s`] rule, context
+    /// axis clamped below / marginal-slope extrapolated above).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    #[must_use]
+    pub fn step_s(&self, batch: usize, ctx_tokens: f64) -> f64 {
+        assert!(batch > 0, "batch must be positive");
+        let per_ctx: Vec<(f64, f64)> = self
+            .ctx_knots
+            .iter()
+            .zip(&self.step_s)
+            .map(|(&ctx, row)| (ctx as f64, interp_batch(&self.batch_knots, row, batch)))
+            .collect();
+        interp_ascending(&per_ctx, ctx_tokens)
+    }
+
+    /// Cumulative seconds to prefill a prompt's first `tokens` tokens
+    /// at batch 1 (piecewise linear through the profiled lengths,
+    /// implicit origin knot; zero for models with no prompt phase).
+    #[must_use]
+    pub fn prefill_cum_s(&self, tokens: f64) -> f64 {
+        if self.prefill_s.is_empty() || tokens <= 0.0 {
+            return 0.0;
+        }
+        let mut knots: Vec<(f64, f64)> = Vec::with_capacity(self.prefill_s.len() + 1);
+        knots.push((0.0, 0.0));
+        knots.extend(self.prefill_s.iter().map(|&(n, s)| (n as f64, s)));
+        interp_ascending(&knots, tokens)
+    }
+
+    /// Seconds to advance one sequence's prefill from token `from` to
+    /// token `to` (a chunk), as the cumulative-curve difference.
+    #[must_use]
+    pub fn prefill_chunk_s(&self, from: usize, to: usize) -> f64 {
+        (self.prefill_cum_s(to as f64) - self.prefill_cum_s(from as f64)).max(0.0)
+    }
+
+    /// Mean GPU-seconds one request costs at decode batch `cap` —
+    /// prefill at batch 1 plus its share of every decode iteration it
+    /// rides in. The anchor for translating a target utilization into
+    /// an offered arrival rate.
+    #[must_use]
+    pub fn request_gpu_s(&self, prompt_tokens: f64, output_tokens: f64, cap: usize) -> f64 {
+        let out = self.fixed_output_tokens.map_or(output_tokens, |n| n as f64);
+        let iters = (out / self.tokens_per_step as f64).ceil();
+        let ctx = prompt_tokens + out / 2.0;
+        self.prefill_cum_s(prompt_tokens) + iters * self.step_s(cap, ctx) / cap as f64
+    }
+}
+
+/// Batch-axis read of one context row, matching [`ServiceCurve::batch_s`]:
+/// exact knots return the measured value bit-for-bit.
+fn interp_batch(knots: &[usize], row: &[f64], b: usize) -> f64 {
+    if let Some(i) = knots.iter().position(|&k| k == b) {
+        return row[i];
+    }
+    let pts: Vec<(f64, f64)> = knots.iter().map(|&k| k as f64).zip(row.iter().copied()).collect();
+    if knots.len() == 1 {
+        // Single-knot batch axis: no batching benefit, scale linearly.
+        return row[0] / knots[0] as f64 * b as f64;
+    }
+    interp_ascending(&pts, b as f64)
+}
+
+/// FP16 KV-cache bytes one resident token costs: K and V vectors of
+/// `d_model` halves across every layer.
+#[must_use]
+pub fn kv_bytes_per_token(cfg: &mmg_models::TransformerConfig) -> u64 {
+    (cfg.layers * 2 * cfg.d_model * 2) as u64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -381,5 +651,80 @@ mod tests {
     #[should_panic(expected = "start at batch 1")]
     fn curve_requires_batch_one() {
         let _ = ServiceCurve::new(ModelId::Muse, vec![(2, 1.0)]);
+    }
+
+    #[test]
+    fn batch_s_boundary_knots() {
+        // Satellite: interpolation boundary behavior, pinned. The first
+        // knot is batch 1 by construction, so "below the first knot"
+        // cannot happen — b = 1 is the exact-hit floor.
+        let c = ServiceCurve::new(ModelId::Parti, vec![(1, 0.5), (4, 0.8), (16, 1.4)]);
+        // Exact-knot hits return the measured values bit-for-bit.
+        assert_eq!(c.batch_s(1).to_bits(), 0.5f64.to_bits());
+        assert_eq!(c.batch_s(4).to_bits(), 0.8f64.to_bits());
+        assert_eq!(c.batch_s(16).to_bits(), 1.4f64.to_bits());
+        // Above the last knot: marginal slope of the last segment,
+        // (1.4 - 0.8) / 12 = 0.05 per request.
+        assert!((c.batch_s(20) - (1.4 + 0.05 * 4.0)).abs() < 1e-12);
+        assert!((c.batch_s(17) - 1.45).abs() < 1e-12);
+        // Single-point curve: extrapolates at the batch-1 cost.
+        let k = ServiceCurve::constant(ModelId::Muse, 0.25);
+        assert_eq!(k.batch_s(1).to_bits(), 0.25f64.to_bits());
+        assert!((k.batch_s(9) - 2.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn token_curve_scales_with_batch_and_context() {
+        let curve = TokenServiceCurve::from_profiler(&profiler(), ModelId::Llama2);
+        // Exact grid hits return the profiled values bit-for-bit.
+        assert_eq!(curve.step_s(1, 256.0).to_bits(), curve.step_s[0][0].to_bits());
+        assert_eq!(
+            curve.step_s(64, 8192.0).to_bits(),
+            curve.step_s[curve.ctx_knots.len() - 1][curve.batch_knots.len() - 1].to_bits()
+        );
+        // Memory-bound decode amortizes: 32 sequences cost far less
+        // than 32× one sequence per iteration.
+        let b1 = curve.step_s(1, 1024.0);
+        let b32 = curve.step_s(32, 1024.0);
+        assert!(b32 < 8.0 * b1, "decode batching should amortize: {b32} vs {b1}");
+        assert!(b32 > b1, "more sequences cannot be cheaper");
+        // Longer context means more KV traffic per step.
+        assert!(curve.step_s(8, 8192.0) > curve.step_s(8, 256.0));
+        // Context below the first knot clamps to it; above the last
+        // knot extrapolates beyond the last measured value.
+        assert_eq!(curve.step_s(8, 1.0).to_bits(), curve.step_s(8, 256.0).to_bits());
+        assert!(curve.step_s(8, 20_000.0) > curve.step_s(8, 8192.0));
+        // Prefill is cumulative, monotone, and chunk-decomposable.
+        let full = curve.prefill_cum_s(2048.0);
+        assert!(full > 0.0);
+        let split = curve.prefill_chunk_s(0, 512)
+            + curve.prefill_chunk_s(512, 1024)
+            + curve.prefill_chunk_s(1024, 2048);
+        assert!((full - split).abs() < 1e-12 * full.max(1.0));
+        assert!(curve.kv_bytes_per_token > 0 && curve.weight_bytes > 0);
+    }
+
+    #[test]
+    fn token_curve_models_parallel_and_ar_decoders() {
+        let p = profiler();
+        let muse = TokenServiceCurve::from_profiler(&p, ModelId::Muse);
+        // MaskGIT commits several tokens per iteration and has no
+        // prompt phase; its step cost is flat in context.
+        assert!(muse.tokens_per_step > 1);
+        assert_eq!(muse.prefill_cum_s(100.0), 0.0);
+        assert_eq!(muse.step_s(4, 10.0).to_bits(), muse.step_s(4, 10_000.0).to_bits());
+        assert_eq!(muse.fixed_output_tokens, Some(256));
+        let parti = TokenServiceCurve::from_profiler(&p, ModelId::Parti);
+        assert_eq!(parti.tokens_per_step, 1);
+        assert_eq!(parti.fixed_output_tokens, Some(1024));
+        assert!(parti.prefill_cum_s(128.0) > 0.0, "text encoding must cost time");
+        assert!(TokenServiceCurve::supports(ModelId::Llama2));
+        assert!(!TokenServiceCurve::supports(ModelId::StableDiffusion));
+    }
+
+    #[test]
+    #[should_panic(expected = "not an autoregressive model")]
+    fn token_curve_rejects_diffusion_models() {
+        let _ = TokenServiceCurve::from_profiler(&profiler(), ModelId::StableDiffusion);
     }
 }

@@ -6,6 +6,8 @@ use mmg_telemetry::quantile_sorted;
 use serde::{Deserialize, Serialize};
 
 use crate::cluster::{HealthReport, PhaseStats, RequestRecord, SimResult};
+use crate::kv::GIB;
+use crate::token::TokenSimResult;
 use crate::workload::model_short_name;
 
 /// Serving statistics for one model in the mix.
@@ -474,6 +476,208 @@ impl SloReport {
                 ));
             }
         }
+        out
+    }
+}
+
+/// One latency-phase row of the token-serving report: the per-phase
+/// percentiles production LLM serving is judged on (TTFT and TPOT
+/// alongside queue wait and end-to-end latency).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TokenPhaseRow {
+    /// Phase name: `queue` | `ttft` | `tpot` | `e2e`.
+    pub phase: String,
+    /// Mean, seconds.
+    pub mean_s: f64,
+    /// Median, seconds.
+    pub p50_s: f64,
+    /// 95th percentile, seconds.
+    pub p95_s: f64,
+    /// 99th percentile, seconds.
+    pub p99_s: f64,
+}
+
+/// Per-GPU KV-cache accounting row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TokenKvRow {
+    /// GPU index.
+    pub gpu: u64,
+    /// KV byte budget, GiB.
+    pub budget_gib: f64,
+    /// Peak resident KV bytes, GiB.
+    pub peak_gib: f64,
+    /// Sequences evicted for recompute on this GPU.
+    pub preemptions: u64,
+}
+
+/// The rendered outcome of a token-serving run: phase percentiles
+/// (TTFT/TPOT), KV-cache pressure per GPU, and cluster totals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TokenReport {
+    /// Short model name.
+    pub model: String,
+    /// GPUs simulated.
+    pub gpus: u64,
+    /// Scheduler name (`static` | `continuous`).
+    pub scheduler: String,
+    /// Phase priority (`decode` | `prefill`).
+    pub priority: String,
+    /// KV admission policy (`prompt` | `reserve`).
+    pub admission: String,
+    /// Requests that arrived.
+    pub arrivals: u64,
+    /// Requests that completed.
+    pub completed: u64,
+    /// Arrivals dropped as oversized for the KV budget.
+    pub dropped: u64,
+    /// Sequences evicted for recompute (all GPUs).
+    pub preemptions: u64,
+    /// Output tokens decoded.
+    pub decoded_tokens: u64,
+    /// Prompt tokens prefilled.
+    pub prefilled_tokens: u64,
+    /// Decode iterations executed.
+    pub iterations: u64,
+    /// Decoded tokens per simulated second.
+    pub tokens_per_sim_s: f64,
+    /// Completions per second.
+    pub throughput_rps: f64,
+    /// On-time completions per second.
+    pub goodput_rps: f64,
+    /// Fraction of completions meeting both SLO bounds.
+    pub slo_attainment: f64,
+    /// Mean GPU busy fraction.
+    pub utilization: f64,
+    /// Mean decode batch size.
+    pub mean_decode_batch: f64,
+    /// TTFT SLO bound, seconds.
+    pub ttft_slo_s: f64,
+    /// TPOT SLO bound, seconds.
+    pub tpot_slo_s: f64,
+    /// Per-phase latency percentiles.
+    pub phases: Vec<TokenPhaseRow>,
+    /// Per-GPU KV-cache rows.
+    pub kv: Vec<TokenKvRow>,
+}
+
+impl TokenReport {
+    /// Builds the report from a simulation result.
+    #[must_use]
+    pub fn from_result(r: &TokenSimResult) -> Self {
+        let p = &r.stats.phases;
+        let n = r.stats.completed as f64;
+        let row = |phase: &str, sketch: &mmg_telemetry::QuantileSketch, sum: f64| TokenPhaseRow {
+            phase: phase.to_string(),
+            mean_s: if n > 0.0 { sum / n } else { 0.0 },
+            p50_s: sketch.quantile(0.50).unwrap_or(0.0),
+            p95_s: sketch.quantile(0.95).unwrap_or(0.0),
+            p99_s: sketch.quantile(0.99).unwrap_or(0.0),
+        };
+        TokenReport {
+            model: model_short_name(r.model).to_string(),
+            gpus: r.gpus as u64,
+            scheduler: r.scheduler.to_string(),
+            priority: r.priority.to_string(),
+            admission: r.admission.to_string(),
+            arrivals: r.stats.arrivals,
+            completed: r.stats.completed,
+            dropped: r.stats.dropped_oversized,
+            preemptions: r.preemptions(),
+            decoded_tokens: r.stats.decoded_tokens,
+            prefilled_tokens: r.stats.prefilled_tokens,
+            iterations: r.stats.iterations,
+            tokens_per_sim_s: r.tokens_per_sim_s(),
+            throughput_rps: r.throughput_rps(),
+            goodput_rps: r.goodput_rps(),
+            slo_attainment: r.slo_attainment(),
+            utilization: r.utilization(),
+            mean_decode_batch: r.mean_decode_batch(),
+            ttft_slo_s: r.slo.ttft_s,
+            tpot_slo_s: r.slo.tpot_s,
+            phases: vec![
+                row("queue", &p.queue, p.queue_sum_s),
+                row("ttft", &p.ttft, p.ttft_sum_s),
+                row("tpot", &p.tpot, p.tpot_sum_s),
+                row("e2e", &p.e2e, p.e2e_sum_s),
+            ],
+            kv: r
+                .kv
+                .iter()
+                .enumerate()
+                .map(|(i, l)| TokenKvRow {
+                    gpu: i as u64,
+                    budget_gib: l.budget_bytes as f64 / GIB,
+                    peak_gib: l.peak_resident_bytes as f64 / GIB,
+                    preemptions: l.preemptions,
+                })
+                .collect(),
+        }
+    }
+
+    /// Renders the phase table, the KV table, and the totals line.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "token serving: {} on {} GPUs | {} batching, {} priority, {} admission\n",
+            self.model, self.gpus, self.scheduler, self.priority, self.admission
+        );
+        let phase_rows: Vec<(String, Vec<String>)> = self
+            .phases
+            .iter()
+            .map(|p| {
+                (
+                    p.phase.clone(),
+                    vec![
+                        format!("{:.1} ms", p.mean_s * 1e3),
+                        format!("{:.1} ms", p.p50_s * 1e3),
+                        format!("{:.1} ms", p.p95_s * 1e3),
+                        format!("{:.1} ms", p.p99_s * 1e3),
+                    ],
+                )
+            })
+            .collect();
+        out.push_str(&render_table(&["Phase", "Mean", "p50", "p95", "p99"], &phase_rows));
+        let kv_rows: Vec<(String, Vec<String>)> = self
+            .kv
+            .iter()
+            .map(|k| {
+                (
+                    format!("gpu{}", k.gpu),
+                    vec![
+                        format!("{:.1} GiB", k.budget_gib),
+                        format!("{:.2} GiB", k.peak_gib),
+                        format!("{:.1}%", 100.0 * k.peak_gib / k.budget_gib.max(1e-9)),
+                        format!("{}", k.preemptions),
+                    ],
+                )
+            })
+            .collect();
+        out.push('\n');
+        out.push_str(&render_table(
+            &["GPU", "KV budget", "KV peak", "Peak util", "Preempted"],
+            &kv_rows,
+        ));
+        out.push_str(&format!(
+            "\ntokens: {} decoded, {} prefilled over {} iterations | {:.0} tok/s simulated | \
+             mean decode batch {:.1}\ncluster: {} arrived, {} done, {} dropped, {} preempted | \
+             throughput {:.2} req/s, goodput {:.2} req/s | SLO attainment {:.1}% \
+             (TTFT <= {:.0} ms, TPOT <= {:.1} ms) | utilization {:.1}%\n",
+            self.decoded_tokens,
+            self.prefilled_tokens,
+            self.iterations,
+            self.tokens_per_sim_s,
+            self.mean_decode_batch,
+            self.arrivals,
+            self.completed,
+            self.dropped,
+            self.preemptions,
+            self.throughput_rps,
+            self.goodput_rps,
+            self.slo_attainment * 100.0,
+            self.ttft_slo_s * 1e3,
+            self.tpot_slo_s * 1e3,
+            self.utilization * 100.0,
+        ));
         out
     }
 }

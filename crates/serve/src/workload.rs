@@ -251,6 +251,102 @@ impl ArrivalGen {
     }
 }
 
+/// A clamped lognormal distribution over token (or frame) counts.
+///
+/// Request lengths in production LLM traces are heavy-tailed and
+/// right-skewed; a lognormal parameterized by its *median* matches the
+/// published prompt/output histograms well and keeps the knob intuitive
+/// (`median` is the 50th percentile in tokens, `sigma` the log-space
+/// spread). Samples are rounded to the nearest integer and clamped to
+/// `[min, max]`, so the tail cannot exceed a model's context window.
+/// Shared by the token-level serving engine and reusable by future
+/// frame-count samplers for video workloads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LengthDist {
+    /// Median length, tokens (the lognormal's `exp(μ)`).
+    pub median: f64,
+    /// Log-space standard deviation (`0` = deterministic `median`).
+    pub sigma: f64,
+    /// Inclusive lower clamp, tokens (≥ 1).
+    pub min: usize,
+    /// Inclusive upper clamp, tokens.
+    pub max: usize,
+}
+
+impl LengthDist {
+    /// A clamped lognormal with the given median and log-space sigma.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive median, negative sigma, zero `min`, or
+    /// an empty clamp interval.
+    #[must_use]
+    pub fn new(median: f64, sigma: f64, min: usize, max: usize) -> Self {
+        assert!(median > 0.0, "length median must be positive");
+        assert!(sigma >= 0.0, "length sigma cannot be negative");
+        assert!(min >= 1, "minimum length must be at least 1 token");
+        assert!(max >= min, "length clamp interval is empty ({min}..={max})");
+        LengthDist { median, sigma, min, max }
+    }
+
+    /// A degenerate distribution: every sample is exactly `tokens`.
+    #[must_use]
+    pub fn fixed(tokens: usize) -> Self {
+        LengthDist::new(tokens as f64, 0.0, tokens.max(1), tokens.max(1))
+    }
+
+    /// The unclamped lognormal mean, `median · exp(σ²/2)` — used as an
+    /// analytic anchor when translating a target utilization into an
+    /// offered rate (the clamp bias is second-order for the defaults).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        (self.median * (0.5 * self.sigma * self.sigma).exp())
+            .clamp(self.min as f64, self.max as f64)
+    }
+}
+
+/// Stateful seeded sampler for a [`LengthDist`].
+///
+/// Normal deviates come from a Box–Muller transform over two uniform
+/// draws (the vendored `rand` stub carries no `Normal` distribution),
+/// so the sample path is a pure function of `(dist, seed)` — the same
+/// determinism contract as [`ArrivalGen`].
+#[derive(Debug, Clone)]
+pub struct LengthSampler {
+    dist: LengthDist,
+    rng: StdRng,
+    uniform: Uniform<f64>,
+}
+
+impl LengthSampler {
+    /// A sampler for `dist` seeded with `seed`.
+    #[must_use]
+    pub fn new(dist: LengthDist, seed: u64) -> Self {
+        LengthSampler {
+            dist,
+            rng: StdRng::seed_from_u64(seed),
+            uniform: Uniform::new(f64::EPSILON, 1.0),
+        }
+    }
+
+    /// The distribution this sampler draws from.
+    #[must_use]
+    pub fn dist(&self) -> &LengthDist {
+        &self.dist
+    }
+
+    /// Draws the next length, rounded and clamped to `[min, max]`.
+    pub fn sample(&mut self) -> usize {
+        // Two uniforms are consumed per sample even when sigma is zero,
+        // so toggling sigma does not shift the rest of the sample path.
+        let u1: f64 = self.uniform.sample(&mut self.rng);
+        let u2: f64 = self.uniform.sample(&mut self.rng);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        let len = self.dist.median * (self.dist.sigma * z).exp();
+        (len.round() as usize).clamp(self.dist.min, self.dist.max)
+    }
+}
+
 /// A weighted mix of suite models making up the request stream.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RequestMix {
@@ -577,6 +673,52 @@ mod tests {
             assert_eq!(parse_model(&id.to_string()).unwrap(), id);
         }
         assert!(parse_model("gpt").is_err());
+    }
+
+    #[test]
+    fn length_sampler_is_deterministic_and_clamped() {
+        let dist = LengthDist::new(512.0, 0.6, 16, 2048);
+        let mut a = LengthSampler::new(dist, 7);
+        let mut b = LengthSampler::new(dist, 7);
+        let mut c = LengthSampler::new(dist, 8);
+        let mut diverged = false;
+        for _ in 0..2000 {
+            let la = a.sample();
+            assert_eq!(la, b.sample(), "same seed must replay the same lengths");
+            diverged |= la != c.sample();
+            assert!((16..=2048).contains(&la), "clamp violated: {la}");
+        }
+        assert!(diverged, "seeds 7 and 8 coincide");
+    }
+
+    #[test]
+    fn length_sampler_median_lands_near_parameter() {
+        let mut s = LengthSampler::new(LengthDist::new(128.0, 0.5, 1, 100_000), 42);
+        let mut lens: Vec<usize> = (0..4000).map(|_| s.sample()).collect();
+        lens.sort_unstable();
+        let p50 = lens[lens.len() / 2] as f64;
+        assert!(
+            (p50 - 128.0).abs() < 16.0,
+            "empirical median {p50} far from configured 128"
+        );
+        // Heavy right tail: the mean exceeds the median for sigma > 0.
+        let mean = lens.iter().sum::<usize>() as f64 / lens.len() as f64;
+        assert!(mean > p50, "lognormal mean {mean} should exceed median {p50}");
+    }
+
+    #[test]
+    fn length_sampler_sigma_zero_is_fixed() {
+        let mut s = LengthSampler::new(LengthDist::fixed(256), 3);
+        for _ in 0..50 {
+            assert_eq!(s.sample(), 256);
+        }
+        assert!((LengthDist::fixed(256).mean() - 256.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "clamp interval is empty")]
+    fn length_dist_rejects_empty_clamp() {
+        let _ = LengthDist::new(100.0, 0.1, 64, 32);
     }
 
     #[test]

@@ -1,0 +1,77 @@
+//! Golden-file pin of the token-serving report.
+//!
+//! A fixed scenario (hand-built token service curve, fixed seed) must
+//! render byte-identically on every host and toolchain — the TTFT/TPOT
+//! phase rows, the per-GPU KV table, and the totals line are part of
+//! the `repro token` determinism contract. If a change intentionally
+//! alters the report format, regenerate the golden with:
+//!
+//! ```sh
+//! MMG_BLESS=1 cargo test -p mmg-serve --test token_report_golden
+//! ```
+//!
+//! and review the diff like any other schema change.
+
+use mmg_models::ModelId;
+use mmg_serve::{
+    simulate_token, ArrivalProcess, KvAdmission, LengthDist, PhasePriority, TokenBatching,
+    TokenReport, TokenScenarioCfg, TokenServiceCurve, TokenSlo,
+};
+use mmg_telemetry::Registry;
+
+fn golden_report() -> String {
+    let curve = TokenServiceCurve {
+        model: ModelId::Llama2,
+        batch_knots: vec![1, 8, 32],
+        ctx_knots: vec![128, 1024],
+        step_s: vec![vec![0.005, 0.008, 0.014], vec![0.006, 0.010, 0.020]],
+        prefill_s: vec![(512, 0.04), (2048, 0.20)],
+        tokens_per_step: 1,
+        fixed_output_tokens: None,
+        kv_bytes_per_token: 512 * 1024,
+        weight_bytes: 14 << 30,
+    };
+    let cfg = TokenScenarioCfg {
+        gpus: 2,
+        model: ModelId::Llama2,
+        arrival: ArrivalProcess::poisson(15.0),
+        batching: TokenBatching::Continuous { max_batch: 16 },
+        priority: PhasePriority::Decode,
+        admission: KvAdmission::Prompt,
+        chunk_tokens: 256,
+        prompt: LengthDist::new(512.0, 0.3, 16, 4096),
+        output: LengthDist::new(128.0, 0.3, 4, 1024),
+        slo: TokenSlo { ttft_s: 0.5, tpot_s: 0.05 },
+        duration_s: 40.0,
+        max_requests: None,
+        seed: 42,
+    };
+    // A 2 GiB budget puts the scenario into the preemption regime, so
+    // the golden pins the eviction path too.
+    let result = simulate_token(&cfg, &curve, 2 << 30, &Registry::new());
+    assert!(result.preemptions() > 0, "golden scenario must exercise preemption");
+    TokenReport::from_result(&result).render()
+}
+
+#[test]
+fn token_report_matches_golden_bytes() {
+    let got = golden_report();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/token_report.txt");
+    if std::env::var_os("MMG_BLESS").is_some() {
+        std::fs::write(path, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(path).expect("golden file exists; MMG_BLESS=1 to create");
+    assert_eq!(
+        got, want,
+        "token report bytes diverged from the golden; if intentional, regenerate with MMG_BLESS=1"
+    );
+}
+
+#[test]
+fn token_report_renders_ttft_and_tpot_rows() {
+    let report = golden_report();
+    for needle in ["ttft", "tpot", "queue", "e2e", "p50", "p95", "p99", "KV budget", "Preempted"] {
+        assert!(report.contains(needle), "report missing '{needle}':\n{report}");
+    }
+}
