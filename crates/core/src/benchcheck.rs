@@ -4,15 +4,17 @@
 //! A snapshot (written by `repro bench-snapshot`) records per-experiment
 //! wall seconds plus throughput figures for the serving fast path
 //! (`serve.requests_per_sec`), the multi-cluster fleet simulator
-//! (`fleet.requests_per_sec`), and the token-level serving engine
-//! (`token.tokens_per_sec`). This module diffs two snapshots:
+//! (`fleet.requests_per_sec`), the token-level serving engine
+//! (`token.tokens_per_sec`), and the optimization-pass headline
+//! (`optimize.speedup_all_passes`). This module diffs two snapshots:
 //!
 //! * an **experiment** regresses when its new wall time exceeds the old
 //!   by more than the threshold — but only when at least one side is
 //!   above the wall-time floor, so micro-benchmarks that jitter between
 //!   2 ms and 4 ms don't page anyone;
-//! * a **throughput** figure (`serve`, `fleet`, `token`) regresses when
-//!   its rate *drops* by more than the threshold (the direction flips).
+//! * a **throughput** figure (`serve`, `fleet`, `token`, `optimize`)
+//!   regresses when its value *drops* by more than the threshold (the
+//!   direction flips).
 //!
 //! Only experiments present in both snapshots are compared (the suite
 //! grows PR over PR; a new experiment has no baseline). The comparison
@@ -31,7 +33,8 @@ pub const DEFAULT_MIN_WALL_S: f64 = 0.05;
 #[derive(Debug, Clone, PartialEq)]
 pub struct FigureDelta {
     /// Figure name (`experiment:<id>`, `serve:requests_per_sec`,
-    /// `fleet:requests_per_sec`, or `token:tokens_per_sec`).
+    /// `fleet:requests_per_sec`, `token:tokens_per_sec`, or
+    /// `optimize:speedup_all_passes`).
     pub name: String,
     /// Baseline value.
     pub old: f64,
@@ -74,12 +77,15 @@ fn experiments(v: &Value) -> Vec<(String, f64)> {
         .collect()
 }
 
-/// `(section, field)` pairs holding a throughput figure (higher is
-/// better; regression direction flips relative to wall times).
-const THROUGHPUT_FIGURES: [(&str, &str); 3] = [
+/// `(section, field)` pairs holding a higher-is-better figure
+/// (regression direction flips relative to wall times). The `optimize`
+/// entry gates the all-passes geomean speedup: a drop means an
+/// optimization pass stopped firing, not runner jitter.
+const THROUGHPUT_FIGURES: [(&str, &str); 4] = [
     ("serve", "requests_per_sec"),
     ("fleet", "requests_per_sec"),
     ("token", "tokens_per_sec"),
+    ("optimize", "speedup_all_passes"),
 ];
 
 fn throughput(v: &Value, section: &str, field: &str) -> Option<f64> {
@@ -270,6 +276,31 @@ mod tests {
         assert_eq!(c.deltas[0].name, "token:tokens_per_sec");
         assert!(!compare(&old, &with_token(8.0e6), 0.15, 0.05).regressed());
         // Older snapshots predate the token figure: skipped silently.
+        assert!(!compare(&snapshot(&[], None), &old, 0.15, 0.05).regressed());
+    }
+
+    #[test]
+    fn optimize_speedup_is_gated_like_a_throughput() {
+        let with_opt = |speedup: f64| {
+            let mut v = snapshot(&[], None);
+            if let Value::Object(fields) = &mut v {
+                fields.push((
+                    "optimize".to_string(),
+                    Value::Object(vec![(
+                        "speedup_all_passes".to_string(),
+                        Value::from(speedup),
+                    )]),
+                ));
+            }
+            v
+        };
+        let old = with_opt(2.0);
+        let c = compare(&old, &with_opt(1.2), 0.15, 0.05);
+        assert!(c.regressed());
+        assert_eq!(c.deltas[0].name, "optimize:speedup_all_passes");
+        // A larger speedup is never a regression; older snapshots that
+        // predate the figure are skipped silently.
+        assert!(!compare(&old, &with_opt(3.0), 0.15, 0.05).regressed());
         assert!(!compare(&snapshot(&[], None), &old, 0.15, 0.05).regressed());
     }
 

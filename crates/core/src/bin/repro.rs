@@ -16,6 +16,8 @@
 //!                              # serving-cluster DES (see `serve` below)
 //! repro token --model llama --gpus 2 --scheduler continuous --util 0.8
 //!                              # token-level serving DES (see `token` below)
+//! repro optimize --fuse --width int8 --graph-capture --sampler-steps 4
+//!                              # suite under one explicit pass config
 //! ```
 //!
 //! The `serve` subcommand runs one scenario on the `mmg-serve`
@@ -263,6 +265,20 @@ fn bench_snapshot(spec: &DeviceSpec, path: Option<String>) -> Result<String, Str
             ),
         ])
     };
+    // Optimization-pass figure: the all-passes geomean speedup across
+    // model families, plus the wall time of re-running the experiment
+    // against the now-warm memo. `speedup_all_passes` is gated by
+    // bench-check the way the throughput figures are: a drop means a
+    // pass stopped firing.
+    let optimize_fig = {
+        let t0 = Instant::now();
+        let r = mmg_core::experiments::optimize::run_ctx(&ctx);
+        let wall_s = t0.elapsed().as_secs_f64();
+        Value::Object(vec![
+            ("wall_s".to_string(), Value::from(wall_s)),
+            ("speedup_all_passes".to_string(), Value::from(r.speedup_all_passes)),
+        ])
+    };
     let snapshot = Value::Object(vec![
         ("date".to_string(), Value::from(today_stamp())),
         ("device".to_string(), Value::from(spec.name.clone())),
@@ -270,6 +286,7 @@ fn bench_snapshot(spec: &DeviceSpec, path: Option<String>) -> Result<String, Str
         ("serve".to_string(), serve),
         ("fleet".to_string(), fleet),
         ("token".to_string(), token),
+        ("optimize".to_string(), optimize_fig),
         ("total_s".to_string(), Value::from(started.elapsed().as_secs_f64())),
         (
             "memo".to_string(),
@@ -284,6 +301,92 @@ fn bench_snapshot(spec: &DeviceSpec, path: Option<String>) -> Result<String, Str
     let body = serde_json::to_string_pretty(&snapshot).expect("snapshots always serialize");
     write_file(&path, &body, "bench snapshot")?;
     Ok(path)
+}
+
+/// `repro optimize` — the kernel-graph optimization-pass experiment.
+/// With no pass flags, runs the full per-family grid on the suite
+/// engine (deterministic for every `--jobs` value). With any of
+/// `--fuse`, `--width`, `--graph-capture`, or `--sampler-steps`, runs
+/// the suite under exactly that pass configuration and prints the
+/// eager-vs-optimized table.
+fn optimize_main(args: &[String]) -> Result<(), String> {
+    use mmg_core::experiments::optimize;
+    use mmg_graph::{ElemWidth, OptConfig};
+
+    let mut spec = DeviceSpec::a100_80gb();
+    let mut fuse = false;
+    let mut width: Option<ElemWidth> = None;
+    let mut graph_capture = false;
+    let mut sampler_steps: Option<usize> = None;
+    let mut jobs = 1usize;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        i += 1;
+        if flag == "--fuse" {
+            fuse = true;
+            continue;
+        }
+        if flag == "--graph-capture" {
+            graph_capture = true;
+            continue;
+        }
+        let value = args
+            .get(i)
+            .ok_or_else(|| format!("{flag} requires a value"))?;
+        match flag {
+            "--device" => {
+                spec = device_by_name(value).ok_or_else(|| format!("unknown device '{value}'"))?;
+            }
+            "--width" => {
+                width = Some(match value.to_lowercase().as_str() {
+                    "fp16" => ElemWidth::Fp16,
+                    "fp8" => ElemWidth::Fp8,
+                    "int8" => ElemWidth::Int8,
+                    other => return Err(format!("unknown width '{other}'; expected fp16 | fp8 | int8")),
+                });
+            }
+            "--sampler-steps" => {
+                sampler_steps = Some(
+                    value
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| "--sampler-steps requires a positive integer".to_string())?,
+                );
+            }
+            "--jobs" => {
+                jobs = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| "--jobs requires a positive integer".to_string())?;
+            }
+            other => {
+                return Err(format!(
+                    "unknown optimize flag '{other}'; expected --device | --fuse | --width | --graph-capture | --sampler-steps | --jobs"
+                ));
+            }
+        }
+        i += 1;
+    }
+
+    let custom = fuse || width.is_some() || graph_capture || sampler_steps.is_some();
+    if custom {
+        let opt = OptConfig { fuse, width: width.unwrap_or(ElemWidth::Fp16), graph_capture };
+        let ctx = ExecContext::shared(spec.clone());
+        println!("{}", optimize::render_single(&optimize::run_single_ctx(&ctx, opt, sampler_steps)));
+    } else {
+        // Full grid through the suite engine: stdout is byte-identical
+        // for every --jobs value (one experiment, merged in id order).
+        let memo = global_memo();
+        let registry = mmg_telemetry::global();
+        println!("device: {}\n", spec.name);
+        for report in run_suite(&[ExperimentId::Optimize], &spec, jobs, &memo, &registry) {
+            println!("{report}");
+        }
+    }
+    Ok(())
 }
 
 /// Runs one serving scenario on the `mmg-serve` cluster DES and prints
@@ -1122,6 +1225,21 @@ fn bench_check_main(args: &[String]) -> Result<bool, String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `repro optimize` with any pass flag takes the dedicated
+    // single-configuration path; a bare `repro optimize` flows through
+    // the generic experiment loop below (full grid, --jobs/--json/...).
+    let opt_flags = ["--fuse", "--width", "--graph-capture", "--sampler-steps"];
+    if args.first().map(String::as_str) == Some("optimize")
+        && args.iter().any(|a| opt_flags.contains(&a.as_str()))
+    {
+        return match optimize_main(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if args.first().map(String::as_str) == Some("serve") {
         return match serve_main(&args[1..]) {
             Ok(()) => ExitCode::SUCCESS,
@@ -1295,7 +1413,8 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     if targets.is_empty() {
-        eprintln!("usage: repro [--device <name>] [--jobs <n>] [--json] [--metrics <path>] [--trace-out <path>] [--manifest <path>] [--replications <n> [--sweep-seed <n>]] <bench-snapshot | all | fig1 | table1 | fig4 | fig5 | fig6 | table2 | table3 | fig7 | fig8 | fig9 | fig11 | fig12 | fig13 | secv | flashdec | pods | batch | tp | ablations | serve-sweep | serve-timeline | serve-attrib | fleet-sweep | token-sweep>…");
+        eprintln!("usage: repro [--device <name>] [--jobs <n>] [--json] [--metrics <path>] [--trace-out <path>] [--manifest <path>] [--replications <n> [--sweep-seed <n>]] <bench-snapshot | all | fig1 | table1 | fig4 | fig5 | fig6 | table2 | table3 | fig7 | fig8 | fig9 | fig11 | fig12 | fig13 | secv | flashdec | optimize | pods | batch | tp | ablations | serve-sweep | serve-timeline | serve-attrib | fleet-sweep | token-sweep>…");
+        eprintln!("       repro optimize [--device <name>] [--fuse] [--width <fp16|fp8|int8>] [--graph-capture] [--sampler-steps <n>] [--jobs <n>]");
         eprintln!("       repro serve [--device <name>] [--gpus <n>] [--mix <model:weight,…>] [--arrival <poisson|bursty|diurnal>] [--rate <rps>] [--scheduler <fifo|static|dynamic|pods>] [--batch <n>] [--router <rr|least-work|affinity>] [--slo-ms <ms>] [--duration-s <s>] [--requests <n>] [--seed <n>] [--metrics <path>] [--metrics-out <path>] [--trace-out <path>] [--jobs <n>] [--full-records] [--attrib]");
         eprintln!("       repro fleet [--clusters <n>] [--gpus <per-cluster>] [--arrival <poisson|diurnal>] [--util <frac>] [--rate <rps>] [--policy <fixed|reactive|reactive+spot>] [--requests <n>] [--duration-s <s>] [--windows <n>] [--scheduler <fifo|static|dynamic|pods>] [--batch <n>] [--seed <n>] [--jobs <n>] [--metrics-out <path>]");
         eprintln!("       repro token [--device <name>] [--model <llama|parti|muse>] [--gpus <n>] [--arrival <poisson|bursty|diurnal>] [--rate <rps>] [--util <frac>] [--prompt-len <tokens>] [--output-len <tokens>] [--kv-budget <gib>] [--scheduler <static|continuous>] [--batch <n>] [--policy <decode|prefill>] [--admission <prompt|reserve>] [--chunk <tokens>] [--duration-s <s>] [--requests <n>] [--seed <n>] [--metrics-out <path>] [--trace-out <path>] [--jobs <n>]");

@@ -72,6 +72,14 @@ impl ExecContext {
         Profiler::with_registry(self.spec.clone(), attn, &self.registry)
             .with_memo(Arc::clone(&self.memo))
     }
+
+    /// A profiler with kernel-graph optimization passes enabled, wired to
+    /// this context's registry and memo (the [`OptConfig`] participates
+    /// in memo keys, so sharing the memo with eager profilers is safe).
+    #[must_use]
+    pub fn profiler_opt(&self, attn: AttnImpl, opt: mmg_graph::OptConfig) -> Profiler {
+        self.profiler(attn).with_opt_config(opt)
+    }
 }
 
 /// Runs `produce(i, ctx)` for every cell index `0..n` on up to `jobs`

@@ -195,6 +195,11 @@ pub struct FleetSweepResult {
     pub mix: String,
     /// Mix-weighted mean batch-1 service seconds per SKU, cluster order.
     pub mean_base_s: Vec<(String, f64)>,
+    /// Mean batch-1 service seconds per SKU on the *optimized* curves
+    /// (all kernel-graph passes + distilled sampler) — the per-SKU
+    /// serving-capacity gain `mean_base_s / opt_mean_base_s` a compiled
+    /// deployment would realize at the same SLO.
+    pub opt_mean_base_s: Vec<(String, f64)>,
     /// Sweep rows, policy-major in [`UTILIZATIONS`] order.
     pub cells: Vec<FleetSweepCell>,
 }
@@ -293,6 +298,25 @@ pub fn run_jobs(
         .zip(&profiled)
         .map(|(c, p)| (c.sku.clone(), p.mean_base_s))
         .collect();
+    // The optimized counterpart of each SKU's curves, profiled in the
+    // same deterministic order (the arrival grid below still runs on the
+    // eager curves; the optimized ones quantify per-SKU capacity gain).
+    let opt_mean_base_s: Vec<(String, f64)> = topology
+        .iter()
+        .map(|c| {
+            let p = super::serve_common::profile_mix_opt(
+                &device_for_sku(&c.sku),
+                memo,
+                target,
+                MIX,
+                MAX_BATCH,
+                false,
+                mmg_graph::OptConfig::all(),
+                Some(super::optimize::SAMPLER_STEPS),
+            );
+            (c.sku.clone(), p.mean_base_s)
+        })
+        .collect();
 
     let mut points: Vec<(AutoscalerPolicy, f64)> = Vec::new();
     for policy in policies() {
@@ -353,6 +377,7 @@ pub fn run_jobs(
         gpus: topology.iter().map(|c| c.gpus).sum(),
         mix: MIX.to_string(),
         mean_base_s,
+        opt_mean_base_s,
         cells,
     }
 }
@@ -384,12 +409,20 @@ pub fn render(r: &FleetSweepResult) -> String {
         .map(|(s, m)| format!("{s} {m:.3}s"))
         .collect::<Vec<_>>()
         .join(", ");
+    let gains = r
+        .mean_base_s
+        .iter()
+        .zip(&r.opt_mean_base_s)
+        .map(|((s, base), (_, opt))| format!("{s} {:.1}x", base / opt))
+        .collect::<Vec<_>>()
+        .join(", ");
     format!(
-        "Extension — fleet sweep ({} clusters, {} GPUs, mix {}, batch-1 service: {})\n{}",
+        "Extension — fleet sweep ({} clusters, {} GPUs, mix {}, batch-1 service: {})\noptimized capacity gain: {}\n{}",
         r.clusters,
         r.gpus,
         r.mix,
         skus,
+        gains,
         render_table(
             &["Policy@util", "Offered", "Requests", "SLO attain", "GPU-hrs", "Cost", "$/1k-img", "p99"],
             &rows
@@ -434,6 +467,18 @@ mod tests {
         assert!(mean("h100") < mean("a100"), "H100 must out-serve A100");
         assert!(mean("h200") <= mean("h100"), "H200 is at least H100");
         assert!(mean("l4") > mean("a100") * 2.0, "L4 is the slow tier");
+    }
+
+    #[test]
+    fn optimized_curves_raise_capacity_on_every_sku() {
+        let r = result();
+        assert_eq!(r.opt_mean_base_s.len(), r.mean_base_s.len());
+        for ((sku, base), (_, opt)) in r.mean_base_s.iter().zip(&r.opt_mean_base_s) {
+            assert!(
+                *opt < base / 1.5,
+                "{sku}: optimized {opt} vs eager {base} — passes must raise capacity >=1.5x"
+            );
+        }
     }
 
     #[test]

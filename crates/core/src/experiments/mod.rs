@@ -13,6 +13,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod flashdec;
+pub mod optimize;
 pub mod pods;
 pub mod secv;
 pub mod fleet_sweep;

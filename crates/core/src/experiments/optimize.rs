@@ -1,0 +1,448 @@
+//! Extension — kernel-graph optimization passes: how much each rewrite
+//! buys per model family.
+//!
+//! The follow-on serving literature orders the classic inference
+//! optimizations by payoff: reduced element width (int8/fp8) beats
+//! epilogue fusion beats CUDA-graph launch elision as *per-kernel*
+//! rewrites, while distilled few-step sampling — a pipeline-level
+//! rewrite that deletes whole denoising iterations — dominates them all
+//! end-to-end for diffusion models. This experiment reproduces that
+//! ordering on the roofline simulator: every suite family is profiled
+//! eagerly (baseline attention, no passes) and then re-profiled under
+//! each [`OptConfig`] pass in isolation, all passes together, and all
+//! passes plus a 4-step distilled sampler.
+//!
+//! The eager baseline uses [`AttnImpl::Baseline`] on purpose: unfused
+//! attention lowers to the full qk → scale → mask → softmax → pv kernel
+//! chain, which is exactly the stream epilogue fusion is designed to
+//! collapse — the same starting point a torch-eager deployment would
+//! hand an inference compiler.
+//!
+//! Per-pass telemetry (`kernel_fused_total`,
+//! `kernel_launches_elided_total`, `kernel_opt_hbm_bytes_saved_total`)
+//! is re-derived on an isolated registry so the reported totals are
+//! exact for this experiment regardless of what else ran in the
+//! process.
+
+use mmg_attn::AttnImpl;
+use mmg_gpu::DeviceSpec;
+use mmg_graph::{ElemWidth, OptConfig};
+use mmg_models::{suite, ModelId};
+use mmg_profiler::report::render_table;
+use mmg_profiler::Profiler;
+use mmg_telemetry::Registry;
+
+use crate::engine::ExecContext;
+use serde::{Deserialize, Serialize};
+
+/// Distilled-sampler denoising steps (progressive-distillation regime).
+pub const SAMPLER_STEPS: usize = 4;
+/// Element width used for the width pass: int8 keeps the speedup-order
+/// claim portable to every simulated SKU (fp8 tensor cores only exist
+/// on Hopper/Ada).
+pub const WIDTH: ElemWidth = ElemWidth::Int8;
+
+/// The model families compared, `(model, family label)`.
+pub const FAMILIES: [(ModelId, &str); 4] = [
+    (ModelId::StableDiffusion, "diffusion TTI"),
+    (ModelId::MakeAVideo, "diffusion TTV"),
+    (ModelId::Parti, "AR image"),
+    (ModelId::Llama2, "AR text"),
+];
+
+/// One model family's speedups, all relative to the eager baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptRow {
+    /// Model short name.
+    pub model: String,
+    /// Family label (diffusion vs autoregressive, image vs video/text).
+    pub family: String,
+    /// Eager end-to-end seconds (baseline attention, no passes).
+    pub baseline_s: f64,
+    /// Speedup from epilogue fusion alone.
+    pub fuse_speedup: f64,
+    /// Speedup from the element-width pass alone ([`WIDTH`]).
+    pub width_speedup: f64,
+    /// Speedup from CUDA-graph launch elision alone.
+    pub capture_speedup: f64,
+    /// Speedup with every kernel-level pass enabled.
+    pub all_speedup: f64,
+    /// End-to-end speedup with all passes plus the [`SAMPLER_STEPS`]-step
+    /// distilled sampler; `None` for non-diffusion families (their
+    /// iteration counts are structural).
+    pub sampler_speedup: Option<f64>,
+}
+
+/// Optimization-pass experiment result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptResult {
+    /// Simulated device.
+    pub device: String,
+    /// Element width the width pass ran at.
+    pub width: String,
+    /// Distilled-sampler step count.
+    pub sampler_steps: usize,
+    /// Per-family speedup rows, [`FAMILIES`] order.
+    pub rows: Vec<OptRow>,
+    /// Epilogue kernels folded into their producers (all-passes run,
+    /// whole suite, exact — isolated registry).
+    pub kernels_fused: u64,
+    /// Kernel launches whose overhead CUDA-graph capture elided.
+    pub launches_elided: u64,
+    /// HBM round-trip traffic the fusion pass removed, GiB.
+    pub hbm_gib_saved: f64,
+    /// Geometric-mean all-passes speedup across families — the
+    /// bench-snapshot headline this experiment is gated on.
+    pub speedup_all_passes: f64,
+}
+
+impl OptResult {
+    /// The row for a model short name.
+    #[must_use]
+    pub fn row(&self, model: &str) -> Option<&OptRow> {
+        self.rows.iter().find(|r| r.model == model)
+    }
+}
+
+fn pipeline_time_s(profiler: &Profiler, id: ModelId, sampler_steps: Option<usize>) -> f64 {
+    let mut pipeline = suite::build(id);
+    if let Some(steps) = sampler_steps {
+        pipeline = pipeline.with_sampler_steps(steps);
+    }
+    pipeline.profile(profiler).total_time_s()
+}
+
+/// Runs the experiment on the default device context.
+#[must_use]
+pub fn run(spec: &DeviceSpec) -> OptResult {
+    run_ctx(&ExecContext::shared(spec.clone()))
+}
+
+/// [`run`] against an explicit [`ExecContext`] (worker registry + memo).
+#[must_use]
+pub fn run_ctx(ctx: &ExecContext) -> OptResult {
+    let fuse_only = OptConfig { fuse: true, ..OptConfig::none() };
+    let width_only = OptConfig { width: WIDTH, ..OptConfig::none() };
+    let capture_only = OptConfig { graph_capture: true, ..OptConfig::none() };
+    let all = OptConfig::all();
+
+    let eager = ctx.profiler(AttnImpl::Baseline);
+    let rows: Vec<OptRow> = FAMILIES
+        .iter()
+        .map(|&(id, family)| {
+            let baseline_s = pipeline_time_s(&eager, id, None);
+            let speedup = |opt: OptConfig, steps: Option<usize>| {
+                baseline_s / pipeline_time_s(&ctx.profiler_opt(AttnImpl::Baseline, opt), id, steps)
+            };
+            let sampler_speedup = suite::build(id)
+                .has_denoising_stages()
+                .then(|| speedup(all, Some(SAMPLER_STEPS)));
+            OptRow {
+                model: mmg_serve::model_short_name(id).to_string(),
+                family: family.to_string(),
+                baseline_s,
+                fuse_speedup: speedup(fuse_only, None),
+                width_speedup: speedup(width_only, None),
+                capture_speedup: speedup(capture_only, None),
+                all_speedup: speedup(all, None),
+                sampler_speedup,
+            }
+        })
+        .collect();
+
+    // Exact pass counters for this experiment alone: replay the
+    // all-passes profile of every family onto a fresh registry (memo
+    // replay reproduces the live counter deltas byte for byte, so the
+    // totals are identical whether these profiles hit or miss).
+    let scoped = Registry::new();
+    let counted = Profiler::with_registry(ctx.spec.clone(), AttnImpl::Baseline, &scoped)
+        .with_memo(std::sync::Arc::clone(&ctx.memo))
+        .with_opt_config(all);
+    for &(id, _) in &FAMILIES {
+        let _ = pipeline_time_s(&counted, id, None);
+    }
+    let counter = |name: &str| scoped.counter(name).get();
+
+    let geomean =
+        (rows.iter().map(|r| r.all_speedup.ln()).sum::<f64>() / rows.len() as f64).exp();
+
+    OptResult {
+        device: ctx.spec.name.clone(),
+        width: WIDTH.to_string(),
+        sampler_steps: SAMPLER_STEPS,
+        rows,
+        kernels_fused: counter("kernel_fused_total"),
+        launches_elided: counter("kernel_launches_elided_total"),
+        hbm_gib_saved: counter("kernel_opt_hbm_bytes_saved_total") as f64 / (1u64 << 30) as f64,
+        speedup_all_passes: geomean,
+    }
+}
+
+/// Renders the per-family speedup table.
+#[must_use]
+pub fn render(r: &OptResult) -> String {
+    let rows: Vec<(String, Vec<String>)> = r
+        .rows
+        .iter()
+        .map(|row| {
+            (
+                row.model.clone(),
+                vec![
+                    row.family.clone(),
+                    format!("{:.3} s", row.baseline_s),
+                    format!("{:.2}x", row.fuse_speedup),
+                    format!("{:.2}x", row.width_speedup),
+                    format!("{:.2}x", row.capture_speedup),
+                    format!("{:.2}x", row.all_speedup),
+                    row.sampler_speedup
+                        .map_or_else(|| "structural".to_string(), |s| format!("{s:.2}x")),
+                ],
+            )
+        })
+        .collect();
+    format!(
+        "Extension — kernel-graph optimization passes ({}, width {}, {}-step sampler)\n{}\
+         fused {} epilogues, elided {} launches, saved {:.2} GiB HBM; geomean all-passes {:.2}x\n",
+        r.device,
+        r.width,
+        r.sampler_steps,
+        render_table(
+            &["Model", "Family", "Eager", "Fuse", "Width", "Capture", "All", "+sampler"],
+            &rows
+        ),
+        r.kernels_fused,
+        r.launches_elided,
+        r.hbm_gib_saved,
+        r.speedup_all_passes,
+    )
+}
+
+/// One model's row under a single caller-chosen pass configuration
+/// (the `repro optimize --fuse/--width/--graph-capture/--sampler-steps`
+/// path).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SingleRow {
+    /// Model short name.
+    pub model: String,
+    /// Eager end-to-end seconds.
+    pub baseline_s: f64,
+    /// Optimized end-to-end seconds.
+    pub optimized_s: f64,
+    /// `baseline_s / optimized_s`.
+    pub speedup: f64,
+}
+
+/// Result of profiling the suite under one explicit pass configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SingleResult {
+    /// Simulated device.
+    pub device: String,
+    /// The pass configuration applied.
+    pub fuse: bool,
+    /// Element width applied.
+    pub width: String,
+    /// Whether launch overheads were elided.
+    pub graph_capture: bool,
+    /// Sampler cap, if any.
+    pub sampler_steps: Option<usize>,
+    /// Per-family rows, [`FAMILIES`] order.
+    pub rows: Vec<SingleRow>,
+}
+
+/// Profiles every family eagerly and under `opt` (+ optional distilled
+/// sampler) against an explicit context.
+#[must_use]
+pub fn run_single_ctx(
+    ctx: &ExecContext,
+    opt: OptConfig,
+    sampler_steps: Option<usize>,
+) -> SingleResult {
+    let eager = ctx.profiler(AttnImpl::Baseline);
+    let optimized = ctx.profiler_opt(AttnImpl::Baseline, opt);
+    let rows = FAMILIES
+        .iter()
+        .map(|&(id, _)| {
+            let baseline_s = pipeline_time_s(&eager, id, None);
+            // The sampler cap only reaches denoising stages; structural
+            // (AR / MaskGIT) iteration counts pass through untouched.
+            let optimized_s = pipeline_time_s(&optimized, id, sampler_steps);
+            SingleRow {
+                model: mmg_serve::model_short_name(id).to_string(),
+                baseline_s,
+                optimized_s,
+                speedup: baseline_s / optimized_s,
+            }
+        })
+        .collect();
+    SingleResult {
+        device: ctx.spec.name.clone(),
+        fuse: opt.fuse,
+        width: opt.width.to_string(),
+        graph_capture: opt.graph_capture,
+        sampler_steps,
+        rows,
+    }
+}
+
+/// Renders the single-configuration table.
+#[must_use]
+pub fn render_single(r: &SingleResult) -> String {
+    let rows: Vec<(String, Vec<String>)> = r
+        .rows
+        .iter()
+        .map(|row| {
+            (
+                row.model.clone(),
+                vec![
+                    format!("{:.3} s", row.baseline_s),
+                    format!("{:.3} s", row.optimized_s),
+                    format!("{:.2}x", row.speedup),
+                ],
+            )
+        })
+        .collect();
+    format!(
+        "Optimization passes on {} (fuse: {}, width: {}, graph capture: {}, sampler: {})\n{}",
+        r.device,
+        r.fuse,
+        r.width,
+        r.graph_capture,
+        r.sampler_steps.map_or_else(|| "full".to_string(), |s| format!("{s} steps")),
+        render_table(&["Model", "Eager", "Optimized", "Speedup"], &rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn result() -> &'static OptResult {
+        static RESULT: OnceLock<OptResult> = OnceLock::new();
+        RESULT.get_or_init(|| run(&DeviceSpec::a100_80gb()))
+    }
+
+    #[test]
+    fn covers_every_family() {
+        let r = result();
+        assert_eq!(r.rows.len(), FAMILIES.len());
+        for short in ["sd", "mav", "parti", "llama"] {
+            assert!(r.row(short).is_some(), "missing {short}");
+        }
+        assert_eq!(r.width, "int8");
+    }
+
+    #[test]
+    fn per_pass_ordering_width_over_fuse_over_capture() {
+        // The acceptance bar: per-kernel passes land in the published
+        // order for every family — element width > epilogue fusion >
+        // launch elision.
+        for row in &result().rows {
+            assert!(
+                row.width_speedup > row.fuse_speedup,
+                "{}: width {} vs fuse {}",
+                row.model,
+                row.width_speedup,
+                row.fuse_speedup
+            );
+            assert!(
+                row.fuse_speedup > row.capture_speedup,
+                "{}: fuse {} vs capture {}",
+                row.model,
+                row.fuse_speedup,
+                row.capture_speedup
+            );
+        }
+    }
+
+    #[test]
+    fn every_pass_helps_and_composes() {
+        for row in &result().rows {
+            for (name, s) in [("fuse", row.fuse_speedup), ("width", row.width_speedup)] {
+                assert!(s > 1.0, "{}: {name} speedup {s}", row.model);
+                assert!(
+                    row.all_speedup >= s - 1e-9,
+                    "{}: all {} < {name} {s}",
+                    row.model,
+                    row.all_speedup
+                );
+            }
+            if row.family.starts_with("diffusion") {
+                // Capture holds the denoising loop's static kernel
+                // sequence; dynamic-shape AR decode cannot stay
+                // captured, so its capture speedup is exactly 1.
+                assert!(row.capture_speedup > 1.0, "{}: capture {}", row.model, row.capture_speedup);
+            } else {
+                assert!(
+                    (row.capture_speedup - 1.0).abs() < 1e-12,
+                    "{}: AR capture must be a no-op, got {}",
+                    row.model,
+                    row.capture_speedup
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distilled_sampler_dominates_end_to_end_for_diffusion() {
+        let r = result();
+        for row in &r.rows {
+            match row.sampler_speedup {
+                Some(s) => {
+                    assert!(row.family.starts_with("diffusion"), "{}", row.model);
+                    assert!(
+                        s > row.all_speedup * 2.0,
+                        "{}: sampler {} vs all-passes {}",
+                        row.model,
+                        s,
+                        row.all_speedup
+                    );
+                }
+                None => assert!(row.family.starts_with("AR"), "{}", row.model),
+            }
+        }
+    }
+
+    #[test]
+    fn pass_counters_are_nonzero_and_consistent() {
+        let r = result();
+        assert!(r.kernels_fused > 0, "fusion never fired");
+        assert!(r.launches_elided > 0, "capture never fired");
+        assert!(r.hbm_gib_saved > 0.0, "fusion saved no bytes");
+        // Fusion applies everywhere; capture only inside static-shape
+        // denoising loops — so no ordering holds between the two counts,
+        // only that both fired.
+        assert!(r.speedup_all_passes > 1.0);
+    }
+
+    #[test]
+    fn single_config_matches_grid_column() {
+        let ctx = ExecContext::shared(DeviceSpec::a100_80gb());
+        let single = run_single_ctx(&ctx, OptConfig::all(), None);
+        let r = result();
+        for row in &single.rows {
+            let grid = r.row(&row.model).unwrap();
+            assert!(
+                (row.speedup - grid.all_speedup).abs() < 1e-9,
+                "{}: single {} vs grid {}",
+                row.model,
+                row.speedup,
+                grid.all_speedup
+            );
+        }
+    }
+
+    #[test]
+    fn renders() {
+        let out = render(result());
+        assert!(out.contains("optimization passes") && out.contains("geomean"));
+        assert!(out.contains("structural"));
+        let single = run_single_ctx(
+            &ExecContext::shared(DeviceSpec::a100_80gb()),
+            OptConfig { fuse: true, ..OptConfig::none() },
+            Some(4),
+        );
+        let out = render_single(&single);
+        assert!(out.contains("fuse: true") && out.contains("4 steps"));
+    }
+}

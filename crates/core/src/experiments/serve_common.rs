@@ -57,8 +57,49 @@ pub fn profile_mix(
     max_batch: usize,
     with_pods: bool,
 ) -> ProfiledMix {
+    profile_mix_impl(spec, memo, target, mix_str, max_batch, with_pods, None)
+}
+
+/// Like [`profile_mix`], but with the kernel-graph optimization passes
+/// `opt` applied when lowering and the diffusion sampler capped at
+/// `sampler_steps` — the service curves an *optimized* deployment of
+/// the same mix would exhibit. The `OptConfig` participates in memo
+/// keys, so the shared memo stays safe across eager and optimized
+/// profiles.
+///
+/// # Panics
+///
+/// Panics if `mix_str` does not parse.
+#[must_use]
+#[allow(clippy::too_many_arguments)] // the eager signature plus the two pass knobs
+pub fn profile_mix_opt(
+    spec: &DeviceSpec,
+    memo: &Arc<CostMemo>,
+    target: &Registry,
+    mix_str: &str,
+    max_batch: usize,
+    with_pods: bool,
+    opt: mmg_graph::OptConfig,
+    sampler_steps: Option<usize>,
+) -> ProfiledMix {
+    profile_mix_impl(spec, memo, target, mix_str, max_batch, with_pods, Some((opt, sampler_steps)))
+}
+
+fn profile_mix_impl(
+    spec: &DeviceSpec,
+    memo: &Arc<CostMemo>,
+    target: &Registry,
+    mix_str: &str,
+    max_batch: usize,
+    with_pods: bool,
+    opt: Option<(mmg_graph::OptConfig, Option<usize>)>,
+) -> ProfiledMix {
     let ctx = ExecContext::isolated(spec.clone(), Arc::clone(memo));
-    let profiler = ctx.profiler(AttnImpl::Flash);
+    let profiler = match opt {
+        Some((cfg, _)) => ctx.profiler_opt(AttnImpl::Flash, cfg),
+        None => ctx.profiler(AttnImpl::Flash),
+    };
+    let sampler_steps = opt.and_then(|(_, steps)| steps);
     let mix = RequestMix::parse(mix_str).unwrap_or_else(|e| panic!("mix {mix_str:?}: {e}"));
     let models: Vec<ModelId> = mix.models().collect();
     let batches: Vec<usize> = (0..).map(|i| 1 << i).take_while(|&b| b <= max_batch).collect();
@@ -70,7 +111,8 @@ pub fn profile_mix(
     } else {
         Vec::new()
     };
-    let mut profile = ServiceProfile::from_profiler(&profiler, &models, &batches);
+    let mut profile =
+        ServiceProfile::from_profiler_sampled(&profiler, &models, &batches, sampler_steps);
     if with_pods {
         profile = profile.with_pod_factors(&pod_factors);
     }
@@ -158,6 +200,34 @@ mod tests {
         }
         // The profiling registry was folded into the target.
         assert!(!target.counters_snapshot().values().is_empty());
+    }
+
+    #[test]
+    fn optimized_profile_mix_serves_much_faster() {
+        let target = Registry::new();
+        let spec = DeviceSpec::a100_80gb();
+        let memo = crate::engine::global_memo();
+        let base = profile_mix(&spec, &memo, &target, "sd:8,parti:2", 16, false);
+        let opt = profile_mix_opt(
+            &spec,
+            &memo,
+            &target,
+            "sd:8,parti:2",
+            16,
+            false,
+            mmg_graph::OptConfig::all(),
+            Some(4),
+        );
+        // All passes plus the 4-step sampler cut the mix's mean service
+        // time substantially. The AR share (parti) caps the aggregate:
+        // its decode loop gets fusion and width but no graph capture and
+        // no sampler distillation.
+        assert!(
+            opt.mean_base_s < base.mean_base_s / 1.5,
+            "opt {} vs base {}",
+            opt.mean_base_s,
+            base.mean_base_s
+        );
     }
 
     #[test]

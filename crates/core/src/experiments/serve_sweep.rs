@@ -65,6 +65,10 @@ pub struct ServeSweepCell {
     pub throughput_rps: f64,
     /// Completed-within-SLO requests/s over the run.
     pub goodput_rps: f64,
+    /// Goodput of the same scenario served on the *optimized* service
+    /// curves (all kernel-graph passes + the distilled sampler) — the
+    /// serving-capacity gain the optimization passes buy at fixed SLO.
+    pub opt_goodput_rps: f64,
     /// Fraction of completed requests that met their deadline.
     pub slo_attainment: f64,
     /// 99th-percentile end-to-end latency, seconds.
@@ -86,6 +90,8 @@ pub struct ServeSweepResult {
     pub slo_multiple: f64,
     /// Mix-weighted mean batch-1 service time, seconds.
     pub mean_service_s: f64,
+    /// Mean batch-1 service time on the optimized curves, seconds.
+    pub opt_mean_service_s: f64,
     /// Per-model Section V pod throughput factors used by `pods`.
     pub pod_factors: Vec<(String, f64)>,
     /// Sweep cells, scheduler-major in [`UTILIZATIONS`] order.
@@ -153,6 +159,18 @@ pub fn run_ctx(ctx: &ExecContext) -> ServeSweepResult {
     let profile = ServiceProfile::from_profiler(&profiler, &models, &batches)
         .with_pod_factors(&factors);
     let mean_service_s = profile.mean_base_s(&mix);
+    // The optimized deployment: every kernel-graph pass plus the
+    // distilled sampler, same batch grid and pod factors. The OptConfig
+    // participates in memo keys, so both profiles share ctx.memo.
+    let opt_profiler = ctx.profiler_opt(AttnImpl::Flash, mmg_graph::OptConfig::all());
+    let opt_profile = ServiceProfile::from_profiler_sampled(
+        &opt_profiler,
+        &models,
+        &batches,
+        Some(super::optimize::SAMPLER_STEPS),
+    )
+    .with_pod_factors(&factors);
+    let opt_mean_service_s = opt_profile.mean_base_s(&mix);
 
     let schedulers = [
         SchedulerKind::Fifo,
@@ -174,12 +192,16 @@ pub fn run_ctx(ctx: &ExecContext) -> ServeSweepResult {
                 SEED,
             );
             let r = simulate(&cfg, &profile, &ctx.registry);
+            // Same offered stream and deadline policy, served on the
+            // optimized curves: the capacity headroom the passes buy.
+            let opt_r = simulate(&cfg, &opt_profile, &ctx.registry);
             cells.push(ServeSweepCell {
                 scheduler: scheduler.name().to_string(),
                 utilization,
                 offered_rps,
                 throughput_rps: r.throughput_rps(),
                 goodput_rps: r.goodput_rps(),
+                opt_goodput_rps: opt_r.goodput_rps(),
                 slo_attainment: r.slo_attainment(),
                 p99_s: p99_latency(&r),
                 mean_batch: mean_batch(&r),
@@ -192,6 +214,7 @@ pub fn run_ctx(ctx: &ExecContext) -> ServeSweepResult {
         mix: MIX.to_string(),
         slo_multiple: SLO_MULTIPLE,
         mean_service_s,
+        opt_mean_service_s,
         pod_factors: factors
             .iter()
             .map(|&(m, f)| (model_short_name(m).to_string(), f))
@@ -427,6 +450,7 @@ pub fn render(r: &ServeSweepResult) -> String {
                     format!("{:.2}/s", c.offered_rps),
                     format!("{:.2}/s", c.throughput_rps),
                     format!("{:.2}/s", c.goodput_rps),
+                    format!("{:.2}/s", c.opt_goodput_rps),
                     format!("{:.0}%", c.slo_attainment * 100.0),
                     format!("{:.2} s", c.p99_s),
                     format!("{:.1}", c.mean_batch),
@@ -442,12 +466,14 @@ pub fn render(r: &ServeSweepResult) -> String {
         .collect::<Vec<_>>()
         .join(", ");
     format!(
-        "Extension — serving-cluster scheduler sweep ({} GPUs, mix {}, SLO {}x service)\npod factors: {factors}\n{}",
+        "Extension — serving-cluster scheduler sweep ({} GPUs, mix {}, SLO {}x service)\npod factors: {factors}\nbatch-1 service: {:.3}s eager, {:.3}s optimized\n{}",
         r.gpus,
         r.mix,
         r.slo_multiple,
+        r.mean_service_s,
+        r.opt_mean_service_s,
         render_table(
-            &["Scheduler@util", "Offered", "Throughput", "Goodput", "SLO attain", "p99", "Mean batch", "GPU busy"],
+            &["Scheduler@util", "Offered", "Throughput", "Goodput", "Opt goodput", "SLO attain", "p99", "Mean batch", "GPU busy"],
             &rows
         )
     )
@@ -488,6 +514,31 @@ mod tests {
                 dynamic.goodput_rps,
                 fifo.goodput_rps
             );
+        }
+    }
+
+    #[test]
+    fn optimized_curves_raise_goodput_at_load() {
+        // The acceptance bar: at ≥0.8 offered utilization the optimized
+        // service curves (all passes + distilled sampler) must serve
+        // strictly more on-time requests than the eager curves.
+        let r = result();
+        assert!(
+            r.opt_mean_service_s < r.mean_service_s,
+            "optimized mean service {} vs eager {}",
+            r.opt_mean_service_s,
+            r.mean_service_s
+        );
+        for s in ["fifo", "dynamic"] {
+            for u in [0.8, 0.95] {
+                let c = r.cell(s, u).unwrap();
+                assert!(
+                    c.opt_goodput_rps > c.goodput_rps,
+                    "{s}@{u}: opt {} vs eager {}",
+                    c.opt_goodput_rps,
+                    c.goodput_rps
+                );
+            }
         }
     }
 

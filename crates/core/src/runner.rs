@@ -8,8 +8,8 @@ use mmg_gpu::DeviceSpec;
 use crate::engine::ExecContext;
 use crate::experiments::{
     ablations, batch, fig1, fig11, fig12, fig13, fig4, fig5, fig6, fig7, fig8, fig9, flashdec,
-    fleet_sweep, pods, secv, serve_attrib, serve_sweep, serve_timeline, table1, table2, table3,
-    token_sweep, tp,
+    fleet_sweep, optimize, pods, secv, serve_attrib, serve_sweep, serve_timeline, table1, table2,
+    table3, token_sweep, tp,
 };
 
 /// Identifier of one reproducible artifact.
@@ -45,6 +45,8 @@ pub enum ExperimentId {
     SecV,
     /// Extension: Flash-Decoding comparison.
     FlashDec,
+    /// Extension: kernel-graph optimization passes per model family.
+    Optimize,
     /// Extension: denoising-pod co-scheduling headroom.
     Pods,
     /// Extension: batch-size sensitivity.
@@ -68,7 +70,7 @@ pub enum ExperimentId {
 
 impl ExperimentId {
     /// All experiments in paper order.
-    pub const ALL: [ExperimentId; 24] = [
+    pub const ALL: [ExperimentId; 25] = [
         ExperimentId::Fig1,
         ExperimentId::Table1,
         ExperimentId::Fig4,
@@ -84,6 +86,7 @@ impl ExperimentId {
         ExperimentId::Fig13,
         ExperimentId::SecV,
         ExperimentId::FlashDec,
+        ExperimentId::Optimize,
         ExperimentId::Pods,
         ExperimentId::Batch,
         ExperimentId::Tp,
@@ -114,6 +117,7 @@ impl fmt::Display for ExperimentId {
             ExperimentId::Fig13 => "fig13",
             ExperimentId::SecV => "secv",
             ExperimentId::FlashDec => "flashdec",
+            ExperimentId::Optimize => "optimize",
             ExperimentId::Pods => "pods",
             ExperimentId::Batch => "batch",
             ExperimentId::Tp => "tp",
@@ -189,6 +193,7 @@ pub fn run_experiment_with(id: ExperimentId, ctx: &ExecContext) -> String {
         ExperimentId::Fig13 => fig13::render(&fig13::run(16, &fig13::default_frames())),
         ExperimentId::SecV => secv::render(&secv::run_ctx(ctx, 512)),
         ExperimentId::FlashDec => flashdec::render(&flashdec::run_ctx(ctx)),
+        ExperimentId::Optimize => optimize::render(&optimize::run_ctx(ctx)),
         ExperimentId::Pods => pods::render(&pods::run_ctx(ctx)),
         ExperimentId::Batch => batch::render(&batch::run_ctx(ctx, &batch::default_batches())),
         ExperimentId::Tp => tp::render(&tp::run(spec, &tp::default_widths())),
@@ -241,6 +246,7 @@ pub fn run_experiment_value_with(id: ExperimentId, ctx: &ExecContext) -> serde_j
         ExperimentId::Fig13 => v(&fig13::run(16, &fig13::default_frames())),
         ExperimentId::SecV => v(&secv::run_ctx(ctx, 512)),
         ExperimentId::FlashDec => v(&flashdec::run_ctx(ctx)),
+        ExperimentId::Optimize => v(&optimize::run_ctx(ctx)),
         ExperimentId::Pods => v(&pods::run_ctx(ctx)),
         ExperimentId::Batch => v(&batch::run_ctx(ctx, &batch::default_batches())),
         ExperimentId::Tp => v(&tp::run(spec, &tp::default_widths())),

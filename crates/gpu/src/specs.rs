@@ -187,6 +187,36 @@ impl DeviceSpec {
         self.l1_bytes_per_sm * self.sm_count as usize
     }
 
+    /// Tensor-core throughput multiplier for FP8 operands relative to
+    /// the FP16 peak. Hopper (H100/H200) and Ada (L4) run FP8 matrix
+    /// math at twice the FP16 rate; Ampere and Volta have no FP8 tensor
+    /// cores, so an FP8 rewrite gains no compute there (the traffic
+    /// reduction still applies). A capability *method* rather than a
+    /// field: it derives from the architecture the name encodes, so
+    /// existing spec literals and [`DeviceSpec::fingerprint`] are
+    /// untouched.
+    #[must_use]
+    pub fn fp8_compute_speedup(&self) -> f64 {
+        if self.name.starts_with("H100") || self.name.starts_with("H200") || self.name.starts_with("L4") {
+            2.0
+        } else {
+            1.0
+        }
+    }
+
+    /// Tensor-core throughput multiplier for INT8 operands relative to
+    /// the FP16 peak: 2× on every tensor-core part since Turing; Volta
+    /// (V100) predates INT8 tensor cores and falls back to the FP16
+    /// rate.
+    #[must_use]
+    pub fn int8_compute_speedup(&self) -> f64 {
+        if self.name.starts_with("V100") {
+            1.0
+        } else {
+            2.0
+        }
+    }
+
     /// A stable 64-bit digest of every field of the spec.
     ///
     /// Memoized kernel costs are keyed on this, so two specs that differ
@@ -311,6 +341,20 @@ mod tests {
         );
         let edited = DeviceSpec { hbm_bandwidth_gbs: 2040.0, ..a.clone() };
         assert_ne!(a.fingerprint(), edited.fingerprint());
+    }
+
+    #[test]
+    fn width_speedups_follow_architecture() {
+        // FP8 tensor cores: Hopper/Ada only.
+        assert_eq!(DeviceSpec::h100_80gb().fp8_compute_speedup(), 2.0);
+        assert_eq!(DeviceSpec::h200_141gb().fp8_compute_speedup(), 2.0);
+        assert_eq!(DeviceSpec::l4_24gb().fp8_compute_speedup(), 2.0);
+        assert_eq!(DeviceSpec::a100_80gb().fp8_compute_speedup(), 1.0);
+        assert_eq!(DeviceSpec::v100_32gb().fp8_compute_speedup(), 1.0);
+        // INT8 tensor cores: everything after Volta.
+        assert_eq!(DeviceSpec::a100_80gb().int8_compute_speedup(), 2.0);
+        assert_eq!(DeviceSpec::a100_40gb().int8_compute_speedup(), 2.0);
+        assert_eq!(DeviceSpec::v100_32gb().int8_compute_speedup(), 1.0);
     }
 
     #[test]

@@ -17,7 +17,11 @@ pub struct KernelCost {
     pub flops: u64,
     /// Bytes moved to/from HBM (after cache filtering).
     pub hbm_bytes: u64,
-    /// Fraction of peak FLOP/s attainable, in `(0, 1]`.
+    /// Fraction of peak FP16 FLOP/s attainable. Normally in `(0, 1]`;
+    /// reduced-precision rewrites (FP8/INT8 element-width passes) may
+    /// exceed 1 because their tensor-core peak is a multiple of the FP16
+    /// peak the roofline divides by. Bounded by 4 (no architecture runs
+    /// narrow math faster than 4× its FP16 rate).
     pub compute_eff: f64,
     /// Fraction of peak HBM bandwidth attainable, in `(0, 1]`.
     pub memory_eff: f64,
@@ -119,15 +123,31 @@ impl TimingEngine {
     ///
     /// # Panics
     ///
-    /// Debug-asserts efficiencies lie in `(0, 1]`.
+    /// Debug-asserts memory efficiency lies in `(0, 1]` and compute
+    /// efficiency in `(0, 4]` (values above 1 model reduced-precision
+    /// tensor-core peaks that exceed the FP16 peak the roofline divides
+    /// by — see [`KernelCost::compute_eff`]).
     #[must_use]
     pub fn kernel_time(&self, cost: &KernelCost) -> KernelTime {
-        debug_assert!(cost.compute_eff > 0.0 && cost.compute_eff <= 1.0);
+        self.kernel_time_with_overhead(cost, self.spec.kernel_launch_overhead_us * 1e-6)
+    }
+
+    /// Like [`TimingEngine::kernel_time`], for a launch inside a
+    /// captured CUDA graph: the driver replays the whole sequence from
+    /// one submission, so the per-kernel launch overhead vanishes. The
+    /// device-occupancy floor stays — capture removes CPU dispatch, not
+    /// the kernel's residency on the SMs.
+    #[must_use]
+    pub fn kernel_time_captured(&self, cost: &KernelCost) -> KernelTime {
+        self.kernel_time_with_overhead(cost, 0.0)
+    }
+
+    fn kernel_time_with_overhead(&self, cost: &KernelCost, overhead_s: f64) -> KernelTime {
+        debug_assert!(cost.compute_eff > 0.0 && cost.compute_eff <= 4.0);
         debug_assert!(cost.memory_eff > 0.0 && cost.memory_eff <= 1.0);
         let compute_s = cost.flops as f64 / (self.spec.peak_fp16_flops() * cost.compute_eff);
         let memory_s = cost.hbm_bytes as f64 / (self.spec.hbm_bytes_per_sec() * cost.memory_eff);
         let floor_s = self.spec.min_kernel_time_us * 1e-6;
-        let overhead_s = self.spec.kernel_launch_overhead_us * 1e-6;
         let body = compute_s.max(memory_s).max(floor_s);
         let time = KernelTime { compute_s, memory_s, overhead_s, total_s: body + overhead_s };
         self.metrics.launches.inc();
@@ -224,6 +244,39 @@ mod tests {
         let hist = registry.histogram("gpu_kernel_time_us", &mmg_telemetry::time_buckets_us());
         assert_eq!(hist.count(), 2);
         assert!(hist.quantile(0.99) > 0.0);
+    }
+
+    #[test]
+    fn captured_launch_drops_overhead_but_keeps_floor() {
+        let e = engine();
+        let spec = DeviceSpec::a100_80gb();
+        // A tiny kernel: captured time is exactly the occupancy floor.
+        let tiny = KernelCost { flops: 10, hbm_bytes: 10, compute_eff: 1.0, memory_eff: 1.0 };
+        let t = e.kernel_time_captured(&tiny);
+        assert_eq!(t.overhead_s, 0.0);
+        assert!((t.total_s - spec.min_kernel_time_us * 1e-6).abs() < 1e-12);
+        // A big kernel: capture removes only the fixed launch overhead.
+        let big = KernelCost {
+            flops: 1 << 40,
+            hbm_bytes: 1 << 30,
+            compute_eff: 0.9,
+            memory_eff: 0.9,
+        };
+        let live = e.kernel_time(&big);
+        let cap = e.kernel_time_captured(&big);
+        let overhead = spec.kernel_launch_overhead_us * 1e-6;
+        assert!((live.total_s - cap.total_s - overhead).abs() < 1e-15);
+    }
+
+    #[test]
+    fn reduced_precision_eff_above_one_is_accepted() {
+        // An FP8 GEMM on a 2x-capable part: compute_eff 1.7 halves the
+        // roofline compute time relative to 0.85.
+        let base = KernelCost { flops: 1 << 40, hbm_bytes: 1, compute_eff: 0.85, memory_eff: 1.0 };
+        let fp8 = KernelCost { compute_eff: 1.7, ..base };
+        let e = engine();
+        let ratio = e.kernel_time(&base).compute_s / e.kernel_time(&fp8).compute_s;
+        assert!((ratio - 2.0).abs() < 1e-9, "ratio {ratio}");
     }
 
     #[test]

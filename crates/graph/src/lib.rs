@@ -24,7 +24,9 @@ pub mod lower;
 pub mod memory;
 pub mod numeric;
 mod op;
+pub mod optimize;
 
 pub use category::OpCategory;
 pub use graph::{Graph, Node};
 pub use op::{ActivationKind, AttnKind, Op};
+pub use optimize::{ElemWidth, OptConfig, OptStats};

@@ -2,7 +2,7 @@
 
 use mmg_attn::{AttentionShape, AttnImpl};
 use mmg_gpu::KernelCost;
-use mmg_kernels::conv::{conv_kernel_with, ConvAlgorithm, ConvShape};
+use mmg_kernels::conv::{conv_kernel_with_on, ConvAlgorithm, ConvShape};
 use mmg_kernels::gemm::{gemm_compute_eff, GemmShape, DEFAULT_SMS};
 use mmg_kernels::memory_bound::{
     elementwise_kernel, gather_kernel, memcpy_kernel, norm_kernel, softmax_kernel,
@@ -22,7 +22,8 @@ pub fn lower(op: &Op, attn: AttnImpl, elem_bytes: usize) -> Vec<KernelDesc> {
     lower_with(op, attn, elem_bytes, ConvAlgorithm::ImplicitGemm)
 }
 
-/// Like [`lower`], with an explicit convolution algorithm.
+/// Like [`lower`], with an explicit convolution algorithm
+/// (wave-quantizing against [`DEFAULT_SMS`] SMs).
 #[must_use]
 pub fn lower_with(
     op: &Op,
@@ -30,15 +31,30 @@ pub fn lower_with(
     elem_bytes: usize,
     conv_algo: ConvAlgorithm,
 ) -> Vec<KernelDesc> {
+    lower_on(op, attn, elem_bytes, conv_algo, DEFAULT_SMS)
+}
+
+/// Like [`lower_with`], wave-quantizing GEMM/conv grids against the SM
+/// count of the active device (L4's 58 SMs and H200's 132 quantize
+/// differently than the A100 default).
+#[must_use]
+pub fn lower_on(
+    op: &Op,
+    attn: AttnImpl,
+    elem_bytes: usize,
+    conv_algo: ConvAlgorithm,
+    sms: usize,
+) -> Vec<KernelDesc> {
     match op {
         Op::Linear { tokens, in_features, out_features } => {
-            vec![mmg_kernels::gemm::gemm_kernel(
+            vec![mmg_kernels::gemm::gemm_kernel_on(
                 GemmShape::new(*tokens, *out_features, *in_features),
                 elem_bytes,
+                sms,
             )]
         }
         Op::Conv2d { batch, c_in, c_out, h, w, kernel, stride } => {
-            vec![conv_kernel_with(
+            vec![conv_kernel_with_on(
                 ConvShape {
                     batch: *batch,
                     c_in: *c_in,
@@ -50,9 +66,10 @@ pub fn lower_with(
                 },
                 elem_bytes,
                 conv_algo,
+                sms,
             )]
         }
-        Op::Attention { shape, kind } => lower_attention(*shape, *kind, attn, elem_bytes),
+        Op::Attention { shape, kind } => lower_attention(*shape, *kind, attn, elem_bytes, sms),
         Op::GroupNorm { batch, channels, h, w, .. } => {
             vec![norm_kernel("group", (*batch * channels * h * w) as u64, elem_bytes)]
         }
@@ -87,6 +104,7 @@ fn lower_attention(
     kind: AttnKind,
     attn: AttnImpl,
     elem_bytes: usize,
+    sms: usize,
 ) -> Vec<KernelDesc> {
     let e = elem_bytes as u64;
     let bh = (shape.batch * shape.heads) as u64;
@@ -114,10 +132,11 @@ fn lower_attention(
                 KernelCost {
                     flops: qk_shape.flops(),
                     hbm_bytes: (q_bytes + k_bytes) as u64 + score_bytes,
-                    compute_eff: gemm_compute_eff(qk_shape, DEFAULT_SMS),
+                    compute_eff: gemm_compute_eff(qk_shape, sms),
                     memory_eff: io_eff,
                 },
-            );
+            )
+            .with_out_bytes(score_bytes);
             let scale = elementwise_kernel("attn_scale", bh * sq * skv, 1, 1, elem_bytes);
             // Eager causal attention streams an additive mask over the full
             // score matrix before the softmax — another two passes of HBM
@@ -131,10 +150,11 @@ fn lower_attention(
                 KernelCost {
                     flops: pv_shape.flops(),
                     hbm_bytes: score_bytes + (v_bytes + o_bytes) as u64,
-                    compute_eff: gemm_compute_eff(pv_shape, DEFAULT_SMS),
+                    compute_eff: gemm_compute_eff(pv_shape, sms),
                     memory_eff: io_eff,
                 },
-            );
+            )
+            .with_out_bytes(o_bytes as u64);
             let mut kernels = vec![qk, scale];
             kernels.extend(mask);
             kernels.push(softmax);
@@ -145,7 +165,7 @@ fn lower_attention(
             // One fused kernel: the score matrix lives in SRAM. Compute
             // efficiency follows the dominant QK^T tile shape with a small
             // fusion tax; HBM traffic is the flash analytic model.
-            let mut eff = (gemm_compute_eff(qk_shape, DEFAULT_SMS) * 0.95)
+            let mut eff = (gemm_compute_eff(qk_shape, sms) * 0.95)
                 .max(mmg_kernels::gemm::MIN_GEMM_EFF);
             let mut bytes = (q_bytes + k_bytes + v_bytes + o_bytes) as u64;
             // A fused attention kernel runs one thread block per
@@ -159,7 +179,7 @@ fn lower_attention(
                 // split across enough blocks to fill the device, at the
                 // price of one extra partial-result stream and a GEMV-style
                 // compute path.
-                let split = (2.0 * DEFAULT_SMS as f64 / blocks).ceil().max(1.0);
+                let split = (2.0 * sms as f64 / blocks).ceil().max(1.0);
                 blocks *= split;
                 eff = eff.max(0.15);
                 bytes += o_bytes as u64;
@@ -175,7 +195,8 @@ fn lower_attention(
                     compute_eff: eff,
                     memory_eff: io_eff,
                 },
-            )]
+            )
+            .with_out_bytes(o_bytes as u64)]
         }
     }
 }
@@ -311,6 +332,37 @@ mod tests {
                 assert!(!lower(op, attn, 2).is_empty(), "{op:?}");
             }
         }
+    }
+
+    #[test]
+    fn lowering_threads_device_sm_count() {
+        // The same op wave-quantizes differently on a 58-SM L4 than on
+        // the 108-SM A100 default, for GEMM, conv, and attention paths.
+        let ops = [
+            Op::Linear { tokens: 108 * 128, in_features: 512, out_features: 128 },
+            Op::Conv2d { batch: 1, c_in: 320, c_out: 320, h: 64, w: 64, kernel: 3, stride: 1 },
+            sd_spatial(),
+        ];
+        for op in &ops {
+            let a100 = lower_on(op, AttnImpl::Baseline, 2, ConvAlgorithm::ImplicitGemm, 108);
+            let l4 = lower_on(op, AttnImpl::Baseline, 2, ConvAlgorithm::ImplicitGemm, 58);
+            assert!(
+                a100.iter().zip(&l4).any(|(a, b)| a.cost.compute_eff != b.cost.compute_eff),
+                "{op:?} ignored SM count"
+            );
+            // Legacy entry point still means "A100 default".
+            assert_eq!(lower_with(op, AttnImpl::Baseline, 2, ConvAlgorithm::ImplicitGemm), a100);
+        }
+    }
+
+    #[test]
+    fn attention_kernels_carry_output_footprints() {
+        let ks = lower(&sd_spatial(), AttnImpl::Baseline, 2);
+        // qk writes the score matrix; pv writes the output tensor.
+        assert!(ks[0].out_bytes > 0);
+        assert!(ks[ks.len() - 1].out_bytes > 0);
+        let flash = lower(&sd_spatial(), AttnImpl::Flash, 2);
+        assert!(flash[0].out_bytes > 0);
     }
 
     #[test]

@@ -1,0 +1,339 @@
+//! Kernel-graph optimization passes.
+//!
+//! Each pass is a pure rewrite of a lowered [`KernelDesc`] stream — the
+//! accelerations the follow-on paper ("Characterizing and Efficiently
+//! Accelerating Multimodal Generation Model Inference") measures on real
+//! hardware, priced here by the same roofline + wave-quantization models
+//! the eager stream uses:
+//!
+//! * **Epilogue fusion** ([`OptConfig::fuse`]): bandwidth-bound followers
+//!   (bias/activation, norm, softmax) fold into the preceding GEMM or
+//!   implicit-GEMM conv via [`mmg_kernels::fuse_epilogue`], deleting the
+//!   intermediate tensor's HBM round-trip and the follower's launch.
+//! * **Element width** ([`OptConfig::width`]): fp16→fp8/int8 halves every
+//!   kernel's HBM traffic and raises tensor-core throughput where the
+//!   device supports the narrow format
+//!   ([`DeviceSpec::fp8_compute_speedup`] /
+//!   [`DeviceSpec::int8_compute_speedup`]).
+//! * **Graph capture** ([`OptConfig::graph_capture`]): CUDA-graph-style
+//!   capture replays the whole stream from one submission, zeroing the
+//!   per-kernel dispatch overhead (the occupancy floor stays).
+//!
+//! Passes compose in that order. Because each rewrite is deterministic
+//! and local to the descriptor stream, an [`OptConfig`] embeds cleanly in
+//! the profiler's memo key and byte-identical replay keeps working.
+
+use mmg_gpu::DeviceSpec;
+use mmg_kernels::{fuse_epilogue, KernelDesc, KernelKind};
+
+/// Element width the kernel stream is rewritten to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ElemWidth {
+    /// Keep fp16 operands (no rewrite).
+    #[default]
+    Fp16,
+    /// 8-bit floating point (Hopper/Ada tensor cores).
+    Fp8,
+    /// 8-bit integer (supported one generation further back).
+    Int8,
+}
+
+impl ElemWidth {
+    /// Multiplier on HBM bytes relative to fp16.
+    #[must_use]
+    pub fn byte_scale(self) -> f64 {
+        match self {
+            ElemWidth::Fp16 => 1.0,
+            ElemWidth::Fp8 | ElemWidth::Int8 => 0.5,
+        }
+    }
+
+    /// Tensor-core throughput multiplier on `spec` relative to fp16.
+    #[must_use]
+    pub fn compute_speedup(self, spec: &DeviceSpec) -> f64 {
+        match self {
+            ElemWidth::Fp16 => 1.0,
+            ElemWidth::Fp8 => spec.fp8_compute_speedup(),
+            ElemWidth::Int8 => spec.int8_compute_speedup(),
+        }
+    }
+}
+
+impl std::fmt::Display for ElemWidth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ElemWidth::Fp16 => "fp16",
+            ElemWidth::Fp8 => "fp8",
+            ElemWidth::Int8 => "int8",
+        })
+    }
+}
+
+/// Which optimization passes rewrite the lowered kernel stream.
+///
+/// Participates in the profiler's memo key, so it must stay `Copy + Eq +
+/// Hash` and default to the identity rewrite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct OptConfig {
+    /// Fold bandwidth-bound epilogues into their producing GEMM/conv.
+    pub fuse: bool,
+    /// Rewrite operand element width (fp16 is the identity).
+    pub width: ElemWidth,
+    /// Capture the stream as a CUDA graph, eliding launch overheads.
+    pub graph_capture: bool,
+}
+
+impl OptConfig {
+    /// The identity configuration (no pass enabled).
+    #[must_use]
+    pub fn none() -> Self {
+        OptConfig::default()
+    }
+
+    /// Every pass enabled, at the widest-reach width (int8).
+    #[must_use]
+    pub fn all() -> Self {
+        OptConfig { fuse: true, width: ElemWidth::Int8, graph_capture: true }
+    }
+
+    /// Whether this config rewrites anything at all.
+    #[must_use]
+    pub fn is_identity(&self) -> bool {
+        *self == OptConfig::default()
+    }
+}
+
+/// What the passes did to one op's kernel stream — fed to telemetry
+/// (`kernel_fused_total`, `kernel_launches_elided_total`,
+/// `kernel_opt_hbm_bytes_saved_total`) and stored in the memo so replay
+/// reproduces the counters byte-for-byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OptStats {
+    /// Epilogue kernels folded into a producer (launches deleted).
+    pub kernels_fused: u64,
+    /// Launch overheads elided by graph capture.
+    pub launches_elided: u64,
+    /// HBM bytes removed by fusion and width rewrites combined.
+    pub hbm_bytes_saved: u64,
+}
+
+impl OptStats {
+    /// Accumulates another op's stats.
+    pub fn absorb(&mut self, other: OptStats) {
+        self.kernels_fused += other.kernels_fused;
+        self.launches_elided += other.launches_elided;
+        self.hbm_bytes_saved += other.hbm_bytes_saved;
+    }
+}
+
+/// Rewrites `kernels` in place under `cfg`, returning what changed.
+///
+/// Pass order: fusion (stream shortens), then width (bytes/throughput
+/// scale), then capture (overheads elide) — the order the follow-on paper
+/// stacks them in, and the one where each pass's bookkeeping stays
+/// independent of the ones after it.
+pub fn apply(kernels: &mut Vec<KernelDesc>, cfg: &OptConfig, spec: &DeviceSpec) -> OptStats {
+    let mut stats = OptStats::default();
+    if cfg.is_identity() {
+        return stats;
+    }
+    if cfg.fuse {
+        fuse_pass(kernels, &mut stats);
+    }
+    if cfg.width != ElemWidth::Fp16 {
+        width_pass(kernels, cfg.width, spec, &mut stats);
+    }
+    if cfg.graph_capture {
+        for k in kernels.iter_mut() {
+            k.captured = true;
+        }
+        stats.launches_elided += kernels.len() as u64;
+    }
+    stats
+}
+
+/// Greedy forward scan: each kernel tries to fold into the current fusion
+/// head; any non-fusible kernel (a `MemCopy`, a `Gather`, another GEMM)
+/// becomes the next head, so data-movement boundaries block the pass
+/// exactly like a stream dependency would.
+fn fuse_pass(kernels: &mut Vec<KernelDesc>, stats: &mut OptStats) {
+    let mut out: Vec<KernelDesc> = Vec::with_capacity(kernels.len());
+    for k in kernels.drain(..) {
+        if let Some(head) = out.last_mut() {
+            if let Some(fused) = fuse_epilogue(head, &k) {
+                stats.kernels_fused += 1;
+                stats.hbm_bytes_saved +=
+                    head.cost.hbm_bytes + k.cost.hbm_bytes - fused.cost.hbm_bytes;
+                *head = fused;
+                continue;
+            }
+        }
+        out.push(k);
+    }
+    *kernels = out;
+}
+
+/// Tensor-core kernel families whose math rate scales with element width.
+fn is_tensor_core(kind: KernelKind) -> bool {
+    matches!(
+        kind,
+        KernelKind::Gemm
+            | KernelKind::ConvImplicitGemm
+            | KernelKind::FusedAttention
+            | KernelKind::GemmEpilogue
+            | KernelKind::ConvEpilogue
+    )
+}
+
+fn width_pass(
+    kernels: &mut [KernelDesc],
+    width: ElemWidth,
+    spec: &DeviceSpec,
+    stats: &mut OptStats,
+) {
+    let byte_scale = width.byte_scale();
+    let speedup = width.compute_speedup(spec);
+    for k in kernels.iter_mut() {
+        let new_bytes = (k.cost.hbm_bytes as f64 * byte_scale) as u64;
+        stats.hbm_bytes_saved += k.cost.hbm_bytes - new_bytes;
+        k.cost.hbm_bytes = new_bytes;
+        k.out_bytes = (k.out_bytes as f64 * byte_scale) as u64;
+        if is_tensor_core(k.kind) {
+            k.cost.compute_eff *= speedup;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use crate::{AttnKind, Op};
+    use mmg_attn::{AttentionShape, AttnImpl};
+    use mmg_gpu::KernelCost;
+    use mmg_kernels::memory_bound::memcpy_kernel;
+
+    fn sd_attention_stream() -> Vec<KernelDesc> {
+        // Baseline attention lowers to gemm → scale → softmax → gemm, the
+        // canonical fusion chain.
+        lower(
+            &Op::Attention {
+                shape: AttentionShape::self_attn(2, 8, 4096, 40),
+                kind: AttnKind::SpatialSelf,
+            },
+            AttnImpl::Baseline,
+            2,
+        )
+    }
+
+    #[test]
+    fn identity_config_is_a_no_op() {
+        let mut ks = sd_attention_stream();
+        let before = ks.clone();
+        let stats = apply(&mut ks, &OptConfig::none(), &DeviceSpec::a100_80gb());
+        assert_eq!(ks, before);
+        assert_eq!(stats, OptStats::default());
+    }
+
+    #[test]
+    fn fusion_collapses_attention_chain_and_preserves_flops() {
+        let mut ks = sd_attention_stream();
+        let flops_before: u64 = ks.iter().map(|k| k.cost.flops).sum();
+        let bytes_before: u64 = ks.iter().map(|k| k.cost.hbm_bytes).sum();
+        let cfg = OptConfig { fuse: true, ..OptConfig::default() };
+        let stats = apply(&mut ks, &cfg, &DeviceSpec::a100_80gb());
+        // qk absorbs scale+softmax; pv stays (a GEMM is not an epilogue).
+        assert_eq!(ks.len(), 2);
+        assert_eq!(ks[0].kind, KernelKind::GemmEpilogue);
+        assert_eq!(stats.kernels_fused, 2);
+        let flops_after: u64 = ks.iter().map(|k| k.cost.flops).sum();
+        let bytes_after: u64 = ks.iter().map(|k| k.cost.hbm_bytes).sum();
+        assert_eq!(flops_after, flops_before, "fusion must not change math");
+        assert!(bytes_after < bytes_before, "fusion must cut HBM traffic");
+        assert_eq!(stats.hbm_bytes_saved, bytes_before - bytes_after);
+    }
+
+    #[test]
+    fn memcpy_boundary_blocks_fusion() {
+        let mut ks = sd_attention_stream();
+        // Inject a layout transform between the qk GEMM and its scale
+        // epilogue: the chain must not fuse across it.
+        ks.insert(1, memcpy_kernel("boundary", 1 << 20, 1.0));
+        let n = ks.len();
+        let cfg = OptConfig { fuse: true, ..OptConfig::default() };
+        let stats = apply(&mut ks, &cfg, &DeviceSpec::a100_80gb());
+        // The scale after the memcpy has no producer; softmax then chains
+        // onto nothing either (elementwise can't host). Nothing fuses.
+        assert_eq!(stats.kernels_fused, 0, "memcpy must block the pass");
+        assert_eq!(ks.len(), n);
+    }
+
+    #[test]
+    fn width_pass_halves_bytes_and_scales_tensor_cores() {
+        let spec = DeviceSpec::h100_80gb();
+        let mut ks = sd_attention_stream();
+        let before = ks.clone();
+        let cfg = OptConfig { width: ElemWidth::Fp8, ..OptConfig::default() };
+        let stats = apply(&mut ks, &cfg, &spec);
+        for (a, b) in before.iter().zip(&ks) {
+            assert_eq!(b.cost.hbm_bytes, a.cost.hbm_bytes / 2);
+            if a.kind == KernelKind::Gemm {
+                assert!((b.cost.compute_eff / a.cost.compute_eff - 2.0).abs() < 1e-12);
+            } else {
+                assert_eq!(b.cost.compute_eff, a.cost.compute_eff);
+            }
+        }
+        assert!(stats.hbm_bytes_saved > 0);
+    }
+
+    #[test]
+    fn fp8_gains_nothing_on_ampere_int8_does() {
+        let spec = DeviceSpec::a100_80gb();
+        let gemm_eff = |width| {
+            let mut ks = sd_attention_stream();
+            apply(&mut ks, &OptConfig { width, ..OptConfig::default() }, &spec);
+            ks[0].cost.compute_eff
+        };
+        assert_eq!(gemm_eff(ElemWidth::Fp8), gemm_eff(ElemWidth::Fp16));
+        assert!(gemm_eff(ElemWidth::Int8) > gemm_eff(ElemWidth::Fp16));
+    }
+
+    #[test]
+    fn capture_marks_every_kernel_and_counts_elisions() {
+        let mut ks = sd_attention_stream();
+        let cfg = OptConfig { graph_capture: true, ..OptConfig::default() };
+        let stats = apply(&mut ks, &cfg, &DeviceSpec::a100_80gb());
+        assert!(ks.iter().all(|k| k.captured));
+        assert_eq!(stats.launches_elided, ks.len() as u64);
+    }
+
+    #[test]
+    fn all_passes_compose() {
+        let mut ks = sd_attention_stream();
+        let stats = apply(&mut ks, &OptConfig::all(), &DeviceSpec::a100_80gb());
+        assert_eq!(ks.len(), 2);
+        assert!(ks.iter().all(|k| k.captured));
+        assert_eq!(stats.kernels_fused, 2);
+        assert_eq!(stats.launches_elided, 2);
+        assert!(stats.hbm_bytes_saved > 0);
+    }
+
+    #[test]
+    fn undersized_epilogue_never_fuses_backwards() {
+        // A big GEMM followed by an unrelated tiny elementwise (e.g. a
+        // timestep-embedding add): traffic too small to be this GEMM's
+        // consumer, so the pass must leave it alone.
+        let gemm = KernelDesc::new(
+            KernelKind::Gemm,
+            "gemm_big",
+            KernelCost { flops: 1 << 30, hbm_bytes: 1 << 24, compute_eff: 0.8, memory_eff: 0.85 },
+        )
+        .with_out_bytes(1 << 22);
+        let tiny = mmg_kernels::memory_bound::elementwise_kernel("emb_add", 128, 2, 1, 2);
+        let mut ks = vec![gemm, tiny];
+        let cfg = OptConfig { fuse: true, ..OptConfig::default() };
+        let stats = apply(&mut ks, &cfg, &DeviceSpec::a100_80gb());
+        assert_eq!(ks.len(), 2);
+        assert_eq!(stats.kernels_fused, 0);
+    }
+}

@@ -96,9 +96,21 @@ pub fn conv_kernel(shape: ConvShape, elem_bytes: usize) -> KernelDesc {
 }
 
 /// Builds the kernel descriptor for a convolution with an explicit
-/// algorithm choice.
+/// algorithm choice, assuming [`DEFAULT_SMS`] SMs.
 #[must_use]
 pub fn conv_kernel_with(shape: ConvShape, elem_bytes: usize, algo: ConvAlgorithm) -> KernelDesc {
+    conv_kernel_with_on(shape, elem_bytes, algo, DEFAULT_SMS)
+}
+
+/// [`conv_kernel_with`] with the SM count of the active device, so the
+/// implicit-GEMM wave quantization matches the part being simulated.
+#[must_use]
+pub fn conv_kernel_with_on(
+    shape: ConvShape,
+    elem_bytes: usize,
+    algo: ConvAlgorithm,
+    sms: usize,
+) -> KernelDesc {
     let gemm = shape.as_gemm();
     let winograd_applicable =
         algo == ConvAlgorithm::Winograd && shape.kernel == 3 && shape.stride == 1;
@@ -106,7 +118,7 @@ pub fn conv_kernel_with(shape: ConvShape, elem_bytes: usize, algo: ConvAlgorithm
         (
             (shape.flops() as f64 / WINOGRAD_FLOP_REDUCTION) as u64,
             // Transform stages keep Winograd below dense-GEMM efficiency.
-            gemm_compute_eff(gemm, DEFAULT_SMS) * CONV_OVERHEAD_FACTOR * 0.85,
+            gemm_compute_eff(gemm, sms) * CONV_OVERHEAD_FACTOR * 0.85,
             // Transformed input/output tiles inflate traffic ~30%.
             (shape.min_bytes(elem_bytes) as f64 * 1.3) as u64,
             "winograd",
@@ -114,11 +126,13 @@ pub fn conv_kernel_with(shape: ConvShape, elem_bytes: usize, algo: ConvAlgorithm
     } else {
         (
             shape.flops(),
-            gemm_compute_eff(gemm, DEFAULT_SMS) * CONV_OVERHEAD_FACTOR,
+            gemm_compute_eff(gemm, sms) * CONV_OVERHEAD_FACTOR,
             shape.min_bytes(elem_bytes),
             "implicit_gemm",
         )
     };
+    let out_bytes =
+        (shape.batch * shape.c_out * shape.out_h() * shape.out_w() * elem_bytes) as u64;
     KernelDesc::new(
         KernelKind::ConvImplicitGemm,
         format!(
@@ -132,6 +146,7 @@ pub fn conv_kernel_with(shape: ConvShape, elem_bytes: usize, algo: ConvAlgorithm
             memory_eff: 0.8,
         },
     )
+    .with_out_bytes(out_bytes)
 }
 
 #[cfg(test)]
@@ -199,6 +214,24 @@ mod tests {
             assert_eq!(d.cost.flops, s.flops(), "{s:?} must fall back");
             assert!(d.label.contains("implicit_gemm"));
         }
+    }
+
+    #[test]
+    fn conv_honors_device_sm_count() {
+        // A single-image conv's small tile grid quantizes differently on
+        // a 58-SM L4 than on the 108-SM default.
+        let s = sd_conv();
+        let a100 = conv_kernel_with_on(s, 2, ConvAlgorithm::ImplicitGemm, 108);
+        let l4 = conv_kernel_with_on(s, 2, ConvAlgorithm::ImplicitGemm, 58);
+        assert_ne!(a100.cost.compute_eff, l4.cost.compute_eff);
+        assert_eq!(conv_kernel(s, 2), a100);
+    }
+
+    #[test]
+    fn conv_reports_output_footprint() {
+        let s = sd_conv();
+        let d = conv_kernel(s, 2);
+        assert_eq!(d.out_bytes, (s.batch * s.c_out * s.out_h() * s.out_w() * 2) as u64);
     }
 
     #[test]

@@ -26,6 +26,13 @@ pub enum KernelKind {
     Gather,
     /// Fused tiled attention (FlashAttention-style single kernel).
     FusedAttention,
+    /// GEMM with bandwidth-bound epilogues (bias/activation/softmax)
+    /// folded into its tile loop by the fusion pass — the
+    /// `gemm+bias_act`-style kernels Nsight shows for fused CUTLASS
+    /// launches. The label carries the exact composition.
+    GemmEpilogue,
+    /// Implicit-GEMM convolution with fused epilogues.
+    ConvEpilogue,
 }
 
 impl fmt::Display for KernelKind {
@@ -39,6 +46,8 @@ impl fmt::Display for KernelKind {
             KernelKind::MemCopy => "memcpy",
             KernelKind::Gather => "gather",
             KernelKind::FusedAttention => "fused_attention",
+            KernelKind::GemmEpilogue => "gemm+epilogue",
+            KernelKind::ConvEpilogue => "conv_implicit_gemm+epilogue",
         };
         f.write_str(s)
     }
@@ -57,19 +66,42 @@ pub struct KernelDesc {
     /// quantization). Recorded to telemetry by [`record_kernel`], not at
     /// descriptor-construction time, so lowering stays a pure function.
     pub wave_quant_idle_slots: u64,
+    /// Bytes of the kernel's primary output tensor, counted inside
+    /// `cost.hbm_bytes`. The fusion pass uses this to know how much HBM
+    /// round-trip an epilogue fold eliminates; 0 means "unknown — not a
+    /// fusion producer".
+    pub out_bytes: u64,
+    /// Whether the launch sits inside a captured CUDA graph, so the
+    /// timing engine should drop its per-launch dispatch overhead.
+    pub captured: bool,
 }
 
 impl KernelDesc {
     /// Creates a descriptor.
     #[must_use]
     pub fn new(kind: KernelKind, label: impl Into<String>, cost: KernelCost) -> Self {
-        KernelDesc { kind, label: label.into(), cost, wave_quant_idle_slots: 0 }
+        KernelDesc {
+            kind,
+            label: label.into(),
+            cost,
+            wave_quant_idle_slots: 0,
+            out_bytes: 0,
+            captured: false,
+        }
     }
 
     /// Annotates the descriptor with wave-quantization idle slots.
     #[must_use]
     pub fn with_idle_slots(mut self, slots: u64) -> Self {
         self.wave_quant_idle_slots = slots;
+        self
+    }
+
+    /// Annotates the descriptor with its output-tensor footprint
+    /// (enables epilogue fusion into this kernel).
+    #[must_use]
+    pub fn with_out_bytes(mut self, bytes: u64) -> Self {
+        self.out_bytes = bytes;
         self
     }
 }
@@ -169,6 +201,9 @@ mod tests {
         assert_eq!(KernelKind::Gemm.to_string(), "gemm");
         assert_eq!(KernelKind::Softmax.to_string(), "softmax");
         assert_eq!(KernelKind::Elementwise.to_string(), "elementwise");
+        // Fused kernels use the Nsight-style `base+epilogue` spelling.
+        assert_eq!(KernelKind::GemmEpilogue.to_string(), "gemm+epilogue");
+        assert_eq!(KernelKind::ConvEpilogue.to_string(), "conv_implicit_gemm+epilogue");
     }
 
     #[test]

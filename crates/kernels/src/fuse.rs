@@ -1,0 +1,183 @@
+//! Fused-kernel cost composition.
+//!
+//! Epilogue fusion folds a bandwidth-bound follower (bias/activation,
+//! normalization, softmax) into the tile loop of the GEMM or implicit-GEMM
+//! convolution that produced its input. The follower's math rides along on
+//! registers that already hold the producer's output tile, so the
+//! intermediate tensor never round-trips through HBM: the fused kernel
+//! performs the sum of both kernels' FLOPs but skips one store (producer
+//! writes its output) and one load (epilogue reads it back).
+
+use crate::desc::{KernelDesc, KernelKind};
+
+/// Whether `kind` can host fused epilogues (it owns a tile loop whose
+/// accumulators the epilogue math can reuse).
+#[must_use]
+pub fn can_host_epilogue(kind: KernelKind) -> bool {
+    matches!(
+        kind,
+        KernelKind::Gemm
+            | KernelKind::ConvImplicitGemm
+            | KernelKind::GemmEpilogue
+            | KernelKind::ConvEpilogue
+    )
+}
+
+/// Whether `kind` is a bandwidth-bound epilogue that can be folded into a
+/// preceding tile-loop kernel.
+#[must_use]
+pub fn is_fusible_epilogue(kind: KernelKind) -> bool {
+    matches!(kind, KernelKind::Elementwise | KernelKind::Norm | KernelKind::Softmax)
+}
+
+/// Folds `epilogue` into `producer`, returning the fused descriptor, or
+/// `None` when the pair is not legally fusible:
+///
+/// - the producer must be a (possibly already-fused) GEMM or implicit-GEMM
+///   conv with a known output footprint (`out_bytes > 0`),
+/// - the epilogue must be an [`Elementwise`](KernelKind::Elementwise),
+///   [`Norm`](KernelKind::Norm), or [`Softmax`](KernelKind::Softmax)
+///   kernel whose traffic actually covers re-reading the producer's
+///   output (`hbm_bytes >= 2 * producer.out_bytes` — one load of the
+///   intermediate plus at least one store of its own result). Epilogues
+///   dominated by *other* operands (e.g. a residual add streaming a
+///   second large tensor) still fuse; only kernels too small to have
+///   round-tripped the intermediate are rejected as mis-paired.
+///
+/// The fused cost is the producer's roofline efficiencies (the tile loop
+/// still sets the pace), the summed FLOPs, and the combined HBM traffic
+/// minus the eliminated store+load of the intermediate. Wave-quantization
+/// idle slots carry over from the producer; the epilogue adds none of its
+/// own launch.
+#[must_use]
+pub fn fuse_epilogue(producer: &KernelDesc, epilogue: &KernelDesc) -> Option<KernelDesc> {
+    if !can_host_epilogue(producer.kind) || producer.out_bytes == 0 {
+        return None;
+    }
+    if !is_fusible_epilogue(epilogue.kind) {
+        return None;
+    }
+    let round_trip = 2 * producer.out_bytes;
+    if epilogue.cost.hbm_bytes < round_trip {
+        return None;
+    }
+    let kind = match producer.kind {
+        KernelKind::Gemm | KernelKind::GemmEpilogue => KernelKind::GemmEpilogue,
+        _ => KernelKind::ConvEpilogue,
+    };
+    let mut fused = producer.clone();
+    fused.kind = kind;
+    fused.label = format!("{}+{}", producer.label, epilogue.label);
+    fused.cost.flops = producer.cost.flops + epilogue.cost.flops;
+    fused.cost.hbm_bytes = producer.cost.hbm_bytes + epilogue.cost.hbm_bytes - round_trip;
+    fused.out_bytes = epilogue.out_bytes;
+    Some(fused)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmg_gpu::KernelCost;
+
+    fn gemm(out_bytes: u64) -> KernelDesc {
+        KernelDesc::new(
+            KernelKind::Gemm,
+            "gemm_b1_m128_n128_k128",
+            KernelCost { flops: 4_194_304, hbm_bytes: 98_304, compute_eff: 0.85, memory_eff: 0.85 },
+        )
+        .with_idle_slots(7)
+        .with_out_bytes(out_bytes)
+    }
+
+    fn bias_act(elems: u64) -> KernelDesc {
+        KernelDesc::new(
+            KernelKind::Elementwise,
+            "bias_act",
+            KernelCost {
+                flops: 4 * elems,
+                hbm_bytes: 2 * elems * 2,
+                compute_eff: 1.0,
+                memory_eff: 0.8,
+            },
+        )
+        .with_out_bytes(elems * 2)
+    }
+
+    #[test]
+    fn fused_flops_equal_sum_of_parts() {
+        let p = gemm(32_768);
+        let e = bias_act(16_384);
+        let f = fuse_epilogue(&p, &e).unwrap();
+        assert_eq!(f.cost.flops, p.cost.flops + e.cost.flops);
+    }
+
+    #[test]
+    fn fused_hbm_bytes_strictly_decrease() {
+        let p = gemm(32_768);
+        let e = bias_act(16_384);
+        let f = fuse_epilogue(&p, &e).unwrap();
+        assert!(f.cost.hbm_bytes < p.cost.hbm_bytes + e.cost.hbm_bytes);
+        assert_eq!(f.cost.hbm_bytes, p.cost.hbm_bytes + e.cost.hbm_bytes - 2 * p.out_bytes);
+    }
+
+    #[test]
+    fn fused_keeps_producer_efficiencies_and_idle_slots() {
+        let p = gemm(32_768);
+        let e = bias_act(16_384);
+        let f = fuse_epilogue(&p, &e).unwrap();
+        assert_eq!(f.kind, KernelKind::GemmEpilogue);
+        assert_eq!(f.cost.compute_eff, p.cost.compute_eff);
+        assert_eq!(f.cost.memory_eff, p.cost.memory_eff);
+        assert_eq!(f.wave_quant_idle_slots, p.wave_quant_idle_slots);
+        assert_eq!(f.out_bytes, e.out_bytes);
+        assert_eq!(f.label, "gemm_b1_m128_n128_k128+bias_act");
+    }
+
+    #[test]
+    fn memcpy_is_not_a_fusible_epilogue() {
+        let p = gemm(32_768);
+        let copy = KernelDesc::new(
+            KernelKind::MemCopy,
+            "layout_transform",
+            KernelCost::memory_only(1 << 20, 0.8),
+        );
+        assert!(fuse_epilogue(&p, &copy).is_none());
+    }
+
+    #[test]
+    fn producer_without_out_bytes_does_not_fuse() {
+        let p = gemm(0);
+        let e = bias_act(16_384);
+        assert!(fuse_epilogue(&p, &e).is_none());
+    }
+
+    #[test]
+    fn undersized_epilogue_is_rejected() {
+        // An epilogue too small to have round-tripped the intermediate
+        // is a mis-pairing, not a legal fold.
+        let p = gemm(1 << 20);
+        let tiny = bias_act(16);
+        assert!(fuse_epilogue(&p, &tiny).is_none());
+    }
+
+    #[test]
+    fn fused_kernel_accepts_further_epilogues() {
+        let p = gemm(32_768);
+        let bias = bias_act(16_384);
+        let once = fuse_epilogue(&p, &bias).unwrap();
+        let norm = KernelDesc::new(
+            KernelKind::Norm,
+            "layer_norm",
+            KernelCost {
+                flops: 8 * 16_384,
+                hbm_bytes: 3 * 16_384 * 2,
+                compute_eff: 1.0,
+                memory_eff: 0.8,
+            },
+        )
+        .with_out_bytes(16_384 * 2);
+        let twice = fuse_epilogue(&once, &norm).unwrap();
+        assert_eq!(twice.kind, KernelKind::GemmEpilogue);
+        assert_eq!(twice.cost.flops, p.cost.flops + bias.cost.flops + norm.cost.flops);
+    }
+}

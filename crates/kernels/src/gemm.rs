@@ -106,10 +106,18 @@ pub fn wave_quant_idle_slots(shape: GemmShape, sms: usize) -> u64 {
 }
 
 /// Builds the kernel descriptor for a batched GEMM over contiguous
-/// operands at `elem_bytes` precision.
+/// operands at `elem_bytes` precision, assuming [`DEFAULT_SMS`] SMs.
 #[must_use]
 pub fn gemm_kernel(shape: GemmShape, elem_bytes: usize) -> KernelDesc {
-    gemm_kernel_amplified(shape, elem_bytes, 1.0)
+    gemm_kernel_amplified_on(shape, elem_bytes, 1.0, DEFAULT_SMS)
+}
+
+/// [`gemm_kernel`] with the SM count of the active device, so wave
+/// quantization matches the part being simulated (L4 has 58 SMs, H200
+/// has 132 — a grid that fills an A100 evenly leaves either ragged).
+#[must_use]
+pub fn gemm_kernel_on(shape: GemmShape, elem_bytes: usize, sms: usize) -> KernelDesc {
+    gemm_kernel_amplified_on(shape, elem_bytes, 1.0, sms)
 }
 
 /// Like [`gemm_kernel`], but with the HBM traffic multiplied by an
@@ -121,20 +129,33 @@ pub fn gemm_kernel(shape: GemmShape, elem_bytes: usize) -> KernelDesc {
 /// traffic cannot saturate HBM channels.
 #[must_use]
 pub fn gemm_kernel_amplified(shape: GemmShape, elem_bytes: usize, amplification: f64) -> KernelDesc {
+    gemm_kernel_amplified_on(shape, elem_bytes, amplification, DEFAULT_SMS)
+}
+
+/// [`gemm_kernel_amplified`] with an explicit SM count.
+#[must_use]
+pub fn gemm_kernel_amplified_on(
+    shape: GemmShape,
+    elem_bytes: usize,
+    amplification: f64,
+    sms: usize,
+) -> KernelDesc {
     assert!(amplification >= 1.0, "amplification must be >= 1");
     let bytes = (shape.min_bytes(elem_bytes) as f64 * amplification) as u64;
     let mem_eff = if amplification > 1.0 { 0.5 } else { 0.85 };
+    let out_bytes = shape.batch as u64 * shape.m as u64 * shape.n as u64 * elem_bytes as u64;
     KernelDesc::new(
         KernelKind::Gemm,
         format!("gemm_b{}_m{}_n{}_k{}", shape.batch, shape.m, shape.n, shape.k),
         KernelCost {
             flops: shape.flops(),
             hbm_bytes: bytes,
-            compute_eff: gemm_compute_eff(shape, DEFAULT_SMS),
+            compute_eff: gemm_compute_eff(shape, sms),
             memory_eff: mem_eff,
         },
     )
-    .with_idle_slots(wave_quant_idle_slots(shape, DEFAULT_SMS))
+    .with_idle_slots(wave_quant_idle_slots(shape, sms))
+    .with_out_bytes(out_bytes)
 }
 
 #[cfg(test)]
@@ -196,6 +217,32 @@ mod tests {
         let slots =
             wave_quant_idle_slots(GemmShape::batched(DEFAULT_SMS + 1, 128, 128, 4096), DEFAULT_SMS);
         assert_eq!(slots, DEFAULT_SMS as u64 - 1);
+    }
+
+    #[test]
+    fn sm_count_changes_wave_quantization() {
+        // A grid of exactly 108 tiles fills an A100 in one wave but
+        // leaves an L4 (58 SMs) and an H200 (132 SMs) ragged. The kernel
+        // constructor must honor the SM count it is given, not assume
+        // the A100 default.
+        // k < 256 so split-k never rescales the grid on any device.
+        let shape = GemmShape::batched(108, 128, 128, 128);
+        let a100 = gemm_kernel_on(shape, 2, 108);
+        let l4 = gemm_kernel_on(shape, 2, 58);
+        let h200 = gemm_kernel_on(shape, 2, 132);
+        assert_eq!(a100.wave_quant_idle_slots, 0);
+        assert_eq!(l4.wave_quant_idle_slots, 2 * 58 - 108);
+        assert_eq!(h200.wave_quant_idle_slots, 132 - 108);
+        assert!(l4.cost.compute_eff < a100.cost.compute_eff);
+        assert!(h200.cost.compute_eff < a100.cost.compute_eff);
+        // The legacy constructor is the A100 default.
+        assert_eq!(gemm_kernel(shape, 2), a100);
+    }
+
+    #[test]
+    fn gemm_kernel_reports_output_footprint() {
+        let s = GemmShape::batched(2, 64, 32, 128);
+        assert_eq!(gemm_kernel(s, 2).out_bytes, 2 * 64 * 32 * 2);
     }
 
     #[test]

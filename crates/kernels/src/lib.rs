@@ -23,14 +23,19 @@
 //! * **Access streams** ([`access`]): sampled address traces fed to the
 //!   `mmg-gpu` cache simulator to reproduce the paper's Fig. 12 cache
 //!   hit-rate comparison between spatial and temporal attention.
+//! * **Fused kernels** ([`fuse`]): epilogue-fusion cost composition —
+//!   folding a bandwidth-bound follower into its producing GEMM/conv
+//!   eliminates the intermediate tensor's HBM round-trip and one launch.
 
 #![deny(missing_docs)]
 
 pub mod access;
 pub mod conv;
+pub mod fuse;
 pub mod gemm;
 pub mod memory_bound;
 
 mod desc;
 
 pub use desc::{record_kernel, record_kernel_named, KernelDesc, KernelKind};
+pub use fuse::fuse_epilogue;

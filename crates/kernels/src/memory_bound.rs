@@ -41,6 +41,7 @@ pub fn softmax_kernel(rows: usize, cols: usize, elem_bytes: usize) -> KernelDesc
             memory_eff: short_row_eff(row_bytes, 128),
         },
     )
+    .with_out_bytes(elems * elem_bytes as u64)
 }
 
 /// Pointwise kernel over `elems` elements with `inputs` operands
@@ -63,6 +64,7 @@ pub fn elementwise_kernel(
             memory_eff: STREAM_EFF,
         },
     )
+    .with_out_bytes(elems * elem_bytes as u64)
 }
 
 /// Normalization kernel (GroupNorm / LayerNorm / RMSNorm): two passes over
@@ -79,6 +81,7 @@ pub fn norm_kernel(label: &str, elems: u64, elem_bytes: usize) -> KernelDesc {
             memory_eff: STREAM_EFF,
         },
     )
+    .with_out_bytes(elems * elem_bytes as u64)
 }
 
 /// Pure copy / layout transform. `amplification ≥ 1` models strided

@@ -25,6 +25,11 @@ pub struct Stage {
     /// of an autoregressive decode). Defaults to the stage name up to a
     /// `_t<step>` suffix.
     pub weight_group: String,
+    /// Whether `repeats` counts *denoising sampler* iterations (a
+    /// DDIM/DDPM step loop). Only these stages respond to
+    /// [`Pipeline::with_sampler_steps`]; autoregressive decode and
+    /// MaskGIT refinement loops are structural and never resampled.
+    pub denoise: bool,
 }
 
 impl Stage {
@@ -36,7 +41,7 @@ impl Stage {
         let name = name.into();
         let weight_group =
             name.split("_t").next().unwrap_or(name.as_str()).to_owned();
-        Stage { name, repeats, graph, weight_group }
+        Stage { name, repeats, graph, weight_group, denoise: false }
     }
 
     /// A stage executed once.
@@ -49,6 +54,14 @@ impl Stage {
     #[must_use]
     pub fn with_weight_group(mut self, group: impl Into<String>) -> Self {
         self.weight_group = group.into();
+        self
+    }
+
+    /// Marks this stage's repeats as denoising sampler iterations, making
+    /// it eligible for [`Pipeline::with_sampler_steps`].
+    #[must_use]
+    pub fn denoising(mut self) -> Self {
+        self.denoise = true;
         self
     }
 }
@@ -75,6 +88,28 @@ impl Pipeline {
     #[must_use]
     pub fn total_flops(&self) -> u64 {
         self.stages.iter().map(|s| s.repeats as u64 * s.graph.total_flops()).sum()
+    }
+
+    /// Rewrites the pipeline to a reduced-step (distilled) sampler: every
+    /// [denoising](Stage::denoising) stage's repeat count is capped at
+    /// `steps` (LCM/turbo-style distillation runs the same UNet for 4–8
+    /// steps instead of 50). Encoders, decoders, autoregressive decode
+    /// loops and MaskGIT refinement stages are untouched — they are
+    /// structural, not sampler schedules.
+    #[must_use]
+    pub fn with_sampler_steps(mut self, steps: usize) -> Self {
+        for s in &mut self.stages {
+            if s.denoise {
+                s.repeats = s.repeats.min(steps.max(1));
+            }
+        }
+        self
+    }
+
+    /// Whether any stage responds to [`Pipeline::with_sampler_steps`].
+    #[must_use]
+    pub fn has_denoising_stages(&self) -> bool {
+        self.stages.iter().any(|s| s.denoise)
     }
 
     /// Total trainable parameters: each *weight group* counted once
@@ -136,15 +171,23 @@ impl Pipeline {
     }
 
     /// Profiles every stage once and assembles the weighted profile.
+    ///
+    /// CUDA-graph capture (when the profiler enables it) only holds for
+    /// the static-shape denoising stages — a denoising step replays the
+    /// identical kernel sequence every iteration, while autoregressive
+    /// decode and MaskGIT resampling change shape each step and cannot
+    /// stay captured — so non-denoising stages are profiled through
+    /// [`Profiler::without_graph_capture`].
     #[must_use]
     pub fn profile(&self, profiler: &Profiler) -> PipelineProfile {
+        let uncaptured = profiler.without_graph_capture();
         let stages = self
             .stages
             .iter()
             .map(|s| StageProfile {
                 name: s.name.clone(),
                 repeats: s.repeats,
-                timeline: profiler.profile(&s.graph),
+                timeline: if s.denoise { profiler } else { &uncaptured }.profile(&s.graph),
             })
             .collect();
         PipelineProfile { pipeline: self.name.clone(), stages }
@@ -279,6 +322,30 @@ mod tests {
         let wide = Pipeline::new("c", None, vec![Stage::once("s", stage_graph(64))]);
         assert!(wide.arithmetic_intensity() > 1.9 * once.arithmetic_intensity());
         assert_eq!(many.weight_bytes_read(), 50 * once.weight_bytes_read());
+    }
+
+    #[test]
+    fn sampler_steps_cap_only_denoising_stages() {
+        let p = Pipeline::new(
+            "test",
+            None,
+            vec![
+                Stage::once("encode", stage_graph(16)),
+                Stage::new("unet_step", 50, stage_graph(32)).denoising(),
+                Stage::new("decode_t0", 64, stage_graph(8)),
+            ],
+        );
+        assert!(p.has_denoising_stages());
+        let repeats = |p: &Pipeline, name: &str| {
+            p.stages.iter().find(|s| s.name == name).unwrap().repeats
+        };
+        let distilled = p.clone().with_sampler_steps(4);
+        assert_eq!(repeats(&distilled, "unet_step"), 4);
+        assert_eq!(repeats(&distilled, "decode_t0"), 64, "AR decode untouched");
+        assert_eq!(repeats(&distilled, "encode"), 1);
+        // A cap above the schedule is a no-op, and 0 clamps to 1 step.
+        assert_eq!(repeats(&p.clone().with_sampler_steps(100), "unet_step"), 50);
+        assert_eq!(repeats(&p.clone().with_sampler_steps(0), "unet_step"), 1);
     }
 
     #[test]

@@ -127,7 +127,7 @@ pub fn pipeline(cfg: &DitConfig) -> Pipeline {
     let clip = clip_text_config();
     let stages = vec![
         Stage::once("clip_encoder", encoder_graph(&clip, 77)),
-        Stage::new("dit_step", cfg.steps, dit_step_graph(cfg)),
+        Stage::new("dit_step", cfg.steps, dit_step_graph(cfg)).denoising(),
         Stage::once(
             "vae_decoder",
             vae_decoder_graph(&VaeDecoderConfig::stable_diffusion(), cfg.latent_res()),

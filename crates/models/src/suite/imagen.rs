@@ -66,9 +66,12 @@ pub fn pipeline(cfg: &ImagenConfig) -> Pipeline {
     let t5 = t5_xxl_config();
     let stages = vec![
         Stage::once("t5_encoder", encoder_graph(&t5, cfg.text_len)),
-        Stage::new("base_unet_step", cfg.base_steps, unet_step_graph(&cfg.base_unet(), 64, 1)),
-        Stage::new("sr1_unet_step", cfg.sr1_steps, unet_step_graph(&cfg.sr1_unet(), 256, 1)),
-        Stage::new("sr2_unet_step", cfg.sr2_steps, unet_step_graph(&cfg.sr2_unet(), 1024, 1)),
+        Stage::new("base_unet_step", cfg.base_steps, unet_step_graph(&cfg.base_unet(), 64, 1))
+            .denoising(),
+        Stage::new("sr1_unet_step", cfg.sr1_steps, unet_step_graph(&cfg.sr1_unet(), 256, 1))
+            .denoising(),
+        Stage::new("sr2_unet_step", cfg.sr2_steps, unet_step_graph(&cfg.sr2_unet(), 1024, 1))
+            .denoising(),
     ];
     Pipeline::new("Imagen", Some(ModelId::Imagen), stages)
 }

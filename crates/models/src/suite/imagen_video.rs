@@ -111,17 +111,20 @@ pub fn pipeline(cfg: &ImagenVideoConfig) -> Pipeline {
             "base_unet_step",
             cfg.base_steps,
             unet_step_graph(&cfg.base_unet(), cfg.base_res, cfg.base_frames),
-        ),
+        )
+        .denoising(),
         Stage::new(
             "tsr_unet_step",
             cfg.tsr_steps,
             unet_step_graph(&cfg.tsr_unet(), cfg.base_res, cfg.tsr_frames),
-        ),
+        )
+        .denoising(),
         Stage::new(
             "ssr_unet_step",
             cfg.ssr_steps,
             unet_step_graph(&cfg.ssr_unet(), cfg.ssr_res, cfg.tsr_frames),
-        ),
+        )
+        .denoising(),
     ];
     let _: Option<ModelId> = None;
     Pipeline::new("ImagenVideo", None, stages)

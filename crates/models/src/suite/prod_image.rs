@@ -65,7 +65,8 @@ pub fn pipeline(cfg: &ProdImageConfig) -> Pipeline {
     let vae = VaeDecoderConfig { base_channels: 512, ..VaeDecoderConfig::stable_diffusion() };
     let stages = vec![
         Stage::once("clip_encoder", encoder_graph(&clip, 77)),
-        Stage::new("unet_step", cfg.steps, unet_step_graph(&cfg.unet(), cfg.latent_res(), 1)),
+        Stage::new("unet_step", cfg.steps, unet_step_graph(&cfg.unet(), cfg.latent_res(), 1))
+            .denoising(),
         Stage::once("vae_decoder", vae_decoder_graph(&vae, cfg.latent_res())),
     ];
     Pipeline::new("ProdImage", Some(ModelId::ProdImage), stages)

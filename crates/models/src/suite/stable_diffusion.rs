@@ -77,7 +77,8 @@ pub fn pipeline(cfg: &StableDiffusionConfig) -> Pipeline {
     let clip = clip_text_config();
     let stages = vec![
         Stage::once("clip_encoder", encoder_graph(&clip, cfg.text_len)),
-        Stage::new("unet_step", cfg.steps, unet_step_graph(&cfg.unet(), cfg.latent_res(), 1)),
+        Stage::new("unet_step", cfg.steps, unet_step_graph(&cfg.unet(), cfg.latent_res(), 1))
+            .denoising(),
         Stage::once(
             "vae_decoder",
             vae_decoder_graph(&VaeDecoderConfig::stable_diffusion(), cfg.latent_res()),

@@ -6,7 +6,8 @@ use std::time::Instant;
 
 use mmg_attn::AttnImpl;
 use mmg_gpu::{DeviceSpec, HierarchyStats, TimingEngine};
-use mmg_graph::{lower::lower_with, AttnKind, Graph};
+use mmg_graph::optimize::{self, OptConfig, OptStats};
+use mmg_graph::{lower::lower_on, AttnKind, Graph};
 use mmg_kernels::access::{AttentionKernel, VideoAttentionAccess};
 use mmg_kernels::conv::ConvAlgorithm;
 use mmg_telemetry::{Counter, Registry, SpanRecord};
@@ -40,6 +41,8 @@ pub struct Profiler {
     attn: AttnImpl,
     elem_bytes: usize,
     conv_algo: ConvAlgorithm,
+    /// Optimization passes applied to every op's lowered kernel stream.
+    opt: OptConfig,
     registry: Registry,
     /// Max sector probes per attention op fed to the cache simulator;
     /// 0 disables per-op cache simulation.
@@ -78,6 +81,7 @@ impl Profiler {
             attn,
             elem_bytes: 2,
             conv_algo: ConvAlgorithm::ImplicitGemm,
+            opt: OptConfig::default(),
             registry: registry.clone(),
             cache_probes: 0,
             memo: None,
@@ -99,6 +103,17 @@ impl Profiler {
     #[must_use]
     pub fn with_conv_algorithm(mut self, algo: ConvAlgorithm) -> Self {
         self.conv_algo = algo;
+        self
+    }
+
+    /// Enables optimization passes ([`mmg_graph::optimize`]) over every
+    /// op's lowered kernel stream: epilogue fusion, element-width
+    /// rewrites, and CUDA-graph launch elision. The config participates
+    /// in the memo key, so optimized and eager profilers sharing a memo
+    /// never replay each other's entries.
+    #[must_use]
+    pub fn with_opt_config(mut self, opt: OptConfig) -> Self {
+        self.opt = opt;
         self
     }
 
@@ -133,6 +148,37 @@ impl Profiler {
         self.attn
     }
 
+    /// Whether the CUDA-graph launch-elision pass is enabled.
+    #[must_use]
+    pub fn captures_graphs(&self) -> bool {
+        self.opt.graph_capture
+    }
+
+    /// A copy of this profiler with the CUDA-graph capture pass
+    /// disabled, sharing the same registry, memo, and device. Capture
+    /// only holds for static-shape kernel sequences (a denoising step
+    /// replays identical kernels every iteration); autoregressive
+    /// decode and MaskGIT resampling change shape every step, so
+    /// pipeline-level callers profile those stages through this copy.
+    /// The weakened [`OptConfig`] participates in memo keys, so the two
+    /// profilers never replay each other's entries.
+    #[must_use]
+    pub fn without_graph_capture(&self) -> Profiler {
+        Profiler {
+            engine: self.engine.clone(),
+            attn: self.attn,
+            elem_bytes: self.elem_bytes,
+            conv_algo: self.conv_algo,
+            opt: OptConfig { graph_capture: false, ..self.opt },
+            registry: self.registry.clone(),
+            cache_probes: self.cache_probes,
+            memo: self.memo.clone(),
+            device_fingerprint: self.device_fingerprint,
+            kernel_time_us: self.kernel_time_us.clone(),
+            replay_handles: Mutex::new(HashMap::new()),
+        }
+    }
+
     /// Profiles a graph into a timeline.
     #[must_use]
     pub fn profile(&self, graph: &Graph) -> Timeline {
@@ -164,6 +210,7 @@ impl Profiler {
                     self.elem_bytes,
                     self.conv_algo,
                     self.cache_probes,
+                    self.opt,
                     self.device_fingerprint,
                 )
             });
@@ -179,13 +226,26 @@ impl Profiler {
             }
             let snap = self.registry.counters_snapshot();
             let span = self.registry.span(&node.path);
-            let kernels = lower_with(&node.op, self.attn, self.elem_bytes, self.conv_algo);
+            let mut kernels = lower_on(
+                &node.op,
+                self.attn,
+                self.elem_bytes,
+                self.conv_algo,
+                self.engine.spec().sm_count as usize,
+            );
+            let opt_stats =
+                optimize::apply(&mut kernels, &self.opt, self.engine.spec());
+            self.record_opt_stats(opt_stats);
             let mut records = Vec::with_capacity(kernels.len());
             let mut time_s = 0.0;
             let mut flops = 0u64;
             let mut hbm = 0u64;
             for k in &kernels {
-                let kt = self.engine.kernel_time(&k.cost);
+                let kt = if k.captured {
+                    self.engine.kernel_time_captured(&k.cost)
+                } else {
+                    self.engine.kernel_time(&k.cost)
+                };
                 mmg_kernels::record_kernel(&self.registry, k, &kt);
                 time_s += kt.total_s;
                 flops += k.cost.flops;
@@ -216,7 +276,7 @@ impl Profiler {
                         flops,
                         hbm,
                         Arc::clone(&records),
-                        synthetic_op_deltas(&records, cache_stats),
+                        synthetic_op_deltas(&records, cache_stats, opt_stats),
                     ),
                 );
             }
@@ -238,6 +298,23 @@ impl Profiler {
             events.push(event);
         }
         Timeline::new(events)
+    }
+
+    /// Records one op's optimization-pass telemetry. Counters are
+    /// created only on a non-zero charge (mirrored by
+    /// `synthetic_op_deltas`, so memo replay stays byte-identical).
+    fn record_opt_stats(&self, stats: OptStats) {
+        if stats.kernels_fused > 0 {
+            self.registry.counter("kernel_fused_total").add(stats.kernels_fused);
+        }
+        if stats.launches_elided > 0 {
+            self.registry.counter("kernel_launches_elided_total").add(stats.launches_elided);
+        }
+        if stats.hbm_bytes_saved > 0 {
+            self.registry
+                .counter("kernel_opt_hbm_bytes_saved_total")
+                .add(stats.hbm_bytes_saved);
+        }
     }
 
     /// Memo-hit fast path: reproduces every externally observable effect
@@ -442,6 +519,42 @@ mod tests {
             .counters
             .iter()
             .any(|(name, _)| name == "gpu_l1_accesses_total"));
+    }
+
+    #[test]
+    fn opt_passes_speed_up_eager_attention_and_record_counters() {
+        let g = attn_graph();
+        let eager_reg = mmg_telemetry::Registry::new();
+        let eager = Profiler::with_registry(DeviceSpec::a100_80gb(), AttnImpl::Baseline, &eager_reg)
+            .profile(&g);
+        let opt_reg = mmg_telemetry::Registry::new();
+        let opt = Profiler::with_registry(DeviceSpec::a100_80gb(), AttnImpl::Baseline, &opt_reg)
+            .with_opt_config(OptConfig::all())
+            .profile(&g);
+        assert!(opt.total_time_s() < eager.total_time_s());
+        assert!(opt_reg.counter("kernel_fused_total").get() > 0);
+        assert!(opt_reg.counter("kernel_launches_elided_total").get() > 0);
+        assert!(opt_reg.counter("kernel_opt_hbm_bytes_saved_total").get() > 0);
+        // The eager run never creates the pass counters.
+        assert!(!eager_reg.render_prometheus().contains("kernel_fused_total"));
+    }
+
+    #[test]
+    fn memo_separates_opt_configs() {
+        let g = attn_graph();
+        let memo = Arc::new(CostMemo::new());
+        let registry = mmg_telemetry::Registry::new();
+        let eager = Profiler::with_registry(DeviceSpec::a100_80gb(), AttnImpl::Baseline, &registry)
+            .with_memo(Arc::clone(&memo))
+            .profile(&g);
+        let opt = Profiler::with_registry(DeviceSpec::a100_80gb(), AttnImpl::Baseline, &registry)
+            .with_opt_config(OptConfig::all())
+            .with_memo(Arc::clone(&memo))
+            .profile(&g);
+        // The optimized profiler must miss on every op (different keys),
+        // not replay the eager entries.
+        assert!(opt.total_time_s() < eager.total_time_s());
+        assert_eq!(memo.hits(), 0);
     }
 
     #[test]

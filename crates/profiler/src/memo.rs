@@ -27,6 +27,7 @@ use std::sync::Arc;
 
 use mmg_attn::AttnImpl;
 use mmg_gpu::{HierarchyStats, ShardedLru};
+use mmg_graph::optimize::{OptConfig, OptStats};
 use mmg_graph::Op;
 use mmg_kernels::conv::ConvAlgorithm;
 
@@ -51,6 +52,10 @@ pub struct MemoKey {
     /// Cache-simulation probe budget; 0 for non-attention ops or when
     /// cache simulation is disabled.
     pub cache_probes: usize,
+    /// Optimization passes rewriting the lowered kernel stream. The
+    /// identity config and any enabled pass produce different kernels,
+    /// so they memoize separately.
+    pub opt: OptConfig,
     /// [`mmg_gpu::DeviceSpec::fingerprint`] of the simulated device.
     pub device_fingerprint: u64,
 }
@@ -65,6 +70,7 @@ impl MemoKey {
         elem_bytes: usize,
         conv_algo: ConvAlgorithm,
         cache_probes: usize,
+        opt: OptConfig,
         device_fingerprint: u64,
     ) -> Self {
         let is_attn = matches!(op, Op::Attention { .. });
@@ -74,6 +80,7 @@ impl MemoKey {
             elem_bytes,
             conv_algo: matches!(op, Op::Conv2d { .. }).then_some(conv_algo),
             cache_probes: if is_attn { cache_probes } else { 0 },
+            opt,
             device_fingerprint,
         }
     }
@@ -217,11 +224,23 @@ impl CostMemo {
 pub(crate) fn synthetic_op_deltas(
     records: &[KernelRecord],
     cache: Option<HierarchyStats>,
+    opt_stats: OptStats,
 ) -> Vec<(String, u64)> {
     let mut map: BTreeMap<(String, String), u64> = BTreeMap::new();
     let mut bump = |name: &str, labels: String, delta: u64| {
         *map.entry((name.to_string(), labels)).or_default() += delta;
     };
+    // Pass counters follow the live guard: created only on a non-zero
+    // charge (see `record_opt_stats` in the executor).
+    if opt_stats.kernels_fused > 0 {
+        bump("kernel_fused_total", String::new(), opt_stats.kernels_fused);
+    }
+    if opt_stats.launches_elided > 0 {
+        bump("kernel_launches_elided_total", String::new(), opt_stats.launches_elided);
+    }
+    if opt_stats.hbm_bytes_saved > 0 {
+        bump("kernel_opt_hbm_bytes_saved_total", String::new(), opt_stats.hbm_bytes_saved);
+    }
     for k in records {
         let memory_bound = k.memory_s > k.compute_s;
         // Live recording creates this counter only on a non-zero charge
@@ -277,16 +296,37 @@ mod tests {
     #[test]
     fn key_normalizes_irrelevant_knobs() {
         let fp = mmg_gpu::DeviceSpec::a100_80gb().fingerprint();
-        let base = MemoKey::for_op(&linear(), AttnImpl::Baseline, 2, ConvAlgorithm::ImplicitGemm, 9, fp);
-        let flash = MemoKey::for_op(&linear(), AttnImpl::Flash, 2, ConvAlgorithm::Winograd, 0, fp);
+        let opt = OptConfig::default();
+        let base = MemoKey::for_op(
+            &linear(), AttnImpl::Baseline, 2, ConvAlgorithm::ImplicitGemm, 9, opt, fp,
+        );
+        let flash =
+            MemoKey::for_op(&linear(), AttnImpl::Flash, 2, ConvAlgorithm::Winograd, 0, opt, fp);
         assert_eq!(base, flash, "linear ops ignore attention/conv/cache knobs");
         let attn_op = Op::Attention {
             shape: AttentionShape::self_attn(1, 8, 256, 64),
             kind: AttnKind::SpatialSelf,
         };
-        let a = MemoKey::for_op(&attn_op, AttnImpl::Baseline, 2, ConvAlgorithm::ImplicitGemm, 0, fp);
-        let b = MemoKey::for_op(&attn_op, AttnImpl::Flash, 2, ConvAlgorithm::ImplicitGemm, 0, fp);
+        let a = MemoKey::for_op(
+            &attn_op, AttnImpl::Baseline, 2, ConvAlgorithm::ImplicitGemm, 0, opt, fp,
+        );
+        let b =
+            MemoKey::for_op(&attn_op, AttnImpl::Flash, 2, ConvAlgorithm::ImplicitGemm, 0, opt, fp);
         assert_ne!(a, b, "attention ops key on the implementation");
+    }
+
+    #[test]
+    fn key_separates_opt_configs() {
+        let fp = mmg_gpu::DeviceSpec::a100_80gb().fingerprint();
+        let id = MemoKey::for_op(
+            &linear(), AttnImpl::Flash, 2, ConvAlgorithm::ImplicitGemm,
+            0, OptConfig::default(), fp,
+        );
+        let opt = MemoKey::for_op(
+            &linear(), AttnImpl::Flash, 2, ConvAlgorithm::ImplicitGemm,
+            0, OptConfig::all(), fp,
+        );
+        assert_ne!(id, opt, "optimized streams must not replay eager entries");
     }
 
     #[test]
@@ -297,6 +337,7 @@ mod tests {
             2,
             ConvAlgorithm::ImplicitGemm,
             0,
+            OptConfig::default(),
             mmg_gpu::DeviceSpec::a100_80gb().fingerprint(),
         );
         let v = MemoKey {
@@ -315,6 +356,7 @@ mod tests {
             2,
             ConvAlgorithm::ImplicitGemm,
             0,
+            OptConfig::default(),
             42,
         );
         assert!(memo.lookup(&key).is_none());
@@ -376,7 +418,7 @@ mod tests {
             });
         }
         let live = snap.delta_since(&registry);
-        let synthetic = synthetic_op_deltas(&records, None);
+        let synthetic = synthetic_op_deltas(&records, None, OptStats::default());
         let visible: Vec<_> =
             synthetic.iter().filter(|(_, d)| *d > 0).cloned().collect();
         assert_eq!(visible, live);
@@ -393,7 +435,7 @@ mod tests {
             l1: mmg_gpu::CacheStats { accesses: 100, hits: 80 },
             l2: mmg_gpu::CacheStats { accesses: 20, hits: 5 },
         };
-        let deltas = synthetic_op_deltas(&[], Some(stats));
+        let deltas = synthetic_op_deltas(&[], Some(stats), OptStats::default());
         assert_eq!(
             deltas,
             vec![
@@ -401,6 +443,22 @@ mod tests {
                 ("gpu_l1_hits_total".to_string(), 80),
                 ("gpu_l2_accesses_total".to_string(), 20),
                 ("gpu_l2_hits_total".to_string(), 5),
+            ]
+        );
+    }
+
+    #[test]
+    fn synthetic_deltas_include_pass_counters_when_nonzero() {
+        let none = synthetic_op_deltas(&[], None, OptStats::default());
+        assert!(none.is_empty(), "identity passes add no counters");
+        let stats =
+            OptStats { kernels_fused: 3, launches_elided: 0, hbm_bytes_saved: 4096 };
+        let deltas = synthetic_op_deltas(&[], None, stats);
+        assert_eq!(
+            deltas,
+            vec![
+                ("kernel_fused_total".to_string(), 3),
+                ("kernel_opt_hbm_bytes_saved_total".to_string(), 4096),
             ]
         );
     }

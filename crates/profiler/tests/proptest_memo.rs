@@ -12,6 +12,7 @@ use std::sync::Arc;
 
 use mmg_attn::{AttentionShape, AttnImpl};
 use mmg_gpu::DeviceSpec;
+use mmg_graph::optimize::{ElemWidth, OptConfig};
 use mmg_graph::{AttnKind, Graph, Op};
 use mmg_profiler::{CostMemo, Profiler, Timeline};
 use mmg_telemetry::Registry;
@@ -83,10 +84,25 @@ fn graph_of(seeds: &[u64]) -> Graph {
     g
 }
 
-fn profile(g: &Graph, attn: AttnImpl, memo: Option<Arc<CostMemo>>) -> (Timeline, Registry) {
+/// Expands a seed into one of the eight pass combinations × three widths.
+fn opt_from_seed(seed: u64) -> OptConfig {
+    OptConfig {
+        fuse: seed & 1 != 0,
+        width: [ElemWidth::Fp16, ElemWidth::Fp8, ElemWidth::Int8][(seed / 2 % 3) as usize],
+        graph_capture: seed & 8 != 0,
+    }
+}
+
+fn profile(
+    g: &Graph,
+    attn: AttnImpl,
+    opt: OptConfig,
+    memo: Option<Arc<CostMemo>>,
+) -> (Timeline, Registry) {
     let registry = Registry::new();
-    let mut p =
-        Profiler::with_registry(DeviceSpec::a100_80gb(), attn, &registry).with_cache_sim(4096);
+    let mut p = Profiler::with_registry(DeviceSpec::a100_80gb(), attn, &registry)
+        .with_cache_sim(4096)
+        .with_opt_config(opt);
     if let Some(memo) = memo {
         p = p.with_memo(memo);
     }
@@ -125,26 +141,29 @@ fn assert_identical(
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// Cold, intra-run-memoized, and warm-memoized profiling all agree.
+    /// Cold, intra-run-memoized, and warm-memoized profiling all agree,
+    /// under any combination of optimization passes.
     #[test]
     fn memoized_profiling_is_bit_identical(
         seeds in proptest::collection::vec(0u64..u64::MAX, 1..5),
         flash in 0usize..2,
+        opt_seed in 0u64..48,
     ) {
         let attn = if flash == 1 { AttnImpl::Flash } else { AttnImpl::Baseline };
+        let opt = opt_from_seed(opt_seed);
         let g = graph_of(&seeds);
-        let cold = profile(&g, attn, None);
+        let cold = profile(&g, attn, opt, None);
 
         // First memoized run: every distinct op misses once (pass 0) and
         // hits on repetition (pass 1).
         let memo = Arc::new(CostMemo::new());
-        let first = profile(&g, attn, Some(Arc::clone(&memo)));
+        let first = profile(&g, attn, opt, Some(Arc::clone(&memo)));
         prop_assert!(memo.hits() >= seeds.len() as u64, "second pass must hit");
         assert_identical("intra-run", &cold, &first);
 
         // Second run against the warm memo: pure replay.
         let hits_before = memo.hits();
-        let warm = profile(&g, attn, Some(Arc::clone(&memo)));
+        let warm = profile(&g, attn, opt, Some(Arc::clone(&memo)));
         prop_assert_eq!(
             memo.hits(),
             hits_before + g.len() as u64,

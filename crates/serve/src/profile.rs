@@ -172,6 +172,25 @@ impl ServiceProfile {
     /// absent).
     #[must_use]
     pub fn from_profiler(profiler: &Profiler, models: &[ModelId], batches: &[usize]) -> Self {
+        ServiceProfile::from_profiler_sampled(profiler, models, batches, None)
+    }
+
+    /// Like [`ServiceProfile::from_profiler`], with the diffusion
+    /// sampler's denoising steps capped at `sampler_steps` (distilled
+    /// few-step sampling). Autoregressive and MaskGIT models are
+    /// unaffected — their iteration counts are structural.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batches` is empty (batch 1 is added automatically when
+    /// absent).
+    #[must_use]
+    pub fn from_profiler_sampled(
+        profiler: &Profiler,
+        models: &[ModelId],
+        batches: &[usize],
+        sampler_steps: Option<usize>,
+    ) -> Self {
         assert!(!batches.is_empty(), "need at least one batch size");
         let mut batches: Vec<usize> = batches.to_vec();
         if !batches.contains(&1) {
@@ -183,12 +202,18 @@ impl ServiceProfile {
         let curves = models
             .iter()
             .map(|&model| {
-                let pipe1 = suite::build(model).profile(profiler).total_time_s();
-                let hot1 = hot_stage_s(profiler, model, 1);
+                let mut pipeline = suite::build(model);
+                if let Some(steps) = sampler_steps {
+                    pipeline = pipeline.with_sampler_steps(steps);
+                }
+                let pipe1 = pipeline.profile(profiler).total_time_s();
+                let hot1 = hot_stage_s(profiler, model, 1, sampler_steps);
                 let overhead_s = (pipe1 - hot1).max(0.0);
                 let points = batches
                     .iter()
-                    .map(|&b| (b, overhead_s * b as f64 + hot_stage_s(profiler, model, b)))
+                    .map(|&b| {
+                        (b, overhead_s * b as f64 + hot_stage_s(profiler, model, b, sampler_steps))
+                    })
                     .collect();
                 ServiceCurve::new(model, points)
             })
@@ -235,43 +260,57 @@ impl ServiceProfile {
 }
 
 /// Seconds the dominant repeated stages of `model` take for a batch of
-/// `b` requests, via the profiler.
-fn hot_stage_s(profiler: &Profiler, model: ModelId, b: usize) -> f64 {
+/// `b` requests, via the profiler. `sampler_steps` caps the denoising
+/// step counts of diffusion models (mirroring
+/// [`mmg_models::Pipeline::with_sampler_steps`]); other loops are
+/// structural and ignore it.
+fn hot_stage_s(
+    profiler: &Profiler,
+    model: ModelId,
+    b: usize,
+    sampler_steps: Option<usize>,
+) -> f64 {
     let t = |graph| profiler.profile(&graph).total_time_s();
+    // AR decode and MaskGIT resampling change shape every iteration, so
+    // they cannot stay inside a captured graph; only the static-shape
+    // denoising loops keep any graph-capture benefit.
+    let uncaptured = profiler.without_graph_capture();
+    let t_dyn = |graph| uncaptured.profile(&graph).total_time_s();
+    let cap = |steps: usize| sampler_steps.map_or(steps, |s| steps.min(s.max(1)));
     match model {
         ModelId::StableDiffusion => {
             let cfg = suite::stable_diffusion::StableDiffusionConfig::default();
-            cfg.steps as f64 * t(unet_step_graph(&cfg.unet(), cfg.latent_res(), b))
+            cap(cfg.steps) as f64 * t(unet_step_graph(&cfg.unet(), cfg.latent_res(), b))
         }
         ModelId::ProdImage => {
             let cfg = suite::prod_image::ProdImageConfig::default();
-            cfg.steps as f64 * t(unet_step_graph(&cfg.unet(), cfg.latent_res(), b))
+            cap(cfg.steps) as f64 * t(unet_step_graph(&cfg.unet(), cfg.latent_res(), b))
         }
         ModelId::Imagen => {
             let cfg = suite::imagen::ImagenConfig::default();
-            cfg.base_steps as f64 * t(unet_step_graph(&cfg.base_unet(), 64, b))
-                + cfg.sr1_steps as f64 * t(unet_step_graph(&cfg.sr1_unet(), 256, b))
-                + cfg.sr2_steps as f64 * t(unet_step_graph(&cfg.sr2_unet(), 1024, b))
+            cap(cfg.base_steps) as f64 * t(unet_step_graph(&cfg.base_unet(), 64, b))
+                + cap(cfg.sr1_steps) as f64 * t(unet_step_graph(&cfg.sr1_unet(), 256, b))
+                + cap(cfg.sr2_steps) as f64 * t(unet_step_graph(&cfg.sr2_unet(), 1024, b))
         }
         ModelId::MakeAVideo => {
             // The UNet's third axis is the frame count; a batch of b videos
             // is b×frames independent frames.
             let cfg = suite::make_a_video::MakeAVideoConfig::default();
-            cfg.base_steps as f64
+            cap(cfg.base_steps) as f64
                 * t(unet_step_graph(&cfg.base_unet(), cfg.base_res, cfg.frames * b))
-                + cfg.sr_steps as f64
+                + cap(cfg.sr_steps) as f64
                     * t(unet_step_graph(&cfg.sr_unet(), cfg.sr_res, cfg.frames * b))
         }
         ModelId::Parti => {
             let cfg = suite::parti::PartiConfig::default();
             let total = cfg.image_grid * cfg.image_grid;
             // Mid-generation KV length stands for the linear ramp.
-            total as f64 * t(batched_decode_step_graph(&cfg.decoder, total / 2, b))
+            total as f64 * t_dyn(batched_decode_step_graph(&cfg.decoder, total / 2, b))
         }
         ModelId::Llama2 => {
             let cfg = suite::llama::Llama2Config::default();
             let kv = cfg.prompt_len + cfg.gen_tokens / 2;
-            cfg.gen_tokens as f64 * t(batched_decode_step_graph(&cfg.transformer, kv, b))
+            cfg.gen_tokens as f64 * t_dyn(batched_decode_step_graph(&cfg.transformer, kv, b))
         }
         ModelId::Muse => {
             // Window = one request's token count ⇒ b independent requests,
@@ -280,15 +319,15 @@ fn hot_stage_s(profiler: &Profiler, model: ModelId, b: usize) -> f64 {
             let base_tokens = cfg.base_grid * cfg.base_grid;
             let sr_tokens = cfg.sr_grid * cfg.sr_grid;
             cfg.base_steps as f64
-                * t(windowed_encoder_graph(&cfg.base, base_tokens * b, base_tokens))
+                * t_dyn(windowed_encoder_graph(&cfg.base, base_tokens * b, base_tokens))
                 + cfg.sr_steps as f64
-                    * t(windowed_encoder_graph(&cfg.sr, sr_tokens * b, cfg.sr_window))
+                    * t_dyn(windowed_encoder_graph(&cfg.sr, sr_tokens * b, cfg.sr_window))
         }
         ModelId::Phenaki => {
             let cfg = suite::phenaki::PhenakiConfig::default();
             let tokens = cfg.video_tokens();
             cfg.maskgit_steps as f64
-                * t(windowed_encoder_graph(&cfg.maskgit, tokens * b, tokens))
+                * t_dyn(windowed_encoder_graph(&cfg.maskgit, tokens * b, tokens))
         }
     }
 }
@@ -569,6 +608,26 @@ mod tests {
                 assert!(w[1].1 >= w[0].1, "{}: batch time shrank", c.model);
             }
         }
+    }
+
+    #[test]
+    fn sampler_cap_shrinks_diffusion_curves_only() {
+        let p = profiler();
+        let models = [ModelId::StableDiffusion, ModelId::Parti];
+        let full = ServiceProfile::from_profiler(&p, &models, &[1, 8]);
+        let fast = ServiceProfile::from_profiler_sampled(&p, &models, &[1, 8], Some(4));
+        let sd_full = full.curve(ModelId::StableDiffusion).unwrap().base_s();
+        let sd_fast = fast.curve(ModelId::StableDiffusion).unwrap().base_s();
+        // 50 steps → 4: the UNet loop dominates, so near-proportional.
+        assert!(
+            sd_full / sd_fast > 5.0,
+            "distilled sampler speedup too small: {}",
+            sd_full / sd_fast
+        );
+        // Autoregressive decode is structural; its curve is untouched.
+        let parti_full = full.curve(ModelId::Parti).unwrap();
+        let parti_fast = fast.curve(ModelId::Parti).unwrap();
+        assert_eq!(parti_full.points, parti_fast.points);
     }
 
     #[test]
