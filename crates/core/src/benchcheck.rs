@@ -5,8 +5,10 @@
 //! wall seconds plus throughput figures for the serving fast path
 //! (`serve.requests_per_sec`), the multi-cluster fleet simulator
 //! (`fleet.requests_per_sec`), the token-level serving engine
-//! (`token.tokens_per_sec`), and the optimization-pass headline
-//! (`optimize.speedup_all_passes`). This module diffs two snapshots:
+//! (`token.tokens_per_sec`), the optimization-pass headline
+//! (`optimize.speedup_all_passes`), and the power-capped serving
+//! frontier (`energy.best_good_per_wh`). This module diffs two
+//! snapshots:
 //!
 //! * an **experiment** regresses when its new wall time exceeds the old
 //!   by more than the threshold — but only when at least one side is
@@ -33,8 +35,8 @@ pub const DEFAULT_MIN_WALL_S: f64 = 0.05;
 #[derive(Debug, Clone, PartialEq)]
 pub struct FigureDelta {
     /// Figure name (`experiment:<id>`, `serve:requests_per_sec`,
-    /// `fleet:requests_per_sec`, `token:tokens_per_sec`, or
-    /// `optimize:speedup_all_passes`).
+    /// `fleet:requests_per_sec`, `token:tokens_per_sec`,
+    /// `optimize:speedup_all_passes`, or `energy:best_good_per_wh`).
     pub name: String,
     /// Baseline value.
     pub old: f64,
@@ -80,12 +82,16 @@ fn experiments(v: &Value) -> Vec<(String, f64)> {
 /// `(section, field)` pairs holding a higher-is-better figure
 /// (regression direction flips relative to wall times). The `optimize`
 /// entry gates the all-passes geomean speedup: a drop means an
-/// optimization pass stopped firing, not runner jitter.
-const THROUGHPUT_FIGURES: [(&str, &str); 4] = [
+/// optimization pass stopped firing, not runner jitter. The `energy`
+/// entry gates the best on-time-requests-per-Wh cell of the
+/// power-capped batching frontier: a drop means the power model or the
+/// energy-optimal batch shifted.
+const THROUGHPUT_FIGURES: [(&str, &str); 5] = [
     ("serve", "requests_per_sec"),
     ("fleet", "requests_per_sec"),
     ("token", "tokens_per_sec"),
     ("optimize", "speedup_all_passes"),
+    ("energy", "best_good_per_wh"),
 ];
 
 fn throughput(v: &Value, section: &str, field: &str) -> Option<f64> {
@@ -301,6 +307,31 @@ mod tests {
         // A larger speedup is never a regression; older snapshots that
         // predate the figure are skipped silently.
         assert!(!compare(&old, &with_opt(3.0), 0.15, 0.05).regressed());
+        assert!(!compare(&snapshot(&[], None), &old, 0.15, 0.05).regressed());
+    }
+
+    #[test]
+    fn energy_frontier_is_gated_like_a_throughput() {
+        let with_energy = |good_per_wh: f64| {
+            let mut v = snapshot(&[], None);
+            if let Value::Object(fields) = &mut v {
+                fields.push((
+                    "energy".to_string(),
+                    Value::Object(vec![(
+                        "best_good_per_wh".to_string(),
+                        Value::from(good_per_wh),
+                    )]),
+                ));
+            }
+            v
+        };
+        let old = with_energy(40.0);
+        let c = compare(&old, &with_energy(20.0), 0.15, 0.05);
+        assert!(c.regressed());
+        assert_eq!(c.deltas[0].name, "energy:best_good_per_wh");
+        // More goodput per watt-hour is never a regression; snapshots
+        // that predate the figure are skipped silently.
+        assert!(!compare(&old, &with_energy(60.0), 0.15, 0.05).regressed());
         assert!(!compare(&snapshot(&[], None), &old, 0.15, 0.05).regressed());
     }
 

@@ -67,9 +67,12 @@
 //! fixed seed, so two invocations of the same command — serial or
 //! parallel, warm or cold memo — produce identical stdout.
 //! Every run ends with a
-//! run-manifest JSON line on stderr (or in the `--manifest` file): the
-//! simulated device, the experiments executed, elapsed wall time, and
-//! final telemetry counter totals.
+//! run-manifest JSON line: the simulated device, the experiments
+//! executed, and final telemetry counter totals. The line is printed
+//! to stdout and is deterministic — the wall-clock `elapsed_s` goes to
+//! stderr on its own, so byte-comparing two runs' stdout (CI's `--jobs`
+//! determinism gate) is a plain `cmp`. With `--manifest <path>` the
+//! manifest is written to the file instead, with `elapsed_s` included.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -279,6 +282,20 @@ fn bench_snapshot(spec: &DeviceSpec, path: Option<String>) -> Result<String, Str
             ("speedup_all_passes".to_string(), Value::from(r.speedup_all_passes)),
         ])
     };
+    // Energy figure: the best on-time-requests-per-Wh cell of the
+    // power-capped batching frontier, re-run against the warm memo.
+    // Gated by bench-check like the throughput figures: a drop means
+    // the power model or the energy-optimal batch size shifted, not
+    // runner jitter.
+    let energy_fig = {
+        let t0 = Instant::now();
+        let r = mmg_core::experiments::energy::run_ctx(&ctx);
+        let wall_s = t0.elapsed().as_secs_f64();
+        Value::Object(vec![
+            ("wall_s".to_string(), Value::from(wall_s)),
+            ("best_good_per_wh".to_string(), Value::from(r.best_good_per_wh)),
+        ])
+    };
     let snapshot = Value::Object(vec![
         ("date".to_string(), Value::from(today_stamp())),
         ("device".to_string(), Value::from(spec.name.clone())),
@@ -287,6 +304,7 @@ fn bench_snapshot(spec: &DeviceSpec, path: Option<String>) -> Result<String, Str
         ("fleet".to_string(), fleet),
         ("token".to_string(), token),
         ("optimize".to_string(), optimize_fig),
+        ("energy".to_string(), energy_fig),
         ("total_s".to_string(), Value::from(started.elapsed().as_secs_f64())),
         (
             "memo".to_string(),
@@ -1397,23 +1415,16 @@ fn main() -> ExitCode {
         println!("device: {}\n", spec.name);
         println!("{}", mmg_core::experiments::serve_sweep::render_replicated(&result));
         let targets = [ExperimentId::ServeSweep];
-        let manifest =
-            run_manifest(&spec, &targets, started.elapsed().as_secs_f64(), &registry);
-        let manifest_line =
-            serde_json::to_string(&manifest).expect("run manifests always serialize");
-        match &manifest_path {
-            Some(path) => {
-                if let Err(e) = write_file(path, &manifest_line, "run manifest") {
-                    eprintln!("{e}");
-                    return ExitCode::FAILURE;
-                }
-            }
-            None => eprintln!("{manifest_line}"),
+        if let Err(e) =
+            emit_manifest(&spec, &targets, started.elapsed().as_secs_f64(), &registry, &manifest_path)
+        {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
         }
         return ExitCode::SUCCESS;
     }
     if targets.is_empty() {
-        eprintln!("usage: repro [--device <name>] [--jobs <n>] [--json] [--metrics <path>] [--trace-out <path>] [--manifest <path>] [--replications <n> [--sweep-seed <n>]] <bench-snapshot | all | fig1 | table1 | fig4 | fig5 | fig6 | table2 | table3 | fig7 | fig8 | fig9 | fig11 | fig12 | fig13 | secv | flashdec | optimize | pods | batch | tp | ablations | serve-sweep | serve-timeline | serve-attrib | fleet-sweep | token-sweep>…");
+        eprintln!("usage: repro [--device <name>] [--jobs <n>] [--json] [--metrics <path>] [--trace-out <path>] [--manifest <path>] [--replications <n> [--sweep-seed <n>]] <bench-snapshot | all | fig1 | table1 | fig4 | fig5 | fig6 | table2 | table3 | fig7 | fig8 | fig9 | fig11 | fig12 | fig13 | secv | flashdec | optimize | pods | batch | tp | ablations | serve-sweep | serve-timeline | serve-attrib | fleet-sweep | token-sweep | energy>…");
         eprintln!("       repro optimize [--device <name>] [--fuse] [--width <fp16|fp8|int8>] [--graph-capture] [--sampler-steps <n>] [--jobs <n>]");
         eprintln!("       repro serve [--device <name>] [--gpus <n>] [--mix <model:weight,…>] [--arrival <poisson|bursty|diurnal>] [--rate <rps>] [--scheduler <fifo|static|dynamic|pods>] [--batch <n>] [--router <rr|least-work|affinity>] [--slo-ms <ms>] [--duration-s <s>] [--requests <n>] [--seed <n>] [--metrics <path>] [--metrics-out <path>] [--trace-out <path>] [--jobs <n>] [--full-records] [--attrib]");
         eprintln!("       repro fleet [--clusters <n>] [--gpus <per-cluster>] [--arrival <poisson|diurnal>] [--util <frac>] [--rate <rps>] [--policy <fixed|reactive|reactive+spot>] [--requests <n>] [--duration-s <s>] [--windows <n>] [--scheduler <fifo|static|dynamic|pods>] [--batch <n>] [--seed <n>] [--jobs <n>] [--metrics-out <path>]");
@@ -1467,17 +1478,39 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    let manifest = run_manifest(&spec, &targets, started.elapsed().as_secs_f64(), &registry);
-    let manifest_line =
-        serde_json::to_string(&manifest).expect("run manifests always serialize");
-    match &manifest_path {
-        Some(path) => {
-            if let Err(e) = write_file(path, &manifest_line, "run manifest") {
-                eprintln!("{e}");
-                return ExitCode::FAILURE;
-            }
-        }
-        None => eprintln!("{manifest_line}"),
+    if let Err(e) = emit_manifest(&spec, &targets, started.elapsed().as_secs_f64(), &registry, &manifest_path) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+/// Emits the end-of-run manifest. Default: the deterministic form (no
+/// wall clock) on stdout — byte-identical for every `--jobs`, so CI's
+/// determinism gates compare with plain `cmp` — and `elapsed_s` alone
+/// on stderr. With `--manifest <path>`, the full manifest (wall clock
+/// included) goes to the file and nothing extra is printed.
+fn emit_manifest(
+    spec: &DeviceSpec,
+    targets: &[ExperimentId],
+    elapsed_s: f64,
+    registry: &mmg_telemetry::Registry,
+    manifest_path: &Option<String>,
+) -> Result<(), String> {
+    match manifest_path {
+        Some(path) => {
+            let manifest = run_manifest(spec, targets, Some(elapsed_s), registry);
+            let line =
+                serde_json::to_string(&manifest).expect("run manifests always serialize");
+            write_file(path, &line, "run manifest")
+        }
+        None => {
+            let manifest = run_manifest(spec, targets, None, registry);
+            let line =
+                serde_json::to_string(&manifest).expect("run manifests always serialize");
+            println!("{line}");
+            eprintln!("{{\"elapsed_s\":{elapsed_s}}}");
+            Ok(())
+        }
+    }
 }

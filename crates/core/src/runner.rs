@@ -7,9 +7,9 @@ use mmg_gpu::DeviceSpec;
 
 use crate::engine::ExecContext;
 use crate::experiments::{
-    ablations, batch, fig1, fig11, fig12, fig13, fig4, fig5, fig6, fig7, fig8, fig9, flashdec,
-    fleet_sweep, optimize, pods, secv, serve_attrib, serve_sweep, serve_timeline, table1, table2,
-    table3, token_sweep, tp,
+    ablations, batch, energy, fig1, fig11, fig12, fig13, fig4, fig5, fig6, fig7, fig8, fig9,
+    flashdec, fleet_sweep, optimize, pods, secv, serve_attrib, serve_sweep, serve_timeline, table1,
+    table2, table3, token_sweep, tp,
 };
 
 /// Identifier of one reproducible artifact.
@@ -66,11 +66,14 @@ pub enum ExperimentId {
     /// Extension: token-level serving sweep (static vs continuous
     /// batching × utilization × KV-cache budget).
     TokenSweep,
+    /// Extension: per-kernel power regimes, energy per request, and the
+    /// goodput/Wh serving frontier under a power cap.
+    Energy,
 }
 
 impl ExperimentId {
     /// All experiments in paper order.
-    pub const ALL: [ExperimentId; 25] = [
+    pub const ALL: [ExperimentId; 26] = [
         ExperimentId::Fig1,
         ExperimentId::Table1,
         ExperimentId::Fig4,
@@ -96,6 +99,7 @@ impl ExperimentId {
         ExperimentId::ServeAttrib,
         ExperimentId::FleetSweep,
         ExperimentId::TokenSweep,
+        ExperimentId::Energy,
     ];
 }
 
@@ -127,6 +131,7 @@ impl fmt::Display for ExperimentId {
             ExperimentId::ServeAttrib => "serve-attrib",
             ExperimentId::FleetSweep => "fleet-sweep",
             ExperimentId::TokenSweep => "token-sweep",
+            ExperimentId::Energy => "energy",
         };
         f.write_str(s)
     }
@@ -203,6 +208,7 @@ pub fn run_experiment_with(id: ExperimentId, ctx: &ExecContext) -> String {
         ExperimentId::ServeAttrib => serve_attrib::render(&serve_attrib::run_ctx(ctx)),
         ExperimentId::FleetSweep => fleet_sweep::render(&fleet_sweep::run_ctx(ctx)),
         ExperimentId::TokenSweep => token_sweep::render(&token_sweep::run_ctx(ctx)),
+        ExperimentId::Energy => energy::render(&energy::run_ctx(ctx)),
     }
 }
 
@@ -256,6 +262,7 @@ pub fn run_experiment_value_with(id: ExperimentId, ctx: &ExecContext) -> serde_j
         ExperimentId::ServeAttrib => v(&serve_attrib::run_ctx(ctx)),
         ExperimentId::FleetSweep => v(&fleet_sweep::run_ctx(ctx)),
         ExperimentId::TokenSweep => v(&token_sweep::run_ctx(ctx)),
+        ExperimentId::Energy => v(&energy::run_ctx(ctx)),
     }
 }
 
@@ -272,8 +279,13 @@ pub fn run_experiment_json(id: ExperimentId, spec: &DeviceSpec) -> String {
 }
 
 /// Builds the run manifest for one CLI invocation: the simulated device,
-/// the experiments executed, elapsed wall time, and the final telemetry
-/// counter totals from `registry`.
+/// the experiments executed, optionally the elapsed wall time, and the
+/// final telemetry counter totals from `registry`.
+///
+/// Pass `elapsed_s: None` for the stdout summary line — everything left
+/// is a pure function of the run, so two invocations (any `--jobs`)
+/// byte-compare with plain `cmp`. Pass `Some(wall)` for the
+/// `--manifest` file, where the wall clock belongs in the run record.
 ///
 /// # Panics
 ///
@@ -282,7 +294,7 @@ pub fn run_experiment_json(id: ExperimentId, spec: &DeviceSpec) -> String {
 pub fn run_manifest(
     spec: &DeviceSpec,
     ids: &[ExperimentId],
-    elapsed_s: f64,
+    elapsed_s: Option<f64>,
     registry: &mmg_telemetry::Registry,
 ) -> serde_json::Value {
     use serde_json::Value;
@@ -292,7 +304,7 @@ pub fn run_manifest(
         .iter()
         .map(|(name, value)| (name.clone(), Value::from(*value)))
         .collect();
-    Value::Object(vec![
+    let mut fields = vec![
         (
             "device".to_string(),
             serde_json::to_value(spec).expect("device specs always serialize"),
@@ -301,9 +313,12 @@ pub fn run_manifest(
             "experiments".to_string(),
             Value::Array(ids.iter().map(|id| Value::from(id.to_string())).collect()),
         ),
-        ("elapsed_s".to_string(), Value::from(elapsed_s)),
-        ("counters".to_string(), Value::Object(counters)),
-    ])
+    ];
+    if let Some(wall) = elapsed_s {
+        fields.push(("elapsed_s".to_string(), Value::from(wall)));
+    }
+    fields.push(("counters".to_string(), Value::Object(counters)));
+    Value::Object(fields)
 }
 
 #[cfg(test)]

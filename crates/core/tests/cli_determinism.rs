@@ -38,27 +38,33 @@ fn json_mode_is_deterministic_across_job_counts() {
     assert_eq!(serial, parallel, "--jobs 3 changes JSON stream");
     assert_eq!(
         serial.lines().count(),
-        SUBSET.len(),
-        "one envelope line per experiment"
+        SUBSET.len() + 1,
+        "one envelope line per experiment plus the manifest line"
     );
-    for line in serial.lines() {
+    for line in serial.lines().take(SUBSET.len()) {
         let v: serde_json::Value = serde_json::from_str(line).expect("valid JSON envelope");
         assert!(v.get("experiment").is_some() && v.get("result").is_some());
     }
 }
 
 #[test]
-fn manifest_counter_totals_match_across_job_counts() {
-    // The manifest (stderr JSON line) carries final telemetry counter
+fn manifest_on_stdout_is_deterministic_and_wall_clock_stays_on_stderr() {
+    // The manifest closes stdout and carries final telemetry counter
     // totals; the in-order merge must make them independent of --jobs.
-    let (_, stderr_serial) = repro(&["--jobs", "1"]);
-    let (_, stderr_parallel) = repro(&["--jobs", "4"]);
+    // The wall clock is the one nondeterministic datum, so it lives on
+    // stderr alone — CI byte-compares stdout with plain `cmp`.
+    let (stdout_serial, stderr_serial) = repro(&["--jobs", "1"]);
+    let (stdout_parallel, _) = repro(&["--jobs", "4"]);
     let manifest = |s: &str| -> serde_json::Value {
-        let line = s.lines().last().expect("manifest line on stderr");
+        let line = s.lines().last().expect("manifest line on stdout");
         serde_json::from_str(line).expect("manifest is valid JSON")
     };
-    assert_eq!(
-        manifest(&stderr_serial).get("counters"),
-        manifest(&stderr_parallel).get("counters")
-    );
+    let serial = manifest(&stdout_serial);
+    assert_eq!(serial.get("counters"), manifest(&stdout_parallel).get("counters"));
+    assert!(serial.get("elapsed_s").is_none(), "wall clock leaked into stdout");
+    let wall: serde_json::Value = serde_json::from_str(
+        stderr_serial.lines().last().expect("elapsed_s line on stderr"),
+    )
+    .expect("stderr wall-clock line is JSON");
+    assert!(wall.get("elapsed_s").and_then(serde_json::Value::as_f64).is_some());
 }

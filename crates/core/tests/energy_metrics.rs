@@ -1,0 +1,194 @@
+//! Exposition validity of the energy metric families, end to end: the
+//! profiler's integrated per-kernel joules (`gpu_energy_uj_total`,
+//! `kernel_energy_uj_total`, `gpu_power_w`), the serving DES energy
+//! gauges (`serve_energy_wh`, `serve_gpu_energy_wh`,
+//! `serve_mean_power_w`), and the fleet simulator's per-cluster total
+//! (`fleet_wh_total`) — all emitted into one registry by the real code
+//! paths, then the Prometheus text form is parsed line by line and held
+//! to the exposition-format rules.
+
+use std::sync::Arc;
+
+use mmg_attn::AttnImpl;
+use mmg_core::ExecContext;
+use mmg_gpu::DeviceSpec;
+use mmg_models::{suite, ModelId};
+use mmg_profiler::CostMemo;
+use mmg_serve::{
+    run_cluster, simulate, ArrivalProcess, AutoscalerPolicy, ClusterCfg, FleetCfg, RequestMix,
+    RouterKind, ScenarioCfg, SchedulerKind, ServiceProfile, SloSpec,
+};
+
+/// `(family, expected TYPE kind)` for every energy series the repo
+/// exposes. Energy totals integrated on the simulated clock are
+/// counters; run-level summaries and instantaneous draw are gauges.
+const ENERGY_FAMILIES: [(&str, &str); 7] = [
+    ("gpu_energy_uj_total", "counter"),
+    ("kernel_energy_uj_total", "counter"),
+    ("gpu_power_w", "gauge"),
+    ("serve_energy_wh", "gauge"),
+    ("serve_gpu_energy_wh", "gauge"),
+    ("serve_mean_power_w", "gauge"),
+    ("fleet_wh_total", "gauge"),
+];
+
+/// Asserts `{k="v",…}` label syntax: non-empty keys, quoted values.
+fn assert_labels_well_formed(series: &str) {
+    let Some(open) = series.find('{') else { return };
+    let body = series
+        .strip_suffix('}')
+        .unwrap_or_else(|| panic!("unclosed label block in {series}"));
+    for pair in body[open + 1..].split(',') {
+        let (k, v) = pair
+            .split_once('=')
+            .unwrap_or_else(|| panic!("label pair without '=' in {series}"));
+        assert!(!k.is_empty(), "empty label key in {series}");
+        assert!(
+            v.len() >= 2 && v.starts_with('"') && v.ends_with('"'),
+            "unquoted label value in {series}"
+        );
+    }
+}
+
+#[test]
+fn energy_families_render_as_valid_prometheus() {
+    let ctx = ExecContext::isolated(DeviceSpec::a100_80gb(), Arc::new(CostMemo::new()));
+
+    // Profiler path: per-kernel joules and the board-draw gauge.
+    let profiler = ctx.profiler(AttnImpl::Flash);
+    let _ = suite::build(ModelId::StableDiffusion).profile(&profiler);
+
+    // Serving DES path: a sampled profile carries power, so the run
+    // sets the serve_* energy gauges (one per GPU plus the totals).
+    let models = [ModelId::StableDiffusion, ModelId::Parti];
+    let profile = ServiceProfile::from_profiler_sampled(&profiler, &models, &[1, 2, 4], None);
+    let mix = RequestMix::parse("sd:8,parti:2").unwrap();
+    let rate = 0.8 * 2.0 / profile.mean_base_s(&mix);
+    let mut cfg = ScenarioCfg::new(
+        2,
+        mix,
+        ArrivalProcess::poisson(rate),
+        SchedulerKind::Dynamic { max_batch: 8 },
+        SloSpec::ServiceMultiple(4.0),
+        30.0,
+        7,
+    );
+    cfg.full_records = false;
+    let sim = simulate(&cfg, &profile, &ctx.registry);
+    assert!(sim.total_energy_wh().expect("sampled profile is metered") > 0.0);
+
+    // Fleet path: one metered cluster sets fleet_wh_total{cluster}.
+    let fleet = FleetCfg {
+        clusters: vec![ClusterCfg {
+            name: "us-east".into(),
+            sku: "a100".into(),
+            gpus: 2,
+            price_per_gpu_hr: 2.0,
+            weight: 1.0,
+            phase_s: 0.0,
+        }],
+        mix: RequestMix::parse("sd:8,parti:2").unwrap(),
+        arrival: ArrivalProcess::poisson(rate),
+        scheduler: SchedulerKind::Fifo,
+        router: RouterKind::RoundRobin,
+        slo: SloSpec::ServiceMultiple(4.0),
+        window_s: 30.0,
+        windows: 2,
+        autoscaler: AutoscalerPolicy::Fixed,
+        seed: 42,
+    };
+    let cluster = run_cluster(&fleet, 0, &profile, &ctx.registry);
+    assert!(cluster.energy_wh > 0.0, "metered fleet run lost its energy");
+
+    let text = ctx.registry.render_prometheus();
+
+    // Walk the exposition once: families are announced exactly once,
+    // HELP directly before TYPE, samples only after their header.
+    let mut kinds: Vec<(String, String)> = Vec::new();
+    let mut pending_help: Option<String> = None;
+    let mut samples: Vec<(String, String, f64)> = Vec::new();
+    for line in text.lines() {
+        assert!(!line.trim().is_empty(), "blank line in exposition");
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split_whitespace().next().expect("HELP has a name");
+            assert!(pending_help.is_none(), "two HELP lines in a row at {line}");
+            assert!(rest.len() > name.len() + 1, "HELP {name} has no text");
+            pending_help = Some(name.to_string());
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().expect("TYPE has a name");
+            let kind = parts.next().expect("TYPE has a kind");
+            assert_eq!(
+                pending_help.take().as_deref(),
+                Some(name),
+                "TYPE {name} not directly preceded by its HELP"
+            );
+            assert!(
+                !kinds.iter().any(|(n, _)| n == name),
+                "family {name} announced twice"
+            );
+            kinds.push((name.to_string(), kind.to_string()));
+        } else {
+            assert!(pending_help.is_none(), "sample interleaved between HELP and TYPE");
+            let (series, value) = line.rsplit_once(' ').expect("sample line shape");
+            let value: f64 = value.parse().unwrap_or_else(|_| panic!("value in {line}"));
+            let family = series.split('{').next().unwrap().to_string();
+            assert!(
+                kinds.iter().any(|(n, _)| *n == family)
+                    || family.ends_with("_bucket")
+                    || family.ends_with("_sum")
+                    || family.ends_with("_count"),
+                "sample {series} before its family header"
+            );
+            assert_labels_well_formed(series);
+            samples.push((family, series.to_string(), value));
+        }
+    }
+    assert!(pending_help.is_none(), "dangling HELP at end of exposition");
+
+    // Every energy family is present, has the right TYPE, exactly one
+    // header, and only finite non-negative sample values.
+    for (family, want_kind) in ENERGY_FAMILIES {
+        let kind = &kinds
+            .iter()
+            .find(|(n, _)| n == family)
+            .unwrap_or_else(|| panic!("family {family} missing from exposition"))
+            .1;
+        assert_eq!(kind, want_kind, "wrong TYPE for {family}");
+        assert_eq!(text.matches(&format!("# TYPE {family} ")).count(), 1);
+        assert_eq!(text.matches(&format!("# HELP {family} ")).count(), 1);
+        let values: Vec<f64> = samples
+            .iter()
+            .filter(|(f, _, _)| f == family)
+            .map(|&(_, _, v)| v)
+            .collect();
+        assert!(!values.is_empty(), "{family} announced but has no samples");
+        for v in &values {
+            assert!(v.is_finite() && *v >= 0.0, "{family} sample {v} out of range");
+        }
+    }
+
+    // Per-instance labels: one serve_gpu_energy_wh series per GPU and a
+    // cluster-labeled fleet total.
+    for gpu in ["0", "1"] {
+        assert!(
+            samples
+                .iter()
+                .any(|(_, s, _)| s == &format!("serve_gpu_energy_wh{{gpu=\"{gpu}\"}}")),
+            "missing serve_gpu_energy_wh series for gpu {gpu}"
+        );
+    }
+    assert!(
+        samples
+            .iter()
+            .any(|(_, s, v)| s == "fleet_wh_total{cluster=\"us-east\"}" && *v > 0.0),
+        "missing metered fleet_wh_total series"
+    );
+    // The integrated profiler energy is a positive counter.
+    assert!(
+        samples
+            .iter()
+            .any(|(f, _, v)| f == "gpu_energy_uj_total" && *v > 0.0),
+        "gpu_energy_uj_total never incremented"
+    );
+}

@@ -37,4 +37,4 @@ pub use cache::{
 pub use memo::ShardedLru;
 pub use roofline::{Roofline, RooflinePoint};
 pub use specs::DeviceSpec;
-pub use timing::{KernelCost, KernelTime, TimingEngine};
+pub use timing::{quantize_uj, KernelCost, KernelTime, TimingEngine};

@@ -44,6 +44,17 @@ pub struct DeviceSpec {
     pub nvlink_bw_gbs: f64,
     /// NVLink/NCCL per-operation latency in microseconds.
     pub nvlink_latency_us: f64,
+    /// Board draw in watts when the device is powered but no kernel is
+    /// resident (clocks parked, HBM refreshing).
+    pub idle_w: f64,
+    /// Sustained draw in watts of a fully memory-bound kernel stream —
+    /// HBM at peak bandwidth, tensor cores mostly dark.
+    pub hbm_bound_w: f64,
+    /// Sustained draw in watts of a fully tensor-core-bound kernel
+    /// stream — the highest sustained regime below the TDP cap.
+    pub tc_bound_w: f64,
+    /// Board TDP in watts; per-kernel modeled draw is clamped here.
+    pub tdp_w: f64,
 }
 
 impl DeviceSpec {
@@ -64,6 +75,10 @@ impl DeviceSpec {
             min_kernel_time_us: 2.0,
             nvlink_bw_gbs: 300.0,
             nvlink_latency_us: 2.0,
+            idle_w: 55.0,
+            hbm_bound_w: 280.0,
+            tc_bound_w: 390.0,
+            tdp_w: 400.0,
         }
     }
 
@@ -95,6 +110,10 @@ impl DeviceSpec {
             min_kernel_time_us: 2.5,
             nvlink_bw_gbs: 150.0,
             nvlink_latency_us: 3.0,
+            idle_w: 50.0,
+            hbm_bound_w: 220.0,
+            tc_bound_w: 295.0,
+            tdp_w: 300.0,
         }
     }
 
@@ -115,6 +134,10 @@ impl DeviceSpec {
             min_kernel_time_us: 1.5,
             nvlink_bw_gbs: 450.0,
             nvlink_latency_us: 1.5,
+            idle_w: 75.0,
+            hbm_bound_w: 480.0,
+            tc_bound_w: 690.0,
+            tdp_w: 700.0,
         }
     }
 
@@ -139,6 +162,10 @@ impl DeviceSpec {
             // No NVLink: PCIe Gen4 x16 is the only fabric.
             nvlink_bw_gbs: 32.0,
             nvlink_latency_us: 5.0,
+            idle_w: 15.0,
+            hbm_bound_w: 50.0,
+            tc_bound_w: 70.0,
+            tdp_w: 72.0,
         }
     }
 
@@ -151,6 +178,10 @@ impl DeviceSpec {
             name: "H200-SXM-141GB".to_owned(),
             hbm_bandwidth_gbs: 4800.0,
             hbm_capacity_gib: 141.0,
+            // HBM3e refresh pushes idle and memory-regime draw up a
+            // notch inside the same 700 W board envelope.
+            idle_w: 80.0,
+            hbm_bound_w: 520.0,
             ..Self::h100_80gb()
         }
     }
@@ -240,6 +271,10 @@ impl DeviceSpec {
         self.min_kernel_time_us.to_bits().hash(&mut h);
         self.nvlink_bw_gbs.to_bits().hash(&mut h);
         self.nvlink_latency_us.to_bits().hash(&mut h);
+        self.idle_w.to_bits().hash(&mut h);
+        self.hbm_bound_w.to_bits().hash(&mut h);
+        self.tc_bound_w.to_bits().hash(&mut h);
+        self.tdp_w.to_bits().hash(&mut h);
         h.finish()
     }
 }
@@ -355,6 +390,44 @@ mod tests {
         assert_eq!(DeviceSpec::a100_80gb().int8_compute_speedup(), 2.0);
         assert_eq!(DeviceSpec::a100_40gb().int8_compute_speedup(), 2.0);
         assert_eq!(DeviceSpec::v100_32gb().int8_compute_speedup(), 1.0);
+    }
+
+    #[test]
+    fn power_regimes_are_ordered_per_sku() {
+        // Satellite: idle <= HBM-bound <= TC-bound <= TDP on every
+        // shipped SKU, so the per-kernel draw interpolation can never
+        // leave the [idle, tdp] envelope.
+        for spec in [
+            DeviceSpec::a100_80gb(),
+            DeviceSpec::a100_40gb(),
+            DeviceSpec::v100_32gb(),
+            DeviceSpec::h100_80gb(),
+            DeviceSpec::l4_24gb(),
+            DeviceSpec::h200_141gb(),
+        ] {
+            assert!(spec.idle_w > 0.0, "{}: idle_w unset", spec.name);
+            assert!(
+                spec.idle_w <= spec.hbm_bound_w,
+                "{}: idle {} > hbm {}",
+                spec.name,
+                spec.idle_w,
+                spec.hbm_bound_w
+            );
+            assert!(
+                spec.hbm_bound_w <= spec.tc_bound_w,
+                "{}: hbm {} > tc {}",
+                spec.name,
+                spec.hbm_bound_w,
+                spec.tc_bound_w
+            );
+            assert!(
+                spec.tc_bound_w <= spec.tdp_w,
+                "{}: tc {} > tdp {}",
+                spec.name,
+                spec.tc_bound_w,
+                spec.tdp_w
+            );
+        }
     }
 
     #[test]

@@ -52,6 +52,14 @@ pub struct KernelTime {
     pub overhead_s: f64,
     /// Total modelled duration, seconds (roofline max + floor + overhead).
     pub total_s: f64,
+    /// Modeled board draw while the kernel body is resident, watts.
+    /// Interpolated between the device's idle, HBM-bound, and
+    /// tensor-core-bound regimes by achieved-vs-peak intensity, clamped
+    /// to TDP.
+    pub draw_w: f64,
+    /// Energy of the launch, joules: the body integrates `draw_w`, the
+    /// launch overhead draws only idle power.
+    pub energy_j: f64,
 }
 
 impl KernelTime {
@@ -60,6 +68,14 @@ impl KernelTime {
     pub fn is_memory_bound(&self) -> bool {
         self.memory_s > self.compute_s
     }
+}
+
+/// Quantizes joules to the whole microjoules the `gpu_energy_uj_total`
+/// counter accumulates. One function shared by the live timing path and
+/// memo replay so the synthetic counter deltas are bitwise identical.
+#[must_use]
+pub fn quantize_uj(energy_j: f64) -> u64 {
+    (energy_j * 1e6).round() as u64
 }
 
 /// Telemetry handles the engine updates on every modelled launch,
@@ -73,10 +89,14 @@ struct TimingMetrics {
     memory_bound: Counter,
     compute_bound: Counter,
     kernel_time_us: Histogram,
+    energy_uj: Counter,
+    power_w: mmg_telemetry::Gauge,
 }
 
 impl TimingMetrics {
     fn for_registry(registry: &Registry) -> Self {
+        registry.describe("gpu_energy_uj_total", "modeled kernel energy, microjoules");
+        registry.describe("gpu_power_w", "modeled board draw of the last kernel launch, watts");
         TimingMetrics {
             launches: registry.counter("gpu_kernel_launches_total"),
             flops: registry.counter("gpu_flops_total"),
@@ -85,6 +105,8 @@ impl TimingMetrics {
             compute_bound: registry.counter("gpu_kernels_compute_bound_total"),
             kernel_time_us: registry
                 .histogram("gpu_kernel_time_us", &mmg_telemetry::time_buckets_us()),
+            energy_uj: registry.counter("gpu_energy_uj_total"),
+            power_w: registry.gauge("gpu_power_w"),
         }
     }
 }
@@ -149,7 +171,29 @@ impl TimingEngine {
         let memory_s = cost.hbm_bytes as f64 / (self.spec.hbm_bytes_per_sec() * cost.memory_eff);
         let floor_s = self.spec.min_kernel_time_us * 1e-6;
         let body = compute_s.max(memory_s).max(floor_s);
-        let time = KernelTime { compute_s, memory_s, overhead_s, total_s: body + overhead_s };
+        // Power: interpolate from idle toward the tensor-core-bound and
+        // HBM-bound regimes by the fraction of each peak the kernel
+        // actually sustains over its body. `compute_s * eff / body` is
+        // achieved / peak FP16 FLOP rate (clamped: reduced-precision
+        // effs above 1 can't draw past the TC regime); the memory term
+        // is <= 1 by construction. Both contributions stack (a kernel
+        // saturating tensor cores *and* HBM runs hottest) under the TDP
+        // clamp. Launch overhead burns only idle power.
+        let u_c = if cost.flops == 0 { 0.0 } else { (compute_s * cost.compute_eff / body).min(1.0) };
+        let u_m = memory_s * cost.memory_eff / body;
+        let draw_w = (self.spec.idle_w
+            + (self.spec.tc_bound_w - self.spec.idle_w) * u_c
+            + (self.spec.hbm_bound_w - self.spec.idle_w) * u_m)
+            .min(self.spec.tdp_w);
+        let energy_j = body * draw_w + overhead_s * self.spec.idle_w;
+        let time = KernelTime {
+            compute_s,
+            memory_s,
+            overhead_s,
+            total_s: body + overhead_s,
+            draw_w,
+            energy_j,
+        };
         self.metrics.launches.inc();
         self.metrics.flops.add(cost.flops);
         self.metrics.hbm_bytes.add(cost.hbm_bytes);
@@ -159,6 +203,8 @@ impl TimingEngine {
             self.metrics.compute_bound.inc();
         }
         self.metrics.kernel_time_us.observe(time.total_s * 1e6);
+        self.metrics.energy_uj.add(quantize_uj(energy_j));
+        self.metrics.power_w.set(draw_w);
         time
     }
 
@@ -277,6 +323,77 @@ mod tests {
         let e = engine();
         let ratio = e.kernel_time(&base).compute_s / e.kernel_time(&fp8).compute_s;
         assert!((ratio - 2.0).abs() < 1e-9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn draw_stays_inside_the_power_envelope() {
+        let e = engine();
+        let spec = DeviceSpec::a100_80gb();
+        let shapes = [
+            // Compute-bound GEMM, memory-bound elementwise, floor-bound
+            // micro-kernel, and a kernel saturating both resources.
+            KernelCost { flops: 1 << 42, hbm_bytes: 1 << 20, compute_eff: 0.95, memory_eff: 0.9 },
+            KernelCost { flops: 1 << 20, hbm_bytes: 1 << 32, compute_eff: 1.0, memory_eff: 0.85 },
+            KernelCost { flops: 10, hbm_bytes: 10, compute_eff: 1.0, memory_eff: 1.0 },
+            KernelCost { flops: 1 << 40, hbm_bytes: 1 << 33, compute_eff: 1.0, memory_eff: 1.0 },
+        ];
+        for cost in shapes {
+            let t = e.kernel_time(&cost);
+            assert!(t.draw_w >= spec.idle_w, "draw {} below idle", t.draw_w);
+            assert!(t.draw_w <= spec.tdp_w, "draw {} above TDP", t.draw_w);
+            assert!(t.energy_j > 0.0);
+        }
+    }
+
+    #[test]
+    fn regimes_drive_the_draw() {
+        let e = engine();
+        let spec = DeviceSpec::a100_80gb();
+        // A near-perfect GEMM draws close to the TC-bound regime.
+        let gemm =
+            KernelCost { flops: 1 << 42, hbm_bytes: 1 << 20, compute_eff: 1.0, memory_eff: 0.9 };
+        let t = e.kernel_time(&gemm);
+        assert!(t.draw_w > spec.tc_bound_w * 0.98, "gemm draw {}", t.draw_w);
+        // A pure HBM stream draws near the HBM-bound regime, well below
+        // the GEMM.
+        let stream = KernelCost::memory_only(1 << 32, 1.0);
+        let s = e.kernel_time(&stream);
+        assert!((s.draw_w - spec.hbm_bound_w).abs() < 1.0, "stream draw {}", s.draw_w);
+        assert!(s.draw_w < t.draw_w);
+        // A floor-bound micro-kernel idles most of its residency.
+        let tiny = KernelCost { flops: 10, hbm_bytes: 10, compute_eff: 1.0, memory_eff: 1.0 };
+        let micro = e.kernel_time(&tiny);
+        assert!(micro.draw_w < spec.idle_w + 1.0, "micro draw {}", micro.draw_w);
+    }
+
+    #[test]
+    fn energy_integrates_body_at_draw_and_overhead_at_idle() {
+        let e = engine();
+        let spec = DeviceSpec::a100_80gb();
+        let cost =
+            KernelCost { flops: 1 << 38, hbm_bytes: 1 << 30, compute_eff: 0.9, memory_eff: 0.9 };
+        let t = e.kernel_time(&cost);
+        let body_s = t.total_s - t.overhead_s;
+        let expect = body_s * t.draw_w + t.overhead_s * spec.idle_w;
+        assert!((t.energy_j - expect).abs() < 1e-15, "{} vs {expect}", t.energy_j);
+        // Captured launches shed the overhead's idle energy exactly.
+        let cap = e.kernel_time_captured(&cost);
+        assert!((t.energy_j - cap.energy_j - t.overhead_s * spec.idle_w).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_counter_and_power_gauge_record() {
+        let registry = mmg_telemetry::Registry::new();
+        let engine = TimingEngine::with_registry(DeviceSpec::a100_80gb(), &registry);
+        let cost =
+            KernelCost { flops: 1 << 38, hbm_bytes: 1 << 30, compute_eff: 0.9, memory_eff: 0.9 };
+        let t = engine.kernel_time(&cost);
+        let u = engine.kernel_time(&cost);
+        assert_eq!(
+            registry.counter("gpu_energy_uj_total").get(),
+            quantize_uj(t.energy_j) + quantize_uj(u.energy_j)
+        );
+        assert_eq!(registry.gauge("gpu_power_w").get(), u.draw_w);
     }
 
     #[test]

@@ -118,6 +118,9 @@ pub fn record_kernel(registry: &Registry, desc: &KernelDesc, time: &KernelTime) 
     registry.counter_with("kernel_launches_total", &labels).inc();
     registry.counter_with("kernel_flops_total", &labels).add(desc.cost.flops);
     registry.counter_with("kernel_hbm_bytes_total", &labels).add(desc.cost.hbm_bytes);
+    registry
+        .counter_with("kernel_energy_uj_total", &labels)
+        .add(mmg_gpu::quantize_uj(time.energy_j));
     let regime = if time.is_memory_bound() { "memory" } else { "compute" };
     registry
         .counter_with("kernel_regime_total", &[("kind", kind.as_str()), ("regime", regime)])
@@ -128,11 +131,13 @@ pub fn record_kernel(registry: &Registry, desc: &KernelDesc, time: &KernelTime) 
 /// stored `(kind name, flops, bytes, regime)` tuple instead of live
 /// [`KernelDesc`]/[`KernelTime`] values. Memoized profiling uses this so
 /// a cache hit leaves exactly the telemetry a recomputation would have.
+#[allow(clippy::too_many_arguments)] // mirrors record_kernel field-for-field
 pub fn record_kernel_named(
     registry: &Registry,
     kind: &str,
     flops: u64,
     hbm_bytes: u64,
+    energy_uj: u64,
     memory_bound: bool,
     wave_quant_idle_slots: u64,
 ) {
@@ -143,6 +148,7 @@ pub fn record_kernel_named(
     registry.counter_with("kernel_launches_total", &labels).inc();
     registry.counter_with("kernel_flops_total", &labels).add(flops);
     registry.counter_with("kernel_hbm_bytes_total", &labels).add(hbm_bytes);
+    registry.counter_with("kernel_energy_uj_total", &labels).add(energy_uj);
     let regime = if memory_bound { "memory" } else { "compute" };
     registry.counter_with("kernel_regime_total", &[("kind", kind), ("regime", regime)]).inc();
 }
@@ -160,13 +166,21 @@ mod tests {
             "gemm_b1",
             KernelCost { flops: 640, hbm_bytes: 128, compute_eff: 0.9, memory_eff: 0.9 },
         );
-        let time = KernelTime { compute_s: 3e-6, memory_s: 1e-6, overhead_s: 4e-6, total_s: 7e-6 };
+        let time = KernelTime {
+            compute_s: 3e-6,
+            memory_s: 1e-6,
+            overhead_s: 4e-6,
+            total_s: 7e-6,
+            draw_w: 350.0,
+            energy_j: 3e-6 * 350.0 + 4e-6 * 55.0,
+        };
         record_kernel(&live, &desc, &time);
         record_kernel_named(
             &replay,
             &desc.kind.to_string(),
             desc.cost.flops,
             desc.cost.hbm_bytes,
+            mmg_gpu::quantize_uj(time.energy_j),
             time.is_memory_bound(),
             desc.wave_quant_idle_slots,
         );
@@ -181,7 +195,14 @@ mod tests {
             "softmax_r64",
             KernelCost { flops: 100, hbm_bytes: 4000, compute_eff: 1.0, memory_eff: 0.8 },
         );
-        let time = KernelTime { compute_s: 1e-7, memory_s: 2e-6, overhead_s: 2e-6, total_s: 4e-6 };
+        let time = KernelTime {
+            compute_s: 1e-7,
+            memory_s: 2e-6,
+            overhead_s: 2e-6,
+            total_s: 4e-6,
+            draw_w: 250.0,
+            energy_j: 2e-6 * 250.0 + 2e-6 * 55.0,
+        };
         record_kernel(&registry, &desc, &time);
         record_kernel(&registry, &desc, &time);
         let labels = [("kind", "softmax")];

@@ -227,6 +227,24 @@ impl PipelineProfile {
         self.stages.iter().map(|s| s.repeats as u64 * s.timeline.total_flops()).sum()
     }
 
+    /// End-to-end modeled energy in joules, weighted by repeats like
+    /// [`PipelineProfile::total_time_s`].
+    #[must_use]
+    pub fn total_energy_j(&self) -> f64 {
+        self.stages.iter().map(|s| s.repeats as f64 * s.timeline.total_energy_j()).sum()
+    }
+
+    /// Mean board draw over the whole pipeline, watts (0 when empty).
+    #[must_use]
+    pub fn mean_power_w(&self) -> f64 {
+        let t = self.total_time_s();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.total_energy_j() / t
+        }
+    }
+
     /// Operator breakdown across all stages, weighted by repeats (Fig. 6).
     #[must_use]
     pub fn breakdown(&self) -> CategoryBreakdown {

@@ -23,6 +23,10 @@ pub struct KernelRecord {
     pub hbm_bytes: u64,
     /// Wave-quantization idle SM-tile slots charged by this launch.
     pub wave_quant_idle_slots: u64,
+    /// Modeled board draw while the kernel body ran, watts.
+    pub draw_w: f64,
+    /// Modeled energy of the launch, joules.
+    pub energy_j: f64,
 }
 
 /// Attention-specific annotation on an event.
@@ -55,6 +59,9 @@ pub struct OpEvent {
     pub flops: u64,
     /// HBM bytes.
     pub hbm_bytes: u64,
+    /// Modeled energy in joules (sum of kernels, launch overhead at
+    /// idle draw).
+    pub energy_j: f64,
     /// Constituent kernels. Shared (`Arc`) with the operator-cost memo
     /// on replayed ops, so repeated structure (e.g. every step of a
     /// denoising loop) does not deep-clone the records per event.
@@ -80,6 +87,7 @@ mod tests {
             time_s: 1e-3,
             flops: 100,
             hbm_bytes: 200,
+            energy_j: 0.3,
             kernels: Arc::new(vec![]),
             counters: Arc::new(vec![]),
             attention: Some(AttnCallInfo {

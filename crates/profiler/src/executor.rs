@@ -54,6 +54,9 @@ pub struct Profiler {
     /// Handle to the engine's `gpu_kernel_time_us` histogram, so memo
     /// replay can observe stored kernel times without the engine.
     kernel_time_us: mmg_telemetry::Histogram,
+    /// Handle to the engine's `gpu_power_w` gauge; replay restores the
+    /// last-launch draw a cold execution would have left.
+    power_w: mmg_telemetry::Gauge,
     /// Per-entry counter handles for memo replay, keyed by the entry's
     /// `Arc` address (the cached `Arc` keeps the address alive). Lets a
     /// hit bump its counters lock-free instead of re-parsing metric
@@ -88,6 +91,7 @@ impl Profiler {
             device_fingerprint,
             kernel_time_us: registry
                 .histogram("gpu_kernel_time_us", &mmg_telemetry::time_buckets_us()),
+            power_w: registry.gauge("gpu_power_w"),
             replay_handles: Mutex::new(HashMap::new()),
         }
     }
@@ -148,6 +152,12 @@ impl Profiler {
         self.attn
     }
 
+    /// The device spec this profiler simulates.
+    #[must_use]
+    pub fn spec(&self) -> &DeviceSpec {
+        self.engine.spec()
+    }
+
     /// Whether the CUDA-graph launch-elision pass is enabled.
     #[must_use]
     pub fn captures_graphs(&self) -> bool {
@@ -175,6 +185,7 @@ impl Profiler {
             memo: self.memo.clone(),
             device_fingerprint: self.device_fingerprint,
             kernel_time_us: self.kernel_time_us.clone(),
+            power_w: self.power_w.clone(),
             replay_handles: Mutex::new(HashMap::new()),
         }
     }
@@ -238,6 +249,7 @@ impl Profiler {
             self.record_opt_stats(opt_stats);
             let mut records = Vec::with_capacity(kernels.len());
             let mut time_s = 0.0;
+            let mut energy_j = 0.0;
             let mut flops = 0u64;
             let mut hbm = 0u64;
             for k in &kernels {
@@ -248,6 +260,7 @@ impl Profiler {
                 };
                 mmg_kernels::record_kernel(&self.registry, k, &kt);
                 time_s += kt.total_s;
+                energy_j += kt.energy_j;
                 flops += k.cost.flops;
                 hbm += k.cost.hbm_bytes;
                 records.push(KernelRecord {
@@ -259,6 +272,8 @@ impl Profiler {
                     flops: k.cost.flops,
                     hbm_bytes: k.cost.hbm_bytes,
                     wave_quant_idle_slots: k.wave_quant_idle_slots,
+                    draw_w: kt.draw_w,
+                    energy_j: kt.energy_j,
                 });
             }
             let mut cache_stats = None;
@@ -273,6 +288,7 @@ impl Profiler {
                     key,
                     OpCostEntry::new(
                         time_s,
+                        energy_j,
                         flops,
                         hbm,
                         Arc::clone(&records),
@@ -288,6 +304,7 @@ impl Profiler {
                 time_s,
                 flops,
                 hbm_bytes: hbm,
+                energy_j,
                 kernels: records,
                 attention,
                 counters: Arc::new(snap.delta_since(&self.registry)),
@@ -336,6 +353,9 @@ impl Profiler {
         for k in entry.records.iter() {
             self.kernel_time_us.observe(k.time_s * 1e6);
         }
+        if let Some(last) = entry.records.last() {
+            self.power_w.set(last.draw_w);
+        }
         self.registry.record_span(SpanRecord {
             path: mmg_telemetry::nested_span_path(path),
             start_us,
@@ -349,6 +369,7 @@ impl Profiler {
             time_s: entry.time_s,
             flops: entry.flops,
             hbm_bytes: entry.hbm_bytes,
+            energy_j: entry.energy_j,
             kernels: Arc::clone(&entry.records),
             attention,
             counters: Arc::clone(&entry.visible),

@@ -95,6 +95,7 @@ mod tests {
             time_s: t,
             flops: 0,
             hbm_bytes: 0,
+            energy_j: 0.0,
             kernels: std::sync::Arc::new(vec![]),
             counters: std::sync::Arc::new(vec![]),
             attention: None,

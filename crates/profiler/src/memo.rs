@@ -97,6 +97,8 @@ impl MemoKey {
 pub struct OpCostEntry {
     /// Summed kernel time, seconds.
     pub time_s: f64,
+    /// Summed kernel energy, joules.
+    pub energy_j: f64,
     /// Summed FLOPs.
     pub flops: u64,
     /// Summed HBM bytes.
@@ -124,6 +126,7 @@ impl OpCostEntry {
     #[must_use]
     pub fn new(
         time_s: f64,
+        energy_j: f64,
         flops: u64,
         hbm_bytes: u64,
         records: Arc<Vec<KernelRecord>>,
@@ -131,7 +134,7 @@ impl OpCostEntry {
     ) -> Self {
         let visible =
             Arc::new(counter_deltas.iter().filter(|(_, d)| *d > 0).cloned().collect::<Vec<_>>());
-        OpCostEntry { time_s, flops, hbm_bytes, records, counter_deltas, visible }
+        OpCostEntry { time_s, energy_j, flops, hbm_bytes, records, counter_deltas, visible }
     }
 }
 
@@ -252,6 +255,9 @@ pub(crate) fn synthetic_op_deltas(
         bump("gpu_kernel_launches_total", String::new(), 1);
         bump("gpu_flops_total", String::new(), k.flops);
         bump("gpu_hbm_bytes_total", String::new(), k.hbm_bytes);
+        // Energy is bumped unconditionally live (the counter exists even
+        // for a zero-quantum kernel), so keep the zero here too.
+        bump("gpu_energy_uj_total", String::new(), mmg_gpu::quantize_uj(k.energy_j));
         let regime = if memory_bound {
             bump("gpu_kernels_memory_bound_total", String::new(), 1);
             "memory"
@@ -263,6 +269,7 @@ pub(crate) fn synthetic_op_deltas(
         bump("kernel_launches_total", kind_label.clone(), 1);
         bump("kernel_flops_total", kind_label.clone(), k.flops);
         bump("kernel_hbm_bytes_total", kind_label.clone(), k.hbm_bytes);
+        bump("kernel_energy_uj_total", kind_label.clone(), mmg_gpu::quantize_uj(k.energy_j));
         bump(
             "kernel_regime_total",
             format!("kind=\"{}\",regime=\"{regime}\"", k.kind),
@@ -362,6 +369,7 @@ mod tests {
         assert!(memo.lookup(&key).is_none());
         let entry = OpCostEntry::new(
             1e-5,
+            3e-3,
             100,
             200,
             Arc::new(vec![]),
@@ -403,6 +411,7 @@ mod tests {
                 kind,
                 cost.flops,
                 cost.hbm_bytes,
+                mmg_gpu::quantize_uj(t.energy_j),
                 t.is_memory_bound(),
                 7,
             );
@@ -415,6 +424,8 @@ mod tests {
                 flops: cost.flops,
                 hbm_bytes: cost.hbm_bytes,
                 wave_quant_idle_slots: 7,
+                draw_w: t.draw_w,
+                energy_j: t.energy_j,
             });
         }
         let live = snap.delta_since(&registry);

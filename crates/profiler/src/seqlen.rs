@@ -91,6 +91,7 @@ mod tests {
             time_s: 1.0,
             flops: 0,
             hbm_bytes: 0,
+            energy_j: 0.0,
             kernels: std::sync::Arc::new(vec![]),
             counters: std::sync::Arc::new(vec![]),
             attention: Some(AttnCallInfo {

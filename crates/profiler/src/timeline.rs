@@ -95,6 +95,41 @@ impl Timeline {
         self.events.iter().map(|e| e.time_s).sum()
     }
 
+    /// Total modeled energy in joules. Summed in event order, exactly
+    /// like [`Timeline::total_time_s`], so the per-kernel → per-op →
+    /// timeline folds agree bitwise.
+    #[must_use]
+    pub fn total_energy_j(&self) -> f64 {
+        self.events.iter().map(|e| e.energy_j).sum()
+    }
+
+    /// Mean board draw over the timeline, watts (0 for an empty one).
+    #[must_use]
+    pub fn mean_power_w(&self) -> f64 {
+        let t = self.total_time_s();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.total_energy_j() / t
+        }
+    }
+
+    /// Joules grouped by operator category, descending — the energy
+    /// analogue of [`Timeline::breakdown`].
+    #[must_use]
+    pub fn energy_by_category(&self) -> Vec<(OpCategory, f64)> {
+        let mut rows: Vec<(OpCategory, f64)> = Vec::new();
+        for e in &self.events {
+            if let Some(slot) = rows.iter_mut().find(|(c, _)| *c == e.category) {
+                slot.1 += e.energy_j;
+            } else {
+                rows.push((e.category, e.energy_j));
+            }
+        }
+        rows.sort_by(|a, b| b.1.total_cmp(&a.1));
+        rows
+    }
+
     /// Total FLOPs.
     #[must_use]
     pub fn total_flops(&self) -> u64 {
@@ -167,6 +202,7 @@ mod tests {
             time_s: t,
             flops: 10,
             hbm_bytes: 20,
+            energy_j: t * 300.0,
             kernels: std::sync::Arc::new(vec![]),
             counters: std::sync::Arc::new(vec![]),
             attention: attn.map(|kind| AttnCallInfo {
@@ -227,5 +263,21 @@ mod tests {
         let t = Timeline::default();
         assert_eq!(t.total_time_s(), 0.0);
         assert_eq!(t.breakdown().fraction(OpCategory::Conv), 0.0);
+        assert_eq!(t.total_energy_j(), 0.0);
+        assert_eq!(t.mean_power_w(), 0.0);
+    }
+
+    #[test]
+    fn energy_totals_and_category_rows() {
+        let t = Timeline::new(vec![
+            ev(OpCategory::Conv, 3.0, None),
+            ev(OpCategory::Attention, 1.0, Some(AttnKind::SpatialSelf)),
+        ]);
+        // ev() models a flat 300 W draw.
+        assert!((t.total_energy_j() - 4.0 * 300.0).abs() < 1e-9);
+        assert!((t.mean_power_w() - 300.0).abs() < 1e-9);
+        let rows = t.energy_by_category();
+        assert_eq!(rows[0].0, OpCategory::Conv);
+        assert!((rows[0].1 - 900.0).abs() < 1e-9);
     }
 }

@@ -43,6 +43,7 @@ pub struct TraceEvent {
 const COUNTER_TRACKS: &[&str] = &[
     "gpu_flops_total",
     "gpu_hbm_bytes_total",
+    "gpu_energy_uj_total",
     "gpu_kernel_launches_total",
     "gpu_l1_hits_total",
     "gpu_l1_accesses_total",
@@ -94,6 +95,23 @@ pub fn to_trace_events(timeline: &Timeline) -> Vec<TraceEvent> {
             k_ts += dur;
         }
         t_us += op_dur;
+        // Power track: the op's mean modeled draw, sampled at its
+        // boundary so Perfetto draws a step chart next to the kernel
+        // lanes.
+        if ev.time_s > 0.0 {
+            let mut args = BTreeMap::new();
+            args.insert("value".to_string(), Value::from(ev.energy_j / ev.time_s));
+            events.push(TraceEvent {
+                name: "gpu_power_w".to_string(),
+                cat: "counter".into(),
+                ph: "C".into(),
+                ts: t_us,
+                dur: 0.0,
+                pid: 1,
+                tid: 2,
+                args,
+            });
+        }
         // Sample cumulative device counters at the op boundary.
         for &track in COUNTER_TRACKS {
             if let Some((_, delta)) = ev.counters.iter().find(|(name, _)| name == track) {
@@ -220,6 +238,24 @@ mod tests {
             .collect();
         assert!(samples.len() >= 2, "one sample per op");
         assert!(samples.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn power_track_samples_mean_op_draw() {
+        let evs = to_trace_events(&timeline());
+        let idle = DeviceSpec::a100_80gb().idle_w;
+        let tdp = DeviceSpec::a100_80gb().tdp_w;
+        let samples: Vec<f64> = evs
+            .iter()
+            .filter(|e| e.ph == "C" && e.name == "gpu_power_w")
+            .map(|e| e.args["value"].as_f64().expect("float watts"))
+            .collect();
+        assert_eq!(samples.len(), 2, "one power sample per op");
+        for w in samples {
+            assert!(w >= idle * 0.9 && w <= tdp, "draw {w} outside envelope");
+        }
+        // The cumulative energy track rides along.
+        assert!(evs.iter().any(|e| e.ph == "C" && e.name == "gpu_energy_uj_total"));
     }
 
     #[test]

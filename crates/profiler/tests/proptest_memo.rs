@@ -120,6 +120,7 @@ fn assert_identical(
         assert_eq!(a.path, b.path, "{label}: path");
         assert_eq!(a.category, b.category, "{label}: category of {}", a.path);
         assert_eq!(a.time_s.to_bits(), b.time_s.to_bits(), "{label}: time of {}", a.path);
+        assert_eq!(a.energy_j.to_bits(), b.energy_j.to_bits(), "{label}: energy of {}", a.path);
         assert_eq!(a.flops, b.flops, "{label}: flops of {}", a.path);
         assert_eq!(a.hbm_bytes, b.hbm_bytes, "{label}: bytes of {}", a.path);
         assert_eq!(a.kernels, b.kernels, "{label}: kernel records of {}", a.path);
@@ -170,5 +171,66 @@ proptest! {
             "warm run must be all hits"
         );
         assert_identical("warm", &cold, &warm);
+    }
+
+    /// Energy conservation, bit for bit: every op's joules are exactly
+    /// the in-order sum of its kernels' joules, the timeline total is
+    /// exactly the in-order sum of the ops', every kernel draw sits in
+    /// the device's [idle, TDP] envelope, and a warm memo replays the
+    /// `gpu_energy_uj_total` counter to the same integer.
+    #[test]
+    fn per_kernel_joules_conserve_through_timeline_and_memo(
+        seeds in proptest::collection::vec(0u64..u64::MAX, 1..5),
+        flash in 0usize..2,
+        opt_seed in 0u64..48,
+    ) {
+        let attn = if flash == 1 { AttnImpl::Flash } else { AttnImpl::Baseline };
+        let opt = opt_from_seed(opt_seed);
+        let spec = DeviceSpec::a100_80gb();
+        let g = graph_of(&seeds);
+        let (cold_t, cold_r) = profile(&g, attn, opt, None);
+
+        let mut op_sum = 0.0f64;
+        for e in cold_t.events() {
+            let kernel_sum = e.kernels.iter().map(|k| k.energy_j).fold(0.0f64, |a, b| a + b);
+            prop_assert_eq!(
+                kernel_sum.to_bits(),
+                e.energy_j.to_bits(),
+                "op {} energy is not the exact sum of its kernels", &e.path
+            );
+            for k in e.kernels.iter() {
+                prop_assert!(
+                    k.draw_w >= spec.idle_w && k.draw_w <= spec.tdp_w,
+                    "kernel {} draws {} W outside [{}, {}]",
+                    &k.label, k.draw_w, spec.idle_w, spec.tdp_w
+                );
+                prop_assert!(k.energy_j >= 0.0, "negative joules on {}", &k.label);
+            }
+            op_sum += e.energy_j;
+        }
+        prop_assert_eq!(
+            op_sum.to_bits(),
+            cold_t.total_energy_j().to_bits(),
+            "timeline total energy is not the exact sum of its ops"
+        );
+
+        // Warm replay must land the integrated-energy counter on the
+        // same integer microjoule total the cold run produced.
+        let counter = |r: &Registry| {
+            r.counters_snapshot()
+                .values()
+                .iter()
+                .find(|(name, _)| name == "gpu_energy_uj_total")
+                .map(|(_, v)| *v)
+        };
+        let memo = Arc::new(CostMemo::new());
+        let _ = profile(&g, attn, opt, Some(Arc::clone(&memo)));
+        let (warm_t, warm_r) = profile(&g, attn, opt, Some(memo));
+        prop_assert_eq!(
+            cold_t.total_energy_j().to_bits(),
+            warm_t.total_energy_j().to_bits(),
+            "memo replay changed the integrated timeline energy"
+        );
+        prop_assert_eq!(counter(&cold_r), counter(&warm_r), "memo replay changed gpu_energy_uj_total");
     }
 }

@@ -572,6 +572,32 @@ impl HealthReport {
     }
 }
 
+/// Energy accounting for one run, present on [`SimResult::energy`] when
+/// the [`ServiceProfile`] carried power figures
+/// ([`ServiceProfile::has_power`]). Busy spans were integrated at each
+/// model's modeled draw as batches launched; the idle remainder of every
+/// GPU's clock is charged at [`EnergyStats::idle_w`] by the accessors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyStats {
+    /// Board draw of an idle GPU, watts.
+    pub idle_w: f64,
+    /// Busy-span energy per GPU, joules (`Σ service_s × draw_w` over the
+    /// batches it ran).
+    pub busy_energy_j: Vec<f64>,
+    /// Busy seconds per model, mix order.
+    pub model_busy_s: Vec<f64>,
+    /// Modeled running draw per model, watts, mix order.
+    pub model_draw_w: Vec<f64>,
+}
+
+impl EnergyStats {
+    /// Busy-span energy attributed to mix entry `i`, joules.
+    #[must_use]
+    pub fn model_energy_j(&self, i: usize) -> f64 {
+        self.model_busy_s[i] * self.model_draw_w[i]
+    }
+}
+
 /// Everything a simulation run produced.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimResult {
@@ -607,6 +633,8 @@ pub struct SimResult {
     /// SLO burn-rate alert + ratchet timeline, when
     /// [`ScenarioCfg::slo_policy`] was set.
     pub health: Option<HealthReport>,
+    /// Energy accounting, when the profile carried power figures.
+    pub energy: Option<EnergyStats>,
     /// Indices into `records` sorted by arrival id, computed once at the
     /// end of the run so [`SimResult::records_by_arrival`] never re-sorts.
     arrival_order: Vec<u32>,
@@ -644,6 +672,42 @@ impl SimResult {
     #[must_use]
     pub fn goodput_rps(&self) -> f64 {
         self.stats.on_time as f64 / self.horizon_s.min(self.end_s).max(f64::MIN_POSITIVE)
+    }
+
+    /// Modeled energy one GPU drew over the whole run, joules: its busy
+    /// spans at each batch's model draw plus its idle remainder at idle
+    /// draw. `None` when the profile carried no power figures.
+    #[must_use]
+    pub fn gpu_energy_j(&self, gpu: usize) -> Option<f64> {
+        self.energy.as_ref().map(|e| {
+            e.busy_energy_j[gpu] + (self.end_s - self.busy_s[gpu]).max(0.0) * e.idle_w
+        })
+    }
+
+    /// Modeled cluster energy over the run, joules.
+    #[must_use]
+    pub fn total_energy_j(&self) -> Option<f64> {
+        self.energy
+            .as_ref()
+            .map(|_| (0..self.busy_s.len()).map(|g| self.gpu_energy_j(g).expect("energy on")).sum())
+    }
+
+    /// Modeled cluster energy over the run, watt-hours.
+    #[must_use]
+    pub fn total_energy_wh(&self) -> Option<f64> {
+        self.total_energy_j().map(|j| j / 3600.0)
+    }
+
+    /// Mean modeled board draw per GPU over the run, watts.
+    #[must_use]
+    pub fn mean_power_w(&self) -> Option<f64> {
+        self.total_energy_j().map(|j| {
+            if self.end_s > 0.0 {
+                j / (self.end_s * self.busy_s.len() as f64)
+            } else {
+                0.0
+            }
+        })
     }
 
     /// Fraction of completed requests that met their deadline.
@@ -713,6 +777,9 @@ struct ModelInfo<'a> {
     model: ModelId,
     curve: &'a ServiceCurve,
     base_s: f64,
+    /// Modeled board draw while a batch of this model runs, watts
+    /// (0 when the profile carries no power figures).
+    draw_w: f64,
     /// Deadline delta after arrival (`+inf` for no SLO).
     slo_delta_s: f64,
     requests_c: Counter,
@@ -793,6 +860,13 @@ struct Sim<'a> {
     running: Vec<Option<RunningBatch>>,
     vec_pool: Vec<Vec<u32>>,
     busy_s: Vec<f64>,
+    /// Busy-span energy per GPU, joules: every launch adds
+    /// `service_s × draw_w`. Zero cost when the profile is unmetered
+    /// (draw is 0) — the accumulate is branch-free.
+    energy_j: Vec<f64>,
+    /// Busy seconds per model (mix order) — the energy report's
+    /// J-per-request attribution base.
+    model_busy_s: Vec<f64>,
     rr_next: usize,
     arrivals: u64,
     dropped: u64,
@@ -1052,6 +1126,9 @@ impl<'a> Sim<'a> {
         }
         let finish_s = now + service_s;
         self.busy_s[gpu] += service_s;
+        let draw_w = self.per_model[mix_idx].draw_w;
+        self.energy_j[gpu] += service_s * draw_w;
+        self.model_busy_s[mix_idx] += service_s;
         self.batch_h.observe(members.len() as f64);
         if let Some(fl) = self.flight.as_mut() {
             let wait_max_s = members
@@ -1067,6 +1144,7 @@ impl<'a> Sim<'a> {
                 wait_max_s,
                 self.gpu_queues[gpu].len(),
                 pod_applied,
+                draw_w,
             );
         }
         self.running[gpu] = Some(RunningBatch { ids: members, start_s: now, finish_s });
@@ -1358,6 +1436,7 @@ fn run<'a>(
                 model: *model,
                 curve,
                 base_s: curve.base_s(),
+                draw_w: curve.draw_w,
                 slo_delta_s: cfg.slo.slo_s(curve),
                 requests_c: registry.counter_with("serve_requests_total", &labels),
                 slo_miss_c: registry.counter_with("serve_slo_miss_total", &labels),
@@ -1390,6 +1469,8 @@ fn run<'a>(
         running: (0..cfg.gpus).map(|_| None).collect(),
         vec_pool: Vec::new(),
         busy_s: vec![0.0; cfg.gpus],
+        energy_j: vec![0.0; cfg.gpus],
+        model_busy_s: vec![0.0; cfg.mix.entries().len()],
         rr_next: 0,
         arrivals: 0,
         dropped: 0,
@@ -1475,6 +1556,46 @@ fn run<'a>(
             .gauge_with("serve_gpu_utilization", &[("gpu", gpu_label.as_str())])
             .set(if end_s > 0.0 { busy / end_s } else { 0.0 });
     }
+
+    // Energy close-out: busy spans were integrated at launch; the idle
+    // remainder of each GPU's clock runs at the profile's idle draw.
+    // Everything here is gated on the profile actually carrying power
+    // figures, so unmetered runs emit no energy metrics at all and their
+    // registries (and flight traces) stay byte-identical to before the
+    // energy layer existed.
+    let energy = profile.has_power().then(|| {
+        let idle_w = profile.idle_w;
+        let stats = EnergyStats {
+            idle_w,
+            busy_energy_j: sim.energy_j.clone(),
+            model_busy_s: sim.model_busy_s.clone(),
+            model_draw_w: sim.per_model.iter().map(|m| m.draw_w).collect(),
+        };
+        let mut total_j = 0.0;
+        for (g, &busy) in sim.busy_s.iter().enumerate() {
+            let j = stats.busy_energy_j[g] + (end_s - busy).max(0.0) * idle_w;
+            total_j += j;
+            let gpu_label = g.to_string();
+            registry
+                .gauge_with("serve_gpu_energy_wh", &[("gpu", gpu_label.as_str())])
+                .set(j / 3600.0);
+        }
+        registry.gauge("serve_energy_wh").set(total_j / 3600.0);
+        registry.gauge("serve_mean_power_w").set(if end_s > 0.0 {
+            total_j / (end_s * sim.busy_s.len() as f64)
+        } else {
+            0.0
+        });
+        registry.describe("serve_energy_wh", "modeled cluster energy over the run, watt-hours");
+        registry
+            .describe("serve_gpu_energy_wh", "modeled per-GPU energy over the run, watt-hours");
+        registry
+            .describe("serve_mean_power_w", "mean modeled board draw per GPU over the run, watts");
+        if let Some(fl) = sim.flight.as_mut() {
+            fl.enable_power(idle_w);
+        }
+        stats
+    });
 
     debug_assert_eq!(sim.in_system, 0, "drain left requests in the system");
 
@@ -1562,6 +1683,7 @@ fn run<'a>(
         abandoned_wait_s: sim.abandoned_wait_s,
         busy_s: sim.busy_s,
         health,
+        energy,
         arrival_order,
     };
     (result, sim.flight)
@@ -1974,6 +2096,59 @@ mod tests {
             st_ph.hold_sum_s,
             st_ph.queue_sum_s
         );
+    }
+
+    /// Energy integration: busy spans at the model draw, the idle
+    /// remainder at idle draw, surfaced through the result accessors and
+    /// the `serve_energy_*` gauges — and fully absent for unmetered
+    /// profiles.
+    #[test]
+    fn energy_integrates_busy_at_draw_and_idle_at_idle() {
+        let idle_w = 60.0;
+        let draw_w = 310.0;
+        let metered = ServiceProfile::new(vec![ServiceCurve::new(
+            ModelId::StableDiffusion,
+            vec![(1, 0.5), (4, 1.3 * 0.5), (16, 2.0 * 0.5)],
+        )
+        .with_draw_w(draw_w)])
+        .with_idle_w(idle_w);
+        let cfg = scenario(SchedulerKind::Dynamic { max_batch: 8 }, 4.0, 100.0);
+        let reg = Registry::new();
+        let r = simulate(&cfg, &metered, &reg);
+        let e = r.energy.as_ref().expect("metered profile");
+        assert_eq!(e.idle_w, idle_w);
+        // Busy-span energy is exactly busy seconds × the single draw.
+        for (g, &busy) in r.busy_s.iter().enumerate() {
+            assert!(
+                (e.busy_energy_j[g] - busy * draw_w).abs() < 1e-6,
+                "gpu {g}: {} vs {}",
+                e.busy_energy_j[g],
+                busy * draw_w
+            );
+        }
+        // Model busy seconds fold back to the per-GPU busy total.
+        let model_busy: f64 = e.model_busy_s.iter().sum();
+        let busy: f64 = r.busy_s.iter().sum();
+        assert!((model_busy - busy).abs() < 1e-9);
+        // Totals: per-GPU accessors sum to the cluster total, which the
+        // gauges mirror in watt-hours.
+        let total_j = r.total_energy_j().expect("metered");
+        let by_gpu: f64 =
+            (0..r.busy_s.len()).map(|g| r.gpu_energy_j(g).unwrap()).sum();
+        assert_eq!(total_j, by_gpu);
+        let expect_j = busy * draw_w + (2.0 * r.end_s - busy) * idle_w;
+        assert!((total_j - expect_j).abs() < 1e-6 * expect_j, "{total_j} vs {expect_j}");
+        assert!((reg.gauge("serve_energy_wh").get() - total_j / 3600.0).abs() < 1e-9);
+        let mean_w = r.mean_power_w().expect("metered");
+        assert!(mean_w > idle_w && mean_w < draw_w, "mean draw {mean_w}");
+        assert_eq!(reg.gauge("serve_mean_power_w").get(), mean_w);
+
+        // Unmetered profile: no energy stats, no energy gauges.
+        let reg2 = Registry::new();
+        let plain = simulate(&cfg, &batching_profile(0.5), &reg2);
+        assert!(plain.energy.is_none());
+        assert!(plain.total_energy_wh().is_none());
+        assert!(!reg2.render_prometheus().contains("serve_energy_wh"));
     }
 
     /// The burn-rate engine fires under sustained overload and stays

@@ -59,6 +59,14 @@ use crate::workload::{ArrivalGen, ArrivalProcess, RequestMix};
 /// observe path cheap while still resolving p99 to ~0.5% of rank.
 pub const FLEET_SKETCH_EPS: f64 = 0.005;
 
+/// Electricity price used for the report's $-with-energy column,
+/// dollars per kilowatt-hour. A module constant rather than a
+/// [`ClusterCfg`] field: the paper's cost story is dominated by the
+/// GPU-hour price, and a flat industrial-rate figure keeps the energy
+/// adjustment visible without threading another knob through every
+/// fleet constructor.
+pub const PRICE_PER_KWH: f64 = 0.11;
+
 /// Sketch subsampling stride of the fast lane: every `K`-th completion
 /// (systematically, phase carried across windows) lands in the latency
 /// sketch. Counters — arrivals, completions, deadline hits, busy time —
@@ -357,6 +365,10 @@ pub struct FleetWindow {
     pub gpu_s: f64,
     /// Dollars billed for the window.
     pub cost_usd: f64,
+    /// Modeled energy drawn in the window, joules: busy spans at the
+    /// per-model draw plus billed-but-idle capacity at the SKU's idle
+    /// draw. Stays 0 when the cluster's profile is unmetered.
+    pub energy_j: f64,
 }
 
 impl WindowValue for FleetWindow {
@@ -367,6 +379,7 @@ impl WindowValue for FleetWindow {
         self.busy_s += other.busy_s;
         self.gpu_s += other.gpu_s;
         self.cost_usd += other.cost_usd;
+        self.energy_j += other.energy_j;
     }
 }
 
@@ -389,6 +402,11 @@ pub struct ClusterResult {
     pub gpu_hours: f64,
     /// Dollars billed.
     pub cost_usd: f64,
+    /// Total modeled energy over the horizon, watt-hours — busy spans
+    /// at the per-model draw plus billed idle capacity (serving gaps
+    /// and the warm pool) at the SKU's idle draw. 0 when the cluster's
+    /// [`ServiceProfile`] carries no power model.
+    pub energy_wh: f64,
     /// Fewest GPUs provisioned in any window.
     pub min_gpus: usize,
     /// Most GPUs provisioned in any window.
@@ -430,6 +448,22 @@ impl ClusterResult {
             return 0.0;
         }
         self.cost_usd * 1000.0 / self.completed as f64
+    }
+
+    /// Watt-hours per thousand on-time (SLO-good) completions — the
+    /// energy price of goodput, 0 when nothing finished on time.
+    #[must_use]
+    pub fn wh_per_1k_good(&self) -> f64 {
+        if self.on_time == 0 {
+            return 0.0;
+        }
+        self.energy_wh * 1000.0 / self.on_time as f64
+    }
+
+    /// Dollars billed plus the electricity bill at [`PRICE_PER_KWH`].
+    #[must_use]
+    pub fn cost_with_energy_usd(&self) -> f64 {
+        self.cost_usd + self.energy_wh / 1000.0 * PRICE_PER_KWH
     }
 }
 
@@ -500,6 +534,28 @@ impl FleetResult {
         }
         self.cost_usd() * 1000.0 / completed as f64
     }
+
+    /// Total modeled energy fleet-wide, watt-hours.
+    #[must_use]
+    pub fn energy_wh(&self) -> f64 {
+        self.clusters.iter().map(|c| c.energy_wh).sum()
+    }
+
+    /// Fleet-wide watt-hours per thousand on-time completions.
+    #[must_use]
+    pub fn wh_per_1k_good(&self) -> f64 {
+        let on_time: u64 = self.clusters.iter().map(|c| c.on_time).sum();
+        if on_time == 0 {
+            return 0.0;
+        }
+        self.energy_wh() * 1000.0 / on_time as f64
+    }
+
+    /// Fleet-wide dollars including electricity at [`PRICE_PER_KWH`].
+    #[must_use]
+    pub fn cost_with_energy_usd(&self) -> f64 {
+        self.cost_usd() + self.energy_wh() / 1000.0 * PRICE_PER_KWH
+    }
 }
 
 /// A rendered fleet report: the deterministic text the `repro fleet`
@@ -531,9 +587,9 @@ impl FleetReport {
             cfg.window_s,
         ));
         out.push_str(
-            "+-----------+-----------+---------+------------+--------+-------+----------+----------+----------+----------+\n\
-             | cluster   | sku       |    gpus |   arrivals |   slo% |  util |  gpu-hrs |      $   | $/1k-img |  p99 (s) |\n\
-             +-----------+-----------+---------+------------+--------+-------+----------+----------+----------+----------+\n",
+            "+-----------+-----------+---------+------------+--------+-------+----------+----------+----------+----------+----------+----------+----------+\n\
+             | cluster   | sku       |    gpus |   arrivals |   slo% |  util |  gpu-hrs |      $   | $/1k-img |       Wh | Wh/1k-ok | $+energy |  p99 (s) |\n\
+             +-----------+-----------+---------+------------+--------+-------+----------+----------+----------+----------+----------+----------+----------+\n",
         );
         for c in &result.clusters {
             let gpus = if c.min_gpus == c.max_gpus {
@@ -543,7 +599,7 @@ impl FleetReport {
             };
             let p99 = c.latency.quantile(0.99).unwrap_or(0.0);
             out.push_str(&format!(
-                "| {:<9} | {:<9} | {:>7} | {:>10} | {:>5.1}% | {:>5.3} | {:>8.1} | {:>8.2} | {:>8.3} | {:>8.3} |\n",
+                "| {:<9} | {:<9} | {:>7} | {:>10} | {:>5.1}% | {:>5.3} | {:>8.1} | {:>8.2} | {:>8.3} | {:>8.1} | {:>8.3} | {:>8.2} | {:>8.3} |\n",
                 c.name,
                 c.sku,
                 gpus,
@@ -553,19 +609,25 @@ impl FleetReport {
                 c.gpu_hours,
                 c.cost_usd,
                 c.cost_per_1k(),
+                c.energy_wh,
+                c.wh_per_1k_good(),
+                c.cost_with_energy_usd(),
                 p99,
             ));
         }
         out.push_str(
-            "+-----------+-----------+---------+------------+--------+-------+----------+----------+----------+----------+\n",
+            "+-----------+-----------+---------+------------+--------+-------+----------+----------+----------+----------+----------+----------+----------+\n",
         );
         out.push_str(&format!(
-            "fleet totals: {} requests · SLO attainment {:.4} · {:.1} GPU-hrs · ${:.2} · ${:.4}/1k-images\n",
+            "fleet totals: {} requests · SLO attainment {:.4} · {:.1} GPU-hrs · ${:.2} · ${:.4}/1k-images · {:.1} Wh ({:.3} Wh/1k-good) · ${:.2} with energy\n",
             result.arrivals(),
             result.slo_attainment(),
             result.gpu_hours(),
             result.cost_usd(),
             result.cost_per_1k(),
+            result.energy_wh(),
+            result.wh_per_1k_good(),
+            result.cost_with_energy_usd(),
         ));
 
         // Timeline: the merged fleet series, up to 12 rows (the series
@@ -573,9 +635,9 @@ impl FleetReport {
         // cap, so this stays bounded for any horizon).
         out.push_str("\nfleet timeline (merged across clusters):\n");
         out.push_str(
-            "+--------------------+------------+------------+--------+-------+\n\
-             | window             |   arrivals |  completed |   slo% |  util |\n\
-             +--------------------+------------+------------+--------+-------+\n",
+            "+--------------------+------------+------------+--------+-------+----------+\n\
+             | window             |   arrivals |  completed |   slo% |  util | W/gpu    |\n\
+             +--------------------+------------+------------+--------+-------+----------+\n",
         );
         for (t0, t1, w) in result.series.iter().take(12) {
             let slo = if w.completed == 0 {
@@ -584,12 +646,15 @@ impl FleetReport {
                 100.0 * w.on_time as f64 / w.completed as f64
             };
             let util = if w.gpu_s > 0.0 { w.busy_s / w.gpu_s } else { 0.0 };
+            // Mean draw per provisioned GPU over the window: J over
+            // billed GPU-seconds. 0 for unmetered fleets.
+            let watts = if w.gpu_s > 0.0 { w.energy_j / w.gpu_s } else { 0.0 };
             out.push_str(&format!(
-                "| [{:>7.0}, {:>7.0}) | {:>10} | {:>10} | {:>5.1}% | {:>5.3} |\n",
-                t0, t1, w.arrivals, w.completed, slo, util,
+                "| [{:>7.0}, {:>7.0}) | {:>10} | {:>10} | {:>5.1}% | {:>5.3} | {:>8.1} |\n",
+                t0, t1, w.arrivals, w.completed, slo, util, watts,
             ));
         }
-        out.push_str("+--------------------+------------+------------+--------+-------+\n");
+        out.push_str("+--------------------+------------+------------+--------+-------+----------+\n");
         FleetReport { text: out }
     }
 
@@ -725,6 +790,10 @@ impl Scaler {
 struct FastModel {
     service_s: f64,
     slo_delta_s: f64,
+    /// Energy one request costs at the model's modeled draw, joules
+    /// (`service_s · draw_w`; 0 for unmetered curves, so the fast
+    /// lane's accumulation is branch-free either way).
+    energy_j: f64,
 }
 
 /// Runs cluster `idx` of `fleet` over the whole horizon against its
@@ -776,9 +845,18 @@ pub fn run_cluster(
         .iter()
         .map(|(m, _)| {
             let curve = profile.curve(*m).unwrap_or_else(|| panic!("no service curve for {m}"));
-            FastModel { service_s: curve.batch_s(1), slo_delta_s: fleet.slo.slo_s(curve) }
+            let service_s = curve.batch_s(1);
+            FastModel {
+                service_s,
+                slo_delta_s: fleet.slo.slo_s(curve),
+                energy_j: service_s * curve.draw_w,
+            }
         })
         .collect();
+    // Idle draw charged to billed-but-idle capacity. Zeroed when the
+    // profile carries no power model so every energy figure stays
+    // exactly 0.0 and unmetered reports are unchanged.
+    let idle_w = if profile.has_power() { profile.idle_w } else { 0.0 };
 
     let mut arrivals = 0u64;
     let mut completed = 0u64;
@@ -786,6 +864,7 @@ pub fn run_cluster(
     let mut busy_total_s = 0.0f64;
     let mut gpu_hours = 0.0f64;
     let mut cost_usd = 0.0f64;
+    let mut energy_j_total = 0.0f64;
 
     for w in 0..fleet.windows {
         let gpus = scaler.begin_window(&fleet.autoscaler, w);
@@ -809,6 +888,7 @@ pub fn run_cluster(
             let mut n = 0u64;
             let mut late = 0u64;
             let mut busy = 0.0f64;
+            let mut busy_j = 0.0f64;
             let (mut t, mut m) = match pending.take() {
                 Some(a) => a,
                 None => stream.next(),
@@ -825,6 +905,7 @@ pub fn run_cluster(
                 let finish = start + fm.service_s;
                 free_t[g] = finish;
                 busy += fm.service_s;
+                busy_j += fm.energy_j;
                 let lat = finish - t;
                 late += u64::from(lat > fm.slo_delta_s);
                 n += 1;
@@ -844,6 +925,7 @@ pub fn run_cluster(
             win.completed = n;
             win.on_time = n - late;
             win.busy_s = busy;
+            win.energy_j = busy_j;
         } else {
             // General lane: one bounded-horizon DES per window via the
             // arrival-source hook. GPUs start the window idle — the
@@ -866,6 +948,11 @@ pub fn run_cluster(
             win.completed = res.stats.completed;
             win.on_time = res.stats.on_time;
             win.busy_s = res.busy_s.iter().sum();
+            win.energy_j = res
+                .energy
+                .as_ref()
+                .map(|e| e.busy_energy_j.iter().sum())
+                .unwrap_or(0.0);
             latency.merge(&res.stats.latency_sketch);
         }
 
@@ -873,6 +960,9 @@ pub fn run_cluster(
         win.gpu_s = billed as f64 * fleet.window_s;
         let window_hours = win.gpu_s / 3600.0;
         win.cost_usd = window_hours * cluster.price_per_gpu_hr;
+        // Billed capacity not running batches — serving gaps plus the
+        // warm pool — idles at the SKU's idle draw.
+        win.energy_j += (win.gpu_s - win.busy_s).max(0.0) * idle_w;
 
         arrivals += win.arrivals;
         completed += win.completed;
@@ -880,6 +970,7 @@ pub fn run_cluster(
         busy_total_s += win.busy_s;
         gpu_hours += window_hours;
         cost_usd += win.cost_usd;
+        energy_j_total += win.energy_j;
 
         let util = win.busy_s / (gpus as f64 * fleet.window_s);
         series.observe_at(w0, |v| v.merge(&win));
@@ -898,6 +989,10 @@ pub fn run_cluster(
     registry.describe("fleet_slo_miss_total", "fleet deadline misses by cluster");
     registry.describe("fleet_gpu_hours", "provisioned GPU-hours billed by cluster");
     registry.describe("fleet_cost_usd", "dollars billed by cluster");
+    if profile.has_power() {
+        registry.gauge_with("fleet_wh_total", &labels).set(energy_j_total / 3600.0);
+        registry.describe("fleet_wh_total", "modeled energy by cluster, watt-hours");
+    }
 
     ClusterResult {
         name: cluster.name.clone(),
@@ -908,6 +1003,7 @@ pub fn run_cluster(
         busy_s: busy_total_s,
         gpu_hours,
         cost_usd,
+        energy_wh: energy_j_total / 3600.0,
         min_gpus: scaler.min_seen,
         max_gpus: scaler.max_seen,
         latency,
@@ -1247,6 +1343,61 @@ mod tests {
             rps / 1e6
         );
         assert!(res.arrivals > 10_000_000);
+    }
+
+    #[test]
+    fn metered_fleets_carry_energy_and_unmetered_stay_zero() {
+        let fleet = test_fleet(4);
+        let registry = Registry::new();
+        let plain = run_cluster(&fleet, 0, &test_profile(), &registry);
+        assert_eq!(plain.energy_wh, 0.0, "unmetered profile must not invent energy");
+        assert!(!registry.render_prometheus().contains("fleet_wh_total"));
+
+        let metered = ServiceProfile::new(vec![
+            ServiceCurve::constant(ModelId::StableDiffusion, 0.1).with_draw_w(320.0),
+            ServiceCurve::constant(ModelId::Parti, 0.4).with_draw_w(260.0),
+        ])
+        .with_idle_w(55.0);
+        let reg2 = Registry::new();
+        let res = run_cluster(&fleet, 0, &metered, &reg2);
+        // Power is observability, not dynamics: the metered run walks
+        // the identical sample path.
+        assert_eq!(res.arrivals, plain.arrivals);
+        assert_eq!(res.busy_s.to_bits(), plain.busy_s.to_bits());
+        // Sandwich the integral per window: busy time at the cheapest
+        // and dearest model draws, plus the billed-idle remainder at
+        // the idle draw. (Busy can exceed gpu_s — FIFO backlog bills
+        // service time beyond the window — so no whole-horizon ceiling.)
+        let (mut lo_j, mut hi_j) = (0.0f64, 0.0f64);
+        for (_, _, w) in res.series.iter() {
+            let idle_j = (w.gpu_s - w.busy_s).max(0.0) * 55.0;
+            lo_j += w.busy_s * 260.0 + idle_j;
+            hi_j += w.busy_s * 320.0 + idle_j;
+        }
+        assert!(
+            res.energy_wh >= lo_j / 3600.0 - 1e-9 && res.energy_wh <= hi_j / 3600.0 + 1e-9,
+            "energy {} Wh outside [{}, {}]",
+            res.energy_wh,
+            lo_j / 3600.0,
+            hi_j / 3600.0,
+        );
+        // The window series conserves the total.
+        let win_j: f64 = res.series.iter().map(|(_, _, w)| w.energy_j).sum();
+        assert!((win_j / 3600.0 - res.energy_wh).abs() < 1e-9);
+        assert!(reg2.render_prometheus().contains("fleet_wh_total"));
+
+        let result = FleetResult::from_clusters(vec![res]);
+        assert!(result.cost_with_energy_usd() > result.cost_usd());
+        assert!(result.wh_per_1k_good() > 0.0);
+        let report = FleetReport::new(&fleet, &result);
+        assert!(report.render().contains("Wh/1k-ok"));
+        assert!(report.render().contains("with energy"));
+
+        // The general lane meters energy too.
+        let mut dyn_fleet = test_fleet(4);
+        dyn_fleet.scheduler = SchedulerKind::Dynamic { max_batch: 8 };
+        let dyn_res = run_cluster(&dyn_fleet, 0, &metered, &Registry::new());
+        assert!(dyn_res.energy_wh > 0.0, "general lane lost the energy integral");
     }
 
     #[test]

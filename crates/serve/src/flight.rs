@@ -193,6 +193,10 @@ pub struct ServeWindow {
     /// Busy seconds per GPU inside the window (span overlap, so a batch
     /// crossing a boundary contributes to both sides).
     pub busy_per_gpu_s: Vec<f64>,
+    /// Busy-span energy inside the window, joules: each batch overlap
+    /// contributes `overlap_s × draw_w`. Zero when the profile carries
+    /// no power figures (draw is 0).
+    pub energy_j: f64,
     /// Latency sketch over completions in the window (rank error
     /// [`FLIGHT_SKETCH_EPS`]).
     pub latency: QuantileSketch,
@@ -209,6 +213,7 @@ impl Default for ServeWindow {
             launches: 0,
             depth_time_s: 0.0,
             busy_per_gpu_s: Vec::new(),
+            energy_j: 0.0,
             latency: QuantileSketch::new(FLIGHT_SKETCH_EPS),
         }
     }
@@ -223,6 +228,7 @@ impl WindowValue for ServeWindow {
         self.abandoned += other.abandoned;
         self.launches += other.launches;
         self.depth_time_s += other.depth_time_s;
+        self.energy_j += other.energy_j;
         if self.busy_per_gpu_s.len() < other.busy_per_gpu_s.len() {
             self.busy_per_gpu_s.resize(other.busy_per_gpu_s.len(), 0.0);
         }
@@ -267,6 +273,10 @@ pub struct FlightRecorder {
     pub instants: Vec<SchedEvent>,
     /// Instants not retained because the cap was hit.
     pub instants_dropped: u64,
+    /// Idle board draw in watts, set by the simulator when the run's
+    /// profile carried power figures. `None` keeps the trace export
+    /// byte-identical to a recorder from before the energy layer.
+    pub idle_w: Option<f64>,
 }
 
 impl FlightRecorder {
@@ -282,7 +292,16 @@ impl FlightRecorder {
             batches_dropped: 0,
             instants: Vec::new(),
             instants_dropped: 0,
+            idle_w: None,
         }
+    }
+
+    /// Marks the recording as power-metered: the trace export gains a
+    /// `serve_power_w` counter track whose idle remainder is charged at
+    /// `idle_w`. Called by the simulator only when the profile carries
+    /// power figures.
+    pub(crate) fn enable_power(&mut self, idle_w: f64) {
+        self.idle_w = Some(idle_w);
     }
 
     /// The configuration this recorder was built with.
@@ -369,6 +388,7 @@ impl FlightRecorder {
         queue_wait_max_s: f64,
         queued_left: usize,
         pod: bool,
+        draw_w: f64,
     ) {
         let gpus = self.gpus;
         self.series.observe_at(start_s, |w| w.launches += 1);
@@ -377,6 +397,7 @@ impl FlightRecorder {
                 w.busy_per_gpu_s.resize(gpus, 0.0);
             }
             w.busy_per_gpu_s[gpu] += overlap_s;
+            w.energy_j += overlap_s * draw_w;
         });
         if self.batches.len() < self.cfg.max_batches {
             self.batches.push(BatchSpan {
@@ -626,6 +647,19 @@ impl FlightRecorder {
                 util.insert(format!("gpu{g}"), Value::from(busy / w_s));
             }
             events.push(counter("serve_gpu_util", ts_us, util));
+            // Windowed mean cluster draw: busy-span energy plus the idle
+            // remainder of every GPU's window at idle draw. Only emitted
+            // for power-metered runs so unmetered traces stay
+            // byte-identical.
+            if let Some(idle_w) = self.idle_w {
+                let busy: f64 = win.busy_per_gpu_s.iter().sum();
+                let idle_j = (gpus as f64 * w_s - busy).max(0.0) * idle_w;
+                events.push(counter(
+                    "serve_power_w",
+                    ts_us,
+                    one((win.energy_j + idle_j) / w_s),
+                ));
+            }
         }
         events
     }
@@ -960,6 +994,54 @@ mod tests {
         let json = fl.to_chrome_trace_object();
         let v: serde_json::Value = serde_json::from_str(&json).unwrap();
         assert!(v.field("traceEvents").and_then(serde_json::Value::as_array).is_some());
+    }
+
+    #[test]
+    fn power_track_appears_only_for_metered_profiles() {
+        let cfg = scenario(3.0, 120.0);
+        // Unmetered: no power track at all.
+        let (_r, plain) = simulate_recorded(
+            &cfg,
+            &profile(),
+            &Registry::new(),
+            FlightCfg { window_s: 5.0, ..FlightCfg::default() },
+        );
+        assert!(plain.idle_w.is_none());
+        assert!(plain.to_trace_events().iter().all(|e| e.name != "serve_power_w"));
+
+        // Metered: every window samples a draw between idle and the
+        // busy ceiling.
+        let idle_w = 55.0;
+        let draw_w = 320.0;
+        let metered = ServiceProfile::new(vec![ServiceCurve::new(
+            ModelId::StableDiffusion,
+            vec![(1, 0.5), (4, 0.65), (16, 1.0)],
+        )
+        .with_draw_w(draw_w)])
+        .with_idle_w(idle_w);
+        let (r, fl) = simulate_recorded(
+            &cfg,
+            &metered,
+            &Registry::new(),
+            FlightCfg { window_s: 5.0, ..FlightCfg::default() },
+        );
+        assert_eq!(fl.idle_w, Some(idle_w));
+        let samples: Vec<f64> = fl
+            .to_trace_events()
+            .iter()
+            .filter(|e| e.ph == "C" && e.name == "serve_power_w")
+            .map(|e| e.args["value"].as_f64().expect("float watts"))
+            .collect();
+        assert!(!samples.is_empty());
+        for w in &samples {
+            // Cluster draw: 2 GPUs each between idle and full draw.
+            assert!((2.0 * idle_w * 0.99..=2.0 * draw_w * 1.01).contains(w), "draw {w}");
+        }
+        // Window energy folds back to the run's busy-span total.
+        let win_j: f64 = fl.series.iter().map(|(_, _, w)| w.energy_j).sum();
+        let busy_j: f64 =
+            r.energy.as_ref().expect("metered").busy_energy_j.iter().sum();
+        assert!((win_j - busy_j).abs() < 1e-6 * busy_j.max(1.0), "{win_j} vs {busy_j}");
     }
 
     #[test]

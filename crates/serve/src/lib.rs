@@ -54,13 +54,13 @@ pub mod token;
 pub mod workload;
 
 pub use cluster::{
-    simulate, simulate_recorded, simulate_stream, ArrivalSource, HealthReport, ModelStats,
-    PhaseStats, RequestRecord, RouterKind, ScenarioCfg, SchedulerKind, ServeStats, SimResult,
-    SloSpec, LATENCY_SKETCH_EPS,
+    simulate, simulate_recorded, simulate_stream, ArrivalSource, EnergyStats, HealthReport,
+    ModelStats, PhaseStats, RequestRecord, RouterKind, ScenarioCfg, SchedulerKind, ServeStats,
+    SimResult, SloSpec, LATENCY_SKETCH_EPS,
 };
 pub use fleet::{
     run_cluster, AutoscalerPolicy, ClusterCfg, ClusterResult, FleetCfg, FleetReport, FleetResult,
-    RegionStream, SpotChurn, FLEET_SKETCH_EPS,
+    RegionStream, SpotChurn, FLEET_SKETCH_EPS, PRICE_PER_KWH,
 };
 pub use flight::{
     BatchSpan, Exemplars, FlightCfg, FlightRecorder, SchedEvent, SchedKind, ServeWindow,
@@ -69,7 +69,7 @@ pub use flight::{
 pub use des::{CalendarEventQueue, EventQueue, HeapEventQueue};
 pub use kv::{KvAdmission, KvLedger, GIB};
 pub use profile::{kv_bytes_per_token, ServiceCurve, ServiceProfile, TokenServiceCurve};
-pub use report::{ModelSlo, SloReport, TokenReport};
+pub use report::{EnergyRow, EnergySection, ModelSlo, SloReport, TokenReport};
 pub use token::{
     simulate_token, simulate_token_recorded, PhasePriority, TokenBatching, TokenPhaseStats,
     TokenScenarioCfg, TokenSimResult, TokenSlo, TokenStats,

@@ -33,6 +33,10 @@ pub struct ServiceCurve {
     /// 1 = no pods). Applied by the pod scheduler, not baked into the
     /// points.
     pub pod_factor: f64,
+    /// Mean modeled board draw (watts) while a GPU serves this model,
+    /// from the profiler's per-kernel power model. 0 = unmetered (the
+    /// serving energy layer stays off).
+    pub draw_w: f64,
 }
 
 impl ServiceCurve {
@@ -51,7 +55,7 @@ impl ServiceCurve {
             assert!(w[1].1 >= w[0].1, "{model}: batch time cannot shrink");
         }
         assert!(points[0].1 > 0.0, "{model}: service time must be positive");
-        ServiceCurve { model, points, pod_factor: 1.0 }
+        ServiceCurve { model, points, pod_factor: 1.0, draw_w: 0.0 }
     }
 
     /// A batching-free curve: a batch of `b` takes `b × service_s`
@@ -59,7 +63,7 @@ impl ServiceCurve {
     #[must_use]
     pub fn constant(model: ModelId, service_s: f64) -> Self {
         assert!(service_s > 0.0, "service time must be positive");
-        ServiceCurve { model, points: vec![(1, service_s)], pod_factor: 1.0 }
+        ServiceCurve { model, points: vec![(1, service_s)], pod_factor: 1.0, draw_w: 0.0 }
     }
 
     /// The same curve with a pod co-scheduling factor attached.
@@ -67,6 +71,15 @@ impl ServiceCurve {
     pub fn with_pod_factor(mut self, pod_factor: f64) -> Self {
         assert!(pod_factor >= 1.0, "pod factor must be >= 1");
         self.pod_factor = pod_factor;
+        self
+    }
+
+    /// The same curve with a serving draw attached (watts while a GPU
+    /// runs this model's batches).
+    #[must_use]
+    pub fn with_draw_w(mut self, draw_w: f64) -> Self {
+        assert!(draw_w >= 0.0, "draw must be non-negative");
+        self.draw_w = draw_w;
         self
     }
 
@@ -134,6 +147,10 @@ impl ServiceCurve {
 pub struct ServiceProfile {
     /// One curve per model in the scenario mix.
     pub curves: Vec<ServiceCurve>,
+    /// Board draw (watts) of an idle GPU in the cluster; 0 = unmetered.
+    /// Together with the per-curve `draw_w` this switches the serving
+    /// energy layer on ([`ServiceProfile::has_power`]).
+    pub idle_w: f64,
 }
 
 impl ServiceProfile {
@@ -152,7 +169,23 @@ impl ServiceProfile {
                 c.model
             );
         }
-        ServiceProfile { curves }
+        ServiceProfile { curves, idle_w: 0.0 }
+    }
+
+    /// Attaches the cluster's idle draw (watts), enabling the serving
+    /// energy layer.
+    #[must_use]
+    pub fn with_idle_w(mut self, idle_w: f64) -> Self {
+        assert!(idle_w >= 0.0, "idle draw must be non-negative");
+        self.idle_w = idle_w;
+        self
+    }
+
+    /// Whether the energy layer is metered: an idle draw is attached
+    /// and every curve carries a serving draw.
+    #[must_use]
+    pub fn has_power(&self) -> bool {
+        self.idle_w > 0.0 && self.curves.iter().all(|c| c.draw_w > 0.0)
     }
 
     /// Builds curves for `models` by querying `profiler` at each batch
@@ -206,7 +239,8 @@ impl ServiceProfile {
                 if let Some(steps) = sampler_steps {
                     pipeline = pipeline.with_sampler_steps(steps);
                 }
-                let pipe1 = pipeline.profile(profiler).total_time_s();
+                let timeline = pipeline.profile(profiler);
+                let pipe1 = timeline.total_time_s();
                 let hot1 = hot_stage_s(profiler, model, 1, sampler_steps);
                 let overhead_s = (pipe1 - hot1).max(0.0);
                 let points = batches
@@ -215,10 +249,12 @@ impl ServiceProfile {
                         (b, overhead_s * b as f64 + hot_stage_s(profiler, model, b, sampler_steps))
                     })
                     .collect();
-                ServiceCurve::new(model, points)
+                // The batch-1 pipeline's mean draw stands for the draw a
+                // GPU sustains while serving this model's batches.
+                ServiceCurve::new(model, points).with_draw_w(timeline.mean_power_w())
             })
             .collect();
-        ServiceProfile::new(curves)
+        ServiceProfile::new(curves).with_idle_w(profiler.spec().idle_w)
     }
 
     /// The curve for one model.
@@ -704,6 +740,35 @@ mod tests {
         let p = ServiceProfile::new(vec![ServiceCurve::constant(ModelId::StableDiffusion, 1.0)])
             .with_pod_factors(&[(ModelId::StableDiffusion, 1.4), (ModelId::Parti, 2.0)]);
         assert!((p.curve(ModelId::StableDiffusion).unwrap().pod_factor - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profiler_profiles_carry_power() {
+        let spec = DeviceSpec::a100_80gb();
+        let p = ServiceProfile::from_profiler(
+            &profiler(),
+            &[ModelId::StableDiffusion, ModelId::Parti],
+            &[1, 4],
+        );
+        assert!(p.has_power());
+        assert_eq!(p.idle_w, spec.idle_w);
+        for c in &p.curves {
+            assert!(
+                c.draw_w >= spec.idle_w && c.draw_w <= spec.tdp_w,
+                "{}: draw {} outside the envelope",
+                c.model,
+                c.draw_w
+            );
+        }
+        // Draws are model-dependent (different regime mixes), and both
+        // sustain well above idle while serving.
+        let sd = p.curve(ModelId::StableDiffusion).unwrap().draw_w;
+        let parti = p.curve(ModelId::Parti).unwrap().draw_w;
+        assert!((sd - parti).abs() > 1.0, "sd {sd} W vs parti {parti} W");
+        assert!(sd > 2.0 * spec.idle_w && parti > 2.0 * spec.idle_w);
+        // Hand-built constant profiles stay unmetered.
+        let plain = ServiceProfile::new(vec![ServiceCurve::constant(ModelId::Parti, 0.5)]);
+        assert!(!plain.has_power());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! SLO accounting: turning a [`SimResult`] into per-model serving
 //! statistics and a rendered report.
 
+use mmg_models::ModelId;
 use mmg_profiler::report::render_table;
 use mmg_telemetry::quantile_sorted;
 use serde::{Deserialize, Serialize};
@@ -199,6 +200,86 @@ impl HealthSection {
     }
 }
 
+/// One per-model energy row: sustained draw and joules per completed
+/// request. The per-request figure attributes only busy-span energy —
+/// idle overhead belongs to the cluster, not to any one model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyRow {
+    /// Short model name.
+    pub model: String,
+    /// Modeled board draw while this model's batches run, watts.
+    pub draw_w: f64,
+    /// Busy GPU-seconds spent on this model's batches.
+    pub busy_s: f64,
+    /// Busy-span joules per completed request.
+    pub j_per_request: f64,
+    /// What one request produces: `J/image`, `J/video`, or `J/req`.
+    pub unit: String,
+}
+
+/// The energy accounting of a run. Present only when the service
+/// profile carried power figures ([`crate::ServiceProfile::has_power`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergySection {
+    /// Idle board draw, watts.
+    pub idle_w: f64,
+    /// Per-model rows, first-completion order (matching the main table).
+    pub models: Vec<EnergyRow>,
+    /// Total cluster energy over the run, watt-hours (busy spans at each
+    /// model's draw, idle remainder at idle draw).
+    pub total_wh: f64,
+    /// Mean modeled draw per GPU over the run, watts.
+    pub mean_power_w: f64,
+    /// Watt-hours per 1000 on-time completions — the energy cost of
+    /// goodput (infinite goodput-free runs report 0).
+    pub wh_per_1k_on_time: f64,
+}
+
+impl EnergySection {
+    fn from_result(r: &SimResult) -> Option<Self> {
+        let e = r.energy.as_ref()?;
+        let total_wh = r.total_energy_wh().expect("energy present");
+        let mut stats: Vec<(usize, &crate::cluster::ModelStats)> = r
+            .stats
+            .per_model
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.completed > 0)
+            .collect();
+        stats.sort_by_key(|(_, m)| m.first_done_seq);
+        let models = stats
+            .iter()
+            .map(|&(i, m)| {
+                let unit = if m.model == ModelId::Llama2 {
+                    "J/req"
+                } else if m.model.is_video() {
+                    "J/video"
+                } else {
+                    "J/image"
+                };
+                EnergyRow {
+                    model: model_short_name(m.model).to_string(),
+                    draw_w: e.model_draw_w[i],
+                    busy_s: e.model_busy_s[i],
+                    j_per_request: e.model_energy_j(i) / m.completed as f64,
+                    unit: unit.to_string(),
+                }
+            })
+            .collect();
+        Some(EnergySection {
+            idle_w: e.idle_w,
+            models,
+            total_wh,
+            mean_power_w: r.mean_power_w().expect("energy present"),
+            wh_per_1k_on_time: if r.stats.on_time > 0 {
+                total_wh * 1000.0 / r.stats.on_time as f64
+            } else {
+                0.0
+            },
+        })
+    }
+}
+
 /// Cluster-wide serving report.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SloReport {
@@ -229,6 +310,9 @@ pub struct SloReport {
     /// Burn-rate alert and ratchet timeline. Present only when the run
     /// had an SLO policy ([`crate::ScenarioCfg::slo_policy`]).
     pub health: Option<HealthSection>,
+    /// Energy accounting. Present only when the service profile carried
+    /// power figures.
+    pub energy: Option<EnergySection>,
 }
 
 impl SloReport {
@@ -283,6 +367,7 @@ impl SloReport {
                 rows
             }),
             health: r.health.as_ref().map(HealthSection::from_report),
+            energy: EnergySection::from_result(r),
         }
     }
 
@@ -475,6 +560,29 @@ impl SloReport {
                     rr.kind, rr.t_s, rr.depth, rr.baseline
                 ));
             }
+        }
+        if let Some(es) = &self.energy {
+            let rows: Vec<(String, Vec<String>)> = es
+                .models
+                .iter()
+                .map(|e| {
+                    (
+                        e.model.clone(),
+                        vec![
+                            format!("{:.0} W", e.draw_w),
+                            format!("{:.1} s", e.busy_s),
+                            format!("{:.1} {}", e.j_per_request, e.unit),
+                        ],
+                    )
+                })
+                .collect();
+            out.push_str("\nenergy:\n");
+            out.push_str(&render_table(&["Model", "Draw", "Busy", "Per request"], &rows));
+            out.push_str(&format!(
+                "energy: {:.2} Wh total (idle {:.0} W) | mean draw {:.0} W/GPU | \
+                 {:.2} Wh per 1k on-time\n",
+                es.total_wh, es.idle_w, es.mean_power_w, es.wh_per_1k_on_time,
+            ));
         }
         out
     }
@@ -743,6 +851,57 @@ mod tests {
         assert!(text.contains("parti"));
         assert!(text.contains("goodput"));
         assert!(text.contains("SLO attainment"));
+    }
+
+    /// Metered runs grow an energy section with J-per-request rows;
+    /// unmetered runs keep `energy: None` so serialized reports are
+    /// unchanged from before the energy layer.
+    #[test]
+    fn energy_section_rides_metered_runs_only() {
+        let plain = SloReport::from_result(&run());
+        assert!(plain.energy.is_none());
+        assert!(!plain.render().contains("energy:"));
+
+        let mix = RequestMix::new(vec![
+            (ModelId::StableDiffusion, 3.0),
+            (ModelId::MakeAVideo, 1.0),
+        ]);
+        let profile = ServiceProfile::new(vec![
+            ServiceCurve::constant(ModelId::StableDiffusion, 0.3).with_draw_w(330.0),
+            ServiceCurve::constant(ModelId::MakeAVideo, 0.9).with_draw_w(290.0),
+        ])
+        .with_idle_w(55.0);
+        let cfg = ScenarioCfg::new(
+            2,
+            mix,
+            ArrivalProcess::poisson(2.0),
+            SchedulerKind::Fifo,
+            SloSpec::FixedS(3.0),
+            100.0,
+            11,
+        );
+        let r = simulate(&cfg, &profile, &Registry::new());
+        let rep = SloReport::from_result(&r);
+        let es = rep.energy.as_ref().expect("metered run");
+        assert_eq!(es.idle_w, 55.0);
+        assert!(es.total_wh > 0.0);
+        assert!(es.mean_power_w > 55.0);
+        assert!(es.wh_per_1k_on_time > 0.0);
+        let sd = es.models.iter().find(|m| m.model == "sd").expect("sd row");
+        assert_eq!(sd.unit, "J/image");
+        // Constant curve: J/request = service_s × draw / 1 (batch 1 under
+        // FIFO), so ~0.3 × 330.
+        assert!((sd.j_per_request - 0.3 * 330.0).abs() < 1.0, "{}", sd.j_per_request);
+        let mav = es.models.iter().find(|m| m.model == "mav").expect("mav row");
+        assert_eq!(mav.unit, "J/video");
+        assert!((mav.j_per_request - 0.9 * 290.0).abs() < 1.0, "{}", mav.j_per_request);
+        let text = rep.render();
+        assert!(text.contains("J/image") && text.contains("J/video"));
+        assert!(text.contains("Wh per 1k on-time"));
+        // Round-trips with the section attached.
+        let back: SloReport =
+            serde_json::from_str(&serde_json::to_string(&rep).unwrap()).unwrap();
+        assert_eq!(rep, back);
     }
 
     /// A ~10k-request scenario in both modes: every streaming-report

@@ -706,6 +706,9 @@ impl<'a> TokenSim<'a> {
                 admit_wait_max,
                 queued_left,
                 false,
+                // The token-level sim has no power model yet; its flight
+                // windows stay unmetered.
+                0.0,
             );
         }
         self.queue.schedule(finish, Event::Step { gpu: gpu as u32 });
